@@ -1,0 +1,203 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Step 2b order** -- the in-shell enumeration order does not change the
+   spread on complete shells (it only permutes addresses within a shell),
+   but it does change the address *locality* of a row walk; measured as the
+   mean |address delta| between horizontally adjacent cells.
+2. **Dovetail arity** -- spread overhead vs the number of dovetailed
+   mappings (the m-factor in the bound, measured rather than bounded).
+3. **Copy-index growth sweep** -- stride growth from constant kappa through
+   linear, quadratic-exponent, and exponential kappa: the compactness
+   valley the paper describes (too slow = exponential strides; too fast =
+   superquadratic again).
+4. **Fueter-Polya search** -- the full documented grid (59049 quadratics):
+   the survivors are exactly the Cantor polynomial and its twin.
+"""
+
+from __future__ import annotations
+
+from conftest import print_report
+from repro.apf.constructor import ConstructedAPF
+from repro.apf.families import (
+    ConstantCopyIndex,
+    ExponentialCopyIndex,
+    HalfSquareCopyIndex,
+    LinearCopyIndex,
+    PowerCopyIndex,
+)
+from repro.core.aspectratio import AspectRatioPairing
+from repro.core.dovetail import DovetailMapping
+from repro.core.shells import ShellConstructedPairing, ShellOrder, SquareShells
+from repro.core.squareshell import SquareShellPairing
+
+
+def test_ablation_shell_order_locality(benchmark):
+    """Same shells, different Step 2b order: spread identical on squares,
+    locality (mean horizontal address jump) differs."""
+    orders = [ShellOrder.NATIVE, ShellOrder.BY_COLUMNS, ShellOrder.BY_ROWS]
+
+    def measure():
+        out = []
+        for order in orders:
+            pf = ShellConstructedPairing(SquareShells(), order)
+            spread = pf.spread_for_shape(12, 12)
+            jumps = []
+            for x in range(1, 13):
+                prev = pf.pair(x, 1)
+                for y in range(2, 13):
+                    cur = pf.pair(x, y)
+                    jumps.append(abs(cur - prev))
+                    prev = cur
+            out.append((order.value, spread, sum(jumps) / len(jumps)))
+        return out
+
+    results = benchmark(measure)
+    rows = [
+        f"order={name:<26} spread(12x12)={spread:>4}  mean |row-walk jump|={jump:7.2f}"
+        for name, spread, jump in results
+    ]
+    print_report("Ablation 1: in-shell order (Step 2b)", rows)
+    spreads = {spread for _name, spread, _jump in results}
+    assert spreads == {144}  # order never changes the spread on squares
+    jumps = [jump for _n, _s, jump in results]
+    assert max(jumps) > min(jumps)  # but locality genuinely differs
+
+
+def test_ablation_dovetail_arity(benchmark):
+    """Spread overhead factor vs m: measured S(n) relative to the best
+    component, for m = 1..4."""
+    components = [
+        AspectRatioPairing(1, 1),
+        AspectRatioPairing(1, 2),
+        AspectRatioPairing(2, 1),
+        AspectRatioPairing(1, 3),
+    ]
+    n = 64
+
+    def measure():
+        out = []
+        for m in range(1, 5):
+            dt = DovetailMapping(components[:m])
+            best = min(comp.spread(n) for comp in components[:m])
+            out.append((m, dt.spread(n), best))
+        return out
+
+    results = benchmark(measure)
+    rows = []
+    for m, spread, best in results:
+        rows.append(
+            f"m={m}  S({n})={spread:>6}  best component={best:>6}  "
+            f"overhead={spread / best:5.2f} (bound {m})"
+        )
+        assert spread <= m * best + (m - 1)
+    print_report("Ablation 2: dovetail arity vs overhead", rows)
+
+
+def test_ablation_copy_index_sweep(benchmark):
+    """Stride at a fixed far row (x = 2**12) across the kappa menu: the
+    compactness valley (exponential -> quadratic -> subquadratic ->
+    superquadratic)."""
+    menu = [
+        ("kappa=0 (T^<1>)", ConstantCopyIndex(1)),
+        ("kappa=2 (T^<3>)", ConstantCopyIndex(3)),
+        ("kappa=g (T#)", LinearCopyIndex()),
+        ("kappa=g^2 (T^[2])", PowerCopyIndex(2)),
+        ("kappa=ceil(g^2/2) (T*)", HalfSquareCopyIndex()),
+    ]
+    x = 1 << 12
+
+    def measure():
+        return [(name, ConstructedAPF(ci).stride(x)) for name, ci in menu]
+
+    results = benchmark(measure)
+    # T^<1>'s stride at x = 4096 is 2**4097 -- format via bit length, not
+    # float (which would overflow).
+    rows = [
+        f"{name:<24} S_x(x=4096) = 2^{stride.bit_length() - 1}"
+        for name, stride in results
+    ]
+    print_report("Ablation 3: copy-index growth vs stride at x=4096", rows)
+    by_name = dict(results)
+    # The valley: T* < T# < T^<3> < T^<1>.
+    assert by_name["kappa=ceil(g^2/2) (T*)"] < by_name["kappa=g (T#)"]
+    assert by_name["kappa=g (T#)"] < by_name["kappa=2 (T^<3>)"]
+    assert by_name["kappa=2 (T^<3>)"] < by_name["kappa=0 (T^<1>)"]
+
+    # The "too fast" side of the valley is not visible at a fixed mid-group
+    # x (kappa=2^g is temporarily *small* there); it shows at group heads,
+    # where stride/x**2 keeps growing while T#'s never exceeds 2.
+    from repro.apf.families import ExponentialKappaAPF
+
+    bad = ExponentialKappaAPF()
+    ratios = []
+    for g in (4, 5, 6):
+        head = bad.first_row_of_group(g)
+        ratios.append(bad.stride(head) / (head * head))
+    assert ratios == sorted(ratios) and ratios[-1] > 100
+
+
+def test_fueter_polya_full_grid(benchmark):
+    """Section 2, item 1 (Fueter-Polya), empirically: the full documented
+    half-integer grid -- 9**5 = 59049 quadratics -- yields exactly the
+    Cantor polynomial and its twin."""
+    from repro.polynomial.fueter_polya import default_grid, search_quadratic_pfs
+
+    result = benchmark.pedantic(
+        lambda: search_quadratic_pfs(default_grid(4), bound=21),
+        iterations=1,
+        rounds=1,
+    )
+    print_report(
+        "Ablation 4: Fueter-Polya grid search",
+        [
+            f"grid points: {result.grid_points}",
+            f"stage-1 survivors: {result.stage1_survivors}",
+            f"PFs found: {len(result.pfs_found)} (Cantor + twin: "
+            f"{result.found_exactly_cantor_pair()})",
+        ],
+    )
+    assert result.found_exactly_cantor_pair()
+
+
+def test_ablation_square_shell_closed_form_vs_generic(benchmark):
+    """Closed form vs generic shell machinery: same function, order of
+    magnitude different cost (why the closed forms exist)."""
+    closed = SquareShellPairing()
+    generic = ShellConstructedPairing(SquareShells(), ShellOrder.NATIVE)
+    window = [(x, y) for x in range(1, 33) for y in range(1, 33)]
+
+    def closed_run():
+        return sum(closed.pair(x, y) for x, y in window)
+
+    total_closed = benchmark(closed_run)
+    total_generic = sum(generic.pair(x, y) for x, y in window)
+    assert total_closed == total_generic
+
+
+def test_ablation_signature_radix(benchmark):
+    """Radix-r generalization of APF-Constructor: the signature radix is a
+    design axis the paper leaves at 2.  Measured: strides at matched rows
+    for radix 2, 3, 5 under kappa(g) = g; radix 2 must agree exactly with
+    the paper's constructor."""
+    from repro.apf.constructor import ConstructedAPF
+    from repro.apf.radix import RadixConstructedAPF
+
+    def measure():
+        paper = ConstructedAPF(LinearCopyIndex())
+        out = {}
+        for radix in (2, 3, 5):
+            apf = RadixConstructedAPF(radix, LinearCopyIndex())
+            apf.check_bijective_prefix(200)
+            out[radix] = [apf.stride(x) for x in (1, 10, 100, 1000)]
+        out["paper"] = [paper.stride(x) for x in (1, 10, 100, 1000)]
+        return out
+
+    results = benchmark(measure)
+    rows = [
+        f"radix {k!s:>5}: strides at x=1,10,100,1000 -> {v}"
+        for k, v in results.items()
+    ]
+    print_report("Ablation 5: signature radix", rows)
+    assert results[2] == results["paper"]
+    # Strides are powers of the radix: coarser jumps at higher radix.
+    assert all(s % 3 == 0 or s == 3 for s in results[3][1:])

@@ -1,0 +1,98 @@
+"""Godel-encoding benchmarks (the Section 1.2 extension).
+
+Measured:
+
+* tuple codec throughput (encode + decode) and the *code growth* per
+  element -- iterated pairing roughly squares per level under a quadratic
+  base PF, so code bit-length doubles per element (asserted);
+* string codec throughput over consecutive integers (enumerating all
+  strings) and long-text round-trips;
+* base-PF sensitivity: diagonal vs square-shell base for the tuple codec
+  (same asymptotics, different constants).
+"""
+
+from __future__ import annotations
+
+from conftest import print_report
+from repro.core.diagonal import DiagonalPairing
+from repro.encoding import StringCodec, TupleCodec
+
+
+def test_tuple_codec_roundtrip_throughput(benchmark):
+    codec = TupleCodec()
+    tuples = [tuple(range(1, k + 1)) for k in range(0, 7)] * 50
+
+    def run():
+        total = 0
+        for t in tuples:
+            total += len(codec.decode(codec.encode(t)))
+        return total
+
+    total = benchmark(run)
+    assert total == sum(len(t) for t in tuples)
+
+
+def test_tuple_code_growth(benchmark):
+    """Bit-length of the code vs tuple length: ~doubling per element under
+    the square-shell base (each level squares the payload)."""
+    codec = TupleCodec()
+
+    def measure():
+        return [
+            (k, codec.encode(tuple([5] * k)).bit_length()) for k in range(1, 9)
+        ]
+
+    series = benchmark(measure)
+    rows = [f"len={k}  code bits={bits}" for k, bits in series]
+    print_report("Tuple-code growth (square-shell base)", rows)
+    bits = [b for _k, b in series]
+    # Geometric growth: each extra element roughly doubles the bit count.
+    for a, b in zip(bits[2:], bits[3:]):
+        assert 1.5 < b / a < 2.5
+
+
+def test_string_codec_enumeration(benchmark):
+    """Decoding 1..N enumerates all strings in length-then-lex order."""
+    codec = StringCodec("ab")
+
+    def run():
+        return [codec.decode(z) for z in range(1, 4001)]
+
+    strings = benchmark(run)
+    assert len(set(strings)) == 4000
+    lengths = [len(s) for s in strings]
+    assert lengths == sorted(lengths)  # shortlex enumeration
+
+
+def test_string_long_text_roundtrip(benchmark):
+    codec = StringCodec()
+    text = "pairingfunctions" * 40  # 640 characters
+
+    def run():
+        return codec.decode(codec.encode(text))
+
+    assert benchmark(run) == text
+
+
+def test_base_pf_sensitivity(benchmark):
+    """Same tuples, two base PFs: identical decodes, different code sizes
+    (the diagonal base is denser for skewed tuples)."""
+    square = TupleCodec()
+    diagonal = TupleCodec(DiagonalPairing())
+    tuples = [(1, 50), (50, 1), (7, 7, 7), (2, 3, 4, 5)]
+
+    def run():
+        out = []
+        for t in tuples:
+            cs, cd = square.encode(t), diagonal.encode(t)
+            assert square.decode(cs) == diagonal.decode(cd) == t
+            out.append((t, cs.bit_length(), cd.bit_length()))
+        return out
+
+    series = benchmark(run)
+    rows = [
+        f"{str(t):>14}  square-shell bits={bs:>3}  diagonal bits={bd:>3}"
+        for t, bs, bd in series
+    ]
+    print_report("Tuple codec: base-PF sensitivity", rows)
+    assert any(bs != bd for _t, bs, bd in series)

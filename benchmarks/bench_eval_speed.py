@@ -1,0 +1,90 @@
+"""The "ease of computation" axis (Sections 2-4): time per pair/unpair for
+every family.
+
+The paper ranks its constructions qualitatively -- the Cauchy-Cantor
+polynomials are "computationally simplest", ``T^<c>`` "stresses computation
+ease", ``T*`` pays "greater computational complexity", and the hyperbolic
+PF's optimal compactness costs divisor arithmetic.  These benchmarks make
+the ranking quantitative: ns/op for pair and unpair over a fixed workload.
+
+Expected shape (asserted where it is robust): polynomial PFs (diagonal,
+square-shell) are the fastest; the hyperbolic PF's unpair is the most
+expensive by a wide margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import get_pairing
+
+PAIR_NAMES = [
+    "diagonal",
+    "square-shell",
+    "aspect-1x2",
+    "hyperbolic",
+    "apf-bracket-1",
+    "apf-bracket-3",
+    "apf-sharp",
+    "apf-star",
+]
+
+# A fixed batch of positions; modest coordinates so the exponential APFs
+# don't turn this into a bignum benchmark.
+POSITIONS = [(x, y) for x in range(1, 33) for y in range(1, 33)]
+
+
+@pytest.mark.parametrize("name", PAIR_NAMES)
+def test_pair_speed(benchmark, name):
+    pf = get_pairing(name)
+
+    def run():
+        total = 0
+        for x, y in POSITIONS:
+            total += pf.pair(x, y)
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+@pytest.mark.parametrize("name", PAIR_NAMES)
+def test_unpair_speed(benchmark, name):
+    pf = get_pairing(name)
+    addresses = list(range(1, 1025))
+
+    def run():
+        acc = 0
+        for z in addresses:
+            x, y = pf.unpair(z)
+            acc += x + y
+        return acc
+
+    acc = benchmark(run)
+    assert acc > 0
+
+
+def test_vectorized_vs_scalar_diagonal(benchmark):
+    """The HPC idiom: the numpy batch path must beat the scalar loop by a
+    wide margin on a 4096-element batch (asserted >= 5x)."""
+    import numpy as np
+    import time
+
+    d = get_pairing("diagonal")
+    xs = np.arange(1, 4097, dtype=np.int64)
+    ys = xs[::-1].copy()
+
+    def vectorized():
+        return d.pair_array(xs, ys)
+
+    result = benchmark(vectorized)
+    assert int(result[0]) == d.pair(1, 4096)
+
+    # One-shot scalar-vs-vector sanity ratio (not the benchmark itself).
+    t0 = time.perf_counter()
+    [d.pair(int(x), int(y)) for x, y in zip(xs, ys)]
+    scalar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    d.pair_array(xs, ys)
+    vector_s = time.perf_counter() - t0
+    assert vector_s * 5 < scalar_s

@@ -1,0 +1,99 @@
+"""Section 3's motivating claim: naive remapping does Omega(n^2) work for
+O(n) shape changes; a PF-mapped array does zero data movement.
+
+The benchmark replays identical reshape workloads against both
+implementations and reports (and asserts) the move counters, then times
+each side.
+"""
+
+from __future__ import annotations
+
+from conftest import print_report
+from repro.arrays.extendible import ExtendibleArray
+from repro.arrays.metrics import run_comparison
+from repro.arrays.naive import NaiveRowMajorArray
+from repro.arrays.workloads import apply_workload, column_growth, random_walk
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.squareshell import SquareShellPairing
+
+
+def tall_then_columns(n: int):
+    """n rows, then n column appends: the pitch changes n times over an
+    n-row array -- the Theta(n^2) worst case."""
+    from repro.arrays.workloads import ReshapeKind, ReshapeOp
+
+    return [ReshapeOp(ReshapeKind.APPEND_ROW, n - 1)] + column_growth(n)
+
+
+def test_naive_quadratic_moves(benchmark):
+    n = 48
+
+    def run():
+        arr = NaiveRowMajorArray(1, 1, fill=0)
+        apply_workload(arr, tall_then_columns(n))
+        return arr.space.traffic.moves
+
+    moves = benchmark(run)
+    # n column appends over an n-row array: >= (n-1) moves each after the
+    # first few -- Omega(n^2) in total.
+    assert moves > n * n
+    print_report(
+        "Naive remapping cost",
+        [f"{n} rows + {n} column appends -> {moves} element moves (Omega(n^2))"],
+    )
+
+
+def test_pf_array_zero_moves(benchmark):
+    n = 48
+
+    def run():
+        arr = ExtendibleArray(SquareShellPairing(), 1, 1, fill=0)
+        apply_workload(arr, tall_then_columns(n))
+        return arr.space.traffic.moves
+
+    moves = benchmark(run)
+    assert moves == 0
+
+
+def test_mixed_workload_comparison(benchmark):
+    """The full side-by-side table on a 600-step random walk."""
+    workload = random_walk(600, seed=2002, max_side=80)
+
+    def run():
+        return run_comparison(
+            [SquareShellPairing(), HyperbolicPairing()], workload
+        )
+
+    results = benchmark(run)
+    rows = [
+        f"{r.implementation:>16}  moves={r.moves:>7}  hwm={r.high_water_mark:>8}  "
+        f"util={r.utilization:.3f}"
+        for r in results
+    ]
+    print_report("Reshape workload: moves vs spread tradeoff", rows)
+    by_name = {r.implementation: r for r in results}
+    assert by_name["square-shell"].moves == 0
+    assert by_name["hyperbolic"].moves == 0
+    assert by_name["naive-row-major"].moves > 0
+    # The tradeoff: naive is perfectly compact, PFs pay spread.
+    assert by_name["naive-row-major"].utilization == 1.0
+    assert by_name["hyperbolic"].high_water_mark > by_name["naive-row-major"].high_water_mark
+
+
+def test_access_cost_after_growth(benchmark):
+    """Reads/writes through the PF mapping after heavy reshaping (address
+    computation is the per-access cost a PF array pays)."""
+    arr = ExtendibleArray(SquareShellPairing(), 1, 1, fill=0)
+    apply_workload(arr, tall_then_columns(64))
+    rows, cols = arr.shape
+
+    def touch_all():
+        total = 0
+        for x in range(1, rows + 1):
+            for y in range(1, cols + 1):
+                arr[x, y] = x + y
+                total += arr[x, y]
+        return total
+
+    total = benchmark(touch_all)
+    assert total > 0

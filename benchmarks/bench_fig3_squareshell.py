@@ -1,0 +1,49 @@
+"""Figure 3: the square-shell PF A_{1,1} sampled on an 8x8 window."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_report
+from repro.core.squareshell import SquareShellPairing
+from repro.render.figures import figure3, figure3_data
+
+PAPER_FIG3 = [
+    [1, 4, 9, 16, 25, 36, 49, 64],
+    [2, 3, 8, 15, 24, 35, 48, 63],
+    [5, 6, 7, 14, 23, 34, 47, 62],
+    [10, 11, 12, 13, 22, 33, 46, 61],
+    [17, 18, 19, 20, 21, 32, 45, 60],
+    [26, 27, 28, 29, 30, 31, 44, 59],
+    [37, 38, 39, 40, 41, 42, 43, 58],
+    [50, 51, 52, 53, 54, 55, 56, 57],
+]
+
+
+def test_figure3_table(benchmark):
+    data = benchmark(figure3_data)
+    assert data == PAPER_FIG3
+    print_report("Figure 3 (square-shell PF, 8x8)", figure3().splitlines())
+
+
+def test_figure3_perfect_square_storage(benchmark):
+    """The property the figure illustrates: every k x k array occupies
+    exactly addresses 1..k**2."""
+    a = SquareShellPairing()
+
+    def check():
+        for k in (8, 32, 64):
+            addrs = sorted(
+                a.pair(x, y) for x in range(1, k + 1) for y in range(1, k + 1)
+            )
+            assert addrs == list(range(1, k * k + 1))
+        return True
+
+    assert benchmark(check)
+
+
+def test_figure3_vectorized_window(benchmark):
+    a = SquareShellPairing()
+    xs, ys = np.meshgrid(np.arange(1, 513), np.arange(1, 513), indexing="ij")
+    grid = benchmark(lambda: a.pair_array(xs, ys))
+    assert grid[0][:8].tolist() == PAPER_FIG3[0]

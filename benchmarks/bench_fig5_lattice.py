@@ -1,0 +1,50 @@
+"""Figure 5: the aggregate positions of all arrays with <= n cells -- the
+lattice staircase under xy = n, and the Theta(n log n) count behind the
+hyperbolic PF's optimality."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import print_report
+from repro.numbertheory.lattice import (
+    count_lattice_points_under_hyperbola,
+    hyperbola_staircase,
+    lattice_points_under_hyperbola,
+)
+from repro.render.figures import figure5, figure5_data
+
+PAPER_STAIRCASE_16 = [16, 8, 5, 4, 3, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]
+
+
+def test_figure5_staircase(benchmark):
+    data = benchmark(figure5_data)
+    assert data == PAPER_STAIRCASE_16
+    assert sum(data) == 50
+    print_report("Figure 5 (lattice under xy = 16)", figure5().splitlines())
+
+
+def test_figure5_enumeration(benchmark):
+    points = benchmark(lambda: list(lattice_points_under_hyperbola(16)))
+    assert len(points) == 50
+    assert (1, 16) in points and (16, 1) in points and (4, 4) in points
+    assert (4, 5) not in points
+
+
+def test_figure5_count_scales_nlogn(benchmark):
+    """The counting series the optimality argument needs: D(n) for n over
+    six decades, each within 10% of n(ln n + 2 gamma - 1)."""
+    ns = [10**k for k in range(1, 7)]
+
+    def counts():
+        return [count_lattice_points_under_hyperbola(n) for n in ns]
+
+    values = benchmark(counts)
+    gamma = 0.5772156649015329
+    rows = []
+    for n, v in zip(ns, values):
+        estimate = n * (math.log(n) + 2 * gamma - 1)
+        rows.append(f"n={n:>8}  D(n)={v:>10}  n(ln n + 2g - 1)={estimate:>14.0f}")
+        if n >= 100:
+            assert abs(v - estimate) / estimate < 0.10
+    print_report("Figure 5 series: lattice count vs n log n", rows)

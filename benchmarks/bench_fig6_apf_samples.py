@@ -1,0 +1,70 @@
+"""Figure 6: sample values of T^<1>, T^<3>, T#, T* at the paper's rows --
+every printed value asserted -- plus the registration-vs-allocation cost
+split the APF design optimizes for."""
+
+from __future__ import annotations
+
+from conftest import print_report
+from repro.apf.families import TBracket, TSharp, TStar
+from repro.render.figures import figure6, figure6_data
+
+PAPER_FIG6 = {
+    "T^<1>": [
+        (14, 13, [8192, 24576, 40960, 57344, 73728]),
+        (15, 14, [16384, 49152, 81920, 114688, 147456]),
+    ],
+    "T^<3>": [
+        (14, 3, [24, 88, 152, 216, 280]),
+        (15, 3, [40, 104, 168, 232, 296]),
+        (28, 6, [448, 960, 1472, 1984, 2496]),
+        (29, 7, [128, 1152, 2176, 3200, 4224]),
+    ],
+    "T^#": [
+        (28, 4, [400, 912, 1424, 1936, 2448]),
+        (29, 4, [432, 944, 1456, 1968, 2480]),
+    ],
+    "T^*": [
+        (28, 3, [328, 840, 1352, 1864, 2376]),
+        (29, 3, [344, 856, 1368, 1880, 2392]),
+    ],
+}
+
+
+def test_figure6_table(benchmark):
+    data = benchmark(figure6_data)
+    assert data == PAPER_FIG6
+    print_report("Figure 6 (APF samples)", figure6().splitlines())
+
+
+def test_figure6_registration_cost(benchmark):
+    """Registration-time work: computing (B_x, S_x) for 1000 rows of each
+    family (the once-per-volunteer cost)."""
+    families = [TBracket(1), TBracket(3), TSharp(), TStar()]
+
+    def register_all():
+        return [
+            (apf.base(x), apf.stride(x))
+            for apf in families
+            for x in range(1, 1001)
+        ]
+
+    contracts = benchmark(register_all)
+    assert len(contracts) == 4000
+    assert all(b < s for b, s in contracts)  # relation (4.2)
+
+
+def test_figure6_allocation_cost(benchmark):
+    """Post-registration allocation is one add per task: 10**5 tasks
+    across cached contracts."""
+    sharp = TSharp()
+    contracts = [(sharp.base(x), sharp.stride(x)) for x in range(1, 101)]
+
+    def allocate():
+        out = 0
+        for base, stride in contracts:
+            for t in range(1000):
+                out = base + t * stride
+        return out
+
+    last = benchmark(allocate)
+    assert last == contracts[-1][0] + 999 * contracts[-1][1]

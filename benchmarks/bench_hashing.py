@@ -1,0 +1,106 @@
+"""The Section 3 Aside ([14]): hashing schemes for extendible arrays with
+fewer than 2n memory locations and O(1) expected access.
+
+Measured: capacity/cell stays < 2 across three decades of n; mean probes
+per access stay bounded (do not grow with n); throughput of bulk loads and
+random access.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import print_report
+from repro.arrays.hashed import HashedArrayStore
+
+
+def load_store(n: int, seed: int = 0) -> HashedArrayStore:
+    rng = random.Random(seed)
+    store = HashedArrayStore()
+    while len(store) < n:
+        store.put(rng.randint(1, 10**6), rng.randint(1, 10**6), len(store))
+    return store
+
+
+def test_space_bound_across_scales(benchmark):
+    def measure():
+        out = []
+        for n in (100, 1000, 10_000):
+            store = load_store(n)
+            out.append((n, store.capacity, store.capacity / len(store)))
+        return out
+
+    series = benchmark(measure)
+    rows = []
+    for n, capacity, ratio in series:
+        rows.append(f"n={n:>6}  slots={capacity:>6}  slots/cell={ratio:.3f}")
+        assert ratio < 2.0  # the [14] bound
+    print_report("Hash store: < 2n memory locations", rows)
+
+
+def test_expected_probes_constant(benchmark):
+    """Mean probes per read must not grow with n -- the O(1) expected-time
+    claim."""
+    stores = {n: load_store(n, seed=1) for n in (1000, 10_000, 50_000)}
+    rng = random.Random(2)
+    queries = [(rng.randint(1, 10**6), rng.randint(1, 10**6)) for _ in range(4000)]
+
+    def measure():
+        out = {}
+        for n, store in stores.items():
+            before_ops = store.stats.operations
+            before_probes = store.stats.probes
+            for x, y in queries:
+                store.get(x, y)
+            ops = store.stats.operations - before_ops
+            probes = store.stats.probes - before_probes
+            out[n] = probes / ops
+        return out
+
+    means = benchmark(measure)
+    rows = [f"n={n:>6}  mean probes/read = {m:.3f}" for n, m in means.items()]
+    print_report("Hash store: O(1) expected access", rows)
+    assert means[50_000] < means[1000] + 1.5  # flat, not growing with n
+
+
+def test_bulk_insert_throughput(benchmark):
+    def build():
+        return load_store(5000, seed=3)
+
+    store = benchmark(build)
+    assert len(store) == 5000
+    assert store.capacity < 2 * 5000
+
+
+def test_random_access_throughput(benchmark):
+    store = load_store(20_000, seed=4)
+    keys = list(store.items())[:2000]
+
+    def read_all():
+        total = 0
+        for (x, y), _v in keys:
+            total += store.get(x, y)
+        return total
+
+    benchmark(read_all)
+
+
+def test_delete_heavy_workload(benchmark):
+    """Churn: insert/delete cycles must preserve both bounds."""
+
+    def churn():
+        rng = random.Random(5)
+        store = HashedArrayStore()
+        live = []
+        for i in range(8000):
+            if live and rng.random() < 0.45:
+                x, y = live.pop(rng.randrange(len(live)))
+                store.delete(x, y)
+            else:
+                x, y = rng.randint(1, 10**5), rng.randint(1, 10**5)
+                store.put(x, y, i)
+                live.append((x, y))
+        return store
+
+    store = benchmark(churn)
+    assert store.stats.mean_probes < 8.0

@@ -1,0 +1,120 @@
+"""Ablation: accountability (the paper's scheme) vs majority-vote
+replication (the heavyweight classical alternative).
+
+Section 4 sells the PF ledger as "computationally lightweight".  This
+bench quantifies the claim on a shared volunteer population:
+
+* replication r=3 performs exactly 3 computations per decided task and
+  filters minority faults per-task;
+* the ledger performs 1 computation + a sampled verification per task and
+  instead *bans* offenders, so its bad-acceptance rate decays as the run
+  progresses while its work overhead stays near 1.
+
+Also swept: replication factor vs acceptance error, and the cubic-search
+companion to the Fueter-Polya ablation (Section 2, item 3: no cubic PF).
+"""
+
+from __future__ import annotations
+
+from conftest import print_report
+from repro.apf.families import TSharp
+from repro.webcompute.replication import ReplicationSimulation
+from repro.webcompute.simulation import SimulationConfig, WBCSimulation
+from repro.webcompute.volunteer import Behavior, VolunteerProfile
+
+
+def mixed_pool(honest: int, malicious: int, error_rate: float):
+    pool = [VolunteerProfile(f"h{i}", speed=1.0) for i in range(honest)]
+    pool += [
+        VolunteerProfile(f"m{i}", behavior=Behavior.MALICIOUS, error_rate=error_rate)
+        for i in range(malicious)
+    ]
+    return pool
+
+
+def test_replication_vs_ledger_economics(benchmark):
+    pool = mixed_pool(honest=16, malicious=4, error_rate=0.5)
+
+    def run_both():
+        replication = ReplicationSimulation(pool, replication_factor=3, seed=11).run(
+            tasks=1500
+        )
+        config = SimulationConfig(
+            ticks=300,
+            initial_volunteers=20,
+            malicious_fraction=0.2,
+            careless_fraction=0.0,
+            malicious_error_rate=0.5,
+            verification_rate=0.2,
+            ban_after_strikes=2,
+            seed=11,
+            departure_rate=0.0,
+            arrival_rate=0.0,
+        )
+        ledger = WBCSimulation(TSharp(), config).run()
+        return replication, ledger
+
+    replication, ledger = benchmark(run_both)
+
+    ledger_overhead = 1 + 0.2  # one computation + sampled verification
+    rows = [
+        f"replication r=3 : {replication.work_overhead:.2f} computations/task, "
+        f"{replication.acceptance_error_rate:.2%} bad accepted",
+        f"ledger          : {ledger_overhead:.2f} computations/task, "
+        f"{ledger.bad_results_returned - ledger.bad_results_caught} bad slipped "
+        f"of {ledger.tasks_completed} tasks, {ledger.faulty_banned} offenders banned",
+    ]
+    print_report("Accountability vs replication", rows)
+
+    assert replication.work_overhead >= 3.0
+    assert ledger_overhead < replication.work_overhead
+    assert ledger.faulty_banned >= 2  # replication never bans anyone
+    # Replication's strength: per-task filtering of minority faults
+    # (random corruptions almost never agree, so with reissue the bad
+    # acceptance rate is near zero).
+    assert replication.acceptance_error_rate < 0.01
+
+
+def test_replication_factor_sweep(benchmark):
+    """Acceptance error vs r on a heavily faulty population."""
+    pool = mixed_pool(honest=6, malicious=6, error_rate=0.9)
+
+    def sweep():
+        out = []
+        for r in (1, 3, 5):
+            outcome = ReplicationSimulation(pool, replication_factor=r, seed=7).run(
+                tasks=600
+            )
+            out.append(outcome)
+        return out
+
+    outcomes = benchmark(sweep)
+    rows = [
+        f"r={o.replication_factor}  work/task={o.work_overhead:.1f}  "
+        f"bad accepted={o.acceptance_error_rate:.2%}"
+        for o in outcomes
+    ]
+    print_report("Replication factor sweep (50% malicious pool)", rows)
+    # More replicas, (weakly) fewer accepted errors; r=1 accepts plenty.
+    errors = [o.acceptance_error_rate for o in outcomes]
+    assert errors[0] > 0.1
+    assert errors[2] <= errors[0]
+
+
+def test_no_cubic_pf_sweep(benchmark):
+    """Section 2, item 3: the 250k-candidate cubic sweep confirms that no
+    cubic on the documented grid is a pairing function."""
+    from repro.polynomial.cubic_search import search_cubic_pfs
+
+    result = benchmark.pedantic(search_cubic_pfs, iterations=1, rounds=1)
+    print_report(
+        "No-cubic-PF sweep",
+        [
+            f"candidates: {result.candidates}",
+            f"stage-1 survivors: {result.stage1_survivors}",
+            f"PF-consistent survivors: {len(result.pf_consistent)} "
+            f"(theorem confirmed: {result.confirms_theorem})",
+        ],
+    )
+    assert result.candidates == 250_000
+    assert result.confirms_theorem

@@ -1,0 +1,115 @@
+"""Section 3.2's compactness claims, measured as a spread sweep.
+
+Paper claims reproduced here:
+
+* ``D`` spreads the n x n array over ~2n**2 addresses and the 1 x n array
+  over (n**2+n)/2;
+* ``A_{1,1}`` manages storage perfectly on squares (S = cell count);
+* the dovetail of m PFs is within m * min + (m-1) of the best component;
+* ``S_H(n) = Theta(n log n)``, matching the lattice lower bound exactly
+  (ratio 1.0) -- no PF can do better by more than a constant factor.
+"""
+
+from __future__ import annotations
+
+from conftest import print_report
+from repro.core.aspectratio import AspectRatioPairing
+from repro.core.diagonal import DiagonalPairing
+from repro.core.dovetail import DovetailMapping
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.spread import compare_spreads, spread_curve
+from repro.core.squareshell import SquareShellPairing
+from repro.numbertheory.lattice import spread_lower_bound
+
+NS = [2**k for k in range(4, 13)]
+
+
+def test_spread_sweep_all_pfs(benchmark):
+    """The headline table: S(n) for D, A11, H over n = 16..4096 against
+    the Theta(n log n) lower bound."""
+    mappings = [DiagonalPairing(), SquareShellPairing(), HyperbolicPairing()]
+
+    curves = benchmark(lambda: compare_spreads(mappings, NS))
+
+    rows = [f"{'n':>6} {'D':>10} {'A11':>10} {'H':>9} {'bound':>9}"]
+    for i, n in enumerate(NS):
+        d = curves["diagonal"].points[i].spread
+        a = curves["square-shell"].points[i].spread
+        h = curves["hyperbolic"].points[i].spread
+        b = spread_lower_bound(n)
+        rows.append(f"{n:>6} {d:>10} {a:>10} {h:>9} {b:>9}")
+        # Closed-form claims:
+        assert d == n * (n + 1) // 2
+        assert a == n * n
+        assert h == b  # optimal, ratio exactly 1
+    print_report("Spread S(n): who wins at storing arbitrary shapes", rows)
+
+    # Shape claims from the text:
+    d = DiagonalPairing()
+    for n in (10, 100):
+        assert d.spread_for_shape(n, n) == 2 * n * n - 2 * n + 1  # ~2n^2
+        assert d.spread_for_shape(1, n) == n * (n + 1) // 2  # > n^2/2
+
+
+def test_square_shell_perfection_on_squares(benchmark):
+    """(3.2) with a = b = 1: perfect storage for every square size."""
+    a11 = SquareShellPairing()
+
+    def measure():
+        return [a11.spread_for_shape(k, k) for k in range(1, 64)]
+
+    spreads = benchmark(measure)
+    assert spreads == [k * k for k in range(1, 64)]
+
+
+def test_aspect_ratio_perfection(benchmark):
+    """(3.2) generally: A_{a,b} is perfect on its favored shapes."""
+    cases = [(1, 2), (2, 3), (3, 1)]
+
+    def measure():
+        out = []
+        for a, b in cases:
+            p = AspectRatioPairing(a, b)
+            out.append([p.spread_for_shape(a * k, b * k) for k in range(1, 12)])
+        return out
+
+    results = benchmark(measure)
+    for (a, b), series in zip(cases, results):
+        assert series == [a * b * k * k for k in range(1, 12)]
+
+
+def test_dovetail_bound(benchmark):
+    """Section 3.2.2: dovetailed spread <= m * min + (m - 1), measured for
+    m = 2 and m = 3 over a grid of n."""
+    dt2 = DovetailMapping([AspectRatioPairing(1, 2), AspectRatioPairing(2, 1)])
+    dt3 = DovetailMapping(
+        [SquareShellPairing(), AspectRatioPairing(1, 3), AspectRatioPairing(3, 1)]
+    )
+    ns = [8, 32, 128]
+
+    def measure():
+        return {
+            "m=2": [(n, dt2.spread(n), dt2.spread_bound(n)) for n in ns],
+            "m=3": [(n, dt3.spread(n), dt3.spread_bound(n)) for n in ns],
+        }
+
+    results = benchmark(measure)
+    rows = []
+    for label, series in results.items():
+        for n, measured, bound in series:
+            rows.append(f"{label}  n={n:>4}  S={measured:>6}  bound={bound:>6}")
+            assert measured <= bound
+    print_report("Dovetail spread vs m*min bound", rows)
+
+
+def test_hyperbolic_optimality_ratio(benchmark):
+    """S_H(n) / lower_bound(n) == 1.0 for every n -- the 'no PF can beat
+    this by more than a constant factor' claim with constant exactly 1."""
+    h = HyperbolicPairing()
+
+    def measure():
+        return [(n, h.spread(n), spread_lower_bound(n)) for n in NS]
+
+    series = benchmark(measure)
+    for n, s, bound in series:
+        assert s == bound

@@ -1,0 +1,174 @@
+"""Section 4's application: accountable web computing, measured.
+
+Reported series (asserted on shape, per the reproduction contract):
+
+* **accountability** -- every returned result attributes to its true
+  producer (0 failures); with full verification every bad result is
+  caught and persistent offenders are banned; honest volunteers never are;
+* **compactness** -- the same seeded project run over each APF family:
+  ``max_task_index`` (the task-memory footprint) is astronomically larger
+  under the exponential ``T^<1>`` than under quadratic ``T#``/``T*`` --
+  who-wins matches Section 4.2's stride analysis;
+* **throughput** -- simulation cost itself.
+"""
+
+from __future__ import annotations
+
+from conftest import print_report
+from repro.apf.families import TBracket, TSharp, TStar
+from repro.webcompute.simulation import (
+    SimulationConfig,
+    WBCSimulation,
+    run_family_comparison,
+)
+
+BASE = dict(ticks=250, initial_volunteers=30, seed=2002)
+
+
+def test_family_footprint_comparison(benchmark):
+    config = SimulationConfig(**BASE)
+    families = [TBracket(1), TBracket(3), TSharp(), TStar()]
+
+    outcomes = benchmark(lambda: run_family_comparison(families, config))
+
+    rows = [
+        f"{o.apf_name:>15}  tasks={o.tasks_completed:>6}  "
+        f"max_index={o.max_task_index:>14}  density={o.density:.3e}"
+        for o in outcomes
+    ]
+    print_report("WBC footprint by APF family (same seeded workload)", rows)
+
+    by_name = {o.apf_name: o for o in outcomes}
+    # Same workload across rows:
+    assert len({o.tasks_completed for o in outcomes}) == 1
+    # Who wins: exponential family's footprint dwarfs the quadratic ones.
+    assert (
+        by_name["apf-bracket-1"].max_task_index
+        > 1000 * by_name["apf-sharp"].max_task_index
+    )
+    # T^<3> better than T^<1> by orders of magnitude as well.
+    assert (
+        by_name["apf-bracket-1"].max_task_index
+        > 1000 * by_name["apf-bracket-3"].max_task_index
+    )
+
+
+def test_accountability_invariants(benchmark):
+    config = SimulationConfig(
+        ticks=300,
+        initial_volunteers=25,
+        malicious_fraction=0.25,
+        careless_fraction=0.1,
+        verification_rate=1.0,
+        ban_after_strikes=2,
+        seed=7,
+        departure_rate=0.005,
+        arrival_rate=0.1,
+    )
+
+    outcome = benchmark(lambda: WBCSimulation(TSharp(), config).run())
+
+    rows = [
+        f"tasks completed        {outcome.tasks_completed}",
+        f"bad results returned   {outcome.bad_results_returned}",
+        f"bad results caught     {outcome.bad_results_caught}",
+        f"faulty banned          {outcome.faulty_banned}",
+        f"honest banned          {outcome.honest_banned}",
+        f"attribution failures   {outcome.attribution_failures}",
+    ]
+    print_report("Accountability under full verification", rows)
+
+    assert outcome.attribution_failures == 0
+    assert outcome.honest_banned == 0
+    assert outcome.bad_results_caught == outcome.bad_results_returned
+    assert outcome.faulty_banned >= 2
+
+
+def test_sampled_verification_tradeoff(benchmark):
+    """Catch rate vs verification rate: the lightweight-scheme knob."""
+    rates = [0.05, 0.2, 1.0]
+
+    def sweep():
+        out = []
+        for rate in rates:
+            config = SimulationConfig(
+                ticks=200,
+                initial_volunteers=20,
+                malicious_fraction=0.25,
+                careless_fraction=0.0,
+                verification_rate=rate,
+                ban_after_strikes=2,
+                seed=17,
+                departure_rate=0.0,
+                arrival_rate=0.0,
+            )
+            outcome = WBCSimulation(TSharp(), config).run()
+            out.append((rate, outcome))
+        return out
+
+    series = benchmark(sweep)
+    rows = []
+    for rate, o in series:
+        caught = o.bad_results_caught / max(1, o.bad_results_returned)
+        rows.append(
+            f"verify={rate:>4}  bad={o.bad_results_returned:>4}  "
+            f"caught={caught:5.1%}  banned={o.faulty_banned}"
+        )
+    print_report("Verification rate vs catch rate", rows)
+    # More verification catches (weakly) more and bans at least as many.
+    catch = [o.bad_results_caught for _r, o in series]
+    assert catch[0] <= catch[-1]
+    assert series[-1][1].bad_results_caught == series[-1][1].bad_results_returned
+
+
+def test_simulation_throughput(benchmark):
+    """Raw simulation speed (tasks simulated per run)."""
+    config = SimulationConfig(ticks=150, initial_volunteers=40, seed=3)
+    outcome = benchmark(lambda: WBCSimulation(TStar(), config).run())
+    assert outcome.tasks_completed > 1000
+
+
+def test_detection_latency_vs_verification_rate(benchmark):
+    """Forensics: how fast are persistent offenders detected, and how much
+    pollution/exposure accumulates first, as the verification rate varies."""
+    from repro.webcompute.metrics import compute_metrics
+
+    rates = [0.1, 0.3, 1.0]
+
+    def sweep():
+        out = []
+        for rate in rates:
+            config = SimulationConfig(
+                ticks=250,
+                initial_volunteers=20,
+                malicious_fraction=0.25,
+                careless_fraction=0.0,
+                verification_rate=rate,
+                ban_after_strikes=2,
+                seed=23,
+                departure_rate=0.0,
+                arrival_rate=0.0,
+            )
+            sim = WBCSimulation(TSharp(), config)
+            sim.run()
+            out.append((rate, compute_metrics(sim.server)))
+        return out
+
+    series = benchmark(sweep)
+    rows = []
+    for rate, m in series:
+        latency = (
+            f"{m.mean_detection_latency:6.1f}" if m.mean_detection_latency else "   n/a"
+        )
+        rows.append(
+            f"verify={rate:>4}  coverage={m.ban_coverage:6.1%}  "
+            f"latency={latency} ticks  pollution={m.total_pollution:>4}  "
+            f"exposure={m.total_exposure:>5}"
+        )
+    print_report("Detection latency vs verification rate", rows)
+    # More verification -> (weakly) better coverage and lower latency.
+    coverages = [m.ban_coverage for _r, m in series]
+    assert coverages[-1] == 1.0
+    assert coverages == sorted(coverages)
+    latencies = [m.mean_detection_latency for _r, m in series if m.mean_detection_latency]
+    assert latencies[-1] <= latencies[0]

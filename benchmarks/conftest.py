@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures (or measured
+claims), *asserts* the regenerated content, and reports it via
+``print_report`` so a ``pytest benchmarks/ --benchmark-only -s`` run shows
+the same rows/series the paper prints.  Timing comes from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+
+def print_report(title: str, lines: list[str]) -> None:
+    """Emit a labeled report block (visible with -s; harmless without)."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(line)

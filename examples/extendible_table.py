@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Extendible arrays/tables (Section 3): a relational table that grows and
+shrinks, stored through pairing functions with ZERO data movement.
+
+Scenario: an analytics table starts as 4 records x 3 attributes, then
+lives through a realistic schema/load evolution:
+
+* a burst of new records (rows),
+* two new attribute columns,
+* dropping a deprecated attribute,
+* another load burst.
+
+We replay the identical history against:
+
+* the naive row-major layout every compiler uses (remaps on column
+  changes -- the paper's Omega(n^2) complaint),
+* PF-backed arrays (diagonal / square-shell / hyperbolic),
+* and report moves, address spread, and utilization side by side.
+
+Run:  python examples/extendible_table.py
+"""
+
+from __future__ import annotations
+
+from repro.arrays import (
+    ExtendibleArray,
+    NaiveRowMajorArray,
+    ReshapeKind,
+    ReshapeOp,
+    apply_workload,
+    run_comparison,
+)
+from repro.core import DiagonalPairing, HyperbolicPairing, SquareShellPairing
+
+
+def table_evolution() -> list[ReshapeOp]:
+    """The table's life story as a reshape script."""
+    return [
+        ReshapeOp(ReshapeKind.APPEND_ROW, 60),   # load burst 1
+        ReshapeOp(ReshapeKind.APPEND_COL, 2),    # two new attributes
+        ReshapeOp(ReshapeKind.DELETE_COL, 1),    # drop deprecated attribute
+        ReshapeOp(ReshapeKind.APPEND_ROW, 40),   # load burst 2
+    ]
+
+
+def main() -> None:
+    print("A 4x3 table undergoes: +60 rows, +2 cols, -1 col, +40 rows")
+    print()
+
+    # --- Show value + address stability on the PF side -------------------
+    table = ExtendibleArray(SquareShellPairing(), 4, 3, fill=None)
+    table[1, 1] = "rec-1:id"
+    table[4, 3] = "rec-4:attr3"
+    addr_before = table.address_of(4, 3)
+    apply_workload(table, table_evolution())
+    print("PF-backed table after evolution:")
+    print(f"  shape                {table.shape}")
+    print(f"  cell (4,3) value     {table[4, 3]!r} (survived everything)")
+    print(f"  cell (4,3) address   {table.address_of(4, 3)} "
+          f"(was {addr_before}: never moved)")
+    print(f"  element moves        {table.space.traffic.moves}")
+    print()
+
+    # --- Show what the naive layout pays ---------------------------------
+    naive = NaiveRowMajorArray(4, 3, fill=0)
+    apply_workload(naive, table_evolution())
+    print("Naive row-major table after the same evolution:")
+    print(f"  element moves        {naive.space.traffic.moves} "
+          "(every column change remaps the world)")
+    print()
+
+    # --- Full comparison harness ------------------------------------------
+    print("Side-by-side (fresh 1x1 arrays, same history incl. 100 reshapes):")
+    results = run_comparison(
+        [DiagonalPairing(), SquareShellPairing(), HyperbolicPairing()],
+        table_evolution(),
+    )
+    header = f"{'implementation':>18} {'moves':>8} {'high-water':>11} {'util':>7}"
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        print(
+            f"{r.implementation:>18} {r.moves:>8} {r.high_water_mark:>11} "
+            f"{r.utilization:>7.3f}"
+        )
+    print()
+    print("Reading the table:")
+    print("  * naive: perfectly compact but pays Theta(size) moves per column op;")
+    print("  * square-shell: zero moves, compact while the table stays squarish;")
+    print("  * hyperbolic: zero moves, best worst-case spread over ALL shapes")
+    print("    (Theta(n log n), Section 3.2.3) — the choice when, like a")
+    print("    relational database, you cannot predict your tables' shapes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Godel-style encodings (Section 1.2): slipping between worlds of
+strings, integers, and tuples of integers.
+
+"It took revolutionary thinkers such as Godel and Turing to recognize that
+the correspondences embodied by PFs can be viewed as encodings ... of
+ordered pairs (and, thence, of arbitrary finite tuples or strings) as
+integers."
+
+This example encodes progressively richer objects as single positive
+integers, each step bijective:
+
+1. pairs                  (any 2-D PF);
+2. fixed-arity tuples     (iterated pairing);
+3. arbitrary-length tuples (length-tagged: a bijection between ALL finite
+   tuples and N -- every integer decodes to exactly one tuple);
+4. strings                (bijective base-k numeration);
+5. nested trees and sequences-of-strings (composition).
+
+Run:  python examples/godel_encoding.py
+"""
+
+from __future__ import annotations
+
+from repro import DiagonalPairing, IteratedPairing, StringCodec, TupleCodec
+
+
+def main() -> None:
+    print("--- 1. Pairs: the original Godel/Turing trick ---------------")
+    d = DiagonalPairing()
+    code = d.pair(12, 34)
+    print(f"  (12, 34)  <->  {code}  <->  {d.unpair(code)}")
+
+    print("\n--- 2. Fixed-arity tuples by iteration -----------------------")
+    p4 = IteratedPairing(4, d)
+    code = p4.pair((3, 1, 4, 1))
+    print(f"  (3, 1, 4, 1)  <->  {code}  <->  {p4.unpair(code)}")
+
+    print("\n--- 3. ALL finite tuples, bijectively -------------------------")
+    tuples = TupleCodec()
+    for t in [(), (7,), (2, 7), (1, 8, 2, 8)]:
+        print(f"  {str(t):>14}  <->  {tuples.encode(t)}")
+    print("  ... and every integer IS some tuple:")
+    for z in range(1, 9):
+        print(f"    {z}  <->  {tuples.decode(z)}")
+
+    print("\n--- 4. Strings ------------------------------------------------")
+    strings = StringCodec()  # a-z
+    for s in ["", "hi", "godel"]:
+        code = strings.encode(s)
+        print(f"  {s!r:>9}  <->  {code}  <->  {strings.decode(code)!r}")
+    print("  decoding a few consecutive integers enumerates all strings:")
+    print("   ", [strings.decode(z) for z in range(1, 8)])
+
+    print("\n--- 5. Composition: a sentence as one integer -----------------")
+    words = ["pairing", "functions", "encode", "everything"]
+    sentence_code = strings.encode_sequence(words)
+    print(f"  {words}")
+    print(f"  <->  {sentence_code}")
+    print(f"  <->  {list(strings.decode_sequence(sentence_code))}")
+
+    print("\n--- Bonus: nested trees ---------------------------------------")
+    tree = (1, (2, 3), ((4,), 5))
+    code = tuples.encode_nested(tree)
+    print(f"  {tree}  <->  {code}  <->  {tuples.decode_nested(code)}")
+
+
+if __name__ == "__main__":
+    main()

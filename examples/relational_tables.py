@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""A miniature relational layer over PF-stored extendible tables.
+
+Section 3.2.3's motivation verbatim: shape-based compactness guarantees
+"do not help much with applications such as relational databases, wherein
+one cannot limit a priori the potential shapes of one's tables" -- which is
+exactly why the hyperbolic PF (worst-case-optimal over ALL shapes) exists.
+
+This example builds a tiny relation abstraction -- named columns, insert,
+scan, ALTER TABLE ADD/DROP COLUMN -- on top of
+:class:`repro.arrays.extendible.ExtendibleArray`, and shows:
+
+* schema changes move **zero** stored values (the PF guarantee);
+* two tables with wildly different shapes (a wide fact table and a tall
+  skinny log) both stay within the hyperbolic PF's Theta(n log n) spread,
+  while a shape-tuned PF pays quadratically on the shape it wasn't tuned
+  for.
+
+Run:  python examples/relational_tables.py
+"""
+
+from __future__ import annotations
+
+from repro.arrays import ExtendibleArray
+from repro.core import AspectRatioPairing, HyperbolicPairing
+
+
+class MiniRelation:
+    """Named-column veneer over an extendible array (rows = records)."""
+
+    def __init__(self, name: str, columns: list[str], mapping=None) -> None:
+        if not columns:
+            raise ValueError("need at least one column")
+        self.name = name
+        self.columns = list(columns)
+        mapping = mapping if mapping is not None else HyperbolicPairing()
+        self._array = ExtendibleArray(mapping, rows=1, cols=len(columns))
+        self._count = 0  # live records (row 1 reserved as scratch header)
+
+    # -- DML ------------------------------------------------------------
+
+    def insert(self, record: dict) -> int:
+        unknown = set(record) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        self._count += 1
+        while self._array.rows < self._count + 1:
+            self._array.append_row()
+        row = self._count + 1  # header row offset
+        for j, column in enumerate(self.columns, start=1):
+            if column in record:
+                self._array[row, j] = record[column]
+        return self._count
+
+    def scan(self):
+        for i in range(1, self._count + 1):
+            row = i + 1
+            yield {
+                column: self._array[row, j]
+                for j, column in enumerate(self.columns, start=1)
+                if self._array[row, j] is not None
+            }
+
+    # -- DDL ------------------------------------------------------------
+
+    def add_column(self, column: str) -> None:
+        if column in self.columns:
+            raise KeyError(f"duplicate column {column!r}")
+        self.columns.append(column)
+        self._array.append_col()
+
+    def drop_last_column(self) -> str:
+        if len(self.columns) <= 1:
+            raise ValueError("cannot drop the last column")
+        dropped = self.columns.pop()
+        self._array.delete_col()
+        return dropped
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def moves(self) -> int:
+        return self._array.space.traffic.moves
+
+    @property
+    def spread(self) -> int:
+        return self._array.space.high_water_mark
+
+
+def main() -> None:
+    print("--- A users table that survives schema evolution ---------------")
+    users = MiniRelation("users", ["id", "name"])
+    users.insert({"id": 1, "name": "ada"})
+    users.insert({"id": 2, "name": "alan"})
+    users.add_column("email")                      # ALTER TABLE ADD COLUMN
+    users.insert({"id": 3, "name": "kurt", "email": "k@x"})
+    users.add_column("legacy_flag")
+    users.drop_last_column()                       # ... and DROP COLUMN
+    print(f"  schema now: {users.columns}")
+    for record in users.scan():
+        print(f"  {record}")
+    print(f"  element moves across all DDL: {users.moves} (always 0)")
+
+    print("\n--- Shape-agnostic compactness (why H, Section 3.2.3) ---------")
+    # A tall skinny event log vs a wide fact table, same cell count.
+    configs = [
+        ("hyperbolic", HyperbolicPairing),
+        ("aspect-1x8 (tuned wide)", lambda: AspectRatioPairing(1, 8)),
+    ]
+    for label, make in configs:
+        log = MiniRelation("log", ["ts"], mapping=make())
+        for i in range(400):
+            log.insert({"ts": i})
+        wide = MiniRelation("fact", [f"c{i}" for i in range(16)], mapping=make())
+        for i in range(25):
+            wide.insert({f"c{j}": i * j for j in range(16)})
+        print(
+            f"  {label:>24}: tall log spread={log.spread:>7}  "
+            f"wide fact spread={wide.spread:>7}"
+        )
+    print()
+    print("  The shape-tuned mapping is compact on its favored shape and")
+    print("  pays heavily on the other; the hyperbolic PF stays O(n log n)")
+    print("  on BOTH — the relational-database argument of Section 3.2.3.")
+
+
+if __name__ == "__main__":
+    main()

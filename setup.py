@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments that lack the `wheel` package needed by PEP 517
+editable builds. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Additive pairing functions (Section 4).
+
+An APF maps each row of ``N x N`` to an arithmetic progression
+``T(x, y) = B_x + (y - 1) * S_x`` -- the structure that makes PFs practical
+as *task-allocation functions* for accountable web computing.
+
+Layout:
+
+* :mod:`~repro.apf.base` -- the :class:`AdditivePairingFunction` ABC;
+* :mod:`~repro.apf.constructor` -- Procedure APF-Constructor (4.1)/(4.3),
+  driven by a pluggable copy index ``kappa(g)``;
+* :mod:`~repro.apf.families` -- the paper's sampler: ``T^<c>``, ``T#``,
+  ``T^[k]``, ``T*``, and the cautionary ``kappa(g) = 2**g``;
+* :mod:`~repro.apf.closed_forms` -- the display formulas, kept independent
+  as test oracles;
+* :mod:`~repro.apf.analysis` -- stride growth and crossover analysis;
+* :mod:`~repro.apf.radix` -- the radix-r generalization of the
+  constructor (radix 2 IS the paper's procedure).
+"""
+
+from __future__ import annotations
+
+from repro.apf.base import AdditivePairingFunction
+from repro.apf.constructor import ConstructedAPF, CopyIndex, GroupLayout
+from repro.apf.families import (
+    ConstantCopyIndex,
+    LinearCopyIndex,
+    PowerCopyIndex,
+    HalfSquareCopyIndex,
+    ExponentialCopyIndex,
+    TBracket,
+    TSharp,
+    TPower,
+    TStar,
+    ExponentialKappaAPF,
+)
+from repro.apf.radix import RadixConstructedAPF
+from repro.apf.analysis import (
+    StrideComparison,
+    compare_families,
+    dominance_crossover,
+    growth_exponent,
+    max_task_index,
+    stride_table,
+)
+
+__all__ = [
+    "AdditivePairingFunction",
+    "ConstructedAPF",
+    "CopyIndex",
+    "GroupLayout",
+    "ConstantCopyIndex",
+    "LinearCopyIndex",
+    "PowerCopyIndex",
+    "HalfSquareCopyIndex",
+    "ExponentialCopyIndex",
+    "TBracket",
+    "TSharp",
+    "TPower",
+    "TStar",
+    "ExponentialKappaAPF",
+    "RadixConstructedAPF",
+    "StrideComparison",
+    "compare_families",
+    "dominance_crossover",
+    "growth_exponent",
+    "max_task_index",
+    "stride_table",
+]

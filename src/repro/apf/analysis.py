@@ -1,0 +1,153 @@
+"""Stride-growth analysis and crossover hunting for APFs (Section 4.2).
+
+The paper's comparison of APF families is entirely about *stride growth as
+a function of the row index*: exponential for ``T^<c>``, quadratic for
+``T#``, subquadratic for ``T^[k]``/``T*``, superquadratic again for the
+overeager ``kappa(g) = 2**g``.  The concrete claims:
+
+* "it is not until x = 5 that ``T^<1>``'s strides are always at least as
+  large as ``T#``'s" -- and x = 11 for ``T^<2>``, x = 25 for ``T^<3>``;
+* ``T*``'s strides are eventually dramatically smaller than ``T#``'s;
+* with ``kappa(g) = 2**g``, at each group's first row
+  ``S_x > x**2 log2(x**2)``.
+
+This module computes stride tables, finds *dominance crossovers* (the
+smallest ``x0`` such that one family's stride is >= another's for every
+``x in [x0, limit]``), classifies empirical growth, and measures the
+memory-footprint proxy the paper cares about for web computing: the largest
+task index issued to a population of volunteers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apf.base import AdditivePairingFunction
+from repro.errors import DomainError
+
+__all__ = [
+    "stride_table",
+    "dominance_crossover",
+    "growth_exponent",
+    "max_task_index",
+    "StrideComparison",
+    "compare_families",
+]
+
+
+def stride_table(
+    apfs: Sequence[AdditivePairingFunction], xs: Sequence[int]
+) -> dict[str, list[int]]:
+    """Strides of each APF at each row in *xs*, keyed by APF name.
+
+    >>> from repro.apf.families import TSharp
+    >>> stride_table([TSharp()], [1, 2, 3, 4])
+    {'apf-sharp': [2, 8, 8, 32]}
+    """
+    if not xs:
+        raise DomainError("xs must be non-empty")
+    return {apf.name: [apf.stride(x) for x in xs] for apf in apfs}
+
+
+def dominance_crossover(
+    big: AdditivePairingFunction,
+    small: AdditivePairingFunction,
+    limit: int,
+) -> int | None:
+    """The smallest ``x0`` such that ``big.stride(x) >= small.stride(x)``
+    for *every* ``x in [x0, limit]`` -- the paper's "it is not until x = ..."
+    comparisons.  Returns ``None`` if dominance fails even at ``limit``.
+
+    Scans backward from *limit*: the crossover is one past the last row
+    where ``big``'s stride dips below ``small``'s.
+
+    >>> from repro.apf.families import TBracket, TSharp
+    >>> dominance_crossover(TBracket(1), TSharp(), 200)
+    5
+    """
+    if isinstance(limit, bool) or not isinstance(limit, int) or limit <= 0:
+        raise DomainError(f"limit must be a positive int, got {limit!r}")
+    if big.stride(limit) < small.stride(limit):
+        return None
+    x0 = 1
+    for x in range(limit, 0, -1):
+        if big.stride(x) < small.stride(x):
+            x0 = x + 1
+            break
+    return x0
+
+
+def growth_exponent(
+    apf: AdditivePairingFunction, xs: Sequence[int]
+) -> list[float]:
+    """Empirical log-log slopes of ``stride(x)`` between consecutive sample
+    rows.  A quadratic family hovers near 2.0; exponential families blow up
+    with ``x``; subquadratic families drift below 2.0.
+
+    Sample at group-aligned rows (e.g. powers of two) to avoid the staircase
+    plateaus that flat-within-group strides produce.
+    """
+    if len(xs) < 2:
+        raise DomainError("need at least two sample points")
+    slopes: list[float] = []
+    for a, b in zip(xs, xs[1:]):
+        if a <= 0 or b <= a:
+            raise DomainError("xs must be positive and strictly increasing")
+        sa, sb = apf.stride(a), apf.stride(b)
+        slopes.append(math.log(sb / sa) / math.log(b / a))
+    return slopes
+
+
+def max_task_index(
+    apf: AdditivePairingFunction, volunteers: int, tasks_per_volunteer: int
+) -> int:
+    """The largest task index issued when *volunteers* rows each consume
+    *tasks_per_volunteer* tasks -- the paper's memory-management proxy
+    ("the management of the memory where tasks reside is simplified if one
+    devises APFs whose strides grow slowly").
+
+    >>> from repro.apf.families import TSharp
+    >>> max_task_index(TSharp(), 3, 2)
+    14
+    """
+    if volunteers <= 0 or tasks_per_volunteer <= 0:
+        raise DomainError("volunteers and tasks_per_volunteer must be positive")
+    return max(
+        apf.pair(x, tasks_per_volunteer) for x in range(1, volunteers + 1)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class StrideComparison:
+    """Summary of a pairwise family comparison over ``1..limit``."""
+
+    big_name: str
+    small_name: str
+    limit: int
+    crossover: int | None
+
+    def holds(self) -> bool:
+        return self.crossover is not None
+
+
+def compare_families(
+    families: Sequence[AdditivePairingFunction], limit: int
+) -> list[StrideComparison]:
+    """All ordered pairwise dominance comparisons among *families* up to
+    *limit* (the grid behind the crossover benchmark)."""
+    out: list[StrideComparison] = []
+    for big in families:
+        for small in families:
+            if big is small:
+                continue
+            out.append(
+                StrideComparison(
+                    big_name=big.name,
+                    small_name=small.name,
+                    limit=limit,
+                    crossover=dominance_crossover(big, small, limit),
+                )
+            )
+    return out

@@ -1,0 +1,107 @@
+"""Additive pairing functions (Section 4): the abstract interface.
+
+An *additive* PF (APF) assigns each row ``x`` a base entry ``B_x`` and a
+stride ``S_x`` and maps
+
+    ``T(x, y) = B_x + (y - 1) * S_x``
+
+so every row of ``N x N`` lands on an arithmetic progression.  In the
+web-computing reading, ``x`` is a volunteer index, ``y`` a per-volunteer
+task counter, and ``T(x, y)`` the global task index -- and the fact that
+``B_x`` and ``S_x`` are computed *once per volunteer, at registration* is
+the system-design point of the whole section.
+
+The paper's key structural facts, enforced here as API invariants and
+verified by the property tests:
+
+* ``B_x < S_x`` for the constructed APFs (relation 4.2);
+* any APF must have infinitely many distinct strides (Section 4.1) --
+  checked on windows by :meth:`AdditivePairingFunction.distinct_strides`;
+* rows are disjoint progressions that jointly tile ``N``.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+from repro.core.base import PairingFunction, validate_address, validate_coordinates
+from repro.errors import DomainError
+from repro.numbertheory.progressions import ArithmeticProgression
+
+__all__ = ["AdditivePairingFunction"]
+
+
+class AdditivePairingFunction(PairingFunction):
+    """A pairing function of the additive form ``T(x, y) = B_x + (y-1) S_x``.
+
+    Subclasses implement :meth:`base`, :meth:`stride`, and :meth:`row_of`
+    (the row-recovery half of the inverse); ``pair``/``unpair`` follow.
+    """
+
+    @abstractmethod
+    def base(self, x: int) -> int:
+        """The base row-entry ``B_x = T(x, 1)`` of row *x* (1-indexed)."""
+
+    @abstractmethod
+    def stride(self, x: int) -> int:
+        """The stride ``S_x = T(x, y+1) - T(x, y)`` of row *x*."""
+
+    @abstractmethod
+    def row_of(self, z: int) -> int:
+        """The row ``x`` whose progression contains address *z*.
+
+        For the Lemma 4.1-based constructions this is where the 2-adic
+        valuation of ``z`` does its work.
+        """
+
+    # ------------------------------------------------------------------
+
+    def _pair(self, x: int, y: int) -> int:
+        return self.base(x) + (y - 1) * self.stride(x)
+
+    def _unpair(self, z: int) -> tuple[int, int]:
+        x = self.row_of(z)
+        offset = z - self.base(x)
+        stride = self.stride(x)
+        if offset < 0 or offset % stride != 0:  # pragma: no cover - broken subclass
+            raise DomainError(
+                f"{self.name}: row_of({z}) = {x} but {z} is not on that row's progression"
+            )
+        return (x, offset // stride + 1)
+
+    # ------------------------------------------------------------------
+
+    def progression(self, x: int) -> ArithmeticProgression:
+        """Row *x* as a reusable contract object ``(B_x, S_x)`` -- what the
+        web-computing server stores for a registered volunteer.
+
+        >>> from repro.apf.families import TSharp
+        >>> TSharp().progression(3)
+        ArithmeticProgression(base=6, stride=8)
+        """
+        if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+            raise DomainError(f"x must be a positive int, got {x!r}")
+        return ArithmeticProgression(self.base(x), self.stride(x))
+
+    def successor_gap(self, x: int, y: int) -> int:
+        """The paper's ``S(v, t) = T(v, t+1) - T(v, t)``; constant in ``y``
+        for an APF (it *is* the stride), exposed for symmetry with [13]."""
+        x, y = validate_coordinates(x, y)
+        return self._pair(x, y + 1) - self._pair(x, y)
+
+    def distinct_strides(self, row_limit: int) -> set[int]:
+        """The set of strides over rows ``1..row_limit``.  Any valid APF has
+        infinitely many distinct strides; tests check this set keeps growing
+        with the window."""
+        if isinstance(row_limit, bool) or not isinstance(row_limit, int) or row_limit <= 0:
+            raise DomainError(f"row_limit must be a positive int, got {row_limit!r}")
+        return {self.stride(x) for x in range(1, row_limit + 1)}
+
+    def check_base_below_stride(self, row_limit: int) -> None:
+        """Assert relation (4.2), ``B_x < S_x``, over a window of rows."""
+        for x in range(1, row_limit + 1):
+            b, s = self.base(x), self.stride(x)
+            if not b < s:
+                raise AssertionError(
+                    f"{self.name}: B_{x} = {b} is not < S_{x} = {s}"
+                )

@@ -1,0 +1,123 @@
+"""The paper's display formulas, transcribed verbatim as free functions.
+
+These are deliberately *independent* implementations -- no shared code with
+:mod:`repro.apf.constructor` or :mod:`repro.apf.families` -- so the test
+suite can use them as oracles: Procedure APF-Constructor and the display
+formulas must agree everywhere they are both defined.
+
+Transcribed:
+
+* ``t_bracket`` -- Section 4.2.1:
+  ``T^<c>(x,y) = 2**floor((x-1)/2**(c-1)) * (2**c (y-1) + ((2x-1) mod 2**c))``
+* ``t_sharp`` -- equation (4.6):
+  ``T#(x,y) = 2**floor(log2 x) * (2**(1+floor(log2 x)) (y-1)
+  + ((2x+1) mod 2**(1+floor(log2 x))))``
+* ``stride_bracket`` -- relation (4.4): ``2**(floor((x-1)/2**(c-1)) + c)``
+* ``stride_sharp`` -- Proposition 4.2: ``2**(1 + 2 floor(log2 x))``
+* ``cantor_binomial`` -- equation (2.1) in its binomial-coefficient form:
+  ``D(x,y) = C(x+y-1, 2) + y``
+* ``square_shell_formula`` -- equation (3.3):
+  ``A(x,y) = m**2 + m + y - x + 1`` with ``m = max(x-1, y-1)``
+* ``hyperbolic_formula`` -- equation (3.4), summing ``delta`` naively.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DomainError
+from repro.numbertheory.bits import ilog2
+from repro.numbertheory.divisors import divisor_count, divisor_pairs
+from repro.numbertheory.integers import binomial
+
+__all__ = [
+    "t_bracket",
+    "t_sharp",
+    "stride_bracket",
+    "stride_sharp",
+    "cantor_binomial",
+    "square_shell_formula",
+    "hyperbolic_formula",
+]
+
+
+def _check_xy(x: int, y: int) -> None:
+    if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+        raise DomainError(f"x must be a positive int, got {x!r}")
+    if isinstance(y, bool) or not isinstance(y, int) or y <= 0:
+        raise DomainError(f"y must be a positive int, got {y!r}")
+
+
+def t_bracket(c: int, x: int, y: int) -> int:
+    """``T^<c>(x, y)`` exactly as displayed in Section 4.2.1.
+
+    >>> t_bracket(1, 14, 1), t_bracket(3, 14, 2)
+    (8192, 88)
+    """
+    if isinstance(c, bool) or not isinstance(c, int) or c <= 0:
+        raise DomainError(f"c must be a positive int, got {c!r}")
+    _check_xy(x, y)
+    g = (x - 1) // (1 << (c - 1))
+    return (1 << g) * ((1 << c) * (y - 1) + ((2 * x - 1) % (1 << c)))
+
+
+def t_sharp(x: int, y: int) -> int:
+    """``T#(x, y)`` exactly as displayed in equation (4.6).
+
+    >>> t_sharp(28, 1), t_sharp(29, 2)
+    (400, 944)
+    """
+    _check_xy(x, y)
+    log = ilog2(x)
+    return (1 << log) * ((1 << (1 + log)) * (y - 1) + ((2 * x + 1) % (1 << (1 + log))))
+
+
+def stride_bracket(c: int, x: int) -> int:
+    """Relation (4.4): ``S_x^<c> = 2**(floor((x-1)/2**(c-1)) + c)``."""
+    if isinstance(c, bool) or not isinstance(c, int) or c <= 0:
+        raise DomainError(f"c must be a positive int, got {c!r}")
+    if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+        raise DomainError(f"x must be a positive int, got {x!r}")
+    return 1 << ((x - 1) // (1 << (c - 1)) + c)
+
+
+def stride_sharp(x: int) -> int:
+    """Proposition 4.2: ``S_x# = 2**(1 + 2 floor(log2 x))``."""
+    if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+        raise DomainError(f"x must be a positive int, got {x!r}")
+    return 1 << (1 + 2 * ilog2(x))
+
+
+def cantor_binomial(x: int, y: int) -> int:
+    """Equation (2.1) in binomial form: ``D(x, y) = C(x+y-1, 2) + y``.
+
+    >>> cantor_binomial(1, 1), cantor_binomial(3, 2)
+    (1, 8)
+    """
+    _check_xy(x, y)
+    return binomial(x + y - 1, 2) + y
+
+
+def square_shell_formula(x: int, y: int) -> int:
+    """Equation (3.3): ``A(x,y) = m**2 + m + y - x + 1``, ``m = max(x-1, y-1)``.
+
+    >>> square_shell_formula(5, 1), square_shell_formula(1, 5)
+    (17, 25)
+    """
+    _check_xy(x, y)
+    m = max(x - 1, y - 1)
+    return m * m + m + y - x + 1
+
+
+def hyperbolic_formula(x: int, y: int) -> int:
+    """Equation (3.4) by naive summation: ``sum_{k<xy} delta(k)`` plus the
+    reverse-lex rank of ``(x, y)`` among 2-part factorizations of ``xy``.
+
+    Quadratic-ish cost -- oracle use only.
+
+    >>> hyperbolic_formula(2, 3)
+    13
+    """
+    _check_xy(x, y)
+    product = x * y
+    prefix = sum(divisor_count(k) for k in range(1, product))
+    rank = 1 + sum(1 for (d, _) in divisor_pairs(product) if d > x)
+    return prefix + rank

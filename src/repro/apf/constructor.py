@@ -1,0 +1,211 @@
+"""Procedure APF-Constructor (Section 4.1), executable.
+
+The paper's recipe, driven entirely by a *copy-index* function
+``kappa(g) >= 0`` defined for every group index ``g >= 0``:
+
+* **Step 1** -- partition the row-indices into consecutive groups; group
+  ``g`` has ``2**kappa(g)`` rows.  With ``c(g) = sum_{j<g} 2**kappa(j)``,
+  group ``g`` holds rows ``c(g)+1 .. c(g) + 2**kappa(g)`` (relation 4.3).
+* **Step 2** -- give group ``g`` its own copy of the odd integers ``O``.
+* **Step 3** -- split that copy among the group's rows via Lemma 4.1 with
+  ``c = 1 + kappa(g)`` and stamp it with the *signature* ``2**g``.
+
+Canonical explicit form, with ``i = x - c(g)`` the 1-based index of row
+``x`` within its group:
+
+    ``T(x, y) = 2**g * ( 2**(1 + kappa(g)) * (y - 1) + (2*i - 1) )``
+
+The within-group odd label ``2i - 1`` is the labeling that reproduces every
+sample value in the paper's Figure 6 -- including the ``T*`` rows, which the
+display formula ``(2x + 1) mod 2**(1+kappa(g))`` printed in (4.1) does *not*
+reproduce (it coincides with ``2i - 1`` only when the group start ``c(g)``
+is the right multiple of ``2**kappa(g)``, as happens for ``T#`` and, with
+the ``2x - 1`` variant, for ``T^<c>``).  See DESIGN.md for the worked
+derivation.
+
+Theorem 4.2 gives the inverse: the 2-adic valuation of ``z = T(x, y)``
+*is* the group index ``g`` (the bracket is odd), after which everything
+unwinds arithmetically -- and gives the stride law
+
+    ``B_x < S_x = 2**(1 + g + kappa(g))``      (4.2)
+
+:class:`GroupLayout` memoizes the cumulative boundaries ``c(g)`` and
+answers row->group queries by bisection, extending the table on demand;
+this is the only state, so constructed APFs are cheap and reusable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+
+from repro.apf.base import AdditivePairingFunction
+from repro.errors import ConfigurationError, DomainError
+from repro.numbertheory.bits import two_adic_valuation
+
+__all__ = ["CopyIndex", "GroupLayout", "ConstructedAPF"]
+
+
+class CopyIndex(ABC):
+    """A copy-index function ``kappa: {0, 1, 2, ...} -> {0, 1, 2, ...}``.
+
+    ``kappa(g)`` fixes the size ``2**kappa(g)`` of group ``g``.  Concrete
+    growth profiles live in :mod:`repro.apf.families`.
+    """
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Identifier used in constructed-APF names."""
+
+    @abstractmethod
+    def kappa(self, g: int) -> int:
+        """The copy index of group ``g >= 0``; must be a nonnegative int."""
+
+    def __call__(self, g: int) -> int:
+        if isinstance(g, bool) or not isinstance(g, int) or g < 0:
+            raise DomainError(f"group index must be a nonnegative int, got {g!r}")
+        value = self.kappa(g)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise ConfigurationError(
+                f"{self.name}: kappa({g}) must be a nonnegative int, got {value!r}"
+            )
+        return value
+
+
+class GroupLayout:
+    """The group structure induced by a copy index (relation 4.3).
+
+    Maintains the cumulative row counts ``c(0)=0 < c(1) < c(2) < ...`` and
+    maps rows to groups by bisection, growing the table lazily.  Groups are
+    0-indexed; rows are 1-indexed.
+    """
+
+    def __init__(self, copy_index: CopyIndex) -> None:
+        if not isinstance(copy_index, CopyIndex):
+            raise ConfigurationError(
+                f"copy_index must be a CopyIndex, got {type(copy_index).__name__}"
+            )
+        self.copy_index = copy_index
+        # _cumulative[g] == c(g) == number of rows in groups 0..g-1.
+        self._cumulative: list[int] = [0]
+
+    def _extend_to_cover_row(self, x: int) -> None:
+        while self._cumulative[-1] < x:
+            g = len(self._cumulative) - 1
+            self._cumulative.append(self._cumulative[-1] + (1 << self.copy_index(g)))
+
+    def _extend_to_group(self, g: int) -> None:
+        while len(self._cumulative) <= g:
+            j = len(self._cumulative) - 1
+            self._cumulative.append(self._cumulative[-1] + (1 << self.copy_index(j)))
+
+    def group_of_row(self, x: int) -> int:
+        """The group ``g`` with ``c(g) < x <= c(g) + 2**kappa(g)``.
+
+        >>> from repro.apf.families import LinearCopyIndex
+        >>> layout = GroupLayout(LinearCopyIndex())
+        >>> [layout.group_of_row(x) for x in (1, 2, 3, 4, 7, 8)]
+        [0, 1, 1, 2, 2, 3]
+        """
+        if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+            raise DomainError(f"row index must be a positive int, got {x!r}")
+        self._extend_to_cover_row(x)
+        # bisect over c(0) < c(1) < ...: group g is the last with c(g) < x.
+        return bisect_right(self._cumulative, x - 1) - 1
+
+    def group_start(self, g: int) -> int:
+        """``c(g)``: the number of rows preceding group ``g``."""
+        if isinstance(g, bool) or not isinstance(g, int) or g < 0:
+            raise DomainError(f"group index must be a nonnegative int, got {g!r}")
+        self._extend_to_group(g)
+        return self._cumulative[g]
+
+    def group_size(self, g: int) -> int:
+        """``2**kappa(g)``: the number of rows in group ``g``."""
+        return 1 << self.copy_index(g)
+
+    def group_rows(self, g: int) -> range:
+        """The rows of group ``g``: ``c(g)+1 .. c(g)+2**kappa(g)``."""
+        start = self.group_start(g)
+        return range(start + 1, start + self.group_size(g) + 1)
+
+    def index_within_group(self, x: int) -> int:
+        """The 1-based index ``i = x - c(g)`` of row *x* within its group."""
+        g = self.group_of_row(x)
+        return x - self.group_start(g)
+
+
+class ConstructedAPF(AdditivePairingFunction):
+    """The APF produced by Procedure APF-Constructor from a copy index.
+
+    >>> from repro.apf.families import LinearCopyIndex
+    >>> sharp = ConstructedAPF(LinearCopyIndex())   # this is T# of (4.6)
+    >>> sharp.pair(28, 1), sharp.pair(29, 2)        # Figure 6 values
+    (400, 944)
+    >>> sharp.unpair(944)
+    (29, 2)
+    """
+
+    def __init__(self, copy_index: CopyIndex, display_name: str | None = None) -> None:
+        self.layout = GroupLayout(copy_index)
+        self._display_name = display_name
+
+    @property
+    def copy_index(self) -> CopyIndex:
+        return self.layout.copy_index
+
+    @property
+    def name(self) -> str:
+        if self._display_name is not None:
+            return self._display_name
+        return f"apf({self.layout.copy_index.name})"
+
+    # ------------------------------------------------------------------
+
+    def group_of(self, x: int) -> int:
+        """The group index ``g`` of row *x* -- the exponent of the row's
+        signature ``2**g`` (the ``g`` column of Figure 6)."""
+        return self.layout.group_of_row(x)
+
+    def signature(self, x: int) -> int:
+        """The power-of-two signature ``2**g`` stamped on row *x*'s copy of
+        the odd integers."""
+        return 1 << self.group_of(x)
+
+    def base(self, x: int) -> int:
+        if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+            raise DomainError(f"x must be a positive int, got {x!r}")
+        g = self.layout.group_of_row(x)
+        i = x - self.layout.group_start(g)
+        return (1 << g) * (2 * i - 1)
+
+    def stride(self, x: int) -> int:
+        if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+            raise DomainError(f"x must be a positive int, got {x!r}")
+        g = self.layout.group_of_row(x)
+        return 1 << (1 + g + self.layout.copy_index(g))
+
+    def row_of(self, z: int) -> int:
+        if isinstance(z, bool) or not isinstance(z, int) or z <= 0:
+            raise DomainError(f"z must be a positive int, got {z!r}")
+        g = two_adic_valuation(z)
+        odd = z >> g
+        modulus = 1 << (1 + self.layout.copy_index(g))
+        label = odd % modulus  # odd, in 1 .. modulus-1
+        i = (label + 1) // 2
+        return self.layout.group_start(g) + i
+
+    # ------------------------------------------------------------------
+
+    def group_table(self, rows: int, cols: int) -> list[tuple[int, int, list[int]]]:
+        """Figure 6's presentation: for each row ``x <= rows``, the tuple
+        ``(x, g, [T(x, 1), ..., T(x, cols)])``."""
+        if rows <= 0 or cols <= 0:
+            raise DomainError(f"table shape must be positive, got {rows}x{cols}")
+        out = []
+        for x in range(1, rows + 1):
+            out.append(
+                (x, self.group_of(x), [self._pair(x, y) for y in range(1, cols + 1)])
+            )
+        return out

@@ -1,0 +1,274 @@
+"""The paper's sampler of explicit APFs (Section 4.2), as copy indices and
+ready-made classes.
+
+==============  =======================  ============================  ==========
+family          copy index               stride growth                 reference
+==============  =======================  ============================  ==========
+``T^<c>``       ``kappa(g) = c - 1``     ``2**(floor((x-1)/2**(c-1))+c)``  Prop 4.1
+``T#``          ``kappa(g) = g``         ``2**(1+2*floor(log2 x)) <= 2x**2``  Prop 4.2
+``T^[k]``       ``kappa(g) = g**k``      ``x * 2**O((log x)**(1/k))``  Prop 4.3
+``T*``          ``kappa(g) = ceil(g^2/2)``  ``~ 8x * 4**sqrt(2 log2 x)``  Prop 4.4
+bad example     ``kappa(g) = 2**g``      superquadratic (``>~ x**2 log x``)  Sec 4.2.3
+==============  =======================  ============================  ==========
+
+The classes below are thin :class:`~repro.apf.constructor.ConstructedAPF`
+subclasses that add the paper's closed-form accessors (group index, stride
+bound) so benchmarks can compare the *generic constructor* against the
+*display formulas* -- they must agree exactly, and the test suite insists.
+
+Note on ``kappa*``: the paper writes ``kappa*(g) = [g**2 / 2]`` with square
+brackets.  Matching Figure 6's ``T*`` values (x = 28, 29 in group g = 3 with
+stride 512 = 2**(1+3+5)) requires ``kappa*(3) = 5``, i.e. *ceiling*
+``ceil(g**2/2)``; floor would give ``kappa*(3) = 4`` and stride 256.
+"""
+
+from __future__ import annotations
+
+from repro.apf.constructor import ConstructedAPF, CopyIndex
+from repro.errors import ConfigurationError, DomainError
+from repro.numbertheory.bits import ilog2
+from repro.numbertheory.integers import ceil_div
+
+__all__ = [
+    "ConstantCopyIndex",
+    "LinearCopyIndex",
+    "PowerCopyIndex",
+    "HalfSquareCopyIndex",
+    "ExponentialCopyIndex",
+    "TBracket",
+    "TSharp",
+    "TPower",
+    "TStar",
+    "ExponentialKappaAPF",
+]
+
+
+# ----------------------------------------------------------------------
+# Copy indices
+# ----------------------------------------------------------------------
+
+
+class ConstantCopyIndex(CopyIndex):
+    """``kappa(g) = c - 1``: equal-size groups of ``2**(c-1)`` rows
+    (Section 4.2.1 -- "APFs that stress computation ease")."""
+
+    def __init__(self, c: int) -> None:
+        if isinstance(c, bool) or not isinstance(c, int) or c <= 0:
+            raise ConfigurationError(f"c must be a positive int, got {c!r}")
+        self.c = c
+
+    @property
+    def name(self) -> str:
+        return f"kappa=const({self.c - 1})"
+
+    def kappa(self, g: int) -> int:
+        return self.c - 1
+
+
+class LinearCopyIndex(CopyIndex):
+    """``kappa(g) = g``: exponentially growing groups -- the balance point
+    of Section 4.2.2, yielding ``T#`` with quadratic stride growth."""
+
+    @property
+    def name(self) -> str:
+        return "kappa=g"
+
+    def kappa(self, g: int) -> int:
+        return g
+
+
+class PowerCopyIndex(CopyIndex):
+    """``kappa(g) = g**k``: the subquadratic family ``T^[k]`` of
+    Section 4.2.3 (``k = 1`` degenerates to :class:`LinearCopyIndex`)."""
+
+    def __init__(self, k: int) -> None:
+        if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+            raise ConfigurationError(f"k must be a positive int, got {k!r}")
+        self.k = k
+
+    @property
+    def name(self) -> str:
+        return f"kappa=g^{self.k}"
+
+    def kappa(self, g: int) -> int:
+        return g**self.k
+
+
+class HalfSquareCopyIndex(CopyIndex):
+    """``kappa(g) = ceil(g**2 / 2)`` (equation 4.8): the practical
+    subquadratic APF ``T*`` whose advantage over ``T#`` shows up at small
+    ``x`` (Figure 6)."""
+
+    @property
+    def name(self) -> str:
+        return "kappa=ceil(g^2/2)"
+
+    def kappa(self, g: int) -> int:
+        return ceil_div(g * g, 2) if g > 0 else 0
+
+
+class ExponentialCopyIndex(CopyIndex):
+    """``kappa(g) = 2**g``: the cautionary example of Section 4.2.3 -- a
+    copy index that grows *too fast*, driving stride growth back above
+    quadratic (``S_x >~ x**2 log x`` at group boundaries)."""
+
+    @property
+    def name(self) -> str:
+        return "kappa=2^g"
+
+    def kappa(self, g: int) -> int:
+        return 1 << g
+
+
+# ----------------------------------------------------------------------
+# Ready-made APFs
+# ----------------------------------------------------------------------
+
+
+class TBracket(ConstructedAPF):
+    """``T^<c>``: the equal-group APF of Proposition 4.1.
+
+    Display formula (verified to match the constructor exactly):
+
+        ``T^<c>(x, y) = 2**g * (2**c * (y-1) + ((2x - 1) mod 2**c))``,
+        ``g = floor((x-1) / 2**(c-1))``
+
+    >>> t1 = TBracket(1)
+    >>> t1.pair(14, 1), t1.pair(15, 2)   # Figure 6, top block
+    (8192, 49152)
+    >>> TBracket(3).pair(29, 1)          # Figure 6: x=29 penalized to 128
+    128
+    """
+
+    def __init__(self, c: int) -> None:
+        super().__init__(ConstantCopyIndex(c), display_name=f"apf-bracket-{c}")
+        self.c = c
+
+    def group_of(self, x: int) -> int:
+        """Closed form ``g = floor((x-1) / 2**(c-1))`` -- no table walk."""
+        if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+            raise DomainError(f"x must be a positive int, got {x!r}")
+        return (x - 1) >> (self.c - 1)
+
+    def base(self, x: int) -> int:
+        g = self.group_of(x)
+        label = (2 * x - 1) % (1 << self.c)
+        return (1 << g) * label
+
+    def stride(self, x: int) -> int:
+        """Proposition 4.1: ``S_x = 2**(floor((x-1)/2**(c-1)) + c)``."""
+        return 1 << (self.group_of(x) + self.c)
+
+
+class TSharp(ConstructedAPF):
+    """``T#``: the quadratic-stride APF of Proposition 4.2 / equation (4.6).
+
+    Display formula (verified to match the constructor exactly):
+
+        ``T#(x, y) = 2**L * (2**(1+L) * (y-1) + ((2x + 1) mod 2**(1+L)))``,
+        ``L = floor(log2 x)``
+
+    >>> sharp = TSharp()
+    >>> sharp.pair(28, 1), sharp.pair(29, 5)   # Figure 6, third block
+    (400, 2480)
+    >>> sharp.stride(100) <= 2 * 100**2        # Prop 4.2: S_x <= 2 x^2
+    True
+    """
+
+    def __init__(self) -> None:
+        super().__init__(LinearCopyIndex(), display_name="apf-sharp")
+
+    def group_of(self, x: int) -> int:
+        """Closed form (4.5): ``g = floor(log2 x)``."""
+        if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+            raise DomainError(f"x must be a positive int, got {x!r}")
+        return ilog2(x)
+
+    def base(self, x: int) -> int:
+        g = self.group_of(x)
+        label = (2 * x + 1) % (1 << (1 + g))
+        return (1 << g) * label
+
+    def stride(self, x: int) -> int:
+        """Proposition 4.2: ``S_x = 2**(1 + 2*floor(log2 x)) <= 2 x**2``."""
+        return 1 << (1 + 2 * self.group_of(x))
+
+
+class TPower(ConstructedAPF):
+    """``T^[k]``: the subquadratic family of Proposition 4.3, built from
+    ``kappa(g) = g**k``.  The paper gives no closed form ("closed-form
+    expressions ... have eluded us"); this class is the generic constructor
+    plus the asymptotic group-index estimate used in the analyses.
+
+    >>> TPower(2).check_roundtrip_window(8, 8)
+    """
+
+    def __init__(self, k: int) -> None:
+        super().__init__(PowerCopyIndex(k), display_name=f"apf-power-{k}")
+        self.k = k
+
+    def estimated_group_of(self, x: int) -> int:
+        """The paper's simplified estimate ``g ~= ceil((log2 x)**(1/k))``
+        (exact only asymptotically; compare with :meth:`group_of`)."""
+        if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+            raise DomainError(f"x must be a positive int, got {x!r}")
+        import math
+
+        if x == 1:
+            return 0
+        return math.ceil(math.log2(x) ** (1.0 / self.k))
+
+
+class TStar(ConstructedAPF):
+    """``T*``: the practical subquadratic APF of Proposition 4.4, built from
+    ``kappa*(g) = ceil(g**2 / 2)`` (equation 4.8).
+
+    >>> star = TStar()
+    >>> star.pair(28, 1), star.pair(29, 3)   # Figure 6, bottom block
+    (328, 1368)
+    >>> star.group_of(28)                     # Figure 6 shows g = 3
+    3
+    """
+
+    def __init__(self) -> None:
+        super().__init__(HalfSquareCopyIndex(), display_name="apf-star")
+
+    def estimated_group_of(self, x: int) -> int:
+        """The paper's simplified estimate ``g ~= ceil(sqrt(2 log2 x)) + 1``
+        (slightly inaccurate by design; compare with :meth:`group_of`)."""
+        if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+            raise DomainError(f"x must be a positive int, got {x!r}")
+        import math
+
+        if x == 1:
+            return 0
+        return math.ceil(math.sqrt(2 * math.log2(x))) + 1
+
+    def stride_estimate(self, x: int) -> float:
+        """Proposition 4.4's approximation ``S*_x ~= 8 x 4**sqrt(2 log2 x)``."""
+        if isinstance(x, bool) or not isinstance(x, int) or x <= 0:
+            raise DomainError(f"x must be a positive int, got {x!r}")
+        import math
+
+        if x == 1:
+            return 8.0
+        return 8.0 * x * 4.0 ** math.sqrt(2 * math.log2(x))
+
+
+class ExponentialKappaAPF(ConstructedAPF):
+    """The cautionary APF with ``kappa(g) = 2**g`` (Section 4.2.3): a valid
+    APF whose compactness is *worse* than quadratic.  At the first row of
+    each group (``x ~= sqrt(2**kappa(g))``) the stride satisfies
+    ``S_x > x**2 * log2(x**2)``, confuting the subquadratic goal.
+
+    >>> bad = ExponentialKappaAPF()
+    >>> bad.check_roundtrip_window(6, 6)
+    """
+
+    def __init__(self) -> None:
+        super().__init__(ExponentialCopyIndex(), display_name="apf-exponential")
+
+    def first_row_of_group(self, g: int) -> int:
+        """The smallest row index in group *g* -- where the superquadratic
+        stride blowup is witnessed."""
+        return self.layout.group_start(g) + 1

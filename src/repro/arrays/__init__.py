@@ -1,0 +1,71 @@
+"""Extendible-array substrate (Section 3 end to end).
+
+* :mod:`~repro.arrays.address_space` -- the instrumented flat memory;
+* :mod:`~repro.arrays.extendible` -- PF-backed arrays (zero-move reshapes);
+* :mod:`~repro.arrays.naive` -- the full-remap baseline the paper criticizes;
+* :mod:`~repro.arrays.hashed` -- the hashing Aside ([14]: <2n slots,
+  O(1) expected access);
+* :mod:`~repro.arrays.ndarray` -- the d-dimensional extendible array
+  ("Extending this work to higher dimensionalities is immediate");
+* :mod:`~repro.arrays.workloads` -- reproducible reshape scripts;
+* :mod:`~repro.arrays.metrics` -- side-by-side comparison records.
+"""
+
+from __future__ import annotations
+
+from repro.arrays.address_space import AddressSpace, TrafficCounters
+from repro.arrays.extendible import ExtendibleArray
+from repro.arrays.naive import NaiveRowMajorArray
+from repro.arrays.hashed import HashedArrayStore, ProbeStats
+from repro.arrays.ndarray import ExtendibleNdArray
+from repro.arrays.workloads import (
+    ReshapeKind,
+    ReshapeOp,
+    apply_workload,
+    column_growth,
+    random_walk,
+    square_growth,
+    staircase_growth,
+)
+from repro.arrays.metrics import WorkloadResult, run_comparison
+from repro.arrays.snapshots import (
+    dumps_array,
+    loads_array,
+    restore_array,
+    snapshot_array,
+)
+from repro.arrays.views import (
+    AddressedCell,
+    block_view,
+    col_view,
+    row_view,
+    traversal_cost,
+)
+
+__all__ = [
+    "AddressSpace",
+    "TrafficCounters",
+    "ExtendibleArray",
+    "NaiveRowMajorArray",
+    "ExtendibleNdArray",
+    "HashedArrayStore",
+    "ProbeStats",
+    "ReshapeKind",
+    "ReshapeOp",
+    "apply_workload",
+    "column_growth",
+    "random_walk",
+    "square_growth",
+    "staircase_growth",
+    "WorkloadResult",
+    "AddressedCell",
+    "block_view",
+    "col_view",
+    "row_view",
+    "traversal_cost",
+    "snapshot_array",
+    "restore_array",
+    "dumps_array",
+    "loads_array",
+    "run_comparison",
+]

@@ -1,0 +1,168 @@
+"""A simulated flat address space -- the storage substrate behind the
+extendible-array experiments.
+
+The paper's compactness story is about *addresses*: a storage mapping is
+good when the arrays you actually hold occupy a small prefix of memory.
+Real memory is not available to a reproduction (nor needed -- the metric is
+arithmetic), so this module provides an instrumented dictionary-backed
+address space that records exactly the quantities Section 3 talks about:
+
+* the **high-water mark** -- the largest address ever written (the realized
+  spread);
+* the **live count** -- currently occupied addresses;
+* **write/read/move traffic** -- the work counters that separate the
+  PF-backed extendible array (zero moves on reshape) from the naive
+  remapping baseline (Omega(n^2) moves for O(n) reshapes).
+
+Addresses are 1-indexed positive integers, matching the PFs.  An optional
+``capacity`` turns the space into a bounded memory that raises
+:class:`~repro.errors.CapacityError` -- useful for failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import CapacityError, DomainError
+
+__all__ = ["AddressSpace", "TrafficCounters"]
+
+
+@dataclass(slots=True)
+class TrafficCounters:
+    """Cumulative operation counts for an :class:`AddressSpace`."""
+
+    reads: int = 0
+    writes: int = 0
+    erases: int = 0
+    moves: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "erases": self.erases,
+            "moves": self.moves,
+        }
+
+
+class AddressSpace:
+    """An instrumented, sparse, 1-indexed address space.
+
+    >>> mem = AddressSpace()
+    >>> mem.write(7, "hello")
+    >>> mem.read(7)
+    'hello'
+    >>> mem.high_water_mark, mem.live_count
+    (7, 1)
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and (
+            isinstance(capacity, bool) or not isinstance(capacity, int) or capacity <= 0
+        ):
+            raise DomainError(f"capacity must be a positive int or None, got {capacity!r}")
+        self._cells: dict[int, Any] = {}
+        self._capacity = capacity
+        self._high_water = 0
+        self.traffic = TrafficCounters()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    @property
+    def high_water_mark(self) -> int:
+        """Largest address ever written -- the realized spread of whatever
+        storage mapping is driving this space."""
+        return self._high_water
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently occupied addresses."""
+        return len(self._cells)
+
+    @property
+    def utilization(self) -> float:
+        """``live_count / high_water_mark`` (1.0 for a perfectly compact
+        layout; 0.0 for an empty space)."""
+        if self._high_water == 0:
+            return 0.0
+        return len(self._cells) / self._high_water
+
+    # ------------------------------------------------------------------
+
+    def _check_address(self, address: int) -> int:
+        if isinstance(address, bool) or not isinstance(address, int):
+            raise DomainError(f"address must be an int, got {type(address).__name__}")
+        if address <= 0:
+            raise DomainError(f"address must be positive, got {address}")
+        if self._capacity is not None and address > self._capacity:
+            raise CapacityError(
+                f"address {address} exceeds capacity {self._capacity}"
+            )
+        return address
+
+    def write(self, address: int, value: Any) -> None:
+        """Store *value* at *address* (overwrites silently, like memory)."""
+        address = self._check_address(address)
+        self._cells[address] = value
+        self.traffic.writes += 1
+        if address > self._high_water:
+            self._high_water = address
+
+    def read(self, address: int) -> Any:
+        """Value at *address*; raises ``KeyError`` if unoccupied."""
+        address = self._check_address(address)
+        self.traffic.reads += 1
+        return self._cells[address]
+
+    def read_or(self, address: int, default: Any = None) -> Any:
+        """Value at *address*, or *default* if unoccupied."""
+        address = self._check_address(address)
+        self.traffic.reads += 1
+        return self._cells.get(address, default)
+
+    def erase(self, address: int) -> None:
+        """Free *address* (no error if already free)."""
+        address = self._check_address(address)
+        self._cells.pop(address, None)
+        self.traffic.erases += 1
+
+    def move(self, src: int, dst: int) -> None:
+        """Move the value at *src* to *dst* -- the unit of remapping work
+        counted against the naive baseline."""
+        src = self._check_address(src)
+        dst = self._check_address(dst)
+        if src == dst:
+            return
+        if src not in self._cells:
+            raise DomainError(f"move from unoccupied address {src}")
+        self._cells[dst] = self._cells.pop(src)
+        self.traffic.moves += 1
+        if dst > self._high_water:
+            self._high_water = dst
+
+    def occupied(self, address: int) -> bool:
+        return self._check_address(address) in self._cells
+
+    def occupied_addresses(self) -> Iterator[int]:
+        """Currently occupied addresses, ascending."""
+        return iter(sorted(self._cells))
+
+    def clear(self) -> None:
+        """Free everything but keep the counters and high-water mark (they
+        are history, not state)."""
+        self._cells.clear()
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AddressSpace live={self.live_count} hwm={self._high_water} "
+            f"traffic={self.traffic.snapshot()}>"
+        )

@@ -1,0 +1,85 @@
+"""Side-by-side storage metrics for the array experiments.
+
+Gathers the Section 3 story into one comparable record per implementation:
+
+* **moves** -- data-movement work (the naive baseline's Omega(n^2));
+* **high-water mark** -- realized address spread (the PF's price);
+* **utilization** -- live cells / high-water mark;
+* **slots per cell** -- the hashing scheme's <2 guarantee.
+
+Used by ``benchmarks/bench_extendible_vs_naive.py`` and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arrays.extendible import ExtendibleArray
+from repro.arrays.naive import NaiveRowMajorArray
+from repro.arrays.workloads import ReshapeOp, apply_workload
+from repro.core.base import StorageMapping
+
+__all__ = ["WorkloadResult", "run_comparison"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadResult:
+    """Outcome of replaying one workload against one implementation."""
+
+    implementation: str
+    steps: int
+    final_shape: tuple[int, int]
+    cells: int
+    moves: int
+    writes: int
+    erases: int
+    high_water_mark: int
+    utilization: float
+
+    @property
+    def moves_per_step(self) -> float:
+        """Average data movement per reshape step: ~0 for PF arrays,
+        Theta(shape size) for the naive baseline on column reshapes."""
+        if self.steps == 0:
+            return 0.0
+        return self.moves / self.steps
+
+
+def _result_from(impl_name: str, array, steps: int) -> WorkloadResult:
+    report = array.storage_report()
+    traffic = report["traffic"]
+    return WorkloadResult(
+        implementation=impl_name,
+        steps=steps,
+        final_shape=report["shape"],
+        cells=report["cells"],
+        moves=traffic["moves"],
+        writes=traffic["writes"],
+        erases=traffic["erases"],
+        high_water_mark=report["high_water_mark"],
+        utilization=report["utilization"],
+    )
+
+
+def run_comparison(
+    mappings: Sequence[StorageMapping],
+    workload: Sequence[ReshapeOp],
+    fill: object = 0,
+) -> list[WorkloadResult]:
+    """Replay *workload* (starting from a fresh 1x1 array) against a
+    PF-backed array for every mapping in *mappings* plus the naive
+    row-major baseline; returns one :class:`WorkloadResult` per run.
+
+    The PF rows demonstrate "moves == 0"; the naive row shows the
+    remapping cost; spreads land where each mapping's theory says.
+    """
+    results: list[WorkloadResult] = []
+    for mapping in mappings:
+        arr = ExtendibleArray(mapping, rows=1, cols=1, fill=fill)
+        steps = apply_workload(arr, workload)
+        results.append(_result_from(mapping.name, arr, steps))
+    naive = NaiveRowMajorArray(rows=1, cols=1, fill=fill)
+    steps = apply_workload(naive, workload)
+    results.append(_result_from("naive-row-major", naive, steps))
+    return results

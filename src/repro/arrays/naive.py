@@ -1,0 +1,235 @@
+"""The naive remapping baseline the paper criticizes.
+
+Section 3's motivation: "the language processors I am aware of implement
+the capability quite naively, by completely remapping an array/table with
+each reshaping.  This is, of course, very wasteful of time, since one does
+Omega(n^2) work to accommodate O(n) changes."
+
+:class:`NaiveRowMajorArray` is that implementation: a row-major layout in a
+*compact* prefix of memory (cell ``(x, y)`` at address ``(x-1)*cols + y``),
+which must move essentially every element whenever the column count -- the
+row-major pitch -- changes.  Deleting or appending a *row* is cheap in
+row-major order; the expensive operations are column reshapes, and a mixed
+workload hits them constantly.
+
+It shares the :class:`~repro.arrays.address_space.AddressSpace` substrate
+with :class:`~repro.arrays.extendible.ExtendibleArray`, so the two report
+identical, directly comparable traffic counters: the benchmark story is
+*moves = 0* for the PF array vs *moves = Theta(n)* per column reshape here
+(hence Omega(n^2) for n reshapes), with the PF paying instead in address
+spread.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.arrays.address_space import AddressSpace
+from repro.errors import DomainError
+
+__all__ = ["NaiveRowMajorArray"]
+
+
+class NaiveRowMajorArray:
+    """A compact row-major array that fully remaps on column reshapes.
+
+    >>> arr = NaiveRowMajorArray(rows=2, cols=2, fill=0)
+    >>> arr[2, 2] = 5
+    >>> arr.append_col()
+    >>> arr[2, 2], arr.space.traffic.moves > 0
+    (5, True)
+    """
+
+    def __init__(
+        self,
+        rows: int = 0,
+        cols: int = 0,
+        fill: Any = None,
+        space: AddressSpace | None = None,
+    ) -> None:
+        if isinstance(rows, bool) or not isinstance(rows, int) or rows < 0:
+            raise DomainError(f"rows must be a nonnegative int, got {rows!r}")
+        if isinstance(cols, bool) or not isinstance(cols, int) or cols < 0:
+            raise DomainError(f"cols must be a nonnegative int, got {cols!r}")
+        if (rows == 0) != (cols == 0):
+            raise DomainError(f"shape must be 0x0 or fully positive, got {rows}x{cols}")
+        self.space = space if space is not None else AddressSpace()
+        self._rows = rows
+        self._cols = cols
+        self._fill = fill
+        if fill is not None:
+            for x in range(1, rows + 1):
+                for y in range(1, cols + 1):
+                    self.space.write(self._address(x, y, cols), fill)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _address(x: int, y: int, cols: int) -> int:
+        """Row-major address with pitch *cols* (1-indexed)."""
+        return (x - 1) * cols + y
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._rows, self._cols)
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        return self._cols
+
+    @property
+    def size(self) -> int:
+        return self._rows * self._cols
+
+    def _check_position(self, x: int, y: int) -> tuple[int, int]:
+        if isinstance(x, bool) or not isinstance(x, int):
+            raise DomainError(f"row index must be an int, got {type(x).__name__}")
+        if isinstance(y, bool) or not isinstance(y, int):
+            raise DomainError(f"col index must be an int, got {type(y).__name__}")
+        if not (1 <= x <= self._rows and 1 <= y <= self._cols):
+            raise DomainError(
+                f"position ({x}, {y}) outside current shape {self._rows}x{self._cols}"
+            )
+        return x, y
+
+    def __getitem__(self, pos: tuple[int, int]) -> Any:
+        x, y = self._check_position(*pos)
+        return self.space.read_or(self._address(x, y, self._cols), self._fill)
+
+    def __setitem__(self, pos: tuple[int, int], value: Any) -> None:
+        x, y = self._check_position(*pos)
+        self.space.write(self._address(x, y, self._cols), value)
+
+    def address_of(self, x: int, y: int) -> int:
+        x, y = self._check_position(x, y)
+        return self._address(x, y, self._cols)
+
+    # ------------------------------------------------------------------
+    # Reshaping: the pitch change forces a global remap
+    # ------------------------------------------------------------------
+
+    def _remap_pitch(self, new_cols: int, kept_cols: int) -> None:
+        """Move every surviving cell from pitch ``self._cols`` to pitch
+        ``new_cols`` -- the Omega(current size) remapping step.
+
+        Iteration order is chosen so a move never lands on a not-yet-moved
+        source: shrinking pitch walks forward (targets trail sources),
+        growing pitch walks backward (targets lead sources).
+        """
+        old_cols = self._cols
+        rows = self._rows
+        positions: Iterator[tuple[int, int]]
+        if new_cols < old_cols:
+            positions = (
+                (x, y) for x in range(1, rows + 1) for y in range(1, kept_cols + 1)
+            )
+        else:
+            positions = (
+                (x, y)
+                for x in range(rows, 0, -1)
+                for y in range(kept_cols, 0, -1)
+            )
+        for x, y in positions:
+            src = self._address(x, y, old_cols)
+            dst = self._address(x, y, new_cols)
+            if src == dst:
+                continue
+            if self.space.occupied(src):
+                self.space.move(src, dst)
+            elif self.space.occupied(dst):
+                # Source cell was never written: the stale value at dst (if
+                # any) belongs to the old layout and must not leak through.
+                self.space.erase(dst)
+
+    def append_row(self) -> None:
+        """Cheap in row-major order: no pitch change, no moves."""
+        if self._rows == 0:
+            raise DomainError("cannot append a row to a 0x0 array; use resize")
+        self._rows += 1
+        if self._fill is not None:
+            for y in range(1, self._cols + 1):
+                self.space.write(self._address(self._rows, y, self._cols), self._fill)
+
+    def delete_row(self) -> None:
+        """Cheap: erase the tail row."""
+        if self._rows <= 1:
+            raise DomainError("cannot delete the last row")
+        for y in range(1, self._cols + 1):
+            self.space.erase(self._address(self._rows, y, self._cols))
+        self._rows -= 1
+
+    def append_col(self) -> None:
+        """Pitch grows: every cell beyond row 1 moves -- Theta(size) work."""
+        if self._cols == 0:
+            raise DomainError("cannot append a column to a 0x0 array; use resize")
+        new_cols = self._cols + 1
+        self._remap_pitch(new_cols, kept_cols=self._cols)
+        self._cols = new_cols
+        if self._fill is not None:
+            for x in range(1, self._rows + 1):
+                self.space.write(self._address(x, new_cols, new_cols), self._fill)
+
+    def delete_col(self) -> None:
+        """Pitch shrinks: every surviving cell beyond row 1 moves."""
+        if self._cols <= 1:
+            raise DomainError("cannot delete the last column")
+        new_cols = self._cols - 1
+        # Erase the dropped column first so it cannot collide post-remap.
+        for x in range(1, self._rows + 1):
+            self.space.erase(self._address(x, self._cols, self._cols))
+        self._remap_pitch(new_cols, kept_cols=new_cols)
+        self._cols = new_cols
+
+    def resize(self, rows: int, cols: int) -> None:
+        """Reshape via single steps (mirrors ``ExtendibleArray.resize``)."""
+        if isinstance(rows, bool) or not isinstance(rows, int) or rows <= 0:
+            raise DomainError(f"rows must be a positive int, got {rows!r}")
+        if isinstance(cols, bool) or not isinstance(cols, int) or cols <= 0:
+            raise DomainError(f"cols must be a positive int, got {cols!r}")
+        if self._rows == 0:
+            self._rows, self._cols = 1, 1
+            if self._fill is not None:
+                self.space.write(1, self._fill)
+        while self._rows < rows:
+            self.append_row()
+        while self._rows > rows:
+            self.delete_row()
+        while self._cols < cols:
+            self.append_col()
+        while self._cols > cols:
+            self.delete_col()
+
+    # ------------------------------------------------------------------
+
+    def to_lists(self) -> list[list[Any]]:
+        return [
+            [
+                self.space.read_or(self._address(x, y, self._cols), self._fill)
+                for y in range(1, self._cols + 1)
+            ]
+            for x in range(1, self._rows + 1)
+        ]
+
+    def storage_report(self) -> dict[str, Any]:
+        """Same shape as ``ExtendibleArray.storage_report`` for side-by-side
+        comparison; the naive layout is perfectly compact but pays in moves."""
+        return {
+            "mapping": "naive-row-major",
+            "shape": self.shape,
+            "cells": self.size,
+            "high_water_mark": self.space.high_water_mark,
+            "utilization": self.space.utilization,
+            "theoretical_spread": self.size,
+            "theoretical_shape_spread": self.size,
+            "traffic": self.space.traffic.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<NaiveRowMajorArray {self._rows}x{self._cols} "
+            f"moves={self.space.traffic.moves}>"
+        )

@@ -1,0 +1,205 @@
+"""d-dimensional extendible arrays (Section 3: "Extending this work to
+higher dimensionalities is immediate").
+
+:class:`ExtendibleNdArray` is the d-dimensional analogue of
+:class:`~repro.arrays.extendible.ExtendibleArray`: cells live at the
+addresses chosen by an :class:`~repro.core.ndim.IteratedPairing`, so
+growing or shrinking the array along *any* axis is pure bookkeeping --
+**no stored element ever moves**, in any number of dimensions.
+
+This is exactly the paper's "immediate" extension made concrete, and it is
+where the iteration's compactness structure becomes visible: the axis
+order in the iterated PF determines which axes are cheap to spread along
+(the benchmark ``bench_ndim.py`` measures this).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterator, Sequence
+
+from repro.arrays.address_space import AddressSpace
+from repro.core.ndim import IteratedPairing
+from repro.errors import ConfigurationError, DomainError
+
+__all__ = ["ExtendibleNdArray"]
+
+
+class ExtendibleNdArray:
+    """A dynamically reshapable d-dimensional array stored through an
+    iterated pairing function.
+
+    >>> from repro.core.squareshell import SquareShellPairing
+    >>> from repro.core.ndim import IteratedPairing
+    >>> cube = ExtendibleNdArray(
+    ...     IteratedPairing(3, SquareShellPairing()), shape=(2, 2, 2), fill=0)
+    >>> cube[1, 2, 1] = 7
+    >>> cube.grow(axis=2)
+    >>> cube.shape, cube[1, 2, 1], cube.space.traffic.moves
+    ((2, 2, 3), 7, 0)
+    """
+
+    def __init__(
+        self,
+        mapping: IteratedPairing,
+        shape: Sequence[int],
+        fill: Any = None,
+        space: AddressSpace | None = None,
+    ) -> None:
+        if not isinstance(mapping, IteratedPairing):
+            raise ConfigurationError(
+                f"mapping must be an IteratedPairing, got {type(mapping).__name__}"
+            )
+        sizes = tuple(shape)
+        if len(sizes) != mapping.dimensions:
+            raise DomainError(
+                f"shape arity {len(sizes)} != mapping dimensions {mapping.dimensions}"
+            )
+        zero = all(s == 0 for s in sizes)
+        if not zero and any(
+            isinstance(s, bool) or not isinstance(s, int) or s <= 0 for s in sizes
+        ):
+            raise DomainError(f"shape must be all-zero or all-positive, got {sizes}")
+        self.mapping = mapping
+        self.space = space if space is not None else AddressSpace()
+        self._shape = sizes
+        self._fill = fill
+        if fill is not None and not zero:
+            for point in self._all_points():
+                self.space.write(mapping.pair(point), fill)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def dimensions(self) -> int:
+        return self.mapping.dimensions
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for s in self._shape:
+            out *= s
+        return out
+
+    def _all_points(self) -> Iterator[tuple[int, ...]]:
+        return product(*(range(1, s + 1) for s in self._shape))
+
+    def _check_point(self, point: Sequence[int]) -> tuple[int, ...]:
+        coords = tuple(point)
+        if len(coords) != len(self._shape):
+            raise DomainError(
+                f"expected {len(self._shape)} indices, got {len(coords)}"
+            )
+        for c, s in zip(coords, self._shape):
+            if isinstance(c, bool) or not isinstance(c, int):
+                raise DomainError(f"indices must be ints, got {c!r}")
+            if not 1 <= c <= s:
+                raise DomainError(f"index {coords} outside shape {self._shape}")
+        return coords
+
+    def _check_axis(self, axis: int) -> int:
+        if isinstance(axis, bool) or not isinstance(axis, int):
+            raise DomainError(f"axis must be an int, got {axis!r}")
+        if not 0 <= axis < len(self._shape):
+            raise DomainError(
+                f"axis {axis} out of range for {len(self._shape)}-d array"
+            )
+        return axis
+
+    # ------------------------------------------------------------------
+    # Element access (1-indexed per axis)
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, point: tuple[int, ...]) -> Any:
+        coords = self._check_point(point)
+        return self.space.read_or(self.mapping.pair(coords), self._fill)
+
+    def __setitem__(self, point: tuple[int, ...], value: Any) -> None:
+        coords = self._check_point(point)
+        self.space.write(self.mapping.pair(coords), value)
+
+    def address_of(self, point: Sequence[int]) -> int:
+        coords = self._check_point(point)
+        return self.mapping.pair(coords)
+
+    # ------------------------------------------------------------------
+    # Reshaping along any axis
+    # ------------------------------------------------------------------
+
+    def _boundary_points(self, axis: int, index: int) -> Iterator[tuple[int, ...]]:
+        """All points whose *axis* coordinate equals *index* within the
+        current shape (the slab touched by a grow/shrink)."""
+        ranges = [
+            range(1, s + 1) if i != axis else (index,)
+            for i, s in enumerate(self._shape)
+        ]
+        return product(*ranges)
+
+    def grow(self, axis: int) -> None:
+        """Extend *axis* by one; O(slab) fill writes, zero moves."""
+        axis = self._check_axis(axis)
+        if self.size == 0:
+            raise DomainError("cannot grow a 0-size array; use resize")
+        new_shape = list(self._shape)
+        new_shape[axis] += 1
+        self._shape = tuple(new_shape)
+        if self._fill is not None:
+            for point in self._boundary_points(axis, self._shape[axis]):
+                self.space.write(self.mapping.pair(point), self._fill)
+
+    def shrink(self, axis: int) -> None:
+        """Trim *axis* by one, erasing the freed slab; zero moves."""
+        axis = self._check_axis(axis)
+        if self._shape[axis] <= 1:
+            raise DomainError(f"cannot shrink axis {axis} below size 1")
+        for point in self._boundary_points(axis, self._shape[axis]):
+            self.space.erase(self.mapping.pair(point))
+        new_shape = list(self._shape)
+        new_shape[axis] -= 1
+        self._shape = tuple(new_shape)
+
+    def resize(self, shape: Sequence[int]) -> None:
+        """Reshape to *shape* by single-step grows/shrinks per axis;
+        surviving cells keep values and addresses."""
+        target = tuple(shape)
+        if len(target) != len(self._shape):
+            raise DomainError(
+                f"resize arity {len(target)} != array arity {len(self._shape)}"
+            )
+        if any(isinstance(s, bool) or not isinstance(s, int) or s <= 0 for s in target):
+            raise DomainError(f"target shape must be positive, got {target}")
+        if self.size == 0:
+            self._shape = tuple(1 for _ in target)
+            if self._fill is not None:
+                self.space.write(self.mapping.pair(self._shape), self._fill)
+        for axis, want in enumerate(target):
+            while self._shape[axis] < want:
+                self.grow(axis)
+            while self._shape[axis] > want:
+                self.shrink(axis)
+
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[tuple[int, ...], Any]]:
+        for point in self._all_points():
+            yield point, self.space.read_or(self.mapping.pair(point), self._fill)
+
+    def storage_report(self) -> dict[str, Any]:
+        return {
+            "mapping": self.mapping.name,
+            "shape": self._shape,
+            "cells": self.size,
+            "high_water_mark": self.space.high_water_mark,
+            "utilization": self.space.utilization,
+            "traffic": self.space.traffic.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExtendibleNdArray {'x'.join(map(str, self._shape))} via "
+            f"{self.mapping.name} hwm={self.space.high_water_mark}>"
+        )

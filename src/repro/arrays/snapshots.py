@@ -1,0 +1,87 @@
+"""Snapshot / restore for extendible arrays.
+
+A PF-stored table is long-lived by design -- the point of zero-move
+reshaping is to keep data in place across a workload's whole history --
+so persisting one across process restarts is a natural operation.  The
+snapshot captures the mapping *by registry name*, the logical shape, the
+fill, and the live cells keyed by **logical position** (not address): on
+restore the addresses are recomputed through the mapping, which doubles as
+an end-to-end consistency check of the mapping's determinism.
+
+JSON-able values only (the test suite round-trips ints, strings, None,
+and nested lists).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.arrays.extendible import ExtendibleArray
+from repro.core.registry import get_pairing
+from repro.errors import ConfigurationError
+
+__all__ = ["snapshot_array", "restore_array", "dumps_array", "loads_array"]
+
+_FORMAT_VERSION = 1
+
+
+def snapshot_array(arr: ExtendibleArray) -> dict[str, Any]:
+    """The array's logical state as a JSON-able dict.
+
+    Raises :class:`ConfigurationError` when the mapping is not
+    registry-resolvable (an unrestorable snapshot is worse than an error).
+    """
+    if not isinstance(arr, ExtendibleArray):
+        raise ConfigurationError(
+            f"expected an ExtendibleArray, got {type(arr).__name__}"
+        )
+    try:
+        get_pairing(arr.mapping.name)
+    except ConfigurationError:
+        raise ConfigurationError(
+            f"mapping {arr.mapping.name!r} is not registry-resolvable; "
+            "register it before snapshotting"
+        ) from None
+    rows, cols = arr.shape
+    cells = []
+    for x in range(1, rows + 1):
+        for y in range(1, cols + 1):
+            address = arr.mapping.pair(x, y)
+            if arr.space.occupied(address):
+                cells.append([x, y, arr.space.read(address)])
+    return {
+        "version": _FORMAT_VERSION,
+        "mapping": arr.mapping.name,
+        "rows": rows,
+        "cols": cols,
+        "fill": arr._fill,
+        "cells": cells,
+    }
+
+
+def restore_array(data: dict[str, Any]) -> ExtendibleArray:
+    """Rebuild an array from a :func:`snapshot_array` dict."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ConfigurationError(f"unsupported snapshot version {data.get('version')!r}")
+    mapping = get_pairing(data["mapping"])
+    arr = ExtendibleArray(
+        mapping,
+        rows=data["rows"],
+        cols=data["cols"],
+        fill=data["fill"],
+    )
+    for x, y, value in data["cells"]:
+        arr[x, y] = value
+    return arr
+
+
+def dumps_array(arr: ExtendibleArray) -> str:
+    """Snapshot as a JSON string."""
+    return json.dumps(snapshot_array(arr), sort_keys=True)
+
+
+def loads_array(text: str) -> ExtendibleArray:
+    """Restore from a JSON string (values come back as JSON types;
+    tuples become lists, as JSON dictates)."""
+    return restore_array(json.loads(text))

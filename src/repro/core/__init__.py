@@ -1,0 +1,78 @@
+"""Core pairing functions: the paper's primary contribution.
+
+This subpackage holds the PF framework (:mod:`~repro.core.base`), the
+closed-form PFs of Sections 2-3 (diagonal, square-shell, hyperbolic,
+aspect-ratio), the dovetail combinator, the executable Procedure
+PF-Constructor (:mod:`~repro.core.shells`), the compactness toolkit
+(:mod:`~repro.core.spread`), and the name registry.
+
+The additive PFs of Section 4 live in :mod:`repro.apf` (they subclass the
+same :class:`~repro.core.base.PairingFunction` ABC).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import PairingFunction, StorageMapping
+from repro.core.diagonal import DiagonalPairing, DiagonalPairingTwin
+from repro.core.squareshell import SquareShellPairing, SquareShellPairingTwin
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.aspectratio import AspectRatioPairing
+from repro.core.dovetail import DovetailMapping
+from repro.core.shells import (
+    ShellOrder,
+    ShellPartition,
+    DiagonalShells,
+    SquareShells,
+    HyperbolicShells,
+    AspectRatioShells,
+    ShellConstructedPairing,
+)
+from repro.core.spread import (
+    SpreadPoint,
+    SpreadCurve,
+    spread_curve,
+    compare_spreads,
+    utilization,
+    worst_shape,
+)
+from repro.core.locality import (
+    JumpProfile,
+    block_span,
+    col_jump_profile,
+    row_jump_profile,
+)
+from repro.core.ndim import IteratedPairing
+from repro.core.registry import available_names, get_pairing, register
+
+__all__ = [
+    "PairingFunction",
+    "StorageMapping",
+    "DiagonalPairing",
+    "DiagonalPairingTwin",
+    "SquareShellPairing",
+    "SquareShellPairingTwin",
+    "HyperbolicPairing",
+    "AspectRatioPairing",
+    "DovetailMapping",
+    "ShellOrder",
+    "ShellPartition",
+    "DiagonalShells",
+    "SquareShells",
+    "HyperbolicShells",
+    "AspectRatioShells",
+    "ShellConstructedPairing",
+    "IteratedPairing",
+    "JumpProfile",
+    "block_span",
+    "col_jump_profile",
+    "row_jump_profile",
+    "SpreadPoint",
+    "SpreadCurve",
+    "spread_curve",
+    "compare_spreads",
+    "utilization",
+    "worst_shape",
+    "available_names",
+    "get_pairing",
+    "register",
+]

@@ -1,0 +1,133 @@
+"""Fixed-aspect-ratio pairing functions ``A_{a,b}`` (Section 3.2.1).
+
+For a fixed aspect ratio ``<a, b>``, shell ``k`` comprises the positions of
+the ``a*k x b*k`` array that are not in the ``a*(k-1) x b*(k-1)`` array.
+Enumerating shell by shell yields a PF that manages storage *perfectly* for
+arrays of that ratio -- guarantee (3.2):
+
+    every position of an ``a*k x b*k`` array with ``n`` or fewer cells is
+    mapped to an address ``<= n``.
+
+Within each shell we use an explicit L-shaped order that keeps both ``pair``
+and ``unpair`` O(1) arithmetic:
+
+* first the *right strip* -- the ``b`` new columns ``y in (b(k-1), bk]``,
+  each of full height ``a*k``, in column-major order (``a*b*k`` positions);
+* then the *bottom strip* -- the ``a`` new rows ``x in (a(k-1), ak]``,
+  restricted to the old columns ``y <= b(k-1)``, in row-major order
+  (``a*b*(k-1)`` positions).
+
+Shell ``k`` therefore holds ``a*b*(2k-1)`` positions, and the cumulative
+count after shell ``k`` is ``a*b*k**2`` -- exactly the cell count of the
+``ak x bk`` array, which is what makes (3.2) hold with equality.
+
+``SquareShellPairing`` (a = b = 1, counterclockwise order) is a sibling of
+``AspectRatioPairing(1, 1)``; they differ only in the in-shell order, which
+the ablation benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import PairingFunction
+from repro.errors import ConfigurationError, DomainError
+from repro.numbertheory.integers import ceil_div, isqrt_exact
+
+__all__ = ["AspectRatioPairing"]
+
+
+class AspectRatioPairing(PairingFunction):
+    """The PF ``A_{a,b}`` favoring arrays of aspect ratio ``<a, b>``.
+
+    >>> p = AspectRatioPairing(1, 2)   # favors 1k x 2k arrays
+    >>> p.spread_for_shape(3, 6)       # a 3x6 array (k=3): perfect
+    18
+    >>> p.check_roundtrip_window(6, 6)
+    """
+
+    def __init__(self, a: int, b: int) -> None:
+        if isinstance(a, bool) or not isinstance(a, int) or a <= 0:
+            raise ConfigurationError(f"aspect ratio a must be a positive int, got {a!r}")
+        if isinstance(b, bool) or not isinstance(b, int) or b <= 0:
+            raise ConfigurationError(f"aspect ratio b must be a positive int, got {b!r}")
+        self.a = a
+        self.b = b
+
+    @property
+    def name(self) -> str:
+        return f"aspect-{self.a}x{self.b}"
+
+    # ------------------------------------------------------------------
+
+    def shell_of(self, x: int, y: int) -> int:
+        """The shell index ``k = max(ceil(x/a), ceil(y/b))`` of position
+        ``(x, y)`` -- the smallest ``k`` whose ``ak x bk`` array contains it."""
+        x, y = int(x), int(y)
+        if x <= 0 or y <= 0:
+            raise DomainError(f"coordinates must be positive, got ({x}, {y})")
+        return max(ceil_div(x, self.a), ceil_div(y, self.b))
+
+    def shell_size(self, k: int) -> int:
+        """Positions on shell ``k``: ``a*b*(2k - 1)``."""
+        if k <= 0:
+            raise DomainError(f"shell index must be positive, got {k}")
+        return self.a * self.b * (2 * k - 1)
+
+    def cumulative_through(self, k: int) -> int:
+        """Positions on shells ``1..k``: ``a*b*k**2`` (the ``ak x bk`` cell
+        count -- the identity behind guarantee (3.2))."""
+        if k < 0:
+            raise DomainError(f"shell index must be nonnegative, got {k}")
+        return self.a * self.b * k * k
+
+    # ------------------------------------------------------------------
+
+    def _pair(self, x: int, y: int) -> int:
+        a, b = self.a, self.b
+        k = max(ceil_div(x, a), ceil_div(y, b))
+        base = a * b * (k - 1) * (k - 1)
+        if y > b * (k - 1):
+            # Right strip: column-major over the b new columns, height a*k.
+            col = y - b * (k - 1) - 1  # 0-based new-column index
+            return base + col * (a * k) + x
+        # Bottom strip: row-major over the a new rows, width b*(k-1).
+        row = x - a * (k - 1) - 1  # 0-based new-row index
+        return base + a * b * k + row * (b * (k - 1)) + y
+
+    def _unpair(self, z: int) -> tuple[int, int]:
+        a, b = self.a, self.b
+        # Smallest k with a*b*k**2 >= z.
+        k = isqrt_exact((z - 1) // (a * b)) + 1
+        while a * b * (k - 1) * (k - 1) >= z:  # pragma: no cover - exact
+            k -= 1
+        r = z - a * b * (k - 1) * (k - 1)  # 1-based rank within shell k
+        right_strip = a * b * k
+        if r <= right_strip:
+            col = (r - 1) // (a * k)
+            x = (r - 1) % (a * k) + 1
+            y = b * (k - 1) + 1 + col
+            return (x, y)
+        r2 = r - right_strip
+        width = b * (k - 1)
+        row = (r2 - 1) // width
+        y = (r2 - 1) % width + 1
+        x = a * (k - 1) + 1 + row
+        return (x, y)
+
+    # -- compactness ------------------------------------------------------
+
+    def spread_favored(self, n: int) -> int:
+        """Spread restricted to the favored shapes -- definition (3.2):
+        ``max{A(x, y) : x <= ak, y <= bk, a*b*k**2 <= n}``.  Equals the
+        number of cells of the largest favored array that fits, i.e.
+        ``a*b*k**2`` for ``k = floor(sqrt(n / (a*b)))`` -- *perfect* storage
+        management.
+
+        >>> AspectRatioPairing(1, 1).spread_favored(10)
+        9
+        """
+        if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
+            raise DomainError(f"n must be a positive int, got {n!r}")
+        k = isqrt_exact(n // (self.a * self.b))
+        if k == 0:
+            return 0
+        return self.cumulative_through(k)

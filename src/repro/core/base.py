@@ -1,0 +1,298 @@
+"""Abstract base classes for pairing functions and storage mappings.
+
+Terminology (Section 1): a *pairing function* (PF) is a bijection
+``N x N <-> N`` over the positive integers.  For array storage one sometimes
+settles for an *injective* storage mapping -- the dovetail combinator of
+Section 3.2.2 is injective but not onto -- so the class hierarchy is:
+
+* :class:`StorageMapping` -- injective ``N x N -> N``; ``unpair`` may raise
+  :class:`~repro.errors.NotInImageError` for addresses outside the image.
+* :class:`PairingFunction` -- a true bijection; ``unpair`` is total on
+  ``N`` and ``check_bijective_prefix`` can verify surjectivity windows.
+
+Both expose scalar ``pair``/``unpair`` plus numpy batch paths
+(``pair_array``/``unpair_array``).  The batch paths default to an exact
+object-dtype loop (APF values overflow int64 *fast* -- ``T^<1>(x, y)``
+exceeds ``2**63`` at ``x = 63``); concrete subclasses with polynomial growth
+override them with true vectorized int64 kernels, and the test suite
+cross-checks the two paths against each other.
+
+The *spread* (3.1), the paper's compactness measure, is provided generically
+by exact enumeration of the lattice points under ``xy = n`` and overridden
+with closed forms where the paper derives them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DomainError
+from repro.numbertheory.lattice import lattice_points_under_hyperbola
+
+__all__ = [
+    "StorageMapping",
+    "PairingFunction",
+    "validate_coordinates",
+    "validate_address",
+]
+
+
+def validate_coordinates(x: int, y: int) -> tuple[int, int]:
+    """Validate a coordinate pair from ``N x N`` (1-indexed, per the paper).
+
+    Returns ``(x, y)`` unchanged; raises :class:`DomainError` otherwise.
+    """
+    if isinstance(x, bool) or not isinstance(x, (int, np.integer)):
+        raise DomainError(f"x must be an int, got {type(x).__name__}")
+    if isinstance(y, bool) or not isinstance(y, (int, np.integer)):
+        raise DomainError(f"y must be an int, got {type(y).__name__}")
+    x = int(x)
+    y = int(y)
+    if x <= 0 or y <= 0:
+        raise DomainError(f"coordinates must be positive, got ({x}, {y})")
+    return x, y
+
+
+def validate_address(z: int) -> int:
+    """Validate an address from ``N`` (1-indexed)."""
+    if isinstance(z, bool) or not isinstance(z, (int, np.integer)):
+        raise DomainError(f"address must be an int, got {type(z).__name__}")
+    z = int(z)
+    if z <= 0:
+        raise DomainError(f"address must be positive, got {z}")
+    return z
+
+
+class StorageMapping(ABC):
+    """An injective mapping ``N x N -> N`` usable as an array storage map.
+
+    Subclasses implement :meth:`_pair` and :meth:`_unpair` on validated
+    inputs; the public :meth:`pair` / :meth:`unpair` add domain checking.
+    """
+
+    #: Whether the mapping is onto ``N`` (a true pairing function).
+    surjective: bool = True
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short human-readable identifier (used by the registry and CLI)."""
+
+    @abstractmethod
+    def _pair(self, x: int, y: int) -> int:
+        """Map validated positive ``(x, y)`` to its positive address."""
+
+    @abstractmethod
+    def _unpair(self, z: int) -> tuple[int, int]:
+        """Map validated positive address ``z`` back to its coordinates.
+
+        May raise :class:`~repro.errors.NotInImageError` when the mapping is
+        not surjective.
+        """
+
+    # ------------------------------------------------------------------
+    # Public scalar API
+    # ------------------------------------------------------------------
+
+    def pair(self, x: int, y: int) -> int:
+        """Address of position ``(x, y)`` (both 1-indexed).
+
+        Raises :class:`DomainError` unless ``x >= 1`` and ``y >= 1``.
+        """
+        x, y = validate_coordinates(x, y)
+        return self._pair(x, y)
+
+    def unpair(self, z: int) -> tuple[int, int]:
+        """Coordinates stored at address ``z`` (1-indexed).
+
+        Raises :class:`DomainError` for ``z < 1`` and, for non-surjective
+        mappings, :class:`~repro.errors.NotInImageError` when no position
+        maps to ``z``.
+        """
+        z = validate_address(z)
+        return self._unpair(z)
+
+    def __call__(self, x: int, y: int) -> int:
+        """Alias for :meth:`pair`, so instances read like the paper's
+        ``F(x, y)`` notation."""
+        return self.pair(x, y)
+
+    # ------------------------------------------------------------------
+    # Batch API (numpy)
+    # ------------------------------------------------------------------
+
+    def pair_array(
+        self, xs: Sequence[int] | np.ndarray, ys: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`pair` over parallel coordinate arrays.
+
+        The base implementation is an exact object-dtype loop (safe for the
+        exponentially-growing APFs); polynomial-growth subclasses override
+        it with int64 numpy kernels.  Inputs are broadcast against each
+        other like any numpy binary operation.
+        """
+        xa = np.asarray(xs)
+        ya = np.asarray(ys)
+        xb, yb = np.broadcast_arrays(xa, ya)
+        out = np.empty(xb.shape, dtype=object)
+        flat_out = out.reshape(-1)
+        for i, (x, y) in enumerate(zip(xb.reshape(-1), yb.reshape(-1))):
+            flat_out[i] = self.pair(int(x), int(y))
+        return out
+
+    def unpair_array(self, zs: Sequence[int] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`unpair`; returns ``(xs, ys)`` object arrays."""
+        za = np.asarray(zs)
+        xs = np.empty(za.shape, dtype=object)
+        ys = np.empty(za.shape, dtype=object)
+        fx, fy = xs.reshape(-1), ys.reshape(-1)
+        for i, z in enumerate(za.reshape(-1)):
+            fx[i], fy[i] = self.unpair(int(z))
+        return xs, ys
+
+    # ------------------------------------------------------------------
+    # Sampling and display
+    # ------------------------------------------------------------------
+
+    def table(self, rows: int, cols: int) -> list[list[int]]:
+        """The paper's Figure 1 sampling template: a ``rows x cols`` table
+        whose entry ``[x-1][y-1]`` is ``pair(x, y)``.
+
+        >>> from repro.core.diagonal import DiagonalPairing
+        >>> DiagonalPairing().table(2, 3)
+        [[1, 3, 6], [2, 5, 9]]
+        """
+        if rows <= 0 or cols <= 0:
+            raise DomainError(f"table shape must be positive, got {rows}x{cols}")
+        return [[self._pair(x, y) for y in range(1, cols + 1)] for x in range(1, rows + 1)]
+
+    def image_prefix(self, count: int) -> list[int]:
+        """The first *count* addresses in enumeration order: the sorted list
+        of all addresses ``<= the count-th smallest``.  Mainly a test hook;
+        implemented by unpairing ``1..count`` for surjective mappings and by
+        scanning for injective ones."""
+        if count <= 0:
+            raise DomainError(f"count must be positive, got {count}")
+        if self.surjective:
+            return list(range(1, count + 1))
+        found: list[int] = []
+        z = 1
+        from repro.errors import NotInImageError
+
+        while len(found) < count:
+            try:
+                self._unpair(z)
+            except NotInImageError:
+                pass
+            else:
+                found.append(z)
+            z += 1
+        return found
+
+    # ------------------------------------------------------------------
+    # Compactness (Section 3.2)
+    # ------------------------------------------------------------------
+
+    def spread(self, n: int) -> int:
+        """The spread function ``S(n) = max{pair(x, y) : x * y <= n}`` of
+        definition (3.1): the largest address assigned to any position of
+        any array with at most *n* cells.
+
+        The generic implementation enumerates all ``Theta(n log n)`` lattice
+        points under the hyperbola; subclasses override with the paper's
+        closed forms where available.
+        """
+        if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
+            raise DomainError(f"n must be a positive int, got {n!r}")
+        return max(self._pair(x, y) for x, y in lattice_points_under_hyperbola(n))
+
+    def spread_for_shape(self, rows: int, cols: int) -> int:
+        """Largest address assigned to any position of the ``rows x cols``
+        array -- the per-shape spread used by claims like "``D`` spreads the
+        n x n array over 2n** 2 addresses"."""
+        if rows <= 0 or cols <= 0:
+            raise DomainError(f"shape must be positive, got {rows}x{cols}")
+        return max(
+            self._pair(x, y)
+            for x in range(1, rows + 1)
+            for y in range(1, cols + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def check_roundtrip_window(self, rows: int, cols: int) -> None:
+        """Assert ``unpair(pair(x, y)) == (x, y)`` for the whole window and
+        that all addresses in the window are distinct (injectivity).
+
+        Raises ``AssertionError`` with a pinpointing message on failure.
+        """
+        seen: dict[int, tuple[int, int]] = {}
+        for x in range(1, rows + 1):
+            for y in range(1, cols + 1):
+                z = self._pair(x, y)
+                if z <= 0:
+                    raise AssertionError(f"{self.name}: pair({x},{y}) = {z} <= 0")
+                if z in seen:
+                    raise AssertionError(
+                        f"{self.name}: collision pair({x},{y}) == pair{seen[z]} == {z}"
+                    )
+                seen[z] = (x, y)
+                back = self._unpair(z)
+                if back != (x, y):
+                    raise AssertionError(
+                        f"{self.name}: unpair(pair({x},{y})) = {back}, expected ({x},{y})"
+                    )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PairingFunction(StorageMapping):
+    """A true pairing function: a *bijection* ``N x N <-> N``.
+
+    Adds surjectivity-aware validation on top of :class:`StorageMapping`.
+    """
+
+    surjective = True
+
+    def enumerate_positions(self, count: int) -> Iterator[tuple[int, int]]:
+        """Yield the positions in address order: ``unpair(1), unpair(2), ...``
+        for *count* addresses.  This is the "enumeration of N x N" view of
+        Theorem 3.1.
+
+        >>> from repro.core.diagonal import DiagonalPairing
+        >>> list(DiagonalPairing().enumerate_positions(4))
+        [(1, 1), (2, 1), (1, 2), (3, 1)]
+        """
+        if count <= 0:
+            raise DomainError(f"count must be positive, got {count}")
+        for z in range(1, count + 1):
+            yield self._unpair(z)
+
+    def check_bijective_prefix(self, count: int) -> None:
+        """Assert that addresses ``1..count`` decode to *distinct* positions
+        that re-encode to themselves -- i.e. the mapping is a bijection on
+        this prefix of its range.
+
+        Together with :meth:`check_roundtrip_window` (domain side), this
+        gives the two-sided finite certificate of bijectivity used by the
+        property-based tests.
+        """
+        seen: set[tuple[int, int]] = set()
+        for z in range(1, count + 1):
+            pos = self._unpair(z)
+            if pos in seen:
+                raise AssertionError(
+                    f"{self.name}: address {z} decodes to duplicate position {pos}"
+                )
+            seen.add(pos)
+            back = self._pair(*pos)
+            if back != z:
+                raise AssertionError(
+                    f"{self.name}: pair(unpair({z})) = {back}, expected {z}"
+                )

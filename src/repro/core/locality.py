@@ -1,0 +1,110 @@
+"""Address locality of storage mappings (the Section 3 Aside's "by
+position, by row/column, by block (at varying computational costs)").
+
+When an array is stored through a PF, *where consecutive logical cells
+land* determines traversal cost on real memory hierarchies.  Two
+complementary measures:
+
+* **jump profile** -- the distribution of ``|A(x, y+1) - A(x, y)|`` along a
+  row walk (resp. column walk): additive PFs have a *constant* row jump
+  (the stride -- that is what "additive" buys), shell PFs have jumps that
+  grow with the shell index;
+* **window span** -- the address range touched by a logical ``b x b``
+  block: compact-on-squares PFs keep blocks near the origin dense.
+
+These feed the Step 2b ablation (the in-shell order changes locality but
+not spread) and quantify the access-cost axis the paper mentions but does
+not tabulate.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.base import StorageMapping
+from repro.errors import DomainError
+
+__all__ = ["JumpProfile", "row_jump_profile", "col_jump_profile", "block_span"]
+
+
+@dataclass(frozen=True, slots=True)
+class JumpProfile:
+    """Summary of the |address delta| distribution along a walk."""
+
+    walk: str
+    samples: int
+    mean: float
+    maximum: int
+    constant: bool
+
+    @classmethod
+    def from_jumps(cls, walk: str, jumps: list[int]) -> "JumpProfile":
+        if not jumps:
+            raise DomainError("need at least one jump")
+        return cls(
+            walk=walk,
+            samples=len(jumps),
+            mean=statistics.fmean(jumps),
+            maximum=max(jumps),
+            constant=len(set(jumps)) == 1,
+        )
+
+
+def row_jump_profile(
+    mapping: StorageMapping, row: int, cols: int
+) -> JumpProfile:
+    """Jump profile of walking row *row* left-to-right over *cols* cells.
+
+    For an additive PF this is constant (= the row's stride): the paper's
+    ``S(v, t)`` being "easily computed" shows up here as perfect
+    predictability of the walk.
+
+    >>> from repro.apf.families import TSharp
+    >>> row_jump_profile(TSharp(), 3, 10).constant
+    True
+    >>> from repro.core.squareshell import SquareShellPairing
+    >>> row_jump_profile(SquareShellPairing(), 3, 10).constant
+    False
+    """
+    if row <= 0 or cols <= 1:
+        raise DomainError("need row >= 1 and cols >= 2")
+    addresses = [mapping.pair(row, y) for y in range(1, cols + 1)]
+    jumps = [abs(b - a) for a, b in zip(addresses, addresses[1:])]
+    return JumpProfile.from_jumps(f"row-{row}", jumps)
+
+
+def col_jump_profile(
+    mapping: StorageMapping, col: int, rows: int
+) -> JumpProfile:
+    """Jump profile of walking column *col* top-to-bottom over *rows*
+    cells."""
+    if col <= 0 or rows <= 1:
+        raise DomainError("need col >= 1 and rows >= 2")
+    addresses = [mapping.pair(x, col) for x in range(1, rows + 1)]
+    jumps = [abs(b - a) for a, b in zip(addresses, addresses[1:])]
+    return JumpProfile.from_jumps(f"col-{col}", jumps)
+
+
+def block_span(
+    mapping: StorageMapping, x0: int, y0: int, side: int
+) -> tuple[int, int, float]:
+    """The address range of the ``side x side`` block anchored at
+    ``(x0, y0)``: returns ``(min_address, max_address, density)`` where
+    density = block cells / span (1.0 = the block is a contiguous address
+    run).
+
+    >>> from repro.core.squareshell import SquareShellPairing
+    >>> block_span(SquareShellPairing(), 1, 1, 4)   # the 4x4 corner block
+    (1, 16, 1.0)
+    """
+    if x0 <= 0 or y0 <= 0 or side <= 0:
+        raise DomainError("need positive anchor and side")
+    addresses = [
+        mapping.pair(x, y)
+        for x in range(x0, x0 + side)
+        for y in range(y0, y0 + side)
+    ]
+    low, high = min(addresses), max(addresses)
+    span = high - low + 1
+    return (low, high, len(addresses) / span)

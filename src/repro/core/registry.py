@@ -1,0 +1,115 @@
+"""A name-based registry of the library's storage mappings.
+
+The CLI, benchmarks, and examples refer to mappings by short stable names
+(``"diagonal"``, ``"hyperbolic"``, ``"apf-sharp"``, ...).  The registry maps
+those names to zero-argument factories so every lookup returns a *fresh*
+instance (some mappings carry caches; benchmarks must not share them).
+
+Parameterized families register a factory-of-parameters under a prefix:
+``get_pairing("aspect-2x3")`` and ``get_pairing("apf-bracket-3")`` parse
+their suffixes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.core.base import StorageMapping
+from repro.errors import ConfigurationError
+
+__all__ = ["register", "get_pairing", "available_names"]
+
+_FACTORIES: dict[str, Callable[[], StorageMapping]] = {}
+
+
+def register(name: str, factory: Callable[[], StorageMapping]) -> None:
+    """Register *factory* under *name* (overwriting is an error: stable names
+    are part of the CLI contract)."""
+    if name in _FACTORIES:
+        raise ConfigurationError(f"mapping name already registered: {name!r}")
+    _FACTORIES[name] = factory
+
+
+def available_names() -> list[str]:
+    """All registered fixed names, sorted (parameterized prefixes like
+    ``aspect-AxB`` are documented in :func:`get_pairing`)."""
+    _ensure_builtins()
+    return sorted(_FACTORIES)
+
+
+_ASPECT_RE = re.compile(r"^aspect-(\d+)x(\d+)$")
+_BRACKET_RE = re.compile(r"^apf-bracket-(\d+)$")
+_POWER_RE = re.compile(r"^apf-power-(\d+)$")
+
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Populate the registry lazily (avoids import cycles at package load)."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+
+    from repro.core.diagonal import DiagonalPairing, DiagonalPairingTwin
+    from repro.core.hyperbolic import HyperbolicPairing
+    from repro.core.squareshell import SquareShellPairing, SquareShellPairingTwin
+    from repro.apf.families import (
+        TBracket,
+        TSharp,
+        TStar,
+        TPower,
+        ExponentialKappaAPF,
+    )
+
+    register("diagonal", DiagonalPairing)
+    register("diagonal-twin", DiagonalPairingTwin)
+    register("square-shell", SquareShellPairing)
+    register("square-shell-twin", SquareShellPairingTwin)
+    register("hyperbolic", HyperbolicPairing)
+    register("apf-sharp", TSharp)
+    register("apf-star", TStar)
+    register("apf-exponential", ExponentialKappaAPF)
+    for c in (1, 2, 3, 4):
+        register(f"apf-bracket-{c}", lambda c=c: TBracket(c))
+
+
+def get_pairing(name: str) -> StorageMapping:
+    """Instantiate a mapping by name.
+
+    Fixed names are listed by :func:`available_names`.  Parameterized forms:
+
+    * ``aspect-AxB`` -- :class:`~repro.core.aspectratio.AspectRatioPairing`
+      with ratio ``<A, B>`` (e.g. ``aspect-1x2``);
+    * ``apf-bracket-C`` -- the APF ``T^<C>`` for any positive ``C``;
+    * ``apf-power-K`` -- the APF ``T^[K]`` for any positive ``K``.
+
+    >>> get_pairing("diagonal").pair(1, 1)
+    1
+    >>> get_pairing("aspect-2x3").name
+    'aspect-2x3'
+    """
+    _ensure_builtins()
+    factory = _FACTORIES.get(name)
+    if factory is not None:
+        return factory()
+    m = _ASPECT_RE.match(name)
+    if m:
+        from repro.core.aspectratio import AspectRatioPairing
+
+        return AspectRatioPairing(int(m.group(1)), int(m.group(2)))
+    m = _BRACKET_RE.match(name)
+    if m:
+        from repro.apf.families import TBracket
+
+        return TBracket(int(m.group(1)))
+    m = _POWER_RE.match(name)
+    if m:
+        from repro.apf.families import TPower
+
+        return TPower(int(m.group(1)))
+    raise ConfigurationError(
+        f"unknown mapping name {name!r}; known: {', '.join(available_names())} "
+        "plus parameterized aspect-AxB / apf-bracket-C / apf-power-K"
+    )

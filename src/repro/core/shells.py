@@ -1,0 +1,370 @@
+"""Procedure PF-Constructor (Section 3.1): build a PF from any shell
+partition of ``N x N``.
+
+The paper's recipe:
+
+* **Step 1** -- partition ``N x N`` into finite *shells* with a linear order
+  on the shells (here: shells are indexed ``1, 2, 3, ...``).
+* **Step 2a** -- enumerate positions shell by shell.
+* **Step 2b** -- enumerate each shell "in some systematic way".
+
+Theorem 3.1: any function so designed is a valid PF, because the
+construction is exactly an enumeration of ``N x N``.
+
+This module makes the recipe executable: a :class:`ShellPartition` supplies
+the shell geometry, a :class:`ShellOrder` supplies Step 2b, and
+:class:`ShellConstructedPairing` glues them into a
+:class:`~repro.core.base.PairingFunction`.  The closed-form PFs in this
+package (diagonal, square-shell, hyperbolic, aspect-ratio) are all special
+cases; the test suite verifies each closed form against its generic
+shell-constructed counterpart, and the ablation benchmark measures how the
+Step 2b choice affects locality without affecting spread.
+
+Generic costs: ``pair`` enumerates one shell (O(shell size) after the
+partition locates it); ``unpair`` binary-searches the cumulative shell sizes
+then indexes into the shell.  Use the closed-form classes for speed; use
+this module to *design* new PFs.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.core.base import PairingFunction
+from repro.errors import ConfigurationError, DomainError
+from repro.numbertheory.divisor_sums import (
+    divisor_summatory,
+    smallest_n_with_summatory_at_least,
+)
+from repro.numbertheory.divisors import divisor_pairs
+from repro.numbertheory.integers import ceil_div, isqrt_exact, triangular
+
+__all__ = [
+    "ShellOrder",
+    "ShellPartition",
+    "DiagonalShells",
+    "SquareShells",
+    "HyperbolicShells",
+    "AspectRatioShells",
+    "ShellConstructedPairing",
+]
+
+
+class ShellOrder(enum.Enum):
+    """Step 2b policies: the systematic in-shell enumeration order.
+
+    ``BY_COLUMNS`` is the paper's example: increasing ``y``, and for equal
+    ``y``, decreasing ``x``.  ``BY_COLUMNS_X_INCREASING`` is the variant the
+    paper notes "works as well, of course".  ``BY_ROWS`` mirrors them.
+    ``NATIVE`` keeps the partition's own canonical order (e.g. the
+    counterclockwise walk of the square shells that reproduces ``A_{1,1}``).
+    """
+
+    BY_COLUMNS = "by-columns"
+    BY_COLUMNS_X_INCREASING = "by-columns-x-increasing"
+    BY_ROWS = "by-rows"
+    BY_ROWS_Y_INCREASING = "by-rows-y-increasing"
+    NATIVE = "native"
+
+    def arrange(self, members: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        """Return *members* in this order (``NATIVE`` keeps input order)."""
+        if self is ShellOrder.NATIVE:
+            return list(members)
+        if self is ShellOrder.BY_COLUMNS:
+            return sorted(members, key=lambda p: (p[1], -p[0]))
+        if self is ShellOrder.BY_COLUMNS_X_INCREASING:
+            return sorted(members, key=lambda p: (p[1], p[0]))
+        if self is ShellOrder.BY_ROWS:
+            return sorted(members, key=lambda p: (p[0], -p[1]))
+        return sorted(members, key=lambda p: (p[0], p[1]))
+
+
+class ShellPartition(ABC):
+    """A partition of ``N x N`` into finite, linearly ordered shells.
+
+    Shell indices are 1-based.  Implementations must guarantee:
+
+    * every position belongs to exactly one shell
+      (``shell_index`` total, consistent with ``members``);
+    * shells are finite and ``members(c)`` lists shell ``c`` exactly once,
+      in the partition's canonical order;
+    * ``cumulative_before(c)`` equals ``sum(size(j) for j in 1..c-1)``.
+    """
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Identifier used in the constructed PF's name."""
+
+    @abstractmethod
+    def shell_index(self, x: int, y: int) -> int:
+        """The (1-based) shell containing position ``(x, y)``."""
+
+    @abstractmethod
+    def members(self, c: int) -> list[tuple[int, int]]:
+        """All positions of shell ``c`` in the partition's canonical order."""
+
+    def size(self, c: int) -> int:
+        """Number of positions on shell ``c`` (default: ``len(members(c))``)."""
+        return len(self.members(c))
+
+    def cumulative_before(self, c: int) -> int:
+        """Total positions on shells ``1 .. c-1``.
+
+        The default sums sizes; partitions with closed forms override it
+        (this is what keeps ``unpair`` sublinear).
+        """
+        if c <= 0:
+            raise DomainError(f"shell index must be positive, got {c}")
+        return sum(self.size(j) for j in range(1, c))
+
+    def locate(self, z: int) -> int:
+        """The shell containing enumeration rank *z* (1-based): the smallest
+        ``c`` with ``cumulative_before(c) + size(c) >= z``.
+
+        Default: exponential bracketing + bisection on
+        :meth:`cumulative_before`, which must be nondecreasing.
+        """
+        if z <= 0:
+            raise DomainError(f"rank must be positive, got {z}")
+        lo, hi = 1, 1
+        while self.cumulative_before(hi) + self.size(hi) < z:
+            lo = hi + 1
+            hi *= 2
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.cumulative_before(mid) + self.size(mid) >= z:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+
+class DiagonalShells(ShellPartition):
+    """The diagonal shells ``x + y = c + 1`` (shell ``c`` has ``c``
+    positions).  Canonical order: increasing ``y`` -- the paper's ``D``."""
+
+    @property
+    def name(self) -> str:
+        return "diagonal-shells"
+
+    def shell_index(self, x: int, y: int) -> int:
+        if x <= 0 or y <= 0:
+            raise DomainError(f"coordinates must be positive, got ({x}, {y})")
+        return x + y - 1
+
+    def members(self, c: int) -> list[tuple[int, int]]:
+        if c <= 0:
+            raise DomainError(f"shell index must be positive, got {c}")
+        return [(c + 1 - y, y) for y in range(1, c + 1)]
+
+    def size(self, c: int) -> int:
+        if c <= 0:
+            raise DomainError(f"shell index must be positive, got {c}")
+        return c
+
+    def cumulative_before(self, c: int) -> int:
+        if c <= 0:
+            raise DomainError(f"shell index must be positive, got {c}")
+        return triangular(c - 1)
+
+    def locate(self, z: int) -> int:
+        from repro.numbertheory.integers import triangular_root
+
+        if z <= 0:
+            raise DomainError(f"rank must be positive, got {z}")
+        return triangular_root(z - 1) + 1
+
+
+class SquareShells(ShellPartition):
+    """The square shells ``max(x, y) = c`` (shell ``c`` has ``2c - 1``
+    positions).  Canonical order: the counterclockwise walk of ``A_{1,1}``
+    -- down the new row's start... precisely ``(c,1), (c,2), ..., (c,c),
+    (c-1,c), ..., (1,c)``."""
+
+    @property
+    def name(self) -> str:
+        return "square-shells"
+
+    def shell_index(self, x: int, y: int) -> int:
+        if x <= 0 or y <= 0:
+            raise DomainError(f"coordinates must be positive, got ({x}, {y})")
+        return max(x, y)
+
+    def members(self, c: int) -> list[tuple[int, int]]:
+        if c <= 0:
+            raise DomainError(f"shell index must be positive, got {c}")
+        horizontal = [(c, y) for y in range(1, c + 1)]
+        vertical = [(x, c) for x in range(c - 1, 0, -1)]
+        return horizontal + vertical
+
+    def size(self, c: int) -> int:
+        if c <= 0:
+            raise DomainError(f"shell index must be positive, got {c}")
+        return 2 * c - 1
+
+    def cumulative_before(self, c: int) -> int:
+        if c <= 0:
+            raise DomainError(f"shell index must be positive, got {c}")
+        return (c - 1) * (c - 1)
+
+    def locate(self, z: int) -> int:
+        if z <= 0:
+            raise DomainError(f"rank must be positive, got {z}")
+        return isqrt_exact(z - 1) + 1
+
+
+class HyperbolicShells(ShellPartition):
+    """The hyperbolic shells ``x * y = c`` (shell ``c`` has ``delta(c)``
+    positions).  Canonical order: descending ``x`` -- the paper's ``H``."""
+
+    @property
+    def name(self) -> str:
+        return "hyperbolic-shells"
+
+    def shell_index(self, x: int, y: int) -> int:
+        if x <= 0 or y <= 0:
+            raise DomainError(f"coordinates must be positive, got ({x}, {y})")
+        return x * y
+
+    def members(self, c: int) -> list[tuple[int, int]]:
+        if c <= 0:
+            raise DomainError(f"shell index must be positive, got {c}")
+        return list(divisor_pairs(c))
+
+    def cumulative_before(self, c: int) -> int:
+        if c <= 0:
+            raise DomainError(f"shell index must be positive, got {c}")
+        return divisor_summatory(c - 1)
+
+    def locate(self, z: int) -> int:
+        if z <= 0:
+            raise DomainError(f"rank must be positive, got {z}")
+        return smallest_n_with_summatory_at_least(z)
+
+
+class AspectRatioShells(ShellPartition):
+    """The ``<a, b>`` shells of Section 3.2.1: shell ``k`` is the ``ak x bk``
+    array minus the ``a(k-1) x b(k-1)`` array.  Canonical order: the
+    L-shaped walk of :class:`~repro.core.aspectratio.AspectRatioPairing`
+    (right strip column-major, then bottom strip row-major)."""
+
+    def __init__(self, a: int, b: int) -> None:
+        if isinstance(a, bool) or not isinstance(a, int) or a <= 0:
+            raise ConfigurationError(f"a must be a positive int, got {a!r}")
+        if isinstance(b, bool) or not isinstance(b, int) or b <= 0:
+            raise ConfigurationError(f"b must be a positive int, got {b!r}")
+        self.a = a
+        self.b = b
+
+    @property
+    def name(self) -> str:
+        return f"aspect-shells-{self.a}x{self.b}"
+
+    def shell_index(self, x: int, y: int) -> int:
+        if x <= 0 or y <= 0:
+            raise DomainError(f"coordinates must be positive, got ({x}, {y})")
+        return max(ceil_div(x, self.a), ceil_div(y, self.b))
+
+    def members(self, k: int) -> list[tuple[int, int]]:
+        if k <= 0:
+            raise DomainError(f"shell index must be positive, got {k}")
+        a, b = self.a, self.b
+        right = [
+            (x, y)
+            for y in range(b * (k - 1) + 1, b * k + 1)
+            for x in range(1, a * k + 1)
+        ]
+        bottom = [
+            (x, y)
+            for x in range(a * (k - 1) + 1, a * k + 1)
+            for y in range(1, b * (k - 1) + 1)
+        ]
+        return right + bottom
+
+    def size(self, k: int) -> int:
+        if k <= 0:
+            raise DomainError(f"shell index must be positive, got {k}")
+        return self.a * self.b * (2 * k - 1)
+
+    def cumulative_before(self, k: int) -> int:
+        if k <= 0:
+            raise DomainError(f"shell index must be positive, got {k}")
+        return self.a * self.b * (k - 1) * (k - 1)
+
+    def locate(self, z: int) -> int:
+        if z <= 0:
+            raise DomainError(f"rank must be positive, got {z}")
+        return isqrt_exact((z - 1) // (self.a * self.b)) + 1
+
+
+class ShellConstructedPairing(PairingFunction):
+    """Procedure PF-Constructor, executable: a PF assembled from a shell
+    partition (Step 1) and an in-shell order (Step 2b).
+
+    By Theorem 3.1 the result is always a valid PF; the
+    ``check_*`` validators inherited from
+    :class:`~repro.core.base.PairingFunction` verify this on any finite
+    window, and the test suite does so for every built-in partition/order
+    combination.
+
+    >>> pf = ShellConstructedPairing(DiagonalShells(), ShellOrder.BY_COLUMNS)
+    >>> pf.table(2, 3)   # identical to the paper's D (Figure 2)
+    [[1, 3, 6], [2, 5, 9]]
+    """
+
+    def __init__(
+        self,
+        partition: ShellPartition,
+        order: ShellOrder = ShellOrder.NATIVE,
+    ) -> None:
+        if not isinstance(partition, ShellPartition):
+            raise ConfigurationError(
+                f"partition must be a ShellPartition, got {type(partition).__name__}"
+            )
+        if not isinstance(order, ShellOrder):
+            raise ConfigurationError(
+                f"order must be a ShellOrder, got {type(order).__name__}"
+            )
+        self._partition = partition
+        self._order = order
+
+    @property
+    def name(self) -> str:
+        return f"shells({self._partition.name},{self._order.value})"
+
+    @property
+    def partition(self) -> ShellPartition:
+        return self._partition
+
+    @property
+    def order(self) -> ShellOrder:
+        return self._order
+
+    def _ordered_members(self, c: int) -> list[tuple[int, int]]:
+        return self._order.arrange(self._partition.members(c))
+
+    def _pair(self, x: int, y: int) -> int:
+        c = self._partition.shell_index(x, y)
+        members = self._ordered_members(c)
+        try:
+            rank = members.index((x, y)) + 1
+        except ValueError:  # pragma: no cover - would mean a broken partition
+            raise ConfigurationError(
+                f"partition {self._partition.name!r} claims shell {c} for "
+                f"({x}, {y}) but does not list it"
+            ) from None
+        return self._partition.cumulative_before(c) + rank
+
+    def _unpair(self, z: int) -> tuple[int, int]:
+        c = self._partition.locate(z)
+        rank = z - self._partition.cumulative_before(c)
+        members = self._ordered_members(c)
+        if not 1 <= rank <= len(members):  # pragma: no cover - broken partition
+            raise ConfigurationError(
+                f"partition {self._partition.name!r}: rank {rank} outside shell {c} "
+                f"of size {len(members)}"
+            )
+        return members[rank - 1]

@@ -1,0 +1,143 @@
+"""Compactness analysis: spread functions, utilization, and the optimality
+bound of Section 3.2.3.
+
+The spread function (3.1),
+
+    ``S_A(n) = max{A(x, y) : x * y <= n}``,
+
+is the paper's yardstick for how well a storage mapping manages memory: an
+array with ``n`` cells mapped through ``A`` occupies addresses within
+``[1, S_A(n)]``, so ``n / S_A(n)`` is a worst-case storage utilization.
+
+This module computes spreads exactly (by enumeration or by each mapping's
+closed form), sweeps them over geometric ranges of ``n``, compares them to
+the ``Theta(n log n)`` lower bound, and packages the results in small
+report dataclasses consumed by the benchmarks and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.base import StorageMapping
+from repro.errors import DomainError
+from repro.numbertheory.lattice import spread_lower_bound
+
+__all__ = [
+    "SpreadPoint",
+    "SpreadCurve",
+    "spread_curve",
+    "compare_spreads",
+    "utilization",
+    "worst_shape",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SpreadPoint:
+    """One sample of a spread curve."""
+
+    n: int
+    spread: int
+    lower_bound: int
+
+    @property
+    def utilization(self) -> float:
+        """``n / spread`` -- fraction of the occupied address range that a
+        worst-case n-cell array actually uses."""
+        return self.n / self.spread
+
+    @property
+    def overhead_vs_bound(self) -> float:
+        """``spread / lower_bound`` -- distance from the Theta(n log n)
+        optimum (1.0 means matching the bound exactly)."""
+        return self.spread / self.lower_bound
+
+
+@dataclass(frozen=True, slots=True)
+class SpreadCurve:
+    """A spread sweep for one mapping."""
+
+    mapping_name: str
+    points: tuple[SpreadPoint, ...]
+
+    def rows(self) -> list[tuple[int, int, int, float]]:
+        """Tabular view: ``(n, spread, lower_bound, utilization)`` rows."""
+        return [(p.n, p.spread, p.lower_bound, p.utilization) for p in self.points]
+
+    def growth_exponents(self) -> list[float]:
+        """Empirical log-log slopes between consecutive samples: an
+        ``n log n`` curve shows slopes drifting down toward 1.0; an ``n**2``
+        curve sits at 2.0.  Used by benches to classify curve *shape*
+        without matching absolute values."""
+        import math
+
+        out: list[float] = []
+        for a, b in zip(self.points, self.points[1:]):
+            out.append(
+                math.log(b.spread / a.spread) / math.log(b.n / a.n)
+            )
+        return out
+
+
+def spread_curve(
+    mapping: StorageMapping, ns: Sequence[int]
+) -> SpreadCurve:
+    """Sample ``S_mapping(n)`` at each ``n`` in *ns* (each positive,
+    strictly increasing recommended for :meth:`SpreadCurve.growth_exponents`).
+
+    >>> from repro.core.diagonal import DiagonalPairing
+    >>> curve = spread_curve(DiagonalPairing(), [4, 16])
+    >>> curve.rows()
+    [(4, 10, 8, 0.4), (16, 136, 50, 0.11764705882352941)]
+    """
+    if not ns:
+        raise DomainError("ns must be non-empty")
+    points = []
+    for n in ns:
+        if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
+            raise DomainError(f"each n must be a positive int, got {n!r}")
+        points.append(
+            SpreadPoint(n=n, spread=mapping.spread(n), lower_bound=spread_lower_bound(n))
+        )
+    return SpreadCurve(mapping_name=mapping.name, points=tuple(points))
+
+
+def compare_spreads(
+    mappings: Iterable[StorageMapping], ns: Sequence[int]
+) -> dict[str, SpreadCurve]:
+    """Spread curves for several mappings over a common grid, keyed by name."""
+    return {m.name: spread_curve(m, ns) for m in mappings}
+
+
+def utilization(mapping: StorageMapping, n: int) -> float:
+    """Worst-case storage utilization ``n / S(n)`` at size *n*."""
+    if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
+        raise DomainError(f"n must be a positive int, got {n!r}")
+    return n / mapping.spread(n)
+
+
+def worst_shape(mapping: StorageMapping, n: int) -> tuple[int, int, int]:
+    """The shape achieving ``S(n)``: returns ``(x, y, address)`` where
+    ``(x, y)`` maximizes ``mapping.pair`` over ``xy <= n``.
+
+    For the diagonal and square-shell PFs this is the degenerate ``1 x n``
+    row -- the concrete witness behind the paper's "even worse
+    (percentage-wise)" remark.
+
+    >>> from repro.core.diagonal import DiagonalPairing
+    >>> worst_shape(DiagonalPairing(), 8)
+    (1, 8, 36)
+    """
+    if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
+        raise DomainError(f"n must be a positive int, got {n!r}")
+    from repro.numbertheory.lattice import lattice_points_under_hyperbola
+
+    best: tuple[int, int, int] | None = None
+    for x, y in lattice_points_under_hyperbola(n):
+        z = mapping.pair(x, y)
+        if best is None or z > best[2]:
+            best = (x, y, z)
+    assert best is not None
+    return best

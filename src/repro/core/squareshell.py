@@ -1,0 +1,149 @@
+"""The square-shell pairing function ``A_{1,1}`` of equation (3.3).
+
+    ``A(x, y) = m**2 + m + y - x + 1``  where  ``m = max(x-1, y-1)``
+
+``A_{1,1}`` walks the square shells ``max(x, y) = 1, 2, 3, ...``
+counterclockwise: down column 1 of the shell's new row, then along the new
+column (Figure 3).  Its charm (Section 3.2.1): it stores every square
+``k x k`` array *perfectly* -- position ``(x, y)`` of a square array with
+``n`` or fewer cells lands at an address ``<= n`` -- while remaining as
+cheap to compute as the diagonal PF.
+
+The single formula covers both arms of each shell: on the horizontal arm
+(``x = m+1``) it reduces to ``m**2 + y``; on the vertical arm (``y = m+1``)
+to ``m**2 + 2m + 2 - x``; the arms agree at the corner.
+
+:class:`SquareShellPairingTwin` is the clockwise twin (exchange x and y).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import PairingFunction
+from repro.numbertheory.integers import isqrt_exact
+
+__all__ = ["SquareShellPairing", "SquareShellPairingTwin"]
+
+
+class SquareShellPairing(PairingFunction):
+    """The square-shell PF ``A_{1,1}`` (Figure 3), counterclockwise.
+
+    >>> a = SquareShellPairing()
+    >>> a.table(3, 3)
+    [[1, 4, 9], [2, 3, 8], [5, 6, 7]]
+    >>> a.unpair(7)
+    (3, 3)
+    """
+
+    @property
+    def name(self) -> str:
+        return "square-shell"
+
+    def _pair(self, x: int, y: int) -> int:
+        m = max(x - 1, y - 1)
+        return m * m + m + y - x + 1
+
+    def _unpair(self, z: int) -> tuple[int, int]:
+        # Shell m holds addresses m**2 + 1 .. (m+1)**2.
+        m = isqrt_exact(z - 1)
+        r = z - m * m  # 1 .. 2m + 1, rank within the shell
+        if r <= m + 1:
+            # Horizontal arm: x = m + 1, address m**2 + y.
+            return (m + 1, r)
+        # Vertical arm: y = m + 1, address m**2 + 2m + 2 - x.
+        return (2 * m + 2 - r, m + 1)
+
+    # -- closed-form compactness ---------------------------------------
+
+    def spread(self, n: int) -> int:
+        """``S_{A11}(n) = A(1, n) = n**2``: the degenerate ``1 x n`` row is
+        the worst shape.  On *square* shapes the spread is perfect
+        (``spread_for_shape(k, k) = k**2``), which is the guarantee (3.2)
+        with aspect ratio a = b = 1."""
+        if n <= 0:
+            from repro.errors import DomainError
+
+            raise DomainError(f"n must be positive, got {n}")
+        return n * n
+
+    def spread_for_shape(self, rows: int, cols: int) -> int:
+        """Largest address in a ``rows x cols`` window.
+
+        The outermost shell is ``m = max(rows, cols) - 1``; within it the
+        largest address in the window is attained at ``(1, cols)`` if the
+        window is wide (``cols >= rows``, the counterclockwise walk ends on
+        the vertical arm) and at the corner ``(rows, cols)`` otherwise.
+        """
+        if rows <= 0 or cols <= 0:
+            from repro.errors import DomainError
+
+            raise DomainError(f"shape must be positive, got {rows}x{cols}")
+        if cols >= rows:
+            return self._pair(1, cols)
+        return self._pair(rows, cols)
+
+    # -- vectorized batch paths ----------------------------------------
+
+    def pair_array(self, xs, ys) -> np.ndarray:
+        x = np.asarray(xs, dtype=np.int64)
+        y = np.asarray(ys, dtype=np.int64)
+        if np.any(x <= 0) or np.any(y <= 0):
+            from repro.errors import DomainError
+
+            raise DomainError("coordinates must be positive")
+        m = np.maximum(x - 1, y - 1)
+        return m * m + m + y - x + 1
+
+    def unpair_array(self, zs) -> tuple[np.ndarray, np.ndarray]:
+        z = np.asarray(zs, dtype=np.int64)
+        if np.any(z <= 0):
+            from repro.errors import DomainError
+
+            raise DomainError("addresses must be positive")
+        m = np.sqrt((z - 1).astype(np.float64)).astype(np.int64)
+        # Exact repair of the float isqrt estimate.
+        m = np.where(m * m > z - 1, m - 1, m)
+        m = np.where((m + 1) * (m + 1) <= z - 1, m + 1, m)
+        r = z - m * m
+        horizontal = r <= m + 1
+        x = np.where(horizontal, m + 1, 2 * m + 2 - r)
+        y = np.where(horizontal, r, m + 1)
+        return x, y
+
+
+class SquareShellPairingTwin(PairingFunction):
+    """The clockwise twin of ``A_{1,1}`` (exchange ``x`` and ``y``): walks
+    each square shell along the row first, then down the column.
+
+    >>> t = SquareShellPairingTwin()
+    >>> t.table(3, 3)
+    [[1, 2, 5], [4, 3, 6], [9, 8, 7]]
+    """
+
+    def __init__(self) -> None:
+        self._base = SquareShellPairing()
+
+    @property
+    def name(self) -> str:
+        return "square-shell-twin"
+
+    def _pair(self, x: int, y: int) -> int:
+        return self._base._pair(y, x)
+
+    def _unpair(self, z: int) -> tuple[int, int]:
+        x, y = self._base._unpair(z)
+        return (y, x)
+
+    def spread(self, n: int) -> int:
+        return self._base.spread(n)
+
+    def spread_for_shape(self, rows: int, cols: int) -> int:
+        return self._base.spread_for_shape(cols, rows)
+
+    def pair_array(self, xs, ys) -> np.ndarray:
+        return self._base.pair_array(ys, xs)
+
+    def unpair_array(self, zs) -> tuple[np.ndarray, np.ndarray]:
+        x, y = self._base.unpair_array(zs)
+        return y, x

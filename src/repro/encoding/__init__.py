@@ -1,0 +1,23 @@
+"""Godel/Turing-style encodings (Section 1.2).
+
+"It took revolutionary thinkers such as Godel and Turing to recognize that
+the correspondences embodied by PFs can be viewed as encodings, or
+translations, of ordered pairs (and, thence, of arbitrary finite tuples or
+strings) as integers."
+
+This subpackage makes that remark executable:
+
+* :mod:`~repro.encoding.tuples` -- a *bijective* codec between the set of
+  all finite tuples of positive integers (any length, including empty) and
+  ``N``, built from any 2-D PF by iteration plus a length tag;
+* :mod:`~repro.encoding.strings` -- a bijective codec between strings over
+  a finite alphabet and ``N`` (bijective base-k numeration), composable
+  with the tuple codec to encode sequences of strings as single integers.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.tuples import TupleCodec
+from repro.encoding.strings import StringCodec
+
+__all__ = ["TupleCodec", "StringCodec"]

@@ -1,0 +1,108 @@
+"""A bijective codec between strings over a finite alphabet and ``N``.
+
+Uses *bijective base-k numeration*: with alphabet symbols valued
+``1..k``, the string ``c_1 c_2 ... c_n`` maps to
+
+    ``sum_i value(c_i) * k**(n - i)``
+
+which is a bijection between all finite strings (including the empty
+string, which maps to 0) and the nonnegative integers; we shift by one so
+codes live in ``N`` like everything else in this library.
+
+Composing with :class:`~repro.encoding.tuples.TupleCodec` encodes
+*sequences of strings* -- the full "worlds of strings, integers, and
+tuples of integers" of Section 1.2 -- as single integers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.base import validate_address
+from repro.encoding.tuples import TupleCodec
+from repro.errors import ConfigurationError, DomainError
+
+__all__ = ["StringCodec"]
+
+_DEFAULT_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+class StringCodec:
+    """Bijective string <-> N codec over a fixed alphabet.
+
+    >>> codec = StringCodec("ab")
+    >>> [codec.decode(n) for n in range(1, 8)]
+    ['', 'a', 'b', 'aa', 'ab', 'ba', 'bb']
+    >>> codec.encode("baa")
+    12
+    >>> codec.decode(12)
+    'baa'
+    """
+
+    def __init__(self, alphabet: str | Sequence[str] = _DEFAULT_ALPHABET) -> None:
+        symbols = list(alphabet)
+        if not symbols:
+            raise ConfigurationError("alphabet must be non-empty")
+        if any(not isinstance(s, str) or len(s) != 1 for s in symbols):
+            raise ConfigurationError("alphabet entries must be single characters")
+        if len(set(symbols)) != len(symbols):
+            raise ConfigurationError("alphabet must not repeat characters")
+        self._symbols = symbols
+        self._value = {c: i + 1 for i, c in enumerate(symbols)}
+
+    @property
+    def alphabet(self) -> str:
+        return "".join(self._symbols)
+
+    @property
+    def radix(self) -> int:
+        return len(self._symbols)
+
+    # ------------------------------------------------------------------
+
+    def encode(self, text: str) -> int:
+        """The code of *text* in ``N`` (empty string -> 1)."""
+        if not isinstance(text, str):
+            raise DomainError(f"text must be a str, got {type(text).__name__}")
+        k = self.radix
+        total = 0
+        for ch in text:
+            value = self._value.get(ch)
+            if value is None:
+                raise DomainError(f"character {ch!r} not in alphabet {self.alphabet!r}")
+            total = total * k + value
+        return total + 1
+
+    def decode(self, code: int) -> str:
+        """The unique string whose code is *code* (total on ``N``)."""
+        code = validate_address(code)
+        n = code - 1
+        k = self.radix
+        chars: list[str] = []
+        while n > 0:
+            n, digit = divmod(n - 1, k)
+            chars.append(self._symbols[digit])
+        chars.reverse()
+        return "".join(chars)
+
+    # ------------------------------------------------------------------
+
+    def encode_sequence(self, texts: Sequence[str], tuples: TupleCodec | None = None) -> int:
+        """Encode a sequence of strings as one integer by composing with a
+        tuple codec.
+
+        >>> codec = StringCodec("ab")
+        >>> code = codec.encode_sequence(["ab", "", "ba"])
+        >>> codec.decode_sequence(code)
+        ('ab', '', 'ba')
+        """
+        tc = tuples if tuples is not None else TupleCodec()
+        return tc.encode([self.encode(t) for t in texts])
+
+    def decode_sequence(self, code: int, tuples: TupleCodec | None = None) -> tuple[str, ...]:
+        """Inverse of :meth:`encode_sequence`."""
+        tc = tuples if tuples is not None else TupleCodec()
+        return tuple(self.decode(c) for c in tc.decode(code))
+
+    def __repr__(self) -> str:
+        return f"<StringCodec alphabet={self.alphabet!r}>"

@@ -1,0 +1,63 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still distinguishing the common failure modes:
+
+* :class:`DomainError` -- an argument fell outside a function's mathematical
+  domain (the paper works over ``N = {1, 2, ...}``, so zero and negative
+  coordinates are rejected everywhere).
+* :class:`NotInImageError` -- an integer was handed to an inverse mapping
+  (``unpair``) but is not in the image of the forward mapping.  This can only
+  happen for *injective* storage mappings such as the dovetail combinator;
+  true pairing functions are surjective and never raise it.
+* :class:`ConfigurationError` -- a component was constructed with
+  inconsistent or unusable parameters (e.g. a dovetail of zero mappings).
+* :class:`CapacityError` -- a bounded substrate (simulated address space,
+  hash store) was asked to exceed its configured capacity.
+* :class:`AllocationError` -- the web-computing server could not satisfy an
+  allocation request (unknown volunteer, banned volunteer, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DomainError",
+    "NotInImageError",
+    "ConfigurationError",
+    "CapacityError",
+    "AllocationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DomainError(ReproError, ValueError):
+    """An argument fell outside the mathematical domain of an operation.
+
+    The paper's pairing functions are defined on the *positive* integers;
+    passing ``x <= 0`` or ``y <= 0`` (or a non-integer) raises this.
+    """
+
+
+class NotInImageError(ReproError, ValueError):
+    """An integer is not in the image of an injective storage mapping.
+
+    Raised by ``unpair`` on mappings that are injective but not surjective
+    (notably :class:`repro.core.dovetail.DovetailMapping`).
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A bounded substrate was asked to exceed its configured capacity."""
+
+
+class AllocationError(ReproError, RuntimeError):
+    """The web-computing server could not satisfy an allocation request."""

@@ -1,0 +1,116 @@
+"""Number-theoretic substrate used throughout the reproduction.
+
+This subpackage is deliberately dependency-light (pure Python integers, with
+optional numpy batch paths) and exact: everything operates on arbitrary-
+precision ``int``.  The pairing-function layers in :mod:`repro.core` and
+:mod:`repro.apf` build exclusively on the primitives exported here.
+
+Contents
+--------
+:mod:`~repro.numbertheory.bits`
+    Powers of two, ``ilog2``, 2-adic valuation -- the machinery behind the
+    additive pairing functions of Section 4.
+:mod:`~repro.numbertheory.integers`
+    Integer square roots, triangular numbers and their inverses, binomial
+    coefficients -- the machinery behind the diagonal PF of Section 2.
+:mod:`~repro.numbertheory.divisors`
+    Divisor enumeration and the divisor-count function ``delta(n)`` of
+    equation (3.4), plus a sieve for batch computation.
+:mod:`~repro.numbertheory.divisor_sums`
+    The summatory divisor function ``D(n) = sum_{k<=n} delta(k)`` via the
+    Dirichlet hyperbola method, and its inverse by binary search -- the
+    machinery behind the hyperbolic PF of Section 3.2.3.
+:mod:`~repro.numbertheory.lattice`
+    Lattice points under the hyperbola ``xy = n`` (Figure 5) and the
+    Theta(n log n) compactness lower bound.
+:mod:`~repro.numbertheory.progressions`
+    Arithmetic progressions and the odd-integer decomposition of Lemma 4.1.
+"""
+
+from __future__ import annotations
+
+from repro.numbertheory.bits import (
+    bit_length,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    two_adic_valuation,
+    odd_part,
+)
+from repro.numbertheory.integers import (
+    isqrt_exact,
+    binomial,
+    triangular,
+    triangular_root,
+    is_perfect_square,
+    ceil_div,
+    ceil_sqrt,
+)
+from repro.numbertheory.divisors import (
+    divisors,
+    divisors_descending,
+    divisor_count,
+    divisor_count_sieve,
+    divisor_list_sieve,
+    divisor_pairs,
+    factorize,
+)
+from repro.numbertheory.divisor_sums import (
+    divisor_summatory,
+    divisor_summatory_naive,
+    smallest_n_with_summatory_at_least,
+)
+from repro.numbertheory.lattice import (
+    lattice_points_under_hyperbola,
+    count_lattice_points_under_hyperbola,
+    hyperbola_staircase,
+    spread_lower_bound,
+)
+from repro.numbertheory.valuations import (
+    decompose_radix,
+    radix_valuation,
+    unit_part,
+)
+from repro.numbertheory.progressions import (
+    ArithmeticProgression,
+    odd_residues,
+    decompose_odd,
+    recompose_odd,
+)
+
+__all__ = [
+    "bit_length",
+    "ilog2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "two_adic_valuation",
+    "odd_part",
+    "isqrt_exact",
+    "binomial",
+    "triangular",
+    "triangular_root",
+    "is_perfect_square",
+    "ceil_div",
+    "ceil_sqrt",
+    "divisors",
+    "divisors_descending",
+    "divisor_count",
+    "divisor_count_sieve",
+    "divisor_list_sieve",
+    "divisor_pairs",
+    "factorize",
+    "divisor_summatory",
+    "divisor_summatory_naive",
+    "smallest_n_with_summatory_at_least",
+    "lattice_points_under_hyperbola",
+    "count_lattice_points_under_hyperbola",
+    "hyperbola_staircase",
+    "spread_lower_bound",
+    "decompose_radix",
+    "radix_valuation",
+    "unit_part",
+    "ArithmeticProgression",
+    "odd_residues",
+    "decompose_odd",
+    "recompose_odd",
+]

@@ -1,0 +1,104 @@
+"""Bit-level integer primitives.
+
+The additive pairing functions of Section 4 are built from powers of two:
+group sizes are ``2**kappa(g)``, signatures are ``2**g``, and the inverse
+mapping recovers a volunteer's group from the *2-adic valuation* (number of
+trailing zero bits) of a task index.  This module collects those primitives
+with strict domain checking.
+
+All functions operate on exact Python integers of arbitrary size.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DomainError
+
+__all__ = [
+    "bit_length",
+    "ilog2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "two_adic_valuation",
+    "odd_part",
+]
+
+
+def _require_positive(n: int, name: str = "n") -> int:
+    """Validate that *n* is a positive ``int`` and return it.
+
+    ``bool`` is rejected despite being an ``int`` subclass: a ``True`` slipping
+    into an index computation is almost always a bug at the call site.
+    """
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise DomainError(f"{name} must be an int, got {type(n).__name__}")
+    if n <= 0:
+        raise DomainError(f"{name} must be positive, got {n}")
+    return n
+
+
+def bit_length(n: int) -> int:
+    """Number of bits needed to represent positive *n* (``n.bit_length()``).
+
+    >>> bit_length(1), bit_length(2), bit_length(255), bit_length(256)
+    (1, 2, 8, 9)
+    """
+    return _require_positive(n).bit_length()
+
+
+def ilog2(n: int) -> int:
+    """Floor of the base-2 logarithm of positive *n*.
+
+    This is the paper's ``floor(log x)`` (footnote a: "all logarithms have
+    base 2"), used to compute the group index of the APF ``T#`` in (4.5).
+
+    >>> ilog2(1), ilog2(2), ilog2(3), ilog2(4), ilog2(1023)
+    (0, 1, 1, 2, 9)
+    """
+    return _require_positive(n).bit_length() - 1
+
+
+def is_power_of_two(n: int) -> bool:
+    """Whether positive *n* is an exact power of two.
+
+    >>> [k for k in range(1, 20) if is_power_of_two(k)]
+    [1, 2, 4, 8, 16]
+    """
+    _require_positive(n)
+    return n & (n - 1) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is ``>= n`` (for positive *n*).
+
+    >>> [next_power_of_two(k) for k in (1, 2, 3, 4, 5, 17)]
+    [1, 2, 4, 4, 8, 32]
+    """
+    _require_positive(n)
+    return 1 << (n - 1).bit_length()
+
+
+def two_adic_valuation(n: int) -> int:
+    """The exponent of the largest power of 2 dividing positive *n*.
+
+    This is the key to inverting any APF built by Procedure APF-Constructor:
+    "the trailing 0's of each image integer k = T(x, y) identify x's group g"
+    (proof of Theorem 4.2).
+
+    >>> [two_adic_valuation(k) for k in (1, 2, 3, 4, 12, 96)]
+    [0, 1, 0, 2, 2, 5]
+    """
+    _require_positive(n)
+    return (n & -n).bit_length() - 1
+
+
+def odd_part(n: int) -> int:
+    """The odd integer *m* such that ``n = 2**v * m`` (*v* the valuation).
+
+    Every positive integer is uniquely a power of two times an odd number;
+    this uniqueness is what makes the APF constructor produce bijections.
+
+    >>> [odd_part(k) for k in (1, 2, 3, 12, 96)]
+    [1, 1, 3, 3, 3]
+    """
+    _require_positive(n)
+    return n >> ((n & -n).bit_length() - 1)

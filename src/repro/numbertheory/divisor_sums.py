@@ -1,0 +1,94 @@
+"""The summatory divisor function ``D(n) = sum_{k<=n} delta(k)``.
+
+The hyperbolic PF (3.4) opens with ``sum_{k=1}^{xy-1} delta(k)`` -- the total
+number of lattice points on all hyperbolic shells strictly before shell
+``xy``.  Evaluating that sum naively costs ``O(n sqrt n)``; the Dirichlet
+hyperbola method brings it to ``O(sqrt n)``:
+
+    ``D(n) = 2 * sum_{i=1}^{floor(sqrt n)} floor(n / i)  -  floor(sqrt n)**2``
+
+which follows from counting lattice points under ``xy = n`` symmetrically
+about the diagonal.  Because ``D`` is strictly increasing, the *inverse*
+problem -- "which shell does address ``z`` land on?" -- is a binary search,
+giving the hyperbolic PF an ``O(sqrt z * log z)`` unpair.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DomainError
+from repro.numbertheory.divisors import divisor_count
+from repro.numbertheory.integers import isqrt_exact
+
+__all__ = [
+    "divisor_summatory",
+    "divisor_summatory_naive",
+    "smallest_n_with_summatory_at_least",
+]
+
+
+def divisor_summatory(n: int) -> int:
+    """``D(n) = sum_{k=1}^{n} delta(k)`` via the hyperbola method, ``O(sqrt n)``.
+
+    Accepts ``n = 0`` (empty sum) so that the hyperbolic PF can write
+    ``D(xy - 1)`` uniformly, including at ``xy = 1``.
+
+    >>> [divisor_summatory(n) for n in range(9)]
+    [0, 1, 3, 5, 8, 10, 14, 16, 20]
+    """
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise DomainError(f"n must be an int, got {type(n).__name__}")
+    if n < 0:
+        raise DomainError(f"n must be nonnegative, got {n}")
+    if n == 0:
+        return 0
+    root = isqrt_exact(n)
+    total = 0
+    for i in range(1, root + 1):
+        total += n // i
+    return 2 * total - root * root
+
+
+def divisor_summatory_naive(n: int) -> int:
+    """``D(n)`` by direct summation of ``delta(k)`` -- the oracle used by
+    tests to validate the hyperbola method (``O(n sqrt n)``; keep *n* small).
+
+    >>> divisor_summatory_naive(8) == divisor_summatory(8)
+    True
+    """
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise DomainError(f"n must be an int, got {type(n).__name__}")
+    if n < 0:
+        raise DomainError(f"n must be nonnegative, got {n}")
+    return sum(divisor_count(k) for k in range(1, n + 1))
+
+
+def smallest_n_with_summatory_at_least(target: int) -> int:
+    """Smallest ``n >= 1`` with ``D(n) >= target`` (for ``target >= 1``).
+
+    This is the shell-location step of the hyperbolic PF's inverse: address
+    ``z`` lies on shell ``n`` exactly when ``D(n-1) < z <= D(n)``.
+
+    The search brackets ``n`` by exponential doubling and then bisects.
+    Since ``D(n) >= n``, the answer is at most ``target``, and since
+    ``D(n) ~ n ln n`` the doubling phase terminates in ``O(log target)``
+    steps; each probe costs ``O(sqrt n)``.
+
+    >>> [smallest_n_with_summatory_at_least(t) for t in (1, 2, 3, 4, 5, 6, 9)]
+    [1, 2, 2, 3, 3, 4, 5]
+    """
+    if isinstance(target, bool) or not isinstance(target, int):
+        raise DomainError(f"target must be an int, got {type(target).__name__}")
+    if target <= 0:
+        raise DomainError(f"target must be positive, got {target}")
+    lo, hi = 1, 1
+    while divisor_summatory(hi) < target:
+        lo = hi + 1
+        hi *= 2
+    # Invariant: D(lo - 1) < target <= D(hi).
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if divisor_summatory(mid) >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,188 @@
+"""Divisor enumeration and the divisor-count function ``delta(n)``.
+
+The hyperbolic pairing function (3.4) enumerates each shell ``xy = c`` "in
+reverse lexicographic order" of its 2-part factorizations -- i.e. by
+descending first coordinate.  Computing ``H(x, y)`` therefore needs, for
+``n = x*y``:
+
+* ``delta(n)`` -- the number of divisors of ``n`` (the shell size), and
+* the rank of ``x`` among the divisors of ``n`` in descending order.
+
+Both come from trial division up to ``sqrt(n)`` (``O(sqrt n)`` per call);
+for dense sweeps :func:`divisor_count_sieve` computes ``delta(1..n)`` in
+``O(n log n)`` total, the batch idiom preferred for benchmark workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import DomainError
+from repro.numbertheory.integers import isqrt_exact
+
+__all__ = [
+    "divisors",
+    "divisors_descending",
+    "divisor_count",
+    "divisor_count_sieve",
+    "divisor_list_sieve",
+    "divisor_pairs",
+    "factorize",
+]
+
+
+def _require_positive(n: int, name: str = "n") -> int:
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise DomainError(f"{name} must be an int, got {type(n).__name__}")
+    if n <= 0:
+        raise DomainError(f"{name} must be positive, got {n}")
+    return n
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of *n* in increasing order.
+
+    Trial division up to ``sqrt(n)``: the small divisors are found in order
+    and each contributes its cofactor to the tail.
+
+    >>> divisors(12)
+    [1, 2, 3, 4, 6, 12]
+    >>> divisors(1)
+    [1]
+    >>> divisors(49)
+    [1, 7, 49]
+    """
+    _require_positive(n)
+    small: list[int] = []
+    large: list[int] = []
+    root = isqrt_exact(n)
+    for d in range(1, root + 1):
+        if n % d == 0:
+            small.append(d)
+            q = n // d
+            if q != d:
+                large.append(q)
+    large.reverse()
+    return small + large
+
+
+def divisors_descending(n: int) -> list[int]:
+    """All positive divisors of *n* in decreasing order.
+
+    This is the enumeration order of the hyperbolic PF's shells: the pair
+    ``(d, n // d)`` with the largest ``d`` comes first ("reverse
+    lexicographic order" in the paper's terms).
+
+    >>> divisors_descending(12)
+    [12, 6, 4, 3, 2, 1]
+    """
+    ds = divisors(n)
+    ds.reverse()
+    return ds
+
+
+def divisor_count(n: int) -> int:
+    """``delta(n)``: the number of positive divisors of *n*.
+
+    >>> [divisor_count(k) for k in range(1, 13)]
+    [1, 2, 2, 3, 2, 4, 2, 4, 3, 4, 2, 6]
+    """
+    _require_positive(n)
+    count = 0
+    root = isqrt_exact(n)
+    for d in range(1, root + 1):
+        if n % d == 0:
+            count += 2
+    if root * root == n:
+        count -= 1
+    return count
+
+
+def divisor_count_sieve(limit: int) -> list[int]:
+    """``delta(k)`` for every ``k`` in ``1..limit`` as a list of length
+    ``limit + 1`` (index 0 unused, set to 0).
+
+    Classic ``O(limit log limit)`` sieve: each ``d`` increments all of its
+    multiples.  Used by sweep-style benchmarks and by property tests as an
+    independent oracle for :func:`divisor_count`.
+
+    >>> divisor_count_sieve(6)
+    [0, 1, 2, 2, 3, 2, 4]
+    """
+    if isinstance(limit, bool) or not isinstance(limit, int):
+        raise DomainError(f"limit must be an int, got {type(limit).__name__}")
+    if limit < 0:
+        raise DomainError(f"limit must be nonnegative, got {limit}")
+    counts = [0] * (limit + 1)
+    for d in range(1, limit + 1):
+        for multiple in range(d, limit + 1, d):
+            counts[multiple] += 1
+    return counts
+
+
+def divisor_list_sieve(limit: int) -> list[list[int]]:
+    """The full divisor lists of every ``k`` in ``1..limit``: entry ``k`` is
+    ``divisors(k)`` (ascending); entry 0 is empty.
+
+    ``O(limit log limit)`` time and space -- the batch companion to
+    :func:`divisors` for window sweeps (e.g. generating large hyperbolic-PF
+    tables, where per-cell trial division would dominate).
+
+    >>> divisor_list_sieve(6)[6]
+    [1, 2, 3, 6]
+    >>> divisor_list_sieve(6)[4]
+    [1, 2, 4]
+    """
+    if isinstance(limit, bool) or not isinstance(limit, int):
+        raise DomainError(f"limit must be an int, got {type(limit).__name__}")
+    if limit < 0:
+        raise DomainError(f"limit must be nonnegative, got {limit}")
+    lists: list[list[int]] = [[] for _ in range(limit + 1)]
+    for d in range(1, limit + 1):
+        for multiple in range(d, limit + 1, d):
+            lists[multiple].append(d)
+    return lists
+
+
+def divisor_pairs(n: int) -> Iterator[tuple[int, int]]:
+    """The 2-part factorizations ``(x, y)`` of *n* with ``x * y == n``, in
+    the hyperbolic PF's shell order: descending ``x``.
+
+    >>> list(divisor_pairs(6))
+    [(6, 1), (3, 2), (2, 3), (1, 6)]
+    >>> list(divisor_pairs(4))
+    [(4, 1), (2, 2), (1, 4)]
+    """
+    for d in divisors_descending(n):
+        yield (d, n // d)
+
+
+def factorize(n: int) -> dict[int, int]:
+    """Prime factorization of *n* as ``{prime: exponent}``.
+
+    Plain trial division -- entirely adequate for the magnitudes exercised
+    here, and an independent route to ``delta(n) = prod(e+1)`` for tests.
+
+    >>> factorize(360)
+    {2: 3, 3: 2, 5: 1}
+    >>> factorize(1)
+    {}
+    """
+    _require_positive(n)
+    factors: dict[int, int] = {}
+    remaining = n
+    for p in (2, 3):
+        while remaining % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            remaining //= p
+    # Wheel over 6k +/- 1 candidates.
+    candidate = 5
+    while candidate * candidate <= remaining:
+        for p in (candidate, candidate + 2):
+            while remaining % p == 0:
+                factors[p] = factors.get(p, 0) + 1
+                remaining //= p
+        candidate += 6
+    if remaining > 1:
+        factors[remaining] = factors.get(remaining, 0) + 1
+    return factors

@@ -1,0 +1,129 @@
+"""Exact integer arithmetic helpers: square roots, triangular numbers,
+binomial coefficients.
+
+The diagonal pairing function (2.1) is ``D(x, y) = C(x+y-1, 2) + y``; its
+inverse needs the *triangular root* -- the largest ``s`` with
+``s(s+1)/2 <= z`` -- which we compute exactly from ``math.isqrt`` with no
+floating point anywhere (floats would silently corrupt results beyond
+2**53, and the whole point of a Python reproduction is exact bignums).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import DomainError
+
+__all__ = [
+    "isqrt_exact",
+    "ceil_sqrt",
+    "is_perfect_square",
+    "binomial",
+    "triangular",
+    "triangular_root",
+    "ceil_div",
+]
+
+
+def isqrt_exact(n: int) -> int:
+    """Floor of the square root of a nonnegative integer, exactly.
+
+    Thin validated wrapper over :func:`math.isqrt`; kept as a named function
+    so that every exact-arithmetic call site in the library reads uniformly.
+
+    >>> [isqrt_exact(k) for k in (0, 1, 3, 4, 8, 9, 10**30)]
+    [0, 1, 1, 2, 2, 3, 1000000000000000]
+    """
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise DomainError(f"n must be an int, got {type(n).__name__}")
+    if n < 0:
+        raise DomainError(f"n must be nonnegative, got {n}")
+    return math.isqrt(n)
+
+
+def ceil_sqrt(n: int) -> int:
+    """Ceiling of the square root of a nonnegative integer, exactly.
+
+    >>> [ceil_sqrt(k) for k in (0, 1, 2, 4, 5, 9)]
+    [0, 1, 2, 2, 3, 3]
+    """
+    r = isqrt_exact(n)
+    return r if r * r == n else r + 1
+
+
+def is_perfect_square(n: int) -> bool:
+    """Whether nonnegative *n* is a perfect square.
+
+    >>> [k for k in range(17) if is_perfect_square(k)]
+    [0, 1, 4, 9, 16]
+    """
+    r = isqrt_exact(n)
+    return r * r == n
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient ``C(n, k)``, with ``C(n, k) = 0`` for ``k > n``.
+
+    The paper writes the diagonal PF as ``D(x,y) = C(x+y-1, 2) + y``; this
+    helper makes that formula transcribable verbatim.
+
+    >>> binomial(5, 2), binomial(1, 2), binomial(0, 0)
+    (10, 0, 1)
+    """
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise DomainError(f"n must be an int, got {type(n).__name__}")
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise DomainError(f"k must be an int, got {type(k).__name__}")
+    if n < 0 or k < 0:
+        raise DomainError(f"binomial requires nonnegative arguments, got ({n}, {k})")
+    if k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def triangular(s: int) -> int:
+    """The *s*-th triangular number ``s(s+1)/2`` for nonnegative *s*.
+
+    >>> [triangular(s) for s in range(7)]
+    [0, 1, 3, 6, 10, 15, 21]
+    """
+    if isinstance(s, bool) or not isinstance(s, int):
+        raise DomainError(f"s must be an int, got {type(s).__name__}")
+    if s < 0:
+        raise DomainError(f"s must be nonnegative, got {s}")
+    return s * (s + 1) // 2
+
+
+def triangular_root(z: int) -> int:
+    """Largest ``s >= 0`` with ``triangular(s) <= z``, exactly.
+
+    Solves ``s(s+1)/2 <= z`` via ``s = floor((isqrt(8z+1) - 1) / 2)`` and then
+    repairs any off-by-one defensively (isqrt is exact so the formula is too,
+    but the repair loop documents and enforces the invariant).
+
+    >>> [triangular_root(z) for z in (0, 1, 2, 3, 5, 6, 20, 21)]
+    [0, 1, 1, 2, 2, 3, 5, 6]
+    """
+    if isinstance(z, bool) or not isinstance(z, int):
+        raise DomainError(f"z must be an int, got {type(z).__name__}")
+    if z < 0:
+        raise DomainError(f"z must be nonnegative, got {z}")
+    s = (math.isqrt(8 * z + 1) - 1) // 2
+    while triangular(s + 1) <= z:  # pragma: no cover - formula is exact
+        s += 1
+    while triangular(s) > z:  # pragma: no cover - formula is exact
+        s -= 1
+    return s
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division ``ceil(a / b)`` for integers with positive *b*.
+
+    >>> [ceil_div(a, 3) for a in range(1, 8)]
+    [1, 1, 1, 2, 2, 2, 3]
+    """
+    if isinstance(b, bool) or not isinstance(b, int) or b <= 0:
+        raise DomainError(f"b must be a positive int, got {b!r}")
+    if isinstance(a, bool) or not isinstance(a, int):
+        raise DomainError(f"a must be an int, got {type(a).__name__}")
+    return -(-a // b)

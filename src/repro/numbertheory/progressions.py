@@ -1,0 +1,153 @@
+"""Arithmetic progressions and the odd-integer decomposition of Lemma 4.1.
+
+Lemma 4.1 (Niven & Zuckerman): *for any positive integer c, every odd
+integer can be written in precisely one of the 2**(c-1) forms*
+
+    ``2**c * n + 1,  2**c * n + 3,  ...,  2**c * n + (2**c - 1)``
+
+*for some nonnegative n*.  In other words the odd integers partition into
+the ``2**(c-1)`` arithmetic progressions of stride ``2**c`` whose residues
+are the odd residues mod ``2**c``.  Procedure APF-Constructor hands one such
+progression to each member of a group, which is why every APF row is an
+arithmetic progression -- the property the whole of Section 4 trades on.
+
+:class:`ArithmeticProgression` is also the *contract object* the
+web-computing layer stores per volunteer: base + stride, with O(1)
+membership testing and term indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import DomainError
+
+__all__ = [
+    "ArithmeticProgression",
+    "odd_residues",
+    "decompose_odd",
+    "recompose_odd",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ArithmeticProgression:
+    """The progression ``base, base + stride, base + 2*stride, ...``.
+
+    Both ``base`` and ``stride`` must be positive -- these model task
+    indices, which the paper draws from ``N = {1, 2, ...}``.
+    """
+
+    base: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, bool) or not isinstance(self.base, int):
+            raise DomainError(f"base must be an int, got {type(self.base).__name__}")
+        if isinstance(self.stride, bool) or not isinstance(self.stride, int):
+            raise DomainError(
+                f"stride must be an int, got {type(self.stride).__name__}"
+            )
+        if self.base <= 0:
+            raise DomainError(f"base must be positive, got {self.base}")
+        if self.stride <= 0:
+            raise DomainError(f"stride must be positive, got {self.stride}")
+
+    def term(self, t: int) -> int:
+        """The *t*-th term (1-indexed): ``base + (t - 1) * stride``.
+
+        >>> ArithmeticProgression(3, 4).term(1)
+        3
+        >>> ArithmeticProgression(3, 4).term(5)
+        19
+        """
+        if isinstance(t, bool) or not isinstance(t, int) or t <= 0:
+            raise DomainError(f"t must be a positive int, got {t!r}")
+        return self.base + (t - 1) * self.stride
+
+    def index_of(self, value: int) -> int:
+        """The 1-based index *t* with ``term(t) == value``.
+
+        Raises :class:`DomainError` if *value* is not in the progression.
+
+        >>> ArithmeticProgression(3, 4).index_of(19)
+        5
+        """
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise DomainError(f"value must be an int, got {type(value).__name__}")
+        offset = value - self.base
+        if offset < 0 or offset % self.stride != 0:
+            raise DomainError(f"{value} is not a term of {self}")
+        return offset // self.stride + 1
+
+    def __contains__(self, value: object) -> bool:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return False
+        offset = value - self.base
+        return offset >= 0 and offset % self.stride == 0
+
+    def terms(self, count: int) -> Iterator[int]:
+        """Yield the first *count* terms.
+
+        >>> list(ArithmeticProgression(1, 2).terms(4))
+        [1, 3, 5, 7]
+        """
+        if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+            raise DomainError(f"count must be a nonnegative int, got {count!r}")
+        for t in range(1, count + 1):
+            yield self.term(t)
+
+    def __str__(self) -> str:
+        return f"{self.base} + {self.stride}*k (k >= 0)"
+
+
+def odd_residues(c: int) -> list[int]:
+    """The ``2**(c-1)`` odd residues mod ``2**c`` -- the residue classes of
+    Lemma 4.1.
+
+    >>> odd_residues(1), odd_residues(2), odd_residues(3)
+    ([1], [1, 3], [1, 3, 5, 7])
+    """
+    if isinstance(c, bool) or not isinstance(c, int) or c <= 0:
+        raise DomainError(f"c must be a positive int, got {c!r}")
+    return list(range(1, 1 << c, 2))
+
+
+def decompose_odd(odd: int, c: int) -> tuple[int, int]:
+    """Write odd integer *odd* in its unique Lemma 4.1 form
+    ``2**c * n + r`` with ``r`` an odd residue mod ``2**c``; returns
+    ``(n, r)``.
+
+    >>> decompose_odd(13, 2)
+    (3, 1)
+    >>> decompose_odd(13, 3)
+    (1, 5)
+    """
+    if isinstance(odd, bool) or not isinstance(odd, int) or odd <= 0:
+        raise DomainError(f"odd must be a positive int, got {odd!r}")
+    if odd % 2 == 0:
+        raise DomainError(f"odd must be odd, got {odd}")
+    if isinstance(c, bool) or not isinstance(c, int) or c <= 0:
+        raise DomainError(f"c must be a positive int, got {c!r}")
+    modulus = 1 << c
+    r = odd % modulus
+    n = odd // modulus
+    return (n, r)
+
+
+def recompose_odd(n: int, r: int, c: int) -> int:
+    """Inverse of :func:`decompose_odd`: ``2**c * n + r``.
+
+    >>> recompose_odd(3, 1, 2)
+    13
+    """
+    if isinstance(n, bool) or not isinstance(n, int) or n < 0:
+        raise DomainError(f"n must be a nonnegative int, got {n!r}")
+    if isinstance(c, bool) or not isinstance(c, int) or c <= 0:
+        raise DomainError(f"c must be a positive int, got {c!r}")
+    if isinstance(r, bool) or not isinstance(r, int) or r <= 0 or r % 2 == 0:
+        raise DomainError(f"r must be a positive odd int, got {r!r}")
+    if r >= (1 << c):
+        raise DomainError(f"r must be < 2**c = {1 << c}, got {r}")
+    return (n << c) + r

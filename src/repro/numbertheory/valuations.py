@@ -1,0 +1,65 @@
+"""General r-adic valuations.
+
+The 2-adic valuation (:mod:`repro.numbertheory.bits`) powers the paper's
+APF constructor: signatures ``2**g`` make groups recoverable from trailing
+binary zeros.  Nothing in the argument is specific to 2 -- every positive
+integer is uniquely ``r**v * m`` with ``r`` not dividing ``m`` -- and the
+radix-r generalization (:mod:`repro.apf.radix`) needs exactly these
+primitives.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DomainError
+
+__all__ = ["radix_valuation", "unit_part", "decompose_radix"]
+
+
+def _check(n: int, r: int) -> None:
+    if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
+        raise DomainError(f"n must be a positive int, got {n!r}")
+    if isinstance(r, bool) or not isinstance(r, int) or r < 2:
+        raise DomainError(f"radix must be an int >= 2, got {r!r}")
+
+
+def radix_valuation(n: int, r: int) -> int:
+    """The largest ``v`` with ``r**v`` dividing *n*.
+
+    >>> radix_valuation(54, 3), radix_valuation(8, 2), radix_valuation(7, 5)
+    (3, 3, 0)
+    """
+    _check(n, r)
+    v = 0
+    while n % r == 0:
+        n //= r
+        v += 1
+    return v
+
+
+def unit_part(n: int, r: int) -> int:
+    """The cofactor ``m`` in ``n = r**v * m`` with ``r`` not dividing ``m``.
+
+    >>> unit_part(54, 3), unit_part(54, 2)
+    (2, 27)
+    """
+    _check(n, r)
+    while n % r == 0:
+        n //= r
+    return n
+
+
+def decompose_radix(n: int, r: int) -> tuple[int, int]:
+    """``(v, m)`` with ``n = r**v * m`` and ``r`` not dividing ``m`` -- the
+    unique decomposition that makes radix-r APF constructions bijective.
+
+    >>> decompose_radix(54, 3)
+    (3, 2)
+    >>> decompose_radix(54, 3)[1] % 3 != 0
+    True
+    """
+    _check(n, r)
+    v = 0
+    while n % r == 0:
+        n //= r
+        v += 1
+    return (v, n)

@@ -1,0 +1,56 @@
+"""Polynomial pairing functions and their impossibility theory (Section 2).
+
+* :mod:`~repro.polynomial.poly2d` -- exact bivariate polynomials;
+* :mod:`~repro.polynomial.bijectivity` -- finite (non-)bijectivity
+  certificates and the [7] density measure;
+* :mod:`~repro.polynomial.fueter_polya` -- the executable Fueter-Polya
+  grid search (Cantor + twin are the only quadratic survivors);
+* :mod:`~repro.polynomial.exclusions` -- the [8]-style counting exclusion
+  of positive-coefficient super-quadratic candidates.
+"""
+
+from __future__ import annotations
+
+from repro.polynomial.poly2d import Polynomial2D
+from repro.polynomial.bijectivity import (
+    WindowReport,
+    analyze_window,
+    image_density,
+    is_pf_on_window,
+)
+from repro.polynomial.fueter_polya import (
+    SearchResult,
+    candidate_grid_size,
+    default_grid,
+    search_quadratic_pfs,
+)
+from repro.polynomial.cubic_search import (
+    CubicSearchResult,
+    cubic_candidates,
+    search_cubic_pfs,
+)
+from repro.polynomial.exclusions import (
+    ExclusionCertificate,
+    exclusion_certificate,
+    gap_witness,
+    range_count,
+)
+
+__all__ = [
+    "Polynomial2D",
+    "WindowReport",
+    "analyze_window",
+    "image_density",
+    "is_pf_on_window",
+    "SearchResult",
+    "candidate_grid_size",
+    "default_grid",
+    "search_quadratic_pfs",
+    "CubicSearchResult",
+    "cubic_candidates",
+    "search_cubic_pfs",
+    "ExclusionCertificate",
+    "exclusion_certificate",
+    "gap_witness",
+    "range_count",
+]

@@ -1,0 +1,153 @@
+"""Finite certificates of (non-)bijectivity for candidate polynomial PFs.
+
+A polynomial PF claim is infinite, but violations are finite and
+searchable.  For a candidate ``P`` this module computes, over the region
+``R(bound) = {(x, y) : P(x, y) <= bound}`` intersected with a safety
+window:
+
+* **positivity / integrality failures** -- immediate disqualifiers;
+* **collisions** -- two lattice points with equal value (injectivity
+  violation);
+* **gaps** -- integers in ``1..bound`` hit by no lattice point
+  (surjectivity violation), valid whenever the region scan was *complete*,
+  i.e. the window provably contains every preimage of ``1..bound``;
+* **density** -- ``|{(x,y) : P(x,y) <= n}| / n``, the quantity in the
+  Lew-Rosenberg "unit density" refinement [7]: a PF has density exactly 1.
+
+Completeness of the scan is certified monotonically: if ``P`` is
+nondecreasing in each variable beyond the window's first row/column (true
+for all our candidates, checked numerically on the boundary), no point
+outside the window can map into ``1..bound``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.errors import DomainError
+from repro.polynomial.poly2d import Polynomial2D
+
+__all__ = ["WindowReport", "analyze_window", "image_density", "is_pf_on_window"]
+
+
+@dataclass(frozen=True, slots=True)
+class WindowReport:
+    """Everything the window scan learned about a candidate."""
+
+    bound: int
+    window: int
+    scanned_points: int
+    non_positive: int
+    non_integer: int
+    collisions: tuple[tuple[int, tuple[int, int], tuple[int, int]], ...]
+    gaps: tuple[int, ...]
+    complete: bool
+
+    @property
+    def pf_consistent(self) -> bool:
+        """No violation found: consistent with being a PF on this window
+        (a certificate of *failure* is definitive; success is evidence)."""
+        if self.non_positive or self.non_integer or self.collisions:
+            return False
+        return not (self.complete and self.gaps)
+
+
+def _boundary_dominates(p: Polynomial2D, window: int, bound: int) -> bool:
+    """True when every lattice point on the window's outer boundary maps
+    above *bound* AND the polynomial is nondecreasing walking outward along
+    the two boundary rays we extend past the window.  Together these make
+    the scan complete for monotone-beyond-window candidates."""
+    edge = window + 1
+    for t in range(1, edge + 1):
+        if p(edge, t) <= bound or p(t, edge) <= bound:
+            return False
+    # Light monotonicity probe beyond the boundary (not a proof for wild
+    # polynomials, but we only certify completeness when it also holds).
+    for t in range(1, edge + 1):
+        if p(edge + 1, t) < p(edge, t) or p(t, edge + 1) < p(t, edge):
+            return False
+    return True
+
+
+def analyze_window(p: Polynomial2D, bound: int, window: int | None = None) -> WindowReport:
+    """Scan the candidate over a window and report violations.
+
+    >>> report = analyze_window(Polynomial2D.cantor(), bound=50)
+    >>> report.pf_consistent, report.complete, report.gaps
+    (True, True, ())
+    """
+    if isinstance(bound, bool) or not isinstance(bound, int) or bound <= 0:
+        raise DomainError(f"bound must be a positive int, got {bound!r}")
+    if window is None:
+        window = bound + 1  # any preimage of v <= bound has x, y <= v <= bound
+    if window <= 0:
+        raise DomainError(f"window must be positive, got {window}")
+
+    seen: dict[int, tuple[int, int]] = {}
+    collisions: list[tuple[int, tuple[int, int], tuple[int, int]]] = []
+    non_positive = 0
+    non_integer = 0
+    scanned = 0
+    for x in range(1, window + 1):
+        for y in range(1, window + 1):
+            value = p(x, y)
+            scanned += 1
+            if value.denominator != 1:
+                non_integer += 1
+                continue
+            v = value.numerator
+            if v <= 0:
+                non_positive += 1
+                continue
+            if v <= bound:
+                if v in seen:
+                    collisions.append((v, seen[v], (x, y)))
+                else:
+                    seen[v] = (x, y)
+    complete = _boundary_dominates(p, window, bound)
+    gaps = tuple(v for v in range(1, bound + 1) if v not in seen)
+    return WindowReport(
+        bound=bound,
+        window=window,
+        scanned_points=scanned,
+        non_positive=non_positive,
+        non_integer=non_integer,
+        collisions=tuple(collisions),
+        gaps=gaps,
+        complete=complete,
+    )
+
+
+def image_density(p: Polynomial2D, n: int, window: int | None = None) -> Fraction:
+    """``|{(x, y) in window : 0 < P(x, y) <= n, integer}| / n`` -- the [7]
+    density.  A PF has density exactly 1 for every n; a super-quadratic
+    polynomial's density tends to 0.
+
+    >>> image_density(Polynomial2D.cantor(), 36)
+    Fraction(1, 1)
+    """
+    if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
+        raise DomainError(f"n must be a positive int, got {n!r}")
+    if window is None:
+        window = n + 1
+    count = 0
+    for x in range(1, window + 1):
+        for y in range(1, window + 1):
+            value = p(x, y)
+            if value.denominator == 1 and 0 < value.numerator <= n:
+                count += 1
+    return Fraction(count, n)
+
+
+def is_pf_on_window(p: Polynomial2D, bound: int) -> bool:
+    """Convenience predicate: the candidate behaves like a PF for all
+    values up to *bound* (complete scan, no violations).
+
+    >>> is_pf_on_window(Polynomial2D.cantor(), 40)
+    True
+    >>> is_pf_on_window(Polynomial2D.quadratic(1, 0, 1, 0, 0, -1), 40)
+    False
+    """
+    report = analyze_window(p, bound)
+    return report.pf_consistent and report.complete and not report.gaps

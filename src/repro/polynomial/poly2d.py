@@ -1,0 +1,230 @@
+"""Bivariate polynomials with exact rational coefficients.
+
+Section 2 asks which *polynomials* can be pairing functions.  The candidate
+space has rational (typically half-integer) coefficients -- Cantor's
+polynomial is
+
+    ``D(x, y) = x**2/2 + xy + y**2/2 - 3x/2 - y/2 + 1``
+
+so exact arithmetic uses :class:`fractions.Fraction` throughout.  The class
+is intentionally small: evaluation (scalar-exact and numpy-float for
+sweeps), arithmetic needed to build candidates, degree bookkeeping, and the
+structural predicates (integer-valued on the lattice, positive
+coefficients) that the Fueter-Polya search and the exclusion arguments key
+on.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DomainError
+
+__all__ = ["Polynomial2D"]
+
+Coeff = int | Fraction
+
+
+class Polynomial2D:
+    """A polynomial ``sum a[i,j] * x**i * y**j`` with Fraction coefficients.
+
+    >>> p = Polynomial2D.cantor()
+    >>> p(1, 1), p(3, 2)
+    (Fraction(1, 1), Fraction(8, 1))
+    >>> p.degree
+    2
+    """
+
+    def __init__(self, coefficients: Mapping[tuple[int, int], Coeff]) -> None:
+        coeffs: dict[tuple[int, int], Fraction] = {}
+        for (i, j), a in coefficients.items():
+            if (
+                isinstance(i, bool)
+                or isinstance(j, bool)
+                or not isinstance(i, int)
+                or not isinstance(j, int)
+                or i < 0
+                or j < 0
+            ):
+                raise ConfigurationError(f"bad exponent pair {(i, j)!r}")
+            frac = Fraction(a)
+            if frac != 0:
+                coeffs[(i, j)] = frac
+        self._coeffs = coeffs
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def cantor(cls) -> "Polynomial2D":
+        """The diagonal PF (2.1) expanded as a polynomial."""
+        h = Fraction(1, 2)
+        return cls(
+            {
+                (2, 0): h,
+                (1, 1): 1,
+                (0, 2): h,
+                (1, 0): -3 * h,
+                (0, 1): -h,
+                (0, 0): 1,
+            }
+        )
+
+    @classmethod
+    def cantor_twin(cls) -> "Polynomial2D":
+        """The twin of (2.1): exchange x and y."""
+        return cls.cantor().swap()
+
+    @classmethod
+    def zero(cls) -> "Polynomial2D":
+        return cls({})
+
+    @classmethod
+    def quadratic(
+        cls,
+        a20: Coeff,
+        a11: Coeff,
+        a02: Coeff,
+        a10: Coeff,
+        a01: Coeff,
+        a00: Coeff,
+    ) -> "Polynomial2D":
+        """General quadratic -- the Fueter-Polya search space."""
+        return cls(
+            {
+                (2, 0): a20,
+                (1, 1): a11,
+                (0, 2): a02,
+                (1, 0): a10,
+                (0, 1): a01,
+                (0, 0): a00,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def coefficients(self) -> dict[tuple[int, int], Fraction]:
+        return dict(self._coeffs)
+
+    @property
+    def degree(self) -> int:
+        """Total degree (``-1`` for the zero polynomial, by convention)."""
+        if not self._coeffs:
+            return -1
+        return max(i + j for i, j in self._coeffs)
+
+    def coefficient(self, i: int, j: int) -> Fraction:
+        return self._coeffs.get((i, j), Fraction(0))
+
+    def leading_form(self) -> dict[tuple[int, int], Fraction]:
+        """The coefficients of the total-degree-``d`` terms (the "lead
+        terms" of the paper's gap argument)."""
+        d = self.degree
+        return {(i, j): a for (i, j), a in self._coeffs.items() if i + j == d}
+
+    def has_all_positive_coefficients(self) -> bool:
+        """Every (nonzero) coefficient positive -- the hypothesis of the
+        paper's simple exclusion example."""
+        return bool(self._coeffs) and all(a > 0 for a in self._coeffs.values())
+
+    def is_super_quadratic(self) -> bool:
+        return self.degree > 2
+
+    def swap(self) -> "Polynomial2D":
+        """Exchange the roles of x and y."""
+        return Polynomial2D({(j, i): a for (i, j), a in self._coeffs.items()})
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def __call__(self, x: int, y: int) -> Fraction:
+        """Exact evaluation at integer (or Fraction) arguments."""
+        total = Fraction(0)
+        for (i, j), a in self._coeffs.items():
+            total += a * x**i * y**j
+        return total
+
+    def eval_int(self, x: int, y: int) -> int:
+        """Evaluate and assert integrality (candidate PFs must be integer-
+        valued on the lattice)."""
+        value = self(x, y)
+        if value.denominator != 1:
+            raise DomainError(
+                f"polynomial is not integer-valued at ({x}, {y}): {value}"
+            )
+        return value.numerator
+
+    def is_integer_valued_on_window(self, limit: int) -> bool:
+        """Integer-valued at every lattice point of the ``limit x limit``
+        window.  (For degree <= 2 this window check with ``limit >= 3``
+        implies integrality everywhere, since second differences are then
+        constant.)"""
+        if limit <= 0:
+            raise DomainError(f"limit must be positive, got {limit}")
+        return all(
+            self(x, y).denominator == 1
+            for x in range(1, limit + 1)
+            for y in range(1, limit + 1)
+        )
+
+    def eval_array(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Float evaluation over numpy arrays (sweeps/plots; not exact)."""
+        x = np.asarray(xs, dtype=np.float64)
+        y = np.asarray(ys, dtype=np.float64)
+        out = np.zeros(np.broadcast(x, y).shape, dtype=np.float64)
+        for (i, j), a in self._coeffs.items():
+            out = out + float(a) * x**i * y**j
+        return out
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "Polynomial2D") -> "Polynomial2D":
+        if not isinstance(other, Polynomial2D):
+            return NotImplemented
+        coeffs = dict(self._coeffs)
+        for key, a in other._coeffs.items():
+            coeffs[key] = coeffs.get(key, Fraction(0)) + a
+        return Polynomial2D(coeffs)
+
+    def __sub__(self, other: "Polynomial2D") -> "Polynomial2D":
+        if not isinstance(other, Polynomial2D):
+            return NotImplemented
+        coeffs = dict(self._coeffs)
+        for key, a in other._coeffs.items():
+            coeffs[key] = coeffs.get(key, Fraction(0)) - a
+        return Polynomial2D(coeffs)
+
+    def scale(self, factor: Coeff) -> "Polynomial2D":
+        f = Fraction(factor)
+        return Polynomial2D({k: a * f for k, a in self._coeffs.items()})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial2D):
+            return NotImplemented
+        return self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._coeffs.items()))
+
+    def __repr__(self) -> str:
+        if not self._coeffs:
+            return "Polynomial2D(0)"
+        terms = []
+        for (i, j), a in sorted(self._coeffs.items(), key=lambda kv: (-(kv[0][0] + kv[0][1]), kv[0])):
+            monomial = ""
+            if i:
+                monomial += f"x^{i}" if i > 1 else "x"
+            if j:
+                monomial += f"y^{j}" if j > 1 else "y"
+            terms.append(f"{a}{'*' + monomial if monomial else ''}")
+        return "Polynomial2D(" + " + ".join(terms) + ")"

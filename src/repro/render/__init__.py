@@ -1,0 +1,33 @@
+"""Text rendering of PF tables and the paper's figures."""
+
+from __future__ import annotations
+
+from repro.render.tables import render_grid, render_pf_table, render_rows_table
+from repro.render.figures import (
+    figure2,
+    figure2_data,
+    figure3,
+    figure3_data,
+    figure4,
+    figure4_data,
+    figure5,
+    figure5_data,
+    figure6,
+    figure6_data,
+)
+
+__all__ = [
+    "render_grid",
+    "render_pf_table",
+    "render_rows_table",
+    "figure2",
+    "figure2_data",
+    "figure3",
+    "figure3_data",
+    "figure4",
+    "figure4_data",
+    "figure5",
+    "figure5_data",
+    "figure6",
+    "figure6_data",
+]

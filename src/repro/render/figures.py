@@ -1,0 +1,167 @@
+"""Regeneration of the paper's figures as data + text.
+
+Each ``figure_N_data`` function returns the exact content of the paper's
+figure (asserted against hard-coded paper values in the test suite); each
+``figure_N`` function renders it as monospace text the way the paper
+displays it (shell highlighting included).  The figure benchmarks time the
+data functions and assert their content.
+
+* Figure 2 -- 8x8 sample of the diagonal PF ``D``, shell ``x+y = 6``.
+* Figure 3 -- 8x8 sample of the square-shell PF ``A_{1,1}``, shell
+  ``max(x,y) = 5``.
+* Figure 4 -- 8x7 sample of the hyperbolic PF ``H``, shell ``xy = 6``.
+* Figure 5 -- the aggregate positions of all arrays with <= 16 cells: the
+  lattice staircase under ``xy = 16``.
+* Figure 6 -- sample values of ``T^<1>``, ``T^<3>``, ``T#``, ``T*`` at the
+  paper's chosen rows (x = 14, 15, 28, 29).
+"""
+
+from __future__ import annotations
+
+from repro.apf.families import TBracket, TSharp, TStar
+from repro.core.diagonal import DiagonalPairing
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import DomainError
+from repro.numbertheory.lattice import hyperbola_staircase
+from repro.render.tables import render_grid, render_rows_table
+
+__all__ = [
+    "figure2_data",
+    "figure2",
+    "figure3_data",
+    "figure3",
+    "figure4_data",
+    "figure4",
+    "figure5_data",
+    "figure5",
+    "figure6_data",
+    "figure6",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 2: diagonal PF
+# ----------------------------------------------------------------------
+
+
+def figure2_data(rows: int = 8, cols: int = 8) -> list[list[int]]:
+    """The table of Figure 2 (defaults to the paper's 8x8 window)."""
+    return DiagonalPairing().table(rows, cols)
+
+
+def figure2(rows: int = 8, cols: int = 8, highlight_shell: int = 6) -> str:
+    """Figure 2 as text, highlighting the shell ``x + y = highlight_shell``."""
+    body = render_grid(
+        figure2_data(rows, cols), highlight=lambda x, y: x + y == highlight_shell
+    )
+    return f"Figure 2: the diagonal PF D (shell x+y={highlight_shell} highlighted)\n{body}"
+
+
+# ----------------------------------------------------------------------
+# Figure 3: square-shell PF
+# ----------------------------------------------------------------------
+
+
+def figure3_data(rows: int = 8, cols: int = 8) -> list[list[int]]:
+    """The table of Figure 3."""
+    return SquareShellPairing().table(rows, cols)
+
+
+def figure3(rows: int = 8, cols: int = 8, highlight_shell: int = 5) -> str:
+    """Figure 3 as text, highlighting ``max(x, y) = highlight_shell``."""
+    body = render_grid(
+        figure3_data(rows, cols), highlight=lambda x, y: max(x, y) == highlight_shell
+    )
+    return (
+        f"Figure 3: the square-shell PF A_1,1 (shell max(x,y)={highlight_shell} "
+        f"highlighted)\n{body}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4: hyperbolic PF
+# ----------------------------------------------------------------------
+
+
+def figure4_data(rows: int = 8, cols: int = 7) -> list[list[int]]:
+    """The table of Figure 4 (the paper shows 8 rows x 7 columns)."""
+    return HyperbolicPairing().table(rows, cols)
+
+
+def figure4(rows: int = 8, cols: int = 7, highlight_shell: int = 6) -> str:
+    """Figure 4 as text, highlighting ``x * y = highlight_shell``."""
+    body = render_grid(
+        figure4_data(rows, cols), highlight=lambda x, y: x * y == highlight_shell
+    )
+    return f"Figure 4: the hyperbolic PF H (shell xy={highlight_shell} highlighted)\n{body}"
+
+
+# ----------------------------------------------------------------------
+# Figure 5: lattice points under xy = n
+# ----------------------------------------------------------------------
+
+
+def figure5_data(n: int = 16) -> list[int]:
+    """Row widths of the staircase under ``xy = n`` (paper draws n = 16)."""
+    return hyperbola_staircase(n)
+
+
+def figure5(n: int = 16) -> str:
+    """Figure 5 as an ascii staircase: row x shows ``floor(n/x)`` cells."""
+    if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
+        raise DomainError(f"n must be a positive int, got {n!r}")
+    widths = figure5_data(n)
+    total = sum(widths)
+    lines = [
+        f"Figure 5: aggregate positions of arrays with <= {n} cells "
+        f"({total} lattice points under xy = {n})"
+    ]
+    for x, width in enumerate(widths, start=1):
+        if width == 0:  # pragma: no cover - floor(n/x) >= 1 for x <= n
+            break
+        lines.append(f"x={x:>3}  " + "# " * width)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: APF samples
+# ----------------------------------------------------------------------
+
+
+def figure6_data() -> dict[str, list[tuple[int, int, list[int]]]]:
+    """The content of Figure 6: for each family, the paper's sample rows as
+    ``(x, g, [T(x,1), ..., T(x,5)])``.
+
+    Families and rows exactly as printed: ``T^<1>`` at x = 14, 15;
+    ``T^<3>`` at x = 14, 15, 28, 29; ``T#`` at x = 28, 29; ``T*`` at
+    x = 28, 29.
+    """
+    t1, t3, sharp, star = TBracket(1), TBracket(3), TSharp(), TStar()
+
+    def rows(apf, xs):
+        return [
+            (x, apf.group_of(x), [apf.pair(x, y) for y in range(1, 6)]) for x in xs
+        ]
+
+    return {
+        "T^<1>": rows(t1, [14, 15]),
+        "T^<3>": rows(t3, [14, 15, 28, 29]),
+        "T^#": rows(sharp, [28, 29]),
+        "T^*": rows(star, [28, 29]),
+    }
+
+
+def figure6() -> str:
+    """Figure 6 as text: one block per family."""
+    blocks = []
+    for family, rows in figure6_data().items():
+        table_rows = [[x, g] + values for x, g, values in rows]
+        blocks.append(
+            render_rows_table(
+                ["x", "g", "y=1", "y=2", "y=3", "y=4", "y=5"],
+                table_rows,
+                title=f"{family}(x, y)",
+            )
+        )
+    return "Figure 6: sample values by several APFs\n\n" + "\n\n".join(blocks)

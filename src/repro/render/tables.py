@@ -1,0 +1,109 @@
+"""Text rendering of pairing-function sample tables (the paper's Figure 1
+template).
+
+Every figure in the paper is a small table of PF values, sometimes with one
+shell highlighted (Figures 2-4 bracket the shells ``x+y = 6``,
+``max(x,y) = 5``, ``xy = 6``).  This module renders such tables as aligned
+monospace text, with optional per-cell highlighting via a predicate --
+pure string work, shared by the CLI, the examples, and the figure
+regeneration benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.base import StorageMapping
+from repro.errors import DomainError
+
+__all__ = ["render_grid", "render_pf_table", "render_rows_table"]
+
+Highlight = Callable[[int, int], bool]
+
+
+def render_grid(
+    values: Sequence[Sequence[int]],
+    highlight: Highlight | None = None,
+    trailing_ellipsis: bool = True,
+) -> str:
+    """Render a rectangular grid of integers, aligning columns.
+
+    *highlight* receives 1-indexed ``(x, y)`` and marks cells with
+    brackets, reproducing the paper's shell highlighting.
+
+    >>> print(render_grid([[1, 3], [2, 5]], trailing_ellipsis=False))
+    1  3
+    2  5
+    """
+    if not values or not values[0]:
+        raise DomainError("grid must be non-empty")
+    cols = len(values[0])
+    if any(len(row) != cols for row in values):
+        raise DomainError("grid rows must have equal length")
+    rendered: list[list[str]] = []
+    for x, row in enumerate(values, start=1):
+        out_row = []
+        for y, v in enumerate(row, start=1):
+            text = str(v)
+            if highlight is not None and highlight(x, y):
+                text = f"[{text}]"
+            out_row.append(text)
+        rendered.append(out_row)
+    widths = [max(len(rendered[i][j]) for i in range(len(rendered))) for j in range(cols)]
+    lines = []
+    for out_row in rendered:
+        cells = [cell.rjust(width) for cell, width in zip(out_row, widths)]
+        line = "  ".join(cells)
+        if trailing_ellipsis:
+            line += "  ..."
+        lines.append(line)
+    if trailing_ellipsis:
+        lines.append(" ".join(["..."] * min(cols, 4)))
+    return "\n".join(lines)
+
+
+def render_pf_table(
+    mapping: StorageMapping,
+    rows: int,
+    cols: int,
+    highlight: Highlight | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``mapping``'s Figure 1-style sample table.
+
+    >>> from repro.core import DiagonalPairing
+    >>> out = render_pf_table(DiagonalPairing(), 2, 2)
+    >>> "1  3" in out
+    True
+    """
+    table = mapping.table(rows, cols)
+    body = render_grid(table, highlight=highlight)
+    header = title if title is not None else f"{mapping.name}  ({rows} x {cols} sample)"
+    return f"{header}\n{body}"
+
+
+def render_rows_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a generic report table (used for Figure 6's ``x | g | values``
+    blocks and the benchmark summaries)."""
+    if not headers:
+        raise DomainError("headers must be non-empty")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise DomainError("row width must match headers")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

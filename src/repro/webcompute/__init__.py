@@ -1,0 +1,75 @@
+"""Accountable web computing (Section 4 end to end).
+
+* :mod:`~repro.webcompute.task` -- verifiable work units;
+* :mod:`~repro.webcompute.volunteer` -- honest/careless/malicious models;
+* :mod:`~repro.webcompute.allocator` -- APF task allocation with cached
+  per-row contracts;
+* :mod:`~repro.webcompute.frontend` -- dynamic arrivals/departures, speed
+  seating, epoch-based attribution across row reassignment;
+* :mod:`~repro.webcompute.ledger` -- sampled verification, strikes, bans;
+* :mod:`~repro.webcompute.server` -- the assembled WBC server;
+* :mod:`~repro.webcompute.simulation` -- seeded project runs and APF-family
+  comparisons;
+* :mod:`~repro.webcompute.replication` -- the majority-vote replication
+  baseline the accountability scheme is cheaper than;
+* :mod:`~repro.webcompute.persistence` -- JSON snapshot/restore of the
+  full server state ("stored for subsequent appearances").
+"""
+
+from __future__ import annotations
+
+from repro.webcompute.task import Task, TaskStatus, correct_result
+from repro.webcompute.volunteer import Behavior, VolunteerProfile
+from repro.webcompute.allocator import RowContract, TaskAllocator
+from repro.webcompute.frontend import Epoch, FrontEnd, RowAssignment
+from repro.webcompute.ledger import (
+    AccountabilityLedger,
+    LedgerReport,
+    VolunteerRecord,
+)
+from repro.webcompute.replication import ReplicationOutcome, ReplicationSimulation
+from repro.webcompute.metrics import (
+    AccountabilityMetrics,
+    VolunteerForensics,
+    compute_metrics,
+    volunteer_forensics,
+)
+from repro.webcompute.persistence import dumps, loads, restore, snapshot
+from repro.webcompute.server import WBCServer
+from repro.webcompute.simulation import (
+    SimulationConfig,
+    SimulationOutcome,
+    WBCSimulation,
+    run_family_comparison,
+)
+
+__all__ = [
+    "Task",
+    "TaskStatus",
+    "correct_result",
+    "Behavior",
+    "VolunteerProfile",
+    "RowContract",
+    "TaskAllocator",
+    "Epoch",
+    "FrontEnd",
+    "RowAssignment",
+    "AccountabilityLedger",
+    "LedgerReport",
+    "VolunteerRecord",
+    "WBCServer",
+    "snapshot",
+    "AccountabilityMetrics",
+    "VolunteerForensics",
+    "compute_metrics",
+    "volunteer_forensics",
+    "restore",
+    "dumps",
+    "loads",
+    "ReplicationOutcome",
+    "ReplicationSimulation",
+    "SimulationConfig",
+    "SimulationOutcome",
+    "WBCSimulation",
+    "run_family_comparison",
+]

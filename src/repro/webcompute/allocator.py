@@ -1,0 +1,145 @@
+"""The task-allocation function wrapper (Section 4).
+
+The paper's scheme: index tasks, volunteers, and per-volunteer serials by
+positive integers and link them with a PF ``T`` -- "the t-th task that
+volunteer v receives to compute is task T(v, t)".  Practicality demands
+that ``T``, its inverse ``T^-1``, and the successor gap all be easy to
+compute, which is why the scheme centers on *additive* PFs.
+
+:class:`TaskAllocator` realizes the system-level point the paper makes
+explicitly: "a volunteer's stride need be computed only when s/he registers
+at the website and can be stored for subsequent appearances."  Rows are
+registered once, yielding a cached
+:class:`~repro.numbertheory.progressions.ArithmeticProgression` contract;
+subsequent allocations are one add.  ``attribute`` inverts any task index
+back to ``(row, serial)`` -- the accountability primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apf.base import AdditivePairingFunction
+from repro.errors import AllocationError, ConfigurationError, DomainError
+from repro.numbertheory.progressions import ArithmeticProgression
+
+__all__ = ["RowContract", "TaskAllocator"]
+
+
+@dataclass(slots=True)
+class RowContract:
+    """Cached per-row allocation state: the stored ``(B_v, S_v)`` pair plus
+    the next serial to hand out."""
+
+    row: int
+    progression: ArithmeticProgression
+    next_serial: int = 1
+
+    @property
+    def base(self) -> int:
+        return self.progression.base
+
+    @property
+    def stride(self) -> int:
+        return self.progression.stride
+
+    def issued_count(self) -> int:
+        return self.next_serial - 1
+
+
+class TaskAllocator:
+    """Allocates global task indices along APF rows.
+
+    >>> from repro.apf.families import TSharp
+    >>> alloc = TaskAllocator(TSharp())
+    >>> contract = alloc.register_row(3)
+    >>> (contract.base, contract.stride)
+    (6, 8)
+    >>> alloc.next_task(3), alloc.next_task(3)
+    (6, 14)
+    >>> alloc.attribute(14)
+    (3, 2)
+    """
+
+    def __init__(self, apf: AdditivePairingFunction) -> None:
+        if not isinstance(apf, AdditivePairingFunction):
+            raise ConfigurationError(
+                f"allocator needs an AdditivePairingFunction, got {type(apf).__name__}"
+            )
+        self.apf = apf
+        self._contracts: dict[int, RowContract] = {}
+
+    # ------------------------------------------------------------------
+
+    def register_row(self, row: int, start_serial: int = 1) -> RowContract:
+        """Compute and cache row *row*'s base and stride (the registration-
+        time work).  ``start_serial`` supports row reassignment: a successor
+        volunteer taking over a departed row continues from the first
+        unissued serial."""
+        if isinstance(row, bool) or not isinstance(row, int) or row <= 0:
+            raise DomainError(f"row must be a positive int, got {row!r}")
+        if row in self._contracts:
+            raise AllocationError(f"row {row} is already registered")
+        if isinstance(start_serial, bool) or not isinstance(start_serial, int) or start_serial <= 0:
+            raise DomainError(f"start_serial must be a positive int, got {start_serial!r}")
+        contract = RowContract(
+            row=row,
+            progression=self.apf.progression(row),
+            next_serial=start_serial,
+        )
+        self._contracts[row] = contract
+        return contract
+
+    def release_row(self, row: int) -> int:
+        """Unregister *row* (volunteer departure); returns the next unissued
+        serial so a successor can resume the row without re-issuing tasks."""
+        contract = self._contracts.pop(row, None)
+        if contract is None:
+            raise AllocationError(f"row {row} is not registered")
+        return contract.next_serial
+
+    def is_registered(self, row: int) -> bool:
+        return row in self._contracts
+
+    def contract(self, row: int) -> RowContract:
+        try:
+            return self._contracts[row]
+        except KeyError:
+            raise AllocationError(f"row {row} is not registered") from None
+
+    # ------------------------------------------------------------------
+
+    def next_task(self, row: int) -> int:
+        """The next global task index for *row*: one add on the cached
+        contract (no APF evaluation after registration)."""
+        contract = self.contract(row)
+        index = contract.progression.term(contract.next_serial)
+        contract.next_serial += 1
+        return index
+
+    def peek_task(self, row: int, serial: int) -> int:
+        """``T(row, serial)`` without consuming the serial."""
+        return self.contract(row).progression.term(serial)
+
+    def attribute(self, task_index: int) -> tuple[int, int]:
+        """Invert the allocation: which ``(row, serial)`` does *task_index*
+        belong to?  Pure APF inverse -- works even for rows never registered
+        here, which is what makes post-hoc auditing possible."""
+        if isinstance(task_index, bool) or not isinstance(task_index, int) or task_index <= 0:
+            raise DomainError(f"task_index must be a positive int, got {task_index!r}")
+        return self.apf.unpair(task_index)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def registered_rows(self) -> list[int]:
+        return sorted(self._contracts)
+
+    def max_issued_index(self) -> int:
+        """The largest task index issued so far -- the memory-footprint
+        proxy the paper's compactness discussion is about."""
+        best = 0
+        for contract in self._contracts.values():
+            if contract.next_serial > 1:
+                best = max(best, contract.progression.term(contract.next_serial - 1))
+        return best

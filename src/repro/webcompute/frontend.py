@@ -1,0 +1,180 @@
+"""The dynamic front end of the accountability scheme ([13], sketched in
+Section 4).
+
+A pure-APF allocation handles arrivals but not departures: "If a volunteer
+departs, his/her tasks will never be computed -- unless a new volunteer
+arrives to take their places and compute their tasks.  Such reassignment
+would demand added mechanisms to retain accountability."  The front end is
+that mechanism, plus the speed policy: "it also ensures that faster
+volunteers are always assigned smaller indices."
+
+Implementation:
+
+* **Row pool** -- rows vacated by departures are recycled before fresh rows
+  are minted; among free rows, arrivals are seated so that *faster*
+  volunteers get *smaller* rows.  When several volunteers arrive in one
+  admission round they are ranked by declared speed and seated in that
+  order (fastest -> smallest free row).
+* **Epochs** -- accountability across reassignment.  Each (row, tenure)
+  pair is an :class:`Epoch` with a serial range; the table
+  ``row -> [epochs]`` answers "who held row v when serial t was issued",
+  so ``T^-1`` attribution stays exact even after any number of departures
+  and reseatings.  This is the "added mechanism" the paper alludes to.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError, DomainError
+
+__all__ = ["Epoch", "RowAssignment", "FrontEnd"]
+
+
+@dataclass(slots=True)
+class Epoch:
+    """One volunteer's tenure on one row: serials ``first_serial ..
+    last_serial`` (``None`` while the tenure is open)."""
+
+    row: int
+    volunteer_id: int
+    first_serial: int
+    last_serial: int | None = None
+
+    def covers(self, serial: int) -> bool:
+        if serial < self.first_serial:
+            return False
+        return self.last_serial is None or serial <= self.last_serial
+
+
+@dataclass(frozen=True, slots=True)
+class RowAssignment:
+    """The front end's answer to an admission: the row plus the serial the
+    incoming volunteer must start from (1 for a fresh row; the first
+    unissued serial for a recycled row)."""
+
+    row: int
+    start_serial: int
+
+
+class FrontEnd:
+    """Row seating, recycling, and epoch-based attribution.
+
+    >>> fe = FrontEnd()
+    >>> fe.admit([(101, 1.0), (102, 9.9)])   # one round: faster -> smaller
+    [RowAssignment(row=2, start_serial=1), RowAssignment(row=1, start_serial=1)]
+    >>> fe.row_of(102)
+    1
+    """
+
+    def __init__(self) -> None:
+        self._free_rows: list[int] = []  # min-heap of recycled rows
+        self._next_fresh_row = 1
+        self._row_resume_serial: dict[int, int] = {}
+        self._row_of_volunteer: dict[int, int] = {}
+        self._epochs: dict[int, list[Epoch]] = {}
+        self._issued_serials: dict[int, int] = {}  # row -> last issued serial
+
+    # ------------------------------------------------------------------
+
+    def _take_smallest_row(self) -> int:
+        if self._free_rows:
+            return heapq.heappop(self._free_rows)
+        row = self._next_fresh_row
+        self._next_fresh_row += 1
+        return row
+
+    def admit(self, arrivals: list[tuple[int, float]]) -> list[RowAssignment]:
+        """Seat an admission round.
+
+        *arrivals* is ``[(volunteer_id, declared_speed), ...]``; within the
+        round, faster volunteers receive smaller rows (the paper's speed
+        policy).  Returns assignments in the *input* order.
+        """
+        if not arrivals:
+            return []
+        seen: set[int] = set()
+        for vid, speed in arrivals:
+            if isinstance(vid, bool) or not isinstance(vid, int):
+                raise DomainError(f"volunteer id must be an int, got {vid!r}")
+            if vid in self._row_of_volunteer:
+                raise AllocationError(f"volunteer {vid} is already seated")
+            if vid in seen:
+                raise AllocationError(f"volunteer {vid} appears twice in one round")
+            if not speed > 0.0:
+                raise DomainError(f"speed must be positive, got {speed!r}")
+            seen.add(vid)
+        # Fastest first; ties broken by id for determinism.
+        ranked = sorted(arrivals, key=lambda a: (-a[1], a[0]))
+        assignment_of: dict[int, RowAssignment] = {}
+        for vid, _speed in ranked:
+            row = self._take_smallest_row()
+            start = self._row_resume_serial.get(row, 1)
+            assignment_of[vid] = RowAssignment(row=row, start_serial=start)
+            self._row_of_volunteer[vid] = row
+            self._epochs.setdefault(row, []).append(
+                Epoch(row=row, volunteer_id=vid, first_serial=start)
+            )
+            self._issued_serials.setdefault(row, start - 1)
+        return [assignment_of[vid] for vid, _ in arrivals]
+
+    def depart(self, volunteer_id: int) -> int:
+        """Unseat a volunteer; the row returns to the pool, the open epoch
+        closes at the last issued serial.  Returns the vacated row."""
+        row = self._row_of_volunteer.pop(volunteer_id, None)
+        if row is None:
+            raise AllocationError(f"volunteer {volunteer_id} is not seated")
+        last = self._issued_serials.get(row, 0)
+        open_epoch = self._epochs[row][-1]
+        open_epoch.last_serial = last
+        self._row_resume_serial[row] = last + 1
+        heapq.heappush(self._free_rows, row)
+        return row
+
+    # ------------------------------------------------------------------
+
+    def note_issued(self, row: int, serial: int) -> None:
+        """Record that serial *serial* of row *row* was issued (the server
+        calls this on every allocation so departures close epochs at the
+        right boundary)."""
+        current = self._issued_serials.get(row, 0)
+        if serial != current + 1:
+            raise AllocationError(
+                f"row {row}: serial {serial} issued out of order (expected {current + 1})"
+            )
+        self._issued_serials[row] = serial
+
+    def row_of(self, volunteer_id: int) -> int:
+        try:
+            return self._row_of_volunteer[volunteer_id]
+        except KeyError:
+            raise AllocationError(f"volunteer {volunteer_id} is not seated") from None
+
+    def is_seated(self, volunteer_id: int) -> bool:
+        return volunteer_id in self._row_of_volunteer
+
+    def volunteer_for(self, row: int, serial: int) -> int:
+        """Attribution across reassignment: who held *row* when *serial*
+        was issued?  Epoch lookup; raises if the serial was never issued
+        under any tenure."""
+        epochs = self._epochs.get(row)
+        if not epochs:
+            raise AllocationError(f"row {row} has never been assigned")
+        for epoch in epochs:
+            if epoch.covers(serial):
+                return epoch.volunteer_id
+        raise AllocationError(
+            f"serial {serial} of row {row} was not issued under any epoch"
+        )
+
+    @property
+    def seated_count(self) -> int:
+        return len(self._row_of_volunteer)
+
+    @property
+    def highest_row_minted(self) -> int:
+        return self._next_fresh_row - 1
+
+    def epochs_of_row(self, row: int) -> list[Epoch]:
+        return list(self._epochs.get(row, []))

@@ -1,0 +1,215 @@
+"""The accountability ledger and ban policy (Section 4, after [13]).
+
+"A computationally lightweight scheme for keeping track of which volunteer
+computed which task(s), thereby enabling the head of the WBC project to ban
+frequently errant volunteers from continued participation."
+
+The ledger records every issue and every return, verifies a *sample* of
+returns (accountability, not full redundancy -- the paper is explicit that
+this addresses accountability, not security), attributes each bad result to
+its volunteer via the allocation function's inverse plus the front end's
+epochs, and applies a strike-based ban policy.
+
+Determinism: the verification sample is drawn from a caller-seeded RNG, so
+any run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, DomainError
+from repro.webcompute.task import Task, TaskStatus
+
+__all__ = ["VolunteerRecord", "LedgerReport", "AccountabilityLedger"]
+
+
+@dataclass(slots=True)
+class VolunteerRecord:
+    """Per-volunteer accountability state."""
+
+    volunteer_id: int
+    issued: int = 0
+    returned: int = 0
+    verified: int = 0
+    strikes: int = 0
+    banned: bool = False
+    banned_at: int | None = None
+
+    @property
+    def observed_error_rate(self) -> float:
+        if self.verified == 0:
+            return 0.0
+        return self.strikes / self.verified
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerReport:
+    """Aggregate accountability metrics for one run."""
+
+    tasks_issued: int
+    tasks_returned: int
+    tasks_verified: int
+    bad_results_returned: int
+    bad_results_caught: int
+    volunteers_banned: int
+    honest_volunteers_banned: int
+
+    @property
+    def catch_rate(self) -> float:
+        """Fraction of returned-bad results the verification sample caught."""
+        if self.bad_results_returned == 0:
+            return 1.0
+        return self.bad_results_caught / self.bad_results_returned
+
+
+class AccountabilityLedger:
+    """Issue/return bookkeeping, sampled verification, strike-based bans.
+
+    Parameters
+    ----------
+    verification_rate:
+        Probability that a returned task is spot-checked against ground
+        truth.  1.0 verifies everything (full redundancy); the interesting
+        regime is small rates, where accountability still catches persistent
+        offenders because *every* task is attributable.
+    ban_after_strikes:
+        Confirmed-bad results before a volunteer is banned.
+    rng:
+        Seeded ``random.Random`` for the verification sample.
+    """
+
+    def __init__(
+        self,
+        verification_rate: float = 0.1,
+        ban_after_strikes: int = 2,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not 0.0 <= verification_rate <= 1.0:
+            raise ConfigurationError(
+                f"verification_rate must be in [0, 1], got {verification_rate}"
+            )
+        if isinstance(ban_after_strikes, bool) or not isinstance(ban_after_strikes, int):
+            raise ConfigurationError("ban_after_strikes must be an int")
+        if ban_after_strikes <= 0:
+            raise ConfigurationError(
+                f"ban_after_strikes must be positive, got {ban_after_strikes}"
+            )
+        self.verification_rate = verification_rate
+        self.ban_after_strikes = ban_after_strikes
+        self._rng = rng if rng is not None else random.Random(0)
+        self._tasks: dict[int, Task] = {}
+        self._records: dict[int, VolunteerRecord] = {}
+        # Ground truth for reporting only (not visible to the ban policy):
+        # every bad return, caught or not.
+        self._bad_returns = 0
+        self._bad_caught = 0
+        self._honest_ids: set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def _record(self, volunteer_id: int) -> VolunteerRecord:
+        rec = self._records.get(volunteer_id)
+        if rec is None:
+            rec = VolunteerRecord(volunteer_id=volunteer_id)
+            self._records[volunteer_id] = rec
+        return rec
+
+    def note_honest(self, volunteer_id: int) -> None:
+        """Report-only oracle tag: lets :meth:`report` count false bans.
+        The ban policy itself never reads this."""
+        self._honest_ids.add(volunteer_id)
+
+    def record_issue(self, task: Task) -> None:
+        if task.index in self._tasks:
+            raise DomainError(f"task {task.index} was already issued")
+        self._tasks[task.index] = task
+        self._record(task.volunteer_id).issued += 1
+
+    def record_return(self, task_index: int, result: int, at_tick: int) -> bool:
+        """Record a returned result; spot-check it with probability
+        ``verification_rate``.  Returns ``True`` when the return triggered
+        a ban."""
+        task = self._tasks.get(task_index)
+        if task is None:
+            raise DomainError(f"task {task_index} was never issued")
+        task.mark_returned(result, at_tick)
+        rec = self._record(task.volunteer_id)
+        rec.returned += 1
+        is_bad = result != task.expected_result
+        if is_bad:
+            self._bad_returns += 1
+        if self._rng.random() < self.verification_rate:
+            rec.verified += 1
+            ok = task.verify()
+            if not ok:
+                self._bad_caught += 1
+                rec.strikes += 1
+                if not rec.banned and rec.strikes >= self.ban_after_strikes:
+                    rec.banned = True
+                    rec.banned_at = at_tick
+                    return True
+        return False
+
+    def audit_task(self, task_index: int) -> TaskStatus:
+        """Force-verify a single returned task (the project head's manual
+        audit path)."""
+        task = self._tasks.get(task_index)
+        if task is None:
+            raise DomainError(f"task {task_index} was never issued")
+        if task.status is TaskStatus.RETURNED:
+            rec = self._record(task.volunteer_id)
+            rec.verified += 1
+            if not task.verify():
+                self._bad_caught += 1
+                rec.strikes += 1
+                if not rec.banned and rec.strikes >= self.ban_after_strikes:
+                    rec.banned = True
+        return task.status
+
+    # ------------------------------------------------------------------
+
+    def is_banned(self, volunteer_id: int) -> bool:
+        rec = self._records.get(volunteer_id)
+        return rec is not None and rec.banned
+
+    def record_of(self, volunteer_id: int) -> VolunteerRecord:
+        rec = self._records.get(volunteer_id)
+        if rec is None:
+            raise DomainError(f"volunteer {volunteer_id} has no ledger record")
+        return rec
+
+    def task(self, task_index: int) -> Task:
+        task = self._tasks.get(task_index)
+        if task is None:
+            raise DomainError(f"task {task_index} was never issued")
+        return task
+
+    def tasks_of(self, volunteer_id: int) -> list[Task]:
+        """Every task ever issued to *volunteer_id* -- "keeping track of
+        which volunteer computed which task(s)"."""
+        return [t for t in self._tasks.values() if t.volunteer_id == volunteer_id]
+
+    def report(self) -> LedgerReport:
+        issued = len(self._tasks)
+        returned = sum(
+            1 for t in self._tasks.values() if t.status is not TaskStatus.ISSUED
+        )
+        verified = sum(
+            1
+            for t in self._tasks.values()
+            if t.status in (TaskStatus.VERIFIED_OK, TaskStatus.VERIFIED_BAD)
+        )
+        banned = [r for r in self._records.values() if r.banned]
+        return LedgerReport(
+            tasks_issued=issued,
+            tasks_returned=returned,
+            tasks_verified=verified,
+            bad_results_returned=self._bad_returns,
+            bad_results_caught=self._bad_caught,
+            volunteers_banned=len(banned),
+            honest_volunteers_banned=sum(
+                1 for r in banned if r.volunteer_id in self._honest_ids
+            ),
+        )

@@ -1,0 +1,128 @@
+"""Accountability quality metrics, computed post-hoc from a server's
+ledger.
+
+The paper's scheme promises the project head can "ban frequently errant
+volunteers"; operationally the questions are *how fast* and *at what
+pollution cost*:
+
+* **detection latency** -- for each banned volunteer, the ticks between
+  its first bad return and the ban;
+* **pollution** -- bad results that entered the project's result pool
+  before (or despite) the ban, per offending volunteer;
+* **exposure** -- tasks issued to a volunteer after its first bad return
+  (work the project would have saved with instant detection).
+
+All metrics derive from the ledger's task records and the simulation's
+ground truth; they feed the verification-rate tradeoff study in
+``bench_wbc_accountability.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DomainError
+from repro.webcompute.server import WBCServer
+from repro.webcompute.task import TaskStatus
+
+__all__ = ["VolunteerForensics", "AccountabilityMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True, slots=True)
+class VolunteerForensics:
+    """Per-volunteer accountability timeline."""
+
+    volunteer_id: int
+    bad_returns: int
+    first_bad_tick: int | None
+    banned_at: int | None
+    tasks_after_first_bad: int
+
+    @property
+    def detection_latency(self) -> int | None:
+        """Ticks from first bad return to ban (None if never banned or
+        never bad)."""
+        if self.banned_at is None or self.first_bad_tick is None:
+            return None
+        return self.banned_at - self.first_bad_tick
+
+
+@dataclass(frozen=True, slots=True)
+class AccountabilityMetrics:
+    """Aggregate accountability quality for one run."""
+
+    offenders: int
+    offenders_banned: int
+    mean_detection_latency: float | None
+    total_pollution: int
+    total_exposure: int
+
+    @property
+    def ban_coverage(self) -> float:
+        """Fraction of offending volunteers that ended up banned."""
+        if self.offenders == 0:
+            return 1.0
+        return self.offenders_banned / self.offenders
+
+
+def volunteer_forensics(server: WBCServer, volunteer_id: int) -> VolunteerForensics:
+    """The accountability timeline of one volunteer, from the ledger."""
+    if isinstance(volunteer_id, bool) or not isinstance(volunteer_id, int):
+        raise DomainError(f"volunteer_id must be an int, got {volunteer_id!r}")
+    tasks = server.ledger.tasks_of(volunteer_id)
+    if not tasks:
+        raise DomainError(f"volunteer {volunteer_id} has no ledger history")
+    bad_returns = 0
+    first_bad: int | None = None
+    for task in tasks:
+        if task.status is TaskStatus.ISSUED or task.reported_result is None:
+            continue
+        if task.reported_result != task.expected_result:
+            bad_returns += 1
+            if first_bad is None or (
+                task.returned_at is not None and task.returned_at < first_bad
+            ):
+                first_bad = task.returned_at
+    after = 0
+    if first_bad is not None:
+        after = sum(1 for t in tasks if t.issued_at > first_bad)
+    record = server.ledger._records.get(volunteer_id)
+    banned_at = record.banned_at if record is not None and record.banned else None
+    return VolunteerForensics(
+        volunteer_id=volunteer_id,
+        bad_returns=bad_returns,
+        first_bad_tick=first_bad,
+        banned_at=banned_at,
+        tasks_after_first_bad=after,
+    )
+
+
+def compute_metrics(server: WBCServer) -> AccountabilityMetrics:
+    """Aggregate forensics across every volunteer with ledger history."""
+    volunteer_ids = {t.volunteer_id for t in server.ledger._tasks.values()}
+    offenders = 0
+    banned = 0
+    latencies: list[int] = []
+    pollution = 0
+    exposure = 0
+    for vid in sorted(volunteer_ids):
+        forensics = volunteer_forensics(server, vid)
+        if forensics.bad_returns == 0:
+            continue
+        offenders += 1
+        pollution += forensics.bad_returns
+        exposure += forensics.tasks_after_first_bad
+        if forensics.banned_at is not None:
+            banned += 1
+            latency = forensics.detection_latency
+            if latency is not None:
+                latencies.append(latency)
+    return AccountabilityMetrics(
+        offenders=offenders,
+        offenders_banned=banned,
+        mean_detection_latency=(
+            sum(latencies) / len(latencies) if latencies else None
+        ),
+        total_pollution=pollution,
+        total_exposure=exposure,
+    )

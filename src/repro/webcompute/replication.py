@@ -1,0 +1,162 @@
+"""Majority-vote replication: the heavyweight alternative the paper's
+accountability scheme is designed to avoid.
+
+Section 4 positions the PF-based ledger as "computationally lightweight":
+it does not prevent bad results, it *attributes* them, so persistent
+offenders get banned while the project pays only a sampled-verification
+overhead.  The classical alternative -- replicate every task across ``r``
+volunteers and accept the majority answer -- buys per-task correctness but
+multiplies the computation bill by ``r``.
+
+:class:`ReplicationSimulation` implements that baseline over the *same*
+volunteer behavior models, so
+``benchmarks/bench_wbc_accountability.py``-style comparisons can quantify
+the tradeoff:
+
+* **work overhead** -- replication does ``r`` computations per task vs the
+  ledger's ``1 + verification_rate`` equivalent checks;
+* **bad results accepted** -- replication accepts a bad answer only when
+  faulty volunteers collide on a replica majority (random corruption makes
+  that vanishingly rare); tasks with no strict majority are *re-issued* to
+  fresh replicas, adding work; the ledger accepts whatever slipped past
+  the sample *but* bans the producers, so its acceptance rate decays over
+  time.
+
+The simulation is deliberately simple (no arrival/departure churn): the
+comparison is about per-task economics, not membership dynamics.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.webcompute.task import correct_result
+from repro.webcompute.volunteer import VolunteerProfile
+
+__all__ = ["ReplicationOutcome", "ReplicationSimulation"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationOutcome:
+    """What a replication run produced."""
+
+    replication_factor: int
+    tasks_decided: int
+    computations_performed: int
+    bad_results_produced: int
+    bad_results_accepted: int
+    reissues: int
+
+    @property
+    def work_overhead(self) -> float:
+        """Computations per decided task (>= the replication factor; the
+        excess is re-issue work on majority-less replica sets)."""
+        if self.tasks_decided == 0:
+            return 0.0
+        return self.computations_performed / self.tasks_decided
+
+    @property
+    def acceptance_error_rate(self) -> float:
+        """Fraction of decided tasks whose accepted answer is wrong."""
+        if self.tasks_decided == 0:
+            return 0.0
+        return self.bad_results_accepted / self.tasks_decided
+
+
+class ReplicationSimulation:
+    """Run ``tasks`` decisions, each computed by ``replication_factor``
+    volunteers sampled (seeded) from the population.  An answer is
+    accepted only with a *strict* replica majority; otherwise the task is
+    re-issued to a fresh sample, up to ``max_reissues`` times, after which
+    the modal-minimum answer is accepted (and the acceptance counted
+    honestly, bad or not).
+
+    >>> volunteers = [VolunteerProfile(f"v{i}") for i in range(5)]
+    >>> sim = ReplicationSimulation(volunteers, replication_factor=3, seed=1)
+    >>> outcome = sim.run(tasks=50)
+    >>> outcome.bad_results_accepted
+    0
+    """
+
+    def __init__(
+        self,
+        volunteers: list[VolunteerProfile],
+        replication_factor: int = 3,
+        seed: int = 0,
+        max_reissues: int = 3,
+    ) -> None:
+        if not volunteers:
+            raise ConfigurationError("need at least one volunteer")
+        if (
+            isinstance(replication_factor, bool)
+            or not isinstance(replication_factor, int)
+            or replication_factor < 1
+        ):
+            raise ConfigurationError(
+                f"replication_factor must be a positive int, got {replication_factor!r}"
+            )
+        if replication_factor > len(volunteers):
+            raise ConfigurationError(
+                "replication_factor cannot exceed the population size "
+                f"({replication_factor} > {len(volunteers)})"
+            )
+        if isinstance(max_reissues, bool) or not isinstance(max_reissues, int) or max_reissues < 0:
+            raise ConfigurationError(
+                f"max_reissues must be a nonnegative int, got {max_reissues!r}"
+            )
+        self.volunteers = list(volunteers)
+        self.replication_factor = replication_factor
+        self.max_reissues = max_reissues
+        self._rng = random.Random(seed)
+
+    def run(self, tasks: int) -> ReplicationOutcome:
+        """Decide *tasks* tasks; returns the outcome record."""
+        if isinstance(tasks, bool) or not isinstance(tasks, int) or tasks <= 0:
+            raise ConfigurationError(f"tasks must be a positive int, got {tasks!r}")
+        r = self.replication_factor
+        computations = 0
+        bad_produced = 0
+        bad_accepted = 0
+        reissues = 0
+        for task_no in range(1, tasks + 1):
+            task_index = task_no  # plain sequential indices; allocation is
+            # not the subject here, the replicas are.
+            truth = correct_result(task_index)
+            accepted: int | None = None
+            last_answers: list[int] = []
+            for attempt in range(self.max_reissues + 1):
+                replicas = self._rng.sample(self.volunteers, r)
+                answers: list[int] = []
+                for volunteer in replicas:
+                    answer = volunteer.compute(task_index, self._rng)
+                    computations += 1
+                    if answer != truth:
+                        bad_produced += 1
+                    answers.append(answer)
+                last_answers = answers
+                counts = Counter(answers)
+                answer, count = counts.most_common(1)[0]
+                if count > r // 2:  # strict majority
+                    accepted = answer
+                    break
+                reissues += 1
+            if accepted is None:
+                # Retry budget exhausted: accept the modal-minimum answer
+                # of the last round (an honest protocol would escalate;
+                # counting it keeps the economics fair).
+                counts = Counter(last_answers)
+                best = max(counts.values())
+                accepted = min(a for a, c in counts.items() if c == best)
+            if accepted != truth:
+                bad_accepted += 1
+        return ReplicationOutcome(
+            replication_factor=r,
+            tasks_decided=tasks,
+            computations_performed=computations,
+            bad_results_produced=bad_produced,
+            bad_results_accepted=bad_accepted,
+            reissues=reissues,
+        )

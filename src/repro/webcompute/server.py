@@ -1,0 +1,171 @@
+"""The WBC server: allocator + front end + ledger, glued.
+
+This is the component a project head would actually run.  The cycle
+(Section 4): volunteers register; each visit hands the volunteer the next
+task on its row (one add on the cached contract); returns are recorded,
+sample-verified, and attributed; errant volunteers are banned; departures
+recycle rows through the front end with epoch bookkeeping so attribution
+survives reassignment.
+
+The server is deliberately synchronous and deterministic -- the
+:mod:`~repro.webcompute.simulation` module drives it with simulated
+volunteers and a seeded clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apf.base import AdditivePairingFunction
+from repro.errors import AllocationError, DomainError
+from repro.webcompute.allocator import TaskAllocator
+from repro.webcompute.frontend import FrontEnd
+from repro.webcompute.ledger import AccountabilityLedger, LedgerReport
+from repro.webcompute.task import Task
+from repro.webcompute.volunteer import VolunteerProfile
+
+__all__ = ["WBCServer"]
+
+
+class WBCServer:
+    """An accountable web-computing server over an additive PF.
+
+    >>> from repro.apf.families import TSharp
+    >>> server = WBCServer(TSharp())
+    >>> vid = server.register(VolunteerProfile("alice", speed=2.0))
+    >>> task = server.request_task(vid)
+    >>> server.submit_result(vid, task.index, task.expected_result)
+    >>> server.ledger.record_of(vid).returned
+    1
+    """
+
+    def __init__(
+        self,
+        apf: AdditivePairingFunction,
+        verification_rate: float = 0.1,
+        ban_after_strikes: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.allocator = TaskAllocator(apf)
+        self.frontend = FrontEnd()
+        self.ledger = AccountabilityLedger(
+            verification_rate=verification_rate,
+            ban_after_strikes=ban_after_strikes,
+            rng=random.Random(seed),
+        )
+        self._profiles: dict[int, VolunteerProfile] = {}
+        self._next_volunteer_id = 1
+        self._clock = 0
+        self._max_task_index = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def tick(self) -> int:
+        """Advance the server clock by one tick (the simulation's driver)."""
+        self._clock += 1
+        return self._clock
+
+    @property
+    def max_task_index(self) -> int:
+        """Largest task index ever issued: the memory-footprint metric the
+        paper's APF-compactness discussion optimizes.  Tracked across
+        departures (unlike the allocator's live view)."""
+        return self._max_task_index
+
+    # ------------------------------------------------------------------
+
+    def register(self, profile: VolunteerProfile) -> int:
+        """Admit one volunteer; returns its id.  Registration computes and
+        caches the row contract -- the only APF evaluation this volunteer
+        ever costs the server."""
+        return self.register_round([profile])[0]
+
+    def register_round(self, profiles: list[VolunteerProfile]) -> list[int]:
+        """Admit a batch; within the round, faster declared speeds receive
+        smaller rows (smaller rows = smaller strides = denser task
+        indices)."""
+        ids = []
+        arrivals = []
+        for profile in profiles:
+            vid = self._next_volunteer_id
+            self._next_volunteer_id += 1
+            self._profiles[vid] = profile
+            if not profile.is_faulty:
+                self.ledger.note_honest(vid)
+            ids.append(vid)
+            arrivals.append((vid, profile.speed))
+        for vid, assignment in zip(ids, self.frontend.admit(arrivals)):
+            self.allocator.register_row(assignment.row, assignment.start_serial)
+        return ids
+
+    def depart(self, volunteer_id: int) -> None:
+        """Volunteer leaves; its row is recycled (successor resumes from the
+        first unissued serial, so no task index is ever double-issued)."""
+        row = self.frontend.depart(volunteer_id)
+        self.allocator.release_row(row)
+
+    # ------------------------------------------------------------------
+
+    def request_task(self, volunteer_id: int) -> Task:
+        """Hand *volunteer_id* its next task."""
+        profile = self._profiles.get(volunteer_id)
+        if profile is None:
+            raise AllocationError(f"unknown volunteer {volunteer_id}")
+        if self.ledger.is_banned(volunteer_id):
+            raise AllocationError(f"volunteer {volunteer_id} is banned")
+        row = self.frontend.row_of(volunteer_id)
+        contract = self.allocator.contract(row)
+        serial = contract.next_serial
+        index = self.allocator.next_task(row)
+        self.frontend.note_issued(row, serial)
+        task = Task(
+            index=index,
+            volunteer_id=volunteer_id,
+            serial=serial,
+            issued_at=self._clock,
+        )
+        self.ledger.record_issue(task)
+        if index > self._max_task_index:
+            self._max_task_index = index
+        return task
+
+    def submit_result(self, volunteer_id: int, task_index: int, result: int) -> None:
+        """Accept a result.  The submitted task must attribute (via the APF
+        inverse + epochs) to the submitting volunteer -- a mismatch is the
+        accountability scheme catching a forged submission."""
+        row, serial = self.allocator.attribute(task_index)
+        owner = self.frontend.volunteer_for(row, serial)
+        if owner != volunteer_id:
+            raise AllocationError(
+                f"task {task_index} attributes to volunteer {owner}, "
+                f"not {volunteer_id} (forged or misdirected submission)"
+            )
+        self.ledger.record_return(task_index, result, self._clock)
+
+    def attribute(self, task_index: int) -> int:
+        """Who is responsible for *task_index*?  ``T^-1`` then epochs."""
+        row, serial = self.allocator.attribute(task_index)
+        return self.frontend.volunteer_for(row, serial)
+
+    # ------------------------------------------------------------------
+
+    def profile_of(self, volunteer_id: int) -> VolunteerProfile:
+        try:
+            return self._profiles[volunteer_id]
+        except KeyError:
+            raise AllocationError(f"unknown volunteer {volunteer_id}") from None
+
+    def report(self) -> LedgerReport:
+        return self.ledger.report()
+
+    def __repr__(self) -> str:
+        return (
+            f"<WBCServer apf={self.allocator.apf.name} "
+            f"seated={self.frontend.seated_count} "
+            f"max_task_index={self._max_task_index}>"
+        )

@@ -1,0 +1,101 @@
+"""Tasks for the web-computing simulation (Section 4).
+
+A WBC project owns a countable workload: tasks indexed by ``N``.  The
+simulation needs each task to have a *verifiable* result so the
+accountability machinery has something to check; we use a deterministic
+integer mix of the task index as the ground truth.  (The paper's projects
+-- RSA factoring, drug screening -- have externally checkable answers;
+a keyed mix preserves exactly the property the accountability scheme needs:
+the server can recompute/verify any task it chooses.)
+
+The lifecycle is ``ISSUED -> RETURNED -> (VERIFIED_OK | VERIFIED_BAD)``;
+unverified returns stay ``RETURNED`` (the scheme verifies only a sample --
+accountability, not full redundancy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DomainError
+
+__all__ = ["TaskStatus", "Task", "correct_result"]
+
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def correct_result(task_index: int) -> int:
+    """The ground-truth result of a task: a splitmix64-style avalanche of
+    the task index.  Deterministic, cheap, and uncorrelated across indices,
+    so "guessing" volunteers are caught with overwhelming probability.
+
+    >>> correct_result(1) == correct_result(1)
+    True
+    >>> correct_result(1) != correct_result(2)
+    True
+    """
+    if isinstance(task_index, bool) or not isinstance(task_index, int) or task_index <= 0:
+        raise DomainError(f"task_index must be a positive int, got {task_index!r}")
+    z = task_index & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_2) & _MASK64
+    return z ^ (z >> 31)
+
+
+class TaskStatus(enum.Enum):
+    ISSUED = "issued"
+    RETURNED = "returned"
+    VERIFIED_OK = "verified-ok"
+    VERIFIED_BAD = "verified-bad"
+
+
+@dataclass(slots=True)
+class Task:
+    """One unit of WBC work.
+
+    ``index`` is the *global* task index -- the value ``T(v, t)`` of the
+    task-allocation function; ``volunteer_id`` and ``serial`` record the
+    allocation (``v`` and ``t``) for the ledger.
+    """
+
+    index: int
+    volunteer_id: int
+    serial: int
+    issued_at: int
+    status: TaskStatus = TaskStatus.ISSUED
+    returned_at: int | None = None
+    reported_result: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.index <= 0:
+            raise DomainError(f"task index must be positive, got {self.index}")
+        if self.serial <= 0:
+            raise DomainError(f"task serial must be positive, got {self.serial}")
+
+    @property
+    def expected_result(self) -> int:
+        """Ground truth (the server can always recompute it)."""
+        return correct_result(self.index)
+
+    def mark_returned(self, result: int, at_tick: int) -> None:
+        if self.status is not TaskStatus.ISSUED:
+            raise DomainError(
+                f"task {self.index} cannot be returned from status {self.status.value}"
+            )
+        self.reported_result = result
+        self.returned_at = at_tick
+        self.status = TaskStatus.RETURNED
+
+    def verify(self) -> bool:
+        """Check the reported result against ground truth; updates status
+        and returns whether it was correct."""
+        if self.status is not TaskStatus.RETURNED:
+            raise DomainError(
+                f"task {self.index} cannot be verified from status {self.status.value}"
+            )
+        ok = self.reported_result == self.expected_result
+        self.status = TaskStatus.VERIFIED_OK if ok else TaskStatus.VERIFIED_BAD
+        return ok

@@ -1,0 +1,85 @@
+"""Volunteer behavior models for the WBC simulation.
+
+The paper's threat model (Section 4): "WBC is vulnerable to malicious, or
+careless, volunteers returning false results."  We model three behaviors:
+
+* ``HONEST`` -- always returns the correct result;
+* ``CARELESS`` -- returns a corrupted result with probability
+  ``error_rate`` (a flaky machine, an interrupted computation);
+* ``MALICIOUS`` -- returns a fabricated result with probability
+  ``error_rate`` (typically high), aiming to pollute the project.
+
+Volunteers also carry a ``speed`` (expected tasks completed per simulation
+tick) because the paper's front end "ensures that faster volunteers are
+always assigned smaller indices" -- speed ranking is an input to row
+assignment, and smaller rows mean smaller strides under every compact APF.
+
+All randomness flows through the caller-provided ``random.Random`` so runs
+are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.webcompute.task import correct_result
+
+__all__ = ["Behavior", "VolunteerProfile"]
+
+
+class Behavior(enum.Enum):
+    HONEST = "honest"
+    CARELESS = "careless"
+    MALICIOUS = "malicious"
+
+
+@dataclass(frozen=True, slots=True)
+class VolunteerProfile:
+    """Static description of a simulated volunteer.
+
+    >>> v = VolunteerProfile("alice", speed=2.0)
+    >>> v.behavior
+    <Behavior.HONEST: 'honest'>
+    """
+
+    name: str
+    speed: float = 1.0
+    behavior: Behavior = Behavior.HONEST
+    error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("volunteer name must be non-empty")
+        if not (self.speed > 0.0):
+            raise ConfigurationError(f"speed must be positive, got {self.speed}")
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ConfigurationError(
+                f"error_rate must be in [0, 1], got {self.error_rate}"
+            )
+        if self.behavior is Behavior.HONEST and self.error_rate != 0.0:
+            raise ConfigurationError("honest volunteers must have error_rate 0")
+        if self.behavior is not Behavior.HONEST and self.error_rate == 0.0:
+            raise ConfigurationError(
+                f"{self.behavior.value} volunteers need a positive error_rate"
+            )
+
+    def compute(self, task_index: int, rng: random.Random) -> int:
+        """Produce this volunteer's result for *task_index*.
+
+        Honest path returns ground truth; faulty paths flip to a corrupted
+        value with probability ``error_rate``.  Corruption XORs a nonzero
+        mask so a "bad" result is never accidentally correct.
+        """
+        truth = correct_result(task_index)
+        if self.behavior is Behavior.HONEST:
+            return truth
+        if rng.random() < self.error_rate:
+            return truth ^ (rng.getrandbits(63) | 1)
+        return truth
+
+    @property
+    def is_faulty(self) -> bool:
+        return self.behavior is not Behavior.HONEST

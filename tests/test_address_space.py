@@ -1,0 +1,135 @@
+"""Tests for the simulated address space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.address_space import AddressSpace
+from repro.errors import CapacityError, DomainError
+
+
+class TestBasicOperations:
+    def test_write_read(self):
+        mem = AddressSpace()
+        mem.write(5, "v")
+        assert mem.read(5) == "v"
+
+    def test_read_unoccupied_raises(self):
+        with pytest.raises(KeyError):
+            AddressSpace().read(1)
+
+    def test_read_or_default(self):
+        mem = AddressSpace()
+        assert mem.read_or(3, "d") == "d"
+        mem.write(3, "x")
+        assert mem.read_or(3, "d") == "x"
+
+    def test_overwrite(self):
+        mem = AddressSpace()
+        mem.write(1, "a")
+        mem.write(1, "b")
+        assert mem.read(1) == "b"
+        assert mem.live_count == 1
+
+    def test_erase(self):
+        mem = AddressSpace()
+        mem.write(2, 1)
+        mem.erase(2)
+        assert not mem.occupied(2)
+        mem.erase(2)  # idempotent
+
+    def test_move(self):
+        mem = AddressSpace()
+        mem.write(1, "v")
+        mem.move(1, 9)
+        assert not mem.occupied(1)
+        assert mem.read(9) == "v"
+
+    def test_move_from_empty_raises(self):
+        with pytest.raises(DomainError):
+            AddressSpace().move(1, 2)
+
+    def test_move_to_self_is_noop(self):
+        mem = AddressSpace()
+        mem.write(4, "v")
+        mem.move(4, 4)
+        assert mem.traffic.moves == 0
+
+
+class TestMetrics:
+    def test_high_water_mark_tracks_writes(self):
+        mem = AddressSpace()
+        mem.write(10, 1)
+        mem.write(3, 1)
+        assert mem.high_water_mark == 10
+        mem.write(20, 1)
+        assert mem.high_water_mark == 20
+
+    def test_high_water_mark_survives_erase(self):
+        mem = AddressSpace()
+        mem.write(10, 1)
+        mem.erase(10)
+        assert mem.high_water_mark == 10  # history, not state
+
+    def test_move_raises_high_water(self):
+        mem = AddressSpace()
+        mem.write(1, "v")
+        mem.move(1, 50)
+        assert mem.high_water_mark == 50
+
+    def test_utilization(self):
+        mem = AddressSpace()
+        assert mem.utilization == 0.0
+        mem.write(4, 1)
+        mem.write(2, 1)
+        assert mem.utilization == 0.5
+
+    def test_traffic_counters(self):
+        mem = AddressSpace()
+        mem.write(1, 1)
+        mem.write(2, 2)
+        mem.read(1)
+        mem.read_or(9)
+        mem.erase(2)
+        mem.move(1, 3)
+        snap = mem.traffic.snapshot()
+        assert snap == {"reads": 2, "writes": 2, "erases": 1, "moves": 1}
+
+    def test_occupied_addresses_sorted(self):
+        mem = AddressSpace()
+        for a in (9, 1, 5):
+            mem.write(a, a)
+        assert list(mem.occupied_addresses()) == [1, 5, 9]
+
+    def test_len_and_clear(self):
+        mem = AddressSpace()
+        mem.write(1, 1)
+        mem.write(2, 2)
+        assert len(mem) == 2
+        mem.clear()
+        assert len(mem) == 0
+        assert mem.high_water_mark == 2
+
+
+class TestBounds:
+    def test_capacity_enforced(self):
+        mem = AddressSpace(capacity=10)
+        mem.write(10, "edge")
+        with pytest.raises(CapacityError):
+            mem.write(11, "over")
+
+    def test_capacity_applies_to_reads_too(self):
+        mem = AddressSpace(capacity=5)
+        with pytest.raises(CapacityError):
+            mem.read_or(6)
+
+    def test_rejects_nonpositive_address(self):
+        mem = AddressSpace()
+        with pytest.raises(DomainError):
+            mem.write(0, 1)
+        with pytest.raises(DomainError):
+            mem.read_or(-1)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(DomainError):
+            AddressSpace(capacity=0)

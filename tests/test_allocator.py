@@ -1,0 +1,116 @@
+"""Tests for the APF task allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apf.families import TSharp, TStar
+from repro.errors import AllocationError, ConfigurationError, DomainError
+from repro.webcompute.allocator import TaskAllocator
+
+
+class TestRegistration:
+    def test_requires_additive_pf(self):
+        from repro.core.diagonal import DiagonalPairing
+
+        with pytest.raises(ConfigurationError):
+            TaskAllocator(DiagonalPairing())
+
+    def test_contract_caches_base_and_stride(self):
+        alloc = TaskAllocator(TSharp())
+        contract = alloc.register_row(5)
+        assert contract.base == TSharp().base(5)
+        assert contract.stride == TSharp().stride(5)
+
+    def test_double_registration_rejected(self):
+        alloc = TaskAllocator(TSharp())
+        alloc.register_row(2)
+        with pytest.raises(AllocationError):
+            alloc.register_row(2)
+
+    def test_release_and_reregister(self):
+        alloc = TaskAllocator(TSharp())
+        alloc.register_row(4)
+        alloc.next_task(4)
+        alloc.next_task(4)
+        resume = alloc.release_row(4)
+        assert resume == 3
+        contract = alloc.register_row(4, start_serial=resume)
+        assert alloc.next_task(4) == TSharp().pair(4, 3)
+
+    def test_release_unknown_row(self):
+        with pytest.raises(AllocationError):
+            TaskAllocator(TSharp()).release_row(9)
+
+
+class TestAllocation:
+    def test_sequence_follows_progression(self):
+        alloc = TaskAllocator(TSharp())
+        alloc.register_row(6)
+        sharp = TSharp()
+        for t in range(1, 10):
+            assert alloc.next_task(6) == sharp.pair(6, t)
+
+    def test_rows_never_collide(self):
+        alloc = TaskAllocator(TStar())
+        for row in range(1, 20):
+            alloc.register_row(row)
+        issued = set()
+        for row in range(1, 20):
+            for _ in range(25):
+                idx = alloc.next_task(row)
+                assert idx not in issued
+                issued.add(idx)
+
+    def test_peek_does_not_consume(self):
+        alloc = TaskAllocator(TSharp())
+        alloc.register_row(3)
+        peeked = alloc.peek_task(3, 1)
+        assert alloc.next_task(3) == peeked
+
+    def test_unregistered_row_rejected(self):
+        alloc = TaskAllocator(TSharp())
+        with pytest.raises(AllocationError):
+            alloc.next_task(1)
+
+
+class TestAttribution:
+    def test_attribute_inverts(self):
+        alloc = TaskAllocator(TSharp())
+        sharp = TSharp()
+        for row in (1, 5, 17):
+            for t in (1, 2, 9):
+                assert alloc.attribute(sharp.pair(row, t)) == (row, t)
+
+    def test_attribute_needs_no_registration(self):
+        # Post-hoc auditing works for any task index.
+        alloc = TaskAllocator(TSharp())
+        assert alloc.attribute(400) == (28, 1)  # Figure 6
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(DomainError):
+            TaskAllocator(TSharp()).attribute(0)
+
+
+class TestBookkeeping:
+    def test_registered_rows(self):
+        alloc = TaskAllocator(TSharp())
+        for row in (3, 1, 7):
+            alloc.register_row(row)
+        assert alloc.registered_rows == [1, 3, 7]
+
+    def test_max_issued_index(self):
+        alloc = TaskAllocator(TSharp())
+        alloc.register_row(1)
+        alloc.register_row(9)
+        assert alloc.max_issued_index() == 0
+        alloc.next_task(9)
+        expected = TSharp().pair(9, 1)
+        assert alloc.max_issued_index() == expected
+
+    def test_issued_count(self):
+        alloc = TaskAllocator(TSharp())
+        contract = alloc.register_row(2)
+        alloc.next_task(2)
+        alloc.next_task(2)
+        assert contract.issued_count() == 2

@@ -1,0 +1,73 @@
+"""Tests for the AdditivePairingFunction interface across all APFs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DomainError
+from repro.numbertheory.progressions import ArithmeticProgression
+
+
+class TestAdditiveStructure:
+    def test_pair_is_base_plus_stride(self, any_apf):
+        for x in range(1, 12):
+            b, s = any_apf.base(x), any_apf.stride(x)
+            for y in range(1, 6):
+                assert any_apf.pair(x, y) == b + (y - 1) * s
+
+    def test_successor_gap_is_stride(self, any_apf):
+        # S(v, t) = T(v, t+1) - T(v, t): constant in t.
+        for x in range(1, 10):
+            gaps = {any_apf.successor_gap(x, y) for y in range(1, 6)}
+            assert gaps == {any_apf.stride(x)}
+
+    def test_base_is_first_task(self, any_apf):
+        for x in range(1, 12):
+            assert any_apf.base(x) == any_apf.pair(x, 1)
+
+    def test_relation_4_2(self, any_apf):
+        any_apf.check_base_below_stride(40)
+
+
+class TestProgressionContract:
+    def test_progression_matches_pair(self, any_apf):
+        for x in range(1, 10):
+            ap = any_apf.progression(x)
+            assert isinstance(ap, ArithmeticProgression)
+            for y in range(1, 6):
+                assert ap.term(y) == any_apf.pair(x, y)
+
+    def test_progressions_disjoint(self, any_apf):
+        # Distinct rows' progressions never collide (bijectivity restated):
+        # check the first 12 rows, 12 terms each.
+        seen = set()
+        for x in range(1, 13):
+            for y in range(1, 13):
+                v = any_apf.pair(x, y)
+                assert v not in seen
+                seen.add(v)
+
+    def test_progression_rejects_bad_row(self, any_apf):
+        with pytest.raises(DomainError):
+            any_apf.progression(0)
+
+
+class TestRowRecovery:
+    def test_row_of_matches_unpair(self, any_apf):
+        for z in range(1, 300):
+            x, y = any_apf.unpair(z)
+            assert any_apf.row_of(z) == x
+
+
+class TestInfinitelyManyStrides:
+    def test_distinct_strides_grow_with_window(self, any_apf):
+        # Section 4.1: any APF must have infinitely many distinct strides.
+        # (Windows must outgrow the group sizes: T^[3]'s third group alone
+        # spans 256 rows.)
+        small = any_apf.distinct_strides(8)
+        large = any_apf.distinct_strides(2048)
+        assert len(large) > len(small) >= 2
+
+    def test_rejects_bad_limit(self, any_apf):
+        with pytest.raises(DomainError):
+            any_apf.distinct_strides(0)

@@ -1,0 +1,93 @@
+"""Tests for the verbatim display formulas (repro.apf.closed_forms) as
+independent oracles against the class implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apf.closed_forms import (
+    cantor_binomial,
+    hyperbolic_formula,
+    square_shell_formula,
+    stride_bracket,
+    stride_sharp,
+    t_bracket,
+    t_sharp,
+)
+from repro.apf.families import TBracket, TSharp
+from repro.core.diagonal import DiagonalPairing
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import DomainError
+
+
+class TestTBracketFormula:
+    @pytest.mark.parametrize("c", [1, 2, 3, 4])
+    def test_matches_class(self, c):
+        t = TBracket(c)
+        for x in range(1, 40):
+            for y in range(1, 6):
+                assert t_bracket(c, x, y) == t.pair(x, y)
+
+    def test_figure6_values(self):
+        assert t_bracket(1, 14, 1) == 8192
+        assert t_bracket(3, 29, 1) == 128
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DomainError):
+            t_bracket(0, 1, 1)
+        with pytest.raises(DomainError):
+            t_bracket(1, 0, 1)
+
+
+class TestTSharpFormula:
+    def test_matches_class(self):
+        t = TSharp()
+        for x in range(1, 100):
+            for y in range(1, 5):
+                assert t_sharp(x, y) == t.pair(x, y)
+
+    def test_figure6_values(self):
+        assert t_sharp(28, 1) == 400
+        assert t_sharp(29, 5) == 2480
+
+
+class TestStrideFormulas:
+    @pytest.mark.parametrize("c", [1, 2, 3])
+    def test_bracket(self, c):
+        t = TBracket(c)
+        for x in range(1, 50):
+            assert stride_bracket(c, x) == t.stride(x)
+
+    def test_sharp(self):
+        t = TSharp()
+        for x in range(1, 100):
+            assert stride_sharp(x) == t.stride(x)
+
+
+class TestCoreFormulas:
+    def test_cantor_binomial(self):
+        d = DiagonalPairing()
+        for x in range(1, 15):
+            for y in range(1, 15):
+                assert cantor_binomial(x, y) == d.pair(x, y)
+
+    def test_square_shell(self):
+        a = SquareShellPairing()
+        for x in range(1, 15):
+            for y in range(1, 15):
+                assert square_shell_formula(x, y) == a.pair(x, y)
+
+    def test_hyperbolic_naive(self):
+        h = HyperbolicPairing()
+        for x in range(1, 7):
+            for y in range(1, 7):
+                assert hyperbolic_formula(x, y) == h.pair(x, y)
+
+    def test_domain_checks(self):
+        with pytest.raises(DomainError):
+            cantor_binomial(0, 1)
+        with pytest.raises(DomainError):
+            square_shell_formula(1, -1)
+        with pytest.raises(DomainError):
+            hyperbolic_formula(1, 0)

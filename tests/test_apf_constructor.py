@@ -1,0 +1,156 @@
+"""Tests for Procedure APF-Constructor (repro.apf.constructor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apf.constructor import ConstructedAPF, CopyIndex, GroupLayout
+from repro.apf.families import (
+    ConstantCopyIndex,
+    ExponentialCopyIndex,
+    HalfSquareCopyIndex,
+    LinearCopyIndex,
+    PowerCopyIndex,
+)
+from repro.errors import ConfigurationError, DomainError
+from repro.numbertheory.bits import two_adic_valuation
+
+ALL_COPY_INDICES = [
+    ("const-1", lambda: ConstantCopyIndex(1)),
+    ("const-3", lambda: ConstantCopyIndex(3)),
+    ("linear", LinearCopyIndex),
+    ("power-2", lambda: PowerCopyIndex(2)),
+    ("half-square", HalfSquareCopyIndex),
+    ("exponential", ExponentialCopyIndex),
+]
+
+
+class BadCopyIndex(CopyIndex):
+    @property
+    def name(self):
+        return "bad"
+
+    def kappa(self, g):
+        return -1
+
+
+class TestCopyIndexValidation:
+    def test_rejects_negative_group(self):
+        with pytest.raises(DomainError):
+            LinearCopyIndex()(-1)
+
+    def test_rejects_negative_kappa(self):
+        with pytest.raises(ConfigurationError):
+            BadCopyIndex()(0)
+
+    def test_rejects_bool_group(self):
+        with pytest.raises(DomainError):
+            LinearCopyIndex()(True)
+
+
+class TestGroupLayout:
+    @pytest.mark.parametrize("name,make", ALL_COPY_INDICES)
+    def test_relation_4_3(self, name, make):
+        # Rows of group g are c(g)+1 .. c(g)+2**kappa(g), consecutive and
+        # non-overlapping.  Groups can be astronomically large (kappa=2^g
+        # gives group 5 a size of 2**32), so probe the first, an interior,
+        # and the last row of each group instead of iterating.
+        layout = GroupLayout(make())
+        row = 1
+        for g in range(6):
+            start = layout.group_start(g)
+            assert start == row - 1
+            size = layout.group_size(g)
+            assert size == 1 << layout.copy_index(g)
+            for x in {row, row + size // 2, row + size - 1}:
+                assert layout.group_of_row(x) == g
+                assert layout.index_within_group(x) == x - start
+            row += size
+
+    def test_group_rows_range(self):
+        layout = GroupLayout(LinearCopyIndex())
+        assert list(layout.group_rows(0)) == [1]
+        assert list(layout.group_rows(1)) == [2, 3]
+        assert list(layout.group_rows(2)) == [4, 5, 6, 7]
+
+    def test_sharp_layout_matches_4_5(self):
+        # kappa(g) = g: group of row x is floor(log2 x).
+        layout = GroupLayout(LinearCopyIndex())
+        for x in range(1, 200):
+            assert layout.group_of_row(x) == x.bit_length() - 1
+
+    def test_rejects_bad_row(self):
+        layout = GroupLayout(LinearCopyIndex())
+        with pytest.raises(DomainError):
+            layout.group_of_row(0)
+
+    def test_rejects_non_copy_index(self):
+        with pytest.raises(ConfigurationError):
+            GroupLayout(lambda g: g)  # type: ignore[arg-type]
+
+
+@pytest.mark.parametrize("name,make", ALL_COPY_INDICES)
+class TestTheorem42:
+    """Theorem 4.2: every constructed function is a valid APF with
+    B_x < S_x = 2**(1 + g + kappa(g))."""
+
+    def test_is_bijection(self, name, make):
+        apf = ConstructedAPF(make())
+        apf.check_roundtrip_window(12, 12)
+        apf.check_bijective_prefix(400)
+
+    def test_stride_law(self, name, make):
+        copy_index = make()
+        apf = ConstructedAPF(copy_index)
+        for x in range(1, 40):
+            g = apf.layout.group_of_row(x)
+            assert apf.stride(x) == 1 << (1 + g + copy_index(g))
+
+    def test_base_below_stride(self, name, make):
+        ConstructedAPF(make()).check_base_below_stride(64)
+
+    def test_additive_form(self, name, make):
+        apf = ConstructedAPF(make())
+        for x in range(1, 15):
+            base, stride = apf.base(x), apf.stride(x)
+            for y in range(1, 8):
+                assert apf.pair(x, y) == base + (y - 1) * stride
+
+    def test_signature_is_two_adic_valuation(self, name, make):
+        # The inverse's key step: trailing zeros of T(x, y) recover g.
+        apf = ConstructedAPF(make())
+        for x in range(1, 30):
+            g = apf.group_of(x)
+            for y in (1, 2, 5):
+                assert two_adic_valuation(apf.pair(x, y)) == g
+
+    def test_rows_tile_n(self, name, make):
+        # Addresses 1..N are covered exactly once by the row progressions.
+        apf = ConstructedAPF(make())
+        seen = {}
+        for z in range(1, 300):
+            x, y = apf.unpair(z)
+            assert apf.pair(x, y) == z
+            assert (x, y) not in seen.values()
+            seen[z] = (x, y)
+
+
+class TestGroupTable:
+    def test_figure6_presentation(self):
+        apf = ConstructedAPF(LinearCopyIndex())
+        table = apf.group_table(4, 3)
+        assert table[0] == (1, 0, [1, 3, 5])
+        assert table[2][1] == 1  # row 3 is in group 1
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DomainError):
+            ConstructedAPF(LinearCopyIndex()).group_table(0, 3)
+
+
+class TestNaming:
+    def test_default_name_mentions_kappa(self):
+        assert "kappa=g" in ConstructedAPF(LinearCopyIndex()).name
+
+    def test_display_name_override(self):
+        apf = ConstructedAPF(LinearCopyIndex(), display_name="custom")
+        assert apf.name == "custom"

@@ -1,0 +1,245 @@
+"""Tests for the APF sampler (Section 4.2) -- including every Figure 6
+value, transcribed from the paper."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apf.constructor import ConstructedAPF
+from repro.apf.families import (
+    ConstantCopyIndex,
+    ExponentialCopyIndex,
+    ExponentialKappaAPF,
+    HalfSquareCopyIndex,
+    LinearCopyIndex,
+    PowerCopyIndex,
+    TBracket,
+    TPower,
+    TSharp,
+    TStar,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFigure6:
+    """The paper's Figure 6, row by row, value by value."""
+
+    def test_t_bracket_1(self):
+        t = TBracket(1)
+        assert [t.pair(14, y) for y in range(1, 6)] == [8192, 24576, 40960, 57344, 73728]
+        assert [t.pair(15, y) for y in range(1, 6)] == [16384, 49152, 81920, 114688, 147456]
+        assert t.group_of(14) == 13 and t.group_of(15) == 14
+
+    def test_t_bracket_3(self):
+        t = TBracket(3)
+        assert [t.pair(14, y) for y in range(1, 6)] == [24, 88, 152, 216, 280]
+        assert [t.pair(15, y) for y in range(1, 6)] == [40, 104, 168, 232, 296]
+        assert [t.pair(28, y) for y in range(1, 6)] == [448, 960, 1472, 1984, 2496]
+        assert [t.pair(29, y) for y in range(1, 6)] == [128, 1152, 2176, 3200, 4224]
+        assert t.group_of(14) == 3 and t.group_of(15) == 3
+        assert t.group_of(28) == 6 and t.group_of(29) == 7
+
+    def test_t_sharp(self):
+        t = TSharp()
+        assert [t.pair(28, y) for y in range(1, 6)] == [400, 912, 1424, 1936, 2448]
+        assert [t.pair(29, y) for y in range(1, 6)] == [432, 944, 1456, 1968, 2480]
+        assert t.group_of(28) == 4 and t.group_of(29) == 4
+
+    def test_t_star(self):
+        t = TStar()
+        assert [t.pair(28, y) for y in range(1, 6)] == [328, 840, 1352, 1864, 2376]
+        assert [t.pair(29, y) for y in range(1, 6)] == [344, 856, 1368, 1880, 2392]
+        assert t.group_of(28) == 3 and t.group_of(29) == 3
+
+
+class TestTBracket:
+    def test_rejects_nonpositive_c(self):
+        with pytest.raises(ConfigurationError):
+            TBracket(0)
+
+    @pytest.mark.parametrize("c", [1, 2, 3, 4, 5])
+    def test_closed_forms_match_constructor(self, c):
+        closed = TBracket(c)
+        generic = ConstructedAPF(ConstantCopyIndex(c))
+        for x in range(1, 50):
+            assert closed.group_of(x) == generic.group_of(x)
+            assert closed.base(x) == generic.base(x)
+            assert closed.stride(x) == generic.stride(x)
+
+    @pytest.mark.parametrize("c", [1, 2, 3])
+    def test_proposition_4_1_stride(self, c):
+        # S_x = 2**(floor((x-1)/2**(c-1)) + c).
+        t = TBracket(c)
+        for x in range(1, 60):
+            assert t.stride(x) == 1 << ((x - 1) // (1 << (c - 1)) + c)
+
+    def test_t1_is_classic_exponential(self):
+        # T^<1>(x, y) = 2**(x-1) * (2y - 1): the textbook valuation pairing.
+        t = TBracket(1)
+        for x in range(1, 15):
+            for y in range(1, 8):
+                assert t.pair(x, y) == (1 << (x - 1)) * (2 * y - 1)
+
+    def test_larger_c_penalizes_low_rows_helps_high_rows(self):
+        # The paper: "a larger value of c penalizes a few low-index rows
+        # but gives all others significantly smaller base row-entries and
+        # strides".
+        t1, t3 = TBracket(1), TBracket(3)
+        assert t3.stride(1) > t1.stride(1)  # low row penalized
+        assert t3.stride(14) < t1.stride(14)  # high rows helped (Fig 6)
+        assert t3.base(14) < t1.base(14)
+
+    @pytest.mark.parametrize("c", [1, 2, 3, 4])
+    def test_bijective(self, c):
+        TBracket(c).check_roundtrip_window(14, 14)
+        TBracket(c).check_bijective_prefix(300)
+
+
+class TestTSharp:
+    def test_closed_forms_match_constructor(self):
+        closed = TSharp()
+        generic = ConstructedAPF(LinearCopyIndex())
+        for x in range(1, 200):
+            assert closed.group_of(x) == generic.group_of(x)
+            assert closed.base(x) == generic.base(x)
+            assert closed.stride(x) == generic.stride(x)
+
+    def test_equation_4_5(self):
+        t = TSharp()
+        for x in range(1, 100):
+            assert t.group_of(x) == math.floor(math.log2(x))
+
+    def test_proposition_4_2(self):
+        # S_x = 2**(1 + 2 floor(log2 x)) <= 2 x**2, quadratic growth.
+        t = TSharp()
+        for x in range(1, 200):
+            s = t.stride(x)
+            assert s == 1 << (1 + 2 * (x.bit_length() - 1))
+            assert s <= 2 * x * x
+            assert s > x * x / 2  # genuinely quadratic, not smaller
+
+    def test_bijective(self):
+        TSharp().check_roundtrip_window(16, 16)
+        TSharp().check_bijective_prefix(500)
+
+
+class TestTStar:
+    def test_matches_half_square_constructor(self):
+        star = TStar()
+        generic = ConstructedAPF(HalfSquareCopyIndex())
+        for x in range(1, 100):
+            assert star.base(x) == generic.base(x)
+            assert star.stride(x) == generic.stride(x)
+
+    def test_kappa_star_values(self):
+        # kappa*(g) = ceil(g^2/2): 0, 1, 2, 5, 8, 13, ...
+        k = HalfSquareCopyIndex()
+        assert [k(g) for g in range(6)] == [0, 1, 2, 5, 8, 13]
+
+    def test_group_boundaries(self):
+        # Groups: rows {1}, {2,3}, {4..7}, {8..39}, {40..295}, ...
+        star = TStar()
+        assert star.group_of(1) == 0
+        assert star.group_of(2) == 1 and star.group_of(3) == 1
+        assert star.group_of(4) == 2 and star.group_of(7) == 2
+        assert star.group_of(8) == 3 and star.group_of(39) == 3
+        assert star.group_of(40) == 4 and star.group_of(295) == 4
+        assert star.group_of(296) == 5
+
+    def test_proposition_4_4_estimate(self):
+        # S*_x ~ 8 x 4**sqrt(2 log2 x).  The actual stride is a staircase
+        # (constant within each group) under the smooth estimate, so the
+        # pointwise ratio wobbles; the estimate tracks within a bounded
+        # envelope and upper-bounds the staircase on this range.
+        star = TStar()
+        for x in (64, 256, 1024, 4096, 2**14):
+            actual = star.stride(x)
+            estimate = star.stride_estimate(x)
+            assert estimate / 256 < actual <= estimate * 2
+
+    def test_estimated_group_close_to_actual(self):
+        star = TStar()
+        for x in (8, 64, 512, 4096):
+            assert abs(star.estimated_group_of(x) - star.group_of(x)) <= 1
+
+    def test_subquadratic_growth(self):
+        # stride(x) / x**2 -> 0: check a decade of doublings.
+        star = TStar()
+        ratios = [star.stride(1 << k) / (1 << k) ** 2 for k in range(4, 16)]
+        assert ratios[-1] < ratios[0] / 4
+
+    def test_bijective(self):
+        TStar().check_roundtrip_window(14, 14)
+        TStar().check_bijective_prefix(400)
+
+
+class TestTPower:
+    def test_k1_equals_sharp_strides(self):
+        p1, sharp = TPower(1), TSharp()
+        for x in range(1, 100):
+            assert p1.stride(x) == sharp.stride(x)
+            assert p1.base(x) == sharp.base(x)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ConfigurationError):
+            TPower(0)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_bijective(self, k):
+        TPower(k).check_roundtrip_window(10, 10)
+        TPower(k).check_bijective_prefix(200)
+
+    def test_proposition_4_3_subquadratic(self):
+        # T^[2] strides grow like x * 2**O(sqrt(log x)): subquadratic.
+        p = TPower(2)
+        ratios = [p.stride(1 << k) / float((1 << k) ** 2) for k in (6, 10, 14, 18)]
+        assert ratios[-1] < ratios[0]
+
+    def test_estimated_group(self):
+        p = TPower(2)
+        for x in (16, 256, 4096):
+            assert abs(p.estimated_group_of(x) - p.group_of(x)) <= 1
+
+
+class TestExponentialKappa:
+    def test_bijective(self):
+        bad = ExponentialKappaAPF()
+        bad.check_roundtrip_window(10, 10)
+        bad.check_bijective_prefix(200)
+
+    def test_group_first_rows(self):
+        # Groups sized 2, 4, 16, 256: first rows 1, 3, 7, 23, 279.
+        bad = ExponentialKappaAPF()
+        assert [bad.first_row_of_group(g) for g in range(5)] == [1, 3, 7, 23, 279]
+
+    def test_superquadratic_at_group_starts(self):
+        # Section 4.2.3: at each group's first row, S_x >~ x**2 log(x**2).
+        # The relation is asymptotic (x ~ sqrt(2**kappa(g)) only for large
+        # g); it holds from g = 4 on.
+        bad = ExponentialKappaAPF()
+        for g in (4, 5, 6):
+            x = bad.first_row_of_group(g)
+            stride = bad.stride(x)
+            assert stride > x * x * math.log2(x * x)
+
+    def test_paper_inequality_exact_form(self):
+        # The paper's exact chain: S_x = 2**(1+g+kappa(g)) > 2**kappa(g) *
+        # kappa(g) -- holds at every group head from g = 3.
+        bad = ExponentialKappaAPF()
+        for g in (3, 4, 5, 6):
+            x = bad.first_row_of_group(g)
+            kappa = 1 << g
+            assert bad.stride(x) > (1 << kappa) * kappa
+
+    def test_worse_than_sharp_eventually(self):
+        # The stride ratio vs the quadratic T# grows like 2**(g+1) at the
+        # group heads: superquadratic divergence.
+        bad, sharp = ExponentialKappaAPF(), TSharp()
+        ratios = []
+        for g in (4, 5, 6):
+            x = bad.first_row_of_group(g)
+            ratios.append(bad.stride(x) / sharp.stride(x))
+        assert ratios[0] > 10
+        assert ratios == sorted(ratios)  # diverging, not settling

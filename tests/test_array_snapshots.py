@@ -1,0 +1,84 @@
+"""Tests for extendible-array snapshot/restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.extendible import ExtendibleArray
+from repro.arrays.snapshots import (
+    dumps_array,
+    loads_array,
+    restore_array,
+    snapshot_array,
+)
+from repro.core.dovetail import DovetailMapping
+from repro.core.registry import get_pairing
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import ConfigurationError
+
+
+def sample_array():
+    arr = ExtendibleArray(get_pairing("hyperbolic"), 3, 4, fill=0)
+    arr[1, 1] = 11
+    arr[3, 4] = "corner"
+    arr[2, 2] = None  # explicit None is a value, fill is 0
+    arr.append_row()
+    arr[4, 1] = [1, 2, 3]
+    return arr
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_stable(self):
+        arr = sample_array()
+        text = dumps_array(arr)
+        assert dumps_array(loads_array(text)) == text
+
+    def test_logical_content_preserved(self):
+        arr = sample_array()
+        restored = loads_array(dumps_array(arr))
+        assert restored.shape == arr.shape
+        assert restored.to_lists() == arr.to_lists()
+
+    def test_addresses_recomputed_identically(self):
+        arr = sample_array()
+        restored = loads_array(dumps_array(arr))
+        for x in range(1, arr.rows + 1):
+            for y in range(1, arr.cols + 1):
+                assert restored.address_of(x, y) == arr.address_of(x, y)
+
+    def test_restored_array_still_reshapes_with_zero_moves(self):
+        restored = loads_array(dumps_array(sample_array()))
+        restored.append_col()
+        restored.delete_row()
+        assert restored.space.traffic.moves == 0
+
+    def test_unwritten_cells_stay_fill(self):
+        arr = ExtendibleArray(SquareShellPairing(), 2, 2)  # no fill
+        arr[1, 2] = "only"
+        restored = restore_array(snapshot_array(arr))
+        assert restored[1, 2] == "only"
+        assert restored[2, 1] is None
+
+    def test_parameterized_mapping_roundtrips(self):
+        arr = ExtendibleArray(get_pairing("aspect-2x3"), 2, 3, fill=9)
+        restored = loads_array(dumps_array(arr))
+        assert restored.mapping.name == "aspect-2x3"
+        assert restored.to_lists() == arr.to_lists()
+
+
+class TestValidation:
+    def test_rejects_unregistered_mapping(self):
+        dt = DovetailMapping([get_pairing("aspect-1x2"), get_pairing("aspect-2x1")])
+        arr = ExtendibleArray(dt, 2, 2, fill=0)
+        with pytest.raises(ConfigurationError):
+            snapshot_array(arr)
+
+    def test_rejects_bad_version(self):
+        data = snapshot_array(sample_array())
+        data["version"] = 0
+        with pytest.raises(ConfigurationError):
+            restore_array(data)
+
+    def test_rejects_non_array(self):
+        with pytest.raises(ConfigurationError):
+            snapshot_array({"not": "an array"})  # type: ignore[arg-type]

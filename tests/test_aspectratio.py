@@ -1,0 +1,116 @@
+"""Tests for the fixed-aspect-ratio PFs A_{a,b} (Section 3.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aspectratio import AspectRatioPairing
+from repro.errors import ConfigurationError, DomainError
+
+RATIOS = [(1, 1), (1, 2), (2, 1), (2, 3), (3, 2), (1, 4), (5, 1)]
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ConfigurationError):
+            AspectRatioPairing(0, 1)
+        with pytest.raises(ConfigurationError):
+            AspectRatioPairing(1, -2)
+
+    def test_name_encodes_ratio(self):
+        assert AspectRatioPairing(2, 3).name == "aspect-2x3"
+
+
+@pytest.mark.parametrize("a,b", RATIOS)
+class TestBijectivity:
+    def test_roundtrip(self, a, b):
+        AspectRatioPairing(a, b).check_roundtrip_window(14, 14)
+
+    def test_prefix(self, a, b):
+        AspectRatioPairing(a, b).check_bijective_prefix(300)
+
+
+@pytest.mark.parametrize("a,b", RATIOS)
+class TestShellStructure:
+    def test_shell_sizes(self, a, b):
+        p = AspectRatioPairing(a, b)
+        for k in range(1, 8):
+            assert p.shell_size(k) == a * b * (2 * k - 1)
+
+    def test_cumulative_is_array_size(self, a, b):
+        p = AspectRatioPairing(a, b)
+        for k in range(0, 8):
+            assert p.cumulative_through(k) == a * b * k * k
+
+    def test_shell_of_consistent_with_membership(self, a, b):
+        p = AspectRatioPairing(a, b)
+        for x in range(1, 12):
+            for y in range(1, 12):
+                k = p.shell_of(x, y)
+                assert x <= a * k and y <= b * k  # inside the ak x bk array
+                assert x > a * (k - 1) or y > b * (k - 1)  # not inside previous
+
+    def test_shell_addresses_contiguous(self, a, b):
+        p = AspectRatioPairing(a, b)
+        for k in range(1, 5):
+            members = [
+                (x, y)
+                for x in range(1, a * k + 1)
+                for y in range(1, b * k + 1)
+                if p.shell_of(x, y) == k
+            ]
+            addresses = sorted(p.pair(x, y) for x, y in members)
+            low = a * b * (k - 1) * (k - 1) + 1
+            assert addresses == list(range(low, low + a * b * (2 * k - 1)))
+
+
+@pytest.mark.parametrize("a,b", RATIOS)
+class TestPerfectCompactness:
+    def test_favored_arrays_stored_perfectly(self, a, b):
+        # Guarantee (3.2): the ak x bk array occupies exactly 1..abk**2.
+        p = AspectRatioPairing(a, b)
+        for k in range(1, 6):
+            addresses = sorted(
+                p.pair(x, y)
+                for x in range(1, a * k + 1)
+                for y in range(1, b * k + 1)
+            )
+            assert addresses == list(range(1, a * b * k * k + 1))
+
+    def test_spread_favored_formula(self, a, b):
+        p = AspectRatioPairing(a, b)
+        for n in (1, 7, 36, 100):
+            k = 0
+            while a * b * (k + 1) ** 2 <= n:
+                k += 1
+            expected = a * b * k * k
+            assert p.spread_favored(n) == expected
+
+
+class TestUnfavoredShapes:
+    def test_wrong_ratio_pays(self):
+        # A_{1,2} on a square: spread exceeds the cell count.
+        p = AspectRatioPairing(1, 2)
+        side = 6
+        max_addr = p.spread_for_shape(side, side)
+        assert max_addr > side * side
+
+    def test_degenerate_row_pays_quadratically(self):
+        # Under the L-shaped in-shell order, (1, n) is the first position
+        # of shell n's right strip: address (n-1)**2 + 1 -- still
+        # quadratic in n, like every square-shell-family PF on a 1 x n row.
+        p = AspectRatioPairing(1, 1)
+        n = 30
+        assert p.spread_for_shape(1, n) == (n - 1) ** 2 + 1
+        assert p.spread_for_shape(1, n) > 10 * n  # far above the n cells
+
+
+class TestDomain:
+    def test_rejects_bad_input(self):
+        p = AspectRatioPairing(2, 3)
+        with pytest.raises(DomainError):
+            p.pair(0, 1)
+        with pytest.raises(DomainError):
+            p.unpair(0)
+        with pytest.raises(DomainError):
+            p.shell_size(0)

@@ -1,0 +1,233 @@
+"""Tests for the PF framework (repro.core.base) across the whole zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.core.diagonal import DiagonalPairing
+
+
+class TestDomainValidation:
+    def test_pair_rejects_zero(self, any_pairing):
+        with pytest.raises(DomainError):
+            any_pairing.pair(0, 1)
+        with pytest.raises(DomainError):
+            any_pairing.pair(1, 0)
+
+    def test_pair_rejects_negative(self, any_pairing):
+        with pytest.raises(DomainError):
+            any_pairing.pair(-3, 2)
+
+    def test_pair_rejects_non_int(self, any_pairing):
+        with pytest.raises(DomainError):
+            any_pairing.pair(1.5, 2)
+        with pytest.raises(DomainError):
+            any_pairing.pair("1", 2)
+
+    def test_pair_rejects_bool(self, any_pairing):
+        with pytest.raises(DomainError):
+            any_pairing.pair(True, 2)
+
+    def test_unpair_rejects_nonpositive(self, any_pairing):
+        with pytest.raises(DomainError):
+            any_pairing.unpair(0)
+        with pytest.raises(DomainError):
+            any_pairing.unpair(-7)
+
+    def test_accepts_numpy_integers(self, any_pairing):
+        assert any_pairing.pair(np.int64(2), np.int64(3)) == any_pairing.pair(2, 3)
+
+
+class TestBijectivity:
+    def test_roundtrip_window(self, any_pairing):
+        any_pairing.check_roundtrip_window(16, 16)
+
+    def test_bijective_prefix(self, any_pairing):
+        any_pairing.check_bijective_prefix(200)
+
+    def test_values_positive(self, any_pairing):
+        for x in range(1, 10):
+            for y in range(1, 10):
+                assert any_pairing.pair(x, y) >= 1
+
+    def test_callable_alias(self, any_pairing):
+        assert any_pairing(4, 5) == any_pairing.pair(4, 5)
+
+
+class TestTable:
+    def test_shape(self, any_pairing):
+        t = any_pairing.table(3, 5)
+        assert len(t) == 3 and all(len(row) == 5 for row in t)
+
+    def test_matches_pair(self, any_pairing):
+        t = any_pairing.table(4, 4)
+        for x in range(1, 5):
+            for y in range(1, 5):
+                assert t[x - 1][y - 1] == any_pairing.pair(x, y)
+
+    def test_rejects_bad_shape(self, any_pairing):
+        with pytest.raises(DomainError):
+            any_pairing.table(0, 3)
+
+
+class TestBatchPaths:
+    def test_pair_array_matches_scalar(self, any_pairing):
+        xs = np.arange(1, 13)
+        ys = np.arange(1, 13)[::-1].copy()
+        batch = any_pairing.pair_array(xs, ys)
+        for x, y, z in zip(xs, ys, np.asarray(batch).reshape(-1)):
+            assert int(z) == any_pairing.pair(int(x), int(y))
+
+    def test_unpair_array_matches_scalar(self, any_pairing):
+        zs = np.arange(1, 40)
+        bx, by = any_pairing.unpair_array(zs)
+        for z, x, y in zip(zs, np.asarray(bx).reshape(-1), np.asarray(by).reshape(-1)):
+            assert (int(x), int(y)) == any_pairing.unpair(int(z))
+
+    def test_pair_array_broadcasts(self):
+        d = DiagonalPairing()
+        out = d.pair_array(np.array([[1], [2]]), np.array([1, 2, 3]))
+        assert out.shape == (2, 3)
+        assert out[1][2] == d.pair(2, 3)
+
+    def test_pair_array_rejects_nonpositive(self, any_pairing):
+        with pytest.raises(DomainError):
+            any_pairing.pair_array([1, 0], [1, 1])
+
+
+class TestSpreadGeneric:
+    def test_spread_is_max_over_hyperbola(self, any_pairing):
+        # Definition (3.1), checked against brute force.
+        for n in (1, 4, 10):
+            brute = max(
+                any_pairing.pair(x, y)
+                for x in range(1, n + 1)
+                for y in range(1, n // x + 1)
+            )
+            assert any_pairing.spread(n) == brute
+
+    def test_spread_monotone(self, any_pairing):
+        values = [any_pairing.spread(n) for n in (1, 2, 4, 8, 16)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_spread_at_least_n(self, any_pairing):
+        # Injectivity: n positions need n distinct addresses.
+        for n in (1, 5, 12):
+            assert any_pairing.spread(n) >= n
+
+    def test_spread_for_shape_matches_brute(self, any_pairing):
+        for rows, cols in ((1, 7), (7, 1), (3, 4), (5, 5)):
+            brute = max(
+                any_pairing.pair(x, y)
+                for x in range(1, rows + 1)
+                for y in range(1, cols + 1)
+            )
+            assert any_pairing.spread_for_shape(rows, cols) == brute
+
+    def test_spread_rejects_nonpositive(self, any_pairing):
+        with pytest.raises(DomainError):
+            any_pairing.spread(0)
+
+
+class TestEnumeration:
+    def test_enumerate_positions_matches_unpair(self, any_pairing):
+        positions = list(any_pairing.enumerate_positions(30))
+        assert positions == [any_pairing.unpair(z) for z in range(1, 31)]
+
+    def test_enumeration_covers_distinct_positions(self, any_pairing):
+        positions = list(any_pairing.enumerate_positions(100))
+        assert len(set(positions)) == 100
+
+    def test_image_prefix_surjective(self, any_pairing):
+        assert any_pairing.image_prefix(10) == list(range(1, 11))
+
+
+class TestRepr:
+    def test_repr_contains_name(self, any_pairing):
+        assert any_pairing.name in repr(any_pairing)
+
+
+class TestNonSurjectiveImagePrefix:
+    def test_dovetail_image_prefix_skips_unused(self):
+        from repro.core.aspectratio import AspectRatioPairing
+        from repro.core.dovetail import DovetailMapping
+
+        dt = DovetailMapping([AspectRatioPairing(1, 2), AspectRatioPairing(2, 1)])
+        prefix = dt.image_prefix(10)
+        assert len(prefix) == 10
+        assert prefix == sorted(prefix)
+        # Every listed address decodes; at least one address below the max
+        # was skipped (non-surjectivity made visible).
+        for z in prefix:
+            assert dt.pair(*dt.unpair(z)) == z
+        assert prefix != list(range(prefix[0], prefix[0] + 10))
+
+
+class TestValidatorsCatchBrokenMappings:
+    """The bijectivity validators must actually *fail* on broken PFs --
+    otherwise every green check in this suite is meaningless."""
+
+    def _make_broken(self, pair_fn, unpair_fn):
+        from repro.core.base import PairingFunction
+
+        class Broken(PairingFunction):
+            @property
+            def name(self):
+                return "broken"
+
+            def _pair(self, x, y):
+                return pair_fn(x, y)
+
+            def _unpair(self, z):
+                return unpair_fn(z)
+
+        return Broken()
+
+    def test_collision_detected(self):
+        broken = self._make_broken(lambda x, y: x + y, lambda z: (1, z - 1))
+        with pytest.raises(AssertionError, match="collision"):
+            broken.check_roundtrip_window(4, 4)
+
+    def test_bad_inverse_detected(self):
+        from repro.core.diagonal import DiagonalPairing
+
+        d = DiagonalPairing()
+        broken = self._make_broken(d._pair, lambda z: (1, 1))
+        with pytest.raises(AssertionError, match="unpair"):
+            broken.check_roundtrip_window(4, 4)
+
+    def test_duplicate_decode_detected(self):
+        broken = self._make_broken(lambda x, y: 1, lambda z: (1, 1))
+        with pytest.raises(AssertionError):
+            broken.check_bijective_prefix(5)
+
+    def test_non_reencoding_decode_detected(self):
+        from repro.core.diagonal import DiagonalPairing
+
+        d = DiagonalPairing()
+        # unpair shifts by one: decodes are distinct but re-encode wrong.
+        broken = self._make_broken(d._pair, lambda z: d._unpair(z + 1))
+        with pytest.raises(AssertionError, match="pair\\(unpair"):
+            broken.check_bijective_prefix(10)
+
+    def test_apf_stride_violation_detected(self):
+        from repro.apf.base import AdditivePairingFunction
+
+        class BadAPF(AdditivePairingFunction):
+            @property
+            def name(self):
+                return "bad-apf"
+
+            def base(self, x):
+                return 10 * x
+
+            def stride(self, x):
+                return 1  # B_x >= S_x: violates (4.2)
+
+            def row_of(self, z):
+                return 1
+
+        with pytest.raises(AssertionError, match="not <"):
+            BadAPF().check_base_below_stride(3)

@@ -1,0 +1,90 @@
+"""Tests for the polynomial (non-)bijectivity certificates."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import DomainError
+from repro.polynomial.bijectivity import (
+    analyze_window,
+    image_density,
+    is_pf_on_window,
+)
+from repro.polynomial.poly2d import Polynomial2D
+
+
+class TestCantorCertificates:
+    def test_cantor_is_pf_on_window(self):
+        assert is_pf_on_window(Polynomial2D.cantor(), 45)
+
+    def test_twin_is_pf_on_window(self):
+        assert is_pf_on_window(Polynomial2D.cantor_twin(), 45)
+
+    def test_report_fields(self):
+        report = analyze_window(Polynomial2D.cantor(), bound=30)
+        assert report.pf_consistent
+        assert report.complete
+        assert report.gaps == ()
+        assert report.collisions == ()
+        assert report.non_positive == 0 and report.non_integer == 0
+
+
+class TestViolationDetection:
+    def test_collision_detected(self):
+        # x + y is famously non-injective.
+        p = Polynomial2D({(1, 0): 1, (0, 1): 1})
+        report = analyze_window(p, bound=10)
+        assert report.collisions
+        assert not report.pf_consistent
+
+    def test_gap_detected_in_sparse_polynomial(self):
+        # 2xy is even-valued only: all odd integers are gaps.
+        p = Polynomial2D({(1, 1): 2})
+        report = analyze_window(p, bound=10)
+        assert 1 in report.gaps and 3 in report.gaps
+        assert report.complete
+        assert not report.pf_consistent
+
+    def test_non_integer_detected(self):
+        p = Polynomial2D({(1, 0): Fraction(1, 2), (0, 1): Fraction(1, 3)})
+        report = analyze_window(p, bound=10)
+        assert report.non_integer > 0
+
+    def test_non_positive_detected(self):
+        p = Polynomial2D({(1, 0): 1, (0, 0): -3})
+        report = analyze_window(p, bound=10)
+        assert report.non_positive > 0
+        assert not report.pf_consistent
+
+    def test_scaled_cantor_has_gaps(self):
+        # 2*D(x, y) covers only even integers.
+        p = Polynomial2D.cantor().scale(2)
+        assert not is_pf_on_window(p, 20)
+
+
+class TestCompleteness:
+    def test_incomplete_scan_flagged(self):
+        # A tiny window cannot certify gaps for values up to 1000.
+        report = analyze_window(Polynomial2D.cantor(), bound=1000, window=3)
+        assert not report.complete
+
+    def test_complete_scan_with_sufficient_window(self):
+        report = analyze_window(Polynomial2D.cantor(), bound=15, window=20)
+        assert report.complete
+
+
+class TestDensity:
+    def test_cantor_density_is_one(self):
+        # [7]: a PF has unit density.
+        for n in (10, 36, 55):
+            assert image_density(Polynomial2D.cantor(), n) == 1
+
+    def test_cubic_density_below_one(self):
+        cube = Polynomial2D({(3, 0): 1, (0, 3): 1, (1, 1): 1})
+        assert image_density(cube, 100, window=20) < Fraction(1, 2)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(DomainError):
+            image_density(Polynomial2D.cantor(), 0)

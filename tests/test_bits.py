@@ -1,0 +1,129 @@
+"""Tests for repro.numbertheory.bits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DomainError
+from repro.numbertheory.bits import (
+    bit_length,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    odd_part,
+    two_adic_valuation,
+)
+
+
+class TestBitLength:
+    def test_small_values(self):
+        assert [bit_length(n) for n in (1, 2, 3, 4, 7, 8)] == [1, 2, 2, 3, 3, 4]
+
+    def test_large_value(self):
+        assert bit_length(2**100) == 101
+
+    def test_rejects_zero(self):
+        with pytest.raises(DomainError):
+            bit_length(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(DomainError):
+            bit_length(-5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(DomainError):
+            bit_length(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(DomainError):
+            bit_length(2.0)
+
+
+class TestIlog2:
+    def test_exact_powers(self):
+        for k in range(20):
+            assert ilog2(1 << k) == k
+
+    def test_between_powers(self):
+        assert ilog2(3) == 1
+        assert ilog2(5) == 2
+        assert ilog2(1023) == 9
+        assert ilog2(1025) == 10
+
+    def test_one(self):
+        assert ilog2(1) == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(DomainError):
+            ilog2(0)
+
+    def test_matches_paper_group_index_for_sharp(self):
+        # (4.5): g = floor(log2 x); Figure 6 shows g = 4 for x = 28, 29.
+        assert ilog2(28) == 4
+        assert ilog2(29) == 4
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(1 << k) for k in range(30))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(n) for n in (3, 5, 6, 7, 9, 12, 100))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DomainError):
+            is_power_of_two(0)
+
+
+class TestNextPowerOfTwo:
+    def test_idempotent_on_powers(self):
+        for k in range(10):
+            assert next_power_of_two(1 << k) == 1 << k
+
+    def test_rounds_up(self):
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(1000) == 1024
+
+    @pytest.mark.parametrize("n", range(1, 200))
+    def test_is_smallest(self, n):
+        p = next_power_of_two(n)
+        assert p >= n and is_power_of_two(p)
+        if p > 1:
+            assert p // 2 < n
+
+
+class TestTwoAdicValuation:
+    def test_odd_numbers_have_zero(self):
+        assert all(two_adic_valuation(n) == 0 for n in (1, 3, 5, 99, 12345))
+
+    def test_pure_powers(self):
+        for k in range(25):
+            assert two_adic_valuation(1 << k) == k
+
+    @pytest.mark.parametrize("n", range(1, 300))
+    def test_definition(self, n):
+        v = two_adic_valuation(n)
+        assert n % (1 << v) == 0
+        assert (n >> v) % 2 == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(DomainError):
+            two_adic_valuation(0)
+
+
+class TestOddPart:
+    @pytest.mark.parametrize("n", range(1, 300))
+    def test_reconstruction(self, n):
+        assert odd_part(n) << two_adic_valuation(n) == n
+
+    def test_odd_part_is_odd(self):
+        assert all(odd_part(n) % 2 == 1 for n in range(1, 200))
+
+    def test_unique_decomposition_is_injective(self):
+        # (valuation, odd part) pairs are distinct across 1..512 -- the
+        # uniqueness the APF constructor's bijectivity rests on.
+        seen = set()
+        for n in range(1, 513):
+            key = (two_adic_valuation(n), odd_part(n))
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,127 @@
+"""Tests for the CLI (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestFigureCommand:
+    @pytest.mark.parametrize("n", ["2", "3", "4", "5", "6"])
+    def test_figures_print(self, capsys, n):
+        out = run_cli(capsys, "figure", n)
+        assert f"Figure {n}" in out
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "7"])
+
+
+class TestTableAndEval:
+    def test_table(self, capsys):
+        out = run_cli(capsys, "table", "diagonal", "3", "3")
+        assert "6" in out and "diagonal" in out
+
+    def test_pair(self, capsys):
+        assert run_cli(capsys, "pair", "diagonal", "3", "2").strip() == "8"
+
+    def test_unpair(self, capsys):
+        assert run_cli(capsys, "unpair", "diagonal", "8").strip() == "3 2"
+
+    def test_parameterized_mapping(self, capsys):
+        out = run_cli(capsys, "pair", "aspect-1x2", "1", "1")
+        assert out.strip() == "1"
+
+    def test_unknown_mapping_errors(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["pair", "bogus", "1", "1"])
+
+
+class TestAnalysisCommands:
+    def test_spread(self, capsys):
+        out = run_cli(capsys, "spread", "hyperbolic", "16", "256")
+        assert "50" in out and "1466" in out
+
+    def test_strides(self, capsys):
+        out = run_cli(capsys, "strides", "apf-sharp", "8")
+        assert "S_x" in out
+
+    def test_strides_rejects_non_apf(self):
+        with pytest.raises(SystemExit):
+            main(["strides", "diagonal", "5"])
+
+    def test_crossover(self, capsys):
+        out = run_cli(capsys, "crossover", "apf-bracket-1", "apf-sharp", "100")
+        assert "x0 = 5" in out
+
+    def test_crossover_no_dominance(self, capsys):
+        out = run_cli(capsys, "crossover", "apf-star", "apf-sharp", "10000")
+        assert "does not dominate" in out
+
+    def test_crossover_rejects_non_apf(self):
+        with pytest.raises(SystemExit):
+            main(["crossover", "diagonal", "apf-sharp", "10"])
+
+
+class TestWbcCommand:
+    def test_runs_and_reports(self, capsys):
+        out = run_cli(capsys, "wbc", "--ticks", "50", "--volunteers", "8", "--seed", "3")
+        assert "tasks completed" in out
+        assert "attribution failures" in out
+
+    def test_rejects_non_apf(self):
+        with pytest.raises(SystemExit):
+            main(["wbc", "--apf", "diagonal", "--ticks", "10"])
+
+
+class TestListCommand:
+    def test_lists_names(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "diagonal" in out and "apf-sharp" in out
+        assert "parameterized" in out
+
+
+class TestEncodingCommands:
+    def test_encode_decode_roundtrip(self, capsys):
+        code = run_cli(capsys, "encode", "3", "1", "4").strip()
+        out = run_cli(capsys, "decode", code)
+        assert out.strip() == "3 1 4"
+
+    def test_empty_tuple(self, capsys):
+        assert run_cli(capsys, "encode").strip() == "1"
+        assert run_cli(capsys, "decode", "1").strip() == "()"
+
+
+class TestLocalityCommand:
+    def test_apf_rows_constant(self, capsys):
+        out = run_cli(capsys, "locality", "apf-sharp")
+        assert "True" in out  # constant row jumps
+        assert "corner block" in out
+
+    def test_square_shell_dense_corner(self, capsys):
+        out = run_cli(capsys, "locality", "square-shell")
+        assert "density 1.000" in out
+
+
+class TestReportCommand:
+    def test_report_contains_all_sections(self, capsys):
+        out = run_cli(capsys, "report")
+        assert "Figures" in out
+        assert "Spread S(n)" in out
+        assert "crossovers" in out
+        assert "WBC footprint" in out
+
+    def test_report_key_numbers(self, capsys):
+        out = run_cli(capsys, "report")
+        assert "64/64 values" in out
+        assert "50 points" in out
+        # Hyperbolic meets the bound: the 1466 appears in both columns.
+        assert out.count("1466") >= 2

@@ -1,0 +1,148 @@
+"""Tests for the diagonal PF D (Section 2, Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.diagonal import DiagonalPairing, DiagonalPairingTwin
+from repro.numbertheory.integers import binomial
+
+FIGURE_2 = [
+    [1, 3, 6, 10, 15, 21, 28, 36],
+    [2, 5, 9, 14, 20, 27, 35, 44],
+    [4, 8, 13, 19, 26, 34, 43, 53],
+    [7, 12, 18, 25, 33, 42, 52, 63],
+    [11, 17, 24, 32, 41, 51, 62, 74],
+    [16, 23, 31, 40, 50, 61, 73, 86],
+    [22, 30, 39, 49, 60, 72, 85, 99],
+    [29, 38, 48, 59, 71, 84, 98, 113],
+]
+
+
+class TestFigure2:
+    def test_exact_table(self):
+        assert DiagonalPairing().table(8, 8) == FIGURE_2
+
+    def test_highlighted_shell(self):
+        # The paper highlights shell x + y = 6: values 15, 14, 13, 12, 11.
+        d = DiagonalPairing()
+        shell = [d.pair(x, 6 - x) for x in range(1, 6)]
+        assert sorted(shell) == [11, 12, 13, 14, 15]
+
+
+class TestFormula:
+    def test_matches_binomial_form(self):
+        # (2.1): D(x, y) = C(x+y-1, 2) + y.
+        d = DiagonalPairing()
+        for x in range(1, 20):
+            for y in range(1, 20):
+                assert d.pair(x, y) == binomial(x + y - 1, 2) + y
+
+    def test_walks_shells_upward(self):
+        # Within shell x+y = s, increasing y means increasing address.
+        d = DiagonalPairing()
+        for s in range(2, 15):
+            addresses = [d.pair(s - y, y) for y in range(1, s)]
+            assert addresses == sorted(addresses)
+
+    def test_consecutive_shells_are_contiguous(self):
+        d = DiagonalPairing()
+        for s in range(2, 15):
+            last_of_shell = d.pair(1, s - 1)
+            first_of_next = d.pair(s, 1)
+            assert first_of_next == last_of_shell + 1
+
+
+class TestInverse:
+    @pytest.mark.parametrize("z", range(1, 2000))
+    def test_roundtrip_dense(self, z):
+        d = DiagonalPairing()
+        x, y = d.unpair(z)
+        assert d.pair(x, y) == z
+
+    def test_huge_roundtrip(self):
+        d = DiagonalPairing()
+        x, y = 10**15 + 3, 10**14 + 7
+        assert d.unpair(d.pair(x, y)) == (x, y)
+
+
+class TestSpread:
+    def test_one_by_n_claim(self):
+        # Section 3.2: D(1, n) = (n**2 + n)/2.
+        d = DiagonalPairing()
+        for n in range(1, 50):
+            assert d.pair(1, n) == (n * n + n) // 2
+
+    def test_n_by_n_claim(self):
+        # Section 3.2: D spreads the n x n array over ~2n**2 addresses
+        # (exactly 2n**2 - 2n + 1).
+        d = DiagonalPairing()
+        for n in range(1, 30):
+            assert d.pair(n, n) == 2 * n * n - 2 * n + 1
+
+    def test_closed_form_spread(self):
+        d = DiagonalPairing()
+        for n in (1, 2, 5, 16, 100):
+            brute = max(
+                d.pair(x, y) for x in range(1, n + 1) for y in range(1, n // x + 1)
+            )
+            assert d.spread(n) == brute == n * (n + 1) // 2
+
+    def test_spread_for_shape_closed_form(self):
+        d = DiagonalPairing()
+        for rows, cols in ((1, 9), (9, 1), (4, 7), (6, 6)):
+            brute = max(
+                d.pair(x, y)
+                for x in range(1, rows + 1)
+                for y in range(1, cols + 1)
+            )
+            assert d.spread_for_shape(rows, cols) == brute
+
+
+class TestVectorized:
+    def test_pair_array_int64(self):
+        d = DiagonalPairing()
+        xs = np.arange(1, 1000)
+        ys = np.arange(1000, 1, -1)
+        out = d.pair_array(xs, ys)
+        assert out.dtype == np.int64
+        idx = 137
+        assert out[idx] == d.pair(int(xs[idx]), int(ys[idx]))
+
+    def test_unpair_array_large_dense(self):
+        d = DiagonalPairing()
+        zs = np.arange(1, 100_000, 97)
+        xs, ys = d.unpair_array(zs)
+        back = d.pair_array(xs, ys)
+        assert np.array_equal(back, zs)
+
+
+class TestTwin:
+    def test_twin_swaps_arguments(self):
+        d, t = DiagonalPairing(), DiagonalPairingTwin()
+        for x in range(1, 12):
+            for y in range(1, 12):
+                assert t.pair(x, y) == d.pair(y, x)
+
+    def test_twin_is_bijection(self):
+        DiagonalPairingTwin().check_bijective_prefix(500)
+
+    def test_twin_spread_equals_original(self):
+        # Spread is symmetric in the shape constraint xy <= n.
+        d, t = DiagonalPairing(), DiagonalPairingTwin()
+        for n in (4, 10, 36):
+            assert t.spread(n) == d.spread(n)
+
+    def test_twin_differs_from_original(self):
+        d, t = DiagonalPairing(), DiagonalPairingTwin()
+        assert any(
+            t.pair(x, y) != d.pair(x, y) for x in range(1, 5) for y in range(1, 5)
+        )
+
+    def test_twin_vectorized(self):
+        t = DiagonalPairingTwin()
+        zs = np.arange(1, 500)
+        xs, ys = t.unpair_array(zs)
+        for z, x, y in zip(zs, xs, ys):
+            assert t.pair(int(x), int(y)) == int(z)

@@ -1,0 +1,70 @@
+"""Tests for repro.numbertheory.divisor_sums."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import DomainError
+from repro.numbertheory.divisor_sums import (
+    divisor_summatory,
+    divisor_summatory_naive,
+    smallest_n_with_summatory_at_least,
+)
+
+
+class TestDivisorSummatory:
+    def test_base_cases(self):
+        assert divisor_summatory(0) == 0
+        assert divisor_summatory(1) == 1
+
+    @pytest.mark.parametrize("n", range(0, 400))
+    def test_hyperbola_matches_naive(self, n):
+        assert divisor_summatory(n) == divisor_summatory_naive(n)
+
+    def test_strictly_increasing(self):
+        values = [divisor_summatory(n) for n in range(1, 200)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_figure5_count(self):
+        # Figure 5: 16-or-fewer-cell arrays cover the staircase under
+        # xy = 16; its lattice-point count is D(16).
+        assert divisor_summatory(16) == 50
+
+    def test_asymptotic_shape(self):
+        # D(n) = n ln n + (2 gamma - 1) n + O(sqrt n); check the main term
+        # within 5% at n = 10**5.
+        n = 100_000
+        gamma = 0.5772156649015329
+        estimate = n * math.log(n) + (2 * gamma - 1) * n
+        assert abs(divisor_summatory(n) - estimate) / estimate < 0.05
+
+    def test_rejects_negative(self):
+        with pytest.raises(DomainError):
+            divisor_summatory(-1)
+
+
+class TestSmallestNWithSummatoryAtLeast:
+    @pytest.mark.parametrize("target", range(1, 300))
+    def test_defining_property(self, target):
+        n = smallest_n_with_summatory_at_least(target)
+        assert divisor_summatory(n) >= target
+        assert n == 1 or divisor_summatory(n - 1) < target
+
+    def test_shell_boundaries(self):
+        # Addresses 1..D(1) on shell 1, D(1)+1..D(2) on shell 2, etc.
+        for shell in range(1, 50):
+            low = divisor_summatory(shell - 1) + 1
+            high = divisor_summatory(shell)
+            assert smallest_n_with_summatory_at_least(low) == shell
+            assert smallest_n_with_summatory_at_least(high) == shell
+
+    def test_large_target(self):
+        target = 10**6
+        n = smallest_n_with_summatory_at_least(target)
+        assert divisor_summatory(n) >= target > divisor_summatory(n - 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DomainError):
+            smallest_n_with_summatory_at_least(0)

@@ -1,0 +1,132 @@
+"""Tests for repro.numbertheory.divisors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import DomainError
+from repro.numbertheory.divisors import (
+    divisor_count,
+    divisor_count_sieve,
+    divisor_pairs,
+    divisors,
+    divisors_descending,
+    factorize,
+)
+
+
+class TestDivisors:
+    @pytest.mark.parametrize("n", range(1, 200))
+    def test_every_listed_divides(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+    @pytest.mark.parametrize("n", range(1, 200))
+    def test_complete(self, n):
+        listed = set(divisors(n))
+        brute = {d for d in range(1, n + 1) if n % d == 0}
+        assert listed == brute
+
+    @pytest.mark.parametrize("n", range(1, 200))
+    def test_sorted_ascending(self, n):
+        ds = divisors(n)
+        assert ds == sorted(ds)
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_prime(self):
+        assert divisors(97) == [1, 97]
+
+    def test_square(self):
+        assert divisors(36) == [1, 2, 3, 4, 6, 9, 12, 18, 36]
+
+    def test_rejects_zero(self):
+        with pytest.raises(DomainError):
+            divisors(0)
+
+
+class TestDivisorsDescending:
+    @pytest.mark.parametrize("n", range(1, 100))
+    def test_is_reverse(self, n):
+        assert divisors_descending(n) == list(reversed(divisors(n)))
+
+
+class TestDivisorCount:
+    @pytest.mark.parametrize("n", range(1, 300))
+    def test_matches_enumeration(self, n):
+        assert divisor_count(n) == len(divisors(n))
+
+    def test_known_values(self):
+        # delta(k) for k = 1..12 -- the shell sizes of Figure 4.
+        expected = [1, 2, 2, 3, 2, 4, 2, 4, 3, 4, 2, 6]
+        assert [divisor_count(k) for k in range(1, 13)] == expected
+
+    def test_highly_composite(self):
+        assert divisor_count(360) == 24
+
+    def test_matches_factorization_formula(self):
+        for n in range(1, 300):
+            expected = math.prod(e + 1 for e in factorize(n).values())
+            assert divisor_count(n) == expected
+
+
+class TestDivisorCountSieve:
+    def test_matches_pointwise(self):
+        sieve = divisor_count_sieve(500)
+        for n in range(1, 501):
+            assert sieve[n] == divisor_count(n)
+
+    def test_zero_limit(self):
+        assert divisor_count_sieve(0) == [0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(DomainError):
+            divisor_count_sieve(-1)
+
+
+class TestDivisorPairs:
+    @pytest.mark.parametrize("n", range(1, 100))
+    def test_products(self, n):
+        for x, y in divisor_pairs(n):
+            assert x * y == n
+
+    @pytest.mark.parametrize("n", range(1, 100))
+    def test_descending_x(self, n):
+        xs = [x for x, _ in divisor_pairs(n)]
+        assert xs == sorted(xs, reverse=True)
+
+    def test_count(self):
+        for n in range(1, 100):
+            assert len(list(divisor_pairs(n))) == divisor_count(n)
+
+    def test_shell_order_of_figure_4(self):
+        # Shell xy = 6 in Figure 4 reads H(6,1)=11 < H(3,2)=12 < H(2,3)=13
+        # < H(1,6)=14: descending x.
+        assert list(divisor_pairs(6)) == [(6, 1), (3, 2), (2, 3), (1, 6)]
+
+
+class TestFactorize:
+    @pytest.mark.parametrize("n", range(1, 300))
+    def test_reconstruction(self, n):
+        product = 1
+        for p, e in factorize(n).items():
+            product *= p**e
+        assert product == n
+
+    @pytest.mark.parametrize("n", range(2, 300))
+    def test_factors_are_prime(self, n):
+        for p in factorize(n):
+            assert p >= 2
+            assert all(p % q != 0 for q in range(2, int(math.isqrt(p)) + 1))
+
+    def test_one(self):
+        assert factorize(1) == {}
+
+    def test_large_prime(self):
+        assert factorize(10**9 + 7) == {10**9 + 7: 1}
+
+    def test_known(self):
+        assert factorize(2**5 * 3**2 * 7) == {2: 5, 3: 2, 7: 1}

@@ -1,0 +1,128 @@
+"""Tests for the dovetail combinator (Section 3.2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aspectratio import AspectRatioPairing
+from repro.core.diagonal import DiagonalPairing
+from repro.core.dovetail import DovetailMapping
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import ConfigurationError, NotInImageError
+
+
+def two_ratio_dovetail():
+    return DovetailMapping([AspectRatioPairing(1, 2), AspectRatioPairing(2, 1)])
+
+
+def three_way_dovetail():
+    return DovetailMapping(
+        [SquareShellPairing(), AspectRatioPairing(1, 3), AspectRatioPairing(3, 1)]
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            DovetailMapping([])
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ConfigurationError):
+            DovetailMapping([SquareShellPairing(), "not a mapping"])  # type: ignore[list-item]
+
+    def test_rejects_nested_non_surjective(self):
+        inner = two_ratio_dovetail()
+        with pytest.raises(ConfigurationError):
+            DovetailMapping([inner, SquareShellPairing()])
+
+    def test_arity_and_components(self):
+        dt = three_way_dovetail()
+        assert dt.arity == 3
+        assert len(dt.components) == 3
+        assert not dt.surjective
+
+
+class TestInjectivity:
+    @pytest.mark.parametrize("factory", [two_ratio_dovetail, three_way_dovetail])
+    def test_window_injective_and_invertible(self, factory):
+        factory().check_roundtrip_window(12, 12)
+
+    def test_single_mapping_dovetail(self):
+        # m = 1 degenerates to the original with addresses scaled by 1.
+        dt = DovetailMapping([DiagonalPairing()])
+        d = DiagonalPairing()
+        for x in range(1, 8):
+            for y in range(1, 8):
+                assert dt.pair(x, y) == d.pair(x, y)
+
+
+class TestCongruenceStructure:
+    def test_addresses_identify_component(self):
+        dt = two_ratio_dovetail()
+        for x in range(1, 10):
+            for y in range(1, 10):
+                z = dt.pair(x, y)
+                k = z % dt.arity + 1
+                comp = dt.components[k - 1]
+                assert dt.arity * comp.pair(x, y) + (k - 1) == z
+
+    def test_unused_addresses_raise(self):
+        dt = two_ratio_dovetail()
+        used = {dt.pair(x, y) for x in range(1, 30) for y in range(1, 30)}
+        probed = 0
+        for z in range(1, 200):
+            if z in used:
+                assert dt.unpair(z) is not None
+            else:
+                try:
+                    pos = dt.unpair(z)
+                except NotInImageError:
+                    probed += 1
+                else:
+                    # z decodes to a position outside the scanned window --
+                    # legal; verify consistency.
+                    assert dt.pair(*pos) == z
+        assert probed > 0  # some addresses genuinely unused
+
+
+class TestCompactnessBound:
+    @pytest.mark.parametrize("n", [4, 9, 25, 64])
+    def test_spread_bound_holds(self, n):
+        # S_A(n) <= m * min_k S_{A_k}(n) + (m - 1).
+        dt = three_way_dovetail()
+        assert dt.spread(n) <= dt.spread_bound(n)
+
+    def test_dovetail_wins_on_both_ratios(self):
+        # The 2-ratio dovetail stores both 1x2-ish and 2x1-ish arrays
+        # within ~2x their cell count, where each single A_{a,b} would pay
+        # quadratically on its unfavored ratio.
+        dt = two_ratio_dovetail()
+        k = 5
+        wide = dt.spread_for_shape(k, 2 * k)  # favored by component 1
+        tall = dt.spread_for_shape(2 * k, k)  # favored by component 2
+        cells = 2 * k * k
+        assert wide <= 2 * cells + 1
+        assert tall <= 2 * cells + 1
+        solo = AspectRatioPairing(1, 2)
+        assert solo.spread_for_shape(2 * k, k) > 2 * cells + 1
+
+    def test_pointwise_bound(self):
+        # A(x, y) <= m * A_k(x, y) + m - 1 for every component k.
+        dt = three_way_dovetail()
+        m = dt.arity
+        for x in range(1, 10):
+            for y in range(1, 10):
+                z = dt.pair(x, y)
+                for comp in dt.components:
+                    assert z <= m * comp.pair(x, y) + m - 1
+
+
+class TestWithHeterogeneousComponents:
+    def test_mixed_families(self):
+        dt = DovetailMapping([DiagonalPairing(), HyperbolicPairing()])
+        dt.check_roundtrip_window(10, 10)
+
+    def test_name_lists_components(self):
+        dt = DovetailMapping([DiagonalPairing(), HyperbolicPairing()])
+        assert "diagonal" in dt.name and "hyperbolic" in dt.name

@@ -1,0 +1,186 @@
+"""Tests for the Godel/Turing encodings (repro.encoding)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.diagonal import DiagonalPairing
+from repro.encoding import StringCodec, TupleCodec
+from repro.errors import ConfigurationError, DomainError
+
+
+class TestTupleCodecBasics:
+    def test_empty_tuple_is_one(self):
+        assert TupleCodec().encode(()) == 1
+        assert TupleCodec().decode(1) == ()
+
+    def test_roundtrip_examples(self):
+        codec = TupleCodec()
+        for t in [(1,), (2, 3), (3, 1, 4), (1, 1, 1, 1), (9, 8, 7, 6, 5)]:
+            assert codec.decode(codec.encode(t)) == t
+
+    def test_accepts_lists(self):
+        codec = TupleCodec()
+        assert codec.decode(codec.encode([5, 6])) == (5, 6)
+
+    def test_distinct_tuples_distinct_codes(self):
+        codec = TupleCodec()
+        tuples = [(), (1,), (2,), (1, 1), (1, 2), (2, 1), (1, 1, 1)]
+        codes = [codec.encode(t) for t in tuples]
+        assert len(set(codes)) == len(codes)
+
+    def test_length_is_recoverable(self):
+        codec = TupleCodec()
+        for t in [(), (4,), (4, 4), (4, 4, 4)]:
+            assert len(codec.decode(codec.encode(t))) == len(t)
+
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(DomainError):
+            TupleCodec().encode((1, 0))
+        with pytest.raises(DomainError):
+            TupleCodec().encode((True,))
+
+    def test_rejects_bad_code(self):
+        with pytest.raises(DomainError):
+            TupleCodec().decode(0)
+
+    def test_custom_base(self):
+        codec = TupleCodec(DiagonalPairing())
+        for t in [(), (7,), (2, 5, 1)]:
+            assert codec.decode(codec.encode(t)) == t
+
+    def test_rejects_non_pf_base(self):
+        with pytest.raises(ConfigurationError):
+            TupleCodec("diagonal")  # type: ignore[arg-type]
+
+
+class TestTupleCodecBijectivity:
+    def test_every_integer_is_a_tuple_code(self):
+        # Surjectivity: decode is total and encode inverts it.
+        codec = TupleCodec()
+        seen = set()
+        for z in range(1, 3000):
+            t = codec.decode(z)
+            assert codec.encode(t) == z
+            assert t not in seen
+            seen.add(t)
+
+    @given(z=st.integers(1, 10**6))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_encode_property(self, z):
+        # Bounded z: decode(z) can legitimately have arity ~sqrt(z) (the
+        # length tag is a square-shell coordinate), so huge z produce
+        # mathematically-correct but enormous tuples.
+        codec = TupleCodec()
+        assert codec.encode(codec.decode(z)) == z
+
+    def test_large_code_with_large_arity(self):
+        # One deliberate large case: the decoded tuple's arity equals the
+        # length tag recovered from the base PF.
+        codec = TupleCodec()
+        z = 44_614_733_286
+        t = codec.decode(z)
+        assert codec.encode(t) == z
+
+    @given(t=st.lists(st.integers(1, 50), max_size=6))
+    @settings(max_examples=200)
+    def test_encode_decode_property(self, t):
+        codec = TupleCodec()
+        assert codec.decode(codec.encode(t)) == tuple(t)
+
+
+class TestNestedEncoding:
+    def test_leaf(self):
+        codec = TupleCodec()
+        assert codec.decode_nested(codec.encode_nested(5)) == 5
+
+    def test_nested_trees(self):
+        codec = TupleCodec()
+        trees = [
+            (),
+            (1, 2),
+            (1, (2, 3)),
+            ((1,), ((2,), (3, (4, 5)))),
+        ]
+        for tree in trees:
+            assert codec.decode_nested(codec.encode_nested(tree)) == tree
+
+    def test_lists_decode_as_tuples(self):
+        codec = TupleCodec()
+        assert codec.decode_nested(codec.encode_nested([1, [2, 3]])) == (1, (2, 3))
+
+    def test_rejects_bad_leaves(self):
+        codec = TupleCodec()
+        with pytest.raises(DomainError):
+            codec.encode_nested((1, -2))
+        with pytest.raises(DomainError):
+            codec.encode_nested("str")
+        with pytest.raises(DomainError):
+            codec.encode_nested(True)
+
+
+class TestStringCodecBasics:
+    def test_binary_alphabet_sequence(self):
+        codec = StringCodec("ab")
+        assert [codec.decode(n) for n in range(1, 8)] == [
+            "", "a", "b", "aa", "ab", "ba", "bb",
+        ]
+
+    def test_roundtrip_default_alphabet(self):
+        codec = StringCodec()
+        for s in ["", "a", "z", "hello", "pairing", "zzzz"]:
+            assert codec.decode(codec.encode(s)) == s
+
+    def test_bijectivity_prefix(self):
+        codec = StringCodec("xyz")
+        seen = set()
+        for z in range(1, 2000):
+            s = codec.decode(z)
+            assert codec.encode(s) == z
+            assert s not in seen
+            seen.add(s)
+
+    def test_unary_alphabet(self):
+        codec = StringCodec("a")
+        assert codec.decode(1) == ""
+        assert codec.decode(4) == "aaa"
+        assert codec.encode("aaaa") == 5
+
+    def test_rejects_foreign_characters(self):
+        with pytest.raises(DomainError):
+            StringCodec("ab").encode("abc")
+
+    def test_rejects_bad_alphabets(self):
+        with pytest.raises(ConfigurationError):
+            StringCodec("")
+        with pytest.raises(ConfigurationError):
+            StringCodec("aa")
+        with pytest.raises(ConfigurationError):
+            StringCodec(["ab"])
+
+    @given(s=st.text(alphabet="abc", max_size=12))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, s):
+        codec = StringCodec("abc")
+        assert codec.decode(codec.encode(s)) == s
+
+
+class TestStringSequences:
+    def test_sequence_roundtrip(self):
+        codec = StringCodec("ab")
+        seqs = [[], [""], ["a"], ["ab", "", "ba"], ["b"] * 4]
+        for seq in seqs:
+            code = codec.encode_sequence(seq)
+            assert codec.decode_sequence(code) == tuple(seq)
+
+    def test_strings_integers_tuples_roundtrip(self):
+        # Section 1.2's full loop: strings -> ints -> a tuple -> one int
+        # -> back.
+        strings = StringCodec()
+        tuples = TupleCodec()
+        words = ["slip", "gracefully", "between", "worlds"]
+        code = tuples.encode([strings.encode(w) for w in words])
+        back = [strings.decode(c) for c in tuples.decode(code)]
+        assert back == words

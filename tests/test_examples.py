@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline results.  Examples are documentation; broken documentation is a
+bug."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["Figure 2", "valid PF (Theorem 3.1)", "Additive PFs", "lower bound"]),
+    (
+        "extendible_table.py",
+        ["element moves        0", "naive", "hyperbolic"],
+    ),
+    (
+        "web_computing.py",
+        ["banned after 2 strikes: True", "attribution", "max task index"],
+    ),
+    (
+        "design_a_pairing_function.py",
+        ["Theorem", "Cantor", "excluded"],
+    ),
+    (
+        "godel_encoding.py",
+        ["(12, 34)", "every integer IS some tuple", "godel"],
+    ),
+    (
+        "relational_tables.py",
+        ["element moves across all DDL: 0", "hyperbolic", "Section 3.2.3"],
+    ),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for needle in expected:
+        assert needle in proc.stdout, f"{script}: missing {needle!r} in output"

@@ -1,0 +1,97 @@
+"""Tests for the super-quadratic exclusion arguments (Section 2, item 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, DomainError
+from repro.polynomial.exclusions import (
+    exclusion_certificate,
+    gap_witness,
+    range_count,
+)
+from repro.polynomial.poly2d import Polynomial2D
+
+CUBE = Polynomial2D({(3, 0): 1, (0, 3): 1, (1, 1): 1})
+QUARTIC = Polynomial2D({(4, 0): 1, (0, 4): 1, (2, 2): 1, (1, 0): 1, (0, 1): 1})
+POSITIVE_QUADRATIC = Polynomial2D({(2, 0): 1, (1, 1): 1, (0, 2): 1})
+
+
+class TestRangeCount:
+    def test_brute_force_agreement(self):
+        for n in (10, 50, 200):
+            brute = sum(
+                1
+                for x in range(1, n + 1)
+                for y in range(1, n + 1)
+                if CUBE(x, y) <= n and CUBE(x, y).denominator == 1
+            )
+            assert range_count(CUBE, n) == brute
+
+    def test_monotone_in_n(self):
+        counts = [range_count(CUBE, n) for n in (10, 100, 1000)]
+        assert counts == sorted(counts)
+
+    def test_requires_positive_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            range_count(Polynomial2D.cantor(), 10)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(DomainError):
+            range_count(CUBE, 0)
+
+
+class TestSuperQuadraticSparsity:
+    @pytest.mark.parametrize("poly", [CUBE, QUARTIC], ids=["cubic", "quartic"])
+    def test_range_is_sublinear(self, poly):
+        # Degree d > 2: |range <= n| ~ n**(2/d) << n.  At n = 10**4 the
+        # deficit is overwhelming.
+        n = 10_000
+        assert range_count(poly, n) < n // 10
+
+    def test_positive_quadratic_also_sparse(self):
+        # x^2+xy+y^2 misses integers too (it is not onto), though its
+        # count is Theta(n) -- the exclusion for degree 2 with all-positive
+        # coefficients still shows via gaps.
+        assert gap_witness(POSITIVE_QUADRATIC, 50) is not None
+
+
+class TestGapWitness:
+    def test_cube_misses_one(self):
+        assert gap_witness(CUBE, 50) == 1
+
+    def test_witness_is_truly_missed(self):
+        for poly in (CUBE, QUARTIC):
+            w = gap_witness(poly, 100)
+            assert w is not None
+            # No lattice point up to a generous window attains w.
+            for x in range(1, 30):
+                for y in range(1, 30):
+                    assert poly(x, y) != w
+
+
+class TestExclusionCertificate:
+    @pytest.mark.parametrize("poly", [CUBE, QUARTIC], ids=["cubic", "quartic"])
+    def test_excludes_super_quadratics(self, poly):
+        cert = exclusion_certificate(poly, horizon=500)
+        assert cert.excludes
+        assert cert.missing_count >= cert.horizon - cert.range_size
+        assert cert.first_gap is not None
+
+    def test_certificate_fields(self):
+        cert = exclusion_certificate(CUBE, horizon=200)
+        assert cert.degree == 3
+        assert cert.horizon == 200
+        assert cert.range_size == range_count(CUBE, 200)
+
+    def test_paper_example_positive_superquadratic(self):
+        # "a super-quadratic polynomial whose coefficients are all positive
+        # cannot be a PF" -- certified for a batch of examples.
+        examples = [
+            Polynomial2D({(3, 0): 1, (0, 1): 1}),
+            Polynomial2D({(2, 1): 2, (1, 2): 1, (0, 0): 1}),
+            Polynomial2D({(5, 0): 1, (0, 5): 1, (1, 1): 3}),
+        ]
+        for poly in examples:
+            assert poly.is_super_quadratic()
+            assert exclusion_certificate(poly, horizon=300).excludes

@@ -1,0 +1,159 @@
+"""Tests for the PF-backed extendible array (Section 3's payoff)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.extendible import ExtendibleArray
+from repro.core.diagonal import DiagonalPairing
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import ConfigurationError, DomainError
+
+MAPPINGS = [DiagonalPairing, SquareShellPairing, HyperbolicPairing]
+
+
+class TestConstruction:
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ConfigurationError):
+            ExtendibleArray("diagonal", 2, 2)  # type: ignore[arg-type]
+
+    def test_rejects_half_empty_shape(self):
+        with pytest.raises(DomainError):
+            ExtendibleArray(DiagonalPairing(), rows=2, cols=0)
+
+    def test_fill_writes_cells(self):
+        arr = ExtendibleArray(SquareShellPairing(), 3, 3, fill=7)
+        assert arr[2, 2] == 7
+        assert arr.space.live_count == 9
+
+    def test_no_fill_leaves_space_empty(self):
+        arr = ExtendibleArray(SquareShellPairing(), 3, 3)
+        assert arr.space.live_count == 0
+        assert arr[2, 2] is None
+
+
+@pytest.mark.parametrize("make_mapping", MAPPINGS)
+class TestZeroMoveInvariant:
+    def test_growth_never_moves(self, make_mapping):
+        arr = ExtendibleArray(make_mapping(), 1, 1, fill=0)
+        arr[1, 1] = 42
+        for _ in range(6):
+            arr.append_row()
+            arr.append_col()
+        assert arr.shape == (7, 7)
+        assert arr[1, 1] == 42
+        assert arr.space.traffic.moves == 0
+
+    def test_shrink_then_grow_recovers_addresses(self, make_mapping):
+        mapping = make_mapping()
+        arr = ExtendibleArray(mapping, 4, 4, fill=0)
+        addr_before = arr.address_of(2, 2)
+        arr.delete_col()
+        arr.delete_row()
+        arr.append_row()
+        arr.append_col()
+        assert arr.address_of(2, 2) == addr_before
+        assert arr.space.traffic.moves == 0
+
+    def test_address_stability_under_any_reshape(self, make_mapping):
+        arr = ExtendibleArray(make_mapping(), 3, 3)
+        stable = {(x, y): arr.address_of(x, y) for x in (1, 2) for y in (1, 2)}
+        arr.append_col()
+        arr.append_row()
+        arr.delete_col()
+        for (x, y), addr in stable.items():
+            assert arr.address_of(x, y) == addr
+
+
+class TestElementAccess:
+    def test_set_get_roundtrip(self):
+        arr = ExtendibleArray(DiagonalPairing(), 5, 5)
+        arr[3, 4] = "payload"
+        assert arr[3, 4] == "payload"
+
+    def test_out_of_shape_access_rejected(self):
+        arr = ExtendibleArray(DiagonalPairing(), 2, 2)
+        with pytest.raises(DomainError):
+            _ = arr[3, 1]
+        with pytest.raises(DomainError):
+            arr[1, 3] = 0
+
+    def test_get_with_default(self):
+        arr = ExtendibleArray(DiagonalPairing(), 2, 2)
+        assert arr.get(1, 1, default="empty") == "empty"
+
+    def test_deleted_cells_are_erased(self):
+        arr = ExtendibleArray(SquareShellPairing(), 3, 3, fill=0)
+        arr[3, 1] = 99
+        addr = arr.address_of(3, 1)
+        arr.delete_row()
+        assert not arr.space.occupied(addr)
+
+    def test_shrink_grow_does_not_resurrect_values(self):
+        arr = ExtendibleArray(SquareShellPairing(), 2, 2, fill=0)
+        arr[2, 2] = 5
+        arr.delete_col()
+        arr.append_col()
+        assert arr[2, 2] == 0  # fresh fill, not the stale 5
+
+
+class TestReshapeEdgeCases:
+    def test_cannot_delete_last_row_or_col(self):
+        arr = ExtendibleArray(DiagonalPairing(), 1, 3)
+        with pytest.raises(DomainError):
+            arr.delete_row()
+        arr2 = ExtendibleArray(DiagonalPairing(), 3, 1)
+        with pytest.raises(DomainError):
+            arr2.delete_col()
+
+    def test_resize_to_arbitrary_shape(self):
+        arr = ExtendibleArray(SquareShellPairing(), 1, 1, fill=0)
+        arr.resize(5, 3)
+        assert arr.shape == (5, 3)
+        arr.resize(2, 6)
+        assert arr.shape == (2, 6)
+        assert arr.space.traffic.moves == 0
+
+    def test_resize_from_empty(self):
+        arr = ExtendibleArray(SquareShellPairing(), fill=0)
+        assert arr.shape == (0, 0)
+        arr.resize(3, 3)
+        assert arr.shape == (3, 3)
+        assert arr[3, 3] == 0
+
+    def test_append_to_empty_raises(self):
+        arr = ExtendibleArray(SquareShellPairing())
+        with pytest.raises(DomainError):
+            arr.append_row()
+
+
+class TestInspection:
+    def test_to_lists_row_major(self):
+        arr = ExtendibleArray(DiagonalPairing(), 2, 3, fill=0)
+        arr[1, 2] = 5
+        arr[2, 3] = 9
+        assert arr.to_lists() == [[0, 5, 0], [0, 0, 9]]
+
+    def test_items_yields_everything(self):
+        arr = ExtendibleArray(DiagonalPairing(), 2, 2, fill=1)
+        items = dict(arr.items())
+        assert set(items) == {(1, 1), (1, 2), (2, 1), (2, 2)}
+        assert all(v == 1 for v in items.values())
+
+    def test_storage_report(self):
+        arr = ExtendibleArray(SquareShellPairing(), 4, 4, fill=0)
+        report = arr.storage_report()
+        assert report["cells"] == 16
+        assert report["high_water_mark"] == 16  # perfect on squares
+        assert report["utilization"] == 1.0
+        assert report["traffic"]["moves"] == 0
+        assert report["theoretical_shape_spread"] == 16
+
+    def test_spread_realized_matches_theory(self):
+        # High-water mark after filling rows x cols equals the mapping's
+        # per-shape spread.
+        for make in MAPPINGS:
+            mapping = make()
+            arr = ExtendibleArray(mapping, 5, 7, fill=0)
+            assert arr.space.high_water_mark == mapping.spread_for_shape(5, 7)

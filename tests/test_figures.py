@@ -1,0 +1,137 @@
+"""Tests for the regenerated paper figures (repro.render.figures).
+
+These are the definitive table checks: every number printed in the paper's
+Figures 2-6 is asserted here against the regeneration pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.render.figures import (
+    figure2,
+    figure2_data,
+    figure3,
+    figure3_data,
+    figure4,
+    figure4_data,
+    figure5,
+    figure5_data,
+    figure6,
+    figure6_data,
+)
+
+PAPER_FIG2 = [
+    [1, 3, 6, 10, 15, 21, 28, 36],
+    [2, 5, 9, 14, 20, 27, 35, 44],
+    [4, 8, 13, 19, 26, 34, 43, 53],
+    [7, 12, 18, 25, 33, 42, 52, 63],
+    [11, 17, 24, 32, 41, 51, 62, 74],
+    [16, 23, 31, 40, 50, 61, 73, 86],
+    [22, 30, 39, 49, 60, 72, 85, 99],
+    [29, 38, 48, 59, 71, 84, 98, 113],
+]
+
+PAPER_FIG3 = [
+    [1, 4, 9, 16, 25, 36, 49, 64],
+    [2, 3, 8, 15, 24, 35, 48, 63],
+    [5, 6, 7, 14, 23, 34, 47, 62],
+    [10, 11, 12, 13, 22, 33, 46, 61],
+    [17, 18, 19, 20, 21, 32, 45, 60],
+    [26, 27, 28, 29, 30, 31, 44, 59],
+    [37, 38, 39, 40, 41, 42, 43, 58],
+    [50, 51, 52, 53, 54, 55, 56, 57],
+]
+
+PAPER_FIG4 = [
+    [1, 3, 5, 8, 10, 14, 16],
+    [2, 7, 13, 19, 26, 34, 40],
+    [4, 12, 22, 33, 44, 56, 69],
+    [6, 18, 32, 48, 64, 81, 99],
+    [9, 25, 43, 63, 86, 108, 130],
+    [11, 31, 55, 80, 107, 136, 165],
+    [15, 39, 68, 98, 129, 164, 200],
+    [17, 47, 79, 116, 154, 193, 235],
+]
+
+PAPER_FIG6 = {
+    "T^<1>": [
+        (14, 13, [8192, 24576, 40960, 57344, 73728]),
+        (15, 14, [16384, 49152, 81920, 114688, 147456]),
+    ],
+    "T^<3>": [
+        (14, 3, [24, 88, 152, 216, 280]),
+        (15, 3, [40, 104, 168, 232, 296]),
+        (28, 6, [448, 960, 1472, 1984, 2496]),
+        (29, 7, [128, 1152, 2176, 3200, 4224]),
+    ],
+    "T^#": [
+        (28, 4, [400, 912, 1424, 1936, 2448]),
+        (29, 4, [432, 944, 1456, 1968, 2480]),
+    ],
+    "T^*": [
+        (28, 3, [328, 840, 1352, 1864, 2376]),
+        (29, 3, [344, 856, 1368, 1880, 2392]),
+    ],
+}
+
+
+class TestFigure2:
+    def test_data_is_paper_exact(self):
+        assert figure2_data() == PAPER_FIG2
+
+    def test_render_highlights_shell_6(self):
+        out = figure2()
+        assert "[15]" in out and "[11]" in out  # shell x+y=6 endpoints
+        assert "[21]" not in out
+
+
+class TestFigure3:
+    def test_data_is_paper_exact(self):
+        assert figure3_data() == PAPER_FIG3
+
+    def test_render_highlights_shell_5(self):
+        out = figure3()
+        assert "[17]" in out and "[25]" in out
+        assert "[36]" not in out
+
+
+class TestFigure4:
+    def test_data_is_paper_exact(self):
+        assert figure4_data() == PAPER_FIG4
+
+    def test_render_highlights_shell_6(self):
+        out = figure4()
+        for v in (11, 12, 13, 14):
+            assert f"[{v}]" in out
+
+
+class TestFigure5:
+    def test_staircase_is_paper_shape(self):
+        assert figure5_data() == [16, 8, 5, 4, 3, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]
+
+    def test_render_mentions_total(self):
+        out = figure5()
+        assert "50 lattice points" in out
+        assert out.count("#") == 50
+
+    def test_parameterized_n(self):
+        out = figure5(4)
+        assert out.count("#") == 8  # D(4) = 8
+
+
+class TestFigure6:
+    def test_data_is_paper_exact(self):
+        assert figure6_data() == PAPER_FIG6
+
+    def test_render_contains_all_values(self):
+        out = figure6()
+        for rows in PAPER_FIG6.values():
+            for _x, _g, values in rows:
+                for v in values:
+                    assert str(v) in out
+
+    def test_render_block_per_family(self):
+        out = figure6()
+        for family in PAPER_FIG6:
+            assert family in out

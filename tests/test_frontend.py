@@ -1,0 +1,141 @@
+"""Tests for the dynamic front end (arrivals, departures, speed seating,
+epoch attribution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AllocationError, DomainError
+from repro.webcompute.frontend import FrontEnd
+
+
+class TestSpeedSeating:
+    def test_faster_gets_smaller_row(self):
+        fe = FrontEnd()
+        assignments = fe.admit([(1, 0.5), (2, 3.0), (3, 1.5)])
+        # Input order preserved; rows by speed rank: v2 -> 1, v3 -> 2, v1 -> 3.
+        assert [a.row for a in assignments] == [3, 1, 2]
+
+    def test_tie_broken_by_id(self):
+        fe = FrontEnd()
+        assignments = fe.admit([(10, 1.0), (7, 1.0)])
+        assert fe.row_of(7) == 1 and fe.row_of(10) == 2
+        assert [a.row for a in assignments] == [2, 1]
+
+    def test_sequential_rounds_mint_fresh_rows(self):
+        fe = FrontEnd()
+        fe.admit([(1, 1.0)])
+        fe.admit([(2, 9.0)])  # fast, but row 1 is taken
+        assert fe.row_of(2) == 2
+
+    def test_double_seating_rejected(self):
+        fe = FrontEnd()
+        fe.admit([(1, 1.0)])
+        with pytest.raises(AllocationError):
+            fe.admit([(1, 2.0)])
+
+    def test_duplicate_in_round_rejected(self):
+        with pytest.raises(AllocationError):
+            FrontEnd().admit([(1, 1.0), (1, 2.0)])
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(DomainError):
+            FrontEnd().admit([(1, 0.0)])
+
+    def test_empty_round(self):
+        assert FrontEnd().admit([]) == []
+
+
+class TestDepartureAndRecycling:
+    def test_departed_row_is_recycled_smallest_first(self):
+        fe = FrontEnd()
+        fe.admit([(1, 3.0), (2, 2.0), (3, 1.0)])  # rows 1, 2, 3
+        fe.depart(1)  # frees row 1
+        fe.depart(2)  # frees row 2
+        assignments = fe.admit([(4, 1.0)])
+        assert assignments[0].row == 1  # smallest free row first
+
+    def test_recycled_row_resumes_serials(self):
+        fe = FrontEnd()
+        fe.admit([(1, 1.0)])
+        fe.note_issued(1, 1)
+        fe.note_issued(1, 2)
+        fe.depart(1)
+        assignment = fe.admit([(2, 1.0)])[0]
+        assert assignment.row == 1
+        assert assignment.start_serial == 3  # no double-issue
+
+    def test_depart_unknown_rejected(self):
+        with pytest.raises(AllocationError):
+            FrontEnd().depart(5)
+
+    def test_seated_count(self):
+        fe = FrontEnd()
+        fe.admit([(1, 1.0), (2, 1.0)])
+        assert fe.seated_count == 2
+        fe.depart(1)
+        assert fe.seated_count == 1
+
+
+class TestSerialBookkeeping:
+    def test_out_of_order_issue_rejected(self):
+        fe = FrontEnd()
+        fe.admit([(1, 1.0)])
+        fe.note_issued(1, 1)
+        with pytest.raises(AllocationError):
+            fe.note_issued(1, 3)
+
+    def test_issue_on_recycled_row_continues(self):
+        fe = FrontEnd()
+        fe.admit([(1, 1.0)])
+        fe.note_issued(1, 1)
+        fe.depart(1)
+        fe.admit([(2, 1.0)])
+        fe.note_issued(1, 2)  # continues, does not restart
+
+
+class TestEpochAttribution:
+    def test_attribution_across_reassignment(self):
+        fe = FrontEnd()
+        fe.admit([(100, 1.0)])
+        fe.note_issued(1, 1)
+        fe.note_issued(1, 2)
+        fe.depart(100)
+        fe.admit([(200, 1.0)])
+        fe.note_issued(1, 3)
+        # Serials 1-2 belong to the first tenant, 3 to the second.
+        assert fe.volunteer_for(1, 1) == 100
+        assert fe.volunteer_for(1, 2) == 100
+        assert fe.volunteer_for(1, 3) == 200
+
+    def test_never_issued_serial_rejected_for_closed_epochs(self):
+        fe = FrontEnd()
+        fe.admit([(1, 1.0)])
+        fe.note_issued(1, 1)
+        fe.depart(1)
+        # Serial 5 was never issued under any closed epoch and no open
+        # epoch exists -> unattributable.
+        with pytest.raises(AllocationError):
+            fe.volunteer_for(1, 5)
+
+    def test_unassigned_row_rejected(self):
+        with pytest.raises(AllocationError):
+            FrontEnd().volunteer_for(3, 1)
+
+    def test_epochs_of_row(self):
+        fe = FrontEnd()
+        fe.admit([(1, 1.0)])
+        fe.note_issued(1, 1)
+        fe.depart(1)
+        fe.admit([(2, 1.0)])
+        epochs = fe.epochs_of_row(1)
+        assert len(epochs) == 2
+        assert epochs[0].volunteer_id == 1 and epochs[0].last_serial == 1
+        assert epochs[1].volunteer_id == 2 and epochs[1].last_serial is None
+
+    def test_highest_row_minted(self):
+        fe = FrontEnd()
+        fe.admit([(1, 1.0), (2, 1.0)])
+        fe.depart(1)
+        fe.admit([(3, 1.0)])  # recycles row 1
+        assert fe.highest_row_minted == 2

@@ -1,0 +1,74 @@
+"""Tests for the Fueter-Polya grid search.
+
+The full documented grid (span 4, 59049 candidates) runs in the benchmark;
+here we use a reduced grid that still contains the Cantor coefficients
+(span 3) to keep the suite fast while testing the same machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.polynomial.fueter_polya import (
+    candidate_grid_size,
+    default_grid,
+    search_quadratic_pfs,
+)
+from repro.polynomial.poly2d import Polynomial2D
+
+
+class TestGrid:
+    def test_default_grid_contents(self):
+        grid = default_grid(4)
+        assert len(grid) == 9
+        from fractions import Fraction
+
+        for needed in (
+            Fraction(1, 2),
+            Fraction(1),
+            Fraction(-3, 2),
+            Fraction(-1, 2),
+        ):
+            assert needed in grid
+
+    def test_grid_size_formula(self):
+        assert candidate_grid_size(default_grid(4)) == 9**5
+        assert candidate_grid_size(default_grid(3)) == 7**5
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ConfigurationError):
+            default_grid(0)
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # span 3 includes every Cantor coefficient; ~16.8k candidates.
+        return search_quadratic_pfs(default_grid(3), bound=21)
+
+    def test_finds_exactly_cantor_and_twin(self, result):
+        assert result.found_exactly_cantor_pair()
+
+    def test_survivor_polynomials_verified(self, result):
+        assert set(result.pfs_found) == {
+            Polynomial2D.cantor(),
+            Polynomial2D.cantor_twin(),
+        }
+
+    def test_stage1_prunes_heavily(self, result):
+        assert result.stage1_survivors < result.grid_points / 10
+
+    def test_grid_points_reported(self, result):
+        assert result.grid_points == 7**5
+
+
+class TestNegativeControl:
+    def test_grid_without_cantor_coefficients_finds_nothing(self):
+        # Integer-only grid (excludes the half-integer Cantor coefficients):
+        # Fueter-Polya says nothing else can survive.
+        from fractions import Fraction
+
+        grid = [Fraction(k) for k in range(-2, 3)]
+        result = search_quadratic_pfs(grid, bound=21)
+        assert result.pfs_found == ()

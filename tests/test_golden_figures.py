@@ -1,0 +1,41 @@
+"""Golden-master tests: the CLI's figure output is pinned byte-for-byte.
+
+The numeric content of Figures 2-6 is asserted elsewhere; these tests
+additionally pin the *rendering* (alignment, highlighting, captions), so
+accidental presentation changes surface in review instead of silently
+drifting under downstream tooling that parses the output.
+
+Regenerate after an intentional change:
+    for n in 2 3 4 5 6; do python -m repro figure $n > tests/golden/figure$n.txt; done
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+
+@pytest.mark.parametrize("number", [2, 3, 4, 5, 6])
+def test_figure_matches_golden(capsys, number):
+    assert main(["figure", str(number)]) == 0
+    out = capsys.readouterr().out
+    golden = (GOLDEN_DIR / f"figure{number}.txt").read_text()
+    assert out == golden
+
+
+class TestGoldenFilesSane:
+    def test_all_goldens_present_and_nonempty(self):
+        for number in (2, 3, 4, 5, 6):
+            path = GOLDEN_DIR / f"figure{number}.txt"
+            assert path.exists()
+            assert path.stat().st_size > 50
+
+    def test_goldens_contain_captions(self):
+        for number in (2, 3, 4, 5, 6):
+            text = (GOLDEN_DIR / f"figure{number}.txt").read_text()
+            assert f"Figure {number}" in text

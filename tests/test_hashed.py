@@ -1,0 +1,126 @@
+"""Tests for the hashing scheme of the Section 3 Aside ([14])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.arrays.hashed import HashedArrayStore
+from repro.errors import DomainError
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        store = HashedArrayStore()
+        store.put(3, 7, "v")
+        assert store.get(3, 7) == "v"
+        assert store.get(7, 3) is None  # position, not unordered pair
+
+    def test_overwrite(self):
+        store = HashedArrayStore()
+        store.put(1, 1, "a")
+        store.put(1, 1, "b")
+        assert store.get(1, 1) == "b"
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = HashedArrayStore()
+        store.put(2, 2, 1)
+        assert store.delete(2, 2)
+        assert not store.delete(2, 2)
+        assert store.get(2, 2) is None
+
+    def test_contains(self):
+        store = HashedArrayStore()
+        assert not store.contains(1, 1)
+        store.put(1, 1, None)  # storing None is legal
+        assert store.contains(1, 1)
+
+    def test_rejects_bad_coordinates(self):
+        store = HashedArrayStore()
+        with pytest.raises(DomainError):
+            store.put(0, 1, "x")
+        with pytest.raises(DomainError):
+            store.get(1, -1)
+
+
+class TestBulkCorrectness:
+    def test_model_based_random_ops(self):
+        rng = random.Random(123)
+        store = HashedArrayStore()
+        model: dict[tuple[int, int], int] = {}
+        for step in range(4000):
+            x, y = rng.randint(1, 60), rng.randint(1, 60)
+            op = rng.random()
+            if op < 0.6:
+                v = rng.randint(0, 10**9)
+                store.put(x, y, v)
+                model[(x, y)] = v
+            elif op < 0.85:
+                assert store.get(x, y, -1) == model.get((x, y), -1)
+            else:
+                assert store.delete(x, y) == ((x, y) in model)
+                model.pop((x, y), None)
+        assert len(store) == len(model)
+        for (x, y), v in model.items():
+            assert store.get(x, y) == v
+        assert dict(store.items()) == {pos: v for pos, v in model.items()}
+
+
+class TestSpaceBound:
+    def test_capacity_below_2n_during_growth(self):
+        # The [14] claim: < 2n memory locations, checked at every insert
+        # (beyond the constant-size floor).
+        store = HashedArrayStore()
+        for i in range(1, 3000):
+            store.put(i, 1, i)
+            if len(store) > 16:
+                assert store.capacity < 2 * len(store), (
+                    f"capacity {store.capacity} >= 2 * {len(store)}"
+                )
+
+    def test_load_factor_bounded(self):
+        store = HashedArrayStore()
+        for i in range(1, 2000):
+            store.put(1, i, i)
+            assert store.load_factor <= 0.62
+
+    def test_shrinks_after_mass_deletion(self):
+        store = HashedArrayStore()
+        for i in range(1, 1001):
+            store.put(i, i, i)
+        for i in range(1, 996):
+            store.delete(i, i)
+        assert store.capacity < 200  # rebuilt small again
+        for i in range(996, 1001):
+            assert store.get(i, i) == i
+
+
+class TestProbeBehavior:
+    def test_expected_probes_stay_bounded(self):
+        # O(1) expected access: mean probes must not grow with n.
+        store = HashedArrayStore()
+        rng = random.Random(7)
+        checkpoints = {}
+        for n in (1000, 10_000):
+            while len(store) < n:
+                store.put(rng.randint(1, 10**6), rng.randint(1, 10**6), 0)
+            # measure fresh reads
+            before_ops, before_probes = store.stats.operations, store.stats.probes
+            for _ in range(2000):
+                store.get(rng.randint(1, 10**6), rng.randint(1, 10**6))
+            ops = store.stats.operations - before_ops
+            probes = store.stats.probes - before_probes
+            checkpoints[n] = probes / ops
+        assert checkpoints[10_000] < 2 * checkpoints[1000] + 1.0
+
+    def test_space_report_fields(self):
+        store = HashedArrayStore()
+        for i in range(1, 100):
+            store.put(i, 2 * i, i)
+        report = store.space_report()
+        assert report["live_cells"] == 99
+        assert 1.0 < report["capacity_per_cell"] < 2.0
+        assert report["mean_probes"] >= 1.0
+        assert report["rebuilds"] >= 1

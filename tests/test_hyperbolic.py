@@ -1,0 +1,161 @@
+"""Tests for the hyperbolic PF H (Section 3.2.3, Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apf.closed_forms import hyperbolic_formula
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.numbertheory.divisor_sums import divisor_summatory
+from repro.numbertheory.divisors import divisor_count, divisor_pairs
+
+FIGURE_4 = [
+    [1, 3, 5, 8, 10, 14, 16],
+    [2, 7, 13, 19, 26, 34, 40],
+    [4, 12, 22, 33, 44, 56, 69],
+    [6, 18, 32, 48, 64, 81, 99],
+    [9, 25, 43, 63, 86, 108, 130],
+    [11, 31, 55, 80, 107, 136, 165],
+    [15, 39, 68, 98, 129, 164, 200],
+    [17, 47, 79, 116, 154, 193, 235],
+]
+
+
+class TestFigure4:
+    def test_exact_table(self):
+        assert HyperbolicPairing().table(8, 7) == FIGURE_4
+
+    def test_highlighted_shell(self):
+        # Shell xy = 6: (6,1)=11, (3,2)=12, (2,3)=13, (1,6)=14.
+        h = HyperbolicPairing()
+        assert [h.pair(*p) for p in [(6, 1), (3, 2), (2, 3), (1, 6)]] == [11, 12, 13, 14]
+
+
+class TestFormula:
+    def test_matches_naive_transcription(self):
+        h = HyperbolicPairing()
+        for x in range(1, 9):
+            for y in range(1, 9):
+                assert h.pair(x, y) == hyperbolic_formula(x, y)
+
+    def test_shell_occupies_contiguous_range(self):
+        h = HyperbolicPairing()
+        for c in range(1, 40):
+            addresses = sorted(h.pair(x, y) for x, y in divisor_pairs(c))
+            low = divisor_summatory(c - 1) + 1
+            assert addresses == list(range(low, low + divisor_count(c)))
+
+    def test_reverse_lex_within_shell(self):
+        # Descending x receives ascending addresses.
+        h = HyperbolicPairing()
+        for c in (6, 12, 24, 36):
+            pairs = list(divisor_pairs(c))
+            addresses = [h.pair(x, y) for x, y in pairs]
+            assert addresses == sorted(addresses)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("z", range(1, 1200))
+    def test_roundtrip_dense(self, z):
+        h = HyperbolicPairing()
+        x, y = h.unpair(z)
+        assert h.pair(x, y) == z
+
+    def test_large_roundtrip(self):
+        h = HyperbolicPairing()
+        for pos in [(99991, 3), (1234, 4321), (1, 10**6)]:
+            assert h.unpair(h.pair(*pos)) == pos
+
+    def test_shell_of(self):
+        h = HyperbolicPairing()
+        assert h.shell_of(11) == 6
+        assert h.shell_of(14) == 6
+        assert h.shell_of(15) == 7
+        for z in range(1, 300):
+            x, y = h.unpair(z)
+            assert h.shell_of(z) == x * y
+
+
+class TestOptimalCompactness:
+    def test_spread_is_divisor_summatory(self):
+        h = HyperbolicPairing()
+        for n in (1, 6, 16, 100, 777):
+            assert h.spread(n) == divisor_summatory(n)
+
+    def test_spread_matches_brute_force(self):
+        h = HyperbolicPairing()
+        for n in (1, 5, 12, 30):
+            brute = max(
+                h.pair(x, y) for x in range(1, n + 1) for y in range(1, n // x + 1)
+            )
+            assert h.spread(n) == brute
+
+    def test_n_log_n_shape(self):
+        # S_H(n)/n grows ~ ln n: ratio at 4096 vs 64 should be roughly
+        # ln(4096)/ln(64) = 2, certainly below a quadratic-like 8.
+        h = HyperbolicPairing()
+        r1 = h.spread(64) / 64
+        r2 = h.spread(4096) / 4096
+        assert 1.5 < r2 / r1 < 3.0
+
+    def test_beats_diagonal_and_square_for_large_n(self):
+        from repro.core.diagonal import DiagonalPairing
+        from repro.core.squareshell import SquareShellPairing
+
+        h = HyperbolicPairing()
+        n = 4096
+        assert h.spread(n) < SquareShellPairing().spread(n)
+        assert h.spread(n) < DiagonalPairing().spread(n)
+
+    def test_spread_for_shape_is_corner(self):
+        h = HyperbolicPairing()
+        for rows, cols in ((1, 8), (8, 1), (3, 5), (6, 6)):
+            brute = max(
+                h.pair(x, y)
+                for x in range(1, rows + 1)
+                for y in range(1, cols + 1)
+            )
+            assert h.spread_for_shape(rows, cols) == brute == h.pair(rows, cols)
+
+
+class TestCache:
+    def test_cache_disabled_still_correct(self):
+        h = HyperbolicPairing(cache_size=0)
+        for z in range(1, 200):
+            assert h.pair(*h.unpair(z)) == z
+
+    def test_cache_eviction_still_correct(self):
+        h = HyperbolicPairing(cache_size=4)
+        values = [h.pair(x, y) for x in range(1, 15) for y in range(1, 15)]
+        h2 = HyperbolicPairing()
+        values2 = [h2.pair(x, y) for x in range(1, 15) for y in range(1, 15)]
+        assert values == values2
+
+    def test_shell_size(self):
+        h = HyperbolicPairing()
+        for c in range(1, 50):
+            assert h.shell_size(c) == divisor_count(c)
+
+
+class TestSieveTableFastPath:
+    def test_matches_scalar_path(self):
+        from repro.core.base import StorageMapping
+
+        h = HyperbolicPairing()
+        assert h.table(25, 18) == StorageMapping.table(h, 25, 18)
+
+    def test_figure4_through_fast_path(self):
+        assert HyperbolicPairing().table(8, 7) == FIGURE_4
+
+    def test_rejects_bad_shape(self):
+        from repro.errors import DomainError
+
+        with pytest.raises(DomainError):
+            HyperbolicPairing().table(0, 5)
+
+    def test_divisor_list_sieve_oracle(self):
+        from repro.numbertheory.divisors import divisor_list_sieve, divisors
+
+        lists = divisor_list_sieve(300)
+        for n in range(1, 301):
+            assert lists[n] == divisors(n)

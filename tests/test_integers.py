@@ -1,0 +1,128 @@
+"""Tests for repro.numbertheory.integers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import DomainError
+from repro.numbertheory.integers import (
+    binomial,
+    ceil_div,
+    ceil_sqrt,
+    is_perfect_square,
+    isqrt_exact,
+    triangular,
+    triangular_root,
+)
+
+
+class TestIsqrt:
+    @pytest.mark.parametrize("n", list(range(0, 200)) + [10**12, 10**12 + 1])
+    def test_floor_property(self, n):
+        r = isqrt_exact(n)
+        assert r * r <= n < (r + 1) * (r + 1)
+
+    def test_huge_exact(self):
+        big = (10**30 + 7) ** 2
+        assert isqrt_exact(big) == 10**30 + 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(DomainError):
+            isqrt_exact(-1)
+
+    def test_rejects_float(self):
+        with pytest.raises(DomainError):
+            isqrt_exact(4.0)
+
+
+class TestCeilSqrt:
+    @pytest.mark.parametrize("n", range(0, 200))
+    def test_ceiling_property(self, n):
+        r = ceil_sqrt(n)
+        assert (r - 1) * (r - 1) < n <= r * r or (n == 0 and r == 0)
+
+    def test_perfect_squares_fixed(self):
+        for k in range(20):
+            assert ceil_sqrt(k * k) == k
+
+
+class TestIsPerfectSquare:
+    def test_squares(self):
+        assert all(is_perfect_square(k * k) for k in range(50))
+
+    def test_non_squares(self):
+        squares = {k * k for k in range(50)}
+        for n in range(200):
+            assert is_perfect_square(n) == (n in squares)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for n in range(15):
+            for k in range(n + 1):
+                assert binomial(n, k) == math.comb(n, k)
+
+    def test_k_greater_than_n_is_zero(self):
+        assert binomial(1, 2) == 0
+        assert binomial(0, 5) == 0
+
+    def test_cantor_form(self):
+        # D(x, y) = C(x+y-1, 2) + y -> C(2, 2) = 1 for (1, 2).
+        assert binomial(2, 2) + 2 == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(DomainError):
+            binomial(-1, 0)
+        with pytest.raises(DomainError):
+            binomial(3, -1)
+
+
+class TestTriangular:
+    def test_sequence(self):
+        assert [triangular(s) for s in range(8)] == [0, 1, 3, 6, 10, 15, 21, 28]
+
+    def test_is_binomial(self):
+        for s in range(1, 40):
+            assert triangular(s) == binomial(s + 1, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(DomainError):
+            triangular(-1)
+
+
+class TestTriangularRoot:
+    @pytest.mark.parametrize("z", range(0, 500))
+    def test_defining_property(self, z):
+        s = triangular_root(z)
+        assert triangular(s) <= z < triangular(s + 1)
+
+    def test_exact_at_triangulars(self):
+        for s in range(1, 60):
+            assert triangular_root(triangular(s)) == s
+            assert triangular_root(triangular(s) - 1) == s - 1
+
+    def test_huge(self):
+        s = 10**15
+        assert triangular_root(triangular(s)) == s
+
+    def test_rejects_negative(self):
+        with pytest.raises(DomainError):
+            triangular_root(-1)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a", range(0, 50))
+    @pytest.mark.parametrize("b", [1, 2, 3, 7])
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    def test_negative_numerator(self):
+        assert ceil_div(-3, 2) == -1
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(DomainError):
+            ceil_div(5, 0)
+        with pytest.raises(DomainError):
+            ceil_div(5, -2)

@@ -1,0 +1,154 @@
+"""Cross-module integration scenarios: the paper's two applications run
+end-to-end on the full stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apf.families import TSharp, TStar
+from repro.arrays.extendible import ExtendibleArray
+from repro.arrays.hashed import HashedArrayStore
+from repro.arrays.metrics import run_comparison
+from repro.arrays.workloads import random_walk, staircase_growth
+from repro.core.dovetail import DovetailMapping
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.registry import get_pairing
+from repro.core.shells import ShellConstructedPairing, ShellOrder, SquareShells
+from repro.core.squareshell import SquareShellPairing
+from repro.webcompute.simulation import SimulationConfig, WBCSimulation
+
+
+class TestExtendibleTableScenario:
+    """Section 3's motivating scenario: a relational table that grows and
+    shrinks in both dimensions, stored through different mappings."""
+
+    def test_database_table_lifecycle(self):
+        # A "table" gains attribute columns and record rows, then drops a
+        # column -- values survive everywhere, no data movement.
+        table = ExtendibleArray(HyperbolicPairing(), 1, 2, fill=None)
+        table[1, 1] = ("id", 1)
+        table[1, 2] = ("name", "a")
+        for i in range(2, 30):
+            table.append_row()
+            table[i, 1] = ("id", i)
+        table.append_col()
+        table[1, 3] = ("email", "x")
+        table.delete_col()
+        assert table[17, 1] == ("id", 17)
+        assert table.space.traffic.moves == 0
+
+    def test_spread_hierarchy_on_realistic_workload(self):
+        # On a mixed random workload: hyperbolic spread < diagonal spread,
+        # and the naive baseline pays in moves what the PFs pay in spread.
+        results = run_comparison(
+            [get_pairing("hyperbolic"), get_pairing("diagonal")],
+            random_walk(400, seed=11, max_side=64),
+        )
+        by_name = {r.implementation: r for r in results}
+        assert by_name["naive-row-major"].moves > 0
+        assert by_name["hyperbolic"].moves == 0
+        assert by_name["diagonal"].moves == 0
+
+    def test_dovetail_backed_array(self):
+        # A dovetail (non-surjective mapping) works as an array store too.
+        dt = DovetailMapping(
+            [get_pairing("aspect-1x2"), get_pairing("aspect-2x1")]
+        )
+        arr = ExtendibleArray(dt, 2, 4, fill=0)
+        arr[2, 4] = "v"
+        arr.append_row()
+        arr.append_col()
+        assert arr[2, 4] == "v"
+        assert arr.space.traffic.moves == 0
+
+    def test_custom_shell_pf_backed_array(self):
+        # A freshly-designed PF from Procedure PF-Constructor drops
+        # straight into the array substrate (Theorem 3.1 in action).
+        pf = ShellConstructedPairing(SquareShells(), ShellOrder.BY_ROWS)
+        arr = ExtendibleArray(pf, 1, 1, fill=0)
+        from repro.arrays.workloads import apply_workload
+
+        apply_workload(arr, staircase_growth(20))
+        assert arr.space.traffic.moves == 0
+        arr.mapping.check_roundtrip_window(8, 8)
+
+    def test_hash_store_vs_pf_array_space(self):
+        # The Aside's tradeoff, end to end: for by-position access the hash
+        # store uses < 2n slots while the square-shell PF on a degenerate
+        # 1 x n row spreads to n**2 addresses.
+        n = 200
+        pf_arr = ExtendibleArray(SquareShellPairing(), 1, n, fill=0)
+        hashed = HashedArrayStore()
+        for y in range(1, n + 1):
+            hashed.put(1, y, 0)
+        assert pf_arr.space.high_water_mark == n * n
+        assert hashed.capacity < 2 * n
+
+
+class TestWebComputingScenario:
+    """Section 4 end-to-end: allocation, accountability, compactness."""
+
+    def test_full_project_with_bans_and_departures(self):
+        config = SimulationConfig(
+            ticks=400,
+            initial_volunteers=25,
+            malicious_fraction=0.2,
+            careless_fraction=0.1,
+            verification_rate=0.5,
+            ban_after_strikes=2,
+            departure_rate=0.01,
+            arrival_rate=0.2,
+            seed=31,
+        )
+        outcome = WBCSimulation(TSharp(), config).run()
+        assert outcome.attribution_failures == 0
+        assert outcome.honest_banned == 0
+        assert outcome.faulty_banned >= 1
+        assert outcome.departures >= 1
+        assert outcome.tasks_completed > 500
+
+    def test_star_allocation_denser_than_sharp_at_scale(self):
+        config = SimulationConfig(
+            ticks=200, initial_volunteers=120, seed=5, departure_rate=0.0
+        )
+        sharp = WBCSimulation(TSharp(), config).run()
+        star = WBCSimulation(TStar(), config).run()
+        assert sharp.tasks_completed == star.tasks_completed
+        assert star.max_task_index < sharp.max_task_index
+
+    def test_audit_trail_reconstructs_history(self):
+        # Run a project, then audit every returned task against its
+        # volunteer via the APF inverse alone.
+        config = SimulationConfig(ticks=100, initial_volunteers=10, seed=13)
+        sim = WBCSimulation(TSharp(), config)
+        outcome = sim.run()
+        server = sim.server
+        checked = 0
+        for vid_record_row in range(1, server.frontend.highest_row_minted + 1):
+            for epoch in server.frontend.epochs_of_row(vid_record_row):
+                last = (
+                    epoch.last_serial
+                    if epoch.last_serial is not None
+                    else server.allocator.contract(vid_record_row).next_serial - 1
+                    if server.allocator.is_registered(vid_record_row)
+                    else epoch.first_serial - 1
+                )
+                for serial in range(epoch.first_serial, last + 1):
+                    task_index = server.allocator.apf.pair(vid_record_row, serial)
+                    assert server.attribute(task_index) == epoch.volunteer_id
+                    checked += 1
+        assert checked >= outcome.tasks_completed
+
+
+class TestRegistryRoundtrip:
+    def test_every_registered_mapping_runs_the_array_substrate(self):
+        from repro.core.registry import available_names
+
+        for name in available_names():
+            mapping = get_pairing(name)
+            arr = ExtendibleArray(mapping, 2, 2, fill=0)
+            arr[2, 2] = name
+            arr.append_row()
+            arr.append_col()
+            assert arr[2, 2] == name
+            assert arr.space.traffic.moves == 0

@@ -1,0 +1,90 @@
+"""Tests for repro.numbertheory.lattice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DomainError
+from repro.numbertheory.divisor_sums import divisor_summatory
+from repro.numbertheory.lattice import (
+    count_lattice_points_under_hyperbola,
+    hyperbola_staircase,
+    lattice_points_under_hyperbola,
+    spread_lower_bound,
+)
+
+
+class TestLatticeEnumeration:
+    @pytest.mark.parametrize("n", range(1, 60))
+    def test_all_points_satisfy_constraint(self, n):
+        for x, y in lattice_points_under_hyperbola(n):
+            assert x >= 1 and y >= 1 and x * y <= n
+
+    @pytest.mark.parametrize("n", range(1, 60))
+    def test_no_point_missing(self, n):
+        points = set(lattice_points_under_hyperbola(n))
+        for x in range(1, n + 1):
+            for y in range(1, n + 1):
+                assert ((x, y) in points) == (x * y <= n)
+
+    @pytest.mark.parametrize("n", range(1, 60))
+    def test_count_matches_enumeration(self, n):
+        assert (
+            len(list(lattice_points_under_hyperbola(n)))
+            == count_lattice_points_under_hyperbola(n)
+        )
+
+    def test_count_equals_divisor_summatory(self):
+        for n in range(1, 100):
+            assert count_lattice_points_under_hyperbola(n) == divisor_summatory(n)
+
+    def test_figure5(self):
+        assert count_lattice_points_under_hyperbola(16) == 50
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DomainError):
+            list(lattice_points_under_hyperbola(0))
+
+
+class TestStaircase:
+    def test_figure5_staircase(self):
+        assert hyperbola_staircase(16) == [16, 8, 5, 4, 3, 2, 2, 2] + [1] * 8
+
+    @pytest.mark.parametrize("n", range(1, 60))
+    def test_row_widths(self, n):
+        widths = hyperbola_staircase(n)
+        assert len(widths) == n
+        assert widths == [n // x for x in range(1, n + 1)]
+
+    def test_sum_is_count(self):
+        for n in range(1, 60):
+            assert sum(hyperbola_staircase(n)) == count_lattice_points_under_hyperbola(n)
+
+    def test_nonincreasing(self):
+        for n in (10, 100, 999):
+            widths = hyperbola_staircase(n)
+            assert all(a >= b for a, b in zip(widths, widths[1:]))
+
+
+class TestSpreadLowerBound:
+    def test_equals_lattice_count(self):
+        for n in (1, 10, 100, 1000):
+            assert spread_lower_bound(n) == count_lattice_points_under_hyperbola(n)
+
+    def test_every_pf_respects_it(self):
+        # Injectivity pigeonhole: D(n) distinct positions need D(n)
+        # distinct addresses, so the max address over xy <= n is >= D(n).
+        from repro.core.diagonal import DiagonalPairing
+        from repro.core.hyperbolic import HyperbolicPairing
+        from repro.core.squareshell import SquareShellPairing
+
+        for pf in (DiagonalPairing(), SquareShellPairing(), HyperbolicPairing()):
+            for n in (4, 16, 64):
+                assert pf.spread(n) >= spread_lower_bound(n)
+
+    def test_hyperbolic_meets_it_exactly(self):
+        from repro.core.hyperbolic import HyperbolicPairing
+
+        h = HyperbolicPairing()
+        for n in (1, 7, 16, 100, 500):
+            assert h.spread(n) == spread_lower_bound(n)

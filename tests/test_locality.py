@@ -1,0 +1,72 @@
+"""Tests for the locality analyzer (repro.core.locality)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apf.families import TBracket, TSharp
+from repro.core.diagonal import DiagonalPairing
+from repro.core.locality import block_span, col_jump_profile, row_jump_profile
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import DomainError
+
+
+class TestRowJumps:
+    def test_apf_rows_are_constant(self):
+        for apf in (TSharp(), TBracket(2)):
+            for row in (1, 3, 9):
+                profile = row_jump_profile(apf, row, 12)
+                assert profile.constant
+                assert profile.mean == apf.stride(row)
+
+    def test_diagonal_rows_grow_linearly(self):
+        # D(x, y+1) - D(x, y) = x + y: jumps increase by 1 each step.
+        profile = row_jump_profile(DiagonalPairing(), 2, 10)
+        assert not profile.constant
+        assert profile.maximum == 2 + 9  # last jump: x + y at y = 9
+
+    def test_square_shell_rows_mostly_shell_jumps(self):
+        profile = row_jump_profile(SquareShellPairing(), 1, 10)
+        # Row 1 is the squares: jumps 3, 5, 7, ... (odd numbers).
+        assert profile.maximum == 19
+        assert not profile.constant
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DomainError):
+            row_jump_profile(TSharp(), 0, 5)
+        with pytest.raises(DomainError):
+            row_jump_profile(TSharp(), 1, 1)
+
+
+class TestColJumps:
+    def test_apf_columns_are_not_constant(self):
+        # The asymmetry: APF rows are progressions, columns are not.
+        profile = col_jump_profile(TSharp(), 1, 12)
+        assert not profile.constant
+
+    def test_diagonal_column_jumps(self):
+        profile = col_jump_profile(DiagonalPairing(), 1, 10)
+        # D(x+1, 1) - D(x, 1) = x: growing jumps.
+        assert profile.maximum == 9
+
+
+class TestBlockSpan:
+    def test_square_shell_corner_blocks_are_dense(self):
+        # The k x k corner block under A_{1,1} is exactly addresses 1..k^2.
+        for k in (2, 4, 7):
+            low, high, density = block_span(SquareShellPairing(), 1, 1, k)
+            assert (low, high, density) == (1, k * k, 1.0)
+
+    def test_off_corner_blocks_are_sparser(self):
+        _low, _high, density = block_span(SquareShellPairing(), 5, 5, 3)
+        assert density < 1.0
+
+    def test_diagonal_corner_block(self):
+        low, high, density = block_span(DiagonalPairing(), 1, 1, 3)
+        assert low == 1
+        assert high == DiagonalPairing().pair(3, 3)  # the far corner's shell
+        assert 0 < density <= 1.0
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(DomainError):
+            block_span(DiagonalPairing(), 0, 1, 2)

@@ -1,0 +1,137 @@
+"""Tests for the naive row-major baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.extendible import ExtendibleArray
+from repro.arrays.naive import NaiveRowMajorArray
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import DomainError
+
+
+class TestAddressing:
+    def test_row_major_layout(self):
+        arr = NaiveRowMajorArray(3, 4, fill=0)
+        assert arr.address_of(1, 1) == 1
+        assert arr.address_of(1, 4) == 4
+        assert arr.address_of(2, 1) == 5
+        assert arr.address_of(3, 4) == 12
+
+    def test_perfect_compactness(self):
+        arr = NaiveRowMajorArray(5, 6, fill=0)
+        assert arr.space.high_water_mark == 30
+        assert arr.space.utilization == 1.0
+
+
+class TestValuesPreservedAcrossReshapes:
+    def test_append_col_preserves(self):
+        arr = NaiveRowMajorArray(3, 3, fill=0)
+        arr[2, 2] = "keep"
+        arr[3, 3] = "also"
+        arr.append_col()
+        assert arr[2, 2] == "keep"
+        assert arr[3, 3] == "also"
+        assert arr.shape == (3, 4)
+
+    def test_delete_col_preserves_survivors(self):
+        arr = NaiveRowMajorArray(3, 4, fill=0)
+        arr[3, 2] = "keep"
+        arr[1, 4] = "dropped"
+        arr.delete_col()
+        assert arr[3, 2] == "keep"
+        assert arr.shape == (3, 3)
+
+    def test_row_ops_cheap_and_correct(self):
+        arr = NaiveRowMajorArray(2, 3, fill=0)
+        arr[2, 3] = 7
+        arr.append_row()
+        assert arr.space.traffic.moves == 0
+        arr.delete_row()
+        assert arr[2, 3] == 7
+        assert arr.space.traffic.moves == 0
+
+    def test_long_mixed_sequence_matches_extendible(self):
+        # The two implementations must agree on logical content always.
+        naive = NaiveRowMajorArray(2, 2, fill=0)
+        ext = ExtendibleArray(SquareShellPairing(), 2, 2, fill=0)
+        script = [
+            "ac", "ar", "set:2,3,11", "ac", "set:3,1,5", "dr", "ac",
+            "set:1,5,9", "dc", "ar", "set:3,2,8", "dc", "dc",
+        ]
+        for step in script:
+            for arr in (naive, ext):
+                if step == "ar":
+                    arr.append_row()
+                elif step == "ac":
+                    arr.append_col()
+                elif step == "dr":
+                    arr.delete_row()
+                elif step == "dc":
+                    arr.delete_col()
+                else:
+                    _, coords = step.split(":")
+                    x, y, v = (int(t) for t in coords.split(","))
+                    arr[x, y] = v
+            assert naive.shape == ext.shape
+            assert naive.to_lists() == ext.to_lists()
+
+
+class TestRemappingCost:
+    def test_append_col_moves_everything_past_row_one(self):
+        rows, cols = 10, 10
+        arr = NaiveRowMajorArray(rows, cols, fill=0)
+        before = arr.space.traffic.moves
+        arr.append_col()
+        moved = arr.space.traffic.moves - before
+        # All cells in rows 2..10 move (row 1 keeps its addresses).
+        assert moved == (rows - 1) * cols
+
+    def test_quadratic_total_work(self):
+        # n column-appends on an n-row array: Theta(n^2) moves total --
+        # the paper's Omega(n^2) work for O(n) changes.
+        n = 20
+        arr = NaiveRowMajorArray(n, 1, fill=0)
+        arr_pf = ExtendibleArray(SquareShellPairing(), n, 1, fill=0)
+        for _ in range(n):
+            arr.append_col()
+            arr_pf.append_col()
+        assert arr.space.traffic.moves > n * n // 2
+        assert arr_pf.space.traffic.moves == 0
+
+    def test_delete_col_also_remaps(self):
+        arr = NaiveRowMajorArray(6, 6, fill=0)
+        before = arr.space.traffic.moves
+        arr.delete_col()
+        assert arr.space.traffic.moves > before
+
+
+class TestEdgeCases:
+    def test_cannot_delete_last(self):
+        arr = NaiveRowMajorArray(1, 2, fill=0)
+        with pytest.raises(DomainError):
+            arr.delete_row()
+        arr2 = NaiveRowMajorArray(2, 1, fill=0)
+        with pytest.raises(DomainError):
+            arr2.delete_col()
+
+    def test_sparse_cells_survive_reshape(self):
+        # Unwritten cells must stay logically empty after remaps.
+        arr = NaiveRowMajorArray(3, 3)  # no fill
+        arr[2, 2] = "only"
+        arr.append_col()
+        assert arr[2, 2] == "only"
+        assert arr[1, 1] is None
+        assert arr[3, 4] is None
+
+    def test_resize(self):
+        arr = NaiveRowMajorArray(1, 1, fill=0)
+        arr.resize(4, 5)
+        assert arr.shape == (4, 5)
+        arr.resize(2, 2)
+        assert arr.shape == (2, 2)
+
+    def test_storage_report_shape(self):
+        report = NaiveRowMajorArray(2, 2, fill=0).storage_report()
+        assert report["mapping"] == "naive-row-major"
+        assert report["theoretical_spread"] == 4

@@ -1,0 +1,154 @@
+"""Tests for the d-dimensional extendible array."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.ndarray import ExtendibleNdArray
+from repro.core.diagonal import DiagonalPairing
+from repro.core.ndim import IteratedPairing
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import ConfigurationError, DomainError
+
+
+def cube(fill=0, shape=(2, 2, 2)):
+    return ExtendibleNdArray(
+        IteratedPairing(3, SquareShellPairing()), shape=shape, fill=fill
+    )
+
+
+class TestConstruction:
+    def test_rejects_2d_mapping_class(self):
+        with pytest.raises(ConfigurationError):
+            ExtendibleNdArray(SquareShellPairing(), (2, 2))  # type: ignore[arg-type]
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(DomainError):
+            ExtendibleNdArray(IteratedPairing(3, DiagonalPairing()), (2, 2))
+
+    def test_rejects_mixed_zero_shape(self):
+        with pytest.raises(DomainError):
+            ExtendibleNdArray(IteratedPairing(2, DiagonalPairing()), (0, 3))
+
+    def test_fill_populates(self):
+        arr = cube(fill=9)
+        assert arr.space.live_count == 8
+        assert arr[2, 2, 2] == 9
+
+
+class TestAccess:
+    def test_set_get(self):
+        arr = cube()
+        arr[1, 2, 1] = "v"
+        assert arr[1, 2, 1] == "v"
+
+    def test_out_of_shape_rejected(self):
+        arr = cube()
+        with pytest.raises(DomainError):
+            _ = arr[3, 1, 1]
+        with pytest.raises(DomainError):
+            arr[1, 1, 0] = 1
+
+    def test_wrong_arity_rejected(self):
+        arr = cube()
+        with pytest.raises(DomainError):
+            _ = arr[1, 1]
+
+
+class TestZeroMoveReshaping:
+    def test_grow_every_axis(self):
+        arr = cube(fill=0)
+        arr[2, 2, 2] = 42
+        for axis in (0, 1, 2, 0, 1, 2):
+            arr.grow(axis)
+        assert arr.shape == (4, 4, 4)
+        assert arr[2, 2, 2] == 42
+        assert arr.space.traffic.moves == 0
+
+    def test_shrink_erases_slab(self):
+        arr = cube(fill=0)
+        arr[2, 1, 1] = "doomed"
+        addr = arr.address_of((2, 1, 1))
+        arr.shrink(0)
+        assert arr.shape == (1, 2, 2)
+        assert not arr.space.occupied(addr)
+
+    def test_shrink_grow_no_resurrection(self):
+        arr = cube(fill=0)
+        arr[1, 1, 2] = 5
+        arr.shrink(2)
+        arr.grow(2)
+        assert arr[1, 1, 2] == 0
+
+    def test_address_stability(self):
+        arr = cube()
+        addr = arr.address_of((1, 2, 2))
+        arr.grow(0)
+        arr.grow(1)
+        arr.shrink(0)
+        assert arr.address_of((1, 2, 2)) == addr
+
+    def test_cannot_shrink_to_zero(self):
+        arr = ExtendibleNdArray(IteratedPairing(2, DiagonalPairing()), (1, 2))
+        with pytest.raises(DomainError):
+            arr.shrink(0)
+
+    def test_bad_axis(self):
+        with pytest.raises(DomainError):
+            cube().grow(3)
+
+
+class TestResize:
+    def test_resize_arbitrary(self):
+        arr = cube(fill=0)
+        arr[1, 1, 1] = "keep"
+        arr.resize((4, 1, 3))
+        assert arr.shape == (4, 1, 3)
+        assert arr[1, 1, 1] == "keep"
+        assert arr.space.traffic.moves == 0
+
+    def test_resize_from_empty(self):
+        arr = ExtendibleNdArray(
+            IteratedPairing(3, SquareShellPairing()), (0, 0, 0), fill=7
+        )
+        arr.resize((2, 2, 2))
+        assert arr.shape == (2, 2, 2)
+        assert arr[2, 2, 2] == 7
+
+    def test_resize_rejects_bad_target(self):
+        with pytest.raises(DomainError):
+            cube().resize((2, 2))
+        with pytest.raises(DomainError):
+            cube().resize((2, 0, 2))
+
+
+class TestInspection:
+    def test_items(self):
+        arr = cube(fill=1)
+        items = dict(arr.items())
+        assert len(items) == 8
+        assert items[(2, 1, 2)] == 1
+
+    def test_storage_report(self):
+        arr = cube(fill=0)
+        report = arr.storage_report()
+        assert report["cells"] == 8
+        assert report["traffic"]["moves"] == 0
+        assert report["high_water_mark"] >= 8
+
+    def test_size(self):
+        assert cube(shape=(2, 3, 4)).size == 24
+
+
+class TestFourDimensions:
+    def test_4d_lifecycle(self):
+        arr = ExtendibleNdArray(
+            IteratedPairing(4, SquareShellPairing()), (2, 2, 2, 2), fill=0
+        )
+        arr[1, 2, 1, 2] = "deep"
+        arr.grow(3)
+        arr.grow(0)  # shape (3, 2, 2, 3)
+        arr.shrink(0)  # back to (2, 2, 2, 3): the cell is untouched
+        assert arr.shape == (2, 2, 2, 3)
+        assert arr[1, 2, 1, 2] == "deep"
+        assert arr.space.traffic.moves == 0

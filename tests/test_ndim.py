@@ -1,0 +1,126 @@
+"""Tests for multidimensional pairing by iteration (repro.core.ndim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.diagonal import DiagonalPairing
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.ndim import IteratedPairing
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import ConfigurationError, DomainError
+
+
+class TestConstruction:
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            IteratedPairing(0, SquareShellPairing())
+
+    def test_rejects_wrong_level_count(self):
+        with pytest.raises(ConfigurationError):
+            IteratedPairing(3, [SquareShellPairing()])  # needs 2
+
+    def test_rejects_non_pf_levels(self):
+        with pytest.raises(ConfigurationError):
+            IteratedPairing(2, ["diagonal"])  # type: ignore[list-item]
+
+    def test_single_pf_broadcasts(self):
+        p = IteratedPairing(4, SquareShellPairing())
+        assert len(p.levels) == 3
+
+    def test_name(self):
+        p = IteratedPairing(3, DiagonalPairing())
+        assert "3d" in p.name and "diagonal" in p.name
+
+
+class TestOneDimension:
+    def test_identity(self):
+        p = IteratedPairing(1, [])
+        for n in (1, 5, 10**9):
+            assert p.pair((n,)) == n
+            assert p.unpair(n) == (n,)
+
+
+class TestTwoDimensionsMatchesBase:
+    def test_degenerates_to_base(self):
+        base = SquareShellPairing()
+        p = IteratedPairing(2, base)
+        for x in range(1, 8):
+            for y in range(1, 8):
+                assert p.pair((x, y)) == base.pair(x, y)
+
+
+@pytest.mark.parametrize("d", [2, 3, 4, 5])
+class TestBijectivity:
+    def test_roundtrip_box(self, d):
+        IteratedPairing(d, SquareShellPairing()).check_roundtrip_box(4)
+
+    def test_bijective_prefix(self, d):
+        IteratedPairing(d, SquareShellPairing()).check_bijective_prefix(300)
+
+    def test_roundtrip_diagonal_base(self, d):
+        IteratedPairing(d, DiagonalPairing()).check_roundtrip_box(3)
+
+
+class TestMixedLevels:
+    def test_heterogeneous_levels(self):
+        p = IteratedPairing(
+            3, [SquareShellPairing(), HyperbolicPairing()]
+        )
+        p.check_roundtrip_box(4)
+        p.check_bijective_prefix(150)
+
+    def test_fold_order(self):
+        # pair((a, b, c)) == level0(a, level1(b, c)).
+        lvl0, lvl1 = SquareShellPairing(), DiagonalPairing()
+        p = IteratedPairing(3, [lvl0, lvl1])
+        for a, b, c in [(1, 2, 3), (4, 4, 4), (7, 1, 2)]:
+            assert p.pair((a, b, c)) == lvl0.pair(a, lvl1.pair(b, c))
+
+
+class TestDomain:
+    def test_rejects_wrong_arity(self):
+        p = IteratedPairing(3, SquareShellPairing())
+        with pytest.raises(DomainError):
+            p.pair((1, 2))
+
+    def test_rejects_nonpositive(self):
+        p = IteratedPairing(3, SquareShellPairing())
+        with pytest.raises(DomainError):
+            p.pair((1, 0, 2))
+
+    def test_rejects_bad_code(self):
+        with pytest.raises(DomainError):
+            IteratedPairing(3, SquareShellPairing()).unpair(0)
+
+    def test_call_alias(self):
+        p = IteratedPairing(3, SquareShellPairing())
+        assert p(2, 3, 4) == p.pair((2, 3, 4))
+
+
+class TestSpread:
+    def test_spread_for_shape_matches_brute(self):
+        p = IteratedPairing(3, SquareShellPairing())
+        from itertools import product
+
+        dims = (2, 3, 4)
+        brute = max(
+            p.pair(pt) for pt in product(*(range(1, s + 1) for s in dims))
+        )
+        assert p.spread_for_shape(dims) == brute
+
+    def test_cube_spread_with_square_shell_base(self):
+        # Square-shell iterated over a k x k x k cube is NOT perfect (the
+        # inner code for (k, k) is k**2, so the outer pair sees a k x k**2
+        # rectangle) -- quantifying the compactness cost of iteration.
+        p = IteratedPairing(3, SquareShellPairing())
+        k = 4
+        spread = p.spread_for_shape((k, k, k))
+        assert spread >= k**4  # far above the k**3 cell count
+
+    def test_rejects_bad_box(self):
+        p = IteratedPairing(3, SquareShellPairing())
+        with pytest.raises(DomainError):
+            p.spread_for_shape((2, 2))
+        with pytest.raises(DomainError):
+            p.spread_for_shape((2, 0, 2))

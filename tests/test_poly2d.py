@@ -1,0 +1,115 @@
+"""Tests for repro.polynomial.poly2d."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DomainError
+from repro.polynomial.poly2d import Polynomial2D
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial2D({(1, 0): 0, (0, 1): 2})
+        assert p.coefficients == {(0, 1): Fraction(2)}
+
+    def test_rejects_negative_exponents(self):
+        with pytest.raises(ConfigurationError):
+            Polynomial2D({(-1, 0): 1})
+
+    def test_fraction_coercion(self):
+        p = Polynomial2D({(1, 0): Fraction(1, 2)})
+        assert p.coefficient(1, 0) == Fraction(1, 2)
+
+
+class TestCantor:
+    def test_expansion_matches_pairing(self):
+        from repro.core.diagonal import DiagonalPairing
+
+        p = Polynomial2D.cantor()
+        d = DiagonalPairing()
+        for x in range(1, 15):
+            for y in range(1, 15):
+                assert p.eval_int(x, y) == d.pair(x, y)
+
+    def test_twin_swaps(self):
+        p, t = Polynomial2D.cantor(), Polynomial2D.cantor_twin()
+        for x in range(1, 8):
+            for y in range(1, 8):
+                assert t(x, y) == p(y, x)
+
+    def test_degree(self):
+        assert Polynomial2D.cantor().degree == 2
+
+    def test_half_integer_coefficients(self):
+        p = Polynomial2D.cantor()
+        assert p.coefficient(2, 0) == Fraction(1, 2)
+        assert p.coefficient(1, 1) == 1
+        assert p.coefficient(1, 0) == Fraction(-3, 2)
+
+
+class TestStructure:
+    def test_degree_conventions(self):
+        assert Polynomial2D.zero().degree == -1
+        assert Polynomial2D({(0, 0): 3}).degree == 0
+        assert Polynomial2D({(2, 3): 1}).degree == 5
+
+    def test_leading_form(self):
+        p = Polynomial2D({(2, 0): 1, (1, 1): 2, (0, 1): 5})
+        assert p.leading_form() == {(2, 0): Fraction(1), (1, 1): Fraction(2)}
+
+    def test_positive_coefficients_predicate(self):
+        assert Polynomial2D({(1, 0): 1, (0, 1): 2}).has_all_positive_coefficients()
+        assert not Polynomial2D.cantor().has_all_positive_coefficients()
+        assert not Polynomial2D.zero().has_all_positive_coefficients()
+
+    def test_super_quadratic_predicate(self):
+        assert Polynomial2D({(3, 0): 1}).is_super_quadratic()
+        assert not Polynomial2D.cantor().is_super_quadratic()
+
+
+class TestEvaluation:
+    def test_integrality_check(self):
+        p = Polynomial2D({(1, 0): Fraction(1, 2)})
+        assert p.eval_int(2, 1) == 1
+        with pytest.raises(DomainError):
+            p.eval_int(1, 1)
+
+    def test_is_integer_valued_on_window(self):
+        assert Polynomial2D.cantor().is_integer_valued_on_window(6)
+        assert not Polynomial2D({(1, 0): Fraction(1, 2)}).is_integer_valued_on_window(3)
+
+    def test_eval_array_matches_scalar(self):
+        p = Polynomial2D.cantor()
+        xs = np.arange(1, 10, dtype=np.float64)
+        ys = np.arange(9, 0, -1).astype(np.float64)
+        out = p.eval_array(xs, ys)
+        for x, y, v in zip(xs, ys, out):
+            assert v == pytest.approx(float(p(int(x), int(y))))
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = Polynomial2D({(1, 0): 1})
+        b = Polynomial2D({(1, 0): 2, (0, 1): 1})
+        assert (a + b).coefficients == {(1, 0): Fraction(3), (0, 1): Fraction(1)}
+
+    def test_sub_cancels(self):
+        p = Polynomial2D.cantor()
+        assert (p - p) == Polynomial2D.zero()
+
+    def test_scale(self):
+        p = Polynomial2D({(1, 1): 3}).scale(Fraction(1, 3))
+        assert p.coefficients == {(1, 1): Fraction(1)}
+
+    def test_equality_and_hash(self):
+        assert Polynomial2D.cantor() == Polynomial2D.cantor()
+        assert hash(Polynomial2D.cantor()) == hash(Polynomial2D.cantor())
+        assert Polynomial2D.cantor() != Polynomial2D.cantor_twin()
+
+    def test_repr_mentions_terms(self):
+        assert "x" in repr(Polynomial2D({(1, 0): 1}))
+        assert repr(Polynomial2D.zero()) == "Polynomial2D(0)"

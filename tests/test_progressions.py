@@ -1,0 +1,104 @@
+"""Tests for repro.numbertheory.progressions (incl. Lemma 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DomainError
+from repro.numbertheory.progressions import (
+    ArithmeticProgression,
+    decompose_odd,
+    odd_residues,
+    recompose_odd,
+)
+
+
+class TestArithmeticProgression:
+    def test_term_indexing(self):
+        ap = ArithmeticProgression(5, 3)
+        assert [ap.term(t) for t in range(1, 5)] == [5, 8, 11, 14]
+
+    def test_index_of_roundtrip(self):
+        ap = ArithmeticProgression(7, 4)
+        for t in range(1, 50):
+            assert ap.index_of(ap.term(t)) == t
+
+    def test_index_of_rejects_non_members(self):
+        ap = ArithmeticProgression(7, 4)
+        with pytest.raises(DomainError):
+            ap.index_of(8)
+        with pytest.raises(DomainError):
+            ap.index_of(3)  # below base
+
+    def test_contains(self):
+        ap = ArithmeticProgression(2, 5)
+        assert 2 in ap and 7 in ap and 52 in ap
+        assert 3 not in ap and 1 not in ap
+        assert "7" not in ap
+
+    def test_terms_iterator(self):
+        assert list(ArithmeticProgression(1, 2).terms(5)) == [1, 3, 5, 7, 9]
+
+    def test_rejects_nonpositive_base_or_stride(self):
+        with pytest.raises(DomainError):
+            ArithmeticProgression(0, 1)
+        with pytest.raises(DomainError):
+            ArithmeticProgression(1, 0)
+        with pytest.raises(DomainError):
+            ArithmeticProgression(-2, 3)
+
+    def test_rejects_nonpositive_term_index(self):
+        with pytest.raises(DomainError):
+            ArithmeticProgression(1, 1).term(0)
+
+    def test_frozen(self):
+        ap = ArithmeticProgression(1, 2)
+        with pytest.raises(AttributeError):
+            ap.base = 5  # type: ignore[misc]
+
+
+class TestOddResidues:
+    def test_counts(self):
+        # Lemma 4.1: exactly 2**(c-1) forms.
+        for c in range(1, 10):
+            assert len(odd_residues(c)) == 1 << (c - 1)
+
+    def test_all_odd_and_below_modulus(self):
+        for c in range(1, 8):
+            for r in odd_residues(c):
+                assert r % 2 == 1 and 1 <= r < (1 << c)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DomainError):
+            odd_residues(0)
+
+
+class TestLemma41:
+    @pytest.mark.parametrize("c", [1, 2, 3, 4, 5])
+    def test_every_odd_has_unique_form(self, c):
+        # Lemma 4.1 verbatim: every odd integer is 2**c * n + r for exactly
+        # one admissible (n, r).
+        for odd in range(1, 400, 2):
+            n, r = decompose_odd(odd, c)
+            assert r in odd_residues(c)
+            assert n >= 0
+            assert recompose_odd(n, r, c) == odd
+
+    @pytest.mark.parametrize("c", [1, 2, 3, 4])
+    def test_forms_partition_the_odds(self, c):
+        # Distinct (n, r) pairs give distinct odd integers.
+        seen = {}
+        for odd in range(1, 400, 2):
+            key = decompose_odd(odd, c)
+            assert key not in seen
+            seen[key] = odd
+
+    def test_rejects_even(self):
+        with pytest.raises(DomainError):
+            decompose_odd(4, 2)
+
+    def test_recompose_rejects_bad_residue(self):
+        with pytest.raises(DomainError):
+            recompose_odd(1, 4, 3)  # even residue
+        with pytest.raises(DomainError):
+            recompose_odd(1, 9, 3)  # residue >= 2**c

@@ -1,0 +1,285 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+Four invariant families:
+
+1. **Pairing laws** -- for every mapping: roundtrip both ways, positivity,
+   injectivity on random batches, spread-definition consistency.
+2. **Number-theory laws** -- the primitives agree with their definitions
+   and with each other on arbitrary integers.
+3. **APF laws** -- the additive form, the 2-adic signature, the Lemma 4.1
+   decomposition, relation (4.2).
+4. **Substrate models** -- the extendible array vs the naive baseline as a
+   model-based equivalence under arbitrary op sequences; the hash store vs
+   a dict model.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.apf.constructor import ConstructedAPF
+from repro.apf.families import (
+    HalfSquareCopyIndex,
+    LinearCopyIndex,
+    TBracket,
+    TSharp,
+    TStar,
+)
+from repro.arrays.extendible import ExtendibleArray
+from repro.arrays.hashed import HashedArrayStore
+from repro.arrays.naive import NaiveRowMajorArray
+from repro.core.aspectratio import AspectRatioPairing
+from repro.core.diagonal import DiagonalPairing, DiagonalPairingTwin
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.squareshell import SquareShellPairing
+from repro.numbertheory.bits import odd_part, two_adic_valuation
+from repro.numbertheory.divisor_sums import (
+    divisor_summatory,
+    smallest_n_with_summatory_at_least,
+)
+from repro.numbertheory.divisors import divisor_count, divisors
+from repro.numbertheory.integers import triangular, triangular_root
+from repro.numbertheory.progressions import decompose_odd, recompose_odd
+
+# Mapping pool for pairing-law properties.  Hyperbolic gets a smaller
+# coordinate range (its pair is O(sqrt(xy)) per call).
+FAST_MAPPINGS = [
+    DiagonalPairing(),
+    DiagonalPairingTwin(),
+    SquareShellPairing(),
+    AspectRatioPairing(1, 2),
+    AspectRatioPairing(3, 1),
+    TBracket(2),
+    TSharp(),
+    TStar(),
+]
+
+coords = st.integers(min_value=1, max_value=10**6)
+small_coords = st.integers(min_value=1, max_value=3000)
+addresses = st.integers(min_value=1, max_value=10**9)
+small_addresses = st.integers(min_value=1, max_value=200_000)
+
+
+# ----------------------------------------------------------------------
+# 1. Pairing laws
+# ----------------------------------------------------------------------
+
+
+@given(x=coords, y=coords, idx=st.integers(0, len(FAST_MAPPINGS) - 1))
+def test_roundtrip_forward(x, y, idx):
+    pf = FAST_MAPPINGS[idx]
+    # APFs at huge x produce astronomically large values; cap the domain
+    # per-mapping to keep values exact but bounded in *time* (bignums are
+    # fine, the test stays fast regardless).
+    assert pf.unpair(pf.pair(x, y)) == (x, y)
+
+
+@given(z=addresses, idx=st.integers(0, len(FAST_MAPPINGS) - 1))
+def test_roundtrip_backward(z, idx):
+    pf = FAST_MAPPINGS[idx]
+    x, y = pf.unpair(z)
+    assert x >= 1 and y >= 1
+    assert pf.pair(x, y) == z
+
+
+@given(x=small_coords, y=small_coords)
+def test_hyperbolic_roundtrip_forward(x, y):
+    h = HyperbolicPairing()
+    assert h.unpair(h.pair(x, y)) == (x, y)
+
+
+@given(z=small_addresses)
+def test_hyperbolic_roundtrip_backward(z):
+    h = HyperbolicPairing()
+    x, y = h.unpair(z)
+    assert h.pair(x, y) == z
+
+
+@given(
+    pairs=st.lists(st.tuples(coords, coords), min_size=2, max_size=30, unique=True),
+    idx=st.integers(0, len(FAST_MAPPINGS) - 1),
+)
+def test_injectivity_on_batches(pairs, idx):
+    pf = FAST_MAPPINGS[idx]
+    values = [pf.pair(x, y) for x, y in pairs]
+    assert len(set(values)) == len(values)
+
+
+@given(x=coords, y=coords)
+def test_diagonal_vectorized_agrees_with_scalar(x, y):
+    d = DiagonalPairing()
+    import numpy as np
+
+    if d.pair(x, y) < 2**62:  # stay within the int64 fast path
+        assert int(d.pair_array(np.array([x]), np.array([y]))[0]) == d.pair(x, y)
+
+
+# ----------------------------------------------------------------------
+# 2. Number-theory laws
+# ----------------------------------------------------------------------
+
+
+@given(n=st.integers(1, 10**12))
+def test_valuation_odd_part_reconstruct(n):
+    assert (1 << two_adic_valuation(n)) * odd_part(n) == n
+    assert odd_part(n) % 2 == 1
+
+
+@given(z=st.integers(0, 10**12))
+def test_triangular_root_bracket(z):
+    s = triangular_root(z)
+    assert triangular(s) <= z < triangular(s + 1)
+
+
+@given(n=st.integers(1, 5000))
+def test_divisor_count_consistency(n):
+    assert divisor_count(n) == len(divisors(n))
+
+
+@given(n=st.integers(1, 3000))
+def test_summatory_increments_by_divisor_count(n):
+    assert divisor_summatory(n) - divisor_summatory(n - 1) == divisor_count(n)
+
+
+@given(target=st.integers(1, 10**6))
+def test_summatory_inverse_bracket(target):
+    n = smallest_n_with_summatory_at_least(target)
+    assert divisor_summatory(n) >= target
+    assert n == 1 or divisor_summatory(n - 1) < target
+
+
+@given(odd=st.integers(0, 10**9), c=st.integers(1, 20))
+def test_lemma_4_1_roundtrip(odd, c):
+    odd = 2 * odd + 1  # force odd
+    n, r = decompose_odd(odd, c)
+    assert r % 2 == 1 and r < (1 << c)
+    assert recompose_odd(n, r, c) == odd
+
+
+# ----------------------------------------------------------------------
+# 3. APF laws
+# ----------------------------------------------------------------------
+
+APFS = [TBracket(1), TBracket(3), TSharp(), TStar()]
+
+
+@given(x=st.integers(1, 500), y=st.integers(1, 100), idx=st.integers(0, 3))
+def test_additive_form(x, y, idx):
+    apf = APFS[idx]
+    assert apf.pair(x, y) == apf.base(x) + (y - 1) * apf.stride(x)
+
+
+@given(x=st.integers(1, 500), y=st.integers(1, 100), idx=st.integers(0, 3))
+def test_signature_law(x, y, idx):
+    apf = APFS[idx]
+    # Trailing zeros of T(x, y) identify x's group (Theorem 4.2's proof).
+    assert two_adic_valuation(apf.pair(x, y)) == apf.group_of(x)
+
+
+@given(x=st.integers(1, 2000), idx=st.integers(0, 3))
+def test_relation_4_2(x, idx):
+    apf = APFS[idx]
+    assert apf.base(x) < apf.stride(x)
+
+
+@given(x=st.integers(1, 300))
+def test_constructor_equals_closed_forms(x):
+    generic_sharp = ConstructedAPF(LinearCopyIndex())
+    generic_star = ConstructedAPF(HalfSquareCopyIndex())
+    assert generic_sharp.base(x) == TSharp().base(x)
+    assert generic_star.stride(x) == TStar().stride(x)
+
+
+# ----------------------------------------------------------------------
+# 4. Substrate models
+# ----------------------------------------------------------------------
+
+array_ops = st.lists(
+    st.one_of(
+        st.just(("append_row",)),
+        st.just(("append_col",)),
+        st.just(("delete_row",)),
+        st.just(("delete_col",)),
+        st.tuples(
+            st.just("set"),
+            st.integers(1, 12),
+            st.integers(1, 12),
+            st.integers(0, 10**6),
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=array_ops)
+def test_extendible_equals_naive_model(ops):
+    """The PF array and the remapping baseline must be observationally
+    identical under any op sequence -- while the PF array never moves."""
+    ext = ExtendibleArray(SquareShellPairing(), 3, 3, fill=0)
+    naive = NaiveRowMajorArray(3, 3, fill=0)
+    for op in ops:
+        kind = op[0]
+        if kind == "set":
+            _, x, y, v = op
+            rows, cols = ext.shape
+            if 1 <= x <= rows and 1 <= y <= cols:
+                ext[x, y] = v
+                naive[x, y] = v
+        else:
+            rows, cols = ext.shape
+            if kind == "delete_row" and rows <= 1:
+                continue
+            if kind == "delete_col" and cols <= 1:
+                continue
+            getattr(ext, kind)()
+            getattr(naive, kind)()
+        assert ext.shape == naive.shape
+    assert ext.to_lists() == naive.to_lists()
+    assert ext.space.traffic.moves == 0
+
+
+hash_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get", "delete"]),
+        st.integers(1, 25),
+        st.integers(1, 25),
+        st.integers(0, 1000),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=hash_ops)
+def test_hash_store_equals_dict_model(ops):
+    store = HashedArrayStore()
+    model: dict[tuple[int, int], int] = {}
+    for kind, x, y, v in ops:
+        if kind == "put":
+            store.put(x, y, v)
+            model[(x, y)] = v
+        elif kind == "get":
+            assert store.get(x, y, -1) == model.get((x, y), -1)
+        else:
+            assert store.delete(x, y) == ((x, y) in model)
+            model.pop((x, y), None)
+    assert len(store) == len(model)
+    assert dict(store.items()) == model
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 8),
+    cols=st.integers(1, 8),
+    idx=st.integers(0, len(FAST_MAPPINGS) - 1),
+)
+def test_window_addresses_distinct(rows, cols, idx):
+    pf = FAST_MAPPINGS[idx]
+    addrs = [
+        pf.pair(x, y) for x in range(1, rows + 1) for y in range(1, cols + 1)
+    ]
+    assert len(set(addrs)) == rows * cols

@@ -1,0 +1,141 @@
+"""Tests for the radix-r APF constructor and r-adic valuations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apf.constructor import ConstructedAPF
+from repro.apf.families import (
+    ConstantCopyIndex,
+    HalfSquareCopyIndex,
+    LinearCopyIndex,
+)
+from repro.apf.radix import RadixConstructedAPF
+from repro.errors import ConfigurationError, DomainError
+from repro.numbertheory.valuations import (
+    decompose_radix,
+    radix_valuation,
+    unit_part,
+)
+
+
+class TestValuations:
+    @pytest.mark.parametrize("r", [2, 3, 5, 10])
+    def test_decomposition_reconstructs(self, r):
+        for n in range(1, 500):
+            v, m = decompose_radix(n, r)
+            assert r**v * m == n
+            assert m % r != 0
+
+    @pytest.mark.parametrize("r", [2, 3, 7])
+    def test_decomposition_unique(self, r):
+        seen = set()
+        for n in range(1, 500):
+            key = decompose_radix(n, r)
+            assert key not in seen
+            seen.add(key)
+
+    def test_matches_binary_valuation(self):
+        from repro.numbertheory.bits import odd_part, two_adic_valuation
+
+        for n in range(1, 300):
+            assert radix_valuation(n, 2) == two_adic_valuation(n)
+            assert unit_part(n, 2) == odd_part(n)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DomainError):
+            radix_valuation(0, 3)
+        with pytest.raises(DomainError):
+            radix_valuation(5, 1)
+
+
+COPY_INDICES = [
+    ("const-1", lambda: ConstantCopyIndex(1)),
+    ("const-3", lambda: ConstantCopyIndex(3)),
+    ("linear", LinearCopyIndex),
+    ("half-square", HalfSquareCopyIndex),
+]
+
+
+class TestRadixConstruction:
+    def test_rejects_bad_radix(self):
+        with pytest.raises(ConfigurationError):
+            RadixConstructedAPF(1, LinearCopyIndex())
+
+    def test_rejects_non_copy_index(self):
+        with pytest.raises(ConfigurationError):
+            RadixConstructedAPF(3, "linear")  # type: ignore[arg-type]
+
+    def test_group_sizes(self):
+        apf = RadixConstructedAPF(3, LinearCopyIndex())
+        # (r - 1) * r**kappa(g) = 2 * 3**g.
+        assert [apf.group_size(g) for g in range(4)] == [2, 6, 18, 54]
+
+
+@pytest.mark.parametrize("radix", [2, 3, 4, 5, 7])
+@pytest.mark.parametrize("name,make", COPY_INDICES)
+class TestRadixTheorem:
+    """The Theorem 4.2 analogue at every radix."""
+
+    def test_is_bijection(self, radix, name, make):
+        apf = RadixConstructedAPF(radix, make())
+        apf.check_roundtrip_window(10, 10)
+        apf.check_bijective_prefix(300)
+
+    def test_stride_law(self, radix, name, make):
+        copy_index = make()
+        apf = RadixConstructedAPF(radix, copy_index)
+        for x in range(1, 30):
+            g = apf.group_of(x)
+            assert apf.stride(x) == radix ** (1 + g + copy_index(g))
+
+    def test_base_below_stride(self, radix, name, make):
+        RadixConstructedAPF(radix, make()).check_base_below_stride(50)
+
+    def test_signature_is_radix_valuation(self, radix, name, make):
+        apf = RadixConstructedAPF(radix, make())
+        for x in range(1, 25):
+            g = apf.group_of(x)
+            for y in (1, 3):
+                assert radix_valuation(apf.pair(x, y), radix) == g
+
+
+class TestRadixTwoReducesToPaper:
+    @pytest.mark.parametrize("name,make", COPY_INDICES)
+    def test_exact_agreement(self, name, make):
+        binary = RadixConstructedAPF(2, make())
+        paper = ConstructedAPF(make())
+        for x in range(1, 60):
+            assert binary.base(x) == paper.base(x)
+            assert binary.stride(x) == paper.stride(x)
+        for z in range(1, 300):
+            assert binary.unpair(z) == paper.unpair(z)
+
+
+class TestRadixTradeoff:
+    def test_larger_radix_coarser_strides(self):
+        # At kappa = g, strides are r**(1+2g): radix 3 jumps in bigger
+        # steps but has wider groups; at matched rows the radix-3 stride
+        # can be smaller or larger -- pin the structure, not a winner.
+        t2 = RadixConstructedAPF(2, LinearCopyIndex())
+        t3 = RadixConstructedAPF(3, LinearCopyIndex())
+        strides2 = {t2.stride(x) for x in range(1, 100)}
+        strides3 = {t3.stride(x) for x in range(1, 100)}
+        assert all(s & (s - 1) == 0 for s in strides2)  # powers of 2
+        assert all(_is_power_of(s, 3) for s in strides3)
+
+    def test_rows_partition_n_at_every_radix(self):
+        for radix in (3, 5):
+            apf = RadixConstructedAPF(radix, ConstantCopyIndex(2))
+            seen = set()
+            for z in range(1, 400):
+                pos = apf.unpair(z)
+                assert pos not in seen
+                seen.add(pos)
+                assert apf.pair(*pos) == z
+
+
+def _is_power_of(n: int, r: int) -> bool:
+    while n % r == 0:
+        n //= r
+    return n == 1

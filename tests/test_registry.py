@@ -1,0 +1,76 @@
+"""Tests for the mapping registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import available_names, get_pairing, register
+from repro.errors import ConfigurationError
+
+
+class TestLookup:
+    def test_all_fixed_names_instantiate(self):
+        for name in available_names():
+            mapping = get_pairing(name)
+            assert mapping.pair(2, 3) >= 1
+            assert mapping.name  # non-empty
+
+    def test_fresh_instances(self):
+        a = get_pairing("hyperbolic")
+        b = get_pairing("hyperbolic")
+        assert a is not b
+
+    def test_expected_names_present(self):
+        names = available_names()
+        for expected in (
+            "diagonal",
+            "square-shell",
+            "hyperbolic",
+            "apf-sharp",
+            "apf-star",
+            "apf-bracket-1",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ConfigurationError) as err:
+            get_pairing("no-such-mapping")
+        assert "diagonal" in str(err.value)
+
+
+class TestParameterizedForms:
+    def test_aspect(self):
+        p = get_pairing("aspect-3x2")
+        assert p.name == "aspect-3x2"
+        p.check_roundtrip_window(6, 6)
+
+    def test_bracket_any_c(self):
+        p = get_pairing("apf-bracket-7")
+        assert p.c == 7
+        p.check_roundtrip_window(6, 6)
+
+    def test_power(self):
+        p = get_pairing("apf-power-2")
+        assert p.name == "apf-power-2"
+
+    def test_malformed_parameter_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_pairing("aspect-0x2")  # zero ratio rejected downstream
+
+    def test_garbage_suffix_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_pairing("aspect-axb")
+
+
+class TestRegister:
+    def test_duplicate_name_rejected(self):
+        from repro.core.diagonal import DiagonalPairing
+
+        with pytest.raises(ConfigurationError):
+            register("diagonal", DiagonalPairing)
+
+    def test_custom_registration(self):
+        from repro.core.diagonal import DiagonalPairingTwin
+
+        register("test-only-custom", DiagonalPairingTwin)
+        assert get_pairing("test-only-custom").name == "diagonal-twin"

@@ -1,0 +1,68 @@
+"""Tests for text rendering (repro.render.tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.diagonal import DiagonalPairing
+from repro.errors import DomainError
+from repro.render.tables import render_grid, render_pf_table, render_rows_table
+
+
+class TestRenderGrid:
+    def test_alignment(self):
+        out = render_grid([[1, 100], [22, 3]], trailing_ellipsis=False)
+        lines = out.splitlines()
+        assert lines[0] == " 1  100"
+        assert lines[1] == "22    3"
+
+    def test_highlight_brackets(self):
+        out = render_grid(
+            [[1, 2], [3, 4]],
+            highlight=lambda x, y: x == y,
+            trailing_ellipsis=False,
+        )
+        assert "[1]" in out and "[4]" in out
+        assert "[2]" not in out
+
+    def test_trailing_ellipsis(self):
+        out = render_grid([[1, 2]], trailing_ellipsis=True)
+        assert out.splitlines()[0].endswith("...")
+        assert out.splitlines()[-1].startswith("...")
+
+    def test_rejects_ragged(self):
+        with pytest.raises(DomainError):
+            render_grid([[1, 2], [3]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            render_grid([])
+
+
+class TestRenderPfTable:
+    def test_contains_values_and_title(self):
+        out = render_pf_table(DiagonalPairing(), 3, 3, title="demo title")
+        assert out.startswith("demo title")
+        assert "6" in out
+
+    def test_default_title(self):
+        out = render_pf_table(DiagonalPairing(), 2, 2)
+        assert "diagonal" in out
+
+
+class TestRenderRowsTable:
+    def test_structure(self):
+        out = render_rows_table(["x", "value"], [[1, 10], [2, 400]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "x" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "400" in lines[4]
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(DomainError):
+            render_rows_table(["a"], [[1, 2]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(DomainError):
+            render_rows_table([], [])

@@ -1,0 +1,120 @@
+"""Tests for the majority-vote replication baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.webcompute.replication import ReplicationSimulation
+from repro.webcompute.volunteer import Behavior, VolunteerProfile
+
+
+def honest_pool(n: int) -> list[VolunteerProfile]:
+    return [VolunteerProfile(f"h{i}", speed=1.0) for i in range(n)]
+
+
+def mixed_pool(honest: int, malicious: int, error_rate: float = 1.0):
+    pool = honest_pool(honest)
+    pool += [
+        VolunteerProfile(
+            f"m{i}", behavior=Behavior.MALICIOUS, error_rate=error_rate
+        )
+        for i in range(malicious)
+    ]
+    return pool
+
+
+class TestConfiguration:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationSimulation([], 1)
+
+    def test_rejects_factor_above_population(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationSimulation(honest_pool(2), replication_factor=3)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationSimulation(honest_pool(3), replication_factor=0)
+
+    def test_rejects_bad_tasks(self):
+        sim = ReplicationSimulation(honest_pool(3), 3)
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+
+
+class TestHonestPool:
+    def test_never_accepts_bad(self):
+        outcome = ReplicationSimulation(honest_pool(5), 3, seed=1).run(100)
+        assert outcome.bad_results_produced == 0
+        assert outcome.bad_results_accepted == 0
+
+    def test_work_overhead_is_factor(self):
+        outcome = ReplicationSimulation(honest_pool(6), 3, seed=1).run(50)
+        assert outcome.work_overhead == 3.0
+        assert outcome.computations_performed == 150
+
+
+class TestFaultTolerance:
+    def test_minority_faults_filtered(self):
+        # 1 always-wrong volunteer among 5, r = 3: round-robin replicas
+        # contain at most one faulty answer -> majority always correct.
+        pool = mixed_pool(honest=4, malicious=1)
+        outcome = ReplicationSimulation(pool, 3, seed=2).run(200)
+        assert outcome.bad_results_produced > 0
+        assert outcome.bad_results_accepted == 0
+
+    def test_majority_faults_poison_results(self):
+        # 4 always-wrong among 5: most replica trios carry a faulty
+        # majority... but wrong answers are *random*, so they rarely agree;
+        # ties fall to the deterministic minimum, which can be the truth or
+        # a lie.  What must hold: some bad results get accepted.
+        pool = mixed_pool(honest=1, malicious=4)
+        outcome = ReplicationSimulation(pool, 3, seed=3).run(300)
+        assert outcome.bad_results_accepted > 0
+
+    def test_replication_one_accepts_everything(self):
+        pool = mixed_pool(honest=1, malicious=1)
+        outcome = ReplicationSimulation(pool, 1, seed=4).run(200)
+        # r = 1: whatever the (alternating) volunteer returns is accepted.
+        assert outcome.bad_results_accepted == outcome.bad_results_produced > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        pool = mixed_pool(3, 2, error_rate=0.5)
+        a = ReplicationSimulation(pool, 3, seed=9).run(100)
+        b = ReplicationSimulation(pool, 3, seed=9).run(100)
+        assert a == b
+
+
+class TestEconomicsVsAccountability:
+    def test_replication_costs_r_times_the_work(self):
+        # The quantitative point of Section 4's "lightweight" framing:
+        # replication r=3 performs 3x computations per decided task, while
+        # the ledger's overhead is 1 + verification_rate (~1.2x).
+        pool = mixed_pool(honest=8, malicious=2, error_rate=0.3)
+        outcome = ReplicationSimulation(pool, 3, seed=5).run(400)
+        # At least r computations per task; occasionally more (reissues on
+        # majority-less replica sets).
+        assert 3.0 <= outcome.work_overhead < 4.0
+
+        from repro.apf.families import TSharp
+        from repro.webcompute.simulation import SimulationConfig, WBCSimulation
+
+        config = SimulationConfig(
+            ticks=150,
+            initial_volunteers=10,
+            malicious_fraction=0.2,
+            careless_fraction=0.0,
+            verification_rate=0.2,
+            seed=5,
+            departure_rate=0.0,
+            arrival_rate=0.0,
+        )
+        ledger_outcome = WBCSimulation(TSharp(), config).run()
+        # Ledger work per accepted task: 1 computation + sampled checks.
+        ledger_overhead = 1 + config.verification_rate
+        assert ledger_overhead < outcome.work_overhead
+        # The ledger *bans*: by the end, offenders are out of the pool.
+        assert ledger_outcome.faulty_banned >= 1

@@ -1,0 +1,161 @@
+"""Tests for Procedure PF-Constructor (repro.core.shells)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aspectratio import AspectRatioPairing
+from repro.core.diagonal import DiagonalPairing
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.shells import (
+    AspectRatioShells,
+    DiagonalShells,
+    HyperbolicShells,
+    ShellConstructedPairing,
+    ShellOrder,
+    SquareShells,
+)
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import ConfigurationError, DomainError
+
+ALL_PARTITIONS = [
+    DiagonalShells,
+    SquareShells,
+    HyperbolicShells,
+    lambda: AspectRatioShells(1, 2),
+    lambda: AspectRatioShells(2, 3),
+]
+
+ALL_ORDERS = list(ShellOrder)
+
+
+class TestPartitionContracts:
+    @pytest.mark.parametrize("make", ALL_PARTITIONS)
+    def test_membership_consistency(self, make):
+        part = make()
+        for c in range(1, 8):
+            for pos in part.members(c):
+                assert part.shell_index(*pos) == c
+
+    @pytest.mark.parametrize("make", ALL_PARTITIONS)
+    def test_sizes_match_members(self, make):
+        part = make()
+        for c in range(1, 10):
+            assert part.size(c) == len(part.members(c))
+
+    @pytest.mark.parametrize("make", ALL_PARTITIONS)
+    def test_cumulative_closed_forms(self, make):
+        part = make()
+        for c in range(1, 10):
+            assert part.cumulative_before(c) == sum(part.size(j) for j in range(1, c))
+
+    @pytest.mark.parametrize("make", ALL_PARTITIONS)
+    def test_members_have_no_duplicates(self, make):
+        part = make()
+        for c in range(1, 8):
+            members = part.members(c)
+            assert len(set(members)) == len(members)
+
+    @pytest.mark.parametrize("make", ALL_PARTITIONS)
+    def test_shells_partition_the_window(self, make):
+        part = make()
+        covered = set()
+        c = 1
+        while len(covered) < 100:
+            for pos in part.members(c):
+                assert pos not in covered
+                covered.add(pos)
+            c += 1
+        # Every small window position got covered by some shell.
+        for x in range(1, 6):
+            for y in range(1, 6):
+                assert (x, y) in covered or part.shell_index(x, y) >= c
+
+    @pytest.mark.parametrize("make", ALL_PARTITIONS)
+    def test_locate_inverts_cumulative(self, make):
+        part = make()
+        for z in range(1, 120):
+            c = part.locate(z)
+            assert part.cumulative_before(c) < z <= part.cumulative_before(c) + part.size(c)
+
+
+class TestTheorem31:
+    """Theorem 3.1: any shell-constructed function is a valid PF --
+    for every built-in partition under every Step 2b order."""
+
+    @pytest.mark.parametrize("make", ALL_PARTITIONS)
+    @pytest.mark.parametrize("order", ALL_ORDERS)
+    def test_is_bijection(self, make, order):
+        pf = ShellConstructedPairing(make(), order)
+        pf.check_roundtrip_window(9, 9)
+        pf.check_bijective_prefix(100)
+
+
+class TestReproducesClosedForms:
+    def test_diagonal(self):
+        pf = ShellConstructedPairing(DiagonalShells(), ShellOrder.BY_COLUMNS)
+        d = DiagonalPairing()
+        for x in range(1, 12):
+            for y in range(1, 12):
+                assert pf.pair(x, y) == d.pair(x, y)
+
+    def test_square_shell_native_order(self):
+        pf = ShellConstructedPairing(SquareShells(), ShellOrder.NATIVE)
+        a = SquareShellPairing()
+        for x in range(1, 12):
+            for y in range(1, 12):
+                assert pf.pair(x, y) == a.pair(x, y)
+
+    def test_hyperbolic_native_order(self):
+        pf = ShellConstructedPairing(HyperbolicShells(), ShellOrder.NATIVE)
+        h = HyperbolicPairing()
+        for x in range(1, 10):
+            for y in range(1, 10):
+                assert pf.pair(x, y) == h.pair(x, y)
+
+    def test_aspect_ratio_native_order(self):
+        pf = ShellConstructedPairing(AspectRatioShells(2, 3), ShellOrder.NATIVE)
+        p = AspectRatioPairing(2, 3)
+        for x in range(1, 10):
+            for y in range(1, 10):
+                assert pf.pair(x, y) == p.pair(x, y)
+
+
+class TestOrderIndependentProperties:
+    @pytest.mark.parametrize("order", ALL_ORDERS)
+    def test_spread_is_order_independent_for_square_shells(self, order):
+        # The in-shell order permutes addresses *within* shells only, so the
+        # spread (a max over complete shells' worth of positions) can differ
+        # only within the final shell; on square arrays it is identical.
+        pf = ShellConstructedPairing(SquareShells(), order)
+        base = SquareShellPairing()
+        for k in (2, 4, 6):
+            assert pf.spread_for_shape(k, k) == base.spread_for_shape(k, k)
+
+    def test_orders_produce_distinct_pfs(self):
+        by_cols = ShellConstructedPairing(SquareShells(), ShellOrder.BY_COLUMNS)
+        by_rows = ShellConstructedPairing(SquareShells(), ShellOrder.BY_ROWS)
+        assert any(
+            by_cols.pair(x, y) != by_rows.pair(x, y)
+            for x in range(1, 6)
+            for y in range(1, 6)
+        )
+
+
+class TestValidation:
+    def test_rejects_non_partition(self):
+        with pytest.raises(ConfigurationError):
+            ShellConstructedPairing("diagonal", ShellOrder.NATIVE)  # type: ignore[arg-type]
+
+    def test_rejects_non_order(self):
+        with pytest.raises(ConfigurationError):
+            ShellConstructedPairing(DiagonalShells(), "by-columns")  # type: ignore[arg-type]
+
+    def test_partition_domain_errors(self):
+        part = DiagonalShells()
+        with pytest.raises(DomainError):
+            part.members(0)
+        with pytest.raises(DomainError):
+            part.shell_index(0, 1)
+        with pytest.raises(DomainError):
+            part.locate(0)

@@ -1,0 +1,99 @@
+"""Tests for the compactness toolkit (repro.core.spread)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.diagonal import DiagonalPairing
+from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.spread import (
+    SpreadCurve,
+    SpreadPoint,
+    compare_spreads,
+    spread_curve,
+    utilization,
+    worst_shape,
+)
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import DomainError
+
+
+class TestSpreadPoint:
+    def test_utilization(self):
+        p = SpreadPoint(n=10, spread=40, lower_bound=20)
+        assert p.utilization == 0.25
+        assert p.overhead_vs_bound == 2.0
+
+
+class TestSpreadCurve:
+    def test_rows(self):
+        curve = spread_curve(DiagonalPairing(), [4, 16])
+        assert curve.rows()[0] == (4, 10, 8, 0.4)
+
+    def test_growth_exponents_quadratic_family(self):
+        # Diagonal spread is (n^2+n)/2: log-log slope -> 2.
+        curve = spread_curve(DiagonalPairing(), [2**k for k in range(3, 10)])
+        slopes = curve.growth_exponents()
+        assert all(1.9 < s <= 2.05 for s in slopes)
+
+    def test_growth_exponents_nlogn_family(self):
+        # Hyperbolic spread is Theta(n log n): slopes near 1, strictly
+        # between 1 and the quadratic families' 2.
+        curve = spread_curve(HyperbolicPairing(), [2**k for k in range(5, 13)])
+        slopes = curve.growth_exponents()
+        assert all(1.0 < s < 1.3 for s in slopes)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(DomainError):
+            spread_curve(DiagonalPairing(), [])
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(DomainError):
+            spread_curve(DiagonalPairing(), [4, 0])
+
+
+class TestCompareSpreads:
+    def test_keyed_by_name(self):
+        curves = compare_spreads(
+            [DiagonalPairing(), SquareShellPairing(), HyperbolicPairing()], [16, 64]
+        )
+        assert set(curves) == {"diagonal", "square-shell", "hyperbolic"}
+
+    def test_hyperbolic_wins_asymptotically(self):
+        n = 2048
+        curves = compare_spreads(
+            [DiagonalPairing(), SquareShellPairing(), HyperbolicPairing()], [n]
+        )
+        h = curves["hyperbolic"].points[0].spread
+        assert h < curves["diagonal"].points[0].spread
+        assert h < curves["square-shell"].points[0].spread
+
+
+class TestUtilization:
+    def test_square_shell_on_any_n(self):
+        # S(n) = n**2 so utilization = 1/n.
+        for n in (2, 10, 50):
+            assert utilization(SquareShellPairing(), n) == pytest.approx(1 / n)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DomainError):
+            utilization(DiagonalPairing(), 0)
+
+
+class TestWorstShape:
+    def test_diagonal_worst_is_degenerate_row(self):
+        x, y, z = worst_shape(DiagonalPairing(), 8)
+        assert (x, y) == (1, 8)
+        assert z == 36
+
+    def test_square_shell_worst_is_degenerate_row(self):
+        x, y, z = worst_shape(SquareShellPairing(), 12)
+        assert (x, y) == (1, 12)
+        assert z == 144
+
+    def test_witness_attains_spread(self):
+        for pf in (DiagonalPairing(), SquareShellPairing(), HyperbolicPairing()):
+            for n in (5, 20):
+                x, y, z = worst_shape(pf, n)
+                assert x * y <= n
+                assert z == pf.spread(n)

@@ -1,0 +1,147 @@
+"""Tests for the square-shell PF A_{1,1} (Section 3.2.1, Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.squareshell import SquareShellPairing, SquareShellPairingTwin
+
+FIGURE_3 = [
+    [1, 4, 9, 16, 25, 36, 49, 64],
+    [2, 3, 8, 15, 24, 35, 48, 63],
+    [5, 6, 7, 14, 23, 34, 47, 62],
+    [10, 11, 12, 13, 22, 33, 46, 61],
+    [17, 18, 19, 20, 21, 32, 45, 60],
+    [26, 27, 28, 29, 30, 31, 44, 59],
+    [37, 38, 39, 40, 41, 42, 43, 58],
+    [50, 51, 52, 53, 54, 55, 56, 57],
+]
+
+
+class TestFigure3:
+    def test_exact_table(self):
+        assert SquareShellPairing().table(8, 8) == FIGURE_3
+
+    def test_highlighted_shell(self):
+        # The paper highlights max(x, y) = 5: addresses 17..25.
+        a = SquareShellPairing()
+        shell = [a.pair(5, y) for y in range(1, 6)] + [
+            a.pair(x, 5) for x in range(4, 0, -1)
+        ]
+        assert shell == list(range(17, 26))
+
+
+class TestFormula:
+    def test_formula_3_3(self):
+        # A(x, y) = m**2 + m + y - x + 1 with m = max(x-1, y-1).
+        a = SquareShellPairing()
+        for x in range(1, 20):
+            for y in range(1, 20):
+                m = max(x - 1, y - 1)
+                assert a.pair(x, y) == m * m + m + y - x + 1
+
+    def test_first_row_is_squares(self):
+        a = SquareShellPairing()
+        for n in range(1, 30):
+            assert a.pair(1, n) == n * n
+
+    def test_first_column_is_squares_plus_one_shifted(self):
+        # A(x, 1) = (x-1)**2 + 1 for x >= 2 (start of each shell).
+        a = SquareShellPairing()
+        for x in range(2, 30):
+            assert a.pair(x, 1) == (x - 1) ** 2 + 1
+
+    def test_diagonal_entries(self):
+        # A(k, k) = (k-1)**2 + k (corner of the counterclockwise walk).
+        a = SquareShellPairing()
+        for k in range(1, 30):
+            assert a.pair(k, k) == (k - 1) ** 2 + k
+
+    def test_counterclockwise_within_shell(self):
+        # Shell c: (c,1) .. (c,c) then (c-1,c) .. (1,c), contiguous.
+        a = SquareShellPairing()
+        for c in range(2, 12):
+            walk = [a.pair(c, y) for y in range(1, c + 1)]
+            walk += [a.pair(x, c) for x in range(c - 1, 0, -1)]
+            assert walk == list(range((c - 1) ** 2 + 1, c * c + 1))
+
+
+class TestInverse:
+    @pytest.mark.parametrize("z", range(1, 2000))
+    def test_roundtrip_dense(self, z):
+        a = SquareShellPairing()
+        x, y = a.unpair(z)
+        assert a.pair(x, y) == z
+
+    def test_huge_roundtrip(self):
+        a = SquareShellPairing()
+        assert a.unpair(a.pair(10**12, 3)) == (10**12, 3)
+
+
+class TestPerfectCompactness:
+    def test_squares_stored_perfectly(self):
+        # Guarantee (3.2) with a = b = 1: the k x k array occupies
+        # addresses exactly 1..k**2.
+        a = SquareShellPairing()
+        for k in range(1, 15):
+            addresses = sorted(
+                a.pair(x, y) for x in range(1, k + 1) for y in range(1, k + 1)
+            )
+            assert addresses == list(range(1, k * k + 1))
+
+    def test_spread_closed_form(self):
+        a = SquareShellPairing()
+        for n in (1, 3, 9, 20, 100):
+            brute = max(
+                a.pair(x, y) for x in range(1, n + 1) for y in range(1, n // x + 1)
+            )
+            assert a.spread(n) == brute == n * n
+
+    def test_spread_for_shape_closed_form(self):
+        a = SquareShellPairing()
+        for rows, cols in ((1, 9), (9, 1), (4, 7), (7, 4), (6, 6)):
+            brute = max(
+                a.pair(x, y)
+                for x in range(1, rows + 1)
+                for y in range(1, cols + 1)
+            )
+            assert a.spread_for_shape(rows, cols) == brute
+
+
+class TestVectorized:
+    def test_pair_array_matches(self):
+        a = SquareShellPairing()
+        xs = np.arange(1, 500)
+        ys = np.arange(500, 1, -1)
+        out = a.pair_array(xs, ys)
+        for i in (0, 100, 498):
+            assert out[i] == a.pair(int(xs[i]), int(ys[i]))
+
+    def test_unpair_array_roundtrip(self):
+        a = SquareShellPairing()
+        zs = np.arange(1, 50_000, 101)
+        xs, ys = a.unpair_array(zs)
+        assert np.array_equal(a.pair_array(xs, ys), zs)
+
+
+class TestTwin:
+    def test_twin_swaps(self):
+        a, t = SquareShellPairing(), SquareShellPairingTwin()
+        for x in range(1, 12):
+            for y in range(1, 12):
+                assert t.pair(x, y) == a.pair(y, x)
+
+    def test_twin_walks_clockwise(self):
+        # Twin shell c: along the row first -- (1,c) gets the shell start.
+        t = SquareShellPairingTwin()
+        for c in range(2, 10):
+            assert t.pair(1, c) == (c - 1) ** 2 + 1
+
+    def test_twin_bijective(self):
+        SquareShellPairingTwin().check_bijective_prefix(500)
+
+    def test_twin_spread_for_shape_transposes(self):
+        a, t = SquareShellPairing(), SquareShellPairingTwin()
+        for rows, cols in ((2, 7), (7, 2), (3, 3)):
+            assert t.spread_for_shape(rows, cols) == a.spread_for_shape(cols, rows)

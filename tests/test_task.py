@@ -1,0 +1,66 @@
+"""Tests for the WBC task model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DomainError
+from repro.webcompute.task import Task, TaskStatus, correct_result
+
+
+class TestCorrectResult:
+    def test_deterministic(self):
+        assert correct_result(42) == correct_result(42)
+
+    def test_distinct_across_indices(self):
+        values = {correct_result(i) for i in range(1, 5000)}
+        assert len(values) == 4999  # no collisions in range
+
+    def test_avalanche(self):
+        # Adjacent indices differ in many bits (uncorrelated results).
+        diff = correct_result(1000) ^ correct_result(1001)
+        assert bin(diff).count("1") > 10
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(DomainError):
+            correct_result(0)
+
+
+class TestTaskLifecycle:
+    def make(self):
+        return Task(index=10, volunteer_id=3, serial=2, issued_at=5)
+
+    def test_initial_state(self):
+        t = self.make()
+        assert t.status is TaskStatus.ISSUED
+        assert t.reported_result is None
+
+    def test_return_then_verify_ok(self):
+        t = self.make()
+        t.mark_returned(t.expected_result, at_tick=9)
+        assert t.status is TaskStatus.RETURNED
+        assert t.returned_at == 9
+        assert t.verify()
+        assert t.status is TaskStatus.VERIFIED_OK
+
+    def test_return_then_verify_bad(self):
+        t = self.make()
+        t.mark_returned(t.expected_result ^ 1, at_tick=9)
+        assert not t.verify()
+        assert t.status is TaskStatus.VERIFIED_BAD
+
+    def test_double_return_rejected(self):
+        t = self.make()
+        t.mark_returned(0, at_tick=1)
+        with pytest.raises(DomainError):
+            t.mark_returned(0, at_tick=2)
+
+    def test_verify_before_return_rejected(self):
+        with pytest.raises(DomainError):
+            self.make().verify()
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(DomainError):
+            Task(index=0, volunteer_id=1, serial=1, issued_at=0)
+        with pytest.raises(DomainError):
+            Task(index=1, volunteer_id=1, serial=0, issued_at=0)

@@ -1,0 +1,108 @@
+"""Tests for row/column/block views over extendible arrays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apf.families import TSharp
+from repro.arrays.extendible import ExtendibleArray
+from repro.arrays.views import block_view, col_view, row_view, traversal_cost
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import DomainError
+
+
+def apf_array(rows=4, cols=5):
+    arr = ExtendibleArray(TSharp(), rows, cols, fill=0)
+    for x in range(1, rows + 1):
+        for y in range(1, cols + 1):
+            arr[x, y] = 100 * x + y
+    return arr
+
+
+def pf_array(rows=4, cols=5):
+    arr = ExtendibleArray(SquareShellPairing(), rows, cols, fill=0)
+    for x in range(1, rows + 1):
+        for y in range(1, cols + 1):
+            arr[x, y] = 100 * x + y
+    return arr
+
+
+class TestRowView:
+    @pytest.mark.parametrize("make", [apf_array, pf_array])
+    def test_values_in_order(self, make):
+        arr = make()
+        cells = list(row_view(arr, 2))
+        assert [c.value for c in cells] == [201, 202, 203, 204, 205]
+        assert [c.y for c in cells] == [1, 2, 3, 4, 5]
+
+    @pytest.mark.parametrize("make", [apf_array, pf_array])
+    def test_addresses_match_mapping(self, make):
+        arr = make()
+        for cell in row_view(arr, 3):
+            assert cell.address == arr.mapping.pair(cell.x, cell.y)
+
+    def test_apf_fast_path_is_progression(self):
+        arr = apf_array()
+        addresses = [c.address for c in row_view(arr, 2)]
+        diffs = {b - a for a, b in zip(addresses, addresses[1:])}
+        assert diffs == {TSharp().stride(2)}
+
+    def test_rejects_bad_row(self):
+        with pytest.raises(DomainError):
+            list(row_view(apf_array(), 9))
+
+
+class TestColView:
+    @pytest.mark.parametrize("make", [apf_array, pf_array])
+    def test_values_in_order(self, make):
+        arr = make()
+        assert [c.value for c in col_view(arr, 4)] == [104, 204, 304, 404]
+
+    def test_rejects_bad_col(self):
+        with pytest.raises(DomainError):
+            list(col_view(apf_array(), 6))
+
+
+class TestBlockView:
+    @pytest.mark.parametrize("make", [apf_array, pf_array])
+    def test_block_contents(self, make):
+        arr = make()
+        cells = list(block_view(arr, 2, 3, 2, 2))
+        assert [c.value for c in cells] == [203, 204, 303, 304]
+        for cell in cells:
+            assert cell.address == arr.mapping.pair(cell.x, cell.y)
+
+    def test_full_array_block(self):
+        arr = pf_array()
+        cells = list(block_view(arr, 1, 1, 4, 5))
+        assert len(cells) == 20
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(DomainError):
+            list(block_view(apf_array(), 3, 3, 3, 3))
+        with pytest.raises(DomainError):
+            list(block_view(apf_array(), 1, 1, 0, 2))
+
+
+class TestTraversalCost:
+    def test_apf_row_is_one_evaluation(self):
+        assert traversal_cost(apf_array(), "row") == 1
+
+    def test_pf_row_is_per_cell(self):
+        assert traversal_cost(pf_array(), "row") == 5
+
+    def test_columns_always_per_cell(self):
+        assert traversal_cost(apf_array(), "col") == 4
+        assert traversal_cost(pf_array(), "col") == 4
+
+    def test_whole_array(self):
+        assert traversal_cost(apf_array(), "all") == 4
+        assert traversal_cost(pf_array(), "all") == 20
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(DomainError):
+            traversal_cost(apf_array(), "diagonal")
+
+    def test_rejects_non_array(self):
+        with pytest.raises(DomainError):
+            traversal_cost("array", "row")  # type: ignore[arg-type]

@@ -1,0 +1,71 @@
+"""Tests for volunteer behavior models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.webcompute.task import correct_result
+from repro.webcompute.volunteer import Behavior, VolunteerProfile
+
+
+class TestValidation:
+    def test_honest_default(self):
+        v = VolunteerProfile("a")
+        assert v.behavior is Behavior.HONEST and not v.is_faulty
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            VolunteerProfile("")
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ConfigurationError):
+            VolunteerProfile("a", speed=0.0)
+
+    def test_rejects_honest_with_error_rate(self):
+        with pytest.raises(ConfigurationError):
+            VolunteerProfile("a", error_rate=0.1)
+
+    def test_rejects_faulty_without_error_rate(self):
+        with pytest.raises(ConfigurationError):
+            VolunteerProfile("a", behavior=Behavior.MALICIOUS)
+
+    def test_rejects_out_of_range_error_rate(self):
+        with pytest.raises(ConfigurationError):
+            VolunteerProfile("a", behavior=Behavior.CARELESS, error_rate=1.5)
+
+
+class TestCompute:
+    def test_honest_always_correct(self):
+        v = VolunteerProfile("h", speed=1.0)
+        rng = random.Random(0)
+        for i in range(1, 200):
+            assert v.compute(i, rng) == correct_result(i)
+
+    def test_malicious_rate(self):
+        v = VolunteerProfile("m", behavior=Behavior.MALICIOUS, error_rate=0.8)
+        rng = random.Random(1)
+        bad = sum(1 for i in range(1, 1001) if v.compute(i, rng) != correct_result(i))
+        assert 700 < bad < 900  # ~0.8 of 1000
+
+    def test_careless_rate(self):
+        v = VolunteerProfile("c", behavior=Behavior.CARELESS, error_rate=0.1)
+        rng = random.Random(2)
+        bad = sum(1 for i in range(1, 2001) if v.compute(i, rng) != correct_result(i))
+        assert 140 < bad < 260  # ~0.1 of 2000
+
+    def test_bad_results_never_accidentally_correct(self):
+        # The corruption mask is forced odd-nonzero, so a "bad" return can
+        # never equal ground truth.
+        v = VolunteerProfile("m", behavior=Behavior.MALICIOUS, error_rate=1.0)
+        rng = random.Random(3)
+        for i in range(1, 500):
+            assert v.compute(i, rng) != correct_result(i)
+
+    def test_deterministic_under_seed(self):
+        v = VolunteerProfile("c", behavior=Behavior.CARELESS, error_rate=0.5)
+        a = [v.compute(i, random.Random(42)) for i in range(1, 50)]
+        b = [v.compute(i, random.Random(42)) for i in range(1, 50)]
+        assert a == b

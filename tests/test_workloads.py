@@ -1,0 +1,116 @@
+"""Tests for reshape workloads and the comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.extendible import ExtendibleArray
+from repro.arrays.metrics import run_comparison
+from repro.arrays.naive import NaiveRowMajorArray
+from repro.arrays.workloads import (
+    ReshapeKind,
+    ReshapeOp,
+    apply_workload,
+    column_growth,
+    random_walk,
+    square_growth,
+    staircase_growth,
+)
+from repro.core.diagonal import DiagonalPairing
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import ConfigurationError, DomainError
+
+
+class TestGenerators:
+    def test_staircase_alternates(self):
+        kinds = [op.kind for op in staircase_growth(6)]
+        assert kinds == [
+            ReshapeKind.APPEND_ROW,
+            ReshapeKind.APPEND_COL,
+        ] * 3
+
+    def test_column_growth_is_one_op(self):
+        ops = column_growth(17)
+        assert len(ops) == 1 and ops[0].repeat == 17
+
+    def test_square_growth_reaches_target(self):
+        arr = ExtendibleArray(SquareShellPairing(), 1, 1, fill=0)
+        apply_workload(arr, square_growth(9))
+        assert arr.shape == (9, 9)
+
+    def test_random_walk_is_replayable(self):
+        wl = random_walk(300, seed=5)
+        arr = ExtendibleArray(DiagonalPairing(), 1, 1)
+        steps = apply_workload(arr, wl)
+        assert steps == 300
+        assert arr.rows >= 1 and arr.cols >= 1
+
+    def test_random_walk_deterministic(self):
+        assert random_walk(100, seed=9) == random_walk(100, seed=9)
+        assert random_walk(100, seed=9) != random_walk(100, seed=10)
+
+    def test_random_walk_respects_max_side(self):
+        wl = random_walk(500, seed=1, max_side=5)
+        arr = ExtendibleArray(SquareShellPairing(), 1, 1)
+        rows = cols = 1
+        for op in wl:
+            apply_workload(arr, [op])
+            rows, cols = arr.shape
+            assert 1 <= rows and 1 <= cols
+        assert max(rows, cols) <= 5
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DomainError):
+            staircase_growth(0)
+        with pytest.raises(DomainError):
+            ReshapeOp(ReshapeKind.APPEND_ROW, repeat=0)
+        with pytest.raises(ConfigurationError):
+            random_walk(10, grow_bias=1.5)
+
+
+class TestApplyWorkload:
+    def test_counts_elementary_steps(self):
+        arr = ExtendibleArray(SquareShellPairing(), 1, 1)
+        steps = apply_workload(
+            arr, [ReshapeOp(ReshapeKind.APPEND_ROW, 3), ReshapeOp(ReshapeKind.APPEND_COL, 2)]
+        )
+        assert steps == 5
+        assert arr.shape == (4, 3)
+
+    def test_works_on_naive_too(self):
+        arr = NaiveRowMajorArray(1, 1, fill=0)
+        apply_workload(arr, staircase_growth(8))
+        assert arr.shape == (5, 5)
+
+
+class TestRunComparison:
+    def test_report_rows(self):
+        results = run_comparison(
+            [DiagonalPairing(), SquareShellPairing()], staircase_growth(10)
+        )
+        names = [r.implementation for r in results]
+        assert names == ["diagonal", "square-shell", "naive-row-major"]
+
+    def test_pf_rows_have_zero_moves(self):
+        results = run_comparison([SquareShellPairing()], random_walk(100, seed=3))
+        pf_row = results[0]
+        naive_row = results[-1]
+        assert pf_row.moves == 0
+        assert naive_row.moves > 0
+        assert pf_row.final_shape == naive_row.final_shape
+
+    def test_moves_per_step(self):
+        # Rows first (so the array is tall), then column growth: every
+        # column append remaps all rows past the first.
+        workload = [ReshapeOp(ReshapeKind.APPEND_ROW, 9)] + column_growth(15)
+        results = run_comparison([SquareShellPairing()], workload)
+        naive = results[-1]
+        assert naive.moves_per_step > 1.0
+        assert results[0].moves_per_step == 0.0
+
+    def test_spread_vs_compactness_tradeoff(self):
+        # Same workload: naive stays perfectly compact; PFs pay spread.
+        results = run_comparison([DiagonalPairing()], staircase_growth(20))
+        diag, naive = results[0], results[-1]
+        assert naive.utilization == 1.0
+        assert diag.high_water_mark > naive.high_water_mark

@@ -66,6 +66,7 @@ from repro.apf import (
 )
 from repro.core.ndim import IteratedPairing
 from repro.encoding import StringCodec, TupleCodec
+from repro.perf import SpreadCache, pair_many, spread_many, unpair_many
 
 __version__ = "1.0.0"
 
@@ -102,4 +103,9 @@ __all__ = [
     "IteratedPairing",
     "TupleCodec",
     "StringCodec",
+    # perf
+    "SpreadCache",
+    "pair_many",
+    "unpair_many",
+    "spread_many",
 ]

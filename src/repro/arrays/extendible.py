@@ -30,6 +30,7 @@ from typing import Any, Iterator
 from repro.arrays.address_space import AddressSpace
 from repro.core.base import StorageMapping
 from repro.errors import ConfigurationError, DomainError
+from repro.perf.batch import pair_many
 
 __all__ = ["ExtendibleArray"]
 
@@ -85,10 +86,19 @@ class ExtendibleArray:
         self._rows = rows
         self._cols = cols
         self._fill = fill
-        if fill is not None:
-            for x in range(1, rows + 1):
-                for y in range(1, cols + 1):
-                    self.space.write(mapping.pair(x, y), fill)
+        if fill is not None and rows > 0:
+            xs = [x for x in range(1, rows + 1) for _ in range(cols)]
+            ys = [y for _ in range(rows) for y in range(1, cols + 1)]
+            for address in self._addresses_of(xs, ys):
+                self.space.write(address, fill)
+
+    # ------------------------------------------------------------------
+
+    def _addresses_of(self, xs, ys) -> list[int]:
+        """Addresses of a coordinate batch through the perf layer's batch
+        dispatcher (vectorized kernel when the mapping has one and the
+        coordinates fit its exact-safe window; exact scalar loop else)."""
+        return [int(z) for z in pair_many(self.mapping, xs, ys).reshape(-1)]
 
     # ------------------------------------------------------------------
 
@@ -155,8 +165,8 @@ class ExtendibleArray:
         self._rows += 1
         if self._fill is not None:
             x = self._rows
-            for y in range(1, self._cols + 1):
-                self.space.write(self.mapping.pair(x, y), self._fill)
+            for address in self._addresses_of([x], list(range(1, self._cols + 1))):
+                self.space.write(address, self._fill)
 
     def append_col(self) -> None:
         """Grow by one column (O(rows) fills, zero moves)."""
@@ -165,8 +175,8 @@ class ExtendibleArray:
         self._cols += 1
         if self._fill is not None:
             y = self._cols
-            for x in range(1, self._rows + 1):
-                self.space.write(self.mapping.pair(x, y), self._fill)
+            for address in self._addresses_of(list(range(1, self._rows + 1)), [y]):
+                self.space.write(address, self._fill)
 
     def delete_row(self) -> None:
         """Shrink by one row, erasing the freed cells (O(cols) erases,
@@ -174,8 +184,8 @@ class ExtendibleArray:
         if self._rows <= 1:
             raise DomainError("cannot delete the last row")
         x = self._rows
-        for y in range(1, self._cols + 1):
-            self.space.erase(self.mapping.pair(x, y))
+        for address in self._addresses_of([x], list(range(1, self._cols + 1))):
+            self.space.erase(address)
         self._rows -= 1
 
     def delete_col(self) -> None:
@@ -183,8 +193,8 @@ class ExtendibleArray:
         if self._cols <= 1:
             raise DomainError("cannot delete the last column")
         y = self._cols
-        for x in range(1, self._rows + 1):
-            self.space.erase(self.mapping.pair(x, y))
+        for address in self._addresses_of(list(range(1, self._rows + 1)), [y]):
+            self.space.erase(address)
         self._cols -= 1
 
     def resize(self, rows: int, cols: int) -> None:

@@ -34,6 +34,7 @@ __all__ = [
     "square_growth",
     "random_walk",
     "apply_workload",
+    "bulk_touch",
     "ReshapableArray",
 ]
 
@@ -168,6 +169,48 @@ def random_walk(
                 ops.append(ReshapeOp(ReshapeKind.APPEND_ROW))
                 rows += 1
     return ops
+
+
+def bulk_touch(array, positions: Sequence[tuple[int, int]], value) -> int:
+    """Write *value* to every ``(x, y)`` in *positions* (the write phase of
+    an access workload), batching address computation through the perf
+    layer when the array exposes its mapping and address space (the
+    PF-backed :class:`~repro.arrays.extendible.ExtendibleArray` does;
+    baselines fall back to item assignment).  Returns the write count.
+
+    >>> from repro.arrays.extendible import ExtendibleArray
+    >>> from repro.core.squareshell import SquareShellPairing
+    >>> arr = ExtendibleArray(SquareShellPairing(), rows=2, cols=2)
+    >>> bulk_touch(arr, [(1, 1), (2, 2)], 7)
+    2
+    >>> arr[2, 2]
+    7
+    """
+    positions = list(positions)
+    if not positions:
+        return 0
+    rows, cols = array.shape
+    for x, y in positions:
+        if isinstance(x, bool) or not isinstance(x, int) or isinstance(y, bool) or not isinstance(y, int):
+            raise DomainError(f"positions must be int pairs, got ({x!r}, {y!r})")
+        if not (1 <= x <= rows and 1 <= y <= cols):
+            raise DomainError(
+                f"position ({x}, {y}) outside current shape {rows}x{cols}"
+            )
+    mapping = getattr(array, "mapping", None)
+    space = getattr(array, "space", None)
+    if mapping is not None and space is not None:
+        from repro.perf.batch import pair_many
+
+        addresses = pair_many(
+            mapping, [p[0] for p in positions], [p[1] for p in positions]
+        )
+        for address in addresses.reshape(-1):
+            space.write(int(address), value)
+    else:
+        for x, y in positions:
+            array[x, y] = value
+    return len(positions)
 
 
 def apply_workload(array: ReshapableArray, ops: Iterable[ReshapeOp]) -> int:

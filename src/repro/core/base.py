@@ -37,7 +37,22 @@ __all__ = [
     "PairingFunction",
     "validate_coordinates",
     "validate_address",
+    "EXACT_SAFE_ADDRESS_LIMIT",
+    "EXACT_SAFE_COORD_LIMIT",
 ]
+
+#: Largest address for which the float64-estimate + "repair by one" int64
+#: inverse kernels are provably exact.  Above the float64 mantissa
+#: (2**53) nearby addresses collapse to the same double, so the repaired
+#: estimate can start from the wrong integer, and the repair arithmetic
+#: itself (``t*(t+1)``, ``(m+1)**2``) approaches int64 overflow.  Larger
+#: addresses must take the scalar bignum path.
+EXACT_SAFE_ADDRESS_LIMIT = 2**53 - 1
+
+#: Largest coordinate for which the int64 forward kernels cannot overflow:
+#: the quadratic-growth kernels square sums of coordinates, so keeping
+#: coordinates below 2**30 keeps every intermediate below 2**62.
+EXACT_SAFE_COORD_LIMIT = 2**30
 
 
 def validate_coordinates(x: int, y: int) -> tuple[int, int]:
@@ -75,6 +90,17 @@ class StorageMapping(ABC):
 
     #: Whether the mapping is onto ``N`` (a true pairing function).
     surjective: bool = True
+
+    #: Whether :meth:`spread` is a closed form (cheap, non-enumerating).
+    #: Consulted by :class:`repro.perf.spread_cache.SpreadCache` to decide
+    #: between delegating and incremental lattice enumeration.
+    closed_form_spread: bool = False
+
+    #: Exact-safe window of the vectorized int64 kernels, or ``None`` when
+    #: the subclass provides no vectorized fast path.  Inputs outside the
+    #: window are routed to the exact scalar bignum path.
+    vector_safe_max_coord: int | None = None
+    vector_safe_max_address: int | None = None
 
     @property
     @abstractmethod
@@ -154,6 +180,93 @@ class StorageMapping(ABC):
         return xs, ys
 
     # ------------------------------------------------------------------
+    # Guarded kernel dispatch (the exact-safe window)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_exact_array(values) -> np.ndarray:
+        """``np.asarray`` that never loses integer exactness: a Python list
+        mixing int64-range and uint64-range ints promotes to float64, which
+        silently rounds values past 2**53 -- re-read those as exact object
+        arrays instead.  (Genuine float elements still reach the scalar
+        validators and raise :class:`DomainError` there, as before.)
+        """
+        if isinstance(values, np.ndarray):
+            return values
+        arr = np.asarray(values)
+        if arr.dtype.kind == "f":
+            return np.asarray(values, dtype=object)
+        return arr
+
+    def _pair_array_via(self, xs, ys, kernel) -> np.ndarray:
+        """Run the int64 *kernel* when every coordinate fits the exact-safe
+        window; otherwise fall back to the exact object-dtype scalar loop.
+
+        Subclasses with vectorized forward kernels implement ``pair_array``
+        as ``self._pair_array_via(xs, ys, self._pair_kernel)``.
+        """
+        limit = self.vector_safe_max_coord
+        xa = self._as_exact_array(xs)
+        ya = self._as_exact_array(ys)
+        if (
+            limit is not None
+            and xa.dtype.kind in "iu"
+            and ya.dtype.kind in "iu"
+        ):
+            if xa.size == 0 or ya.size == 0:
+                xb, yb = np.broadcast_arrays(xa, ya)
+                return np.zeros(xb.shape, dtype=np.int64)
+            if int(xa.min()) <= 0 or int(ya.min()) <= 0:
+                raise DomainError("coordinates must be positive")
+            if int(xa.max()) <= limit and int(ya.max()) <= limit:
+                return kernel(xa.astype(np.int64), ya.astype(np.int64))
+        # Out-of-window, float, or bignum inputs: exact scalar loop
+        # (validates every element, so bad dtypes raise DomainError).
+        return StorageMapping.pair_array(self, xa, ya)
+
+    def _unpair_array_via(self, zs, kernel) -> tuple[np.ndarray, np.ndarray]:
+        """Run the int64 inverse *kernel* on the addresses inside the
+        exact-safe window and the scalar bignum path on the rest.
+
+        A homogeneous in-window batch stays entirely on the kernel (int64
+        outputs, the fast common case); a batch containing any out-of-window
+        address is split element-wise and returned as object arrays.
+        """
+        limit = self.vector_safe_max_address
+        za = self._as_exact_array(zs)
+        if limit is not None and za.dtype.kind in "iu":
+            if za.size == 0:
+                empty = np.zeros(za.shape, dtype=np.int64)
+                return empty, empty.copy()
+            if int(za.min()) <= 0:
+                raise DomainError("addresses must be positive")
+            if int(za.max()) <= limit:
+                return kernel(za.astype(np.int64))
+        # Mixed / bignum / non-integer input: exact element-wise split.
+        flat = za.reshape(-1)
+        xs = np.empty(flat.shape, dtype=object)
+        ys = np.empty(flat.shape, dtype=object)
+        safe: list[int] = []
+        for i, z in enumerate(flat):
+            if (
+                limit is not None
+                and isinstance(z, (int, np.integer))
+                and not isinstance(z, bool)
+                and 0 < int(z) <= limit
+            ):
+                safe.append(i)
+            else:
+                # Scalar path validates (rejects floats/bools/nonpositives).
+                xs[i], ys[i] = self.unpair(z)
+        if safe:
+            sub = np.fromiter((int(flat[i]) for i in safe), dtype=np.int64, count=len(safe))
+            kx, ky = kernel(sub)
+            for j, i in enumerate(safe):
+                xs[i] = int(kx[j])
+                ys[i] = int(ky[j])
+        return xs.reshape(za.shape), ys.reshape(za.shape)
+
+    # ------------------------------------------------------------------
     # Sampling and display
     # ------------------------------------------------------------------
 
@@ -208,6 +321,25 @@ class StorageMapping(ABC):
         if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
             raise DomainError(f"n must be a positive int, got {n!r}")
         return max(self._pair(x, y) for x, y in lattice_points_under_hyperbola(n))
+
+    def spread_cache(self):
+        """This instance's lazily created
+        :class:`~repro.perf.spread_cache.SpreadCache`: memoized spread
+        evaluation that extends incrementally from previously computed
+        sizes instead of re-enumerating the whole lattice."""
+        cache = getattr(self, "_spread_cache", None)
+        if cache is None:
+            from repro.perf.spread_cache import SpreadCache
+
+            cache = SpreadCache(self)
+            self._spread_cache = cache
+        return cache
+
+    def spread_many(self, ns: Sequence[int]) -> list[int]:
+        """Spread at each size in *ns*, through :meth:`spread_cache` --
+        equal to ``[self.spread(n) for n in ns]`` but sharing enumeration
+        work across the grid."""
+        return self.spread_cache().spread_many(ns)
 
     def spread_for_shape(self, rows: int, cols: int) -> int:
         """Largest address assigned to any position of the ``rows x cols``

@@ -19,7 +19,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import PairingFunction, validate_address, validate_coordinates
+from repro.core.base import (
+    EXACT_SAFE_ADDRESS_LIMIT,
+    EXACT_SAFE_COORD_LIMIT,
+    PairingFunction,
+    validate_address,
+    validate_coordinates,
+)
 from repro.numbertheory.integers import triangular, triangular_root
 
 __all__ = ["DiagonalPairing", "DiagonalPairingTwin"]
@@ -34,6 +40,10 @@ class DiagonalPairing(PairingFunction):
     >>> d.unpair(10)
     (1, 4)
     """
+
+    closed_form_spread = True
+    vector_safe_max_coord = EXACT_SAFE_COORD_LIMIT
+    vector_safe_max_address = EXACT_SAFE_ADDRESS_LIMIT
 
     @property
     def name(self) -> str:
@@ -75,28 +85,15 @@ class DiagonalPairing(PairingFunction):
 
     # -- vectorized batch paths ----------------------------------------
 
-    def pair_array(self, xs, ys) -> np.ndarray:
-        """Exact int64 vectorized pairing (values stay below 2**63 for all
-        coordinates up to ~2**31, far beyond any benchmark window)."""
-        x = np.asarray(xs, dtype=np.int64)
-        y = np.asarray(ys, dtype=np.int64)
-        if np.any(x <= 0) or np.any(y <= 0):
-            from repro.errors import DomainError
-
-            raise DomainError("coordinates must be positive")
+    def _pair_kernel(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         s = x + y - 1
         return s * (s - 1) // 2 + y
 
-    def unpair_array(self, zs) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized inverse via ``isqrt``-free float-safe triangular root:
-        a float estimate followed by exact integer repair."""
-        z = np.asarray(zs, dtype=np.int64)
-        if np.any(z <= 0):
-            from repro.errors import DomainError
-
-            raise DomainError("addresses must be positive")
+    def _unpair_kernel(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         w = z - 1
-        # Float estimate of triangular root, then exact correction.
+        # Float estimate of triangular root, then exact correction.  The
+        # ±1 repair is sound only inside the exact-safe address window
+        # (the dispatcher guarantees z <= EXACT_SAFE_ADDRESS_LIMIT).
         t = ((np.sqrt(8.0 * w.astype(np.float64) + 1.0) - 1.0) / 2.0).astype(np.int64)
         # Repair: ensure t(t+1)/2 <= w < (t+1)(t+2)/2.
         t = np.where(t * (t + 1) // 2 > w, t - 1, t)
@@ -105,6 +102,17 @@ class DiagonalPairing(PairingFunction):
         y = z - (s - 1) * s // 2
         x = s + 1 - y
         return x, y
+
+    def pair_array(self, xs, ys) -> np.ndarray:
+        """Vectorized pairing: exact int64 kernel inside the coordinate
+        window, exact scalar bignums outside it."""
+        return self._pair_array_via(xs, ys, self._pair_kernel)
+
+    def unpair_array(self, zs) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized inverse via a float triangular-root estimate plus
+        exact integer repair, guarded by the exact-safe address window:
+        addresses past the float64 mantissa take the scalar bignum path."""
+        return self._unpair_array_via(zs, self._unpair_kernel)
 
 
 class DiagonalPairingTwin(PairingFunction):
@@ -115,6 +123,10 @@ class DiagonalPairingTwin(PairingFunction):
     >>> t.pair(1, 1), t.pair(1, 2), t.pair(2, 1)
     (1, 2, 3)
     """
+
+    closed_form_spread = True
+    vector_safe_max_coord = EXACT_SAFE_COORD_LIMIT
+    vector_safe_max_address = EXACT_SAFE_ADDRESS_LIMIT
 
     def __init__(self) -> None:
         self._base = DiagonalPairing()

@@ -54,6 +54,8 @@ class HyperbolicPairing(PairingFunction):
     (2, 3)
     """
 
+    closed_form_spread = True  # S_H(n) = D(n), an O(sqrt n) hyperbola sum
+
     def __init__(self, cache_size: int = 4096) -> None:
         self._cache: dict[int, int] = {}
         self._cache_size = max(0, int(cache_size))

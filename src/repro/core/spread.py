@@ -70,22 +70,37 @@ class SpreadCurve:
         """Empirical log-log slopes between consecutive samples: an
         ``n log n`` curve shows slopes drifting down toward 1.0; an ``n**2``
         curve sits at 2.0.  Used by benches to classify curve *shape*
-        without matching absolute values."""
+        without matching absolute values.
+
+        Consecutive samples sharing the same ``n`` carry no slope
+        information (``log(b.n / a.n) == 0``) and are merged -- only the
+        first point at each ``n`` anchors a slope -- so duplicate-``n``
+        grids are safe rather than a ``ZeroDivisionError``."""
         import math
 
         out: list[float] = []
-        for a, b in zip(self.points, self.points[1:]):
-            out.append(
-                math.log(b.spread / a.spread) / math.log(b.n / a.n)
-            )
+        prev: SpreadPoint | None = None
+        for p in self.points:
+            if prev is not None and p.n != prev.n:
+                out.append(
+                    math.log(p.spread / prev.spread) / math.log(p.n / prev.n)
+                )
+            if prev is None or p.n != prev.n:
+                prev = p
         return out
 
 
 def spread_curve(
-    mapping: StorageMapping, ns: Sequence[int]
+    mapping: StorageMapping, ns: Sequence[int], use_cache: bool = False
 ) -> SpreadCurve:
     """Sample ``S_mapping(n)`` at each ``n`` in *ns* (each positive,
     strictly increasing recommended for :meth:`SpreadCurve.growth_exponents`).
+
+    With ``use_cache=True`` the sweep goes through the mapping's
+    :meth:`~repro.core.base.StorageMapping.spread_cache`, which shares
+    lattice enumeration work across the grid instead of re-enumerating
+    from scratch at every ``n`` -- same values, much faster for mappings
+    without a closed-form spread.
 
     >>> from repro.core.diagonal import DiagonalPairing
     >>> curve = spread_curve(DiagonalPairing(), [4, 16])
@@ -94,21 +109,25 @@ def spread_curve(
     """
     if not ns:
         raise DomainError("ns must be non-empty")
-    points = []
     for n in ns:
         if isinstance(n, bool) or not isinstance(n, int) or n <= 0:
             raise DomainError(f"each n must be a positive int, got {n!r}")
-        points.append(
-            SpreadPoint(n=n, spread=mapping.spread(n), lower_bound=spread_lower_bound(n))
-        )
+    if use_cache:
+        spreads = mapping.spread_many(list(ns))
+    else:
+        spreads = [mapping.spread(n) for n in ns]
+    points = [
+        SpreadPoint(n=n, spread=s, lower_bound=spread_lower_bound(n))
+        for n, s in zip(ns, spreads)
+    ]
     return SpreadCurve(mapping_name=mapping.name, points=tuple(points))
 
 
 def compare_spreads(
-    mappings: Iterable[StorageMapping], ns: Sequence[int]
+    mappings: Iterable[StorageMapping], ns: Sequence[int], use_cache: bool = False
 ) -> dict[str, SpreadCurve]:
     """Spread curves for several mappings over a common grid, keyed by name."""
-    return {m.name: spread_curve(m, ns) for m in mappings}
+    return {m.name: spread_curve(m, ns, use_cache=use_cache) for m in mappings}
 
 
 def utilization(mapping: StorageMapping, n: int) -> float:

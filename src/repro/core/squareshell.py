@@ -20,7 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import PairingFunction
+from repro.core.base import (
+    EXACT_SAFE_ADDRESS_LIMIT,
+    EXACT_SAFE_COORD_LIMIT,
+    PairingFunction,
+)
 from repro.numbertheory.integers import isqrt_exact
 
 __all__ = ["SquareShellPairing", "SquareShellPairingTwin"]
@@ -35,6 +39,10 @@ class SquareShellPairing(PairingFunction):
     >>> a.unpair(7)
     (3, 3)
     """
+
+    closed_form_spread = True
+    vector_safe_max_coord = EXACT_SAFE_COORD_LIMIT
+    vector_safe_max_address = EXACT_SAFE_ADDRESS_LIMIT
 
     @property
     def name(self) -> str:
@@ -85,24 +93,15 @@ class SquareShellPairing(PairingFunction):
 
     # -- vectorized batch paths ----------------------------------------
 
-    def pair_array(self, xs, ys) -> np.ndarray:
-        x = np.asarray(xs, dtype=np.int64)
-        y = np.asarray(ys, dtype=np.int64)
-        if np.any(x <= 0) or np.any(y <= 0):
-            from repro.errors import DomainError
-
-            raise DomainError("coordinates must be positive")
+    def _pair_kernel(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         m = np.maximum(x - 1, y - 1)
         return m * m + m + y - x + 1
 
-    def unpair_array(self, zs) -> tuple[np.ndarray, np.ndarray]:
-        z = np.asarray(zs, dtype=np.int64)
-        if np.any(z <= 0):
-            from repro.errors import DomainError
-
-            raise DomainError("addresses must be positive")
+    def _unpair_kernel(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # Float isqrt estimate; the ±1 repair below is sound only inside
+        # the exact-safe window (the dispatcher guarantees
+        # z <= EXACT_SAFE_ADDRESS_LIMIT, so (m+1)**2 cannot overflow).
         m = np.sqrt((z - 1).astype(np.float64)).astype(np.int64)
-        # Exact repair of the float isqrt estimate.
         m = np.where(m * m > z - 1, m - 1, m)
         m = np.where((m + 1) * (m + 1) <= z - 1, m + 1, m)
         r = z - m * m
@@ -110,6 +109,16 @@ class SquareShellPairing(PairingFunction):
         x = np.where(horizontal, m + 1, 2 * m + 2 - r)
         y = np.where(horizontal, r, m + 1)
         return x, y
+
+    def pair_array(self, xs, ys) -> np.ndarray:
+        """Vectorized pairing: exact int64 kernel inside the coordinate
+        window, exact scalar bignums outside it."""
+        return self._pair_array_via(xs, ys, self._pair_kernel)
+
+    def unpair_array(self, zs) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized inverse guarded by the exact-safe address window:
+        addresses past the float64 mantissa take the scalar bignum path."""
+        return self._unpair_array_via(zs, self._unpair_kernel)
 
 
 class SquareShellPairingTwin(PairingFunction):
@@ -120,6 +129,10 @@ class SquareShellPairingTwin(PairingFunction):
     >>> t.table(3, 3)
     [[1, 2, 5], [4, 3, 6], [9, 8, 7]]
     """
+
+    closed_form_spread = True
+    vector_safe_max_coord = EXACT_SAFE_COORD_LIMIT
+    vector_safe_max_address = EXACT_SAFE_ADDRESS_LIMIT
 
     def __init__(self) -> None:
         self._base = SquareShellPairing()

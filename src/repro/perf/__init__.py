@@ -1,0 +1,36 @@
+"""The performance layer: memoized spread evaluation and batch kernels.
+
+The paper's thesis is that a pairing function is only useful if you can
+afford to evaluate it on *every* array access and *every* task
+attribution.  This subpackage is the reproduction's answer on the systems
+side:
+
+* :mod:`~repro.perf.spread_cache` -- :class:`SpreadCache`, memoized +
+  incremental spread evaluation for any storage mapping (anchor-based
+  band enumeration; closed-form short-circuits where declared);
+* :mod:`~repro.perf.batch` -- ``pair_many`` / ``unpair_many`` /
+  ``spread_many``, the exact-safe-window dispatchers between the NumPy
+  int64 kernels and the scalar bignum paths.
+
+Regression tracking lives in ``benchmarks/bench_runner.py``, which runs
+the evaluation-speed and spread-compactness scenarios and appends the
+results to ``benchmarks/BENCH_eval.json``.
+"""
+
+from __future__ import annotations
+
+from repro.perf.batch import (
+    pair_many,
+    spread_many,
+    unpair_many,
+    vectorization_window,
+)
+from repro.perf.spread_cache import SpreadCache
+
+__all__ = [
+    "SpreadCache",
+    "pair_many",
+    "unpair_many",
+    "spread_many",
+    "vectorization_window",
+]

@@ -90,6 +90,52 @@ class TaskAllocator:
         self._contracts[row] = contract
         return contract
 
+    def register_rows(
+        self, assignments: list[tuple[int, int]]
+    ) -> list[RowContract]:
+        """Batch registration: one ``(row, start_serial)`` pair per incoming
+        volunteer of an admission round.
+
+        All-or-nothing: the whole batch is validated (domains, duplicates
+        within the batch, collisions with already-registered rows) before
+        any contract is cached, so a bad entry mid-round cannot leave the
+        allocator half-registered.
+
+        >>> from repro.apf.families import TSharp
+        >>> alloc = TaskAllocator(TSharp())
+        >>> [c.row for c in alloc.register_rows([(1, 1), (2, 1)])]
+        [1, 2]
+        """
+        pairs = list(assignments)
+        seen: set[int] = set()
+        for row, start_serial in pairs:
+            if isinstance(row, bool) or not isinstance(row, int) or row <= 0:
+                raise DomainError(f"row must be a positive int, got {row!r}")
+            if (
+                isinstance(start_serial, bool)
+                or not isinstance(start_serial, int)
+                or start_serial <= 0
+            ):
+                raise DomainError(
+                    f"start_serial must be a positive int, got {start_serial!r}"
+                )
+            if row in self._contracts:
+                raise AllocationError(f"row {row} is already registered")
+            if row in seen:
+                raise AllocationError(f"row {row} appears twice in one batch")
+            seen.add(row)
+        contracts = [
+            RowContract(
+                row=row,
+                progression=self.apf.progression(row),
+                next_serial=start_serial,
+            )
+            for row, start_serial in pairs
+        ]
+        for contract in contracts:
+            self._contracts[contract.row] = contract
+        return contracts
+
     def release_row(self, row: int) -> int:
         """Unregister *row* (volunteer departure); returns the next unissued
         serial so a successor can resume the row without re-issuing tasks."""

@@ -126,7 +126,10 @@ class FrontEnd:
         if row is None:
             raise AllocationError(f"volunteer {volunteer_id} is not seated")
         last = self._issued_serials.get(row, 0)
-        open_epoch = self._epochs[row][-1]
+        epochs = self._epochs.get(row)
+        if not epochs:  # pragma: no cover - admit() always opens an epoch
+            raise AllocationError(f"row {row} has no open epoch to close")
+        open_epoch = epochs[-1]
         open_epoch.last_serial = last
         self._row_resume_serial[row] = last + 1
         heapq.heappush(self._free_rows, row)

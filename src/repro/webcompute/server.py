@@ -99,13 +99,21 @@ class WBCServer:
                 self.ledger.note_honest(vid)
             ids.append(vid)
             arrivals.append((vid, profile.speed))
-        for vid, assignment in zip(ids, self.frontend.admit(arrivals)):
-            self.allocator.register_row(assignment.row, assignment.start_serial)
+        assignments = self.frontend.admit(arrivals)
+        self.allocator.register_rows(
+            [(a.row, a.start_serial) for a in assignments]
+        )
         return ids
 
     def depart(self, volunteer_id: int) -> None:
         """Volunteer leaves; its row is recycled (successor resumes from the
-        first unissued serial, so no task index is ever double-issued)."""
+        first unissued serial, so no task index is ever double-issued).
+
+        Raises :class:`~repro.errors.AllocationError` for an unknown (never
+        registered) volunteer id -- same contract as :meth:`request_task` --
+        and for a volunteer that already departed."""
+        if volunteer_id not in self._profiles:
+            raise AllocationError(f"unknown volunteer {volunteer_id}")
         row = self.frontend.depart(volunteer_id)
         self.allocator.release_row(row)
 

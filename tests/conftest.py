@@ -9,6 +9,17 @@ from __future__ import annotations
 
 import pytest
 
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis ships with the dev extra
+    pass
+else:
+    # Bignum-heavy strategies (2**53.. boundary cases) can blow the default
+    # 200ms deadline on a slow CI node; these are correctness tests, not
+    # perf tests, so disable the deadline rather than flake.
+    settings.register_profile("repro", deadline=None)
+    settings.load_profile("repro")
+
 from repro.apf.families import (
     ExponentialKappaAPF,
     LinearCopyIndex,

@@ -1,0 +1,68 @@
+"""Smoke gate for benchmarks/bench_runner.py (marked ``bench_smoke``).
+
+Runs the runner in-process with tiny sizes against a temp output file and
+checks the trajectory-file contract: schema id, run records appended (not
+overwritten), and the always-on kernel-consistency scenario passing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench_smoke
+
+_RUNNER = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_runner.py"
+
+
+@pytest.fixture(scope="module")
+def bench_runner():
+    spec = importlib.util.spec_from_file_location("bench_runner", _RUNNER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_run_writes_schema_and_record(bench_runner, tmp_path):
+    out = tmp_path / "BENCH_eval.json"
+    assert bench_runner.main(["--smoke", "--repeats", "1", "--output", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["schema"] == bench_runner.SCHEMA
+    assert len(data["runs"]) == 1
+    run = data["runs"][0]
+    assert run["mode"] == "smoke"
+    scenarios = run["scenarios"]
+    assert scenarios["consistency"]["pass"] is True
+    assert scenarios["consistency"]["checked"] > 0
+    assert set(scenarios["eval_speed"]) == set(bench_runner.EVAL_MAPPINGS)
+    for row in scenarios["batch_speed"].values():
+        assert row["pair_speedup"] > 0
+    for row in scenarios["spread_compactness"].values():
+        assert row["speedup"] > 0
+
+
+def test_trajectory_appends_across_runs(bench_runner, tmp_path):
+    out = tmp_path / "BENCH_eval.json"
+    for expected in (1, 2):
+        assert bench_runner.main(["--smoke", "--repeats", "1", "--output", str(out)]) == 0
+        assert len(json.loads(out.read_text())["runs"]) == expected
+
+
+def test_corrupt_trajectory_is_replaced_not_crashed(bench_runner, tmp_path):
+    out = tmp_path / "BENCH_eval.json"
+    out.write_text("{not json")
+    assert bench_runner.main(["--smoke", "--repeats", "1", "--output", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["schema"] == bench_runner.SCHEMA
+    assert len(data["runs"]) == 1
+
+
+def test_committed_trajectory_file_is_valid(bench_runner):
+    committed = _RUNNER.parent / "BENCH_eval.json"
+    data = json.loads(committed.read_text())
+    assert data["schema"] == bench_runner.SCHEMA
+    assert data["runs"], "committed BENCH_eval.json must hold at least one run"
+    assert all(r["scenarios"]["consistency"]["pass"] for r in data["runs"])

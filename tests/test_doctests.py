@@ -52,6 +52,8 @@ DOCTESTED_MODULES = [
     "repro.webcompute.frontend",
     "repro.webcompute.server",
     "repro.webcompute.replication",
+    "repro.perf.spread_cache",
+    "repro.perf.batch",
     "repro.encoding.tuples",
     "repro.encoding.strings",
     "repro.render.tables",

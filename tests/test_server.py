@@ -127,6 +127,55 @@ class TestDeparture:
         server.depart(a)
         assert not server.allocator.is_registered(row)
 
+    def test_depart_unknown_volunteer_raises_allocation_error(self):
+        # Never-registered id: a typed error, never an internal KeyError.
+        server = WBCServer(TSharp())
+        with pytest.raises(AllocationError, match="unknown volunteer 42"):
+            server.depart(42)
+
+    def test_depart_twice_raises_allocation_error(self):
+        server = WBCServer(TSharp())
+        a = server.register(honest("a"))
+        server.depart(a)
+        with pytest.raises(AllocationError, match="not seated"):
+            server.depart(a)
+
+    def test_successor_resumes_at_first_unissued_serial(self):
+        server = WBCServer(TSharp())
+        first = server.register(honest("first"))
+        row = server.frontend.row_of(first)
+        for _ in range(3):
+            server.request_task(first)  # serials 1..3 issued
+        server.depart(first)
+        second = server.register(honest("second"))
+        assert server.frontend.row_of(second) == row
+        assert server.allocator.contract(row).next_serial == 4
+        t = server.request_task(second)
+        assert t.serial == 4
+
+    def test_attribution_across_three_epochs(self):
+        server = WBCServer(TSharp())
+        tasks = {}
+        for name in ("a", "b", "c"):
+            vid = server.register(honest(name))
+            assert server.frontend.row_of(vid) == 1  # same recycled row
+            tasks[vid] = server.request_task(vid)
+            server.depart(vid)
+        # Each of the three tenures on row 1 attributes to its own tenant.
+        for vid, task in tasks.items():
+            assert server.attribute(task.index) == vid
+
+    def test_recycled_row_never_double_issues(self):
+        server = WBCServer(TSharp())
+        issued = set()
+        for name in ("a", "b", "c"):
+            vid = server.register(honest(name))
+            for _ in range(2):
+                task = server.request_task(vid)
+                assert task.index not in issued
+                issued.add(task.index)
+            server.depart(vid)
+
 
 class TestClock:
     def test_tick_advances(self):

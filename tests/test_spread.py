@@ -43,6 +43,24 @@ class TestSpreadCurve:
         slopes = curve.growth_exponents()
         assert all(1.0 < s < 1.3 for s in slopes)
 
+    def test_growth_exponents_tolerates_duplicate_n(self):
+        # Regression: consecutive samples at the same n used to divide by
+        # log(n/n) == 0.  Duplicates must be merged, not crash.
+        curve = spread_curve(DiagonalPairing(), [4, 4, 16])
+        assert curve.growth_exponents() == spread_curve(
+            DiagonalPairing(), [4, 16]
+        ).growth_exponents()
+
+    def test_growth_exponents_all_duplicates(self):
+        curve = spread_curve(DiagonalPairing(), [8, 8, 8])
+        assert curve.growth_exponents() == []
+
+    def test_use_cache_matches_scalar_path(self):
+        ns = [3, 9, 27, 9]
+        cached = spread_curve(DiagonalPairing(), ns, use_cache=True)
+        plain = spread_curve(DiagonalPairing(), ns)
+        assert [p.spread for p in cached.points] == [p.spread for p in plain.points]
+
     def test_rejects_empty_grid(self):
         with pytest.raises(DomainError):
             spread_curve(DiagonalPairing(), [])

@@ -187,6 +187,57 @@ def scenario_spread_compactness(smoke: bool, repeats: int) -> dict:
     return out
 
 
+#: Shard counts for the WBC shard-scaling scenario.
+SHARD_COUNTS = [1, 4, 16]
+
+
+def scenario_shard_scaling(smoke: bool, repeats: int) -> dict:
+    """The sharded WBC service at 1 / 4 / 16 engine shards over one seeded
+    workload: throughput (tasks issued+returned per second of wall time),
+    the global-index footprint of the square-shell composition, and --
+    always -- zero attribution failures.  A nonzero failure count raises,
+    same contract as the kernel-consistency gate."""
+    from repro.apf.families import TSharp
+    from repro.webcompute.simulation import SimulationConfig, WBCSimulation
+
+    ticks = 40 if smoke else 200
+    volunteers = 16 if smoke else 48
+    out = {}
+    for shards in SHARD_COUNTS:
+        config = SimulationConfig(
+            ticks=ticks,
+            initial_volunteers=volunteers,
+            seed=2002,
+            departure_rate=0.01,
+            shards=shards,
+        )
+        outcome = None
+
+        def run_once():
+            nonlocal outcome
+            outcome = WBCSimulation(TSharp(), config).run()
+
+        wall_s = _best_seconds(run_once, repeats)
+        if outcome.attribution_failures:
+            raise AssertionError(
+                f"shards={shards}: {outcome.attribution_failures} attribution "
+                f"failures out of {outcome.attribution_checks} checks"
+            )
+        out[f"shards_{shards}"] = {
+            "shards": shards,
+            "ticks": ticks,
+            "volunteers": outcome.volunteers_total,
+            "tasks_completed": outcome.tasks_completed,
+            "wall_s": wall_s,
+            "tasks_per_second": outcome.tasks_completed / wall_s if wall_s else 0.0,
+            "max_task_index": outcome.max_task_index,
+            "max_task_index_bits": outcome.max_task_index.bit_length(),
+            "attribution_checks": outcome.attribution_checks,
+            "attribution_failures": outcome.attribution_failures,
+        }
+    return out
+
+
 def scenario_consistency() -> dict:
     """The exactness gate: vectorized paths must agree with the scalar
     bignum paths across the exact-safe boundary.  Raises on mismatch."""
@@ -243,6 +294,7 @@ def build_run(smoke: bool, repeats: int) -> dict:
             "eval_speed": scenario_eval_speed(smoke, repeats),
             "batch_speed": scenario_batch_speed(smoke, repeats),
             "spread_compactness": scenario_spread_compactness(smoke, repeats),
+            "shard_scaling": scenario_shard_scaling(smoke, repeats),
         },
     }
 
@@ -281,6 +333,12 @@ def main(argv: list[str] | None = None) -> int:
         )
     for name, row in spread.items():
         print(f"  spread {name}: x{row['speedup']:.1f} over {row['grid_points']} points")
+    for row in run["scenarios"]["shard_scaling"].values():
+        print(
+            f"  wbc shards={row['shards']}: {row['tasks_per_second']:.0f} tasks/s, "
+            f"max index {row['max_task_index_bits']} bits, "
+            f"{row['attribution_failures']} attribution failures"
+        )
     print(f"  consistency: {run['scenarios']['consistency']['checked']} checks ok")
     return 0
 

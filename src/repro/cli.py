@@ -80,6 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
     wbc.add_argument("--ticks", type=int, default=200)
     wbc.add_argument("--volunteers", type=int, default=20)
     wbc.add_argument("--seed", type=int, default=2002)
+    wbc.add_argument("--shards", type=int, default=1,
+                     help="engine shards (>1 runs the sharded server)")
 
     encode = sub.add_parser("encode", help="encode a tuple of positive ints")
     encode.add_argument("values", type=int, nargs="*")
@@ -146,14 +148,16 @@ def _cmd_crossover(big_name: str, small_name: str, limit: int) -> str:
     )
 
 
-def _cmd_wbc(apf_name: str, ticks: int, volunteers: int, seed: int) -> str:
+def _cmd_wbc(apf_name: str, ticks: int, volunteers: int, seed: int, shards: int = 1) -> str:
     from repro.apf.base import AdditivePairingFunction
     from repro.webcompute.simulation import SimulationConfig, WBCSimulation
 
     apf = get_pairing(apf_name)
     if not isinstance(apf, AdditivePairingFunction):
         raise SystemExit(f"{apf_name} is not an additive PF")
-    config = SimulationConfig(ticks=ticks, initial_volunteers=volunteers, seed=seed)
+    config = SimulationConfig(
+        ticks=ticks, initial_volunteers=volunteers, seed=seed, shards=shards
+    )
     outcome = WBCSimulation(apf, config).run()
     rows = [
         ("tasks completed", outcome.tasks_completed),
@@ -166,6 +170,8 @@ def _cmd_wbc(apf_name: str, ticks: int, volunteers: int, seed: int) -> str:
         ("task-space density", f"{outcome.density:.3e}"),
         ("attribution failures", outcome.attribution_failures),
     ]
+    if outcome.shards > 1:
+        rows.insert(0, ("engine shards", outcome.shards))
     return render_rows_table(
         ["metric", "value"], rows, title=f"WBC simulation over {apf_name} ({ticks} ticks)"
     )
@@ -295,7 +301,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "crossover":
         print(_cmd_crossover(args.big, args.small, args.limit))
     elif args.command == "wbc":
-        print(_cmd_wbc(args.apf, args.ticks, args.volunteers, args.seed))
+        print(_cmd_wbc(args.apf, args.ticks, args.volunteers, args.seed, args.shards))
     elif args.command == "encode":
         from repro.encoding import TupleCodec
 

@@ -7,9 +7,15 @@
 * :mod:`~repro.webcompute.frontend` -- dynamic arrivals/departures, speed
   seating, epoch-based attribution across row reassignment;
 * :mod:`~repro.webcompute.ledger` -- sampled verification, strikes, bans;
-* :mod:`~repro.webcompute.server` -- the assembled WBC server;
-* :mod:`~repro.webcompute.simulation` -- seeded project runs and APF-family
-  comparisons;
+* :mod:`~repro.webcompute.events` -- the typed event bus every state
+  transition publishes on (the observability layer);
+* :mod:`~repro.webcompute.engine` -- the allocation/attribution core
+  (allocator + front end + ledger behind a narrow interface);
+* :mod:`~repro.webcompute.server` -- the single-engine service facade;
+* :mod:`~repro.webcompute.sharding` -- S engine shards behind one global
+  index space composed with the square-shell pairing function;
+* :mod:`~repro.webcompute.simulation` -- seeded project runs, APF-family
+  and shard-scaling comparisons;
 * :mod:`~repro.webcompute.replication` -- the majority-vote replication
   baseline the accountability scheme is cheaper than;
 * :mod:`~repro.webcompute.persistence` -- JSON snapshot/restore of the
@@ -27,20 +33,42 @@ from repro.webcompute.ledger import (
     LedgerReport,
     VolunteerRecord,
 )
+from repro.webcompute.events import (
+    EventBus,
+    EventCounters,
+    EventLog,
+    ResultReturned,
+    RowRecycled,
+    RowSeated,
+    TaskIssued,
+    VolunteerBanned,
+    VolunteerDeparted,
+    VolunteerRegistered,
+)
+from repro.webcompute.engine import AllocationEngine, IndexCodec
 from repro.webcompute.replication import ReplicationOutcome, ReplicationSimulation
 from repro.webcompute.metrics import (
     AccountabilityMetrics,
     VolunteerForensics,
     compute_metrics,
+    live_summary,
     volunteer_forensics,
 )
 from repro.webcompute.persistence import dumps, loads, restore, snapshot
 from repro.webcompute.server import WBCServer
+from repro.webcompute.sharding import (
+    AttributionPath,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    ShardPolicy,
+    ShardedWBCServer,
+)
 from repro.webcompute.simulation import (
     SimulationConfig,
     SimulationOutcome,
     WBCSimulation,
     run_family_comparison,
+    run_shard_comparison,
 )
 
 __all__ = [
@@ -57,12 +85,30 @@ __all__ = [
     "AccountabilityLedger",
     "LedgerReport",
     "VolunteerRecord",
+    "EventBus",
+    "EventCounters",
+    "EventLog",
+    "VolunteerRegistered",
+    "TaskIssued",
+    "ResultReturned",
+    "VolunteerBanned",
+    "VolunteerDeparted",
+    "RowSeated",
+    "RowRecycled",
+    "AllocationEngine",
+    "IndexCodec",
     "WBCServer",
+    "ShardedWBCServer",
+    "ShardPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "AttributionPath",
     "snapshot",
     "AccountabilityMetrics",
     "VolunteerForensics",
     "compute_metrics",
     "volunteer_forensics",
+    "live_summary",
     "restore",
     "dumps",
     "loads",
@@ -72,4 +118,5 @@ __all__ = [
     "SimulationOutcome",
     "WBCSimulation",
     "run_family_comparison",
+    "run_shard_comparison",
 ]

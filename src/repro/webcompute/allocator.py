@@ -181,6 +181,32 @@ class TaskAllocator:
     def registered_rows(self) -> list[int]:
         return sorted(self._contracts)
 
+    # -- snapshot / restore state (the persistence seam) ---------------
+
+    def snapshot_state(self) -> list[dict[str, int]]:
+        """Every live contract as a JSON-able dict, by row."""
+        return [
+            {
+                "row": c.row,
+                "base": c.base,
+                "stride": c.stride,
+                "next_serial": c.next_serial,
+            }
+            for c in (self._contracts[row] for row in sorted(self._contracts))
+        ]
+
+    def restore_state(self, contracts: list[dict[str, int]]) -> None:
+        """Rebuild the contract cache from a :meth:`snapshot_state` list
+        (stored bases/strides are trusted, not recomputed -- restoring must
+        not re-pay the registration-time APF evaluations)."""
+        self._contracts = {}
+        for c in contracts:
+            self._contracts[c["row"]] = RowContract(
+                row=c["row"],
+                progression=ArithmeticProgression(c["base"], c["stride"]),
+                next_serial=c["next_serial"],
+            )
+
     def max_issued_index(self) -> int:
         """The largest task index issued so far -- the memory-footprint
         proxy the paper's compactness discussion is about."""

@@ -1,0 +1,334 @@
+"""The allocation/attribution core of the web-computing service.
+
+:class:`AllocationEngine` is the Section-4 cycle with the service shell
+peeled off: allocator (cached APF row contracts) + front end (seating,
+recycling, epochs) + ledger (sampled verification, strikes, bans), behind
+a narrow public interface.  :class:`~repro.webcompute.server.WBCServer`
+is now a thin facade over one engine;
+:class:`~repro.webcompute.sharding.ShardedWBCServer` runs several engines
+side by side and composes their index spaces with a square-shell pairing
+function.
+
+Two seams make the engine shard-able:
+
+* **Index codec** -- every task index leaving the engine passes through
+  ``codec.encode`` and every index entering passes through
+  ``codec.decode``.  The identity codec (the default) reproduces the
+  single-server behavior exactly; a shard's codec is
+  ``encode = pair(shard_no, .)`` / ``decode = unpair`` with the
+  Rosenberg--Strong square-shell PF, so the *ledger itself* records the
+  globally-attributable indices and ground-truth verification stays
+  consistent with what volunteers compute.
+* **Event bus** -- every state transition publishes a typed event
+  (:mod:`~repro.webcompute.events`); the metrics layer and the simulation
+  driver subscribe instead of reaching into private state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.apf.base import AdditivePairingFunction
+from repro.errors import AllocationError
+from repro.webcompute.allocator import TaskAllocator
+from repro.webcompute.events import (
+    EventBus,
+    TaskIssued,
+    VolunteerDeparted,
+    VolunteerRegistered,
+)
+from repro.webcompute.frontend import FrontEnd
+from repro.webcompute.ledger import AccountabilityLedger, LedgerReport
+from repro.webcompute.task import Task
+from repro.webcompute.volunteer import Behavior, VolunteerProfile
+
+__all__ = ["IndexCodec", "IDENTITY_CODEC", "AllocationEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class IndexCodec:
+    """A bijection between the engine's local index space and the index
+    space its callers see.  ``decode`` must invert ``encode`` exactly and
+    raise :class:`~repro.errors.AllocationError` for indices outside the
+    engine's slice of the global space."""
+
+    encode: Callable[[int], int]
+    decode: Callable[[int], int]
+
+
+IDENTITY_CODEC = IndexCodec(encode=lambda index: index, decode=lambda index: index)
+
+
+class AllocationEngine:
+    """The accountable allocation core over one additive PF.
+
+    >>> from repro.apf.families import TSharp
+    >>> engine = AllocationEngine(TSharp())
+    >>> vid = engine.register(VolunteerProfile("alice", speed=2.0))
+    >>> task = engine.request_task(vid)
+    >>> engine.submit_result(vid, task.index, task.expected_result)
+    >>> engine.ledger.record_of(vid).returned
+    1
+    """
+
+    def __init__(
+        self,
+        apf: AdditivePairingFunction,
+        verification_rate: float = 0.1,
+        ban_after_strikes: int = 2,
+        seed: int = 0,
+        *,
+        codec: IndexCodec | None = None,
+        bus: EventBus | None = None,
+    ) -> None:
+        self.codec = codec if codec is not None else IDENTITY_CODEC
+        self.bus = bus if bus is not None else EventBus()
+        self.bus.set_clock(lambda: self._clock)
+        self.allocator = TaskAllocator(apf)
+        self.frontend = FrontEnd(bus=self.bus)
+        self.ledger = AccountabilityLedger(
+            verification_rate=verification_rate,
+            ban_after_strikes=ban_after_strikes,
+            rng=random.Random(seed),
+            bus=self.bus,
+        )
+        self._profiles: dict[int, VolunteerProfile] = {}
+        self._next_volunteer_id = 1
+        self._clock = 0
+        self._max_task_index = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def apf(self) -> AdditivePairingFunction:
+        return self.allocator.apf
+
+    @property
+    def apf_name(self) -> str:
+        return self.allocator.apf.name
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def tick(self) -> int:
+        """Advance the engine clock by one tick."""
+        self._clock += 1
+        return self._clock
+
+    @property
+    def max_task_index(self) -> int:
+        """Largest (encoded) task index ever issued: the memory-footprint
+        metric the paper's APF-compactness discussion optimizes.  Tracked
+        across departures (unlike the allocator's live view)."""
+        return self._max_task_index
+
+    @property
+    def next_volunteer_id(self) -> int:
+        return self._next_volunteer_id
+
+    @property
+    def seated_count(self) -> int:
+        return self.frontend.seated_count
+
+    # ------------------------------------------------------------------
+
+    def register(self, profile: VolunteerProfile) -> int:
+        """Admit one volunteer; returns its id."""
+        return self.register_round([profile])[0]
+
+    def register_round(
+        self,
+        profiles: list[VolunteerProfile],
+        ids: list[int] | None = None,
+    ) -> list[int]:
+        """Admit a batch; within the round, faster declared speeds receive
+        smaller rows.  ``ids`` lets a router (the sharded server) assign
+        globally-unique volunteer ids; by default the engine mints its own.
+        """
+        if ids is not None:
+            if len(ids) != len(profiles):
+                raise AllocationError(
+                    f"got {len(ids)} ids for {len(profiles)} profiles"
+                )
+            for vid in ids:
+                if isinstance(vid, bool) or not isinstance(vid, int) or vid <= 0:
+                    raise AllocationError(
+                        f"volunteer id must be a positive int, got {vid!r}"
+                    )
+                if vid in self._profiles:
+                    raise AllocationError(f"volunteer {vid} is already registered")
+            if len(set(ids)) != len(ids):
+                raise AllocationError("duplicate volunteer id in one round")
+        assigned: list[int] = []
+        arrivals = []
+        for i, profile in enumerate(profiles):
+            if ids is None:
+                vid = self._next_volunteer_id
+                self._next_volunteer_id += 1
+            else:
+                vid = ids[i]
+                self._next_volunteer_id = max(self._next_volunteer_id, vid + 1)
+            self._profiles[vid] = profile
+            if not profile.is_faulty:
+                self.ledger.note_honest(vid)
+            assigned.append(vid)
+            arrivals.append((vid, profile.speed))
+        assignments = self.frontend.admit(arrivals)
+        self.allocator.register_rows(
+            [(a.row, a.start_serial) for a in assignments]
+        )
+        for vid, profile, assignment in zip(assigned, profiles, assignments):
+            self.bus.publish(
+                VolunteerRegistered(
+                    tick=self._clock,
+                    volunteer_id=vid,
+                    row=assignment.row,
+                    start_serial=assignment.start_serial,
+                    speed=profile.speed,
+                )
+            )
+        return assigned
+
+    def depart(self, volunteer_id: int) -> None:
+        """Volunteer leaves; its row is recycled (successor resumes from the
+        first unissued serial, so no task index is ever double-issued).
+
+        Raises :class:`~repro.errors.AllocationError` for an unknown (never
+        registered) volunteer id -- same contract as :meth:`request_task` --
+        and for a volunteer that already departed."""
+        if volunteer_id not in self._profiles:
+            raise AllocationError(f"unknown volunteer {volunteer_id}")
+        row = self.frontend.depart(volunteer_id)
+        resume = self.allocator.release_row(row)
+        self.bus.publish(
+            VolunteerDeparted(
+                tick=self._clock,
+                volunteer_id=volunteer_id,
+                row=row,
+                resume_serial=resume,
+                banned=self.ledger.is_banned(volunteer_id),
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def request_task(self, volunteer_id: int) -> Task:
+        """Hand *volunteer_id* its next task (index already encoded into
+        the caller-visible space)."""
+        profile = self._profiles.get(volunteer_id)
+        if profile is None:
+            raise AllocationError(f"unknown volunteer {volunteer_id}")
+        if self.ledger.is_banned(volunteer_id):
+            raise AllocationError(f"volunteer {volunteer_id} is banned")
+        row = self.frontend.row_of(volunteer_id)
+        contract = self.allocator.contract(row)
+        serial = contract.next_serial
+        index = self.codec.encode(self.allocator.next_task(row))
+        self.frontend.note_issued(row, serial)
+        task = Task(
+            index=index,
+            volunteer_id=volunteer_id,
+            serial=serial,
+            issued_at=self._clock,
+        )
+        self.ledger.record_issue(task)
+        if index > self._max_task_index:
+            self._max_task_index = index
+        self.bus.publish(
+            TaskIssued(
+                tick=self._clock,
+                volunteer_id=volunteer_id,
+                task_index=index,
+                row=row,
+                serial=serial,
+            )
+        )
+        return task
+
+    def submit_result(self, volunteer_id: int, task_index: int, result: int) -> None:
+        """Accept a result.  The submitted task must attribute (via the APF
+        inverse + epochs) to the submitting volunteer -- a mismatch is the
+        accountability scheme catching a forged submission."""
+        owner = self.attribute(task_index)
+        if owner != volunteer_id:
+            raise AllocationError(
+                f"task {task_index} attributes to volunteer {owner}, "
+                f"not {volunteer_id} (forged or misdirected submission)"
+            )
+        self.ledger.record_return(task_index, result, self._clock)
+
+    def locate(self, task_index: int) -> tuple[int, int]:
+        """The allocation coordinates ``(row, serial)`` behind a
+        caller-visible task index: codec decode, then ``T^-1``."""
+        return self.allocator.attribute(self.codec.decode(task_index))
+
+    def attribute(self, task_index: int) -> int:
+        """Who is responsible for *task_index*?  Decode, ``T^-1``, epochs."""
+        row, serial = self.locate(task_index)
+        return self.frontend.volunteer_for(row, serial)
+
+    # ------------------------------------------------------------------
+
+    def profile_of(self, volunteer_id: int) -> VolunteerProfile:
+        try:
+            return self._profiles[volunteer_id]
+        except KeyError:
+            raise AllocationError(f"unknown volunteer {volunteer_id}") from None
+
+    def profiles(self) -> dict[int, VolunteerProfile]:
+        """Every registered profile by volunteer id (a copy)."""
+        return dict(self._profiles)
+
+    def volunteer_ids(self) -> list[int]:
+        """Every volunteer id ever registered on this engine, ascending."""
+        return sorted(self._profiles)
+
+    def is_banned(self, volunteer_id: int) -> bool:
+        return self.ledger.is_banned(volunteer_id)
+
+    def report(self) -> LedgerReport:
+        return self.ledger.report()
+
+    # -- snapshot / restore state (the persistence seam) ---------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The engine-level persistent state (components snapshot their
+        own: see the allocator / frontend / ledger state methods)."""
+        return {
+            "clock": self._clock,
+            "max_task_index": self._max_task_index,
+            "next_volunteer_id": self._next_volunteer_id,
+            "profiles": {
+                str(vid): {
+                    "name": p.name,
+                    "speed": p.speed,
+                    "behavior": p.behavior.value,
+                    "error_rate": p.error_rate,
+                }
+                for vid, p in self._profiles.items()
+            },
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._clock = state["clock"]
+        self._max_task_index = state["max_task_index"]
+        self._next_volunteer_id = state["next_volunteer_id"]
+        self._profiles = {
+            int(vid): VolunteerProfile(
+                name=p["name"],
+                speed=p["speed"],
+                behavior=Behavior(p["behavior"]),
+                error_rate=p["error_rate"],
+            )
+            for vid, p in state["profiles"].items()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<AllocationEngine apf={self.apf_name} "
+            f"seated={self.frontend.seated_count} "
+            f"max_task_index={self._max_task_index}>"
+        )

@@ -25,9 +25,11 @@ Implementation:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import AllocationError, DomainError
+from repro.webcompute.events import EventBus, RowRecycled, RowSeated
 
 __all__ = ["Epoch", "RowAssignment", "FrontEnd"]
 
@@ -66,9 +68,15 @@ class FrontEnd:
     [RowAssignment(row=2, start_serial=1), RowAssignment(row=1, start_serial=1)]
     >>> fe.row_of(102)
     1
+
+    An optional :class:`~repro.webcompute.events.EventBus` receives a
+    :class:`~repro.webcompute.events.RowSeated` per admission and a
+    :class:`~repro.webcompute.events.RowRecycled` per departure -- the
+    row-pool half of the observability layer.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self.bus = bus
         self._free_rows: list[int] = []  # min-heap of recycled rows
         self._next_fresh_row = 1
         self._row_resume_serial: dict[int, int] = {}
@@ -113,10 +121,21 @@ class FrontEnd:
             start = self._row_resume_serial.get(row, 1)
             assignment_of[vid] = RowAssignment(row=row, start_serial=start)
             self._row_of_volunteer[vid] = row
+            recycled = bool(self._epochs.get(row))
             self._epochs.setdefault(row, []).append(
                 Epoch(row=row, volunteer_id=vid, first_serial=start)
             )
             self._issued_serials.setdefault(row, start - 1)
+            if self.bus is not None:
+                self.bus.publish(
+                    RowSeated(
+                        tick=self.bus.now(),
+                        row=row,
+                        volunteer_id=vid,
+                        start_serial=start,
+                        recycled=recycled,
+                    )
+                )
         return [assignment_of[vid] for vid, _ in arrivals]
 
     def depart(self, volunteer_id: int) -> int:
@@ -133,6 +152,10 @@ class FrontEnd:
         open_epoch.last_serial = last
         self._row_resume_serial[row] = last + 1
         heapq.heappush(self._free_rows, row)
+        if self.bus is not None:
+            self.bus.publish(
+                RowRecycled(tick=self.bus.now(), row=row, resume_serial=last + 1)
+            )
         return row
 
     # ------------------------------------------------------------------
@@ -181,3 +204,59 @@ class FrontEnd:
 
     def epochs_of_row(self, row: int) -> list[Epoch]:
         return list(self._epochs.get(row, []))
+
+    # -- snapshot / restore state (the persistence seam) ---------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The front end's complete persistent state as a JSON-able dict."""
+        return {
+            "free_rows": sorted(self._free_rows),
+            "next_fresh_row": self._next_fresh_row,
+            "row_resume_serial": {
+                str(r): s for r, s in self._row_resume_serial.items()
+            },
+            "row_of_volunteer": {
+                str(v): r for v, r in self._row_of_volunteer.items()
+            },
+            "issued_serials": {
+                str(r): s for r, s in self._issued_serials.items()
+            },
+            "epochs": {
+                str(row): [
+                    {
+                        "volunteer_id": e.volunteer_id,
+                        "first_serial": e.first_serial,
+                        "last_serial": e.last_serial,
+                    }
+                    for e in epochs
+                ]
+                for row, epochs in self._epochs.items()
+            },
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Rebuild seating/epoch state from a :meth:`snapshot_state` dict."""
+        self._free_rows = list(state["free_rows"])
+        heapq.heapify(self._free_rows)
+        self._next_fresh_row = state["next_fresh_row"]
+        self._row_resume_serial = {
+            int(r): s for r, s in state["row_resume_serial"].items()
+        }
+        self._row_of_volunteer = {
+            int(v): r for v, r in state["row_of_volunteer"].items()
+        }
+        self._issued_serials = {
+            int(r): s for r, s in state["issued_serials"].items()
+        }
+        self._epochs = {
+            int(row): [
+                Epoch(
+                    row=int(row),
+                    volunteer_id=e["volunteer_id"],
+                    first_serial=e["first_serial"],
+                    last_serial=e["last_serial"],
+                )
+                for e in epochs
+            ]
+            for row, epochs in state["epochs"].items()
+        }

@@ -12,14 +12,25 @@ epochs, and applies a strike-based ban policy.
 
 Determinism: the verification sample is drawn from a caller-seeded RNG, so
 any run is exactly reproducible.
+
+The ledger is the system of record for accountability state, so its
+internals stay private; everything other layers need is exposed through
+the public read API (:meth:`~AccountabilityLedger.volunteer_ids`,
+:meth:`~AccountabilityLedger.records`, :meth:`~AccountabilityLedger.tasks`,
+:meth:`~AccountabilityLedger.banned_at_of`) and the snapshot/restore state
+methods -- no neighbor reaches into ``_records``/``_tasks`` (the lint gate
+enforces it).  Returns and bans are additionally published as structured
+events on an optional :class:`~repro.webcompute.events.EventBus`.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import ConfigurationError, DomainError
+from repro.webcompute.events import EventBus, ResultReturned, VolunteerBanned
 from repro.webcompute.task import Task, TaskStatus
 
 __all__ = ["VolunteerRecord", "LedgerReport", "AccountabilityLedger"]
@@ -78,6 +89,10 @@ class AccountabilityLedger:
         Confirmed-bad results before a volunteer is banned.
     rng:
         Seeded ``random.Random`` for the verification sample.
+    bus:
+        Optional :class:`~repro.webcompute.events.EventBus`; every return
+        publishes a :class:`~repro.webcompute.events.ResultReturned` and
+        every ban a :class:`~repro.webcompute.events.VolunteerBanned`.
     """
 
     def __init__(
@@ -85,6 +100,7 @@ class AccountabilityLedger:
         verification_rate: float = 0.1,
         ban_after_strikes: int = 2,
         rng: random.Random | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         if not 0.0 <= verification_rate <= 1.0:
             raise ConfigurationError(
@@ -98,6 +114,7 @@ class AccountabilityLedger:
             )
         self.verification_rate = verification_rate
         self.ban_after_strikes = ban_after_strikes
+        self.bus = bus
         self._rng = rng if rng is not None else random.Random(0)
         self._tasks: dict[int, Task] = {}
         self._records: dict[int, VolunteerRecord] = {}
@@ -140,7 +157,9 @@ class AccountabilityLedger:
         is_bad = result != task.expected_result
         if is_bad:
             self._bad_returns += 1
-        if self._rng.random() < self.verification_rate:
+        verified = self._rng.random() < self.verification_rate
+        banned_now = False
+        if verified:
             rec.verified += 1
             ok = task.verify()
             if not ok:
@@ -149,8 +168,26 @@ class AccountabilityLedger:
                 if not rec.banned and rec.strikes >= self.ban_after_strikes:
                     rec.banned = True
                     rec.banned_at = at_tick
-                    return True
-        return False
+                    banned_now = True
+        if self.bus is not None:
+            self.bus.publish(
+                ResultReturned(
+                    tick=at_tick,
+                    volunteer_id=task.volunteer_id,
+                    task_index=task_index,
+                    bad=is_bad,
+                    verified=verified,
+                )
+            )
+            if banned_now:
+                self.bus.publish(
+                    VolunteerBanned(
+                        tick=at_tick,
+                        volunteer_id=task.volunteer_id,
+                        strikes=rec.strikes,
+                    )
+                )
+        return banned_now
 
     def audit_task(self, task_index: int) -> TaskStatus:
         """Force-verify a single returned task (the project head's manual
@@ -166,6 +203,14 @@ class AccountabilityLedger:
                 rec.strikes += 1
                 if not rec.banned and rec.strikes >= self.ban_after_strikes:
                     rec.banned = True
+                    if self.bus is not None:
+                        self.bus.publish(
+                            VolunteerBanned(
+                                tick=self.bus.now(),
+                                volunteer_id=task.volunteer_id,
+                                strikes=rec.strikes,
+                            )
+                        )
         return task.status
 
     # ------------------------------------------------------------------
@@ -190,6 +235,107 @@ class AccountabilityLedger:
         """Every task ever issued to *volunteer_id* -- "keeping track of
         which volunteer computed which task(s)"."""
         return [t for t in self._tasks.values() if t.volunteer_id == volunteer_id]
+
+    # -- public read API (what metrics / persistence / dashboards use) --
+
+    def volunteer_ids(self) -> list[int]:
+        """Every volunteer with a ledger record, ascending.  (Honest
+        volunteers get a record at registration via :meth:`note_honest`;
+        every volunteer gets one on its first issue.)"""
+        return sorted(self._records)
+
+    def records(self) -> list[VolunteerRecord]:
+        """All per-volunteer records, by volunteer id.  The returned list
+        is a copy; the records themselves are the live objects (treat them
+        as read-only)."""
+        return [self._records[vid] for vid in sorted(self._records)]
+
+    def tasks(self) -> list[Task]:
+        """Every task ever issued, by task index.  The list is a copy;
+        the tasks are the live objects (treat them as read-only)."""
+        return [self._tasks[idx] for idx in sorted(self._tasks)]
+
+    def banned_at_of(self, volunteer_id: int) -> int | None:
+        """The tick a volunteer was banned at, or ``None`` if it is not
+        banned (or was banned through :meth:`audit_task`, which has no
+        tick)."""
+        rec = self._records.get(volunteer_id)
+        if rec is None or not rec.banned:
+            return None
+        return rec.banned_at
+
+    # -- snapshot / restore state (the persistence seam) ---------------
+
+    def rng_state(self) -> list:
+        """The verification RNG state as JSON-able nested lists."""
+        version, internal, gauss = self._rng.getstate()
+        return [version, list(internal), gauss]
+
+    def set_rng_state(self, encoded: list) -> None:
+        version, internal, gauss = encoded
+        self._rng.setstate((version, tuple(internal), gauss))
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The ledger's complete persistent state as a JSON-able dict
+        (rates and RNG state are snapshot separately by the caller)."""
+        return {
+            "honest_ids": sorted(self._honest_ids),
+            "bad_returns": self._bad_returns,
+            "bad_caught": self._bad_caught,
+            "records": [
+                {
+                    "volunteer_id": r.volunteer_id,
+                    "issued": r.issued,
+                    "returned": r.returned,
+                    "verified": r.verified,
+                    "strikes": r.strikes,
+                    "banned": r.banned,
+                    "banned_at": r.banned_at,
+                }
+                for r in self.records()
+            ],
+            "tasks": [
+                {
+                    "index": t.index,
+                    "volunteer_id": t.volunteer_id,
+                    "serial": t.serial,
+                    "issued_at": t.issued_at,
+                    "status": t.status.value,
+                    "returned_at": t.returned_at,
+                    "reported_result": t.reported_result,
+                }
+                for t in self.tasks()
+            ],
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Rebuild record/task state from a :meth:`snapshot_state` dict."""
+        self._honest_ids = set(state["honest_ids"])
+        self._bad_returns = state["bad_returns"]
+        self._bad_caught = state["bad_caught"]
+        self._records = {}
+        for r in state["records"]:
+            self._records[r["volunteer_id"]] = VolunteerRecord(
+                volunteer_id=r["volunteer_id"],
+                issued=r["issued"],
+                returned=r["returned"],
+                verified=r["verified"],
+                strikes=r["strikes"],
+                banned=r["banned"],
+                banned_at=r["banned_at"],
+            )
+        self._tasks = {}
+        for t in state["tasks"]:
+            task = Task(
+                index=t["index"],
+                volunteer_id=t["volunteer_id"],
+                serial=t["serial"],
+                issued_at=t["issued_at"],
+            )
+            task.status = TaskStatus(t["status"])
+            task.returned_at = t["returned_at"]
+            task.reported_result = t["reported_result"]
+            self._tasks[t["index"]] = task
 
     def report(self) -> LedgerReport:
         issued = len(self._tasks)

@@ -7,6 +7,12 @@ head also restarts the server; this module serializes the whole
 accountability state -- contracts, epochs, ledger, clock -- to a plain
 JSON-able dict and restores it bit-for-bit.
 
+Layering: each component owns its own persistent representation
+(``snapshot_state`` / ``restore_state`` on the allocator, front end,
+ledger, and engine); this module only *composes* those dicts into the
+versioned envelope.  No private state is touched -- the lint gate keeps
+it that way.
+
 Scope: the snapshot captures *server* state (what the website must
 remember).  Simulated volunteer behavior objects are reconstructed from
 their profiles; in a real deployment those are remote humans anyway.
@@ -24,13 +30,7 @@ from typing import Any
 from repro.apf.base import AdditivePairingFunction
 from repro.core.registry import get_pairing
 from repro.errors import ConfigurationError
-from repro.numbertheory.progressions import ArithmeticProgression
-from repro.webcompute.allocator import RowContract
-from repro.webcompute.frontend import Epoch
-from repro.webcompute.ledger import VolunteerRecord
 from repro.webcompute.server import WBCServer
-from repro.webcompute.task import Task, TaskStatus
-from repro.webcompute.volunteer import Behavior, VolunteerProfile
 
 __all__ = ["snapshot", "restore", "dumps", "loads"]
 
@@ -46,109 +46,32 @@ def snapshot(server: WBCServer) -> dict[str, Any]:
     :class:`~repro.apf.constructor.ConstructedAPF` raises here rather than
     producing an unrestorable snapshot.
     """
-    allocator = server.allocator
+    engine = server.engine
+    apf_name = engine.apf_name
     try:
-        resolved = get_pairing(allocator.apf.name)
+        resolved = get_pairing(apf_name)
     except ConfigurationError:
         raise ConfigurationError(
-            f"APF {allocator.apf.name!r} is not registry-resolvable; "
+            f"APF {apf_name!r} is not registry-resolvable; "
             "register it before snapshotting"
         ) from None
     del resolved
-    frontend = server.frontend
-    ledger = server.ledger
+    engine_state = engine.snapshot_state()
+    ledger = engine.ledger
     return {
         "version": _FORMAT_VERSION,
-        "apf": allocator.apf.name,
-        "clock": server.clock,
-        "max_task_index": server.max_task_index,
-        "next_volunteer_id": server._next_volunteer_id,
+        "apf": apf_name,
+        "clock": engine_state["clock"],
+        "max_task_index": engine_state["max_task_index"],
+        "next_volunteer_id": engine_state["next_volunteer_id"],
         "verification_rate": ledger.verification_rate,
         "ban_after_strikes": ledger.ban_after_strikes,
-        "rng_state": _encode_rng_state(ledger._rng.getstate()),
-        "profiles": {
-            str(vid): {
-                "name": p.name,
-                "speed": p.speed,
-                "behavior": p.behavior.value,
-                "error_rate": p.error_rate,
-            }
-            for vid, p in server._profiles.items()
-        },
-        "contracts": [
-            {
-                "row": c.row,
-                "base": c.base,
-                "stride": c.stride,
-                "next_serial": c.next_serial,
-            }
-            for c in allocator._contracts.values()
-        ],
-        "frontend": {
-            "free_rows": sorted(frontend._free_rows),
-            "next_fresh_row": frontend._next_fresh_row,
-            "row_resume_serial": {
-                str(r): s for r, s in frontend._row_resume_serial.items()
-            },
-            "row_of_volunteer": {
-                str(v): r for v, r in frontend._row_of_volunteer.items()
-            },
-            "issued_serials": {
-                str(r): s for r, s in frontend._issued_serials.items()
-            },
-            "epochs": {
-                str(row): [
-                    {
-                        "volunteer_id": e.volunteer_id,
-                        "first_serial": e.first_serial,
-                        "last_serial": e.last_serial,
-                    }
-                    for e in epochs
-                ]
-                for row, epochs in frontend._epochs.items()
-            },
-        },
-        "ledger": {
-            "honest_ids": sorted(ledger._honest_ids),
-            "bad_returns": ledger._bad_returns,
-            "bad_caught": ledger._bad_caught,
-            "records": [
-                {
-                    "volunteer_id": r.volunteer_id,
-                    "issued": r.issued,
-                    "returned": r.returned,
-                    "verified": r.verified,
-                    "strikes": r.strikes,
-                    "banned": r.banned,
-                    "banned_at": r.banned_at,
-                }
-                for r in ledger._records.values()
-            ],
-            "tasks": [
-                {
-                    "index": t.index,
-                    "volunteer_id": t.volunteer_id,
-                    "serial": t.serial,
-                    "issued_at": t.issued_at,
-                    "status": t.status.value,
-                    "returned_at": t.returned_at,
-                    "reported_result": t.reported_result,
-                }
-                for t in ledger._tasks.values()
-            ],
-        },
+        "rng_state": ledger.rng_state(),
+        "profiles": engine_state["profiles"],
+        "contracts": engine.allocator.snapshot_state(),
+        "frontend": engine.frontend.snapshot_state(),
+        "ledger": ledger.snapshot_state(),
     }
-
-
-def _encode_rng_state(state) -> list:
-    """random.Random state -> JSON-able nested lists."""
-    version, internal, gauss = state
-    return [version, list(internal), gauss]
-
-
-def _decode_rng_state(encoded):
-    version, internal, gauss = encoded
-    return (version, tuple(internal), gauss)
 
 
 def restore(data: dict[str, Any]) -> WBCServer:
@@ -165,79 +88,19 @@ def restore(data: dict[str, Any]) -> WBCServer:
         verification_rate=data["verification_rate"],
         ban_after_strikes=data["ban_after_strikes"],
     )
-    server._clock = data["clock"]
-    server._max_task_index = data["max_task_index"]
-    server._next_volunteer_id = data["next_volunteer_id"]
-    server.ledger._rng.setstate(_decode_rng_state(data["rng_state"]))
-
-    for vid_str, p in data["profiles"].items():
-        server._profiles[int(vid_str)] = VolunteerProfile(
-            name=p["name"],
-            speed=p["speed"],
-            behavior=Behavior(p["behavior"]),
-            error_rate=p["error_rate"],
-        )
-
-    for c in data["contracts"]:
-        server.allocator._contracts[c["row"]] = RowContract(
-            row=c["row"],
-            progression=ArithmeticProgression(c["base"], c["stride"]),
-            next_serial=c["next_serial"],
-        )
-
-    fe = server.frontend
-    import heapq
-
-    fe._free_rows = list(data["frontend"]["free_rows"])
-    heapq.heapify(fe._free_rows)
-    fe._next_fresh_row = data["frontend"]["next_fresh_row"]
-    fe._row_resume_serial = {
-        int(r): s for r, s in data["frontend"]["row_resume_serial"].items()
-    }
-    fe._row_of_volunteer = {
-        int(v): r for v, r in data["frontend"]["row_of_volunteer"].items()
-    }
-    fe._issued_serials = {
-        int(r): s for r, s in data["frontend"]["issued_serials"].items()
-    }
-    fe._epochs = {
-        int(row): [
-            Epoch(
-                row=int(row),
-                volunteer_id=e["volunteer_id"],
-                first_serial=e["first_serial"],
-                last_serial=e["last_serial"],
-            )
-            for e in epochs
-        ]
-        for row, epochs in data["frontend"]["epochs"].items()
-    }
-
-    ledger = server.ledger
-    ledger._honest_ids = set(data["ledger"]["honest_ids"])
-    ledger._bad_returns = data["ledger"]["bad_returns"]
-    ledger._bad_caught = data["ledger"]["bad_caught"]
-    for r in data["ledger"]["records"]:
-        ledger._records[r["volunteer_id"]] = VolunteerRecord(
-            volunteer_id=r["volunteer_id"],
-            issued=r["issued"],
-            returned=r["returned"],
-            verified=r["verified"],
-            strikes=r["strikes"],
-            banned=r["banned"],
-            banned_at=r["banned_at"],
-        )
-    for t in data["ledger"]["tasks"]:
-        task = Task(
-            index=t["index"],
-            volunteer_id=t["volunteer_id"],
-            serial=t["serial"],
-            issued_at=t["issued_at"],
-        )
-        task.status = TaskStatus(t["status"])
-        task.returned_at = t["returned_at"]
-        task.reported_result = t["reported_result"]
-        ledger._tasks[t["index"]] = task
+    engine = server.engine
+    engine.restore_state(
+        {
+            "clock": data["clock"],
+            "max_task_index": data["max_task_index"],
+            "next_volunteer_id": data["next_volunteer_id"],
+            "profiles": data["profiles"],
+        }
+    )
+    engine.allocator.restore_state(data["contracts"])
+    engine.frontend.restore_state(data["frontend"])
+    engine.ledger.restore_state(data["ledger"])
+    engine.ledger.set_rng_state(data["rng_state"])
     return server
 
 

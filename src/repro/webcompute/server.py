@@ -1,4 +1,5 @@
-"""The WBC server: allocator + front end + ledger, glued.
+"""The WBC server: a thin service facade over one
+:class:`~repro.webcompute.engine.AllocationEngine`.
 
 This is the component a project head would actually run.  The cycle
 (Section 4): volunteers register; each visit hands the volunteer the next
@@ -7,6 +8,13 @@ sample-verified, and attributed; errant volunteers are banned; departures
 recycle rows through the front end with epoch bookkeeping so attribution
 survives reassignment.
 
+The allocation/attribution logic lives in the engine; the facade pins the
+single-server configuration (identity index codec, one engine, one event
+bus) and keeps the historical public surface (``.allocator``,
+``.frontend``, ``.ledger``) stable.  For the horizontally-scaled variant
+see :class:`~repro.webcompute.sharding.ShardedWBCServer`, which runs many
+engines behind the same protocol.
+
 The server is deliberately synchronous and deterministic -- the
 :mod:`~repro.webcompute.simulation` module drives it with simulated
 volunteers and a seeded clock.
@@ -14,14 +22,12 @@ volunteers and a seeded clock.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-
 from repro.apf.base import AdditivePairingFunction
-from repro.errors import AllocationError, DomainError
-from repro.webcompute.allocator import TaskAllocator
+from repro.webcompute.engine import AllocationEngine
+from repro.webcompute.events import EventBus
 from repro.webcompute.frontend import FrontEnd
 from repro.webcompute.ledger import AccountabilityLedger, LedgerReport
+from repro.webcompute.allocator import TaskAllocator
 from repro.webcompute.task import Task
 from repro.webcompute.volunteer import VolunteerProfile
 
@@ -47,35 +53,52 @@ class WBCServer:
         ban_after_strikes: int = 2,
         seed: int = 0,
     ) -> None:
-        self.allocator = TaskAllocator(apf)
-        self.frontend = FrontEnd()
-        self.ledger = AccountabilityLedger(
+        self.engine = AllocationEngine(
+            apf,
             verification_rate=verification_rate,
             ban_after_strikes=ban_after_strikes,
-            rng=random.Random(seed),
+            seed=seed,
         )
-        self._profiles: dict[int, VolunteerProfile] = {}
-        self._next_volunteer_id = 1
-        self._clock = 0
-        self._max_task_index = 0
+
+    # -- component views (stable public surface) -----------------------
+
+    @property
+    def allocator(self) -> TaskAllocator:
+        return self.engine.allocator
+
+    @property
+    def frontend(self) -> FrontEnd:
+        return self.engine.frontend
+
+    @property
+    def ledger(self) -> AccountabilityLedger:
+        return self.engine.ledger
+
+    @property
+    def bus(self) -> EventBus:
+        """The structured event stream (see :mod:`repro.webcompute.events`)."""
+        return self.engine.bus
 
     # ------------------------------------------------------------------
 
     @property
     def clock(self) -> int:
-        return self._clock
+        return self.engine.clock
 
     def tick(self) -> int:
         """Advance the server clock by one tick (the simulation's driver)."""
-        self._clock += 1
-        return self._clock
+        return self.engine.tick()
 
     @property
     def max_task_index(self) -> int:
         """Largest task index ever issued: the memory-footprint metric the
         paper's APF-compactness discussion optimizes.  Tracked across
         departures (unlike the allocator's live view)."""
-        return self._max_task_index
+        return self.engine.max_task_index
+
+    @property
+    def apf_name(self) -> str:
+        return self.engine.apf_name
 
     # ------------------------------------------------------------------
 
@@ -83,97 +106,49 @@ class WBCServer:
         """Admit one volunteer; returns its id.  Registration computes and
         caches the row contract -- the only APF evaluation this volunteer
         ever costs the server."""
-        return self.register_round([profile])[0]
+        return self.engine.register(profile)
 
     def register_round(self, profiles: list[VolunteerProfile]) -> list[int]:
         """Admit a batch; within the round, faster declared speeds receive
         smaller rows (smaller rows = smaller strides = denser task
         indices)."""
-        ids = []
-        arrivals = []
-        for profile in profiles:
-            vid = self._next_volunteer_id
-            self._next_volunteer_id += 1
-            self._profiles[vid] = profile
-            if not profile.is_faulty:
-                self.ledger.note_honest(vid)
-            ids.append(vid)
-            arrivals.append((vid, profile.speed))
-        assignments = self.frontend.admit(arrivals)
-        self.allocator.register_rows(
-            [(a.row, a.start_serial) for a in assignments]
-        )
-        return ids
+        return self.engine.register_round(profiles)
 
     def depart(self, volunteer_id: int) -> None:
         """Volunteer leaves; its row is recycled (successor resumes from the
-        first unissued serial, so no task index is ever double-issued).
-
-        Raises :class:`~repro.errors.AllocationError` for an unknown (never
-        registered) volunteer id -- same contract as :meth:`request_task` --
-        and for a volunteer that already departed."""
-        if volunteer_id not in self._profiles:
-            raise AllocationError(f"unknown volunteer {volunteer_id}")
-        row = self.frontend.depart(volunteer_id)
-        self.allocator.release_row(row)
+        first unissued serial, so no task index is ever double-issued)."""
+        self.engine.depart(volunteer_id)
 
     # ------------------------------------------------------------------
 
     def request_task(self, volunteer_id: int) -> Task:
         """Hand *volunteer_id* its next task."""
-        profile = self._profiles.get(volunteer_id)
-        if profile is None:
-            raise AllocationError(f"unknown volunteer {volunteer_id}")
-        if self.ledger.is_banned(volunteer_id):
-            raise AllocationError(f"volunteer {volunteer_id} is banned")
-        row = self.frontend.row_of(volunteer_id)
-        contract = self.allocator.contract(row)
-        serial = contract.next_serial
-        index = self.allocator.next_task(row)
-        self.frontend.note_issued(row, serial)
-        task = Task(
-            index=index,
-            volunteer_id=volunteer_id,
-            serial=serial,
-            issued_at=self._clock,
-        )
-        self.ledger.record_issue(task)
-        if index > self._max_task_index:
-            self._max_task_index = index
-        return task
+        return self.engine.request_task(volunteer_id)
 
     def submit_result(self, volunteer_id: int, task_index: int, result: int) -> None:
         """Accept a result.  The submitted task must attribute (via the APF
         inverse + epochs) to the submitting volunteer -- a mismatch is the
         accountability scheme catching a forged submission."""
-        row, serial = self.allocator.attribute(task_index)
-        owner = self.frontend.volunteer_for(row, serial)
-        if owner != volunteer_id:
-            raise AllocationError(
-                f"task {task_index} attributes to volunteer {owner}, "
-                f"not {volunteer_id} (forged or misdirected submission)"
-            )
-        self.ledger.record_return(task_index, result, self._clock)
+        self.engine.submit_result(volunteer_id, task_index, result)
 
     def attribute(self, task_index: int) -> int:
         """Who is responsible for *task_index*?  ``T^-1`` then epochs."""
-        row, serial = self.allocator.attribute(task_index)
-        return self.frontend.volunteer_for(row, serial)
+        return self.engine.attribute(task_index)
 
     # ------------------------------------------------------------------
 
     def profile_of(self, volunteer_id: int) -> VolunteerProfile:
-        try:
-            return self._profiles[volunteer_id]
-        except KeyError:
-            raise AllocationError(f"unknown volunteer {volunteer_id}") from None
+        return self.engine.profile_of(volunteer_id)
+
+    def is_banned(self, volunteer_id: int) -> bool:
+        return self.engine.is_banned(volunteer_id)
 
     def report(self) -> LedgerReport:
-        return self.ledger.report()
+        return self.engine.report()
 
     def __repr__(self) -> str:
         return (
-            f"<WBCServer apf={self.allocator.apf.name} "
-            f"seated={self.frontend.seated_count} "
-            f"max_task_index={self._max_task_index}>"
+            f"<WBCServer apf={self.engine.apf_name} "
+            f"seated={self.engine.seated_count} "
+            f"max_task_index={self.engine.max_task_index}>"
         )

@@ -1,0 +1,368 @@
+"""Horizontal sharding of the WBC service, composed with the paper's own
+pairing functions.
+
+A single :class:`~repro.webcompute.engine.AllocationEngine` is a
+synchronous core; to scale out, :class:`ShardedWBCServer` runs ``S``
+independent engine shards and keeps one *global, attributable* task-index
+space by composing the mapping layers exactly the way the paper composes
+arrays: the pair ``(shard_no, local_index)`` is itself paired into one
+integer with the Rosenberg--Strong square-shell PF
+(:class:`~repro.core.squareshell.SquareShellPairing`, the ``A_{1,1}`` of
+Section 3.2.1; Szudzik 2019 studies the same function as "the
+Rosenberg-Strong pairing function").  Global attribution is the composition
+of inverses: ``unpair`` recovers ``(shard_no, local_index)``, then the
+shard's APF inverse plus its epoch table recovers ``(row, serial)`` and the
+volunteer -- exact at any magnitude, because every step is integer-exact
+bignum arithmetic.
+
+Shell-based composition keeps the global space *dense in the shard
+dimension*: with ``S`` shards the square-shell walk never charges more
+than ``max(S, local)**2`` addresses, and for workloads where the local
+index dominates (the common case: few shards, many tasks) an
+aspect-ratio shell :class:`~repro.core.aspectratio.AspectRatioPairing`
+``A_{1,b}`` with ``b ~ local/shard`` recovers most of the lost density --
+the same proportional-shell idea as Szudzik's binary proportional PFs
+(2018).  Pass it as ``composer`` to measure the tradeoff; the shard-scaling
+benchmark records the footprint for both.
+
+Routing is deterministic: a :class:`ShardPolicy` maps each registration to
+a shard, so a seeded run is exactly reproducible, shard count included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apf.base import AdditivePairingFunction
+from repro.core.base import PairingFunction
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import AllocationError, ConfigurationError
+from repro.webcompute.engine import AllocationEngine, IndexCodec
+from repro.webcompute.events import EventBus
+from repro.webcompute.ledger import LedgerReport
+from repro.webcompute.task import Task
+from repro.webcompute.volunteer import VolunteerProfile
+
+__all__ = [
+    "ShardPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "AttributionPath",
+    "ShardedWBCServer",
+]
+
+
+class ShardPolicy:
+    """Deterministic volunteer-to-shard routing.  ``shard_for`` sees the
+    global registration sequence number, the profile, and the live engines;
+    it must return a shard index in ``[0, len(engines))`` and must not
+    consult any non-deterministic source."""
+
+    def shard_for(
+        self,
+        sequence: int,
+        profile: VolunteerProfile,
+        engines: list[AllocationEngine],
+    ) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(ShardPolicy):
+    """Registration ``k`` goes to shard ``k mod S`` -- stateless, and
+    perfectly balanced for any arrival order."""
+
+    def shard_for(
+        self,
+        sequence: int,
+        profile: VolunteerProfile,
+        engines: list[AllocationEngine],
+    ) -> int:
+        return sequence % len(engines)
+
+
+class LeastLoadedPolicy(ShardPolicy):
+    """The shard with the fewest seated volunteers; ties break to the
+    smallest shard index.  Re-balances automatically after departures.
+    Within one registration round the router counts earlier in-round
+    assignments as load, so a batch spreads instead of piling onto the
+    shard that was lightest when the round began."""
+
+    def shard_for(
+        self,
+        sequence: int,
+        profile: VolunteerProfile,
+        engines: list[AllocationEngine],
+    ) -> int:
+        return min(range(len(engines)), key=lambda s: (engines[s].seated_count, s))
+
+
+class _LoadView:
+    """An engine stand-in handed to policies during a registration round:
+    ``seated_count`` includes volunteers assigned earlier in the same round
+    (they are not seated on the engine until the round flushes); every
+    other attribute reads through to the live engine."""
+
+    __slots__ = ("_engine", "pending")
+
+    def __init__(self, engine: AllocationEngine) -> None:
+        self._engine = engine
+        self.pending = 0
+
+    @property
+    def seated_count(self) -> int:
+        return self._engine.seated_count + self.pending
+
+    def __getattr__(self, name: str):
+        return getattr(self._engine, name)
+
+
+@dataclass(frozen=True, slots=True)
+class AttributionPath:
+    """The full inverse chain for one global task index: the witness the
+    accountability argument rests on."""
+
+    global_index: int
+    shard: int
+    local_index: int
+    row: int
+    serial: int
+    volunteer_id: int
+
+
+class ShardedWBCServer:
+    """``S`` engine shards behind one attributable global index space.
+
+    >>> from repro.apf.families import TSharp
+    >>> server = ShardedWBCServer(TSharp(), shards=2)
+    >>> a, b = server.register_round(
+    ...     [VolunteerProfile("a", speed=2.0), VolunteerProfile("b")]
+    ... )
+    >>> server.shard_of(a), server.shard_of(b)
+    (0, 1)
+    >>> t = server.request_task(a)
+    >>> server.attribute(t.index) == a
+    True
+    >>> server.submit_result(a, t.index, t.expected_result)
+
+    Parameters
+    ----------
+    apf:
+        The additive PF every shard allocates along (shards are
+        independent, so they can share the stateless instance).
+    shards:
+        Number of engine shards ``S >= 1``.
+    composer:
+        The pairing function composing ``(shard_no, local_index)`` into
+        the global index; defaults to the Rosenberg--Strong square shell.
+    policy:
+        The deterministic routing policy; defaults to round-robin.
+    """
+
+    def __init__(
+        self,
+        apf: AdditivePairingFunction,
+        shards: int,
+        verification_rate: float = 0.1,
+        ban_after_strikes: int = 2,
+        seed: int = 0,
+        *,
+        composer: PairingFunction | None = None,
+        policy: ShardPolicy | None = None,
+    ) -> None:
+        if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+            raise ConfigurationError(f"shards must be a positive int, got {shards!r}")
+        self.composer = composer if composer is not None else SquareShellPairing()
+        self.policy = policy if policy is not None else RoundRobinPolicy()
+        self.bus = EventBus()
+        self.engines: list[AllocationEngine] = []
+        for shard in range(shards):
+            engine = AllocationEngine(
+                apf,
+                verification_rate=verification_rate,
+                ban_after_strikes=ban_after_strikes,
+                seed=seed + shard,
+                codec=self._codec_for(shard),
+            )
+            engine.bus.forward_to(self.bus, shard=shard)
+            self.engines.append(engine)
+        self.bus.set_clock(lambda: self._clock)
+        self._shard_of: dict[int, int] = {}
+        self._next_volunteer_id = 1
+        self._registrations = 0
+        self._clock = 0
+
+    def _codec_for(self, shard: int) -> IndexCodec:
+        """The shard's slice of the global index space: rows ``shard + 1``
+        of the composer (1-indexed, like everything in the paper)."""
+        shard_no = shard + 1
+        composer = self.composer
+
+        def encode(local: int) -> int:
+            return composer.pair(shard_no, local)
+
+        def decode(global_index: int) -> int:
+            x, y = composer.unpair(global_index)
+            if x != shard_no:
+                raise AllocationError(
+                    f"task {global_index} belongs to shard {x - 1}, not {shard}"
+                )
+            return y
+
+        return IndexCodec(encode=encode, decode=decode)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.engines)
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def tick(self) -> int:
+        """Advance every shard's clock in lockstep."""
+        self._clock += 1
+        for engine in self.engines:
+            engine.tick()
+        return self._clock
+
+    @property
+    def apf_name(self) -> str:
+        return self.engines[0].apf_name
+
+    @property
+    def max_task_index(self) -> int:
+        """Largest *global* task index ever issued -- the footprint of the
+        composed space, the number the shard-scaling bench tracks."""
+        return max(engine.max_task_index for engine in self.engines)
+
+    @property
+    def seated_count(self) -> int:
+        return sum(engine.seated_count for engine in self.engines)
+
+    def shard_of(self, volunteer_id: int) -> int:
+        try:
+            return self._shard_of[volunteer_id]
+        except KeyError:
+            raise AllocationError(f"unknown volunteer {volunteer_id}") from None
+
+    def engine_of(self, volunteer_id: int) -> AllocationEngine:
+        return self.engines[self.shard_of(volunteer_id)]
+
+    # ------------------------------------------------------------------
+
+    def register(self, profile: VolunteerProfile) -> int:
+        return self.register_round([profile])[0]
+
+    def register_round(self, profiles: list[VolunteerProfile]) -> list[int]:
+        """Admit a batch: the policy routes each volunteer to a shard,
+        then each shard seats its sub-round (fastest first, as ever).
+        Volunteer ids are globally unique across shards."""
+        ids: list[int] = []
+        per_shard: dict[int, tuple[list[VolunteerProfile], list[int]]] = {}
+        load_views = [_LoadView(engine) for engine in self.engines]
+        for profile in profiles:
+            shard = self.policy.shard_for(self._registrations, profile, load_views)
+            if not 0 <= shard < len(self.engines):
+                raise ConfigurationError(
+                    f"policy routed to shard {shard}, valid range is "
+                    f"0..{len(self.engines) - 1}"
+                )
+            vid = self._next_volunteer_id
+            self._next_volunteer_id += 1
+            self._registrations += 1
+            self._shard_of[vid] = shard
+            load_views[shard].pending += 1
+            bucket = per_shard.setdefault(shard, ([], []))
+            bucket[0].append(profile)
+            bucket[1].append(vid)
+            ids.append(vid)
+        for shard, (batch, batch_ids) in per_shard.items():
+            self.engines[shard].register_round(batch, ids=batch_ids)
+        return ids
+
+    def depart(self, volunteer_id: int) -> None:
+        self.engine_of(volunteer_id).depart(volunteer_id)
+
+    # ------------------------------------------------------------------
+
+    def request_task(self, volunteer_id: int) -> Task:
+        """The volunteer's next task; ``task.index`` is the composed
+        global index."""
+        return self.engine_of(volunteer_id).request_task(volunteer_id)
+
+    def _engine_for_index(self, global_index: int) -> tuple[int, int, AllocationEngine]:
+        """(shard, local_index, engine) for a global task index."""
+        if isinstance(global_index, bool) or not isinstance(global_index, int) or global_index <= 0:
+            raise AllocationError(
+                f"task index must be a positive int, got {global_index!r}"
+            )
+        shard_no, local = self.composer.unpair(global_index)
+        if not 1 <= shard_no <= len(self.engines):
+            raise AllocationError(
+                f"task {global_index} decodes to shard {shard_no - 1}, "
+                f"but only shards 0..{len(self.engines) - 1} exist"
+            )
+        return shard_no - 1, local, self.engines[shard_no - 1]
+
+    def submit_result(self, volunteer_id: int, task_index: int, result: int) -> None:
+        """Accept a result for a *global* task index.  Routing is by the
+        index itself, so a forged submission against another shard's task
+        is caught by that shard's attribution check."""
+        _shard, _local, engine = self._engine_for_index(task_index)
+        engine.submit_result(volunteer_id, task_index, result)
+
+    def attribute(self, task_index: int) -> int:
+        """Global attribution: ``unpair`` to ``(shard, local)``, then the
+        shard's APF inverse and epoch table."""
+        _shard, _local, engine = self._engine_for_index(task_index)
+        return engine.attribute(task_index)
+
+    def attribution_path(self, task_index: int) -> AttributionPath:
+        """The full inverse chain
+        ``global -> (shard, local) -> (row, serial) -> volunteer`` --
+        the round-trip witness the sharded accountability property tests
+        exercise at bignum scale."""
+        shard, local, engine = self._engine_for_index(task_index)
+        row, serial = engine.allocator.attribute(local)
+        volunteer = engine.frontend.volunteer_for(row, serial)
+        return AttributionPath(
+            global_index=task_index,
+            shard=shard,
+            local_index=local,
+            row=row,
+            serial=serial,
+            volunteer_id=volunteer,
+        )
+
+    # ------------------------------------------------------------------
+
+    def profile_of(self, volunteer_id: int) -> VolunteerProfile:
+        return self.engine_of(volunteer_id).profile_of(volunteer_id)
+
+    def is_banned(self, volunteer_id: int) -> bool:
+        shard = self._shard_of.get(volunteer_id)
+        if shard is None:
+            return False
+        return self.engines[shard].is_banned(volunteer_id)
+
+    def report(self) -> LedgerReport:
+        """The aggregate ledger report across every shard."""
+        reports = [engine.report() for engine in self.engines]
+        return LedgerReport(
+            tasks_issued=sum(r.tasks_issued for r in reports),
+            tasks_returned=sum(r.tasks_returned for r in reports),
+            tasks_verified=sum(r.tasks_verified for r in reports),
+            bad_results_returned=sum(r.bad_results_returned for r in reports),
+            bad_results_caught=sum(r.bad_results_caught for r in reports),
+            volunteers_banned=sum(r.volunteers_banned for r in reports),
+            honest_volunteers_banned=sum(r.honest_volunteers_banned for r in reports),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedWBCServer shards={self.shard_count} "
+            f"apf={self.apf_name} composer={self.composer.name} "
+            f"seated={self.seated_count} max_task_index={self.max_task_index}>"
+        )

@@ -1,9 +1,18 @@
 """Seeded discrete-time simulation of a web-computing project.
 
-Drives a :class:`~repro.webcompute.server.WBCServer` with a synthetic
-volunteer population: arrivals (optionally in waves), per-volunteer speeds
-(tasks completed per tick, realized stochastically), honest / careless /
-malicious behavior, and optional mid-run departures.
+Drives a :class:`~repro.webcompute.server.WBCServer` -- or, with
+``shards > 1``, a :class:`~repro.webcompute.sharding.ShardedWBCServer` --
+with a synthetic volunteer population: arrivals (optionally in waves),
+per-volunteer speeds (tasks completed per tick, realized stochastically),
+honest / careless / malicious behavior, and optional mid-run departures.
+
+The driver observes the run through the structured event layer: it
+subscribes to the server's bus and reads completions, voluntary
+departures, and bans off the typed event stream -- the same stream an
+operator's dashboard would watch -- instead of keeping parallel private
+counters.  Only the invariant a *driver* must check from outside
+(attribution round-trips against the simulation's own ground truth)
+remains hand-counted.
 
 Everything is parameterized by :class:`SimulationConfig` and driven by a
 single seed, so any reported number is exactly reproducible.  The outputs
@@ -14,21 +23,35 @@ single seed, so any reported number is exactly reproducible.  The outputs
   banned (verification compares against recomputable ground truth, so there
   are no false strikes);
 * compactness -- the largest task index issued, per APF family, for the
-  same workload (the memory-management argument of Section 4.2).
+  same workload (the memory-management argument of Section 4.2).  With
+  sharding, that index lives in the *composed* global space, so the same
+  column also measures the composition overhead.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from repro.apf.base import AdditivePairingFunction
 from repro.errors import AllocationError, ConfigurationError
+from repro.webcompute.events import (
+    EventCounters,
+    ResultReturned,
+    VolunteerDeparted,
+)
 from repro.webcompute.server import WBCServer
+from repro.webcompute.sharding import ShardedWBCServer
 from repro.webcompute.task import Task
 from repro.webcompute.volunteer import Behavior, VolunteerProfile
 
-__all__ = ["SimulationConfig", "SimulationOutcome", "WBCSimulation", "run_family_comparison"]
+__all__ = [
+    "SimulationConfig",
+    "SimulationOutcome",
+    "WBCSimulation",
+    "run_family_comparison",
+    "run_shard_comparison",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +71,7 @@ class SimulationConfig:
     min_speed: float = 0.2
     max_speed: float = 3.0
     seed: int = 2002  # the venue year; any int works
+    shards: int = 1  # > 1 drives a ShardedWBCServer
 
     def __post_init__(self) -> None:
         if self.ticks <= 0 or self.initial_volunteers <= 0:
@@ -56,6 +80,8 @@ class SimulationConfig:
             raise ConfigurationError("behavior fractions must sum to <= 1")
         if not 0.0 < self.min_speed <= self.max_speed:
             raise ConfigurationError("need 0 < min_speed <= max_speed")
+        if isinstance(self.shards, bool) or not isinstance(self.shards, int) or self.shards < 1:
+            raise ConfigurationError(f"shards must be a positive int, got {self.shards!r}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,6 +100,7 @@ class SimulationOutcome:
     max_task_index: int
     attribution_checks: int
     attribution_failures: int
+    shards: int = 1
 
     @property
     def density(self) -> float:
@@ -85,24 +112,42 @@ class SimulationOutcome:
 
 
 class WBCSimulation:
-    """One reproducible project run against one APF."""
+    """One reproducible project run against one APF (and, with
+    ``config.shards > 1``, several engine shards)."""
 
     def __init__(self, apf: AdditivePairingFunction, config: SimulationConfig) -> None:
         self.config = config
-        self.server = WBCServer(
-            apf,
-            verification_rate=config.verification_rate,
-            ban_after_strikes=config.ban_after_strikes,
-            seed=config.seed,
-        )
+        if config.shards > 1:
+            self.server: WBCServer | ShardedWBCServer = ShardedWBCServer(
+                apf,
+                shards=config.shards,
+                verification_rate=config.verification_rate,
+                ban_after_strikes=config.ban_after_strikes,
+                seed=config.seed,
+            )
+        else:
+            self.server = WBCServer(
+                apf,
+                verification_rate=config.verification_rate,
+                ban_after_strikes=config.ban_after_strikes,
+                seed=config.seed,
+            )
+        # Observability taps: aggregate typed counters, plus one filtered
+        # count (voluntary departures) the aggregates cannot express.
+        self.counters = EventCounters.attach(self.server.bus)
+        self._voluntary_departures = 0
+        self.server.bus.subscribe(self._on_departure, [VolunteerDeparted])
         self._rng = random.Random(config.seed ^ 0xA5A5A5A5)
         self._work_rng = random.Random(config.seed ^ 0x5A5A5A5A)
         self._active: list[int] = []
         self._in_flight: dict[int, Task] = {}  # volunteer -> outstanding task
         self._profile_count = 0
-        self._departures = 0
         self._attribution_checks = 0
         self._attribution_failures = 0
+
+    def _on_departure(self, event: VolunteerDeparted) -> None:
+        if not event.banned:
+            self._voluntary_departures += 1
 
     # ------------------------------------------------------------------
 
@@ -135,10 +180,10 @@ class WBCSimulation:
 
     def run(self) -> SimulationOutcome:
         cfg = self.config
+        server = self.server
         self._admit(cfg.initial_volunteers)
-        completed = 0
         for _ in range(cfg.ticks):
-            self.server.tick()
+            server.tick()
             # Arrivals: Bernoulli approximation of a Poisson stream.
             if self._rng.random() < cfg.arrival_rate:
                 self._admit(1)
@@ -147,26 +192,25 @@ class WBCSimulation:
                 if vid in self._in_flight:
                     continue
                 if self._rng.random() < cfg.departure_rate:
-                    self.server.depart(vid)
+                    server.depart(vid)
                     self._active.remove(vid)
-                    self._departures += 1
             # Work: each active volunteer advances; speed s means the
             # volunteer finishes its task this tick with probability
             # min(1, s) (coarse but monotone in s and fully seeded).
             for vid in list(self._active):
-                if self.server.ledger.is_banned(vid):
+                if server.is_banned(vid):
                     # Banned volunteers are ejected from the project.
                     try:
-                        self.server.depart(vid)
+                        server.depart(vid)
                     except AllocationError:  # pragma: no cover - defensive
                         pass
                     self._active.remove(vid)
                     self._in_flight.pop(vid, None)
                     continue
-                profile = self.server.profile_of(vid)
+                profile = server.profile_of(vid)
                 task = self._in_flight.get(vid)
                 if task is None:
-                    task = self.server.request_task(vid)
+                    task = server.request_task(vid)
                     self._in_flight[vid] = task
                 if self._work_rng.random() < min(1.0, profile.speed):
                     result = profile.compute(task.index, self._work_rng)
@@ -174,26 +218,26 @@ class WBCSimulation:
                     # the server's attribution must name the volunteer that
                     # actually computed the task.
                     self._attribution_checks += 1
-                    if self.server.attribute(task.index) != vid:
+                    if server.attribute(task.index) != vid:
                         self._attribution_failures += 1
-                    self.server.submit_result(vid, task.index, result)
+                    server.submit_result(vid, task.index, result)
                     del self._in_flight[vid]
-                    completed += 1
-        report = self.server.report()
+        report = server.report()
         faulty_banned = report.volunteers_banned - report.honest_volunteers_banned
         return SimulationOutcome(
-            apf_name=self.server.allocator.apf.name,
+            apf_name=server.apf_name,
             ticks=cfg.ticks,
             volunteers_total=self._profile_count,
-            tasks_completed=completed,
+            tasks_completed=self.counters.count(ResultReturned),
             bad_results_returned=report.bad_results_returned,
             bad_results_caught=report.bad_results_caught,
             faulty_banned=faulty_banned,
             honest_banned=report.honest_volunteers_banned,
-            departures=self._departures,
-            max_task_index=self.server.max_task_index,
+            departures=self._voluntary_departures,
+            max_task_index=server.max_task_index,
             attribution_checks=self._attribution_checks,
             attribution_failures=self._attribution_failures,
+            shards=cfg.shards,
         )
 
 
@@ -208,3 +252,21 @@ def run_family_comparison(
     controlled comparison, the Section 4.2 tradeoff made measurable.
     """
     return [WBCSimulation(apf, config).run() for apf in apfs]
+
+
+def run_shard_comparison(
+    apf: AdditivePairingFunction,
+    config: SimulationConfig,
+    shard_counts: list[int],
+) -> list[SimulationOutcome]:
+    """Run the same seeded workload at several shard counts.
+
+    Arrival, behavior, and work streams derive only from the config seed,
+    so the rows expose exactly what sharding costs (the global-index
+    footprint of the square-shell composition) and what it preserves
+    (accountability: zero attribution failures at every scale).
+    """
+    return [
+        WBCSimulation(apf, replace(config, shards=shards)).run()
+        for shards in shard_counts
+    ]

@@ -16,7 +16,7 @@ accountability, not full redundancy).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DomainError
 

@@ -58,7 +58,7 @@ class TestRoundTrip:
     def test_attribution_preserved_including_departed(self):
         server = busy_server()
         restored = loads(dumps(server))
-        for task in server.ledger._tasks.values():
+        for task in server.ledger.tasks():
             assert restored.attribute(task.index) == server.attribute(task.index)
 
     def test_next_task_continues_where_left_off(self):

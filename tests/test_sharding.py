@@ -1,0 +1,264 @@
+"""Tests for the sharded WBC server (repro.webcompute.sharding).
+
+The load-bearing property: global attribution is the composition of exact
+inverses -- ``unpair`` then the shard's APF inverse then the epoch table --
+so it round-trips at *any* magnitude, including global indices far beyond
+2**53 where float arithmetic would corrupt every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.apf.families import TSharp, TStar
+from repro.core.aspectratio import AspectRatioPairing
+from repro.core.squareshell import SquareShellPairing
+from repro.errors import AllocationError, ConfigurationError
+from repro.webcompute.events import EventCounters, TaskIssued, VolunteerRegistered
+from repro.webcompute.sharding import (
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    ShardedWBCServer,
+    ShardPolicy,
+)
+from repro.webcompute.volunteer import VolunteerProfile
+
+
+def make_server(shards: int = 4, **kwargs) -> ShardedWBCServer:
+    return ShardedWBCServer(TSharp(), shards=shards, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_bad_shard_counts(self):
+        for bad in (0, -1, True, 1.5, "2"):
+            with pytest.raises(ConfigurationError):
+                ShardedWBCServer(TSharp(), shards=bad)
+
+    def test_single_shard_is_valid(self):
+        server = make_server(shards=1)
+        vid = server.register(VolunteerProfile("solo"))
+        task = server.request_task(vid)
+        assert server.attribute(task.index) == vid
+
+    def test_default_composer_is_square_shell(self):
+        assert make_server().composer.name == SquareShellPairing().name
+
+
+class TestRouting:
+    def test_round_robin_assignment(self):
+        server = make_server(shards=4)
+        ids = server.register_round(
+            [VolunteerProfile(f"v{i}") for i in range(8)]
+        )
+        assert [server.shard_of(v) for v in ids] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_round_robin_is_deterministic_across_servers(self):
+        a, b = make_server(), make_server()
+        ids_a = a.register_round([VolunteerProfile(f"v{i}") for i in range(10)])
+        ids_b = b.register_round([VolunteerProfile(f"v{i}") for i in range(10)])
+        assert ids_a == ids_b
+        assert [a.shard_of(v) for v in ids_a] == [b.shard_of(v) for v in ids_b]
+
+    def test_least_loaded_rebalances_after_departure(self):
+        server = make_server(shards=2, policy=LeastLoadedPolicy())
+        a, b = server.register_round([VolunteerProfile("a"), VolunteerProfile("b")])
+        assert {server.shard_of(a), server.shard_of(b)} == {0, 1}
+        server.depart(a)
+        c = server.register(VolunteerProfile("c"))
+        # Shard of `a` is now empty, so `c` lands there.
+        assert server.shard_of(c) == server.shard_of(a)
+
+    def test_policy_routing_out_of_range_rejected(self):
+        class BrokenPolicy(ShardPolicy):
+            def shard_for(self, sequence, profile, engines):
+                return len(engines)  # one past the end
+
+        server = make_server(shards=2, policy=BrokenPolicy())
+        with pytest.raises(ConfigurationError):
+            server.register(VolunteerProfile("x"))
+
+    def test_unknown_volunteer_rejected(self):
+        server = make_server()
+        with pytest.raises(AllocationError):
+            server.shard_of(99)
+        with pytest.raises(AllocationError):
+            server.request_task(99)
+        assert server.is_banned(99) is False
+
+
+class TestGlobalIndexSpace:
+    def test_task_indices_unique_across_shards(self):
+        server = make_server(shards=4)
+        ids = server.register_round([VolunteerProfile(f"v{i}") for i in range(8)])
+        seen: set[int] = set()
+        for _ in range(5):
+            server.tick()
+            for vid in ids:
+                task = server.request_task(vid)
+                assert task.index not in seen
+                seen.add(task.index)
+                assert server.attribute(task.index) == vid
+                server.submit_result(vid, task.index, task.expected_result)
+
+    def test_attribution_path_chain(self):
+        server = make_server(shards=3)
+        ids = server.register_round([VolunteerProfile(f"v{i}") for i in range(3)])
+        for vid in ids:
+            task = server.request_task(vid)
+            path = server.attribution_path(task.index)
+            assert path.global_index == task.index
+            assert path.shard == server.shard_of(vid)
+            assert path.volunteer_id == vid
+            # The chain recomposes: composer then the shard's APF.
+            engine = server.engine_of(vid)
+            assert engine.apf.pair(path.row, path.serial) == path.local_index
+            assert server.composer.pair(path.shard + 1, path.local_index) == task.index
+
+    def test_cross_shard_forged_submission_rejected(self):
+        server = make_server(shards=2)
+        a, b = server.register_round([VolunteerProfile("a"), VolunteerProfile("b")])
+        assert server.shard_of(a) != server.shard_of(b)
+        task_a = server.request_task(a)
+        with pytest.raises(AllocationError):
+            server.submit_result(b, task_a.index, task_a.expected_result)
+        # The honest owner can still submit.
+        server.submit_result(a, task_a.index, task_a.expected_result)
+
+    def test_index_outside_any_shard_rejected(self):
+        server = make_server(shards=2)
+        server.register_round([VolunteerProfile("a"), VolunteerProfile("b")])
+        # Shard row 5 of the composer exists geometrically, but only
+        # shards 0..1 are configured.
+        orphan = server.composer.pair(5, 1)
+        with pytest.raises(AllocationError):
+            server.attribute(orphan)
+        for bad in (0, -3, True, "7"):
+            with pytest.raises(AllocationError):
+                server.attribute(bad)
+
+    def test_aspect_ratio_composer_supported(self):
+        server = make_server(shards=2, composer=AspectRatioPairing(1, 64))
+        ids = server.register_round([VolunteerProfile("a"), VolunteerProfile("b")])
+        for vid in ids:
+            task = server.request_task(vid)
+            assert server.attribute(task.index) == vid
+
+
+class TestEventAggregation:
+    def test_global_bus_sees_stamped_shard_ids(self):
+        server = make_server(shards=3)
+        counters = EventCounters.attach(server.bus)
+        shards_seen: set[int] = set()
+        server.bus.subscribe(lambda e: shards_seen.add(e.shard))
+        ids = server.register_round([VolunteerProfile(f"v{i}") for i in range(6)])
+        for vid in ids:
+            server.request_task(vid)
+        assert counters.count(VolunteerRegistered) == 6
+        assert counters.count(TaskIssued) == 6
+        assert shards_seen == {0, 1, 2}
+
+
+class TestAggregateViews:
+    def test_report_sums_across_shards(self):
+        server = make_server(shards=2, verification_rate=1.0)
+        ids = server.register_round([VolunteerProfile("a"), VolunteerProfile("b")])
+        for vid in ids:
+            server.tick()
+            task = server.request_task(vid)
+            server.submit_result(vid, task.index, task.expected_result)
+        report = server.report()
+        assert report.tasks_issued == 2
+        assert report.tasks_returned == 2
+        assert report.tasks_verified == 2
+        assert report.bad_results_returned == 0
+
+    def test_lockstep_clock(self):
+        server = make_server(shards=3)
+        for _ in range(5):
+            server.tick()
+        assert server.clock == 5
+        assert all(engine.clock == 5 for engine in server.engines)
+
+
+# ---------------------------------------------------------------------------
+# The bignum round-trip property.
+#
+# Rows stay seated with *open* epochs (no departure closes them), so any
+# serial >= the epoch's start attributes to the current tenant -- including
+# astronomically large serials never actually issued.  That lets the
+# property drive the full inverse chain
+#     global -> (shard, local) -> (row, serial) -> volunteer
+# at magnitudes where every arithmetic step must be integer-exact.
+# ---------------------------------------------------------------------------
+
+APFS = [TSharp(), TStar()]
+
+
+@settings(max_examples=60)
+@given(
+    shards=st.integers(1, 5),
+    volunteers=st.integers(1, 8),
+    departures=st.integers(0, 3),
+    pick=st.integers(0, 10**6),
+    serial=st.integers(2**53, 2**90),
+    apf_idx=st.integers(0, len(APFS) - 1),
+)
+def test_sharded_attribution_roundtrip_beyond_2_53(
+    shards, volunteers, departures, pick, serial, apf_idx
+):
+    server = ShardedWBCServer(APFS[apf_idx], shards=shards, seed=7)
+    ids = list(
+        server.register_round([VolunteerProfile(f"v{i}") for i in range(volunteers)])
+    )
+    # Churn: some volunteers leave and are replaced, exercising epoch
+    # transitions (recycled rows, resumed serials) under the codec.
+    for d in range(min(departures, len(ids) - 1)):
+        victim = ids[d % len(ids)]
+        server.depart(victim)
+        ids.remove(victim)
+        replacement = server.register(VolunteerProfile(f"r{d}"))
+        ids.append(replacement)
+
+    vid = ids[pick % len(ids)]
+    shard = server.shard_of(vid)
+    engine = server.engine_of(vid)
+    row = engine.frontend.row_of(vid)
+
+    # Forward-compose a task index this volunteer *would* eventually be
+    # issued: its open epoch covers every serial from its start onward.
+    local = engine.apf.pair(row, serial)
+    global_index = server.composer.pair(shard + 1, local)
+    assert global_index > 2**53  # the regime floats cannot survive
+
+    path = server.attribution_path(global_index)
+    assert path.shard == shard
+    assert path.local_index == local
+    assert path.row == row
+    assert path.serial == serial
+    assert path.volunteer_id == vid
+    assert server.attribute(global_index) == vid
+
+
+@settings(max_examples=30)
+@given(serial=st.integers(2**53, 2**70))
+def test_epoch_succession_at_bignum_scale(serial):
+    """After a departure, the recycled row's *successor* owns the huge
+    never-issued serials -- the open epoch moved tenants."""
+    server = ShardedWBCServer(TSharp(), shards=2, seed=1)
+    first, other = server.register_round(
+        [VolunteerProfile("first"), VolunteerProfile("other")]
+    )
+    shard = server.shard_of(first)
+    engine = server.engine_of(first)
+    row = engine.frontend.row_of(first)
+    server.depart(first)
+    successor = server.register(VolunteerProfile("successor"))
+    assert server.shard_of(successor) == shard  # round-robin wraps back
+    assert engine.frontend.row_of(successor) == row  # recycled row
+
+    local = engine.apf.pair(row, serial)
+    global_index = server.composer.pair(shard + 1, local)
+    assert server.attribute(global_index) == successor

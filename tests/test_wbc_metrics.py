@@ -56,6 +56,40 @@ class TestVolunteerForensics:
             volunteer_forensics(server, 99)
 
 
+class TestTimelineSemantics:
+    """``bad_returns`` counts every bad return; the timeline quantities
+    use only tick-stamped ones.  An un-ticked bad return (possible only in
+    externally reconstructed ledger state) is pollution, not timeline."""
+
+    def test_unticked_bad_return_is_pollution_but_not_first_bad(self):
+        server, _good, bad = scripted_server()
+        state = server.ledger.snapshot_state()
+        # Reconstructed-state scenario: the first bad return (tick 1)
+        # lost its return tick.
+        for t in state["tasks"]:
+            if t["volunteer_id"] == bad and t["returned_at"] == 1:
+                t["returned_at"] = None
+        server.ledger.restore_state(state)
+        f = volunteer_forensics(server, bad)
+        assert f.bad_returns == 2  # both bad returns still count as pollution
+        assert f.first_bad_tick == 3  # timeline starts at the stamped one
+        assert f.tasks_after_first_bad == 0  # nothing issued after tick 3
+        assert f.detection_latency == 0  # banned the same tick
+
+    def test_all_unticked_bad_returns_leave_timeline_empty(self):
+        server, _good, bad = scripted_server()
+        state = server.ledger.snapshot_state()
+        for t in state["tasks"]:
+            if t["volunteer_id"] == bad:
+                t["returned_at"] = None
+        server.ledger.restore_state(state)
+        f = volunteer_forensics(server, bad)
+        assert f.bad_returns == 2
+        assert f.first_bad_tick is None
+        assert f.tasks_after_first_bad == 0
+        assert f.detection_latency is None  # no timeline, no latency
+
+
 class TestAggregateMetrics:
     def test_scripted_aggregate(self):
         server, _good, _bad = scripted_server()
@@ -98,3 +132,27 @@ class TestAggregateMetrics:
         assert m.ban_coverage == 1.0
         assert m.mean_detection_latency is not None
         assert m.mean_detection_latency < 20
+
+    def test_sharded_server_metrics_aggregate_across_shards(self):
+        config = SimulationConfig(
+            ticks=120,
+            initial_volunteers=16,
+            malicious_fraction=0.25,
+            careless_fraction=0.0,
+            verification_rate=1.0,
+            ban_after_strikes=2,
+            seed=13,
+            departure_rate=0.0,
+            arrival_rate=0.0,
+            shards=4,
+        )
+        sim = WBCSimulation(TSharp(), config)
+        outcome = sim.run()
+        m = compute_metrics(sim.server)
+        assert m.total_pollution == outcome.bad_results_returned
+        assert m.offenders_banned == outcome.faulty_banned
+        assert m.ban_coverage == 1.0
+        # Forensics resolve through the right shard's ledger.
+        for vid in (1, 2, 3):
+            f = volunteer_forensics(sim.server, vid)
+            assert f.volunteer_id == vid

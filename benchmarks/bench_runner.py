@@ -238,6 +238,87 @@ def scenario_shard_scaling(smoke: bool, repeats: int) -> dict:
     return out
 
 
+#: Shard counts for the fault-recovery scenario.
+FAULT_SHARD_COUNTS = [1, 4, 16]
+
+
+def scenario_fault_recovery(smoke: bool, repeats: int) -> dict:
+    """Crash tolerance as numbers: the cost of a full checkpoint sweep,
+    the latency of a crash+restore bounce (checkpoint load + journal
+    replay), and the size of one shard's durable state, at 1 / 4 / 16
+    shards over one seeded workload.  The correctness gate rides along:
+    after the bounce the service must keep issuing globally unique task
+    indices, or the scenario raises (same contract as the kernel-
+    consistency gate)."""
+    import json as _json
+
+    from repro.apf.families import TSharp
+    from repro.webcompute.events import EventLog, ShardRestored
+    from repro.webcompute.sharding import ShardedWBCServer
+    from repro.webcompute.volunteer import VolunteerProfile
+
+    ticks = 6 if smoke else 30
+    volunteers = 8 if smoke else 32
+    out = {}
+    for shards in FAULT_SHARD_COUNTS:
+        server = ShardedWBCServer(
+            TSharp(),
+            shards=shards,
+            verification_rate=0.2,
+            seed=2002,
+            lease_ticks=8,
+        )
+        log = EventLog.attach(server.bus, event_types=[ShardRestored])
+        vids = server.register_round(
+            [
+                VolunteerProfile(f"v{i}", speed=1.0 + (i % 5) * 0.4)
+                for i in range(volunteers)
+            ]
+        )
+        issued: set[int] = set()
+
+        def work(rounds):
+            for _ in range(rounds):
+                server.tick()
+                for vid in vids:
+                    task = server.request_task(vid)
+                    issued.add(task.index)
+                    server.submit_result(vid, task.index, task.expected_result)
+
+        work(ticks)
+        checkpoint_s = _best_seconds(server.checkpoint_all, repeats)
+        state_bytes = len(_json.dumps(server.engines[0].snapshot_state()))
+        # Pile post-checkpoint ops into the journal so the bounce has
+        # real replay work, then time crash+restore (the journal is kept
+        # across restores, so every repeat replays the same ops).
+        work(ticks)
+
+        def bounce():
+            server.crash_shard(0)
+            server.restore_shard(0)
+
+        bounce_s = _best_seconds(bounce, repeats)
+        replayed = log.of_type(ShardRestored)[-1].replayed_ops
+        before = len(issued)
+        work(2)
+        if len(issued) != before + 2 * len(vids):
+            raise AssertionError(
+                f"shards={shards}: duplicate task index issued after restore "
+                f"({len(issued)} unique, expected {before + 2 * len(vids)})"
+            )
+        out[f"shards_{shards}"] = {
+            "shards": shards,
+            "volunteers": volunteers,
+            "checkpoint_all_s": checkpoint_s,
+            "state_bytes_per_shard": state_bytes,
+            "bounce_s": bounce_s,
+            "replayed_ops": replayed,
+            "tasks_issued": len(issued),
+            "unique_after_restore": True,
+        }
+    return out
+
+
 def scenario_consistency() -> dict:
     """The exactness gate: vectorized paths must agree with the scalar
     bignum paths across the exact-safe boundary.  Raises on mismatch."""
@@ -295,6 +376,7 @@ def build_run(smoke: bool, repeats: int) -> dict:
             "batch_speed": scenario_batch_speed(smoke, repeats),
             "spread_compactness": scenario_spread_compactness(smoke, repeats),
             "shard_scaling": scenario_shard_scaling(smoke, repeats),
+            "fault_recovery": scenario_fault_recovery(smoke, repeats),
         },
     }
 
@@ -338,6 +420,12 @@ def main(argv: list[str] | None = None) -> int:
             f"  wbc shards={row['shards']}: {row['tasks_per_second']:.0f} tasks/s, "
             f"max index {row['max_task_index_bits']} bits, "
             f"{row['attribution_failures']} attribution failures"
+        )
+    for row in run["scenarios"]["fault_recovery"].values():
+        print(
+            f"  recovery shards={row['shards']}: checkpoint {row['checkpoint_all_s'] * 1e3:.1f} ms, "
+            f"bounce {row['bounce_s'] * 1e3:.1f} ms ({row['replayed_ops']} ops replayed), "
+            f"{row['state_bytes_per_shard']} B/shard"
         )
     print(f"  consistency: {run['scenarios']['consistency']['checked']} checks ok")
     return 0

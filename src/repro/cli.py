@@ -82,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
     wbc.add_argument("--seed", type=int, default=2002)
     wbc.add_argument("--shards", type=int, default=1,
                      help="engine shards (>1 runs the sharded server)")
+    wbc.add_argument("--faults", default="",
+                     help="fault spec, e.g. 'crash@40:1,restore@55:1,"
+                          "corrupt@20:2,drop=0.05,delay=0.1:3'")
+    wbc.add_argument("--lease-ticks", type=int, default=None,
+                     help="task-lease length in ticks (expired tasks are "
+                          "reissued; default: no leases)")
+    wbc.add_argument("--checkpoint-every", type=int, default=None,
+                     help="checkpoint shards every N ticks (sharded only)")
 
     encode = sub.add_parser("encode", help="encode a tuple of positive ints")
     encode.add_argument("values", type=int, nargs="*")
@@ -148,7 +156,16 @@ def _cmd_crossover(big_name: str, small_name: str, limit: int) -> str:
     )
 
 
-def _cmd_wbc(apf_name: str, ticks: int, volunteers: int, seed: int, shards: int = 1) -> str:
+def _cmd_wbc(
+    apf_name: str,
+    ticks: int,
+    volunteers: int,
+    seed: int,
+    shards: int = 1,
+    faults: str = "",
+    lease_ticks: int | None = None,
+    checkpoint_every: int | None = None,
+) -> str:
     from repro.apf.base import AdditivePairingFunction
     from repro.webcompute.simulation import SimulationConfig, WBCSimulation
 
@@ -156,7 +173,13 @@ def _cmd_wbc(apf_name: str, ticks: int, volunteers: int, seed: int, shards: int 
     if not isinstance(apf, AdditivePairingFunction):
         raise SystemExit(f"{apf_name} is not an additive PF")
     config = SimulationConfig(
-        ticks=ticks, initial_volunteers=volunteers, seed=seed, shards=shards
+        ticks=ticks,
+        initial_volunteers=volunteers,
+        seed=seed,
+        shards=shards,
+        faults=faults,
+        lease_ticks=lease_ticks,
+        checkpoint_every=checkpoint_every,
     )
     outcome = WBCSimulation(apf, config).run()
     rows = [
@@ -172,6 +195,17 @@ def _cmd_wbc(apf_name: str, ticks: int, volunteers: int, seed: int, shards: int 
     ]
     if outcome.shards > 1:
         rows.insert(0, ("engine shards", outcome.shards))
+    if lease_ticks is not None:
+        rows.append(("tasks reissued", outcome.tasks_reissued))
+        rows.append(("late returns", outcome.late_returns))
+    if faults or checkpoint_every is not None:
+        rows.append(("shard crashes", outcome.shard_crashes))
+        rows.append(("shard restores", outcome.shard_restores))
+        rows.append(("checkpoints taken", outcome.checkpoints_taken))
+        rows.append(("returns dropped", outcome.returns_dropped))
+        rows.append(("returns delayed", outcome.returns_delayed))
+        rows.append(("returns retried", outcome.returns_retried))
+        rows.append(("returns abandoned", outcome.returns_abandoned))
     return render_rows_table(
         ["metric", "value"], rows, title=f"WBC simulation over {apf_name} ({ticks} ticks)"
     )
@@ -301,7 +335,18 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "crossover":
         print(_cmd_crossover(args.big, args.small, args.limit))
     elif args.command == "wbc":
-        print(_cmd_wbc(args.apf, args.ticks, args.volunteers, args.seed, args.shards))
+        print(
+            _cmd_wbc(
+                args.apf,
+                args.ticks,
+                args.volunteers,
+                args.seed,
+                args.shards,
+                args.faults,
+                args.lease_ticks,
+                args.checkpoint_every,
+            )
+        )
     elif args.command == "encode":
         from repro.encoding import TupleCodec
 

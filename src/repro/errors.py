@@ -17,6 +17,11 @@ Every error raised deliberately by this library derives from
   hash store) was asked to exceed its configured capacity.
 * :class:`AllocationError` -- the web-computing server could not satisfy an
   allocation request (unknown volunteer, banned volunteer, ...).
+* :class:`ShardDownError` -- the request routed to a crashed engine shard.
+  Unlike a plain :class:`AllocationError` this failure is *transient*:
+  the caller should retry (with backoff) after the shard is restored.
+* :class:`RecoveryError` -- crash recovery could not reconstruct a shard's
+  state exactly (checkpoint missing, replay divergence, double issue).
 """
 
 from __future__ import annotations
@@ -28,6 +33,8 @@ __all__ = [
     "ConfigurationError",
     "CapacityError",
     "AllocationError",
+    "ShardDownError",
+    "RecoveryError",
 ]
 
 
@@ -61,3 +68,16 @@ class CapacityError(ReproError, RuntimeError):
 
 class AllocationError(ReproError, RuntimeError):
     """The web-computing server could not satisfy an allocation request."""
+
+
+class ShardDownError(AllocationError):
+    """The request routed to a crashed engine shard.
+
+    Transient by contract: the operation is expected to succeed once the
+    shard is restored, so callers should queue and retry with backoff
+    rather than treat this as a permanent allocation failure.
+    """
+
+
+class RecoveryError(ReproError, RuntimeError):
+    """Crash recovery could not reconstruct a shard's state exactly."""

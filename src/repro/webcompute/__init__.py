@@ -19,7 +19,11 @@
 * :mod:`~repro.webcompute.replication` -- the majority-vote replication
   baseline the accountability scheme is cheaper than;
 * :mod:`~repro.webcompute.persistence` -- JSON snapshot/restore of the
-  full server state ("stored for subsequent appearances").
+  full server state ("stored for subsequent appearances");
+* :mod:`~repro.webcompute.recovery` -- shard checkpoints, op journals,
+  deterministic replay, and retry backoff (crash tolerance);
+* :mod:`~repro.webcompute.faults` -- the seeded fault injector and the
+  ``--faults`` spec grammar (chaos harness).
 """
 
 from __future__ import annotations
@@ -34,18 +38,33 @@ from repro.webcompute.ledger import (
     VolunteerRecord,
 )
 from repro.webcompute.events import (
+    CheckpointTaken,
     EventBus,
     EventCounters,
     EventLog,
     ResultReturned,
+    ReturnDelayed,
+    ReturnDropped,
     RowRecycled,
     RowSeated,
+    ShardCrashed,
+    ShardRestored,
     TaskIssued,
+    TaskReissued,
     VolunteerBanned,
+    VolunteerCorrupted,
     VolunteerDeparted,
     VolunteerRegistered,
 )
 from repro.webcompute.engine import AllocationEngine, IndexCodec
+from repro.webcompute.faults import FaultInjector, FaultSpec, ReturnFate, ScheduledFault
+from repro.webcompute.recovery import (
+    Backoff,
+    CheckpointStore,
+    ShardCheckpoint,
+    apply_op,
+    replay,
+)
 from repro.webcompute.replication import ReplicationOutcome, ReplicationSimulation
 from repro.webcompute.metrics import (
     AccountabilityMetrics,
@@ -90,13 +109,29 @@ __all__ = [
     "EventLog",
     "VolunteerRegistered",
     "TaskIssued",
+    "TaskReissued",
     "ResultReturned",
     "VolunteerBanned",
     "VolunteerDeparted",
+    "VolunteerCorrupted",
     "RowSeated",
     "RowRecycled",
+    "ShardCrashed",
+    "ShardRestored",
+    "CheckpointTaken",
+    "ReturnDropped",
+    "ReturnDelayed",
     "AllocationEngine",
     "IndexCodec",
+    "FaultSpec",
+    "FaultInjector",
+    "ScheduledFault",
+    "ReturnFate",
+    "Backoff",
+    "CheckpointStore",
+    "ShardCheckpoint",
+    "apply_op",
+    "replay",
     "WBCServer",
     "ShardedWBCServer",
     "ShardPolicy",

@@ -31,11 +31,13 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.apf.base import AdditivePairingFunction
-from repro.errors import AllocationError
+from repro.errors import AllocationError, ConfigurationError
 from repro.webcompute.allocator import TaskAllocator
 from repro.webcompute.events import (
     EventBus,
     TaskIssued,
+    TaskReissued,
+    VolunteerCorrupted,
     VolunteerDeparted,
     VolunteerRegistered,
 )
@@ -82,7 +84,17 @@ class AllocationEngine:
         *,
         codec: IndexCodec | None = None,
         bus: EventBus | None = None,
+        lease_ticks: int | None = None,
     ) -> None:
+        if lease_ticks is not None and (
+            isinstance(lease_ticks, bool)
+            or not isinstance(lease_ticks, int)
+            or lease_ticks <= 0
+        ):
+            raise ConfigurationError(
+                f"lease_ticks must be a positive int or None, got {lease_ticks!r}"
+            )
+        self.lease_ticks = lease_ticks
         self.codec = codec if codec is not None else IDENTITY_CODEC
         self.bus = bus if bus is not None else EventBus()
         self.bus.set_clock(lambda: self._clock)
@@ -233,6 +245,11 @@ class AllocationEngine:
             volunteer_id=volunteer_id,
             serial=serial,
             issued_at=self._clock,
+            lease_expires_at=(
+                self._clock + self.lease_ticks
+                if self.lease_ticks is not None
+                else None
+            ),
         )
         self.ledger.record_issue(task)
         if index > self._max_task_index:
@@ -251,14 +268,91 @@ class AllocationEngine:
     def submit_result(self, volunteer_id: int, task_index: int, result: int) -> None:
         """Accept a result.  The submitted task must attribute (via the APF
         inverse + epochs) to the submitting volunteer -- a mismatch is the
-        accountability scheme catching a forged submission."""
+        accountability scheme catching a forged submission.  The one
+        sanctioned exception is a lease reissue: the recorded reissue
+        target may also return the task, but attribution (and hence
+        responsibility for the original serial) still names the original
+        assignee."""
         owner = self.attribute(task_index)
         if owner != volunteer_id:
-            raise AllocationError(
-                f"task {task_index} attributes to volunteer {owner}, "
-                f"not {volunteer_id} (forged or misdirected submission)"
+            task = self.ledger.task(task_index)
+            if task.reissued_to != volunteer_id:
+                raise AllocationError(
+                    f"task {task_index} attributes to volunteer {owner}, "
+                    f"not {volunteer_id} (forged or misdirected submission)"
+                )
+        self.ledger.record_return(
+            task_index, result, self._clock, submitter=volunteer_id
+        )
+
+    def reap_expired(self) -> list[Task]:
+        """Reissue every outstanding task whose lease has expired to a new
+        volunteer, deterministically: candidates are seated, non-banned
+        volunteers with no outstanding assignment, scanned in ascending id
+        order; the expired task's current assignee is never re-picked.
+        Tasks with no eligible target stay with their current assignee
+        (they will be reaped again next time).  Returns the reissued tasks.
+        """
+        outstanding = self.ledger.outstanding_tasks()
+        expired = [t for t in outstanding if t.lease_expired(self._clock)]
+        if not expired:
+            return []
+        busy = {t.current_assignee for t in outstanding}
+        reissued: list[Task] = []
+        for task in expired:
+            previous = task.current_assignee
+            target = None
+            for vid in self.frontend.seated_volunteers():
+                if vid == previous or vid in busy or self.ledger.is_banned(vid):
+                    continue
+                target = vid
+                break
+            if target is None:
+                continue
+            new_lease = (
+                self._clock + self.lease_ticks
+                if self.lease_ticks is not None
+                else None
             )
-        self.ledger.record_return(task_index, result, self._clock)
+            self.ledger.record_reissue(
+                task.index, target, self._clock, new_lease_expires_at=new_lease
+            )
+            busy.add(target)
+            row, serial = self.locate(task.index)
+            self.bus.publish(
+                TaskReissued(
+                    tick=self._clock,
+                    task_index=task.index,
+                    from_volunteer=previous,
+                    to_volunteer=target,
+                    row=row,
+                    serial=serial,
+                )
+            )
+            reissued.append(task)
+        return reissued
+
+    def mark_corrupted(self, volunteer_id: int, error_rate: float) -> VolunteerProfile:
+        """A fault injector flipped *volunteer_id* malicious mid-run: swap
+        in a corrupted profile, drop the ledger's honest oracle tag (a
+        later ban is a correct ban), and publish the change."""
+        profile = self.profile_of(volunteer_id)
+        corrupted = VolunteerProfile(
+            name=profile.name,
+            speed=profile.speed,
+            behavior=Behavior.MALICIOUS,
+            error_rate=error_rate,
+        )
+        self._profiles[volunteer_id] = corrupted
+        self.ledger.note_corrupted(volunteer_id)
+        self.bus.publish(
+            VolunteerCorrupted(
+                tick=self._clock,
+                volunteer_id=volunteer_id,
+                error_rate=error_rate,
+            )
+        )
+        return corrupted
 
     def locate(self, task_index: int) -> tuple[int, int]:
         """The allocation coordinates ``(row, serial)`` behind a
@@ -295,36 +389,55 @@ class AllocationEngine:
     # -- snapshot / restore state (the persistence seam) ---------------
 
     def snapshot_state(self) -> dict[str, Any]:
-        """The engine-level persistent state (components snapshot their
-        own: see the allocator / frontend / ledger state methods)."""
+        """The engine's *complete* persistent state as a JSON-able dict:
+        engine scalars plus every component's own snapshot (allocator
+        contracts, front-end epochs, ledger tasks/records, verification
+        RNG).  This is the seam both :mod:`~repro.webcompute.persistence`
+        and shard crash recovery restore from; an earlier version captured
+        only the scalars, which silently lost any in-flight task -- a
+        restored engine would re-issue its index."""
         return {
             "clock": self._clock,
             "max_task_index": self._max_task_index,
             "next_volunteer_id": self._next_volunteer_id,
+            "lease_ticks": self.lease_ticks,
             "profiles": {
-                str(vid): {
-                    "name": p.name,
-                    "speed": p.speed,
-                    "behavior": p.behavior.value,
-                    "error_rate": p.error_rate,
-                }
-                for vid, p in self._profiles.items()
+                str(vid): p.to_state() for vid, p in self._profiles.items()
             },
+            "contracts": self.allocator.snapshot_state(),
+            "frontend": self.frontend.snapshot_state(),
+            "ledger": self.ledger.snapshot_state(),
+            "verification_rate": self.ledger.verification_rate,
+            "ban_after_strikes": self.ledger.ban_after_strikes,
+            "rng_state": self.ledger.rng_state(),
         }
 
     def restore_state(self, state: dict[str, Any]) -> None:
+        """Rebuild from a :meth:`snapshot_state` dict.  Component keys are
+        restored when present, so the scalar-only dict that
+        :mod:`~repro.webcompute.persistence` used to pass (and still may,
+        for staged restores that set component state separately) keeps
+        working."""
         self._clock = state["clock"]
         self._max_task_index = state["max_task_index"]
         self._next_volunteer_id = state["next_volunteer_id"]
+        self.lease_ticks = state.get("lease_ticks", self.lease_ticks)
         self._profiles = {
-            int(vid): VolunteerProfile(
-                name=p["name"],
-                speed=p["speed"],
-                behavior=Behavior(p["behavior"]),
-                error_rate=p["error_rate"],
-            )
+            int(vid): VolunteerProfile.from_state(p)
             for vid, p in state["profiles"].items()
         }
+        if "contracts" in state:
+            self.allocator.restore_state(state["contracts"])
+        if "frontend" in state:
+            self.frontend.restore_state(state["frontend"])
+        if "ledger" in state:
+            self.ledger.restore_state(state["ledger"])
+        if "verification_rate" in state:
+            self.ledger.verification_rate = state["verification_rate"]
+        if "ban_after_strikes" in state:
+            self.ledger.ban_after_strikes = state["ban_after_strikes"]
+        if "rng_state" in state:
+            self.ledger.set_rng_state(state["rng_state"])
 
     def __repr__(self) -> str:
         return (

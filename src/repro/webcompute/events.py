@@ -40,11 +40,18 @@ from typing import Callable, Iterable, Union
 __all__ = [
     "VolunteerRegistered",
     "TaskIssued",
+    "TaskReissued",
     "ResultReturned",
     "VolunteerBanned",
     "VolunteerDeparted",
+    "VolunteerCorrupted",
     "RowSeated",
     "RowRecycled",
+    "ShardCrashed",
+    "ShardRestored",
+    "CheckpointTaken",
+    "ReturnDropped",
+    "ReturnDelayed",
     "WBCEvent",
     "EventBus",
     "EventCounters",
@@ -138,24 +145,120 @@ class RowRecycled:
     shard: int | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class TaskReissued:
+    """A task whose lease expired was handed to a new volunteer.  The
+    task *index* is unchanged -- ``T^-1`` attribution keeps naming
+    ``from_volunteer`` (the original assignee if this is the first
+    reissue); ``to_volunteer`` is merely allowed to return the result."""
+
+    tick: int
+    task_index: int
+    from_volunteer: int
+    to_volunteer: int
+    row: int
+    serial: int
+    shard: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class VolunteerCorrupted:
+    """A fault injector flipped a volunteer's behavior mid-run (an honest
+    machine going bad); the ledger's report-only oracle tag is updated so
+    a subsequent ban is not miscounted as a false positive."""
+
+    tick: int
+    volunteer_id: int
+    error_rate: float
+    shard: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ShardCrashed:
+    """An engine shard lost its in-memory state.  ``pending_ops`` is the
+    length of the durable op journal since the last checkpoint -- the
+    replay work a restore will have to do."""
+
+    tick: int
+    shard: int | None = None
+    pending_ops: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ShardRestored:
+    """A crashed shard was rebuilt from its latest checkpoint plus a
+    deterministic replay of the journaled operations."""
+
+    tick: int
+    shard: int | None = None
+    checkpoint_tick: int = 0
+    replayed_ops: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointTaken:
+    """A shard's full state was checkpointed (journal truncated)."""
+
+    tick: int
+    shard: int | None = None
+    tasks_issued: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnDropped:
+    """A fault injector dropped a volunteer's return in flight; the task
+    stays issued and its lease will eventually expire."""
+
+    tick: int
+    volunteer_id: int
+    task_index: int
+    shard: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnDelayed:
+    """A fault injector delayed a return by ``delay`` ticks; it may race
+    a lease expiry and arrive as a late return."""
+
+    tick: int
+    volunteer_id: int
+    task_index: int
+    delay: int
+    shard: int | None = None
+
+
 WBCEvent = Union[
     VolunteerRegistered,
     TaskIssued,
+    TaskReissued,
     ResultReturned,
     VolunteerBanned,
     VolunteerDeparted,
+    VolunteerCorrupted,
     RowSeated,
     RowRecycled,
+    ShardCrashed,
+    ShardRestored,
+    CheckpointTaken,
+    ReturnDropped,
+    ReturnDelayed,
 ]
 
 EVENT_TYPES: tuple[type, ...] = (
     VolunteerRegistered,
     TaskIssued,
+    TaskReissued,
     ResultReturned,
     VolunteerBanned,
     VolunteerDeparted,
+    VolunteerCorrupted,
     RowSeated,
     RowRecycled,
+    ShardCrashed,
+    ShardRestored,
+    CheckpointTaken,
+    ReturnDropped,
+    ReturnDelayed,
 )
 
 

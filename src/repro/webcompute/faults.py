@@ -1,0 +1,179 @@
+"""Deterministic, seeded fault injection for the sharded WBC service.
+
+A chaos harness is only useful if a failing schedule can be replayed
+exactly, so everything here is deterministic: scheduled faults fire at
+fixed ticks, and probabilistic faults (dropped / delayed returns) draw
+from the injector's *own* seeded RNG -- never from the simulation's RNG
+streams.  That separation is what makes the crash-recovery differential
+test possible: a faulted run and a fault-free run consume identical
+random streams everywhere outside the injector.
+
+The spec grammar (the CLI's ``--faults`` argument), comma-separated:
+
+``crash@T:S``
+    crash shard ``S`` at tick ``T``;
+``restore@T:S``
+    restore shard ``S`` at tick ``T``;
+``corrupt@T:K``
+    at tick ``T``, flip ``K`` currently-honest volunteers malicious
+    (picked by the injector's RNG);
+``drop=P``
+    drop each task return in flight with probability ``P``;
+``delay=P:D``
+    delay each (undropped) return by ``D`` ticks with probability ``P``.
+
+Example: ``crash@40:1,restore@55:1,corrupt@20:2,drop=0.05,delay=0.1:3``.
+
+The injector *decides*; the simulation loop *applies* (crashing shards,
+marking volunteers corrupted, queueing delayed returns) and the typed
+fault events (:class:`~repro.webcompute.events.ShardCrashed`,
+:class:`~repro.webcompute.events.VolunteerCorrupted`,
+:class:`~repro.webcompute.events.ReturnDropped`, ...) are published by
+the layers that actually perform each action.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ScheduledFault", "FaultSpec", "FaultInjector", "ReturnFate"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledFault:
+    """One tick-scheduled fault: ``kind`` is ``"crash"``, ``"restore"``
+    or ``"corrupt"``; ``arg`` is the shard (crash/restore) or the number
+    of volunteers to corrupt."""
+
+    kind: str
+    tick: int
+    arg: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnFate:
+    """The injector's verdict on one in-flight return."""
+
+    dropped: bool = False
+    delay: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """A parsed fault schedule (see the module docstring for the
+    grammar).
+
+    >>> spec = FaultSpec.parse("crash@4:1,restore@9:1,drop=0.25")
+    >>> [(f.kind, f.tick, f.arg) for f in spec.scheduled]
+    [('crash', 4, 1), ('restore', 9, 1)]
+    >>> spec.drop_rate
+    0.25
+    """
+
+    scheduled: tuple[ScheduledFault, ...] = ()
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_ticks: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the comma-separated spec grammar; raises
+        :class:`~repro.errors.ConfigurationError` on any malformed
+        clause."""
+        scheduled: list[ScheduledFault] = []
+        drop_rate = 0.0
+        delay_rate = 0.0
+        delay_ticks = 0
+        for raw in text.split(","):
+            clause = raw.strip()
+            if not clause:
+                continue
+            try:
+                if clause.startswith(("crash@", "restore@", "corrupt@")):
+                    kind, rest = clause.split("@", 1)
+                    tick_s, arg_s = rest.split(":", 1)
+                    tick, arg = int(tick_s), int(arg_s)
+                    if tick <= 0:
+                        raise ValueError(f"tick must be positive, got {tick}")
+                    if arg < 0:
+                        raise ValueError(f"argument must be >= 0, got {arg}")
+                    scheduled.append(ScheduledFault(kind=kind, tick=tick, arg=arg))
+                elif clause.startswith("drop="):
+                    drop_rate = float(clause[len("drop="):])
+                    if not 0.0 <= drop_rate <= 1.0:
+                        raise ValueError(f"drop rate {drop_rate} not in [0, 1]")
+                elif clause.startswith("delay="):
+                    rate_s, ticks_s = clause[len("delay="):].split(":", 1)
+                    delay_rate, delay_ticks = float(rate_s), int(ticks_s)
+                    if not 0.0 <= delay_rate <= 1.0:
+                        raise ValueError(f"delay rate {delay_rate} not in [0, 1]")
+                    if delay_ticks <= 0:
+                        raise ValueError(
+                            f"delay ticks must be positive, got {delay_ticks}"
+                        )
+                else:
+                    raise ValueError("unknown clause")
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad fault clause {clause!r}: {exc}"
+                ) from exc
+        scheduled.sort(key=lambda f: (f.tick, f.kind, f.arg))
+        return cls(
+            scheduled=tuple(scheduled),
+            drop_rate=drop_rate,
+            delay_rate=delay_rate,
+            delay_ticks=delay_ticks,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.scheduled and self.drop_rate == 0.0 and self.delay_rate == 0.0
+        )
+
+
+@dataclass(slots=True)
+class FaultInjector:
+    """Executes a :class:`FaultSpec` deterministically.
+
+    ``scheduled_at(tick)`` yields the tick's scheduled faults;
+    ``corruption_targets(tick, candidates)`` picks which volunteers a
+    ``corrupt@`` clause hits (from the injector's own RNG);
+    ``return_fate(...)`` rolls drop/delay for one in-flight return.
+    Same seed + same call sequence = same faults, every run.
+    """
+
+    spec: FaultSpec
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed ^ 0x5DEECE66D)
+
+    def scheduled_at(self, tick: int) -> list[ScheduledFault]:
+        """The faults scheduled for exactly *tick*, in deterministic
+        order (within a tick: corrupt, then crash, then restore -- the
+        lexicographic sort in :meth:`FaultSpec.parse`)."""
+        return [f for f in self.spec.scheduled if f.tick == tick]
+
+    def corruption_targets(self, count: int, candidates: list[int]) -> list[int]:
+        """Pick *count* volunteers to corrupt out of *candidates*
+        (ascending ids in, deterministic sample out)."""
+        pool = sorted(candidates)
+        if count >= len(pool):
+            return pool
+        return sorted(self._rng.sample(pool, count))
+
+    def return_fate(self) -> ReturnFate:
+        """Roll the dice for one in-flight return.  Draws are consumed
+        *only* when the corresponding rate is nonzero, so an all-zero
+        spec leaves the injector RNG untouched (and two runs differing
+        only in scheduled faults stay comparable)."""
+        if self.spec.drop_rate > 0.0 and self._rng.random() < self.spec.drop_rate:
+            return ReturnFate(dropped=True)
+        if self.spec.delay_rate > 0.0 and self._rng.random() < self.spec.delay_rate:
+            return ReturnFate(delay=self.spec.delay_ticks)
+        return ReturnFate()

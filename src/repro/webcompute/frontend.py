@@ -180,6 +180,11 @@ class FrontEnd:
     def is_seated(self, volunteer_id: int) -> bool:
         return volunteer_id in self._row_of_volunteer
 
+    def seated_volunteers(self) -> list[int]:
+        """Currently seated volunteer ids, ascending (the lease reaper's
+        candidate pool for reissue targets)."""
+        return sorted(self._row_of_volunteer)
+
     def volunteer_for(self, row: int, serial: int) -> int:
         """Attribution across reassignment: who held *row* when *serial*
         was issued?  Epoch lookup; raises if the serial was never issued

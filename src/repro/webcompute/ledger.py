@@ -57,7 +57,13 @@ class VolunteerRecord:
 
 @dataclass(frozen=True, slots=True)
 class LedgerReport:
-    """Aggregate accountability metrics for one run."""
+    """Aggregate accountability metrics for one run.
+
+    ``tasks_reissued`` counts tasks whose lease expired and that were
+    handed to a new volunteer (the task *index* is never re-minted, so
+    ``tasks_issued`` is unaffected); ``late_returns`` counts returns that
+    arrived against an already-expired lease -- recorded, per the
+    accountability contract, against the original assignee."""
 
     tasks_issued: int
     tasks_returned: int
@@ -66,6 +72,8 @@ class LedgerReport:
     bad_results_caught: int
     volunteers_banned: int
     honest_volunteers_banned: int
+    tasks_reissued: int = 0
+    late_returns: int = 0
 
     @property
     def catch_rate(self) -> float:
@@ -122,6 +130,7 @@ class AccountabilityLedger:
         # every bad return, caught or not.
         self._bad_returns = 0
         self._bad_caught = 0
+        self._late_returns = 0
         self._honest_ids: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -138,21 +147,84 @@ class AccountabilityLedger:
         The ban policy itself never reads this."""
         self._honest_ids.add(volunteer_id)
 
+    def note_corrupted(self, volunteer_id: int) -> None:
+        """Drop the honest oracle tag for a volunteer whose behavior a
+        fault injector corrupted mid-run: a later ban is a *correct* ban,
+        not a false positive."""
+        self._honest_ids.discard(volunteer_id)
+
     def record_issue(self, task: Task) -> None:
         if task.index in self._tasks:
             raise DomainError(f"task {task.index} was already issued")
         self._tasks[task.index] = task
         self._record(task.volunteer_id).issued += 1
 
-    def record_return(self, task_index: int, result: int, at_tick: int) -> bool:
-        """Record a returned result; spot-check it with probability
-        ``verification_rate``.  Returns ``True`` when the return triggered
-        a ban."""
+    def record_reissue(
+        self, task_index: int, to_volunteer: int, at_tick: int,
+        new_lease_expires_at: int | None = None,
+    ) -> Task:
+        """Hand a still-unreturned task whose lease expired to a new
+        volunteer.  Both assignments stay on the record: the task keeps
+        its original ``volunteer_id`` (``T^-1`` attribution is untouched)
+        and the reissue target is noted so its eventual return is
+        accepted and charged to *it*, while a late return by the original
+        assignee stays charged to the original assignee."""
         task = self._tasks.get(task_index)
         if task is None:
             raise DomainError(f"task {task_index} was never issued")
+        if task.status is not TaskStatus.ISSUED:
+            raise DomainError(
+                f"task {task_index} cannot be reissued from status {task.status.value}"
+            )
+        task.reissued_to = to_volunteer
+        task.reissued_at = at_tick
+        if new_lease_expires_at is not None:
+            task.lease_expires_at = new_lease_expires_at
+        self._record(to_volunteer).issued += 1
+        return task
+
+    def record_return(
+        self, task_index: int, result: int, at_tick: int,
+        submitter: int | None = None,
+    ) -> bool:
+        """Record a returned result; spot-check it with probability
+        ``verification_rate``.  Returns ``True`` when the return triggered
+        a ban.
+
+        ``submitter`` is the volunteer handing in the result; it must be
+        the task's original assignee or its current reissue target
+        (anyone else is a forgery the caller should already have
+        rejected).  The return -- and any strike it earns -- is charged
+        to the submitter: a late return by the original assignee against
+        an expired lease therefore stays on the original's record.
+
+        A return is *late* when the submitter's own lease view has
+        lapsed: the live lease has expired, or the task was reissued and
+        the submitter is the original assignee (whose lease expired by
+        definition -- the renewed lease belongs to the target)."""
+        task = self._tasks.get(task_index)
+        if task is None:
+            raise DomainError(f"task {task_index} was never issued")
+        if submitter is None:
+            submitter = task.volunteer_id
+        if submitter not in (task.volunteer_id, task.reissued_to):
+            raise DomainError(
+                f"task {task_index} belongs to volunteer {task.volunteer_id}"
+                + (
+                    f" (reissued to {task.reissued_to})"
+                    if task.reissued_to is not None
+                    else ""
+                )
+                + f", not {submitter}"
+            )
+        original_after_reissue = (
+            task.reissued_to is not None and submitter == task.volunteer_id
+        )
+        if task.lease_expired(at_tick) or original_after_reissue:
+            self._late_returns += 1
         task.mark_returned(result, at_tick)
-        rec = self._record(task.volunteer_id)
+        task.returned_by = submitter
+        rec = self._record(submitter)
         rec.returned += 1
         is_bad = result != task.expected_result
         if is_bad:
@@ -173,7 +245,7 @@ class AccountabilityLedger:
             self.bus.publish(
                 ResultReturned(
                     tick=at_tick,
-                    volunteer_id=task.volunteer_id,
+                    volunteer_id=submitter,
                     task_index=task_index,
                     bad=is_bad,
                     verified=verified,
@@ -183,7 +255,7 @@ class AccountabilityLedger:
                 self.bus.publish(
                     VolunteerBanned(
                         tick=at_tick,
-                        volunteer_id=task.volunteer_id,
+                        volunteer_id=submitter,
                         strikes=rec.strikes,
                     )
                 )
@@ -191,12 +263,17 @@ class AccountabilityLedger:
 
     def audit_task(self, task_index: int) -> TaskStatus:
         """Force-verify a single returned task (the project head's manual
-        audit path)."""
+        audit path).  A strike is charged to the volunteer that actually
+        returned the result (``returned_by``) -- under a lease reissue
+        that may be the reissue target, not the original assignee."""
         task = self._tasks.get(task_index)
         if task is None:
             raise DomainError(f"task {task_index} was never issued")
         if task.status is TaskStatus.RETURNED:
-            rec = self._record(task.volunteer_id)
+            returner = (
+                task.returned_by if task.returned_by is not None else task.volunteer_id
+            )
+            rec = self._record(returner)
             rec.verified += 1
             if not task.verify():
                 self._bad_caught += 1
@@ -207,7 +284,7 @@ class AccountabilityLedger:
                         self.bus.publish(
                             VolunteerBanned(
                                 tick=self.bus.now(),
-                                volunteer_id=task.volunteer_id,
+                                volunteer_id=returner,
                                 strikes=rec.strikes,
                             )
                         )
@@ -255,6 +332,20 @@ class AccountabilityLedger:
         the tasks are the live objects (treat them as read-only)."""
         return [self._tasks[idx] for idx in sorted(self._tasks)]
 
+    def outstanding_tasks(self) -> list[Task]:
+        """Issued-but-unreturned tasks, by task index -- what the lease
+        reaper scans and what a volunteer may still legitimately return."""
+        return [
+            self._tasks[idx]
+            for idx in sorted(self._tasks)
+            if self._tasks[idx].status is TaskStatus.ISSUED
+        ]
+
+    @property
+    def late_returns(self) -> int:
+        """Returns recorded against an already-expired lease."""
+        return self._late_returns
+
     def banned_at_of(self, volunteer_id: int) -> int | None:
         """The tick a volunteer was banned at, or ``None`` if it is not
         banned (or was banned through :meth:`audit_task`, which has no
@@ -282,6 +373,7 @@ class AccountabilityLedger:
             "honest_ids": sorted(self._honest_ids),
             "bad_returns": self._bad_returns,
             "bad_caught": self._bad_caught,
+            "late_returns": self._late_returns,
             "records": [
                 {
                     "volunteer_id": r.volunteer_id,
@@ -303,16 +395,23 @@ class AccountabilityLedger:
                     "status": t.status.value,
                     "returned_at": t.returned_at,
                     "reported_result": t.reported_result,
+                    "returned_by": t.returned_by,
+                    "lease_expires_at": t.lease_expires_at,
+                    "reissued_to": t.reissued_to,
+                    "reissued_at": t.reissued_at,
                 }
                 for t in self.tasks()
             ],
         }
 
     def restore_state(self, state: dict[str, Any]) -> None:
-        """Rebuild record/task state from a :meth:`snapshot_state` dict."""
+        """Rebuild record/task state from a :meth:`snapshot_state` dict.
+        Lease/reissue keys are read with defaults so pre-lease (format
+        v1) snapshots restore unchanged."""
         self._honest_ids = set(state["honest_ids"])
         self._bad_returns = state["bad_returns"]
         self._bad_caught = state["bad_caught"]
+        self._late_returns = state.get("late_returns", 0)
         self._records = {}
         for r in state["records"]:
             self._records[r["volunteer_id"]] = VolunteerRecord(
@@ -335,6 +434,10 @@ class AccountabilityLedger:
             task.status = TaskStatus(t["status"])
             task.returned_at = t["returned_at"]
             task.reported_result = t["reported_result"]
+            task.returned_by = t.get("returned_by")
+            task.lease_expires_at = t.get("lease_expires_at")
+            task.reissued_to = t.get("reissued_to")
+            task.reissued_at = t.get("reissued_at")
             self._tasks[t["index"]] = task
 
     def report(self) -> LedgerReport:
@@ -358,4 +461,8 @@ class AccountabilityLedger:
             honest_volunteers_banned=sum(
                 1 for r in banned if r.volunteer_id in self._honest_ids
             ),
+            tasks_reissued=sum(
+                1 for t in self._tasks.values() if t.reissued_to is not None
+            ),
+            late_returns=self._late_returns,
         )

@@ -56,21 +56,25 @@ def snapshot(server: WBCServer) -> dict[str, Any]:
             "register it before snapshotting"
         ) from None
     del resolved
+    # The engine snapshot is complete (scalars + allocator + frontend +
+    # ledger + RNG); the envelope just re-keys it into the v1 layout and
+    # adds the registry name.  ``lease_ticks`` is additive over v1 and is
+    # read back with a default, so pre-lease snapshots stay loadable.
     engine_state = engine.snapshot_state()
-    ledger = engine.ledger
     return {
         "version": _FORMAT_VERSION,
         "apf": apf_name,
         "clock": engine_state["clock"],
         "max_task_index": engine_state["max_task_index"],
         "next_volunteer_id": engine_state["next_volunteer_id"],
-        "verification_rate": ledger.verification_rate,
-        "ban_after_strikes": ledger.ban_after_strikes,
-        "rng_state": ledger.rng_state(),
+        "lease_ticks": engine_state["lease_ticks"],
+        "verification_rate": engine_state["verification_rate"],
+        "ban_after_strikes": engine_state["ban_after_strikes"],
+        "rng_state": engine_state["rng_state"],
         "profiles": engine_state["profiles"],
-        "contracts": engine.allocator.snapshot_state(),
-        "frontend": engine.frontend.snapshot_state(),
-        "ledger": ledger.snapshot_state(),
+        "contracts": engine_state["contracts"],
+        "frontend": engine_state["frontend"],
+        "ledger": engine_state["ledger"],
     }
 
 
@@ -87,20 +91,23 @@ def restore(data: dict[str, Any]) -> WBCServer:
         apf,
         verification_rate=data["verification_rate"],
         ban_after_strikes=data["ban_after_strikes"],
+        lease_ticks=data.get("lease_ticks"),
     )
-    engine = server.engine
-    engine.restore_state(
+    server.engine.restore_state(
         {
             "clock": data["clock"],
             "max_task_index": data["max_task_index"],
             "next_volunteer_id": data["next_volunteer_id"],
+            "lease_ticks": data.get("lease_ticks"),
             "profiles": data["profiles"],
+            "contracts": data["contracts"],
+            "frontend": data["frontend"],
+            "ledger": data["ledger"],
+            "verification_rate": data["verification_rate"],
+            "ban_after_strikes": data["ban_after_strikes"],
+            "rng_state": data["rng_state"],
         }
     )
-    engine.allocator.restore_state(data["contracts"])
-    engine.frontend.restore_state(data["frontend"])
-    engine.ledger.restore_state(data["ledger"])
-    engine.ledger.set_rng_state(data["rng_state"])
     return server
 
 

@@ -1,0 +1,224 @@
+"""Shard crash recovery: checkpoints, op journals, deterministic replay.
+
+The sharded service (Section 4 at scale) must keep the accountability
+invariant -- no global task index double-issued, ``T^-1`` attribution
+exact -- across the failure a real deployment actually sees: a shard
+process dying and being restarted.  The recovery discipline here is the
+classic checkpoint + write-ahead-journal pair, specialized to the
+engine's determinism:
+
+* A :class:`ShardCheckpoint` is the engine's **complete** snapshot
+  (:meth:`~repro.webcompute.engine.AllocationEngine.snapshot_state`:
+  contracts, epochs, ledger tasks, verification-RNG state) taken at a
+  known tick, serialized through JSON so the stored form is exactly what
+  a durable medium would hold.
+* The **op journal** records every state-mutating engine call made after
+  the checkpoint, in order, as small JSON-able entries.  Because the
+  engine is deterministic (the only randomness is the ledger's
+  verification RNG, whose state is *inside* the checkpoint), replaying
+  the journal against the restored checkpoint reproduces the lost state
+  bit-for-bit -- same task indices, same strikes, same bans.
+* :func:`replay` applies a journal to a restored engine and returns the
+  op count; :func:`apply_op` is the single-op dispatcher (also the
+  documentation of the journal grammar).
+
+Ops are journaled *after* the engine call succeeds ("journal-after-
+success"): every mutating engine method validates before mutating, so a
+rejected call leaves neither state nor journal entry, and replay never
+re-raises.
+
+:class:`Backoff` is the retry-pacing half of the story: returns that race
+a crashed shard fail with the *transient*
+:class:`~repro.errors.ShardDownError` and are retried on an exponential
+schedule instead of being dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RecoveryError
+from repro.webcompute.engine import AllocationEngine
+from repro.webcompute.volunteer import VolunteerProfile
+
+__all__ = [
+    "ShardCheckpoint",
+    "CheckpointStore",
+    "apply_op",
+    "replay",
+    "Backoff",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardCheckpoint:
+    """One durable full-state snapshot of a shard's engine.
+
+    ``state`` is the engine snapshot dict; ``tick`` and ``tasks_issued``
+    are denormalized out of it so recovery audits (and the bench) can
+    read them without parsing the whole blob.
+    """
+
+    tick: int
+    tasks_issued: int
+    state: dict[str, Any]
+
+
+class CheckpointStore:
+    """Per-shard durable storage: the latest checkpoint plus the op
+    journal accumulated since it was taken.
+
+    Everything stored passes through ``json.dumps``/``json.loads`` so a
+    checkpoint is provably serializable (what a disk or object store
+    would hold) and the restored state shares no mutable structure with
+    the live engine -- a crashed shard really does lose its in-memory
+    objects.
+    """
+
+    def __init__(self) -> None:
+        self._checkpoint: str | None = None
+        self._checkpoint_tick = 0
+        self._checkpoint_issued = 0
+        self._journal: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, engine: AllocationEngine) -> ShardCheckpoint:
+        """Snapshot *engine* and truncate the journal."""
+        state = engine.snapshot_state()
+        issued = len(state["ledger"]["tasks"])
+        self._checkpoint = json.dumps(state, sort_keys=True)
+        self._checkpoint_tick = state["clock"]
+        self._checkpoint_issued = issued
+        self._journal = []
+        return ShardCheckpoint(
+            tick=state["clock"], tasks_issued=issued, state=state
+        )
+
+    def journal(self, op: list[Any]) -> None:
+        """Append one op (see :func:`apply_op` for the grammar)."""
+        self._journal.append(json.dumps(op))
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return self._checkpoint is not None
+
+    @property
+    def checkpoint_tick(self) -> int:
+        return self._checkpoint_tick
+
+    @property
+    def checkpoint_issued(self) -> int:
+        """Tasks issued as of the latest checkpoint (the double-issue
+        audit's baseline)."""
+        return self._checkpoint_issued
+
+    @property
+    def pending_ops(self) -> int:
+        """Journal length since the last checkpoint -- the replay work a
+        restore will have to do."""
+        return len(self._journal)
+
+    def latest(self) -> ShardCheckpoint:
+        """The latest checkpoint, deserialized fresh (no shared state)."""
+        if self._checkpoint is None:
+            raise RecoveryError("no checkpoint has been taken")
+        state = json.loads(self._checkpoint)
+        return ShardCheckpoint(
+            tick=self._checkpoint_tick,
+            tasks_issued=self._checkpoint_issued,
+            state=state,
+        )
+
+    def ops(self) -> list[list[Any]]:
+        """The journaled ops since the latest checkpoint, in order."""
+        return [json.loads(entry) for entry in self._journal]
+
+
+def apply_op(engine: AllocationEngine, op: list[Any]) -> None:
+    """Apply one journaled op to *engine*.  The journal grammar::
+
+        ["tick"]
+        ["register", [profile_state, ...], [volunteer_id, ...]]
+        ["depart", volunteer_id]
+        ["request", volunteer_id]
+        ["submit", volunteer_id, task_index, result]
+        ["reap"]
+        ["corrupt", volunteer_id, error_rate]
+
+    Replay is deterministic because every op carries the ids the original
+    call resolved and the engine's only RNG rides in the checkpoint.
+    """
+    kind = op[0]
+    if kind == "tick":
+        engine.tick()
+    elif kind == "register":
+        profiles = [VolunteerProfile.from_state(p) for p in op[1]]
+        engine.register_round(profiles, ids=list(op[2]))
+    elif kind == "depart":
+        engine.depart(op[1])
+    elif kind == "request":
+        engine.request_task(op[1])
+    elif kind == "submit":
+        engine.submit_result(op[1], op[2], op[3])
+    elif kind == "reap":
+        engine.reap_expired()
+    elif kind == "corrupt":
+        engine.mark_corrupted(op[1], op[2])
+    else:
+        raise RecoveryError(f"unknown journal op {kind!r}")
+
+
+def replay(engine: AllocationEngine, ops: list[list[Any]]) -> int:
+    """Apply *ops* in order; returns the number replayed.  Any engine
+    rejection during replay means the journal diverged from the
+    checkpoint -- recovery must fail loudly, not half-restore."""
+    for i, op in enumerate(ops):
+        try:
+            apply_op(engine, op)
+        except Exception as exc:
+            raise RecoveryError(
+                f"journal replay diverged at op {i} ({op[0]!r}): {exc}"
+            ) from exc
+    return len(ops)
+
+
+@dataclass(slots=True)
+class Backoff:
+    """Deterministic exponential backoff schedule, in ticks.
+
+    Drives the frontend's retry queue for returns that race a crashed
+    shard: attempt 0 retries after ``base`` ticks, each later attempt
+    doubles the wait (factor ``factor``) up to ``cap``; after
+    ``max_attempts`` failed attempts the return is abandoned (and the
+    task's lease will eventually expire and reissue it).
+
+    >>> b = Backoff()
+    >>> [b.delay(a) for a in range(6)]
+    [1, 2, 4, 8, 16, 16]
+    """
+
+    base: int = 1
+    factor: int = 2
+    cap: int = 16
+    max_attempts: int = 8
+    attempts: int = field(default=0, compare=False)
+
+    def delay(self, attempt: int | None = None) -> int:
+        """Ticks to wait before retry number *attempt* (default: the
+        current attempt counter)."""
+        n = self.attempts if attempt is None else attempt
+        return min(self.cap, self.base * self.factor**n)
+
+    def next_retry_tick(self, now: int) -> int:
+        """Record a failed attempt at tick *now*; returns the tick at
+        which to retry."""
+        due = now + self.delay()
+        self.attempts += 1
+        return due
+
+    @property
+    def exhausted(self) -> bool:
+        return self.attempts >= self.max_attempts

@@ -52,12 +52,14 @@ class WBCServer:
         verification_rate: float = 0.1,
         ban_after_strikes: int = 2,
         seed: int = 0,
+        lease_ticks: int | None = None,
     ) -> None:
         self.engine = AllocationEngine(
             apf,
             verification_rate=verification_rate,
             ban_after_strikes=ban_after_strikes,
             seed=seed,
+            lease_ticks=lease_ticks,
         )
 
     # -- component views (stable public surface) -----------------------
@@ -130,6 +132,15 @@ class WBCServer:
         inverse + epochs) to the submitting volunteer -- a mismatch is the
         accountability scheme catching a forged submission."""
         self.engine.submit_result(volunteer_id, task_index, result)
+
+    def reap_expired(self) -> list[Task]:
+        """Reissue expired-lease tasks to idle volunteers (see
+        :meth:`~repro.webcompute.engine.AllocationEngine.reap_expired`)."""
+        return self.engine.reap_expired()
+
+    def mark_corrupted(self, volunteer_id: int, error_rate: float) -> VolunteerProfile:
+        """Flip a volunteer malicious mid-run (the fault injector's hook)."""
+        return self.engine.mark_corrupted(volunteer_id, error_rate)
 
     def attribute(self, task_index: int) -> int:
         """Who is responsible for *task_index*?  ``T^-1`` then epochs."""

@@ -27,6 +27,20 @@ benchmark records the footprint for both.
 
 Routing is deterministic: a :class:`ShardPolicy` maps each registration to
 a shard, so a seeded run is exactly reproducible, shard count included.
+
+Fault tolerance (the difference between a demo and a service): every
+mutating call is journaled to the shard's
+:class:`~repro.webcompute.recovery.CheckpointStore` *after* it succeeds,
+and the store periodically checkpoints the engine's complete snapshot.
+:meth:`ShardedWBCServer.crash_shard` discards a shard's in-memory engine
+(really discards it -- the slot is filled by a :class:`_DeadShard`
+sentinel that refuses all traffic with the transient
+:class:`~repro.errors.ShardDownError`);
+:meth:`ShardedWBCServer.restore_shard` rebuilds it from checkpoint +
+deterministic journal replay and audits that the rebuilt shard issued
+exactly the indices the journal says it did -- no global task index is
+ever double-issued across a crash.  While a shard is down, registration
+routing degrades to the live shards only.
 """
 
 from __future__ import annotations
@@ -36,10 +50,21 @@ from dataclasses import dataclass
 from repro.apf.base import AdditivePairingFunction
 from repro.core.base import PairingFunction
 from repro.core.squareshell import SquareShellPairing
-from repro.errors import AllocationError, ConfigurationError
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    RecoveryError,
+    ShardDownError,
+)
 from repro.webcompute.engine import AllocationEngine, IndexCodec
-from repro.webcompute.events import EventBus
+from repro.webcompute.events import (
+    CheckpointTaken,
+    EventBus,
+    ShardCrashed,
+    ShardRestored,
+)
 from repro.webcompute.ledger import LedgerReport
+from repro.webcompute.recovery import CheckpointStore, replay
 from repro.webcompute.task import Task
 from repro.webcompute.volunteer import VolunteerProfile
 
@@ -116,6 +141,25 @@ class _LoadView:
         return getattr(self._engine, name)
 
 
+class _DeadShard:
+    """The object occupying a crashed shard's engine slot.  Any attribute
+    access raises :class:`~repro.errors.ShardDownError`, so traffic that
+    slips past the liveness checks still fails transient-retryable rather
+    than silently touching stale state.  The crashed engine itself is
+    unreferenced (its in-memory state is genuinely lost)."""
+
+    __slots__ = ("shard",)
+
+    def __init__(self, shard: int) -> None:
+        object.__setattr__(self, "shard", shard)
+
+    def __getattr__(self, name: str):
+        raise ShardDownError(
+            f"shard {object.__getattribute__(self, 'shard')} is down "
+            f"(attribute {name!r}); restore it and retry"
+        )
+
+
 @dataclass(frozen=True, slots=True)
 class AttributionPath:
     """The full inverse chain for one global task index: the witness the
@@ -156,6 +200,13 @@ class ShardedWBCServer:
         the global index; defaults to the Rosenberg--Strong square shell.
     policy:
         The deterministic routing policy; defaults to round-robin.
+    lease_ticks:
+        Task-lease length passed to every shard engine (``None`` = no
+        leases).
+    checkpoint_every:
+        Checkpoint every live shard each time the global clock hits a
+        multiple of this many ticks (``None`` = only the initial and
+        explicitly requested checkpoints).
     """
 
     def __init__(
@@ -168,28 +219,58 @@ class ShardedWBCServer:
         *,
         composer: PairingFunction | None = None,
         policy: ShardPolicy | None = None,
+        lease_ticks: int | None = None,
+        checkpoint_every: int | None = None,
     ) -> None:
         if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
             raise ConfigurationError(f"shards must be a positive int, got {shards!r}")
+        if checkpoint_every is not None and (
+            isinstance(checkpoint_every, bool)
+            or not isinstance(checkpoint_every, int)
+            or checkpoint_every <= 0
+        ):
+            raise ConfigurationError(
+                f"checkpoint_every must be a positive int or None, "
+                f"got {checkpoint_every!r}"
+            )
         self.composer = composer if composer is not None else SquareShellPairing()
         self.policy = policy if policy is not None else RoundRobinPolicy()
+        self.checkpoint_every = checkpoint_every
+        self.lease_ticks = lease_ticks
+        # Kept so a crashed shard's engine can be rebuilt from scratch.
+        self._apf = apf
+        self._verification_rate = verification_rate
+        self._ban_after_strikes = ban_after_strikes
+        self._seed = seed
         self.bus = EventBus()
         self.engines: list[AllocationEngine] = []
+        self._stores: list[CheckpointStore] = []
+        self._alive: list[bool] = []
         for shard in range(shards):
-            engine = AllocationEngine(
-                apf,
-                verification_rate=verification_rate,
-                ban_after_strikes=ban_after_strikes,
-                seed=seed + shard,
-                codec=self._codec_for(shard),
-            )
+            engine = self._fresh_engine(shard)
             engine.bus.forward_to(self.bus, shard=shard)
             self.engines.append(engine)
+            store = CheckpointStore()
+            store.checkpoint(engine)
+            self._stores.append(store)
+            self._alive.append(True)
         self.bus.set_clock(lambda: self._clock)
         self._shard_of: dict[int, int] = {}
         self._next_volunteer_id = 1
         self._registrations = 0
         self._clock = 0
+
+    def _fresh_engine(self, shard: int) -> AllocationEngine:
+        """A blank engine wired for *shard* (construction and recovery
+        both start here; recovery then restores state into it)."""
+        return AllocationEngine(
+            self._apf,
+            verification_rate=self._verification_rate,
+            ban_after_strikes=self._ban_after_strikes,
+            seed=self._seed + shard,
+            codec=self._codec_for(shard),
+            lease_ticks=self.lease_ticks,
+        )
 
     def _codec_for(self, shard: int) -> IndexCodec:
         """The shard's slice of the global index space: rows ``shard + 1``
@@ -221,25 +302,42 @@ class ShardedWBCServer:
         return self._clock
 
     def tick(self) -> int:
-        """Advance every shard's clock in lockstep."""
+        """Advance every live shard's clock in lockstep.  The tick is
+        journaled to *every* store -- including crashed shards', so a
+        restore replays the downtime ticks and rejoins the global clock.
+        """
         self._clock += 1
-        for engine in self.engines:
-            engine.tick()
+        for shard, engine in enumerate(self.engines):
+            self._stores[shard].journal(["tick"])
+            if self._alive[shard]:
+                engine.tick()
+        if (
+            self.checkpoint_every is not None
+            and self._clock % self.checkpoint_every == 0
+        ):
+            self.checkpoint_all()
         return self._clock
 
     @property
     def apf_name(self) -> str:
-        return self.engines[0].apf_name
+        return self._apf.name
 
     @property
     def max_task_index(self) -> int:
-        """Largest *global* task index ever issued -- the footprint of the
-        composed space, the number the shard-scaling bench tracks."""
-        return max(engine.max_task_index for engine in self.engines)
+        """Largest *global* task index ever issued by a live shard -- the
+        footprint of the composed space, the number the shard-scaling
+        bench tracks.  (A crashed shard's contribution reappears when it
+        is restored.)"""
+        return max(
+            (e.max_task_index for s, e in enumerate(self.engines) if self._alive[s]),
+            default=0,
+        )
 
     @property
     def seated_count(self) -> int:
-        return sum(engine.seated_count for engine in self.engines)
+        return sum(
+            e.seated_count for s, e in enumerate(self.engines) if self._alive[s]
+        )
 
     def shard_of(self, volunteer_id: int) -> int:
         try:
@@ -248,7 +346,107 @@ class ShardedWBCServer:
             raise AllocationError(f"unknown volunteer {volunteer_id}") from None
 
     def engine_of(self, volunteer_id: int) -> AllocationEngine:
-        return self.engines[self.shard_of(volunteer_id)]
+        shard = self.shard_of(volunteer_id)
+        if not self._alive[shard]:
+            raise ShardDownError(
+                f"volunteer {volunteer_id} lives on shard {shard}, "
+                "which is down; retry after restore"
+            )
+        return self.engines[shard]
+
+    # -- liveness / crash / recovery -----------------------------------
+
+    def _check_shard(self, shard: int) -> None:
+        if isinstance(shard, bool) or not isinstance(shard, int):
+            raise ConfigurationError(f"shard must be an int, got {shard!r}")
+        if not 0 <= shard < len(self.engines):
+            raise ConfigurationError(
+                f"shard {shard} out of range 0..{len(self.engines) - 1}"
+            )
+
+    def is_shard_alive(self, shard: int) -> bool:
+        self._check_shard(shard)
+        return self._alive[shard]
+
+    def alive_shards(self) -> list[int]:
+        """Indices of live shards, ascending."""
+        return [s for s, alive in enumerate(self._alive) if alive]
+
+    def checkpoint_shard(self, shard: int) -> None:
+        """Checkpoint one live shard (full engine snapshot; journal
+        truncated)."""
+        self._check_shard(shard)
+        if not self._alive[shard]:
+            raise ShardDownError(f"cannot checkpoint crashed shard {shard}")
+        cp = self._stores[shard].checkpoint(self.engines[shard])
+        self.bus.publish(
+            CheckpointTaken(
+                tick=self._clock, shard=shard, tasks_issued=cp.tasks_issued
+            )
+        )
+
+    def checkpoint_all(self) -> None:
+        """Checkpoint every live shard."""
+        for shard in self.alive_shards():
+            self.checkpoint_shard(shard)
+
+    def crash_shard(self, shard: int) -> None:
+        """Kill a shard: its engine object (all in-memory state) is
+        dropped on the floor; only the checkpoint store survives.  Any
+        call routed to the shard raises
+        :class:`~repro.errors.ShardDownError` until
+        :meth:`restore_shard`."""
+        self._check_shard(shard)
+        if not self._alive[shard]:
+            raise RecoveryError(f"shard {shard} is already down")
+        pending = self._stores[shard].pending_ops
+        self.engines[shard] = _DeadShard(shard)  # type: ignore[assignment]
+        self._alive[shard] = False
+        self.bus.publish(
+            ShardCrashed(tick=self._clock, shard=shard, pending_ops=pending)
+        )
+
+    def restore_shard(self, shard: int) -> None:
+        """Rebuild a crashed shard: fresh engine, restore the latest
+        checkpoint, replay the op journal deterministically, then audit
+        that the rebuilt shard issued exactly the indices the journal
+        says it did (``checkpoint + #request ops``) -- the no-double-issue
+        guarantee across a crash.  Event forwarding to the global bus is
+        re-attached only *after* replay, so replayed history is not
+        re-published."""
+        self._check_shard(shard)
+        if self._alive[shard]:
+            raise RecoveryError(f"shard {shard} is not down")
+        store = self._stores[shard]
+        cp = store.latest()
+        engine = self._fresh_engine(shard)
+        engine.restore_state(cp.state)
+        ops = store.ops()
+        replayed = replay(engine, ops)
+        issued = len(engine.ledger.tasks())
+        expected = cp.tasks_issued + sum(1 for op in ops if op[0] == "request")
+        if issued != expected:
+            raise RecoveryError(
+                f"shard {shard} replay issued {issued} tasks, journal "
+                f"implies {expected} (checkpoint {cp.tasks_issued} + "
+                f"{expected - cp.tasks_issued} requests)"
+            )
+        if engine.clock != self._clock:
+            raise RecoveryError(
+                f"shard {shard} replay ended at tick {engine.clock}, "
+                f"global clock is {self._clock}"
+            )
+        engine.bus.forward_to(self.bus, shard=shard)
+        self.engines[shard] = engine
+        self._alive[shard] = True
+        self.bus.publish(
+            ShardRestored(
+                tick=self._clock,
+                shard=shard,
+                checkpoint_tick=cp.tick,
+                replayed_ops=replayed,
+            )
+        )
 
     # ------------------------------------------------------------------
 
@@ -258,39 +456,74 @@ class ShardedWBCServer:
     def register_round(self, profiles: list[VolunteerProfile]) -> list[int]:
         """Admit a batch: the policy routes each volunteer to a shard,
         then each shard seats its sub-round (fastest first, as ever).
-        Volunteer ids are globally unique across shards."""
+        Volunteer ids are globally unique across shards.
+
+        Degraded mode: the policy only ever sees the *live* shards'
+        load views, so while a shard is down registrations route around
+        it (and with every shard live, routing is bit-identical to the
+        fault-free behavior).  Raises
+        :class:`~repro.errors.AllocationError` when every shard is down.
+        """
+        alive = self.alive_shards()
+        if not alive:
+            raise AllocationError("every shard is down; nothing can register")
         ids: list[int] = []
         per_shard: dict[int, tuple[list[VolunteerProfile], list[int]]] = {}
-        load_views = [_LoadView(engine) for engine in self.engines]
+        load_views = [_LoadView(self.engines[s]) for s in alive]
         for profile in profiles:
-            shard = self.policy.shard_for(self._registrations, profile, load_views)
-            if not 0 <= shard < len(self.engines):
+            pick = self.policy.shard_for(self._registrations, profile, load_views)
+            if not 0 <= pick < len(load_views):
                 raise ConfigurationError(
-                    f"policy routed to shard {shard}, valid range is "
-                    f"0..{len(self.engines) - 1}"
+                    f"policy routed to live-shard slot {pick}, valid range is "
+                    f"0..{len(load_views) - 1}"
                 )
+            shard = alive[pick]
             vid = self._next_volunteer_id
             self._next_volunteer_id += 1
             self._registrations += 1
             self._shard_of[vid] = shard
-            load_views[shard].pending += 1
+            load_views[pick].pending += 1
             bucket = per_shard.setdefault(shard, ([], []))
             bucket[0].append(profile)
             bucket[1].append(vid)
             ids.append(vid)
         for shard, (batch, batch_ids) in per_shard.items():
             self.engines[shard].register_round(batch, ids=batch_ids)
+            self._stores[shard].journal(
+                ["register", [p.to_state() for p in batch], batch_ids]
+            )
         return ids
 
     def depart(self, volunteer_id: int) -> None:
+        shard = self.shard_of(volunteer_id)
         self.engine_of(volunteer_id).depart(volunteer_id)
+        self._stores[shard].journal(["depart", volunteer_id])
 
     # ------------------------------------------------------------------
 
     def request_task(self, volunteer_id: int) -> Task:
         """The volunteer's next task; ``task.index`` is the composed
         global index."""
-        return self.engine_of(volunteer_id).request_task(volunteer_id)
+        shard = self.shard_of(volunteer_id)
+        task = self.engine_of(volunteer_id).request_task(volunteer_id)
+        self._stores[shard].journal(["request", volunteer_id])
+        return task
+
+    def reap_expired(self) -> list[Task]:
+        """Run the lease reaper on every live shard (each shard reissues
+        its own expired tasks to its own idle volunteers)."""
+        reissued: list[Task] = []
+        for shard in self.alive_shards():
+            reissued.extend(self.engines[shard].reap_expired())
+            self._stores[shard].journal(["reap"])
+        return reissued
+
+    def mark_corrupted(self, volunteer_id: int, error_rate: float) -> VolunteerProfile:
+        """Flip a volunteer malicious mid-run (the fault injector's hook)."""
+        shard = self.shard_of(volunteer_id)
+        profile = self.engine_of(volunteer_id).mark_corrupted(volunteer_id, error_rate)
+        self._stores[shard].journal(["corrupt", volunteer_id, error_rate])
+        return profile
 
     def _engine_for_index(self, global_index: int) -> tuple[int, int, AllocationEngine]:
         """(shard, local_index, engine) for a global task index."""
@@ -304,14 +537,31 @@ class ShardedWBCServer:
                 f"task {global_index} decodes to shard {shard_no - 1}, "
                 f"but only shards 0..{len(self.engines) - 1} exist"
             )
-        return shard_no - 1, local, self.engines[shard_no - 1]
+        shard = shard_no - 1
+        if not self._alive[shard]:
+            raise ShardDownError(
+                f"task {global_index} routes to shard {shard}, which is "
+                "down; retry after restore"
+            )
+        return shard, local, self.engines[shard]
 
     def submit_result(self, volunteer_id: int, task_index: int, result: int) -> None:
         """Accept a result for a *global* task index.  Routing is by the
         index itself, so a forged submission against another shard's task
-        is caught by that shard's attribution check."""
-        _shard, _local, engine = self._engine_for_index(task_index)
+        is caught by that shard's attribution check.  A submission racing
+        a crashed shard raises the transient
+        :class:`~repro.errors.ShardDownError`; the caller (the
+        simulation's retry queue, a real frontend) re-submits with
+        backoff."""
+        shard, _local, engine = self._engine_for_index(task_index)
         engine.submit_result(volunteer_id, task_index, result)
+        self._stores[shard].journal(["submit", volunteer_id, task_index, result])
+
+    def task(self, task_index: int) -> Task:
+        """The live :class:`~repro.webcompute.task.Task` record behind a
+        global index (routed to its shard's ledger)."""
+        _shard, _local, engine = self._engine_for_index(task_index)
+        return engine.ledger.task(task_index)
 
     def attribute(self, task_index: int) -> int:
         """Global attribution: ``unpair`` to ``(shard, local)``, then the
@@ -348,8 +598,9 @@ class ShardedWBCServer:
         return self.engines[shard].is_banned(volunteer_id)
 
     def report(self) -> LedgerReport:
-        """The aggregate ledger report across every shard."""
-        reports = [engine.report() for engine in self.engines]
+        """The aggregate ledger report across every *live* shard (a
+        crashed shard's ledger rejoins the aggregate once restored)."""
+        reports = [self.engines[s].report() for s in self.alive_shards()]
         return LedgerReport(
             tasks_issued=sum(r.tasks_issued for r in reports),
             tasks_returned=sum(r.tasks_returned for r in reports),
@@ -358,6 +609,8 @@ class ShardedWBCServer:
             bad_results_caught=sum(r.bad_results_caught for r in reports),
             volunteers_banned=sum(r.volunteers_banned for r in reports),
             honest_volunteers_banned=sum(r.honest_volunteers_banned for r in reports),
+            tasks_reissued=sum(r.tasks_reissued for r in reports),
+            late_returns=sum(r.late_returns for r in reports),
         )
 
     def __repr__(self) -> str:

@@ -31,15 +31,27 @@ single seed, so any reported number is exactly reproducible.  The outputs
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.apf.base import AdditivePairingFunction
-from repro.errors import AllocationError, ConfigurationError
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    DomainError,
+    ShardDownError,
+)
 from repro.webcompute.events import (
+    CheckpointTaken,
     EventCounters,
     ResultReturned,
+    ReturnDelayed,
+    ReturnDropped,
+    ShardCrashed,
+    ShardRestored,
     VolunteerDeparted,
 )
+from repro.webcompute.faults import FaultInjector, FaultSpec
+from repro.webcompute.recovery import Backoff
 from repro.webcompute.server import WBCServer
 from repro.webcompute.sharding import ShardedWBCServer
 from repro.webcompute.task import Task
@@ -72,6 +84,9 @@ class SimulationConfig:
     max_speed: float = 3.0
     seed: int = 2002  # the venue year; any int works
     shards: int = 1  # > 1 drives a ShardedWBCServer
+    lease_ticks: int | None = None  # task-lease length (None = no leases)
+    checkpoint_every: int | None = None  # periodic shard checkpoints
+    faults: str = ""  # FaultSpec grammar (see repro.webcompute.faults)
 
     def __post_init__(self) -> None:
         if self.ticks <= 0 or self.initial_volunteers <= 0:
@@ -82,6 +97,19 @@ class SimulationConfig:
             raise ConfigurationError("need 0 < min_speed <= max_speed")
         if isinstance(self.shards, bool) or not isinstance(self.shards, int) or self.shards < 1:
             raise ConfigurationError(f"shards must be a positive int, got {self.shards!r}")
+        spec = FaultSpec.parse(self.faults)  # fail fast on a bad grammar
+        for fault in spec.scheduled:
+            if fault.kind in ("crash", "restore"):
+                if self.shards < 2:
+                    raise ConfigurationError(
+                        f"{fault.kind}@ faults need shards >= 2 "
+                        f"(got shards={self.shards})"
+                    )
+                if fault.arg >= self.shards:
+                    raise ConfigurationError(
+                        f"{fault.kind}@{fault.tick}:{fault.arg} targets a "
+                        f"nonexistent shard (shards={self.shards})"
+                    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,6 +129,15 @@ class SimulationOutcome:
     attribution_checks: int
     attribution_failures: int
     shards: int = 1
+    tasks_reissued: int = 0
+    late_returns: int = 0
+    shard_crashes: int = 0
+    shard_restores: int = 0
+    checkpoints_taken: int = 0
+    returns_dropped: int = 0
+    returns_delayed: int = 0
+    returns_retried: int = 0
+    returns_abandoned: int = 0
 
     @property
     def density(self) -> float:
@@ -111,9 +148,29 @@ class SimulationOutcome:
         return self.tasks_completed / self.max_task_index
 
 
+@dataclass(slots=True)
+class _PendingReturn:
+    """One computed result waiting to be (re)submitted: a fault-delayed
+    return, or a return that raced a crashed shard and is backing off."""
+
+    volunteer_id: int
+    task: Task
+    result: int
+    due: int
+    backoff: Backoff = field(default_factory=Backoff)
+    retried: bool = False
+
+
 class WBCSimulation:
     """One reproducible project run against one APF (and, with
-    ``config.shards > 1``, several engine shards)."""
+    ``config.shards > 1``, several engine shards).
+
+    Fault handling: a ``config.faults`` spec drives a seeded
+    :class:`~repro.webcompute.faults.FaultInjector`.  The injector's RNG
+    is separate from the arrival/work RNG streams, so a run with
+    scheduled faults only (crash/restore) consumes *identical* arrival,
+    behavior, and work randomness as the fault-free run -- the basis of
+    the crash-recovery differential test."""
 
     def __init__(self, apf: AdditivePairingFunction, config: SimulationConfig) -> None:
         self.config = config
@@ -124,6 +181,8 @@ class WBCSimulation:
                 verification_rate=config.verification_rate,
                 ban_after_strikes=config.ban_after_strikes,
                 seed=config.seed,
+                lease_ticks=config.lease_ticks,
+                checkpoint_every=config.checkpoint_every,
             )
         else:
             self.server = WBCServer(
@@ -131,7 +190,9 @@ class WBCSimulation:
                 verification_rate=config.verification_rate,
                 ban_after_strikes=config.ban_after_strikes,
                 seed=config.seed,
+                lease_ticks=config.lease_ticks,
             )
+        self.injector = FaultInjector(FaultSpec.parse(config.faults), seed=config.seed)
         # Observability taps: aggregate typed counters, plus one filtered
         # count (voluntary departures) the aggregates cannot express.
         self.counters = EventCounters.attach(self.server.bus)
@@ -141,9 +202,12 @@ class WBCSimulation:
         self._work_rng = random.Random(config.seed ^ 0x5A5A5A5A)
         self._active: list[int] = []
         self._in_flight: dict[int, Task] = {}  # volunteer -> outstanding task
+        self._pending_returns: list[_PendingReturn] = []
         self._profile_count = 0
         self._attribution_checks = 0
         self._attribution_failures = 0
+        self._returns_retried = 0
+        self._returns_abandoned = 0
 
     def _on_departure(self, event: VolunteerDeparted) -> None:
         if not event.banned:
@@ -176,6 +240,68 @@ class WBCSimulation:
         ids = self.server.register_round(profiles)
         self._active.extend(ids)
 
+    # -- fault plumbing ------------------------------------------------
+
+    def _reachable(self, vid: int) -> bool:
+        """Whether *vid*'s shard is up (always true for a single server)."""
+        server = self.server
+        if isinstance(server, ShardedWBCServer):
+            return server.is_shard_alive(server.shard_of(vid))
+        return True
+
+    def _check_attribution(self, task: Task) -> None:
+        """The accountability invariant, checked on every computed
+        result: attribution must name the task's *original* assignee --
+        under a lease reissue that is still the original volunteer, never
+        the reissue target."""
+        self._attribution_checks += 1
+        if self.server.attribute(task.index) != task.volunteer_id:
+            self._attribution_failures += 1
+
+    def _submit_or_queue(self, pending: _PendingReturn) -> None:
+        """Deliver one computed result.  A down shard re-queues it on the
+        backoff schedule (until exhausted); a conflict -- the task was
+        already returned by the other assignee after a reissue race --
+        abandons it (the ledger keeps the first return)."""
+        try:
+            self.server.submit_result(
+                pending.volunteer_id, pending.task.index, pending.result
+            )
+        except ShardDownError:
+            if pending.backoff.exhausted:
+                self._returns_abandoned += 1
+                return
+            pending.retried = True
+            pending.due = pending.backoff.next_retry_tick(self.server.clock)
+            self._pending_returns.append(pending)
+            return
+        except DomainError:
+            self._returns_abandoned += 1
+            return
+        if pending.retried:
+            self._returns_retried += 1
+
+    def _apply_scheduled_faults(self) -> None:
+        """Fire this tick's scheduled faults (corrupt, then crash, then
+        restore -- so a crash+restore pair scheduled on the same tick is
+        a lossless bounce)."""
+        server = self.server
+        for fault in self.injector.scheduled_at(server.clock):
+            if fault.kind == "corrupt":
+                candidates = [
+                    vid
+                    for vid in self._active
+                    if self._reachable(vid) and not server.profile_of(vid).is_faulty
+                ]
+                for vid in self.injector.corruption_targets(fault.arg, candidates):
+                    server.mark_corrupted(vid, self.config.malicious_error_rate)
+            elif fault.kind == "crash":
+                assert isinstance(server, ShardedWBCServer)  # enforced by config
+                server.crash_shard(fault.arg)
+            elif fault.kind == "restore":
+                assert isinstance(server, ShardedWBCServer)
+                server.restore_shard(fault.arg)
+
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationOutcome:
@@ -184,12 +310,30 @@ class WBCSimulation:
         self._admit(cfg.initial_volunteers)
         for _ in range(cfg.ticks):
             server.tick()
+            self._apply_scheduled_faults()
+            # Retry queue: deliver returns that came due this tick
+            # (delayed in flight, or backing off after racing a crash).
+            due = [p for p in self._pending_returns if p.due <= server.clock]
+            if due:
+                self._pending_returns = [
+                    p for p in self._pending_returns if p.due > server.clock
+                ]
+                for pending in due:
+                    self._submit_or_queue(pending)
+            # Lease reaper: expired tasks are reissued shard-locally; the
+            # sim hands each reissued task to its new assignee if that
+            # volunteer is free (otherwise the lease just expires again).
+            if cfg.lease_ticks is not None:
+                for task in server.reap_expired():
+                    target = task.reissued_to
+                    if target in self._active and target not in self._in_flight:
+                        self._in_flight[target] = task
             # Arrivals: Bernoulli approximation of a Poisson stream.
             if self._rng.random() < cfg.arrival_rate:
                 self._admit(1)
             # Departures (volunteers with no outstanding task can leave).
             for vid in list(self._active):
-                if vid in self._in_flight:
+                if vid in self._in_flight or not self._reachable(vid):
                     continue
                 if self._rng.random() < cfg.departure_rate:
                     server.depart(vid)
@@ -198,6 +342,8 @@ class WBCSimulation:
             # volunteer finishes its task this tick with probability
             # min(1, s) (coarse but monotone in s and fully seeded).
             for vid in list(self._active):
+                if not self._reachable(vid):
+                    continue
                 if server.is_banned(vid):
                     # Banned volunteers are ejected from the project.
                     try:
@@ -214,14 +360,46 @@ class WBCSimulation:
                     self._in_flight[vid] = task
                 if self._work_rng.random() < min(1.0, profile.speed):
                     result = profile.compute(task.index, self._work_rng)
-                    # Accountability invariant, checked on every return:
-                    # the server's attribution must name the volunteer that
-                    # actually computed the task.
-                    self._attribution_checks += 1
-                    if server.attribute(task.index) != vid:
-                        self._attribution_failures += 1
-                    server.submit_result(vid, task.index, result)
+                    fate = self.injector.return_fate()
                     del self._in_flight[vid]
+                    if fate.dropped:
+                        # The result is lost in flight; the task stays
+                        # issued and its lease will expire and reissue.
+                        server.bus.publish(
+                            ReturnDropped(
+                                tick=server.clock,
+                                volunteer_id=vid,
+                                task_index=task.index,
+                            )
+                        )
+                        continue
+                    self._check_attribution(task)
+                    if fate.delay > 0:
+                        server.bus.publish(
+                            ReturnDelayed(
+                                tick=server.clock,
+                                volunteer_id=vid,
+                                task_index=task.index,
+                                delay=fate.delay,
+                            )
+                        )
+                        self._pending_returns.append(
+                            _PendingReturn(
+                                volunteer_id=vid,
+                                task=task,
+                                result=result,
+                                due=server.clock + fate.delay,
+                            )
+                        )
+                        continue
+                    self._submit_or_queue(
+                        _PendingReturn(
+                            volunteer_id=vid,
+                            task=task,
+                            result=result,
+                            due=server.clock,
+                        )
+                    )
         report = server.report()
         faulty_banned = report.volunteers_banned - report.honest_volunteers_banned
         return SimulationOutcome(
@@ -238,6 +416,15 @@ class WBCSimulation:
             attribution_checks=self._attribution_checks,
             attribution_failures=self._attribution_failures,
             shards=cfg.shards,
+            tasks_reissued=report.tasks_reissued,
+            late_returns=report.late_returns,
+            shard_crashes=self.counters.count(ShardCrashed),
+            shard_restores=self.counters.count(ShardRestored),
+            checkpoints_taken=self.counters.count(CheckpointTaken),
+            returns_dropped=self.counters.count(ReturnDropped),
+            returns_delayed=self.counters.count(ReturnDelayed),
+            returns_retried=self._returns_retried,
+            returns_abandoned=self._returns_abandoned,
         )
 
 

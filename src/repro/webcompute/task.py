@@ -58,7 +58,15 @@ class Task:
 
     ``index`` is the *global* task index -- the value ``T(v, t)`` of the
     task-allocation function; ``volunteer_id`` and ``serial`` record the
-    allocation (``v`` and ``t``) for the ledger.
+    allocation (``v`` and ``t``) for the ledger.  ``volunteer_id`` is the
+    *original* assignee and never changes: ``T^-1`` attribution must keep
+    naming it even after a lease-expiry reissue (``reissued_to``), so a
+    late or forged return is always charged to an identifiable volunteer.
+
+    Lease fields (all ``None`` when the engine runs without leases):
+    ``lease_expires_at`` is the tick after which a reaper may hand the
+    still-unreturned task to another volunteer; ``reissued_to`` /
+    ``reissued_at`` record the most recent reissue.
     """
 
     index: int
@@ -68,6 +76,10 @@ class Task:
     status: TaskStatus = TaskStatus.ISSUED
     returned_at: int | None = None
     reported_result: int | None = None
+    returned_by: int | None = None
+    lease_expires_at: int | None = None
+    reissued_to: int | None = None
+    reissued_at: int | None = None
 
     def __post_init__(self) -> None:
         if self.index <= 0:
@@ -79,6 +91,17 @@ class Task:
     def expected_result(self) -> int:
         """Ground truth (the server can always recompute it)."""
         return correct_result(self.index)
+
+    @property
+    def current_assignee(self) -> int:
+        """The volunteer currently expected to return this task: the
+        latest reissue target, or the original assignee."""
+        return self.reissued_to if self.reissued_to is not None else self.volunteer_id
+
+    def lease_expired(self, at_tick: int) -> bool:
+        """Whether the lease (if any) has expired as of *at_tick*; a task
+        without a lease never expires."""
+        return self.lease_expires_at is not None and at_tick > self.lease_expires_at
 
     def mark_returned(self, result: int, at_tick: int) -> None:
         if self.status is not TaskStatus.ISSUED:

@@ -83,3 +83,22 @@ class VolunteerProfile:
     @property
     def is_faulty(self) -> bool:
         return self.behavior is not Behavior.HONEST
+
+    def to_state(self) -> dict:
+        """JSON-able form for checkpoints and op journals."""
+        return {
+            "name": self.name,
+            "speed": self.speed,
+            "behavior": self.behavior.value,
+            "error_rate": self.error_rate,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VolunteerProfile":
+        """Inverse of :meth:`to_state`."""
+        return cls(
+            name=state["name"],
+            speed=state["speed"],
+            behavior=Behavior(state["behavior"]),
+            error_rate=state["error_rate"],
+        )

@@ -48,6 +48,16 @@ def test_smoke_run_writes_schema_and_record(bench_runner, tmp_path):
         assert row["attribution_failures"] == 0
         assert row["tasks_completed"] > 0
         assert row["max_task_index"] > 0
+    recovery_rows = scenarios["fault_recovery"]
+    assert set(recovery_rows) == {
+        f"shards_{s}" for s in bench_runner.FAULT_SHARD_COUNTS
+    }
+    for row in recovery_rows.values():
+        assert row["unique_after_restore"] is True
+        assert row["checkpoint_all_s"] > 0
+        assert row["bounce_s"] > 0
+        assert row["replayed_ops"] > 0
+        assert row["state_bytes_per_shard"] > 0
     # No monotonicity assertion on max_task_index: sharding *lowers*
     # per-engine row numbers (cheaper strides) while the square-shell
     # composition inflates the composed index -- which effect wins is

@@ -1,0 +1,151 @@
+"""Tests for the fault-spec grammar and the seeded injector
+(repro.webcompute.faults).
+
+The property the whole chaos layer leans on: the injector is a pure
+function of ``(spec, seed, call sequence)``.  Same inputs, same faults --
+that is what makes a failing chaos schedule replayable, and what keeps a
+scheduled-faults-only run consuming *zero* injector randomness so the
+crash-recovery differential test can compare it to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import ConfigurationError
+from repro.webcompute.faults import FaultInjector, FaultSpec, ReturnFate
+from repro.webcompute.simulation import SimulationConfig
+
+
+class TestFaultSpecParse:
+    def test_empty_and_whitespace_specs(self):
+        assert FaultSpec.parse("").is_empty
+        assert FaultSpec.parse("  ,  , ").is_empty
+
+    def test_full_grammar_round_trip(self):
+        spec = FaultSpec.parse(
+            "crash@40:1, restore@55:1, corrupt@20:2, drop=0.05, delay=0.1:3"
+        )
+        assert [(f.kind, f.tick, f.arg) for f in spec.scheduled] == [
+            ("corrupt", 20, 2),
+            ("crash", 40, 1),
+            ("restore", 55, 1),
+        ]
+        assert spec.drop_rate == 0.05
+        assert spec.delay_rate == 0.1
+        assert spec.delay_ticks == 3
+        assert not spec.is_empty
+
+    def test_within_tick_order_is_corrupt_crash_restore(self):
+        spec = FaultSpec.parse("restore@7:0,crash@7:1,corrupt@7:3")
+        assert [f.kind for f in spec.scheduled] == ["corrupt", "crash", "restore"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "crash@0:1",  # tick must be positive
+            "crash@-3:1",
+            "crash@4:-1",  # negative shard
+            "crash@4",  # missing arg
+            "crash@x:1",  # non-integer tick
+            "restore@:1",
+            "corrupt@5:a",
+            "drop=1.5",  # rate out of range
+            "drop=-0.1",
+            "drop=abc",
+            "delay=0.5:0",  # delay ticks must be positive
+            "delay=0.5:-2",
+            "delay=0.5",  # missing ticks
+            "delay=2.0:3",
+            "explode@4:1",  # unknown clause
+            "nonsense",
+        ],
+    )
+    def test_malformed_clauses_raise_with_context(self, bad):
+        with pytest.raises(ConfigurationError) as excinfo:
+            FaultSpec.parse(bad)
+        assert "bad fault clause" in str(excinfo.value)
+
+    def test_simulation_config_validates_fault_targets(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(shards=1, faults="crash@5:0")  # needs shards >= 2
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(shards=2, faults="crash@5:2")  # no such shard
+        SimulationConfig(shards=2, faults="crash@5:1,restore@9:1")  # fine
+
+
+class TestInjectorDeterminism:
+    SPEC = "corrupt@10:2,drop=0.2,delay=0.3:4"
+
+    def make(self, seed=42):
+        return FaultInjector(FaultSpec.parse(self.SPEC), seed=seed)
+
+    def test_same_seed_same_streams(self):
+        a, b = self.make(), self.make()
+        candidates = list(range(1, 20))
+        assert a.corruption_targets(2, candidates) == b.corruption_targets(
+            2, candidates
+        )
+        assert [a.return_fate() for _ in range(50)] == [
+            b.return_fate() for _ in range(50)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a, b = self.make(seed=1), self.make(seed=2)
+        fates_a = [a.return_fate() for _ in range(100)]
+        fates_b = [b.return_fate() for _ in range(100)]
+        assert fates_a != fates_b
+
+    def test_scheduled_at_filters_by_tick(self):
+        inj = self.make()
+        assert [f.kind for f in inj.scheduled_at(10)] == ["corrupt"]
+        assert inj.scheduled_at(11) == []
+
+    def test_corruption_targets_capped_at_pool(self):
+        inj = self.make()
+        assert inj.corruption_targets(5, [3, 1, 2]) == [1, 2, 3]
+        picked = inj.corruption_targets(2, [5, 1, 9, 3])
+        assert len(picked) == 2
+        assert picked == sorted(picked)
+        assert set(picked) <= {1, 3, 5, 9}
+
+    def test_empty_spec_consumes_no_randomness(self):
+        """An all-zero spec must leave the RNG untouched: a scheduled-
+        faults-only injector stays bit-comparable to a fault-free one."""
+        inj = FaultInjector(FaultSpec.parse("crash@5:0,restore@5:0"), seed=7)
+        state_before = inj._rng.getstate()
+        for _ in range(100):
+            assert inj.return_fate() == ReturnFate()
+        assert inj._rng.getstate() == state_before
+
+    def test_injector_rng_is_not_the_simulation_stream(self):
+        """The injector perturbs its seed, so even an identical seed value
+        yields a stream independent of ``random.Random(seed)``."""
+        import random
+
+        seed = 123
+        inj = FaultInjector(FaultSpec.parse("drop=0.5"), seed=seed)
+        plain = random.Random(seed)
+        inj_draws = [inj.return_fate().dropped for _ in range(64)]
+        plain_draws = [plain.random() < 0.5 for _ in range(64)]
+        assert inj_draws != plain_draws
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ticks=st.lists(st.integers(1, 50), min_size=0, max_size=5),
+    drop=st.one_of(st.just(0.0), st.floats(0.0, 1.0, allow_nan=False)),
+)
+def test_parse_is_total_on_generated_specs(ticks, drop):
+    """Any spec assembled from valid clauses parses, sorts its schedule,
+    and reports is_empty correctly."""
+    clauses = [f"corrupt@{t}:1" for t in ticks]
+    if drop > 0.0:
+        clauses.append(f"drop={drop}")
+    spec = FaultSpec.parse(",".join(clauses))
+    assert len(spec.scheduled) == len(ticks)
+    assert [f.tick for f in spec.scheduled] == sorted(ticks)
+    assert spec.is_empty == (not ticks and drop == 0.0)

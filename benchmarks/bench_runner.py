@@ -319,6 +319,36 @@ def scenario_fault_recovery(smoke: bool, repeats: int) -> dict:
     return out
 
 
+def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
+    """reprolint over the library tree: analyzer wall time plus the
+    finding counts.  An unsuppressed finding is a gate failure here, same
+    contract as the kernel-consistency gate -- perf numbers from a tree
+    that violates its own invariants are not worth recording."""
+    from repro.staticcheck import analyze_paths
+
+    src = _ROOT / "src"
+    results: list = []
+
+    def run() -> None:
+        results.append(analyze_paths([src]))
+
+    best = _best_seconds(run, 1 if smoke else repeats)
+    result = results[-1]
+    if not result.ok:
+        raise AssertionError(
+            "reprolint found unsuppressed violations:\n"
+            + "\n".join(f.render() for f in result.findings)
+        )
+    return {
+        "files": result.files,
+        "analyze_s": best,
+        "files_per_second": result.files / best if best > 0 else 0.0,
+        "unsuppressed_findings": len(result.findings),
+        "suppressed_by_rule": result.suppressed_counts_by_rule(),
+        "pass": True,
+    }
+
+
 def scenario_consistency() -> dict:
     """The exactness gate: vectorized paths must agree with the scalar
     bignum paths across the exact-safe boundary.  Raises on mismatch."""
@@ -377,6 +407,7 @@ def build_run(smoke: bool, repeats: int) -> dict:
             "spread_compactness": scenario_spread_compactness(smoke, repeats),
             "shard_scaling": scenario_shard_scaling(smoke, repeats),
             "fault_recovery": scenario_fault_recovery(smoke, repeats),
+            "staticcheck": scenario_staticcheck(smoke, repeats),
         },
     }
 
@@ -427,6 +458,11 @@ def main(argv: list[str] | None = None) -> int:
             f"bounce {row['bounce_s'] * 1e3:.1f} ms ({row['replayed_ops']} ops replayed), "
             f"{row['state_bytes_per_shard']} B/shard"
         )
+    lint = run["scenarios"]["staticcheck"]
+    print(
+        f"  staticcheck: {lint['files']} files clean in {lint['analyze_s'] * 1e3:.0f} ms "
+        f"({sum(lint['suppressed_by_rule'].values())} suppressed)"
+    )
     print(f"  consistency: {run['scenarios']['consistency']['checked']} checks ok")
     return 0
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from abc import abstractmethod
 
-from repro.core.base import PairingFunction, validate_address, validate_coordinates
+from repro.core.base import PairingFunction, validate_coordinates
 from repro.errors import DomainError
 from repro.numbertheory.progressions import ArithmeticProgression
 

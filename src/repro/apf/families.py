@@ -216,6 +216,8 @@ class TPower(ConstructedAPF):
 
         if x == 1:
             return 0
+        # reprolint: allow[R001] the paper's float estimate, by design;
+        # never feeds back into pairing arithmetic (group_of is exact)
         return math.ceil(math.log2(x) ** (1.0 / self.k))
 
 
@@ -242,6 +244,8 @@ class TStar(ConstructedAPF):
 
         if x == 1:
             return 0
+        # reprolint: allow[R001] the paper's float estimate, by design;
+        # never feeds back into pairing arithmetic (group_of is exact)
         return math.ceil(math.sqrt(2 * math.log2(x))) + 1
 
     def stride_estimate(self, x: int) -> float:
@@ -252,6 +256,8 @@ class TStar(ConstructedAPF):
 
         if x == 1:
             return 8.0
+        # reprolint: allow[R001] Proposition 4.4 is itself an estimate;
+        # the float result is reporting-only
         return 8.0 * x * 4.0 ** math.sqrt(2 * math.log2(x))
 
 

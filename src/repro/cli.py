@@ -104,6 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("report", help="print the paper-reproduction report")
 
     sub.add_parser("list", help="list registered mapping names")
+
+    lint = sub.add_parser(
+        "lint", help="run reprolint, the project's AST invariant analyzer"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable report")
+    lint.add_argument("--rules", help="comma-separated rule codes to run")
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rules table and exit"
+    )
     return parser
 
 
@@ -364,6 +376,17 @@ def main(argv: list[str] | None = None) -> int:
         for name in available_names():
             print(name)
         print("(plus parameterized: aspect-AxB, apf-bracket-C, apf-power-K)")
+    elif args.command == "lint":
+        from repro.staticcheck.runner import run_cli as lint_cli
+
+        lint_argv = list(args.paths)
+        if args.json:
+            lint_argv.append("--json")
+        if args.rules:
+            lint_argv.extend(["--rules", args.rules])
+        if args.list_rules:
+            lint_argv.append("--list-rules")
+        return lint_cli(lint_argv)
     return 0
 
 

@@ -25,7 +25,7 @@ with closed forms where the paper derives them.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -329,6 +329,9 @@ class StorageMapping(ABC):
         sizes instead of re-enumerating the whole lattice."""
         cache = getattr(self, "_spread_cache", None)
         if cache is None:
+            # reprolint: allow[R004] sanctioned lazy inversion: the perf
+            # cache layers on core, imported only on first use to keep
+            # core importable without perf
             from repro.perf.spread_cache import SpreadCache
 
             cache = SpreadCache(self)

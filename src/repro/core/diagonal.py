@@ -23,8 +23,6 @@ from repro.core.base import (
     EXACT_SAFE_ADDRESS_LIMIT,
     EXACT_SAFE_COORD_LIMIT,
     PairingFunction,
-    validate_address,
-    validate_coordinates,
 )
 from repro.numbertheory.integers import triangular, triangular_root
 
@@ -89,6 +87,8 @@ class DiagonalPairing(PairingFunction):
         s = x + y - 1
         return s * (s - 1) // 2 + y
 
+    # reprolint: allow[R001] float estimate + exact integer repair; the
+    # dispatcher guards z <= EXACT_SAFE_ADDRESS_LIMIT (see PR 1 tests)
     def _unpair_kernel(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         w = z - 1
         # Float estimate of triangular root, then exact correction.  The

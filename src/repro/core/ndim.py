@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.base import PairingFunction, StorageMapping, validate_address
+from repro.core.base import PairingFunction, validate_address
 from repro.errors import ConfigurationError, DomainError
 
 __all__ = ["IteratedPairing"]

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Iterable
 
 from repro.core.base import PairingFunction
 from repro.errors import ConfigurationError, DomainError

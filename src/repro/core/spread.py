@@ -17,7 +17,7 @@ report dataclasses consumed by the benchmarks and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.base import StorageMapping

@@ -97,6 +97,8 @@ class SquareShellPairing(PairingFunction):
         m = np.maximum(x - 1, y - 1)
         return m * m + m + y - x + 1
 
+    # reprolint: allow[R001] float estimate + exact integer repair; the
+    # dispatcher guards z <= EXACT_SAFE_ADDRESS_LIMIT (see PR 1 tests)
     def _unpair_kernel(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         # Float isqrt estimate; the ±1 repair below is sound only inside
         # the exact-safe window (the dispatcher guarantees

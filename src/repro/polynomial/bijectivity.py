@@ -22,7 +22,7 @@ outside the window can map into ``1..bound``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.errors import DomainError

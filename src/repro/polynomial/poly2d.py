@@ -17,7 +17,7 @@ on.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import numpy as np
 
@@ -175,6 +175,8 @@ class Polynomial2D:
             for y in range(1, limit + 1)
         )
 
+    # reprolint: allow[R001] documented float path: sweeps and plots only,
+    # never used where bijectivity or round-trips are asserted
     def eval_array(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         """Float evaluation over numpy arrays (sweeps/plots; not exact)."""
         x = np.asarray(xs, dtype=np.float64)

@@ -1,0 +1,49 @@
+"""``reprolint``: AST-based invariant analysis for this repository.
+
+The test suite can only catch an invariant violation that a test happens
+to exercise; ``reprolint`` enforces the codebase's hard-won correctness
+properties *mechanically on every file*:
+
+* **R001 float-contamination** -- no float-producing operation inside a
+  module declared *exact* (the ``int64 -> float64`` promotion trap that
+  silently corrupted ``unpair`` beyond ``2**53`` until PR 1 fixed it).
+* **R002 determinism** -- no unseeded randomness, wall-clock reads, or
+  unordered-``set`` iteration inside modules whose replay must be
+  bit-identical (crash recovery, fault injection, the simulation).
+* **R003 snapshot-completeness** -- every ``self.X`` assigned in
+  ``__init__`` of a class with ``snapshot_state``/``restore_state`` must
+  be captured or restored (the scalars-only engine snapshot bug fixed in
+  PR 3, now caught at lint time).
+* **R004 layering** -- the import DAG (``pairing`` never imports
+  ``arrays``/``webcompute``), no cross-module private-attribute access,
+  no dead imports.
+* **R005 event-discipline** -- mutating methods of the engine classes
+  publish a typed event or carry a reviewed suppression.
+
+Configuration lives in ``pyproject.toml`` under ``[tool.reprolint]``;
+individual findings are waived with a reviewed comment::
+
+    x = estimate / 2  # reprolint: allow[R001] documented float estimate
+
+A suppression that matches no finding is itself reported (**R000**), so
+stale waivers cannot accumulate.  Run as ``python -m repro.staticcheck
+src/`` or ``repro-pf lint src/``; exit code 0 means zero unsuppressed
+findings.
+
+This package is self-contained: standard-library ``ast``/``tomllib``
+only, no runtime dependency on the rest of ``repro``.
+"""
+
+from repro.staticcheck.config import ReprolintConfig, load_config
+from repro.staticcheck.model import Finding, Suppression
+from repro.staticcheck.runner import AnalysisResult, analyze_paths, run_cli
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ReprolintConfig",
+    "Suppression",
+    "analyze_paths",
+    "load_config",
+    "run_cli",
+]

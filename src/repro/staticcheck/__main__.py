@@ -1,0 +1,9 @@
+"""``python -m repro.staticcheck [paths...]`` -- the lint gate's
+entry point (also reachable as ``repro-pf lint``)."""
+
+import sys
+
+from repro.staticcheck.runner import run_cli
+
+if __name__ == "__main__":
+    sys.exit(run_cli())

@@ -1,0 +1,94 @@
+"""The checker registry.
+
+A checker is a class with a ``code`` (the rule it reports), a one-line
+``summary`` (the rules table in ``--list-rules`` and the README), and a
+``check(module, config)`` method returning findings.  The runner decides
+which checkers run per module (per-module disables, the ``--rules``
+filter); checkers themselves only decide whether a *module is in scope*
+for their rule (e.g. R001 only looks at modules declared exact).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.loader import SourceModule
+from repro.staticcheck.model import Finding
+
+__all__ = ["Checker", "ALL_CHECKERS", "checker_for", "attribute_parts"]
+
+
+class Checker:
+    """Base class: subclasses set ``code``/``name``/``summary`` and
+    implement :meth:`check`."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, line: int, message: str) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=_display_path(module.path),
+            line=line,
+            message=message,
+            module=module.name,
+        )
+
+
+def _display_path(path: Path) -> str:
+    """Repo-relative when possible (stable across machines), absolute
+    otherwise."""
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def attribute_parts(node: ast.Attribute) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")`` when the chain roots in a plain
+    name, else ``None`` (calls, subscripts, literals)."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _registry() -> list[Checker]:
+    from repro.staticcheck.checkers.determinism import DeterminismChecker
+    from repro.staticcheck.checkers.event_discipline import EventDisciplineChecker
+    from repro.staticcheck.checkers.float_contamination import (
+        FloatContaminationChecker,
+    )
+    from repro.staticcheck.checkers.layering import LayeringChecker
+    from repro.staticcheck.checkers.snapshot_completeness import (
+        SnapshotCompletenessChecker,
+    )
+
+    return [
+        FloatContaminationChecker(),
+        DeterminismChecker(),
+        SnapshotCompletenessChecker(),
+        LayeringChecker(),
+        EventDisciplineChecker(),
+    ]
+
+
+ALL_CHECKERS: list[Checker] = _registry()
+
+
+def checker_for(code: str) -> Checker:
+    for checker in ALL_CHECKERS:
+        if checker.code == code.upper():
+            return checker
+    raise KeyError(code)

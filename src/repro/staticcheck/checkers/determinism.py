@@ -1,0 +1,224 @@
+"""R002: no nondeterminism inside modules that must replay exactly.
+
+Crash recovery rebuilds a shard by replaying its op journal against a
+checkpoint and asserts the rebuilt state is *bit-identical*; the chaos
+suite replays failing fault schedules from a seed.  Both guarantees die
+the moment one of these modules consults an unseeded RNG, a wall clock,
+or iterates a ``set`` in hash order while producing journal entries,
+checkpoints, or events.  Inside modules matched by
+``r002.deterministic-modules`` this checker flags:
+
+* module-level ``random.*`` calls (the shared global RNG) and unseeded
+  ``random.Random()`` / any ``random.SystemRandom`` -- seeded
+  ``random.Random(seed)`` instances are the sanctioned pattern;
+* wall-clock reads: ``time.time``/``monotonic``/``perf_counter`` (and
+  ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
+* entropy sources: ``os.urandom``, ``uuid.uuid1``/``uuid4``,
+  ``secrets.*``;
+* iteration over a value known to be a ``set`` (a set literal, set
+  comprehension, or ``set()``/``frozenset()`` call, directly or through a
+  local name) in a ``for`` loop or comprehension -- hash order varies
+  across processes (PYTHONHASHSEED), so anything order-sensitive must go
+  through ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.checkers import Checker, attribute_parts
+from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.loader import SourceModule
+from repro.staticcheck.model import Finding
+
+__all__ = ["DeterminismChecker"]
+
+CLOCK_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+DATETIME_ROOTS = frozenset({"datetime", "date"})
+UUID_ATTRS = frozenset({"uuid1", "uuid4"})
+
+
+class DeterminismChecker(Checker):
+    code = "R002"
+    name = "determinism"
+    summary = (
+        "unseeded randomness, wall-clock reads, or unordered set iteration "
+        "in modules that must replay deterministically"
+    )
+
+    def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
+        if not config.is_deterministic(module.name):
+            return []
+        findings: list[Finding] = []
+        self._check_entropy_sources(module, findings)
+        self._check_set_iteration(module, findings)
+        return findings
+
+    # -- unseeded RNGs, clocks, entropy --------------------------------
+
+    def _check_entropy_sources(
+        self, module: SourceModule, findings: list[Finding]
+    ) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            parts = attribute_parts(node)
+            if parts is None or len(parts) < 2:
+                continue
+            root, leaf = parts[0], parts[-1]
+            dotted = ".".join(parts)
+            if root == "random":
+                if leaf == "SystemRandom":
+                    findings.append(
+                        self.finding(
+                            module, node.lineno,
+                            "random.SystemRandom draws OS entropy; replay "
+                            "needs a seeded random.Random",
+                        )
+                    )
+                elif leaf == "Random":
+                    # Seeded Random(seed) is the sanctioned pattern; a
+                    # bare Random() seeds from OS entropy.
+                    call = self._call_of(module.tree, node)
+                    if call is not None and not call.args and not call.keywords:
+                        findings.append(
+                            self.finding(
+                                module, node.lineno,
+                                "random.Random() without a seed is "
+                                "nondeterministic; pass an explicit seed",
+                            )
+                        )
+                else:
+                    findings.append(
+                        self.finding(
+                            module, node.lineno,
+                            f"{dotted} uses the shared global RNG; route "
+                            "randomness through a seeded random.Random "
+                            "instance",
+                        )
+                    )
+            elif root == "time" and leaf in CLOCK_TIME_ATTRS:
+                findings.append(
+                    self.finding(
+                        module, node.lineno,
+                        f"{dotted} reads the wall clock; deterministic "
+                        "modules must use the logical tick clock",
+                    )
+                )
+            elif root in DATETIME_ROOTS and leaf in CLOCK_DATETIME_ATTRS:
+                findings.append(
+                    self.finding(
+                        module, node.lineno,
+                        f"{dotted} reads the wall clock; deterministic "
+                        "modules must use the logical tick clock",
+                    )
+                )
+            elif root == "os" and leaf == "urandom":
+                findings.append(
+                    self.finding(
+                        module, node.lineno,
+                        "os.urandom is unseedable entropy",
+                    )
+                )
+            elif root == "uuid" and leaf in UUID_ATTRS:
+                findings.append(
+                    self.finding(
+                        module, node.lineno,
+                        f"{dotted} is nondeterministic; derive ids from "
+                        "the seeded streams",
+                    )
+                )
+            elif root == "secrets":
+                findings.append(
+                    self.finding(
+                        module, node.lineno,
+                        f"{dotted} is unseedable entropy",
+                    )
+                )
+
+    @staticmethod
+    def _call_of(tree: ast.Module, func_node: ast.Attribute) -> ast.Call | None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and node.func is func_node:
+                return node
+        return None
+
+    # -- unordered set iteration ---------------------------------------
+
+    def _check_set_iteration(
+        self, module: SourceModule, findings: list[Finding]
+    ) -> None:
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            set_names = self._set_names(scope)
+            for node in self._scope_nodes(scope):
+                iters: list[ast.expr] = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if self._is_set_expr(it) or (
+                        isinstance(it, ast.Name) and it.id in set_names
+                    ):
+                        findings.append(
+                            self.finding(
+                                module, it.lineno,
+                                "iterating a set yields hash order, which "
+                                "varies across processes; wrap in sorted() "
+                                "before it feeds journals, checkpoints, or "
+                                "events",
+                            )
+                        )
+        # Deduplicate: nested scopes re-walk inner nodes.
+        unique = {(f.line, f.message): f for f in findings[:]}
+        findings[:] = sorted(unique.values(), key=lambda f: f.line)
+
+    @staticmethod
+    def _scope_nodes(scope: ast.AST) -> list[ast.AST]:
+        """Nodes belonging to *scope* without descending into nested
+        function scopes (each nested function is analyzed as its own
+        scope, with its own local set-name table)."""
+        out: list[ast.AST] = []
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def _set_names(self, scope: ast.AST) -> set[str]:
+        """Local names bound to a set expression anywhere in *scope*
+        (and never rebound to something recognizably not-a-set; a name
+        rebound to a non-set expression is dropped, keeping the check
+        conservative)."""
+        names: set[str] = set()
+        rebound_non_set: set[str] = set()
+        for node in self._scope_nodes(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if self._is_set_expr(node.value):
+                            names.add(target.id)
+                        else:
+                            rebound_non_set.add(target.id)
+        return names - rebound_non_set

@@ -1,0 +1,96 @@
+"""R005: event discipline -- state transitions publish typed events.
+
+The metrics layer, the simulation driver, and the forensic event log all
+observe the service exclusively through the typed event bus; PR 2's
+refactor removed every direct read of private engine state.  That
+architecture only stays honest if *every* state transition actually
+publishes: a mutating method that silently skips the bus reintroduces
+invisible state changes that metrics and replay tooling cannot see.
+
+For each class named in ``r005.event-classes``, every method (except
+``__init__``, which wires rather than transitions) that mutates instance
+state -- assigns, augments, or deletes ``self.X`` or ``self.X[...]`` --
+must contain a ``*.publish(...)`` call, or carry a reviewed
+``# reprolint: allow[R005]`` on its ``def`` line explaining why the
+mutation is not an observable transition (e.g. ``restore_state`` must
+*not* re-publish history, or the mutation is journaled by an owner).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.checkers import Checker
+from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.loader import SourceModule
+from repro.staticcheck.model import Finding
+
+__all__ = ["EventDisciplineChecker"]
+
+
+def _is_self_store(target: ast.expr) -> bool:
+    """``self.X`` or ``self.X[...]`` (or a tuple/list containing one)."""
+    if isinstance(target, ast.Attribute):
+        return isinstance(target.value, ast.Name) and target.value.id == "self"
+    if isinstance(target, ast.Subscript):
+        return _is_self_store(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return any(_is_self_store(element) for element in target.elts)
+    return False
+
+
+def _mutates_self(method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            if any(_is_self_store(t) for t in node.targets):
+                return True
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if _is_self_store(node.target):
+                return True
+        elif isinstance(node, ast.Delete):
+            if any(_is_self_store(t) for t in node.targets):
+                return True
+    return False
+
+
+def _publishes(method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "publish"
+        ):
+            return True
+    return False
+
+
+class EventDisciplineChecker(Checker):
+    code = "R005"
+    name = "event-discipline"
+    summary = (
+        "mutating methods of the engine classes that emit no typed event"
+    )
+
+    def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
+        if not config.event_classes:
+            return []
+        watched = set(config.event_classes)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or node.name not in watched:
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if item.name == "__init__":
+                    continue
+                if _mutates_self(item) and not _publishes(item):
+                    findings.append(
+                        self.finding(
+                            module, item.lineno,
+                            f"{node.name}.{item.name} mutates engine state "
+                            "but publishes no typed event; observers and "
+                            "replay tooling cannot see this transition",
+                        )
+                    )
+        return findings

@@ -1,0 +1,128 @@
+"""R001: no float-producing operation inside a module declared exact.
+
+The repository's central correctness property is that ``pair``/``unpair``
+and the attribution chain ``unpair o APF^-1`` are *integer-exact at any
+magnitude*.  Python floats (and numpy float dtypes) carry a 53-bit
+mantissa; one stray ``/`` or ``np.sqrt`` on the exact path silently
+corrupts every address beyond ``2**53`` -- exactly the int64 -> float64
+list-promotion trap PR 1 had to fix.  This checker flags, inside modules
+matched by ``r001.exact-modules``:
+
+* true division (``/``, ``/=``) -- always produces a float;
+* ``float(...)`` conversion;
+* float-returning ``math`` functions and float constants (``math.sqrt``,
+  ``math.log2``, ``math.pi``, ...) -- the integer-safe ones
+  (``math.isqrt``, ``math.gcd``, ``math.comb``, ...) stay legal;
+* numpy float dtypes and float-promoting numpy ops (``np.float64``,
+  ``np.sqrt``, ``np.mean``, ``np.true_divide``, ...).
+
+The explicitly-guarded vectorized windows from PR 1 (float estimate +
+exact integer repair, entered only for addresses ``<= 2**53``) are real,
+reviewed exceptions -- they carry ``# reprolint: allow[R001]`` comments
+rather than weakening the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.checkers import Checker, attribute_parts
+from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.loader import SourceModule
+from repro.staticcheck.model import Finding
+
+__all__ = ["FloatContaminationChecker"]
+
+#: ``math`` attributes that return (or are) floats.
+FLOAT_MATH = frozenset(
+    {
+        "sqrt", "cbrt", "exp", "exp2", "expm1",
+        "log", "log2", "log10", "log1p",
+        "pow", "hypot", "dist", "fsum", "fmod", "remainder",
+        "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+        "sinh", "cosh", "tanh", "degrees", "radians",
+        "pi", "e", "tau", "inf", "nan",
+    }
+)
+
+#: numpy attributes that are float dtypes or promote to float.
+FLOAT_NUMPY = frozenset(
+    {
+        "float16", "float32", "float64", "float128",
+        "half", "single", "double", "longdouble", "floating",
+        "sqrt", "cbrt", "exp", "exp2", "expm1",
+        "log", "log2", "log10", "log1p",
+        "true_divide", "divide", "reciprocal",
+        "mean", "average", "std", "var", "median",
+        "sin", "cos", "tan", "arctan2", "hypot",
+        "linspace", "logspace",
+    }
+)
+
+#: Names ``numpy`` is commonly bound to.
+NUMPY_ROOTS = frozenset({"np", "numpy"})
+
+
+class FloatContaminationChecker(Checker):
+    code = "R001"
+    name = "float-contamination"
+    summary = (
+        "float-producing operations (/, float(), math.sqrt, numpy float "
+        "dtypes/ops) in modules declared exact"
+    )
+
+    def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
+        if not config.is_exact(module.name):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                findings.append(
+                    self.finding(
+                        module, node.lineno,
+                        "true division `/` produces a float in an exact "
+                        "module (use `//` or exact rationals)",
+                    )
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+                findings.append(
+                    self.finding(
+                        module, node.lineno,
+                        "`/=` produces a float in an exact module",
+                    )
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                findings.append(
+                    self.finding(
+                        module, node.lineno,
+                        "float() conversion in an exact module",
+                    )
+                )
+            elif isinstance(node, ast.Attribute):
+                parts = attribute_parts(node)
+                if parts is None or len(parts) < 2:
+                    continue
+                root, leaf = parts[0], parts[-1]
+                if root == "math" and leaf in FLOAT_MATH:
+                    findings.append(
+                        self.finding(
+                            module, node.lineno,
+                            f"math.{leaf} is float-valued; exact modules "
+                            "must stay in integer arithmetic "
+                            "(math.isqrt/gcd/comb are fine)",
+                        )
+                    )
+                elif root in NUMPY_ROOTS and leaf in FLOAT_NUMPY:
+                    findings.append(
+                        self.finding(
+                            module, node.lineno,
+                            f"numpy `{'.'.join(parts)}` is a float dtype or "
+                            "float-promoting op in an exact module (the "
+                            "int64->float64 promotion trap of PR 1)",
+                        )
+                    )
+        return findings

@@ -1,0 +1,204 @@
+"""R004: layering -- the import DAG, private state, dead imports.
+
+Three sub-checks, all previously enforced piecemeal (ruff config plus an
+ad-hoc AST fallback in ``tests/test_lint_gate.py``, webcompute-only) and
+now unified tree-wide:
+
+* **Import DAG** -- ``r004.allowed-imports`` maps a dotted module prefix
+  to the internal prefixes it may import (longest prefix wins, so a
+  single module can carve out a wider allowance than its package).  The
+  pairing layer importing ``arrays`` or ``webcompute`` is an
+  architecture regression, not a style problem: it would let service
+  concerns leak into the code whose exactness everything else rests on.
+  Both top-level ``import``\\ s and lazy in-function imports are checked;
+  a deliberate lazy inversion carries ``# reprolint: allow[R004]``.
+* **Private state** -- ``r004.private-attrs`` names attributes owned by
+  one module (the ledger's ``_records``/``_tasks``: the system of
+  record).  Any ``X._records`` where ``X`` is not ``self``/``cls``,
+  outside the owning module, is flagged.
+* **Dead imports** -- an import never referenced (conservatively: no
+  ``Name``/attribute-root use, no mention in a string-literal type
+  annotation, not re-exported via ``__all__``).  ``__init__.py``
+  re-export hubs are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.staticcheck.checkers import Checker
+from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.loader import SourceModule
+from repro.staticcheck.model import Finding
+
+__all__ = ["LayeringChecker"]
+
+
+class LayeringChecker(Checker):
+    code = "R004"
+    name = "layering"
+    summary = (
+        "import-DAG violations, cross-module private-attribute access, "
+        "and dead imports"
+    )
+
+    def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        self._check_import_dag(module, config, findings)
+        self._check_private_attrs(module, config, findings)
+        self._check_dead_imports(module, findings)
+        return findings
+
+    # -- import DAG ----------------------------------------------------
+
+    def _imported_modules(self, module: SourceModule) -> list[tuple[str, int]]:
+        """Every imported module as ``(dotted_name, line)``; relative
+        imports are resolved against the module's own dotted name."""
+        out: list[tuple[str, int]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    out.append((alias.name, node.lineno))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    parts = module.name.split(".")
+                    # level 1 = current package; each extra level climbs.
+                    base = parts[: len(parts) - node.level]
+                    target = ".".join(base + ([node.module] if node.module else []))
+                else:
+                    target = node.module or ""
+                if target:
+                    out.append((target, node.lineno))
+        return out
+
+    def _check_import_dag(
+        self,
+        module: SourceModule,
+        config: ReprolintConfig,
+        findings: list[Finding],
+    ) -> None:
+        allowance = config.import_allowance(module.name)
+        if allowance is None:
+            return
+        root = config.internal_root
+        for target, lineno in self._imported_modules(module):
+            if not (target == root or target.startswith(root + ".")):
+                continue  # external/stdlib imports are out of scope
+            if any(
+                target == prefix or target.startswith(prefix + ".")
+                for prefix in allowance
+            ):
+                continue
+            findings.append(
+                self.finding(
+                    module, lineno,
+                    f"`{module.name}` imports `{target}`, outside its "
+                    f"layer's allowance ({', '.join(allowance)})",
+                )
+            )
+
+    # -- private cross-module state ------------------------------------
+
+    def _check_private_attrs(
+        self,
+        module: SourceModule,
+        config: ReprolintConfig,
+        findings: list[Finding],
+    ) -> None:
+        if not config.private_attrs:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            owner = config.private_attrs.get(node.attr)
+            if owner is None or module.name == owner:
+                continue
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+                continue
+            findings.append(
+                self.finding(
+                    module, node.lineno,
+                    f".{node.attr} is private state of `{owner}`; use its "
+                    "public read API",
+                )
+            )
+
+    # -- dead imports --------------------------------------------------
+
+    def _check_dead_imports(
+        self, module: SourceModule, findings: list[Finding]
+    ) -> None:
+        if module.path.name == "__init__.py":
+            return  # re-export hubs: every import is intentional surface
+        imported: dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = (alias.asname or alias.name).split(".")[0]
+                    imported.setdefault(name, node.lineno)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    imported.setdefault(alias.asname or alias.name, node.lineno)
+        if not imported:
+            return
+        used: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root: ast.expr = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    used.add(root.id)
+        # Quoted annotations ("AnalysisResult") reference an import that
+        # the AST only sees as a string constant; count the identifiers
+        # inside every annotation-position string as usages.
+        for annotation in self._string_annotations(module.tree):
+            used.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", annotation))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        for elt in ast.walk(node.value):
+                            if isinstance(elt, ast.Constant) and isinstance(
+                                elt.value, str
+                            ):
+                                used.add(elt.value)
+        for name, lineno in sorted(imported.items(), key=lambda kv: kv[1]):
+            if name not in used:
+                findings.append(
+                    self.finding(
+                        module, lineno,
+                        f"unused import `{name}` (dead imports hide real "
+                        "dependencies)",
+                    )
+                )
+
+    @staticmethod
+    def _string_annotations(tree: ast.AST) -> list[str]:
+        out: list[str] = []
+
+        def collect(annotation: ast.expr | None) -> None:
+            if annotation is None:
+                return
+            for sub in ast.walk(annotation):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    out.append(sub.value)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                collect(node.annotation)
+            elif isinstance(node, ast.arg):
+                collect(node.annotation)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                collect(node.returns)
+        return out

@@ -1,0 +1,110 @@
+"""R003: snapshot completeness -- every ``__init__`` attribute must ride
+in ``snapshot_state``/``restore_state``.
+
+PR 3 fixed a shipped bug of exactly this shape: the engine's
+``snapshot_state`` captured only its scalars, so a restored shard
+silently lost every in-flight task and would re-issue their indices --
+breaking the no-double-issue accountability guarantee.  The fix was
+mechanical (reference every component in the snapshot); this checker
+makes the mechanical property permanent.
+
+For every class that defines ``snapshot_state`` or ``restore_state``
+*and* an ``__init__``, each ``self.X`` assigned in ``__init__`` must be
+mentioned (read or written, directly) somewhere in ``snapshot_state`` or
+``restore_state``.  Genuinely transient attributes -- event-bus wiring,
+codecs, constructor-supplied configuration that the owner snapshots --
+are declared with ``# reprolint: allow[R003]`` on the assignment line,
+which doubles as documentation of *why* the attribute may be lost on
+restore.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.checkers import Checker
+from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.loader import SourceModule
+from repro.staticcheck.model import Finding
+
+__all__ = ["SnapshotCompletenessChecker"]
+
+SNAPSHOT_METHODS = ("snapshot_state", "restore_state")
+
+
+def _self_attr_assignments(func: ast.FunctionDef) -> dict[str, int]:
+    """``self.X = ...`` targets in *func*, name -> first assignment line."""
+    out: dict[str, int] = {}
+
+    def note(target: ast.expr, lineno: int) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            out.setdefault(target.attr, lineno)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                note(element, lineno)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                note(target, node.lineno)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            note(node.target, node.lineno)
+    return out
+
+
+def _self_attrs_touched(func: ast.FunctionDef) -> set[str]:
+    """Every ``self.X`` attribute referenced (any context) in *func*."""
+    touched: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            touched.add(node.attr)
+    return touched
+
+
+class SnapshotCompletenessChecker(Checker):
+    code = "R003"
+    name = "snapshot-completeness"
+    summary = (
+        "__init__ attributes missing from snapshot_state/restore_state "
+        "(the PR 3 scalars-only snapshot bug)"
+    )
+
+    def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            snapshotters = [methods[n] for n in SNAPSHOT_METHODS if n in methods]
+            init = methods.get("__init__")
+            if not snapshotters or init is None:
+                continue
+            persisted: set[str] = set()
+            for method in snapshotters:
+                persisted |= _self_attrs_touched(method)
+            which = "/".join(m.name for m in snapshotters)
+            for attr, lineno in sorted(
+                _self_attr_assignments(init).items(), key=lambda kv: kv[1]
+            ):
+                if attr not in persisted:
+                    findings.append(
+                        self.finding(
+                            module, lineno,
+                            f"{node.name}.__init__ sets self.{attr} but "
+                            f"{which} never touches it -- a restored "
+                            "instance silently loses this state",
+                        )
+                    )
+        return findings

@@ -1,0 +1,127 @@
+"""Findings and suppressions: the analyzer's two record types.
+
+A :class:`Finding` is one diagnostic anchored to a file and line.  A
+:class:`Suppression` is one reviewed ``# reprolint: allow[RULE]`` comment;
+the runner matches findings against suppressions (same line, or the
+``def`` line of the enclosing function) and reports any suppression that
+matched nothing as a finding of its own (rule ``R000``), so waivers never
+outlive the violation they were written for.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Finding", "Suppression", "parse_suppressions", "USELESS_SUPPRESSION"]
+
+#: The meta-rule reported for a suppression comment that matched nothing.
+USELESS_SUPPRESSION = "R000"
+
+#: Matches a comment of the form ``reprolint: allow[R001]`` (one or
+#: more codes, comma-separated); text after the bracket is the human
+#: justification and is ignored by the parser.
+_ALLOW_RE = re.compile(r"#\s*reprolint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One diagnostic: ``rule`` is the checker code (``R001``..``R005``,
+    or ``R000`` for a stale suppression), ``path``/``line`` anchor it,
+    ``module`` is the dotted module name the loader resolved."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    module: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "module": self.module,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One ``allow[...]`` comment: the line it sits on, the code line it
+    *anchors* to (a standalone comment line anchors to the next code
+    line, so a block comment above a long statement or a ``def`` works;
+    a trailing comment anchors to its own line), the rule codes it
+    waives, and whether any finding actually used it."""
+
+    line: int
+    rules: frozenset[str]
+    anchor: int = 0
+    matched: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.anchor:
+            self.anchor = self.line
+
+    @property
+    def used(self) -> bool:
+        return bool(self.matched)
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Every ``# reprolint: allow[...]`` *comment* in *source*, by line.
+
+    Tokenized, not regex-over-lines, so an ``allow[...]`` example inside
+    a docstring or string literal is not a suppression.  Unparsable
+    source yields no suppressions (the runner reports the file itself).
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return []
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if rules:
+            lineno = token.start[0]
+            suppressions.append(
+                Suppression(line=lineno, rules=rules, anchor=_anchor(lines, lineno))
+            )
+    return suppressions
+
+
+def _anchor(lines: list[str], lineno: int) -> int:
+    """The code line a suppression at *lineno* anchors to: its own line
+    for a trailing comment, else the first following non-blank,
+    non-comment line (a block comment above a statement covers that
+    statement; above a ``def``, the whole function)."""
+    stripped = lines[lineno - 1].strip()
+    if not stripped.startswith("#"):
+        return lineno
+    for offset in range(lineno, len(lines)):
+        following = lines[offset].strip()
+        if following and not following.startswith("#"):
+            return offset + 1
+    return lineno

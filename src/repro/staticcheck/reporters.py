@@ -1,0 +1,57 @@
+"""Text and JSON reporters.
+
+Text is for humans at a terminal (one ``path:line: RULE message`` per
+finding plus a summary); JSON (schema ``repro.reprolint/1``) is for the
+bench runner and any CI tooling that wants the counts without parsing
+prose.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.staticcheck.runner import AnalysisResult
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA"]
+
+JSON_SCHEMA = "repro.reprolint/1"
+
+
+def render_text(result: "AnalysisResult") -> str:
+    lines = [finding.render() for finding in result.findings]
+    suppressed = len(result.suppressed)
+    if result.findings:
+        by_rule = ", ".join(
+            f"{rule}: {count}" for rule, count in result.counts_by_rule().items()
+        )
+        lines.append(
+            f"{len(result.findings)} finding(s) [{by_rule}] in "
+            f"{result.files} file(s); {suppressed} suppressed "
+            f"({result.elapsed_s * 1000:.0f} ms)"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files} file(s), 0 findings, "
+            f"{suppressed} suppressed ({result.elapsed_s * 1000:.0f} ms)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: "AnalysisResult") -> str:
+    payload = {
+        "schema": JSON_SCHEMA,
+        "files": result.files,
+        "elapsed_s": result.elapsed_s,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "counts_by_rule": result.counts_by_rule(),
+        "suppressed": [
+            {**finding.to_dict(), "suppressed_at": line}
+            for finding, line in result.suppressed
+        ],
+        "suppressed_counts_by_rule": result.suppressed_counts_by_rule(),
+        "config": str(result.config_path) if result.config_path else None,
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,196 @@
+"""The analysis driver: load files, run checkers, match suppressions,
+report, exit.
+
+Exit-code contract (what CI keys off):
+
+* ``0`` -- zero unsuppressed findings;
+* ``1`` -- at least one finding (including ``R000`` stale suppressions
+  and unparsable files);
+* ``2`` -- usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.staticcheck.checkers import ALL_CHECKERS
+from repro.staticcheck.config import ConfigError, ReprolintConfig, load_config
+from repro.staticcheck.loader import iter_python_files, load_module
+from repro.staticcheck.model import USELESS_SUPPRESSION, Finding
+from repro.staticcheck.reporters import render_json, render_text
+
+__all__ = ["AnalysisResult", "analyze_paths", "run_cli", "main"]
+
+#: Rule reported for files the parser rejects (not suppressible: a file
+#: the analyzer cannot read is a file none of the invariants cover).
+PARSE_ERROR = "E999"
+
+
+@dataclass(slots=True)
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings waived by an allow comment; ``suppressed_by`` keyed by
+    #: ``(path, suppression_line)`` -- the gate test uses this to prove
+    #: every suppression in the tree is load-bearing.
+    suppressed: list[tuple[Finding, int]] = field(default_factory=list)
+    files: int = 0
+    elapsed_s: float = 0.0
+    config_path: Path | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def suppressed_counts_by_rule(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for finding, _line in self.suppressed:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    config: ReprolintConfig | None = None,
+    rules: Sequence[str] | None = None,
+) -> AnalysisResult:
+    """Run the checkers over every ``.py`` file under *paths*.
+
+    *config* defaults to the ``[tool.reprolint]`` table of the nearest
+    ``pyproject.toml`` above the first path.  *rules* optionally narrows
+    the run to a subset of codes (``R000`` stale-suppression reporting
+    then only considers those codes, so a narrowed run never flags a
+    suppression whose rule simply did not execute).
+    """
+    started = time.perf_counter()
+    path_objs = [Path(p) for p in paths]
+    result = AnalysisResult()
+    if config is None:
+        if not path_objs:
+            raise ValueError("no paths to analyze")
+        config, result.config_path = load_config(path_objs[0])
+    requested = (
+        frozenset(code.upper() for code in rules) if rules is not None else None
+    )
+
+    for file_path in iter_python_files(path_objs):
+        result.files += 1
+        try:
+            module = load_module(file_path)
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+            continue
+        active = config.rules_for(module.name)
+        if requested is not None:
+            active &= requested
+        raw: list[Finding] = []
+        for checker in ALL_CHECKERS:
+            if checker.code in active:
+                raw.extend(checker.check(module, config))
+        for finding in raw:
+            suppression = module.suppression_for(finding.rule, finding.line)
+            if suppression is None:
+                result.findings.append(finding)
+            else:
+                suppression.matched.add(finding.rule)
+                result.suppressed.append((finding, suppression.line))
+        # A suppression whose rules all ran and matched nothing is stale.
+        for suppression in module.suppressions:
+            if suppression.used:
+                continue
+            if not suppression.rules <= active:
+                continue  # some listed rule didn't run; can't judge it
+            result.findings.append(
+                Finding(
+                    rule=USELESS_SUPPRESSION,
+                    path=finding_path(module.path),
+                    line=suppression.line,
+                    message=(
+                        f"allow[{','.join(sorted(suppression.rules))}] "
+                        "matched no finding; delete the stale suppression"
+                    ),
+                    module=module.name,
+                )
+            )
+
+    result.findings.sort(key=Finding.sort_key)
+    result.elapsed_s = time.perf_counter() - started
+    return result
+
+
+def finding_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="reprolint: AST-based invariant analysis (R001-R005)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rules table and exit"
+    )
+    return parser
+
+
+def run_cli(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int:
+    out = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.list_rules:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.code}  {checker.name}: {checker.summary}", file=out)
+        return 0
+    rules = None
+    if args.rules:
+        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+    try:
+        result = analyze_paths(args.paths, rules=rules)
+    except (ConfigError, ValueError, OSError) as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(result), file=out)
+    else:
+        print(render_text(result), file=out)
+    return 0 if result.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover
+    return run_cli(argv)

@@ -66,6 +66,8 @@ class TaskAllocator:
             raise ConfigurationError(
                 f"allocator needs an AdditivePairingFunction, got {type(apf).__name__}"
             )
+        # reprolint: allow[R003] the APF is configuration, not run state;
+        # restore_state requires a same-APF instance (checked by name)
         self.apf = apf
         self._contracts: dict[int, RowContract] = {}
 

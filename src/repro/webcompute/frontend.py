@@ -76,6 +76,7 @@ class FrontEnd:
     """
 
     def __init__(self, bus: EventBus | None = None) -> None:
+        # reprolint: allow[R003] observer plumbing, re-attached after restore
         self.bus = bus
         self._free_rows: list[int] = []  # min-heap of recycled rows
         self._next_fresh_row = 1

@@ -120,10 +120,13 @@ class AccountabilityLedger:
             raise ConfigurationError(
                 f"ban_after_strikes must be positive, got {ban_after_strikes}"
             )
-        self.verification_rate = verification_rate
-        self.ban_after_strikes = ban_after_strikes
-        self.bus = bus
-        self._rng = rng if rng is not None else random.Random(0)
+        # Policy scalars and RNG state are owned by the engine snapshot
+        # (verification_rate / ban_after_strikes / rng_state keys); the
+        # bus is observer plumbing, re-attached after restore.
+        self.verification_rate = verification_rate  # reprolint: allow[R003]
+        self.ban_after_strikes = ban_after_strikes  # reprolint: allow[R003]
+        self.bus = bus  # reprolint: allow[R003]
+        self._rng = rng if rng is not None else random.Random(0)  # reprolint: allow[R003]
         self._tasks: dict[int, Task] = {}
         self._records: dict[int, VolunteerRecord] = {}
         # Ground truth for reporting only (not visible to the ban policy):

@@ -301,6 +301,8 @@ class ShardedWBCServer:
     def clock(self) -> int:
         return self._clock
 
+    # reprolint: allow[R005] clock advance: journaled to every shard's
+    # store; the bus stamps events with the clock already
     def tick(self) -> int:
         """Advance every live shard's clock in lockstep.  The tick is
         journaled to *every* store -- including crashed shards', so a
@@ -453,6 +455,8 @@ class ShardedWBCServer:
     def register(self, profile: VolunteerProfile) -> int:
         return self.register_round([profile])[0]
 
+    # reprolint: allow[R005] each shard engine publishes VolunteerRegistered
+    # itself; those events are forwarded to the global bus
     def register_round(self, profiles: list[VolunteerProfile]) -> list[int]:
         """Admit a batch: the policy routes each volunteer to a shard,
         then each shard seats its sub-round (fastest first, as ever).

@@ -1,0 +1,5 @@
+"""Declared exact by miniproj's pyproject: the division must be flagged."""
+
+
+def halve(n):
+    return n / 2

@@ -1,0 +1,6 @@
+"""Per-module override: R001 is disabled for pkg.waived, so the same
+division that is flagged in exact_mod passes here."""
+
+
+def halve(n):
+    return n / 2

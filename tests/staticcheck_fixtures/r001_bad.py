@@ -1,0 +1,26 @@
+"""R001 fixture: every float-contamination shape the checker must flag."""
+
+import math
+
+import numpy as np
+
+
+def true_division(n, d):
+    return n / d  # line 9: BinOp Div
+
+
+def aug_division(n, d):
+    n /= d  # line 13: AugAssign Div
+    return n
+
+
+def float_call(n):
+    return float(n)  # line 18: float() conversion
+
+
+def math_sqrt(n):
+    return math.sqrt(n)  # line 22: float-valued math function
+
+
+def numpy_promotion(z):
+    return np.sqrt(z.astype(np.float64))  # line 26: np.sqrt and np.float64

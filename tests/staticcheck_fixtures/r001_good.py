@@ -1,0 +1,21 @@
+"""R001 fixture: exact arithmetic the checker must NOT flag."""
+
+import math
+
+import numpy as np
+
+
+def floor_division(n, d):
+    return n // d
+
+
+def integer_sqrt(n):
+    return math.isqrt(8 * n + 1)
+
+
+def exact_helpers(a, b, k):
+    return math.gcd(a, b) + math.comb(a + b, k)
+
+
+def int64_lattice(n):
+    return np.arange(1, n + 1, dtype=np.int64)

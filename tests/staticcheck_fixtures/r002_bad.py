@@ -1,0 +1,39 @@
+"""R002 fixture: nondeterminism shapes the checker must flag."""
+
+import datetime
+import os
+import random
+import time
+import uuid
+
+
+def unseeded_draw():
+    return random.random()  # line 11: module-level RNG, seed unknowable
+
+
+def default_rng():
+    return random.Random()  # line 15: no-arg Random seeds from entropy
+
+
+def wall_clock():
+    return time.time()  # line 19: wall clock
+
+
+def timestamp():
+    return datetime.datetime.now()  # line 23: wall clock
+
+
+def entropy():
+    return os.urandom(8)  # line 27: OS entropy
+
+
+def random_uuid():
+    return uuid.uuid4()  # line 31: entropy-backed UUID
+
+
+def set_iteration_order(items):
+    pool = {x for x in items}
+    out = []
+    for item in pool:  # line 37: unordered set iteration
+        out.append(item)
+    return out

@@ -1,0 +1,21 @@
+"""R002 fixture: deterministic idioms the checker must NOT flag."""
+
+import random
+
+
+def seeded_draw(seed):
+    return random.Random(seed).random()
+
+
+def injected_rng(rng):
+    return rng.random()
+
+
+def ordered_set_iteration(items):
+    pool = {x for x in items}
+    return [item for item in sorted(pool)]
+
+
+def membership_only(items, probe):
+    pool = set(items)
+    return probe in pool

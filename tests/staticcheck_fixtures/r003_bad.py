@@ -1,0 +1,20 @@
+"""R003 fixture: the PR 3 regression, in miniature.
+
+``Engine.snapshot_state`` captures the scalars but forgets the in-flight
+task table -- exactly the bug where a restored shard re-issued task
+indices because ``_outstanding`` came back empty.
+"""
+
+
+class Engine:
+    def __init__(self, seed):
+        self.clock = 0
+        self.next_index = 1
+        self._outstanding = {}  # forgotten by snapshot/restore below
+
+    def snapshot_state(self):
+        return {"clock": self.clock, "next_index": self.next_index}
+
+    def restore_state(self, state):
+        self.clock = state["clock"]
+        self.next_index = state["next_index"]

@@ -1,0 +1,27 @@
+"""R003 fixture: a complete snapshot the checker must NOT flag."""
+
+
+class Engine:
+    def __init__(self, seed):
+        self.clock = 0
+        self.next_index = 1
+        self._outstanding = {}
+
+    def snapshot_state(self):
+        return {
+            "clock": self.clock,
+            "next_index": self.next_index,
+            "outstanding": dict(self._outstanding),
+        }
+
+    def restore_state(self, state):
+        self.clock = state["clock"]
+        self.next_index = state["next_index"]
+        self._outstanding = dict(state["outstanding"])
+
+
+class NotASnapshotter:
+    """No snapshot protocol at all: R003 has nothing to say here."""
+
+    def __init__(self):
+        self.anything = 1

@@ -1,0 +1,10 @@
+"""R004 fixture: an import outside the layer allowance, a reach into
+another module's private state, and a dead import."""
+
+import os
+
+from repro.webcompute import engine
+
+
+def peek(ledger):
+    return ledger._records  # line 10: ledger-private table

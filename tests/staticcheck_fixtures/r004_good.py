@@ -1,0 +1,15 @@
+"""R004 fixture: allowed imports, self-access, live imports only."""
+
+from repro.errors import DomainError
+
+
+class Ledger:
+    def __init__(self):
+        self._records = {}
+
+    def record_count(self):
+        return len(self._records)  # self-access is fine
+
+
+def raise_domain_error(message):
+    raise DomainError(message)

@@ -1,0 +1,13 @@
+"""R005 fixture: a watched engine class mutating state with no event."""
+
+
+class AllocationEngine:
+    def __init__(self, bus):
+        self.bus = bus  # __init__ is exempt: construction is not a transition
+        self.seated = {}
+
+    def seat(self, volunteer_id, row):
+        self.seated[volunteer_id] = row  # line 10: mutation, no publish
+
+    def read_only(self, volunteer_id):
+        return self.seated.get(volunteer_id)  # no mutation: exempt

@@ -1,0 +1,24 @@
+"""R005 fixture: every mutation publishes a typed event."""
+
+
+class RowSeated:
+    def __init__(self, volunteer_id, row):
+        self.volunteer_id = volunteer_id
+        self.row = row
+
+
+class AllocationEngine:
+    def __init__(self, bus):
+        self.bus = bus
+        self.seated = {}
+
+    def seat(self, volunteer_id, row):
+        self.seated[volunteer_id] = row
+        self.bus.publish(RowSeated(volunteer_id, row))
+
+
+class UnwatchedHelper:
+    """Not in ``event-classes``: mutations here are nobody's business."""
+
+    def bump(self):
+        self.count = getattr(self, "count", 0) + 1

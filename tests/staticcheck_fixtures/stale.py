@@ -1,0 +1,6 @@
+"""Stale-suppression fixture: the allow below waives nothing, so the
+analyzer must report it as R000."""
+
+
+def exact(n, d):
+    return n // d  # reprolint: allow[R001] nothing here to waive

@@ -1,0 +1,16 @@
+"""Suppression fixture: all three placements of an allow comment."""
+
+
+def trailing(n, d):
+    return n / d  # reprolint: allow[R001] fixture: trailing placement
+
+
+def block_above(n, d):
+    # reprolint: allow[R001] fixture: block comment anchors to next line
+    return n / d
+
+
+# reprolint: allow[R001] fixture: def-line placement covers the body
+def whole_function(n, d):
+    half = n / 2
+    return half / d

@@ -1,23 +1,22 @@
 """The layering lint gate.
 
-The AllocationEngine refactor established two tree-wide rules, configured
-for ruff in ``pyproject.toml`` (``F401`` + ``SLF001``):
+The AllocationEngine refactor established two tree-wide rules: no dead
+imports, and no module reaches into another object's private state --
+specifically, nothing outside ``ledger.py`` touches the ledger's
+``_records`` / ``_tasks`` (the ledger is the system of record; neighbors
+use its public read API).
 
-* no dead imports in the library;
-* no module reaches into another object's private state -- specifically,
-  nothing outside ``ledger.py`` touches the ledger's ``_records`` /
-  ``_tasks`` (the ledger is the system of record; neighbors use its
-  public read API).
-
-The gate runs ``ruff check`` when ruff is installed.  The environment the
-suite must pass in does not ship ruff, so the same two rules are also
-enforced by a small AST checker -- scoped to the webcompute package,
-where the layering contract lives.
+Both rules now live in reprolint's R004 checker
+(:mod:`repro.staticcheck.checkers.layering`), which replaced this
+module's ad-hoc AST fallback and extended the contract from the
+webcompute package to the whole tree, plus the import DAG.  This gate
+runs R004 through the real analyzer, and still runs ``ruff check`` as an
+independent second opinion when ruff is installed (the suite's required
+environment does not ship it).
 """
 
 from __future__ import annotations
 
-import ast
 import shutil
 import subprocess
 import sys
@@ -25,116 +24,32 @@ from pathlib import Path
 
 import pytest
 
+from repro.staticcheck import analyze_paths
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
-WEBCOMPUTE = REPO_ROOT / "src" / "repro" / "webcompute"
-
-# The ledger's system-of-record internals: only ledger.py may touch them.
-LEDGER_PRIVATE = {"_records", "_tasks"}
-
-
-def webcompute_modules() -> list[Path]:
-    return sorted(WEBCOMPUTE.glob("*.py"))
-
-
-# ---------------------------------------------------------------------------
-# AST fallback: private-member access
-# ---------------------------------------------------------------------------
-
-
-def private_ledger_accesses(path: Path) -> list[str]:
-    """``X._records`` / ``X._tasks`` sites where ``X`` is not ``self``."""
-    tree = ast.parse(path.read_text(), filename=str(path))
-    hits: list[str] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Attribute) or node.attr not in LEDGER_PRIVATE:
-            continue
-        value = node.value
-        if isinstance(value, ast.Name) and value.id in ("self", "cls"):
-            continue
-        hits.append(f"{path.name}:{node.lineno}: .{node.attr}")
-    return hits
-
-
-# ---------------------------------------------------------------------------
-# AST fallback: unused imports (F401, simplified)
-# ---------------------------------------------------------------------------
-
-
-def unused_imports(path: Path) -> list[str]:
-    """Imported names never referenced in the module body.
-
-    Conservative approximation of F401: a name counts as used if it
-    appears in any ``Name``/``Attribute`` context or is re-exported via
-    ``__all__``.  ``__init__.py`` re-export hubs are skipped (every import
-    there is intentionally a re-export).
-    """
-    if path.name == "__init__.py":
-        return []
-    tree = ast.parse(path.read_text(), filename=str(path))
-    imported: dict[str, int] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                name = (alias.asname or alias.name).split(".")[0]
-                imported[name] = node.lineno
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                imported[alias.asname or alias.name] = node.lineno
-
-    used: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            continue
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            root = node
-            while isinstance(root, ast.Attribute):
-                root = root.value
-            if isinstance(root, ast.Name):
-                used.add(root.id)
-    # __all__ strings count as usage (re-export).
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Name) and target.id == "__all__":
-                    for elt in ast.walk(node.value):
-                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
-                            used.add(elt.value)
-    return [
-        f"{path.name}:{lineno}: unused import {name!r}"
-        for name, lineno in sorted(imported.items(), key=lambda kv: kv[1])
-        if name not in used
-    ]
-
-
-# ---------------------------------------------------------------------------
-# The gate
-# ---------------------------------------------------------------------------
+SRC = REPO_ROOT / "src"
+WEBCOMPUTE = SRC / "repro" / "webcompute"
 
 
 class TestLintGate:
-    def test_no_private_ledger_access_outside_ledger(self):
-        violations: list[str] = []
-        for path in webcompute_modules():
-            if path.name == "ledger.py":
-                continue
-            violations.extend(private_ledger_accesses(path))
-        assert not violations, "\n".join(violations)
+    def test_r004_clean_over_src(self):
+        """Dead imports, private-state reach-ins, and import-DAG breaks:
+        all R004, all zero over the library tree."""
+        result = analyze_paths([SRC], rules=["R004"])
+        assert result.ok, "\n".join(f.render() for f in result.findings)
 
-    def test_no_unused_imports_in_webcompute(self):
-        violations: list[str] = []
-        for path in webcompute_modules():
-            violations.extend(unused_imports(path))
-        assert not violations, "\n".join(violations)
+    def test_r004_covers_the_old_webcompute_scope(self):
+        # The old fallback only watched src/repro/webcompute; make sure
+        # the R004 run actually visited it (scope did not silently shrink).
+        modules = sorted(WEBCOMPUTE.glob("*.py"))
+        assert len(modules) >= 10, [m.name for m in modules]
+        result = analyze_paths([WEBCOMPUTE], rules=["R004"])
+        assert result.files == len(modules)
+        assert result.ok, "\n".join(f.render() for f in result.findings)
 
     def test_ruff_clean_when_available(self):
         if shutil.which("ruff") is None:
-            pytest.skip("ruff not installed; AST fallback tests carry the gate")
+            pytest.skip("ruff not installed; reprolint R004 carries the gate")
         result = subprocess.run(
             ["ruff", "check", "src/repro", "tests", "benchmarks"],
             cwd=REPO_ROOT,
@@ -144,35 +59,9 @@ class TestLintGate:
         assert result.returncode == 0, result.stdout + result.stderr
 
 
-class TestFallbackCheckerItself:
-    """The AST fallback must actually catch what it claims to catch."""
-
-    def test_flags_foreign_private_access(self, tmp_path):
-        bad = tmp_path / "bad.py"
-        bad.write_text("def f(ledger):\n    return ledger._records\n")
-        assert private_ledger_accesses(bad)
-
-    def test_allows_self_access(self, tmp_path):
-        ok = tmp_path / "ok.py"
-        ok.write_text(
-            "class L:\n    def f(self):\n        return self._records\n"
-        )
-        assert not private_ledger_accesses(ok)
-
-    def test_flags_unused_import(self, tmp_path):
-        bad = tmp_path / "bad.py"
-        bad.write_text("import os\nimport sys\nprint(sys.argv)\n")
-        assert unused_imports(bad) == ["bad.py:1: unused import 'os'"]
-
-    def test_all_reexport_counts_as_use(self, tmp_path):
-        ok = tmp_path / "ok.py"
-        ok.write_text("from os import path\n__all__ = ['path']\n")
-        assert not unused_imports(ok)
-
-
 def test_gate_runs_on_this_interpreter():
     # The gate is only meaningful if it parsed real files; sanity-check the
     # scope is non-trivial.
-    modules = webcompute_modules()
-    assert len(modules) >= 10, [m.name for m in modules]
+    result = analyze_paths([SRC], rules=["R004"])
+    assert result.files >= 50
     assert sys.version_info >= (3, 10)

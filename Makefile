@@ -1,0 +1,20 @@
+# Developer entry points.  `make lint` is the pre-commit-suitable check:
+# incremental-cached reprolint over src/ (warm runs are ~ms), nonzero
+# exit on any unsuppressed finding.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint lint-cold test bench-smoke
+
+lint:
+	$(PYTHON) -m repro.cli lint --cache src
+
+lint-cold:  ## full re-analysis, ignoring and not writing the cache
+	$(PYTHON) -m repro.cli lint --no-cache src
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest -q -m bench_smoke

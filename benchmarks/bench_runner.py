@@ -320,29 +320,77 @@ def scenario_fault_recovery(smoke: bool, repeats: int) -> dict:
 
 
 def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
-    """reprolint over the library tree: analyzer wall time plus the
-    finding counts.  An unsuppressed finding is a gate failure here, same
-    contract as the kernel-consistency gate -- perf numbers from a tree
-    that violates its own invariants are not worth recording."""
+    """reprolint over the library tree, in the modes the v2 runner
+    supports: cold (no cache), warm (full cache hits, which must
+    reproduce the cold findings exactly), and a one-file-edit
+    incremental run on a scratch copy of the tree (the miss count is the
+    edited file plus its reverse-import closure).  An unsuppressed
+    finding is a gate failure here, same contract as the
+    kernel-consistency gate -- perf numbers from a tree that violates
+    its own invariants are not worth recording."""
+    import shutil
+    import tempfile
+
     from repro.staticcheck import analyze_paths
+    from repro.staticcheck.cache import CACHE_FILENAME
+    from repro.staticcheck.config import load_config
 
     src = _ROOT / "src"
-    results: list = []
+    config, _config_path = load_config(src)
+    timing_repeats = 1 if smoke else repeats
 
-    def run() -> None:
-        results.append(analyze_paths([src]))
-
-    best = _best_seconds(run, 1 if smoke else repeats)
-    result = results[-1]
+    # Cold, uncached: the pure analysis cost of the full tree.
+    cold_results: list = []
+    cold_s = _best_seconds(
+        lambda: cold_results.append(analyze_paths([src], config=config)),
+        timing_repeats,
+    )
+    result = cold_results[-1]
     if not result.ok:
         raise AssertionError(
             "reprolint found unsuppressed violations:\n"
             + "\n".join(f.render() for f in result.findings)
         )
+
+    with tempfile.TemporaryDirectory() as scratch_dir:
+        scratch = Path(scratch_dir)
+        # Warm: populate a scratch cache once, then time pure-hit runs.
+        cache_path = scratch / CACHE_FILENAME
+        analyze_paths([src], config=config, cache=True, cache_path=cache_path)
+        warm_results: list = []
+        warm_s = _best_seconds(
+            lambda: warm_results.append(
+                analyze_paths([src], config=config, cache=True, cache_path=cache_path)
+            ),
+            timing_repeats,
+        )
+        warm = warm_results[-1]
+        if [f.render() for f in warm.findings] != [
+            f.render() for f in result.findings
+        ]:
+            raise AssertionError("cached findings diverge from the cold run")
+        # Incremental: edit one file in a scratch copy of the tree and
+        # count how much of it re-analyzes.
+        tree = scratch / "src"
+        shutil.copytree(src, tree, ignore=shutil.ignore_patterns("__pycache__"))
+        edit_cache = scratch / ("edit-" + CACHE_FILENAME)
+        analyze_paths([tree], config=config, cache=True, cache_path=edit_cache)
+        target = tree / "repro" / "webcompute" / "frontend.py"
+        target.write_text(target.read_text() + "\n# bench: one-line edit\n")
+        incremental = analyze_paths(
+            [tree], config=config, cache=True, cache_path=edit_cache
+        )
+
+    stats = incremental.cache_stats
     return {
         "files": result.files,
-        "analyze_s": best,
-        "files_per_second": result.files / best if best > 0 else 0.0,
+        "analyze_s": cold_s,
+        "files_per_second": result.files / cold_s if cold_s > 0 else 0.0,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s if warm_s > 0 else 0.0,
+        "warm_hit_rate": warm.cache_stats.hit_rate,
+        "incremental_reanalyzed": stats.misses,
+        "incremental_fraction": stats.misses / incremental.files,
         "unsuppressed_findings": len(result.findings),
         "suppressed_by_rule": result.suppressed_counts_by_rule(),
         "pass": True,
@@ -460,7 +508,9 @@ def main(argv: list[str] | None = None) -> int:
         )
     lint = run["scenarios"]["staticcheck"]
     print(
-        f"  staticcheck: {lint['files']} files clean in {lint['analyze_s'] * 1e3:.0f} ms "
+        f"  staticcheck: {lint['files']} files clean in {lint['analyze_s'] * 1e3:.0f} ms cold, "
+        f"{lint['warm_s'] * 1e3:.0f} ms warm (x{lint['warm_speedup']:.0f}); one-file edit "
+        f"re-analyzes {lint['incremental_reanalyzed']} "
         f"({sum(lint['suppressed_by_rule'].values())} suppressed)"
     )
     print(f"  consistency: {run['scenarios']['consistency']['checked']} checks ok")

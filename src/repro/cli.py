@@ -116,6 +116,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rules table and exit"
     )
+    lint.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=True,
+        help="reuse cached per-file results (default)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="ignore and do not write the incremental cache",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for files needing analysis (0 = one per CPU)",
+    )
     return parser
 
 
@@ -386,6 +406,10 @@ def main(argv: list[str] | None = None) -> int:
             lint_argv.extend(["--rules", args.rules])
         if args.list_rules:
             lint_argv.append("--list-rules")
+        if not args.cache:
+            lint_argv.append("--no-cache")
+        if args.jobs:
+            lint_argv.extend(["--jobs", str(args.jobs)])
         return lint_cli(lint_argv)
     return 0
 

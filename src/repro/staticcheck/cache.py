@@ -1,0 +1,295 @@
+"""The incremental analysis cache.
+
+reprolint's per-file analysis is pure: the findings for a file are a
+function of (analyzer version, config, requested rules, file content).
+That makes results safely memoizable -- the cache stores, per file, the
+content hash it was analyzed under plus the full outcome (findings,
+suppressed findings, module name, import targets), keyed by a single
+*config hash* over everything file-independent.  A warm run on an
+unchanged tree reloads every outcome and touches no ASTs at all.
+
+Invalidation is deliberately conservative, mirroring the R004 layer
+graph: when a file's content hash changes (or a file appears or
+disappears), every cached file whose *transitive imports* reach the
+changed module is re-analyzed too.  Per-file analysis today never reads
+another file's content, so this over-invalidates -- but it means the
+cache stays correct the day a checker grows cross-module eyes, and it is
+the same import graph R004 already extracts, at zero extra parse cost.
+
+Safety rails, each of which discards the cache wholesale rather than
+risk a stale finding:
+
+* the header records ``ANALYZER_VERSION`` + config hash + requested
+  rules (one composite key) -- new analyzer, edited ``[tool.reprolint]``
+  table, or a different ``--rules`` selection all miss;
+* the header records the working directory -- finding paths are stored
+  repo-relative, so a cache written from another cwd is unusable;
+* unreadable/corrupt cache files load as empty (never an error: the
+  cache is an accelerator, not a dependency).
+
+The cache file (``.reprolint-cache.json``, next to ``pyproject.toml``)
+is a build artifact and belongs in ``.gitignore``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.model import ANALYZER_VERSION, Finding
+
+__all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "CachedFile",
+    "CACHE_FILENAME",
+    "CACHE_SCHEMA",
+    "config_hash",
+    "content_hash",
+    "dirty_closure",
+]
+
+CACHE_FILENAME = ".reprolint-cache.json"
+CACHE_SCHEMA = "repro.reprolint-cache/1"
+
+
+def content_hash(path: Path) -> str:
+    """sha256 of the file's bytes (truncated: 64 bits of hex is plenty
+    for change detection and keeps the cache file readable)."""
+    return hashlib.sha256(path.read_bytes()).hexdigest()[:16]
+
+
+def config_hash(
+    config: ReprolintConfig, rules: Sequence[str] | frozenset[str] | None = None
+) -> str:
+    """One hash over everything file-independent that analysis results
+    depend on: the analyzer version, the requested-rules selection, and
+    the full config.  Any change means no cached outcome is trustworthy.
+    """
+    payload = {
+        "analyzer": ANALYZER_VERSION,
+        "rules": sorted(rules) if rules is not None else None,
+        "exact_modules": list(config.exact_modules),
+        "deterministic_modules": list(config.deterministic_modules),
+        "allowed_imports": {
+            key: list(value) for key, value in sorted(config.allowed_imports.items())
+        },
+        "internal_root": config.internal_root,
+        "private_attrs": dict(sorted(config.private_attrs.items())),
+        "event_classes": list(config.event_classes),
+        "per_module_disable": {
+            key: list(value)
+            for key, value in sorted(config.per_module_disable.items())
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """What one cached run did: *hits* were reloaded, *misses* analyzed.
+    ``invalidated`` counts the misses caused by the import closure rather
+    than by the file's own content changing."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidated: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidated": self.invalidated,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass(slots=True)
+class CachedFile:
+    """One file's complete analysis outcome."""
+
+    hash: str
+    module: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, int]] = field(default_factory=list)
+    imports: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hash": self.hash,
+            "module": self.module,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [
+                {**f.to_dict(), "suppressed_at": line} for f, line in self.suppressed
+            ],
+            "imports": list(self.imports),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CachedFile":
+        return cls(
+            hash=data["hash"],
+            module=data["module"],
+            findings=[Finding.from_dict(f) for f in data["findings"]],
+            suppressed=[
+                (Finding.from_dict(f), f["suppressed_at"]) for f in data["suppressed"]
+            ],
+            imports=tuple(data["imports"]),
+        )
+
+
+def _imports_module(target: str, module: str) -> bool:
+    """Whether an import of *target* depends on *module*.  Exact match,
+    plus both prefix directions: importing ``pkg.sub`` executes ``pkg``'s
+    ``__init__`` on the way down, and ``from pkg import sub`` records
+    only ``pkg`` while really binding ``pkg.sub``."""
+    return (
+        target == module
+        or target.startswith(module + ".")
+        or module.startswith(target + ".")
+    )
+
+
+def dirty_closure(
+    changed_modules: set[str],
+    clean: Mapping[str, tuple[str, tuple[str, ...]]],
+) -> set[str]:
+    """The reverse-import transitive closure: which of the *clean* files
+    (path -> ``(module, imports)``) must be re-analyzed because their
+    transitive imports reach a module in *changed_modules*.  Fixpoint
+    iteration -- the graph is small (one node per file)."""
+    dirty: set[str] = set()
+    modules = set(changed_modules)
+    progress = True
+    while progress:
+        progress = False
+        for path, (module, imports) in clean.items():
+            if path in dirty:
+                continue
+            if any(
+                _imports_module(target, changed)
+                for target in imports
+                for changed in modules
+            ):
+                dirty.add(path)
+                modules.add(module)
+                progress = True
+    return dirty
+
+
+class AnalysisCache:
+    """The on-disk cache: load, plan the dirty set, reuse, store, save."""
+
+    def __init__(self, path: Path, key: str) -> None:
+        self.path = path
+        self.key = key
+        self.entries: dict[str, CachedFile] = {}
+
+    @classmethod
+    def load(cls, path: Path, key: str) -> "AnalysisCache":
+        """Read *path*; any mismatch (schema, key, cwd) or damage yields
+        an empty cache under the new key."""
+        cache = cls(path, key)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(raw, dict):
+            return cache
+        if raw.get("schema") != CACHE_SCHEMA or raw.get("key") != key:
+            return cache
+        if raw.get("cwd") != os.getcwd():
+            return cache  # finding paths are cwd-relative; see module doc
+        entries = raw.get("files")
+        if not isinstance(entries, dict):
+            return cache
+        try:
+            cache.entries = {
+                file_path: CachedFile.from_dict(entry)
+                for file_path, entry in entries.items()
+            }
+        except (KeyError, TypeError):
+            cache.entries = {}
+        return cache
+
+    # ------------------------------------------------------------------
+
+    def plan(self, hashes: Mapping[str, str]) -> tuple[set[str], set[str]]:
+        """Partition the current file set (absolute path -> content
+        hash) into ``(changed, invalidated)``: *changed* files have no
+        reusable entry (new or edited), *invalidated* files are clean
+        themselves but sit in the reverse-import closure of a change.
+        Entries for files no longer present are dropped here and their
+        modules count as changed."""
+        changed = {
+            path
+            for path, digest in hashes.items()
+            if path not in self.entries or self.entries[path].hash != digest
+        }
+        removed = set(self.entries) - set(hashes)
+        changed_modules = {
+            self.entries[path].module for path in removed
+        } | {
+            self.entries[path].module if path in self.entries else _module_guess(path)
+            for path in changed
+        }
+        for path in removed:
+            del self.entries[path]
+        if not changed_modules:
+            return changed, set()
+        clean = {
+            path: (entry.module, entry.imports)
+            for path, entry in self.entries.items()
+            if path not in changed
+        }
+        invalidated = dirty_closure(changed_modules, clean)
+        return changed, invalidated
+
+    def get(self, path: str) -> CachedFile:
+        return self.entries[path]
+
+    def put(self, path: str, record: CachedFile) -> None:
+        self.entries[path] = record
+
+    def save(self) -> None:
+        """Atomic write (tmp + replace) so a crashed run never leaves a
+        truncated cache behind.  I/O failure is swallowed: a cache that
+        cannot be written just means the next run is cold."""
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": self.key,
+            "cwd": os.getcwd(),
+            "files": {
+                file_path: entry.to_dict()
+                for file_path, entry in sorted(self.entries.items())
+            },
+        }
+        try:
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+            tmp.replace(self.path)
+        except OSError:
+            pass
+
+
+def _module_guess(path: str) -> str:
+    """Module name for a file with no cache entry (a new file): resolved
+    the same way the loader does, so closure matching sees the name its
+    future importers will use."""
+    from repro.staticcheck.loader import module_name_for
+
+    return module_name_for(Path(path))

@@ -22,7 +22,9 @@ __all__ = ["Checker", "ALL_CHECKERS", "checker_for", "attribute_parts"]
 
 class Checker:
     """Base class: subclasses set ``code``/``name``/``summary`` and
-    implement :meth:`check`."""
+    implement :meth:`check`; checkers with whole-project concerns (the
+    config itself, not any one module) also override
+    :meth:`check_project`, which the runner calls exactly once per run."""
 
     code: str = ""
     name: str = ""
@@ -31,13 +33,28 @@ class Checker:
     def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
         raise NotImplementedError
 
-    def finding(self, module: SourceModule, line: int, message: str) -> Finding:
+    def check_project(
+        self, config: ReprolintConfig, config_path: Path | None
+    ) -> list[Finding]:
+        """Findings about the configuration/project as a whole (e.g. a
+        cycle among the R004 import allowances).  Not suppressible:
+        there is no source line to anchor an ``allow[...]`` to."""
+        return []
+
+    def finding(
+        self,
+        module: SourceModule,
+        line: int,
+        message: str,
+        trace: tuple[str, ...] = (),
+    ) -> Finding:
         return Finding(
             rule=self.code,
             path=_display_path(module.path),
             line=line,
             message=message,
             module=module.name,
+            trace=trace,
         )
 
 

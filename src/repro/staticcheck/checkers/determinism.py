@@ -11,6 +11,12 @@ checkpoints, or events.  Inside modules matched by
 * module-level ``random.*`` calls (the shared global RNG) and unseeded
   ``random.Random()`` / any ``random.SystemRandom`` -- seeded
   ``random.Random(seed)`` instances are the sanctioned pattern;
+* **entropy-derived seeds** (flow-aware, new in v2):
+  ``random.Random(x)`` where dataflow shows ``x`` derives from a wall
+  clock, OS entropy, a pid, a uuid, or the global RNG -- the PR 4 pass
+  treated *any* argument as a legitimate seed, so
+  ``Random(time.time())`` and ``seed = time.time_ns(); Random(seed)``
+  both slipped through.  The finding carries the taint trace;
 * wall-clock reads: ``time.time``/``monotonic``/``perf_counter`` (and
   ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
 * entropy sources: ``os.urandom``, ``uuid.uuid1``/``uuid4``,
@@ -28,17 +34,17 @@ import ast
 
 from repro.staticcheck.checkers import Checker, attribute_parts
 from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.dataflow import (
+    CLOCK_DATETIME_ATTRS,
+    CLOCK_TIME_ATTRS,
+    DATETIME_ROOTS,
+    ENTROPY,
+    UUID_ATTRS,
+)
 from repro.staticcheck.loader import SourceModule
 from repro.staticcheck.model import Finding
 
 __all__ = ["DeterminismChecker"]
-
-CLOCK_TIME_ATTRS = frozenset(
-    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
-)
-CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
-DATETIME_ROOTS = frozenset({"datetime", "date"})
-UUID_ATTRS = frozenset({"uuid1", "uuid4"})
 
 
 class DeterminismChecker(Checker):
@@ -81,9 +87,13 @@ class DeterminismChecker(Checker):
                     )
                 elif leaf == "Random":
                     # Seeded Random(seed) is the sanctioned pattern; a
-                    # bare Random() seeds from OS entropy.
+                    # bare Random() seeds from OS entropy, and a seed
+                    # that *derives* from entropy is entropy laundered
+                    # through a variable (the PR 4 blind spot).
                     call = self._call_of(module.tree, node)
-                    if call is not None and not call.args and not call.keywords:
+                    if call is None:
+                        continue
+                    if not call.args and not call.keywords:
                         findings.append(
                             self.finding(
                                 module, node.lineno,
@@ -91,6 +101,8 @@ class DeterminismChecker(Checker):
                                 "nondeterministic; pass an explicit seed",
                             )
                         )
+                    else:
+                        self._check_seed_taint(module, call, findings)
                 else:
                     findings.append(
                         self.finding(
@@ -145,6 +157,31 @@ class DeterminismChecker(Checker):
             if isinstance(node, ast.Call) and node.func is func_node:
                 return node
         return None
+
+    def _check_seed_taint(
+        self, module: SourceModule, call: ast.Call, findings: list[Finding]
+    ) -> None:
+        """Flag ``random.Random(seed)`` when dataflow shows the seed
+        derives from an entropy source."""
+        dataflow = module.dataflow()
+        seeds = list(call.args) + [kw.value for kw in call.keywords]
+        for seed in seeds:
+            tainted = sorted(
+                (t for t in dataflow.taints(seed) if t.kind == ENTROPY),
+                key=lambda t: (t.line, t.source),
+            )
+            if tainted:
+                origin = tainted[0]
+                findings.append(
+                    self.finding(
+                        module, call.lineno,
+                        f"random.Random seeded from entropy ({origin.source}); "
+                        "a replayed run gets a different stream -- derive the "
+                        "seed from configuration",
+                        trace=origin.trace(),
+                    )
+                )
+                return
 
     # -- unordered set iteration ---------------------------------------
 

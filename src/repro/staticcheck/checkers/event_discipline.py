@@ -7,10 +7,21 @@ architecture only stays honest if *every* state transition actually
 publishes: a mutating method that silently skips the bus reintroduces
 invisible state changes that metrics and replay tooling cannot see.
 
-For each class named in ``r005.event-classes``, every method (except
-``__init__``, which wires rather than transitions) that mutates instance
-state -- assigns, augments, or deletes ``self.X`` or ``self.X[...]`` --
-must contain a ``*.publish(...)`` call, or carry a reviewed
+PR 4's syntactic version only saw direct stores (``self.X = ...``,
+``self.X[...] = ...``, ``del self.X``).  The ROADMAP blind spot: a
+method that mutates *through a call* -- ``self._profiles.clear()``,
+``self._queue.append(task)``, ``setattr(self, name, value)`` -- was
+invisible, and so was the laundered form ``table = self._profiles;
+table.clear()``.  v2 closes both with the dataflow engine's alias
+tracking: a mutator-method call (``.clear()/.append()/.pop()/.update()``
+and friends) whose receiver *is* a ``self`` attribute (directly or via a
+local alias -- the ``ALIAS`` taint kind, which deliberately does not
+propagate through calls, so mutating a *copy* like
+``self.profiles().clear()`` stays legal) counts as a state mutation.
+
+For each class named in ``r005.event-classes``, every such mutating
+method (except ``__init__``, which wires rather than transitions) must
+contain a ``*.publish(...)`` call, or carry a reviewed
 ``# reprolint: allow[R005]`` on its ``def`` line explaining why the
 mutation is not an observable transition (e.g. ``restore_state`` must
 *not* re-publish history, or the mutation is journaled by an owner).
@@ -22,6 +33,7 @@ import ast
 
 from repro.staticcheck.checkers import Checker
 from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.dataflow import ALIAS, MUTATOR_METHODS, ModuleDataflow
 from repro.staticcheck.loader import SourceModule
 from repro.staticcheck.model import Finding
 
@@ -39,18 +51,62 @@ def _is_self_store(target: ast.expr) -> bool:
     return False
 
 
-def _mutates_self(method: ast.FunctionDef) -> bool:
+def _direct_mutation(method: ast.FunctionDef) -> ast.AST | None:
+    """The first direct ``self`` store in *method* (the PR 4 rule)."""
     for node in ast.walk(method):
         if isinstance(node, ast.Assign):
             if any(_is_self_store(t) for t in node.targets):
-                return True
+                return node
         elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
             if _is_self_store(node.target):
-                return True
+                return node
         elif isinstance(node, ast.Delete):
             if any(_is_self_store(t) for t in node.targets):
-                return True
-    return False
+                return node
+    return None
+
+
+def _mutating_call(
+    method: ast.FunctionDef, dataflow: ModuleDataflow
+) -> tuple[ast.Call, str, tuple[str, ...]] | None:
+    """The first call in *method* that mutates ``self`` state: a mutator
+    method whose receiver aliases a ``self`` attribute, or
+    ``setattr``/``delattr`` on ``self`` (or an alias of self state).
+    Returns ``(call, description, trace)``."""
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            aliases = sorted(
+                (t for t in dataflow.taints(func) if t.kind == ALIAS),
+                key=lambda t: (t.line, t.source),
+            )
+            if aliases:
+                origin = aliases[0]
+                return (
+                    node,
+                    f"{origin.source}.{func.attr}(...)",
+                    origin.trace(),
+                )
+        elif isinstance(func, ast.Name) and func.id in ("setattr", "delattr"):
+            if node.args and isinstance(node.args[0], ast.Name) and (
+                node.args[0].id == "self"
+            ):
+                return (node, f"{func.id}(self, ...)", ())
+            if node.args:
+                aliases = sorted(
+                    (t for t in dataflow.taints(node.args[0]) if t.kind == ALIAS),
+                    key=lambda t: (t.line, t.source),
+                )
+                if aliases:
+                    origin = aliases[0]
+                    return (
+                        node,
+                        f"{func.id} on {origin.source}",
+                        origin.trace(),
+                    )
+    return None
 
 
 def _publishes(method: ast.FunctionDef) -> bool:
@@ -68,7 +124,8 @@ class EventDisciplineChecker(Checker):
     code = "R005"
     name = "event-discipline"
     summary = (
-        "mutating methods of the engine classes that emit no typed event"
+        "mutating methods of the engine classes (direct stores, mutating "
+        "calls like .clear()/.append(), setattr) that emit no typed event"
     )
 
     def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
@@ -76,6 +133,7 @@ class EventDisciplineChecker(Checker):
             return []
         watched = set(config.event_classes)
         findings: list[Finding] = []
+        dataflow: ModuleDataflow | None = None
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef) or node.name not in watched:
                 continue
@@ -84,13 +142,31 @@ class EventDisciplineChecker(Checker):
                     continue
                 if item.name == "__init__":
                     continue
-                if _mutates_self(item) and not _publishes(item):
+                if _publishes(item):
+                    continue
+                if _direct_mutation(item) is not None:
                     findings.append(
                         self.finding(
                             module, item.lineno,
                             f"{node.name}.{item.name} mutates engine state "
                             "but publishes no typed event; observers and "
                             "replay tooling cannot see this transition",
+                        )
+                    )
+                    continue
+                if dataflow is None:
+                    dataflow = module.dataflow()
+                hit = _mutating_call(item, dataflow)
+                if hit is not None:
+                    _call, description, trace = hit
+                    findings.append(
+                        self.finding(
+                            module, item.lineno,
+                            f"{node.name}.{item.name} mutates engine state "
+                            f"through {description} but publishes no typed "
+                            "event; observers and replay tooling cannot see "
+                            "this transition",
+                            trace=trace,
                         )
                     )
         return findings

@@ -28,39 +28,15 @@ import ast
 
 from repro.staticcheck.checkers import Checker, attribute_parts
 from repro.staticcheck.config import ReprolintConfig
+
+# The float tables are shared with the dataflow engine's FLOAT taint
+# kind, so the syntactic rule and the flow lattice can never disagree
+# about what counts as float-producing.
+from repro.staticcheck.dataflow import FLOAT_MATH, FLOAT_NUMPY, NUMPY_ROOTS
 from repro.staticcheck.loader import SourceModule
 from repro.staticcheck.model import Finding
 
 __all__ = ["FloatContaminationChecker"]
-
-#: ``math`` attributes that return (or are) floats.
-FLOAT_MATH = frozenset(
-    {
-        "sqrt", "cbrt", "exp", "exp2", "expm1",
-        "log", "log2", "log10", "log1p",
-        "pow", "hypot", "dist", "fsum", "fmod", "remainder",
-        "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
-        "sinh", "cosh", "tanh", "degrees", "radians",
-        "pi", "e", "tau", "inf", "nan",
-    }
-)
-
-#: numpy attributes that are float dtypes or promote to float.
-FLOAT_NUMPY = frozenset(
-    {
-        "float16", "float32", "float64", "float128",
-        "half", "single", "double", "longdouble", "floating",
-        "sqrt", "cbrt", "exp", "exp2", "expm1",
-        "log", "log2", "log10", "log1p",
-        "true_divide", "divide", "reciprocal",
-        "mean", "average", "std", "var", "median",
-        "sin", "cos", "tan", "arctan2", "hypot",
-        "linspace", "logspace",
-    }
-)
-
-#: Names ``numpy`` is commonly bound to.
-NUMPY_ROOTS = frozenset({"np", "numpy"})
 
 
 class FloatContaminationChecker(Checker):

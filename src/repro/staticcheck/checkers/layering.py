@@ -1,8 +1,9 @@
-"""R004: layering -- the import DAG, private state, dead imports.
+"""R004: layering -- the import DAG, private state, dead imports, and
+(new in v2) cycles among the allowances themselves.
 
-Three sub-checks, all previously enforced piecemeal (ruff config plus an
-ad-hoc AST fallback in ``tests/test_lint_gate.py``, webcompute-only) and
-now unified tree-wide:
+Four sub-checks, the first three previously enforced piecemeal (ruff
+config plus an ad-hoc AST fallback in ``tests/test_lint_gate.py``,
+webcompute-only) and now unified tree-wide:
 
 * **Import DAG** -- ``r004.allowed-imports`` maps a dotted module prefix
   to the internal prefixes it may import (longest prefix wins, so a
@@ -20,19 +21,73 @@ now unified tree-wide:
   ``Name``/attribute-root use, no mention in a string-literal type
   annotation, not re-exported via ``__all__``).  ``__init__.py``
   re-export hubs are exempt.
+* **Allowance cycles** (project-level, run once per analysis) -- the
+  ``allowed-imports`` table *is* the declared layer DAG, and nothing in
+  the per-module checks stops the table itself from drifting into ``A
+  allows B, B allows A``: each individual import then still passes while
+  the architecture silently stops being layered.  v2 builds the graph
+  whose nodes are the allowance *keys* and whose edges are exact-key
+  grants, and reports every cycle.  Edges are exact-match only: a
+  narrower carve-out key (``repro.core.registry`` overriding
+  ``repro.core`` so the registry may import the APF catalogue it
+  registers) is a reviewed longest-prefix escape hatch, not a layer
+  granting a layer.  These findings anchor in ``pyproject.toml`` and are
+  deliberately not suppressible -- a cyclic layer declaration has no
+  correct source line to waive.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+from pathlib import Path
 
 from repro.staticcheck.checkers import Checker
 from repro.staticcheck.config import ReprolintConfig
-from repro.staticcheck.loader import SourceModule
+from repro.staticcheck.loader import SourceModule, module_imports
 from repro.staticcheck.model import Finding
 
-__all__ = ["LayeringChecker"]
+__all__ = ["LayeringChecker", "allowance_cycles"]
+
+
+def allowance_cycles(allowed_imports: dict[str, tuple[str, ...]]) -> list[list[str]]:
+    """Every cycle in the allowance-key graph, as key lists (each cycle
+    reported once, rotated to start at its smallest key; the closing hop
+    back to the start is implicit)."""
+    keys = set(allowed_imports)
+    edges: dict[str, list[str]] = {
+        key: sorted(
+            prefix
+            for prefix in allowed_imports[key]
+            if prefix != key and prefix in keys
+        )
+        for key in keys
+    }
+    cycles: list[list[str]] = []
+    seen: set[tuple[str, ...]] = set()
+
+    def walk(node: str, stack: list[str], on_stack: set[str]) -> None:
+        stack.append(node)
+        on_stack.add(node)
+        for succ in edges[node]:
+            if succ in on_stack:
+                cycle = stack[stack.index(succ):]
+                pivot = cycle.index(min(cycle))
+                canonical = tuple(cycle[pivot:] + cycle[:pivot])
+                if canonical not in seen:
+                    seen.add(canonical)
+                    cycles.append(list(canonical))
+            elif succ not in visited:
+                walk(succ, stack, on_stack)
+        stack.pop()
+        on_stack.discard(node)
+        visited.add(node)
+
+    visited: set[str] = set()
+    for key in sorted(keys):
+        if key not in visited:
+            walk(key, [], set())
+    return sorted(cycles)
 
 
 class LayeringChecker(Checker):
@@ -50,27 +105,44 @@ class LayeringChecker(Checker):
         self._check_dead_imports(module, findings)
         return findings
 
+    def check_project(
+        self, config: ReprolintConfig, config_path: Path | None
+    ) -> list[Finding]:
+        """Cycles among the ``allowed-imports`` keys (see module
+        docstring): one finding per cycle, anchored at the first cycle
+        key's line in the config file."""
+        findings: list[Finding] = []
+        path = str(config_path) if config_path is not None else "<config>"
+        config_lines: list[str] = []
+        if config_path is not None and config_path.is_file():
+            config_lines = config_path.read_text().splitlines()
+        for cycle in allowance_cycles(config.allowed_imports):
+            lineno = 1
+            for number, line in enumerate(config_lines, start=1):
+                if f'"{cycle[0]}"' in line and "=" in line:
+                    lineno = number
+                    break
+            loop = " -> ".join((*cycle, cycle[0]))
+            findings.append(
+                Finding(
+                    rule=self.code,
+                    path=path,
+                    line=lineno,
+                    message=(
+                        f"import allowances form a cycle ({loop}); the "
+                        "declared layer graph must stay acyclic -- remove "
+                        "one grant or carve out a narrower sub-module key"
+                    ),
+                )
+            )
+        return findings
+
     # -- import DAG ----------------------------------------------------
 
     def _imported_modules(self, module: SourceModule) -> list[tuple[str, int]]:
         """Every imported module as ``(dotted_name, line)``; relative
         imports are resolved against the module's own dotted name."""
-        out: list[tuple[str, int]] = []
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    out.append((alias.name, node.lineno))
-            elif isinstance(node, ast.ImportFrom):
-                if node.level:
-                    parts = module.name.split(".")
-                    # level 1 = current package; each extra level climbs.
-                    base = parts[: len(parts) - node.level]
-                    target = ".".join(base + ([node.module] if node.module else []))
-                else:
-                    target = node.module or ""
-                if target:
-                    out.append((target, node.lineno))
-        return out
+        return module_imports(module.tree, module.name)
 
     def _check_import_dag(
         self,

@@ -1,21 +1,29 @@
-"""R003: snapshot completeness -- every ``__init__`` attribute must ride
-in ``snapshot_state``/``restore_state``.
+"""R003: snapshot completeness -- every ``__init__`` attribute must
+actually *flow into* the state ``snapshot_state`` returns (or be
+restored by ``restore_state``).
 
 PR 3 fixed a shipped bug of exactly this shape: the engine's
 ``snapshot_state`` captured only its scalars, so a restored shard
 silently lost every in-flight task and would re-issue their indices --
-breaking the no-double-issue accountability guarantee.  The fix was
-mechanical (reference every component in the snapshot); this checker
-makes the mechanical property permanent.
+breaking the no-double-issue accountability guarantee.
 
-For every class that defines ``snapshot_state`` or ``restore_state``
-*and* an ``__init__``, each ``self.X`` assigned in ``__init__`` must be
-mentioned (read or written, directly) somewhere in ``snapshot_state`` or
-``restore_state``.  Genuinely transient attributes -- event-bus wiring,
-codecs, constructor-supplied configuration that the owner snapshots --
-are declared with ``# reprolint: allow[R003]`` on the assignment line,
-which doubles as documentation of *why* the attribute may be lost on
-restore.
+PR 4's syntactic version matched attribute *names*: any ``self.X``
+mention anywhere inside ``snapshot_state`` counted as persisted.  That
+left a blind spot the ROADMAP called out: a method that **reads** an
+attribute but **drops** it from the returned dict -- ``count =
+len(self._outstanding)`` followed by ``return {"count": count_of_other}``
+-- passed.  v2 closes it with dataflow: an attribute counts as persisted
+only when a taint rooted at ``self.X`` reaches one of
+``snapshot_state``'s ``return`` expressions (directly, through locals,
+through container writes like ``state["x"] = ...``, or through the
+return summary of a ``self._helper()`` call).  ``restore_state`` keeps
+the permissive any-touch rule: a restore that assigns or feeds ``self.X``
+in any way is restoring it.
+
+Genuinely transient attributes -- event-bus wiring, codecs,
+constructor-supplied configuration that the owner snapshots -- are
+declared with ``# reprolint: allow[R003]`` on the assignment line, which
+doubles as documentation of *why* the attribute may be lost on restore.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import ast
 
 from repro.staticcheck.checkers import Checker
 from repro.staticcheck.config import ReprolintConfig
+from repro.staticcheck.dataflow import ATTR
 from repro.staticcheck.loader import SourceModule
 from repro.staticcheck.model import Finding
 
@@ -69,12 +78,28 @@ def _self_attrs_touched(func: ast.FunctionDef) -> set[str]:
     return touched
 
 
+def _is_opaque(func: ast.FunctionDef) -> bool:
+    """``snapshot_state`` bodies the flow analysis cannot see through:
+    whole-object reflection (``self.__dict__`` / ``vars(self)``).  Fall
+    back to the permissive any-touch rule rather than guess."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and node.attr == "__dict__":
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "vars"
+        ):
+            return True
+    return False
+
+
 class SnapshotCompletenessChecker(Checker):
     code = "R003"
     name = "snapshot-completeness"
     summary = (
-        "__init__ attributes missing from snapshot_state/restore_state "
-        "(the PR 3 scalars-only snapshot bug)"
+        "__init__ attributes that never flow into the state returned by "
+        "snapshot_state (the PR 3 scalars-only snapshot bug)"
     )
 
     def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
@@ -91,20 +116,56 @@ class SnapshotCompletenessChecker(Checker):
             init = methods.get("__init__")
             if not snapshotters or init is None:
                 continue
+
             persisted: set[str] = set()
-            for method in snapshotters:
-                persisted |= _self_attrs_touched(method)
+            read_not_returned: set[str] = set()
+            snapshot = methods.get("snapshot_state")
+            restore = methods.get("restore_state")
+            if restore is not None:
+                persisted |= _self_attrs_touched(restore)
+            if snapshot is not None:
+                returned = self._attrs_reaching_return(module, snapshot)
+                if returned is None:
+                    persisted |= _self_attrs_touched(snapshot)
+                else:
+                    persisted |= returned
+                    read_not_returned = _self_attrs_touched(snapshot) - returned
+
             which = "/".join(m.name for m in snapshotters)
             for attr, lineno in sorted(
                 _self_attr_assignments(init).items(), key=lambda kv: kv[1]
             ):
-                if attr not in persisted:
-                    findings.append(
-                        self.finding(
-                            module, lineno,
-                            f"{node.name}.__init__ sets self.{attr} but "
-                            f"{which} never touches it -- a restored "
-                            "instance silently loses this state",
-                        )
+                if attr in persisted:
+                    continue
+                if attr in read_not_returned:
+                    message = (
+                        f"{node.name}.snapshot_state reads self.{attr} but "
+                        "drops it from the returned state -- a restored "
+                        "instance silently loses it"
                     )
+                else:
+                    message = (
+                        f"{node.name}.__init__ sets self.{attr} but {which} "
+                        "never persists it -- a restored instance silently "
+                        "loses this state"
+                    )
+                findings.append(self.finding(module, lineno, message))
         return findings
+
+    @staticmethod
+    def _attrs_reaching_return(
+        module: SourceModule, snapshot: ast.FunctionDef
+    ) -> set[str] | None:
+        """The ``self.X`` names whose values flow into a ``return`` of
+        *snapshot*, or ``None`` when the body is opaque to the analysis
+        (reflection, no return statement)."""
+        if _is_opaque(snapshot):
+            return None
+        flow = module.dataflow().flow(snapshot)
+        if flow is None or not flow.return_nodes:
+            return None
+        return {
+            taint.source.split(".", 1)[1]
+            for taint in flow.return_taints
+            if taint.kind == ATTR and taint.source.startswith("self.")
+        }

@@ -1,0 +1,606 @@
+"""The intraprocedural dataflow engine under the flow-aware rules.
+
+PR 4's checkers were purely syntactic: they recognized *shapes*
+(``random.Random()`` with no argument, an attribute name mentioned
+anywhere inside ``snapshot_state``).  The ROADMAP's four blind spots all
+require knowing where a *value* came from or where it *goes* --
+``Random(time.time())`` is only wrong because the seed derives from the
+wall clock; a ``snapshot_state`` that reads an attribute but drops it
+from the returned dict is only wrong because the read never reaches the
+``return``.  This module supplies that knowledge as a small taint
+analysis over per-function def-use chains:
+
+* **Sources.**  Entropy reads (``time.time``, ``os.urandom``,
+  ``os.getpid``, ``uuid.uuid4``, the global-``random`` draws, ...),
+  float-producing operations (true division, ``float()``, the
+  float-valued ``math`` attributes), and ``self.X`` attribute loads each
+  start a :class:`Taint` with a *kind* (``ENTROPY``/``FLOAT``/``ATTR``/
+  ``ALIAS``), the source expression, and its line.
+
+* **Propagation.**  A single forward pass per function, in statement
+  order: assignments and augmented assignments rebind names (strong
+  update); ``if``/``try`` branches run on copies of the environment and
+  merge by union; loop bodies run twice so loop-carried taint is seen;
+  calls propagate the union of their argument and callee taints; calls
+  of *local* functions and ``self.``-methods substitute the callee's
+  return-taint summary (two summary iterations, so short call chains
+  resolve).  Data-dependency kinds flow through everything; the
+  ``ALIAS`` kind -- "this name *is* that ``self`` attribute" -- flows
+  only through plain name/attribute/subscript bindings, because a call
+  or constructor returns a new object.
+
+* **Traces.**  Every hop through a named binding is recorded, so a rule
+  can render ``seeded from time.time() (line 4) -> seed (line 5)`` in
+  its finding message instead of a bare "tainted".
+
+The engine is deliberately intraprocedural (plus the one-module summary
+step): no fixpoint across modules, no heap model, no path sensitivity.
+The rules that ride on it are conservative in the direction of their
+invariant and anything residual is a reviewed ``allow[...]`` -- same
+contract as PR 4.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = [
+    "Taint",
+    "ENTROPY",
+    "FLOAT",
+    "ATTR",
+    "ALIAS",
+    "ModuleDataflow",
+    "FunctionFlow",
+    "ENTROPY_SOURCES",
+    "ENTROPY_ROOTS",
+    "FLOAT_MATH",
+    "FLOAT_NUMPY",
+    "NUMPY_ROOTS",
+    "MUTATOR_METHODS",
+    "dotted_parts",
+]
+
+# -- taint kinds -------------------------------------------------------
+
+#: Value derives from an unseedable entropy source (clock, OS, uuid...).
+ENTROPY = "entropy"
+#: Value derives from a float-producing operation.
+FLOAT = "float"
+#: Value derives from (was read out of) a ``self.X`` attribute.
+ATTR = "attr"
+#: Name *is* a ``self.X`` attribute (object identity, not just data).
+ALIAS = "alias"
+
+#: Hops kept per trace; beyond this the trail is elided, not the taint.
+_MAX_HOPS = 8
+
+# -- source tables (shared with the syntactic checkers) ----------------
+
+#: Wall-clock reads on the ``time`` module.
+CLOCK_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+#: Wall-clock reads on ``datetime``/``date``.
+CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+DATETIME_ROOTS = frozenset({"datetime", "date"})
+UUID_ATTRS = frozenset({"uuid1", "uuid4"})
+
+#: Dotted callables whose *result* is entropy-derived.  ``random.*``
+#: draws from the shared global RNG; ``secrets.*`` is matched by root.
+ENTROPY_SOURCES = frozenset(
+    {f"time.{leaf}" for leaf in CLOCK_TIME_ATTRS}
+    | {f"{root}.{leaf}" for root in DATETIME_ROOTS for leaf in CLOCK_DATETIME_ATTRS}
+    | {f"datetime.datetime.{leaf}" for leaf in CLOCK_DATETIME_ATTRS}
+    | {f"datetime.date.{leaf}" for leaf in CLOCK_DATETIME_ATTRS}
+    | {f"uuid.{leaf}" for leaf in UUID_ATTRS}
+    | {
+        "os.urandom",
+        "os.getpid",
+        "os.getppid",
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.randbytes",
+        "random.getrandbits",
+        "random.uniform",
+        "random.choice",
+        "random.SystemRandom",
+    }
+)
+#: Any call rooted at one of these modules is entropy, whatever the leaf.
+ENTROPY_ROOTS = frozenset({"secrets"})
+
+#: ``math`` attributes that return (or are) floats (R001's table, moved
+#: here so the float taint kind and the syntactic rule share one list).
+FLOAT_MATH = frozenset(
+    {
+        "sqrt", "cbrt", "exp", "exp2", "expm1",
+        "log", "log2", "log10", "log1p",
+        "pow", "hypot", "dist", "fsum", "fmod", "remainder",
+        "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+        "sinh", "cosh", "tanh", "degrees", "radians",
+        "pi", "e", "tau", "inf", "nan",
+    }
+)
+
+#: numpy attributes that are float dtypes or promote to float.
+FLOAT_NUMPY = frozenset(
+    {
+        "float16", "float32", "float64", "float128",
+        "half", "single", "double", "longdouble", "floating",
+        "sqrt", "cbrt", "exp", "exp2", "expm1",
+        "log", "log2", "log10", "log1p",
+        "true_divide", "divide", "reciprocal",
+        "mean", "average", "std", "var", "median",
+        "sin", "cos", "tan", "arctan2", "hypot",
+        "linspace", "logspace",
+    }
+)
+
+#: Names ``numpy`` is commonly bound to.
+NUMPY_ROOTS = frozenset({"np", "numpy"})
+
+#: Method names that mutate their receiver in place.  Used two ways: a
+#: call ``self.X.append(...)`` is a state mutation (R005), and a call
+#: ``d.update(other)`` merges ``other``'s taints into ``d``.
+MUTATOR_METHODS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "extendleft", "insert", "pop", "popleft", "popitem", "remove",
+        "reverse", "setdefault", "sort", "update",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Taint:
+    """One tracked provenance: *kind* (``ENTROPY``/``FLOAT``/``ATTR``/
+    ``ALIAS``), the source expression text, its line, and the hops the
+    value took through named bindings since."""
+
+    kind: str
+    source: str
+    line: int
+    hops: tuple[str, ...] = ()
+
+    def hop(self, step: str) -> "Taint":
+        if len(self.hops) >= _MAX_HOPS:
+            return self
+        return Taint(self.kind, self.source, self.line, self.hops + (step,))
+
+    def trace(self) -> tuple[str, ...]:
+        """Human-readable origin-to-here chain for finding messages."""
+        return (f"{self.source} (line {self.line})", *self.hops)
+
+
+_EMPTY: frozenset[Taint] = frozenset()
+
+#: Kinds that survive a call / arithmetic / construction boundary: the
+#: result still *derives from* the input, but is a fresh object.
+_DATA_KINDS = frozenset({ENTROPY, FLOAT, ATTR})
+
+
+def _data_only(taints: frozenset[Taint]) -> frozenset[Taint]:
+    return frozenset(t for t in taints if t.kind in _DATA_KINDS)
+
+
+def dotted_parts(node: ast.expr) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")`` when the chain roots in a plain
+    name, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class ModuleDataflow:
+    """Dataflow over one module: a :class:`FunctionFlow` per function
+    (plus one for module-level statements), return-taint summaries for
+    local functions and methods, and an import-alias table so
+    ``from time import time as wall`` still reads as ``time.time``."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        self.aliases = self._import_aliases(tree)
+        #: Return-taint summaries: ``("", name)`` for module-level
+        #: functions, ``(class_name, name)`` for methods.
+        self.summaries: dict[tuple[str, str], frozenset[Taint]] = {}
+        #: node id -> taints, shared by every flow in the module.
+        self._memo: dict[int, frozenset[Taint]] = {}
+        self._functions = self._collect_functions(tree)
+        self._run()
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def _import_aliases(tree: ast.Module) -> dict[str, str]:
+        aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    aliases[(name.asname or name.name).split(".")[0]] = (
+                        name.name if name.asname else name.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                if node.module is None:
+                    continue
+                for name in node.names:
+                    if name.name != "*":
+                        aliases[name.asname or name.name] = (
+                            f"{node.module}.{name.name}"
+                        )
+        return aliases
+
+    @staticmethod
+    def _collect_functions(
+        tree: ast.Module,
+    ) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        """Every function with its owning class name ("" for module
+        level), outer-to-inner so summaries exist before most uses."""
+        out: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+
+        def visit(node: ast.AST, owner: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append((owner, child))
+                    visit(child, owner)
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, child.name)
+                else:
+                    visit(child, owner)
+
+        visit(tree, "")
+        return out
+
+    def _run(self) -> None:
+        # Two summary rounds: the first sees leaf functions, the second
+        # resolves one level of local call chaining (f -> g -> source).
+        for _round in range(2):
+            for owner, func in self._functions:
+                flow = FunctionFlow(func, self)
+                self.summaries[(owner, func.name)] = flow.return_taints
+        # Final round records node taints with complete summaries, and
+        # runs the module-level statements as a pseudo-function.
+        self._memo.clear()
+        self._flows: dict[int, FunctionFlow] = {}
+        for owner, func in self._functions:
+            flow = FunctionFlow(func, self, memo=self._memo)
+            self.summaries[(owner, func.name)] = flow.return_taints
+            self._flows[id(func)] = flow
+        self._module_flow = FunctionFlow(self.tree, self, memo=self._memo)
+
+    # -- queries -------------------------------------------------------
+
+    def taints(self, node: ast.AST) -> frozenset[Taint]:
+        """The taints of an evaluated expression node (empty for nodes
+        the pass never reached, e.g. dead code after ``return``)."""
+        return self._memo.get(id(node), _EMPTY)
+
+    def flow(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> "FunctionFlow | None":
+        return self._flows.get(id(func))
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """The canonical dotted name of a callable expression, with
+        import aliases unfolded (``wall`` -> ``time.time``)."""
+        parts = dotted_parts(node)
+        if parts is None:
+            return None
+        root = self.aliases.get(parts[0], parts[0])
+        return ".".join((root, *parts[1:]))
+
+
+class FunctionFlow:
+    """One forward pass over one function body (or the module body):
+    the environment maps local names to taint sets; every expression
+    evaluated along the way lands in the shared memo."""
+
+    def __init__(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+        module: ModuleDataflow,
+        memo: dict[int, frozenset[Taint]] | None = None,
+    ) -> None:
+        self.func = func
+        self.module = module
+        self.memo = memo if memo is not None else {}
+        self.env: dict[str, frozenset[Taint]] = {}
+        self.return_taints: frozenset[Taint] = _EMPTY
+        self.return_nodes: list[ast.Return] = []
+        body = func.body if isinstance(func.body, list) else []
+        self._exec_block(body)
+
+    # -- statements ----------------------------------------------------
+
+    def _exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt)
+
+    def _branch(self, *blocks: list[ast.stmt]) -> None:
+        """Run each block on a copy of the environment, then merge the
+        copies by key-wise union (a may-analysis join)."""
+        merged = dict(self.env)
+        for block in blocks:
+            saved = self.env
+            self.env = dict(saved)
+            self._exec_block(block)
+            for name, taints in self.env.items():
+                merged[name] = merged.get(name, _EMPTY) | taints
+            self.env = saved
+        self.env = merged
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taints)
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                taints = taints | self.env.get(stmt.target.id, _EMPTY)
+            self._bind(stmt.target, taints)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self.return_nodes.append(stmt)
+            if stmt.value is not None:
+                self.return_taints = self.return_taints | self._eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._branch(stmt.body, stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taints = self._eval(stmt.iter)
+            self._bind(stmt.target, _data_only(iter_taints))
+            # Twice: the second pass sees bindings the first created, so
+            # loop-carried taint (acc = acc + draw) is propagated.
+            self._branch(stmt.body)
+            self._branch(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._branch(stmt.body)
+            self._branch(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taints)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._branch(stmt.body)
+            for handler in stmt.handlers:
+                self._branch(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self._eval(value)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        # Nested FunctionDef / ClassDef / Import / Pass / Break /
+        # Continue / Global / Nonlocal: no dataflow at this level.
+
+    # -- binding -------------------------------------------------------
+
+    def _bind(self, target: ast.expr, taints: frozenset[Taint]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = frozenset(
+                t.hop(f"-> {target.id} (line {target.lineno})") for t in taints
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, _data_only(taints))
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, _data_only(taints))
+        elif isinstance(target, ast.Subscript):
+            # d[k] = tainted: the container now carries the taint (weak
+            # update -- existing taints stay).
+            self._eval(target.slice)
+            base = target.value
+            if isinstance(base, ast.Name):
+                self.env[base.id] = self.env.get(base.id, _EMPTY) | _data_only(
+                    taints
+                )
+        # Attribute targets (self.X = ...) are stores the syntactic
+        # rules already see; nothing to track forward here.
+
+    # -- expressions ---------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> frozenset[Taint]:
+        taints = self._eval_inner(node)
+        self.memo[id(node)] = taints
+        return taints
+
+    def _eval_inner(self, node: ast.expr) -> frozenset[Taint]:  # noqa: C901
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Name):
+            local = self.env.get(node.id)
+            if local is not None:
+                return local  # locals shadow imported names
+            # An unbound name may be a from-imported source under an
+            # alias: `from time import time as wall` makes a bare
+            # `wall` read as `time.time`.
+            dotted = self.module.aliases.get(node.id)
+            if dotted is not None and "." in dotted:
+                return self._source_taints(dotted, node.lineno)
+            return _EMPTY
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            taints = _data_only(self._eval(node.left) | self._eval(node.right))
+            if isinstance(node.op, ast.Div):
+                taints = taints | {
+                    Taint(FLOAT, "true division `/`", node.lineno)
+                }
+            return taints
+        if isinstance(node, ast.BoolOp):
+            out = _EMPTY
+            for value in node.values:
+                out = out | self._eval(value)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return _data_only(self._eval(node.operand))
+        if isinstance(node, ast.Compare):
+            out = self._eval(node.left)
+            for comparator in node.comparators:
+                out = out | self._eval(comparator)
+            return _data_only(out)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body) | self._eval(node.orelse)
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice)
+            return self._eval(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = _EMPTY
+            for element in node.elts:
+                out = out | self._eval(element)
+            return _data_only(out)
+        if isinstance(node, ast.Dict):
+            out = _EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out = out | self._eval(key)
+            for value in node.values:
+                out = out | self._eval(value)
+            return _data_only(out)
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.NamedExpr):
+            taints = self._eval(node.value)
+            self._bind(node.target, taints)
+            return taints
+        if isinstance(node, ast.JoinedStr):
+            out = _EMPTY
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out = out | self._eval(value.value)
+            return _data_only(out)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value)
+        if isinstance(node, ast.Yield):
+            return self._eval(node.value) if node.value is not None else _EMPTY
+        if isinstance(node, ast.Lambda):
+            return _EMPTY  # own scope; not executed here
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part)
+            return _EMPTY
+        return _EMPTY
+
+    def _eval_attribute(self, node: ast.Attribute) -> frozenset[Taint]:
+        parts = dotted_parts(node)
+        if parts is not None and parts[0] == "self" and len(parts) >= 2:
+            # A self-attribute load: both a data dependency on the
+            # attribute and an alias of the attribute object itself.
+            source = ".".join(parts[: 2])
+            return frozenset(
+                {
+                    Taint(ATTR, source, node.lineno),
+                    Taint(ALIAS, source, node.lineno),
+                }
+            )
+        dotted = self.module.resolve(node)
+        if dotted is not None:
+            taints = self._source_taints(dotted, node.lineno)
+            if taints:
+                return taints
+        # Attribute of a tracked value: data dependency, and keep any
+        # alias (y.b where y aliases self.X is still inside self.X).
+        return self._eval(node.value)
+
+    @staticmethod
+    def _source_taints(dotted: str, lineno: int) -> frozenset[Taint]:
+        """Taints seeded by reading the canonical dotted name *dotted*
+        (the shared source tables), empty when it is not a source."""
+        root = dotted.split(".")[0]
+        if dotted in ENTROPY_SOURCES or root in ENTROPY_ROOTS:
+            return frozenset({Taint(ENTROPY, dotted, lineno)})
+        leaf = dotted.rsplit(".", 1)[-1]
+        if root == "math" and leaf in FLOAT_MATH:
+            return frozenset({Taint(FLOAT, dotted, lineno)})
+        if root in NUMPY_ROOTS and leaf in FLOAT_NUMPY:
+            return frozenset({Taint(FLOAT, dotted, lineno)})
+        return _EMPTY
+
+    def _eval_call(self, node: ast.Call) -> frozenset[Taint]:
+        func_taints = self._eval(node.func)
+        arg_taints = _EMPTY
+        for arg in node.args:
+            arg_taints = arg_taints | self._eval(arg)
+        for keyword in node.keywords:
+            arg_taints = arg_taints | self._eval(keyword.value)
+        # d.update(other) / d.append(x): the receiver absorbs the
+        # argument taints (containers as sinks-then-sources).
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Name)
+        ):
+            receiver = node.func.value.id
+            self.env[receiver] = self.env.get(receiver, _EMPTY) | _data_only(
+                arg_taints
+            )
+        # float() is itself a float source.
+        extra: frozenset[Taint] = _EMPTY
+        if isinstance(node.func, ast.Name) and node.func.id == "float":
+            extra = frozenset({Taint(FLOAT, "float()", node.lineno)})
+        # Calls of local functions / self-methods substitute the callee's
+        # return summary (re-anchored at the call line, keeping the
+        # callee-side origin in the trace).
+        summary = self._summary_for(node)
+        if summary:
+            extra = extra | frozenset(
+                t.hop(f"-> returned to line {node.lineno}") for t in summary
+            )
+        return _data_only(func_taints | arg_taints) | extra
+
+    def _summary_for(self, node: ast.Call) -> frozenset[Taint]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self.module.summaries.get(("", func.id), _EMPTY)
+        parts = dotted_parts(func)
+        if parts is not None and len(parts) == 2 and parts[0] == "self":
+            for (owner, name), summary in self.module.summaries.items():
+                if owner and name == parts[1]:
+                    return summary
+        return _EMPTY
+
+    def _eval_comprehension(self, node: ast.expr) -> frozenset[Taint]:
+        saved = dict(self.env)
+        try:
+            for gen in node.generators:  # type: ignore[attr-defined]
+                taints = self._eval(gen.iter)
+                self._bind(gen.target, _data_only(taints))
+                for condition in gen.ifs:
+                    self._eval(condition)
+            if isinstance(node, ast.DictComp):
+                out = self._eval(node.key) | self._eval(node.value)
+            else:
+                out = self._eval(node.elt)  # type: ignore[attr-defined]
+            return _data_only(out)
+        finally:
+            self.env = saved

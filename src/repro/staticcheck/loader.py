@@ -16,9 +16,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.staticcheck.dataflow import ModuleDataflow
 from repro.staticcheck.model import Suppression, parse_suppressions
 
-__all__ = ["SourceModule", "iter_python_files", "load_module", "module_name_for"]
+__all__ = [
+    "SourceModule",
+    "iter_python_files",
+    "load_module",
+    "module_name_for",
+    "module_imports",
+]
 
 
 def module_name_for(path: Path) -> str:
@@ -46,6 +53,15 @@ class SourceModule:
     suppressions: list[Suppression] = field(default_factory=list)
     #: ``(first_line, last_line, def_line)`` per function, innermost last.
     function_spans: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Lazily-built dataflow engine, shared by every flow-aware checker.
+    _dataflow: ModuleDataflow | None = None
+
+    def dataflow(self) -> ModuleDataflow:
+        """The module's dataflow analysis, built on first use so purely
+        syntactic runs (e.g. ``--rules R001``) never pay for it."""
+        if self._dataflow is None:
+            self._dataflow = ModuleDataflow(self.tree)
+        return self._dataflow
 
     def suppression_for(self, rule: str, line: int) -> Suppression | None:
         """The suppression waiving *rule* at *line*: an allow comment
@@ -87,6 +103,29 @@ def load_module(path: Path) -> SourceModule:
         suppressions=parse_suppressions(source),
         function_spans=_function_spans(tree),
     )
+
+
+def module_imports(tree: ast.Module, module_name: str) -> list[tuple[str, int]]:
+    """Every imported module in *tree* as ``(dotted_name, line)``;
+    relative imports are resolved against *module_name*.  Shared by the
+    R004 layering checker and the incremental cache's reverse-import
+    invalidation."""
+    out: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = module_name.split(".")
+                # level 1 = current package; each extra level climbs.
+                base = parts[: len(parts) - node.level]
+                target = ".".join(base + ([node.module] if node.module else []))
+            else:
+                target = node.module or ""
+            if target:
+                out.append((target, node.lineno))
+    return out
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:

@@ -16,7 +16,17 @@ import tokenize
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Finding", "Suppression", "parse_suppressions", "USELESS_SUPPRESSION"]
+__all__ = [
+    "Finding",
+    "Suppression",
+    "parse_suppressions",
+    "USELESS_SUPPRESSION",
+    "ANALYZER_VERSION",
+]
+
+#: The analyzer version, recorded in every JSON report and folded into
+#: the incremental cache key (a new analyzer invalidates old results).
+ANALYZER_VERSION = "2.0.0"
 
 #: The meta-rule reported for a suppression comment that matched nothing.
 USELESS_SUPPRESSION = "R000"
@@ -38,6 +48,9 @@ class Finding:
     line: int
     message: str
     module: str = ""
+    #: Flow-aware rules attach the taint trail here: origin-to-sink,
+    #: one human-readable hop per element.
+    trace: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -46,10 +59,25 @@ class Finding:
             "line": self.line,
             "message": self.message,
             "module": self.module,
+            "trace": list(self.trace),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            path=data["path"],
+            line=data["line"],
+            message=data["message"],
+            module=data.get("module", ""),
+            trace=tuple(data.get("trace", ())),
+        )
+
     def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+        base = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.trace:
+            return base + f" [flow: {' '.join(self.trace)}]"
+        return base
 
     def sort_key(self) -> tuple[str, int, str]:
         return (self.path, self.line, self.rule)

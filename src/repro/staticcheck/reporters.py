@@ -1,9 +1,18 @@
 """Text and JSON reporters.
 
 Text is for humans at a terminal (one ``path:line: RULE message`` per
-finding plus a summary); JSON (schema ``repro.reprolint/1``) is for the
+finding plus a summary); JSON (schema ``repro.reprolint/2``) is for the
 bench runner and any CI tooling that wants the counts without parsing
 prose.
+
+Schema history:
+
+* ``repro.reprolint/1`` -- PR 4: findings, counts, suppressions.
+* ``repro.reprolint/2`` -- this PR: adds ``analyzer_version``,
+  ``config_hash`` (the composite incremental-cache key), ``cache``
+  hit/miss statistics (``null`` when the cache was off), and a ``trace``
+  list on each finding (the dataflow engine's origin-to-sink taint
+  trail, empty for purely syntactic findings).
 """
 
 from __future__ import annotations
@@ -16,7 +25,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["render_text", "render_json", "JSON_SCHEMA"]
 
-JSON_SCHEMA = "repro.reprolint/1"
+JSON_SCHEMA = "repro.reprolint/2"
+
+
+def _cache_note(result: "AnalysisResult") -> str:
+    stats = result.cache_stats
+    if stats is None:
+        return ""
+    return f"; cache: {stats.hits} hit / {stats.misses} analyzed"
 
 
 def render_text(result: "AnalysisResult") -> str:
@@ -28,13 +44,14 @@ def render_text(result: "AnalysisResult") -> str:
         )
         lines.append(
             f"{len(result.findings)} finding(s) [{by_rule}] in "
-            f"{result.files} file(s); {suppressed} suppressed "
-            f"({result.elapsed_s * 1000:.0f} ms)"
+            f"{result.files} file(s); {suppressed} suppressed"
+            f"{_cache_note(result)} ({result.elapsed_s * 1000:.0f} ms)"
         )
     else:
         lines.append(
             f"clean: {result.files} file(s), 0 findings, "
-            f"{suppressed} suppressed ({result.elapsed_s * 1000:.0f} ms)"
+            f"{suppressed} suppressed{_cache_note(result)} "
+            f"({result.elapsed_s * 1000:.0f} ms)"
         )
     return "\n".join(lines)
 
@@ -42,6 +59,7 @@ def render_text(result: "AnalysisResult") -> str:
 def render_json(result: "AnalysisResult") -> str:
     payload = {
         "schema": JSON_SCHEMA,
+        "analyzer_version": result.analyzer_version,
         "files": result.files,
         "elapsed_s": result.elapsed_s,
         "findings": [finding.to_dict() for finding in result.findings],
@@ -52,6 +70,8 @@ def render_json(result: "AnalysisResult") -> str:
         ],
         "suppressed_counts_by_rule": result.suppressed_counts_by_rule(),
         "config": str(result.config_path) if result.config_path else None,
+        "config_hash": result.config_hash,
+        "cache": result.cache_stats.to_dict() if result.cache_stats else None,
         "ok": result.ok,
     }
     return json.dumps(payload, indent=2)

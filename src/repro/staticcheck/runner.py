@@ -1,6 +1,21 @@
 """The analysis driver: load files, run checkers, match suppressions,
 report, exit.
 
+v2 structure: all per-file work lives in :func:`analyze_file`, a pure
+picklable worker, so the same code path serves three execution modes --
+
+* **serial** (the default on one core, and for small dirty sets);
+* **multiprocessing** (``--jobs N``): cold full-tree runs fan the worker
+  out over a process pool;
+* **cached** (``--cache``/``--no-cache``): reuse each file's stored
+  outcome unless its content hash changed or a changed module is in its
+  transitive imports (see :mod:`repro.staticcheck.cache`).
+
+Project-level checks (``Checker.check_project``, e.g. R004's allowance
+cycles) run exactly once per analysis in the parent process; they
+depend only on the config, so they are never cached and never
+suppressible.
+
 Exit-code contract (what CI keys off):
 
 * ``0`` -- zero unsuppressed findings;
@@ -12,23 +27,42 @@ Exit-code contract (what CI keys off):
 from __future__ import annotations
 
 import argparse
+import multiprocessing
+import os
 import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence, TextIO
 
+from repro.staticcheck.cache import (
+    CACHE_FILENAME,
+    AnalysisCache,
+    CachedFile,
+    CacheStats,
+    config_hash,
+    content_hash,
+)
 from repro.staticcheck.checkers import ALL_CHECKERS
 from repro.staticcheck.config import ConfigError, ReprolintConfig, load_config
-from repro.staticcheck.loader import iter_python_files, load_module
-from repro.staticcheck.model import USELESS_SUPPRESSION, Finding
+from repro.staticcheck.loader import (
+    iter_python_files,
+    load_module,
+    module_imports,
+    module_name_for,
+)
+from repro.staticcheck.model import ANALYZER_VERSION, USELESS_SUPPRESSION, Finding
 from repro.staticcheck.reporters import render_json, render_text
 
-__all__ = ["AnalysisResult", "analyze_paths", "run_cli", "main"]
+__all__ = ["AnalysisResult", "analyze_paths", "analyze_file", "run_cli", "main"]
 
 #: Rule reported for files the parser rejects (not suppressible: a file
 #: the analyzer cannot read is a file none of the invariants cover).
 PARSE_ERROR = "E999"
+
+#: Below this many files to analyze, a process pool costs more than it
+#: saves; stay serial regardless of ``jobs``.
+_POOL_THRESHOLD = 2
 
 
 @dataclass(slots=True)
@@ -43,6 +77,12 @@ class AnalysisResult:
     files: int = 0
     elapsed_s: float = 0.0
     config_path: Path | None = None
+    #: Analyzer identity, for reports and regression tracking.
+    analyzer_version: str = ANALYZER_VERSION
+    #: The composite cache key this run's results are valid under.
+    config_hash: str = ""
+    #: Hit/miss accounting when the cache was enabled, else ``None``.
+    cache_stats: CacheStats | None = None
 
     @property
     def ok(self) -> bool:
@@ -61,10 +101,90 @@ class AnalysisResult:
         return dict(sorted(out.items()))
 
 
+def analyze_file(
+    path_str: str,
+    config: ReprolintConfig,
+    requested: frozenset[str] | None,
+    digest: str = "",
+) -> tuple[str, CachedFile]:
+    """Analyze one file, completely: load, run every active checker,
+    match suppressions, report stale suppressions.  Pure function of
+    (file content, config, requested rules) -- the property both the
+    cache and the process pool rely on."""
+    file_path = Path(path_str)
+    try:
+        module = load_module(file_path)
+    except SyntaxError as exc:
+        record = CachedFile(hash=digest, module=module_name_for(file_path))
+        record.findings.append(
+            Finding(
+                rule=PARSE_ERROR,
+                path=path_str,
+                line=exc.lineno or 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+        )
+        return path_str, record
+    active = config.rules_for(module.name)
+    if requested is not None:
+        active &= requested
+    raw: list[Finding] = []
+    for checker in ALL_CHECKERS:
+        if checker.code in active:
+            raw.extend(checker.check(module, config))
+    record = CachedFile(
+        hash=digest,
+        module=module.name,
+        imports=tuple(sorted({t for t, _ in module_imports(module.tree, module.name)})),
+    )
+    for finding in raw:
+        suppression = module.suppression_for(finding.rule, finding.line)
+        if suppression is None:
+            record.findings.append(finding)
+        else:
+            suppression.matched.add(finding.rule)
+            record.suppressed.append((finding, suppression.line))
+    # A suppression whose rules all ran and matched nothing is stale.
+    for suppression in module.suppressions:
+        if suppression.used:
+            continue
+        if not suppression.rules <= active:
+            continue  # some listed rule didn't run; can't judge it
+        record.findings.append(
+            Finding(
+                rule=USELESS_SUPPRESSION,
+                path=finding_path(module.path),
+                line=suppression.line,
+                message=(
+                    f"allow[{','.join(sorted(suppression.rules))}] "
+                    "matched no finding; delete the stale suppression"
+                ),
+                module=module.name,
+            )
+        )
+    return path_str, record
+
+
+def _pool_worker(
+    args: tuple[str, ReprolintConfig, frozenset[str] | None, str],
+) -> tuple[str, CachedFile]:
+    return analyze_file(*args)
+
+
+def _effective_jobs(jobs: int | None) -> int:
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
 def analyze_paths(
     paths: Sequence[Path | str],
     config: ReprolintConfig | None = None,
     rules: Sequence[str] | None = None,
+    *,
+    cache: bool = False,
+    cache_path: Path | None = None,
+    jobs: int | None = None,
 ) -> AnalysisResult:
     """Run the checkers over every ``.py`` file under *paths*.
 
@@ -73,6 +193,13 @@ def analyze_paths(
     the run to a subset of codes (``R000`` stale-suppression reporting
     then only considers those codes, so a narrowed run never flags a
     suppression whose rule simply did not execute).
+
+    *cache* enables the incremental cache (library default off; the CLI
+    defaults it on).  *cache_path* overrides its location, which is
+    otherwise ``.reprolint-cache.json`` next to the governing
+    ``pyproject.toml``.  *jobs* sets the process-pool width for the
+    files that actually need analysis (``None``/``0`` = one per CPU,
+    ``1`` = serial).
     """
     started = time.perf_counter()
     path_objs = [Path(p) for p in paths]
@@ -84,53 +211,65 @@ def analyze_paths(
     requested = (
         frozenset(code.upper() for code in rules) if rules is not None else None
     )
+    result.config_hash = config_hash(config, requested)
 
-    for file_path in iter_python_files(path_objs):
-        result.files += 1
-        try:
-            module = load_module(file_path)
-        except SyntaxError as exc:
-            result.findings.append(
-                Finding(
-                    rule=PARSE_ERROR,
-                    path=str(file_path),
-                    line=exc.lineno or 1,
-                    message=f"cannot parse: {exc.msg}",
-                )
+    files = [str(p) for p in iter_python_files(path_objs)]
+    result.files = len(files)
+
+    store: AnalysisCache | None = None
+    targets: list[tuple[str, str]]  # (path, content hash) needing analysis
+    if cache:
+        if cache_path is None:
+            anchor = (
+                result.config_path.parent
+                if result.config_path is not None
+                else Path.cwd()
             )
+            cache_path = anchor / CACHE_FILENAME
+        store = AnalysisCache.load(cache_path, result.config_hash)
+        hashes = {path: content_hash(Path(path)) for path in files}
+        changed, invalidated = store.plan(hashes)
+        result.cache_stats = CacheStats(
+            hits=len(files) - len(changed) - len(invalidated),
+            misses=len(changed) + len(invalidated),
+            invalidated=len(invalidated),
+        )
+        targets = [(path, hashes[path]) for path in files if path in changed or path in invalidated]
+    else:
+        targets = [(path, "") for path in files]
+
+    outcomes: dict[str, CachedFile] = {}
+    pool_jobs = _effective_jobs(jobs)
+    if pool_jobs > 1 and len(targets) >= _POOL_THRESHOLD:
+        work = [(path, config, requested, digest) for path, digest in targets]
+        with multiprocessing.Pool(processes=pool_jobs) as pool:
+            for path, record in pool.map(_pool_worker, work):
+                outcomes[path] = record
+    else:
+        for path, digest in targets:
+            _, record = analyze_file(path, config, requested, digest)
+            outcomes[path] = record
+
+    for path in files:
+        if path in outcomes:
+            record = outcomes[path]
+            if store is not None:
+                store.put(path, record)
+        else:
+            assert store is not None  # only cache hits skip analysis
+            record = store.get(path)
+        result.findings.extend(record.findings)
+        result.suppressed.extend(record.suppressed)
+
+    # Project-level checks: once per run, parent process, never cached
+    # (they read only the config) and never suppressible.
+    for checker in ALL_CHECKERS:
+        if requested is not None and checker.code not in requested:
             continue
-        active = config.rules_for(module.name)
-        if requested is not None:
-            active &= requested
-        raw: list[Finding] = []
-        for checker in ALL_CHECKERS:
-            if checker.code in active:
-                raw.extend(checker.check(module, config))
-        for finding in raw:
-            suppression = module.suppression_for(finding.rule, finding.line)
-            if suppression is None:
-                result.findings.append(finding)
-            else:
-                suppression.matched.add(finding.rule)
-                result.suppressed.append((finding, suppression.line))
-        # A suppression whose rules all ran and matched nothing is stale.
-        for suppression in module.suppressions:
-            if suppression.used:
-                continue
-            if not suppression.rules <= active:
-                continue  # some listed rule didn't run; can't judge it
-            result.findings.append(
-                Finding(
-                    rule=USELESS_SUPPRESSION,
-                    path=finding_path(module.path),
-                    line=suppression.line,
-                    message=(
-                        f"allow[{','.join(sorted(suppression.rules))}] "
-                        "matched no finding; delete the stale suppression"
-                    ),
-                    module=module.name,
-                )
-            )
+        result.findings.extend(checker.check_project(config, result.config_path))
+
+    if store is not None:
+        store.save()
 
     result.findings.sort(key=Finding.sort_key)
     result.elapsed_s = time.perf_counter() - started
@@ -167,6 +306,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rules table and exit"
     )
+    parser.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=True,
+        help="reuse cached per-file results (default)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="ignore and do not write the incremental cache",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for files needing analysis (0 = one per CPU)",
+    )
     return parser
 
 
@@ -181,7 +340,9 @@ def run_cli(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> 
     if args.rules:
         rules = [token.strip() for token in args.rules.split(",") if token.strip()]
     try:
-        result = analyze_paths(args.paths, rules=rules)
+        result = analyze_paths(
+            args.paths, rules=rules, cache=args.cache, jobs=args.jobs
+        )
     except (ConfigError, ValueError, OSError) as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,9 @@
+"""Each import below is individually sanctioned by the cyclic table."""
+
+from app.ui import upper
+
+__all__ = ["lower"]
+
+
+def lower():
+    return upper() - 1

@@ -1,0 +1,7 @@
+"""The other half of the cycle; see ``core.py``."""
+
+__all__ = ["upper"]
+
+
+def upper():
+    return 1

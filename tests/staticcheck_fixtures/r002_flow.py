@@ -1,0 +1,21 @@
+"""R002 flow fixture: entropy laundered through a local seed variable.
+
+The PR 4 syntactic pass treated *any* ``random.Random(arg)`` as a
+legitimately seeded stream, and its source tables never listed
+``os.getpid`` -- so this whole file analyzed clean under v1.  The seed
+here demonstrably derives from process entropy: a replayed run gets a
+different pid and therefore a different stream.
+"""
+
+import os
+import random
+
+
+def pid_stream():
+    seed = os.getpid() ^ 0x5EED  # line 15: entropy enters the seed
+    return random.Random(seed)  # line 16: v2 flags via the taint trace
+
+
+def config_stream(settings):
+    seed = settings["seed"]  # a configured seed is the sanctioned pattern
+    return random.Random(seed)

@@ -1,0 +1,21 @@
+"""R003 flow fixture: ``snapshot_state`` reads an attribute but drops it.
+
+The PR 4 syntactic pass counted any ``self.X`` *mention* inside
+``snapshot_state`` as persisted, so the read below -- whose value never
+reaches the returned dict -- made the file analyze clean under v1.  A
+restored instance still silently loses ``_outstanding``.
+"""
+
+
+class Engine:
+    def __init__(self, seed):
+        self.clock = 0
+        self._outstanding = {}  # line 13: read below, never returned
+
+    def snapshot_state(self):
+        pending = len(self._outstanding)  # read ...
+        assert pending >= 0
+        return {"clock": self.clock}  # ... but dropped from the state
+
+    def restore_state(self, state):
+        self.clock = state["clock"]

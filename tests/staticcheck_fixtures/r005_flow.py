@@ -1,0 +1,23 @@
+"""R005 flow fixture: mutation through an aliased mutator call.
+
+The PR 4 syntactic pass saw only direct stores (``self.X = ...``);
+``table = self._profiles; table.clear()`` mutates the same dict through
+a local alias and analyzed clean under v1.  ``rebuild_copy`` mutates a
+*copy* -- the alias taint deliberately dies at the ``dict(...)`` call
+boundary, so it must stay legal.
+"""
+
+
+class AllocationEngine:
+    def __init__(self, bus):
+        self.bus = bus
+        self._profiles = {}
+
+    def reset_profiles(self):  # line 16: v2 flags this method
+        table = self._profiles
+        table.clear()
+
+    def rebuild_copy(self):
+        snapshot = dict(self._profiles)
+        snapshot.clear()  # a copy, not engine state: legal
+        return snapshot

@@ -62,6 +62,14 @@ def test_smoke_run_writes_schema_and_record(bench_runner, tmp_path):
     # per-engine row numbers (cheaper strides) while the square-shell
     # composition inflates the composed index -- which effect wins is
     # workload-dependent, and measuring that honestly is the point.
+    lint = scenarios["staticcheck"]
+    assert lint["pass"] is True
+    assert lint["unsuppressed_findings"] == 0
+    assert lint["warm_hit_rate"] == 1.0
+    # Loose bound for a single smoke-timed measurement; the committed
+    # full run is gated at >= 5x below.
+    assert lint["warm_speedup"] > 2
+    assert 0 < lint["incremental_reanalyzed"] < lint["files"]
 
 
 def test_trajectory_appends_across_runs(bench_runner, tmp_path):
@@ -86,3 +94,16 @@ def test_committed_trajectory_file_is_valid(bench_runner):
     assert data["schema"] == bench_runner.SCHEMA
     assert data["runs"], "committed BENCH_eval.json must hold at least one run"
     assert all(r["scenarios"]["consistency"]["pass"] for r in data["runs"])
+
+
+def test_committed_staticcheck_cache_gate(bench_runner):
+    """The v2 acceptance numbers, from the newest committed run: a warm
+    cached run on the unchanged tree is >= 5x faster than cold, and a
+    one-file edit re-analyzes only a proper subset of the tree."""
+    committed = _RUNNER.parent / "BENCH_eval.json"
+    latest = json.loads(committed.read_text())["runs"][-1]
+    lint = latest["scenarios"]["staticcheck"]
+    assert lint["warm_speedup"] >= 5
+    assert lint["warm_hit_rate"] == 1.0
+    assert 0 < lint["incremental_reanalyzed"] < lint["files"]
+    assert lint["incremental_fraction"] < 1.0

@@ -1,0 +1,318 @@
+"""Unit tests for the intraprocedural dataflow engine itself: the taint
+lattice, propagation rules, join semantics, and the deliberate places
+where taint *stops* (the false-positive guards the flow-aware rules
+rely on)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.staticcheck.dataflow import (
+    ALIAS,
+    ATTR,
+    ENTROPY,
+    FLOAT,
+    ModuleDataflow,
+    dotted_parts,
+)
+
+
+def flow_of(source: str) -> ModuleDataflow:
+    return ModuleDataflow(ast.parse(textwrap.dedent(source)))
+
+
+def returns(source: str, func: str = "f", owner: str = ""):
+    return flow_of(source).summaries[(owner, func)]
+
+
+def kinds(taints) -> set[str]:
+    return {t.kind for t in taints}
+
+
+def sources(taints, kind: str) -> set[str]:
+    return {t.source for t in taints if t.kind == kind}
+
+
+class TestSourcesAndPropagation:
+    def test_entropy_source_through_assignment_chain(self):
+        taints = returns(
+            """
+            import time
+
+            def f():
+                a = time.time()
+                b = a
+                c = b
+                return c
+            """
+        )
+        assert sources(taints, ENTROPY) == {"time.time"}
+
+    def test_import_alias_resolves_to_canonical_source(self):
+        taints = returns(
+            """
+            from time import time as wall
+
+            def f():
+                return wall()
+            """
+        )
+        assert sources(taints, ENTROPY) == {"time.time"}
+
+    def test_float_source(self):
+        taints = returns(
+            """
+            import math
+
+            def f(x):
+                return math.sqrt(x)
+            """
+        )
+        assert FLOAT in kinds(taints)
+
+    def test_untainted_code_stays_clean(self):
+        taints = returns(
+            """
+            def f(x):
+                y = x + 1
+                return y * 2
+            """
+        )
+        assert taints == frozenset()
+
+    def test_augmented_assignment_accumulates(self):
+        taints = returns(
+            """
+            import os
+
+            def f():
+                total = 0
+                total += os.getpid()
+                return total
+            """
+        )
+        assert sources(taints, ENTROPY) == {"os.getpid"}
+
+    def test_trace_records_the_hops(self):
+        taints = returns(
+            """
+            import time
+
+            def f():
+                a = time.time()
+                b = a
+                return b
+            """
+        )
+        (origin,) = [t for t in taints if t.kind == ENTROPY]
+        trace = origin.trace()
+        assert trace[0] == "time.time (line 5)"
+        assert any("a (line 5)" in hop for hop in trace)
+
+    def test_hop_chain_is_capped(self):
+        rebinds = "\n".join(
+            f"    v{i} = v{i - 1}" for i in range(1, 20)
+        )
+        taints = returns(
+            "import time\n\ndef f():\n    v0 = time.time()\n"
+            + rebinds
+            + "\n    return v19\n"
+        )
+        (origin,) = [t for t in taints if t.kind == ENTROPY]
+        assert len(origin.trace()) <= 9  # source + at most 8 hops
+
+
+class TestJoins:
+    def test_branches_union(self):
+        taints = returns(
+            """
+            import time
+
+            def f(flag):
+                x = 0
+                if flag:
+                    x = time.time()
+                else:
+                    x = 1
+                return x
+            """
+        )
+        assert ENTROPY in kinds(taints)
+
+    def test_loop_carried_taint(self):
+        # y reads x before x is tainted in program order; the loop body
+        # runs twice, so the back edge carries the taint into y.
+        taints = returns(
+            """
+            import time
+
+            def f(items):
+                x = 0
+                y = 0
+                for _ in items:
+                    y = x
+                    x = time.time()
+                return y
+            """
+        )
+        assert ENTROPY in kinds(taints)
+
+    def test_strong_update_clears_rebound_name(self):
+        taints = returns(
+            """
+            import time
+
+            def f():
+                x = time.time()
+                x = 0
+                return x
+            """
+        )
+        assert ENTROPY not in kinds(taints)
+
+    def test_subscript_store_is_a_weak_update(self):
+        taints = returns(
+            """
+            import time
+
+            def f():
+                d = {"k": 0}
+                d["t"] = time.time()
+                return d
+            """
+        )
+        assert ENTROPY in kinds(taints)
+
+    def test_comprehension_variable_does_not_leak(self):
+        df = flow_of(
+            """
+            import time
+
+            def f(items):
+                ticks = [time.time() for item in items]
+                item = 0
+                return item
+            """
+        )
+        assert df.summaries[("", "f")] == frozenset()
+
+
+class TestCallBoundaries:
+    def test_local_function_summary_propagates_returns(self):
+        taints = returns(
+            """
+            import time
+
+            def helper():
+                return time.time()
+
+            def f():
+                return helper()
+            """
+        )
+        assert sources(taints, ENTROPY) == {"time.time"}
+
+    def test_method_summary_via_self(self):
+        taints = flow_of(
+            """
+            import os
+
+            class C:
+                def helper(self):
+                    return os.getpid()
+
+                def f(self):
+                    return self.helper()
+            """
+        ).summaries[("C", "f")]
+        assert sources(taints, ENTROPY) == {"os.getpid"}
+
+    def test_two_level_call_chain(self):
+        taints = returns(
+            """
+            import time
+
+            def leaf():
+                return time.time()
+
+            def mid():
+                return leaf()
+
+            def f():
+                return mid()
+            """
+        )
+        assert ENTROPY in kinds(taints)
+
+    def test_alias_survives_direct_attribute_binding(self):
+        taints = returns(
+            """
+            class C:
+                def __init__(self):
+                    self._table = {}
+
+                def f(self):
+                    t = self._table
+                    return t
+            """,
+            owner="C",
+        )
+        assert "self._table" in sources(taints, ALIAS)
+        assert "self._table" in sources(taints, ATTR)
+
+    def test_alias_dies_at_a_call_boundary_but_data_survives(self):
+        # dict(self._table) is a *copy*: mutating it is not mutating
+        # engine state (no ALIAS), but its contents still derive from
+        # the attribute (ATTR survives, which is what R003 needs).
+        taints = returns(
+            """
+            class C:
+                def __init__(self):
+                    self._table = {}
+
+                def f(self):
+                    t = dict(self._table)
+                    return t
+            """,
+            owner="C",
+        )
+        assert ALIAS not in kinds(taints)
+        assert "self._table" in sources(taints, ATTR)
+
+    def test_alias_dies_in_binop(self):
+        taints = returns(
+            """
+            import os
+
+            def f():
+                seed = os.getpid() ^ 21485
+                return seed
+            """
+        )
+        assert ALIAS not in kinds(taints)
+        assert ENTROPY in kinds(taints)
+
+
+class TestQueries:
+    def test_resolve_unfolds_aliases(self):
+        df = flow_of("from os import urandom as rand\n")
+        node = ast.parse("rand", mode="eval").body
+        assert df.resolve(node) == "os.urandom"
+
+    def test_dotted_parts(self):
+        node = ast.parse("a.b.c", mode="eval").body
+        assert dotted_parts(node) == ("a", "b", "c")
+        call = ast.parse("a().b", mode="eval").body
+        assert dotted_parts(call) is None
+
+    def test_taints_of_unreached_node_is_empty(self):
+        df = flow_of(
+            """
+            def f():
+                return 1
+                x = 2
+            """
+        )
+        dead = ast.parse("x", mode="eval").body  # node never analyzed
+        assert df.taints(dead) == frozenset()

@@ -1,0 +1,218 @@
+"""The four v2 flow-aware upgrades, each against a fixture miniature
+that the PR 4 syntactic pass *provably* misses.
+
+Every test here comes in two halves: first run the PR 4 predicate (the
+syntactic helpers still live in the checkers -- ``_direct_mutation``,
+the any-touch attribute scan -- or are re-derived inline from the v1
+source tables) and assert it reports nothing; then run the real v2
+analysis and assert the finding, its anchor line, and its taint trace.
+That pins the *reason* these fixtures exist: they are the ROADMAP blind
+spots, not just more bad code.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.staticcheck import ReprolintConfig, analyze_paths
+from repro.staticcheck.checkers import attribute_parts
+from repro.staticcheck.checkers.event_discipline import (
+    _direct_mutation,
+    _publishes,
+)
+from repro.staticcheck.checkers.layering import allowance_cycles
+from repro.staticcheck.checkers.snapshot_completeness import (
+    _self_attr_assignments,
+    _self_attrs_touched,
+)
+from repro.staticcheck.dataflow import (
+    CLOCK_DATETIME_ATTRS,
+    CLOCK_TIME_ATTRS,
+    DATETIME_ROOTS,
+    UUID_ATTRS,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "staticcheck_fixtures"
+CYCLIC_PROJECT = FIXTURES / "cyclic_project"
+
+
+def _parse(fixture: str) -> ast.Module:
+    return ast.parse((FIXTURES / fixture).read_text())
+
+
+def _methods(tree: ast.Module, cls: str) -> dict[str, ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == cls:
+            return {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+    raise AssertionError(f"no class {cls}")
+
+
+class TestR002EntropySeed:
+    CONFIG = ReprolintConfig(deterministic_modules=("*",))
+
+    def test_pr4_syntactic_pass_misses_it(self):
+        """The v1 rule: fixed source tables plus *unseeded* Random only.
+        ``os.getpid`` is in none of them and ``Random(seed)`` has an
+        argument, so v1 reports this file clean."""
+        hits: list[int] = []
+        tree = _parse("r002_flow.py")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            parts = attribute_parts(node)
+            if parts is None or len(parts) < 2:
+                continue
+            root, leaf = parts[0], parts[-1]
+            if root == "random" and leaf == "SystemRandom":
+                hits.append(node.lineno)
+            elif root == "random" and leaf == "Random":
+                calls = [
+                    c
+                    for c in ast.walk(tree)
+                    if isinstance(c, ast.Call) and c.func is node
+                ]
+                if calls and not calls[0].args and not calls[0].keywords:
+                    hits.append(node.lineno)
+            elif root == "random":
+                hits.append(node.lineno)
+            elif root == "time" and leaf in CLOCK_TIME_ATTRS:
+                hits.append(node.lineno)
+            elif root in DATETIME_ROOTS and leaf in CLOCK_DATETIME_ATTRS:
+                hits.append(node.lineno)
+            elif root == "os" and leaf == "urandom":
+                hits.append(node.lineno)
+            elif root == "uuid" and leaf in UUID_ATTRS:
+                hits.append(node.lineno)
+            elif root == "secrets":
+                hits.append(node.lineno)
+        assert hits == [], "the fixture must sit squarely in the v1 blind spot"
+
+    def test_v2_flags_the_laundered_seed(self):
+        result = analyze_paths(
+            [FIXTURES / "r002_flow.py"], config=self.CONFIG, rules=["R002"]
+        )
+        assert [f.line for f in result.findings] == [16]
+        finding = result.findings[0]
+        assert "seeded from entropy (os.getpid)" in finding.message
+        assert finding.trace, "flow findings must carry the taint trail"
+        assert "os.getpid (line 15)" in finding.trace[0]
+        assert any("seed" in hop for hop in finding.trace)
+
+    def test_configured_seed_stays_legal(self):
+        result = analyze_paths(
+            [FIXTURES / "r002_flow.py"], config=self.CONFIG, rules=["R002"]
+        )
+        assert all(f.line != 21 for f in result.findings)
+
+
+class TestR003ReadButDropped:
+    CONFIG = ReprolintConfig()
+
+    def test_pr4_any_touch_rule_misses_it(self):
+        """v1 counted any ``self.X`` mention inside snapshot/restore as
+        persisted; ``len(self._outstanding)`` is a mention."""
+        methods = _methods(_parse("r003_flow.py"), "Engine")
+        persisted = _self_attrs_touched(methods["snapshot_state"])
+        persisted |= _self_attrs_touched(methods["restore_state"])
+        missing = set(_self_attr_assignments(methods["__init__"])) - persisted
+        assert missing == set(), "v1 saw every attribute as persisted"
+
+    def test_v2_flags_the_dropped_attribute(self):
+        result = analyze_paths(
+            [FIXTURES / "r003_flow.py"], config=self.CONFIG, rules=["R003"]
+        )
+        assert [f.line for f in result.findings] == [13]
+        message = result.findings[0].message
+        assert "reads self._outstanding but drops it" in message
+
+    def test_v2_still_accepts_attrs_that_reach_the_return(self):
+        # self.clock flows into the returned dict: exactly one finding.
+        result = analyze_paths(
+            [FIXTURES / "r003_flow.py"], config=self.CONFIG, rules=["R003"]
+        )
+        assert len(result.findings) == 1
+
+
+class TestR005AliasedMutation:
+    CONFIG = ReprolintConfig(event_classes=("AllocationEngine",))
+
+    def test_pr4_direct_store_rule_misses_it(self):
+        """v1's predicate *is* ``_direct_mutation`` (still used for the
+        direct-store half of v2); the aliased ``table.clear()`` contains
+        no self store."""
+        methods = _methods(_parse("r005_flow.py"), "AllocationEngine")
+        target = methods["reset_profiles"]
+        assert _direct_mutation(target) is None
+        assert not _publishes(target)
+
+    def test_v2_flags_the_aliased_clear(self):
+        result = analyze_paths(
+            [FIXTURES / "r005_flow.py"], config=self.CONFIG, rules=["R005"]
+        )
+        assert [f.line for f in result.findings] == [16]
+        finding = result.findings[0]
+        assert "through self._profiles.clear(...)" in finding.message
+        assert "self._profiles" in finding.trace[0]
+
+    def test_mutating_a_copy_stays_legal(self):
+        # rebuild_copy clears dict(self._profiles): the ALIAS taint dies
+        # at the call boundary, so only reset_profiles is flagged.
+        result = analyze_paths(
+            [FIXTURES / "r005_flow.py"], config=self.CONFIG, rules=["R005"]
+        )
+        assert len(result.findings) == 1
+
+
+class TestR004AllowanceCycles:
+    def test_pr4_per_file_checks_miss_it(self):
+        """Every import in the cyclic project is individually sanctioned
+        by the (cyclic) allowance table, so the per-file DAG check -- all
+        v1 had -- passes.  Narrowing to per-file R004 via an explicit
+        config reproduces v1 exactly."""
+        from repro.staticcheck.checkers.layering import LayeringChecker
+        from repro.staticcheck.config import load_config
+        from repro.staticcheck.loader import iter_python_files, load_module
+
+        config, _path = load_config(CYCLIC_PROJECT)
+        checker = LayeringChecker()
+        per_file = [
+            finding
+            for file_path in iter_python_files([CYCLIC_PROJECT / "app"])
+            for finding in checker.check(load_module(file_path), config)
+        ]
+        assert per_file == []
+
+    def test_v2_reports_the_cycle_from_the_config(self):
+        result = analyze_paths([CYCLIC_PROJECT / "app"])
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "R004"
+        assert finding.path.endswith("pyproject.toml")
+        assert "app.core -> app.ui -> app.core" in finding.message
+        # Anchored at the line declaring the first key of the cycle.
+        config_lines = (CYCLIC_PROJECT / "pyproject.toml").read_text().splitlines()
+        assert '"app.core"' in config_lines[finding.line - 1]
+
+    def test_cycle_detection_ignores_longest_prefix_carveouts(self):
+        """The repo's own registry carve-out shape: a *narrower* key
+        granting a sibling layer is a reviewed escape hatch, not an edge
+        -- otherwise the repo's real config would self-flag."""
+        table = {
+            "repro.core": ("repro.errors", "repro.numbertheory", "repro.core"),
+            "repro.core.registry": ("repro.core", "repro.apf"),
+            "repro.apf": ("repro.core", "repro.apf"),
+        }
+        assert allowance_cycles(table) == []
+
+    def test_multi_hop_cycles_are_found_once(self):
+        table = {
+            "a": ("b",),
+            "b": ("c",),
+            "c": ("a",),
+        }
+        assert allowance_cycles(table) == [["a", "b", "c"]]

@@ -193,49 +193,75 @@ SHARD_COUNTS = [1, 4, 16]
 
 def scenario_shard_scaling(smoke: bool, repeats: int) -> dict:
     """The sharded WBC service at 1 / 4 / 16 engine shards over one seeded
-    workload: throughput (tasks issued+returned per second of wall time),
-    the global-index footprint of the square-shell composition, and --
-    always -- zero attribution failures.  A nonzero failure count raises,
-    same contract as the kernel-consistency gate."""
+    workload, in both execution modes: serial (in-process engines) and
+    parallel (``workers=min(shards, cpus)`` worker processes).  Each row
+    records throughput (tasks completed per second of ``run()`` wall time;
+    worker spawn/teardown is deliberately outside the timed region), the
+    global-index footprint of the square-shell composition, and -- always
+    -- zero attribution failures.  Two hard gates ride along, same
+    contract as the kernel-consistency gate: a nonzero attribution-failure
+    count raises, and a parallel row whose ``tasks_completed`` differs
+    from its serial twin raises (the pool must be a bit-identical
+    execution mode, not an approximation).  The recorded ``cpus`` lets
+    downstream scaling gates arm only on machines with real parallelism.
+    """
+    import os
+
     from repro.apf.families import TSharp
     from repro.webcompute.simulation import SimulationConfig, WBCSimulation
 
     ticks = 40 if smoke else 200
     volunteers = 16 if smoke else 48
-    out = {}
+    cpus = os.cpu_count() or 1
+    rows: dict[str, dict] = {}
     for shards in SHARD_COUNTS:
-        config = SimulationConfig(
-            ticks=ticks,
-            initial_volunteers=volunteers,
-            seed=2002,
-            departure_rate=0.01,
-            shards=shards,
-        )
-        outcome = None
-
-        def run_once():
-            nonlocal outcome
-            outcome = WBCSimulation(TSharp(), config).run()
-
-        wall_s = _best_seconds(run_once, repeats)
-        if outcome.attribution_failures:
-            raise AssertionError(
-                f"shards={shards}: {outcome.attribution_failures} attribution "
-                f"failures out of {outcome.attribution_checks} checks"
+        for mode in ("serial", "parallel"):
+            workers = None if mode == "serial" else min(shards, cpus)
+            config = SimulationConfig(
+                ticks=ticks,
+                initial_volunteers=volunteers,
+                seed=2002,
+                departure_rate=0.01,
+                shards=shards,
+                workers=workers,
             )
-        out[f"shards_{shards}"] = {
-            "shards": shards,
-            "ticks": ticks,
-            "volunteers": outcome.volunteers_total,
-            "tasks_completed": outcome.tasks_completed,
-            "wall_s": wall_s,
-            "tasks_per_second": outcome.tasks_completed / wall_s if wall_s else 0.0,
-            "max_task_index": outcome.max_task_index,
-            "max_task_index_bits": outcome.max_task_index.bit_length(),
-            "attribution_checks": outcome.attribution_checks,
-            "attribution_failures": outcome.attribution_failures,
-        }
-    return out
+            outcome = None
+            wall_s = float("inf")
+            for _ in range(repeats):
+                sim = WBCSimulation(TSharp(), config)
+                try:
+                    t0 = time.perf_counter()
+                    outcome = sim.run()
+                    wall_s = min(wall_s, time.perf_counter() - t0)
+                finally:
+                    sim.close()
+            if outcome.attribution_failures:
+                raise AssertionError(
+                    f"shards={shards} workers={workers}: "
+                    f"{outcome.attribution_failures} attribution failures "
+                    f"out of {outcome.attribution_checks} checks"
+                )
+            rows[f"{mode}_{shards}"] = {
+                "shards": shards,
+                "workers": workers,
+                "ticks": ticks,
+                "volunteers": outcome.volunteers_total,
+                "tasks_completed": outcome.tasks_completed,
+                "wall_s": wall_s,
+                "tasks_per_second": outcome.tasks_completed / wall_s if wall_s else 0.0,
+                "max_task_index": outcome.max_task_index,
+                "max_task_index_bits": outcome.max_task_index.bit_length(),
+                "attribution_checks": outcome.attribution_checks,
+                "attribution_failures": outcome.attribution_failures,
+            }
+        serial, parallel = rows[f"serial_{shards}"], rows[f"parallel_{shards}"]
+        if parallel["tasks_completed"] != serial["tasks_completed"]:
+            raise AssertionError(
+                f"shards={shards}: parallel mode completed "
+                f"{parallel['tasks_completed']} tasks, serial "
+                f"{serial['tasks_completed']} -- execution modes diverged"
+            )
+    return {"cpus": cpus, "rows": rows}
 
 
 #: Shard counts for the fault-recovery scenario.
@@ -494,9 +520,12 @@ def main(argv: list[str] | None = None) -> int:
         )
     for name, row in spread.items():
         print(f"  spread {name}: x{row['speedup']:.1f} over {row['grid_points']} points")
-    for row in run["scenarios"]["shard_scaling"].values():
+    scaling = run["scenarios"]["shard_scaling"]
+    for name, row in scaling["rows"].items():
+        mode = "serial" if row["workers"] is None else f"{row['workers']} workers"
         print(
-            f"  wbc shards={row['shards']}: {row['tasks_per_second']:.0f} tasks/s, "
+            f"  wbc shards={row['shards']} ({mode}): "
+            f"{row['tasks_per_second']:.0f} tasks/s, "
             f"max index {row['max_task_index_bits']} bits, "
             f"{row['attribution_failures']} attribution failures"
         )

@@ -90,6 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "reissued; default: no leases)")
     wbc.add_argument("--checkpoint-every", type=int, default=None,
                      help="checkpoint shards every N ticks (sharded only)")
+    wbc.add_argument("--workers", type=int, default=None,
+                     help="run shards in N worker processes "
+                          "(default: in-process, serial)")
 
     encode = sub.add_parser("encode", help="encode a tuple of positive ints")
     encode.add_argument("values", type=int, nargs="*")
@@ -197,6 +200,7 @@ def _cmd_wbc(
     faults: str = "",
     lease_ticks: int | None = None,
     checkpoint_every: int | None = None,
+    workers: int | None = None,
 ) -> str:
     from repro.apf.base import AdditivePairingFunction
     from repro.webcompute.simulation import SimulationConfig, WBCSimulation
@@ -212,8 +216,13 @@ def _cmd_wbc(
         faults=faults,
         lease_ticks=lease_ticks,
         checkpoint_every=checkpoint_every,
+        workers=workers,
     )
-    outcome = WBCSimulation(apf, config).run()
+    sim = WBCSimulation(apf, config)
+    try:
+        outcome = sim.run()
+    finally:
+        sim.close()
     rows = [
         ("tasks completed", outcome.tasks_completed),
         ("bad results returned", outcome.bad_results_returned),
@@ -227,6 +236,8 @@ def _cmd_wbc(
     ]
     if outcome.shards > 1:
         rows.insert(0, ("engine shards", outcome.shards))
+    if workers is not None:
+        rows.insert(1, ("worker processes", workers))
     if lease_ticks is not None:
         rows.append(("tasks reissued", outcome.tasks_reissued))
         rows.append(("late returns", outcome.late_returns))
@@ -377,6 +388,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.faults,
                 args.lease_ticks,
                 args.checkpoint_every,
+                args.workers,
             )
         )
     elif args.command == "encode":

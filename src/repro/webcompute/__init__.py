@@ -23,7 +23,9 @@
 * :mod:`~repro.webcompute.recovery` -- shard checkpoints, op journals,
   deterministic replay, and retry backoff (crash tolerance);
 * :mod:`~repro.webcompute.faults` -- the seeded fault injector and the
-  ``--faults`` spec grammar (chaos harness).
+  ``--faults`` spec grammar (chaos harness);
+* :mod:`~repro.webcompute.shardworker` -- the worker-process side of the
+  parallel execution mode (``ShardedWBCServer(workers=N)``).
 """
 
 from __future__ import annotations
@@ -75,6 +77,7 @@ from repro.webcompute.metrics import (
 )
 from repro.webcompute.persistence import dumps, loads, restore, snapshot
 from repro.webcompute.server import WBCServer
+from repro.webcompute.shardworker import EngineSpec, WorkerDiedError, WorkerHandle
 from repro.webcompute.sharding import (
     AttributionPath,
     LeastLoadedPolicy,
@@ -133,6 +136,9 @@ __all__ = [
     "apply_op",
     "replay",
     "WBCServer",
+    "EngineSpec",
+    "WorkerDiedError",
+    "WorkerHandle",
     "ShardedWBCServer",
     "ShardPolicy",
     "RoundRobinPolicy",

@@ -157,15 +157,17 @@ class AllocationEngine:
         """Admit one volunteer; returns its id."""
         return self.register_round([profile])[0]
 
-    def register_round(
+    def validate_round(
         self,
         profiles: list[VolunteerProfile],
         ids: list[int] | None = None,
-    ) -> list[int]:
-        """Admit a batch; within the round, faster declared speeds receive
-        smaller rows.  ``ids`` lets a router (the sharded server) assign
-        globally-unique volunteer ids; by default the engine mints its own.
-        """
+    ) -> None:
+        """The validation half of :meth:`register_round`, with no state
+        change: raises :class:`~repro.errors.AllocationError` exactly when
+        the same arguments would make :meth:`register_round` raise before
+        mutating.  A router seating one logical round across several
+        engines calls this on every bucket first, so a rejection cannot
+        tear the round -- no engine is touched until all buckets pass."""
         if ids is not None:
             if len(ids) != len(profiles):
                 raise AllocationError(
@@ -180,6 +182,17 @@ class AllocationEngine:
                     raise AllocationError(f"volunteer {vid} is already registered")
             if len(set(ids)) != len(ids):
                 raise AllocationError("duplicate volunteer id in one round")
+
+    def register_round(
+        self,
+        profiles: list[VolunteerProfile],
+        ids: list[int] | None = None,
+    ) -> list[int]:
+        """Admit a batch; within the round, faster declared speeds receive
+        smaller rows.  ``ids`` lets a router (the sharded server) assign
+        globally-unique volunteer ids; by default the engine mints its own.
+        """
+        self.validate_round(profiles, ids)
         assigned: list[int] = []
         arrivals = []
         for i, profile in enumerate(profiles):

@@ -317,6 +317,16 @@ class EventBus:
 
         return self.subscribe(relay)
 
+    def republish(self, event: WBCEvent, shard: int | None = None) -> None:
+        """Publish an event that was *already stamped* with its tick by an
+        upstream bus, tagging ``shard`` when the event carries none.  The
+        parallel router's aggregation hook: worker-side engine buses stamp
+        ticks at publish time, the parent re-publishes the shipped events
+        here so global subscribers see one stream either way."""
+        if shard is not None and event.shard is None:
+            event = replace(event, shard=shard)
+        self.publish(event)
+
     @property
     def subscriber_count(self) -> int:
         return len(self._handlers)

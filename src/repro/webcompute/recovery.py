@@ -87,7 +87,13 @@ class CheckpointStore:
 
     def checkpoint(self, engine: AllocationEngine) -> ShardCheckpoint:
         """Snapshot *engine* and truncate the journal."""
-        state = engine.snapshot_state()
+        return self.checkpoint_state(engine.snapshot_state())
+
+    def checkpoint_state(self, state: dict[str, Any]) -> ShardCheckpoint:
+        """Store an already-captured engine snapshot and truncate the
+        journal.  The seam the parallel router uses: the engine lives in
+        a worker process, so the parent receives the snapshot dict over
+        the pipe and checkpoints *that* rather than a live engine."""
         issued = len(state["ledger"]["tasks"])
         self._checkpoint = json.dumps(state, sort_keys=True)
         self._checkpoint_tick = state["clock"]
@@ -144,9 +150,18 @@ def apply_op(engine: AllocationEngine, op: list[Any]) -> None:
         ["register", [profile_state, ...], [volunteer_id, ...]]
         ["depart", volunteer_id]
         ["request", volunteer_id]
+        ["requests", [volunteer_id, ...]]
         ["submit", volunteer_id, task_index, result]
+        ["submits", [[volunteer_id, task_index, result], ...]]
         ["reap"]
         ["corrupt", volunteer_id, error_rate]
+
+    The bulk forms (``requests``/``submits``) are what the batched router
+    journals: one entry per shard per batch instead of one per call, with
+    only the calls that *succeeded* (journal-after-success is per item).
+    Replaying a bulk op is defined as replaying its singular ops in order,
+    so a bulk journal restores the same state as the singular journal the
+    serial router would have written.
 
     Replay is deterministic because every op carries the ids the original
     call resolved and the engine's only RNG rides in the checkpoint.
@@ -161,8 +176,14 @@ def apply_op(engine: AllocationEngine, op: list[Any]) -> None:
         engine.depart(op[1])
     elif kind == "request":
         engine.request_task(op[1])
+    elif kind == "requests":
+        for vid in op[1]:
+            engine.request_task(vid)
     elif kind == "submit":
         engine.submit_result(op[1], op[2], op[3])
+    elif kind == "submits":
+        for vid, task_index, result in op[1]:
+            engine.submit_result(vid, task_index, result)
     elif kind == "reap":
         engine.reap_expired()
     elif kind == "corrupt":

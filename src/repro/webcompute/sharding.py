@@ -41,6 +41,25 @@ deterministic journal replay and audits that the rebuilt shard issued
 exactly the indices the journal says it did -- no global task index is
 ever double-issued across a crash.  While a shard is down, registration
 routing degrades to the live shards only.
+
+Execution modes: with ``workers=None`` (the default) every engine runs
+in-process and the server behaves bit-identically to the pre-parallel
+implementation -- same journals, same events, same RNG streams.  With
+``workers=W`` the engines live in ``min(W, S)`` worker processes
+(:mod:`~repro.webcompute.shardworker`); the router ships each journaled
+op over a pipe to the shard's host process, re-publishes the events the
+worker's engines emitted onto the global bus, and keeps hot-path reads
+(``is_banned``, ``profile_of``) on parent-side mirrors maintained from
+that event stream.  Batched entry points
+(:meth:`ShardedWBCServer.request_tasks`,
+:meth:`ShardedWBCServer.submit_results`,
+:meth:`ShardedWBCServer.attribute_many`) fan one message out per worker
+and overlap the shards' work -- the amortization that turns sharding
+from routing overhead into actual parallelism.  A worker process dying
+is mapped onto the same ``crash_shard``/``restore_shard`` discipline as
+an injected fault: its hosted shards go down with
+:class:`~repro.errors.ShardDownError` and come back via checkpoint +
+journal replay into a respawned process.
 """
 
 from __future__ import annotations
@@ -54,6 +73,7 @@ from repro.errors import (
     AllocationError,
     ConfigurationError,
     RecoveryError,
+    ReproError,
     ShardDownError,
 )
 from repro.webcompute.engine import AllocationEngine, IndexCodec
@@ -62,9 +82,11 @@ from repro.webcompute.events import (
     EventBus,
     ShardCrashed,
     ShardRestored,
+    VolunteerBanned,
 )
 from repro.webcompute.ledger import LedgerReport
 from repro.webcompute.recovery import CheckpointStore, replay
+from repro.webcompute.shardworker import EngineSpec, WorkerHandle, shard_codec
 from repro.webcompute.task import Task
 from repro.webcompute.volunteer import VolunteerProfile
 
@@ -78,64 +100,80 @@ __all__ = [
 
 
 class ShardPolicy:
-    """Deterministic volunteer-to-shard routing.  ``shard_for`` sees the
-    global registration sequence number, the profile, and the live engines;
-    it must return a shard index in ``[0, len(engines))`` and must not
-    consult any non-deterministic source."""
+    """Deterministic volunteer-to-shard routing.
+
+    ``shard_for`` sees the global registration sequence number, the
+    profile, and one load view per **live** shard (crashed shards are
+    routed around, so a degraded server shows a shorter list).  It must
+    return a *slot* into ``loads`` -- an index in ``[0, len(loads))`` --
+    and the router maps that slot back to the absolute shard the view
+    fronts.  With every shard up the slot and the absolute shard index
+    coincide; while shards are down they do not, so a policy must pick by
+    the *views* (their ``seated_count``, reads forwarded to the live
+    engine), never by assuming position ``i`` is shard ``i``.  Policies
+    must not consult any non-deterministic source."""
 
     def shard_for(
         self,
         sequence: int,
         profile: VolunteerProfile,
-        engines: list[AllocationEngine],
+        loads: list[_LoadView],
     ) -> int:
         raise NotImplementedError
 
 
 class RoundRobinPolicy(ShardPolicy):
-    """Registration ``k`` goes to shard ``k mod S`` -- stateless, and
-    perfectly balanced for any arrival order."""
+    """Registration ``k`` goes to live-shard slot ``k mod len(loads)`` --
+    stateless, and perfectly balanced for any arrival order."""
 
     def shard_for(
         self,
         sequence: int,
         profile: VolunteerProfile,
-        engines: list[AllocationEngine],
+        loads: list[_LoadView],
     ) -> int:
-        return sequence % len(engines)
+        return sequence % len(loads)
 
 
 class LeastLoadedPolicy(ShardPolicy):
-    """The shard with the fewest seated volunteers; ties break to the
-    smallest shard index.  Re-balances automatically after departures.
-    Within one registration round the router counts earlier in-round
-    assignments as load, so a batch spreads instead of piling onto the
-    shard that was lightest when the round began."""
+    """The live shard with the fewest seated volunteers; ties break to
+    the smallest slot (which is also the smallest absolute shard index,
+    since live shards keep their relative order).  Re-balances
+    automatically after departures.  Within one registration round the
+    router counts earlier in-round assignments as load, so a batch
+    spreads instead of piling onto the shard that was lightest when the
+    round began."""
 
     def shard_for(
         self,
         sequence: int,
         profile: VolunteerProfile,
-        engines: list[AllocationEngine],
+        loads: list[_LoadView],
     ) -> int:
-        return min(range(len(engines)), key=lambda s: (engines[s].seated_count, s))
+        return min(range(len(loads)), key=lambda s: (loads[s].seated_count, s))
 
 
 class _LoadView:
     """An engine stand-in handed to policies during a registration round:
     ``seated_count`` includes volunteers assigned earlier in the same round
     (they are not seated on the engine until the round flushes); every
-    other attribute reads through to the live engine."""
+    other attribute reads through to the live engine.  The engine's own
+    count is read once per round (it cannot change mid-round) -- identical
+    semantics in-process, and one pipe round trip instead of one per
+    routed profile when the engine lives in a worker."""
 
-    __slots__ = ("_engine", "pending")
+    __slots__ = ("_engine", "pending", "_base")
 
     def __init__(self, engine: AllocationEngine) -> None:
         self._engine = engine
         self.pending = 0
+        self._base: int | None = None
 
     @property
     def seated_count(self) -> int:
-        return self._engine.seated_count + self.pending
+        if self._base is None:
+            self._base = self._engine.seated_count
+        return self._base + self.pending
 
     def __getattr__(self, name: str):
         return getattr(self._engine, name)
@@ -158,6 +196,184 @@ class _DeadShard:
             f"shard {object.__getattribute__(self, 'shard')} is down "
             f"(attribute {name!r}); restore it and retry"
         )
+
+
+class _WorkerMirror:
+    """Parent-side read models of worker-hosted engine state.
+
+    The authoritative state lives in the worker processes; the router
+    keeps just enough of a mirror to answer the hot-path reads
+    (``is_banned``, ``profile_of``) without a pipe round trip.  The ban
+    set is maintained the way R005 wants every observer to work --
+    from the published event stream (``VolunteerBanned`` events shipped
+    back with each reply); profiles are recorded at the two points the
+    router already holds the authoritative object (registration commit
+    and ``mark_corrupted``'s return value).
+    """
+
+    __slots__ = ("profiles", "banned")
+
+    def __init__(self) -> None:
+        self.profiles: dict[int, VolunteerProfile] = {}
+        self.banned: set[int] = set()
+
+    def observe(self, event) -> None:
+        if isinstance(event, VolunteerBanned):
+            self.banned.add(event.volunteer_id)
+
+    def note_profile(self, volunteer_id: int, profile: VolunteerProfile) -> None:
+        self.profiles[volunteer_id] = profile
+
+
+class _RemoteFrontend:
+    """Read-only frontend facade of a worker-hosted engine."""
+
+    __slots__ = ("_shard",)
+
+    def __init__(self, shard: "_RemoteShard") -> None:
+        self._shard = shard
+
+    def seated_volunteers(self):
+        return self._shard._call("seated_volunteers")
+
+    def row_of(self, volunteer_id: int) -> int:
+        return self._shard._call("row_of", volunteer_id)
+
+    def volunteer_for(self, row: int, serial: int) -> int:
+        return self._shard._call("volunteer_for", row, serial)
+
+
+class _RemoteAllocator:
+    """Read-only allocator facade of a worker-hosted engine."""
+
+    __slots__ = ("_shard",)
+
+    def __init__(self, shard: "_RemoteShard") -> None:
+        self._shard = shard
+
+    def attribute(self, local_index: int) -> tuple[int, int]:
+        row, serial = self._shard._call("allocator_attribute", local_index)
+        return row, serial
+
+
+class _RemoteLedger:
+    """Read-only ledger facade of a worker-hosted engine."""
+
+    __slots__ = ("_shard",)
+
+    def __init__(self, shard: "_RemoteShard") -> None:
+        self._shard = shard
+
+    def task(self, task_index: int) -> Task:
+        return self._shard._call("task", task_index)
+
+
+class _RemoteShard:
+    """The engine slot's occupant in worker mode: a transparent stand-in
+    for an :class:`~repro.webcompute.engine.AllocationEngine` living in a
+    worker process.  Mutating methods ship the corresponding journal-
+    grammar op; reads go through the query whitelist.  The server's
+    routing/journaling method bodies run unchanged against either a real
+    engine or this proxy -- that is what keeps serial mode bit-identical
+    while sharing one code path."""
+
+    __slots__ = ("_server", "shard")
+
+    def __init__(self, server: "ShardedWBCServer", shard: int) -> None:
+        self._server = server
+        self.shard = shard
+
+    # -- plumbing ------------------------------------------------------
+
+    def _op(self, op: list):
+        return self._server._worker_op(self.shard, op)
+
+    def _call(self, name: str, *args):
+        return self._server._worker_call(self.shard, name, args)
+
+    # -- engine surface ------------------------------------------------
+
+    @property
+    def apf(self) -> AdditivePairingFunction:
+        return self._server._apf
+
+    @property
+    def apf_name(self) -> str:
+        return self._server._apf.name
+
+    @property
+    def clock(self) -> int:
+        return self._call("clock")
+
+    @property
+    def seated_count(self) -> int:
+        return self._call("seated_count")
+
+    @property
+    def max_task_index(self) -> int:
+        return self._call("max_task_index")
+
+    @property
+    def frontend(self) -> _RemoteFrontend:
+        return _RemoteFrontend(self)
+
+    @property
+    def allocator(self) -> _RemoteAllocator:
+        return _RemoteAllocator(self)
+
+    @property
+    def ledger(self) -> _RemoteLedger:
+        return _RemoteLedger(self)
+
+    def tick(self) -> int:
+        return self._op(["tick"])
+
+    def validate_round(
+        self, profiles: list[VolunteerProfile], ids: list[int]
+    ) -> None:
+        self._op(["validate_register", [p.to_state() for p in profiles], list(ids)])
+
+    def register_round(
+        self, profiles: list[VolunteerProfile], ids: list[int]
+    ) -> list[int]:
+        return self._op(["register", [p.to_state() for p in profiles], list(ids)])
+
+    def depart(self, volunteer_id: int) -> None:
+        return self._op(["depart", volunteer_id])
+
+    def request_task(self, volunteer_id: int) -> Task:
+        return self._op(["request", volunteer_id])
+
+    def submit_result(self, volunteer_id: int, task_index: int, result: int) -> None:
+        return self._op(["submit", volunteer_id, task_index, result])
+
+    def reap_expired(self) -> list[Task]:
+        return self._op(["reap"])
+
+    def mark_corrupted(self, volunteer_id: int, error_rate: float) -> VolunteerProfile:
+        return self._op(["corrupt", volunteer_id, error_rate])
+
+    def is_banned(self, volunteer_id: int) -> bool:
+        return self._call("is_banned", volunteer_id)
+
+    def profile_of(self, volunteer_id: int) -> VolunteerProfile:
+        return self._call("profile_of", volunteer_id)
+
+    def attribute(self, task_index: int) -> int:
+        return self._call("attribute", task_index)
+
+    def locate(self, task_index: int) -> tuple[int, int]:
+        row, serial = self._call("locate", task_index)
+        return row, serial
+
+    def report(self) -> LedgerReport:
+        return self._call("report")
+
+    def snapshot_state(self) -> dict:
+        return self._call("snapshot_state")
+
+    def __repr__(self) -> str:
+        return f"<_RemoteShard shard={self.shard}>"
 
 
 @dataclass(frozen=True, slots=True)
@@ -207,6 +423,11 @@ class ShardedWBCServer:
         Checkpoint every live shard each time the global clock hits a
         multiple of this many ticks (``None`` = only the initial and
         explicitly requested checkpoints).
+    workers:
+        ``None`` (the default) runs every engine in-process,
+        bit-identical to the pre-parallel server.  A positive int runs
+        the engines in ``min(workers, shards)`` worker processes; call
+        :meth:`close` (or use the server as a context manager) when done.
     """
 
     def __init__(
@@ -221,6 +442,7 @@ class ShardedWBCServer:
         policy: ShardPolicy | None = None,
         lease_ticks: int | None = None,
         checkpoint_every: int | None = None,
+        workers: int | None = None,
     ) -> None:
         if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
             raise ConfigurationError(f"shards must be a positive int, got {shards!r}")
@@ -233,6 +455,12 @@ class ShardedWBCServer:
                 f"checkpoint_every must be a positive int or None, "
                 f"got {checkpoint_every!r}"
             )
+        if workers is not None and (
+            isinstance(workers, bool) or not isinstance(workers, int) or workers < 1
+        ):
+            raise ConfigurationError(
+                f"workers must be a positive int or None, got {workers!r}"
+            )
         self.composer = composer if composer is not None else SquareShellPairing()
         self.policy = policy if policy is not None else RoundRobinPolicy()
         self.checkpoint_every = checkpoint_every
@@ -243,22 +471,39 @@ class ShardedWBCServer:
         self._ban_after_strikes = ban_after_strikes
         self._seed = seed
         self.bus = EventBus()
+        self._clock = 0
+        self.bus.set_clock(lambda: self._clock)
         self.engines: list[AllocationEngine] = []
         self._stores: list[CheckpointStore] = []
         self._alive: list[bool] = []
-        for shard in range(shards):
-            engine = self._fresh_engine(shard)
-            engine.bus.forward_to(self.bus, shard=shard)
-            self.engines.append(engine)
-            store = CheckpointStore()
-            store.checkpoint(engine)
-            self._stores.append(store)
-            self._alive.append(True)
-        self.bus.set_clock(lambda: self._clock)
+        self._workers: list[WorkerHandle] | None = None
+        self._mirror = _WorkerMirror()
+        if workers is None:
+            for shard in range(shards):
+                engine = self._fresh_engine(shard)
+                engine.bus.forward_to(self.bus, shard=shard)
+                self.engines.append(engine)
+                store = CheckpointStore()
+                store.checkpoint(engine)
+                self._stores.append(store)
+                self._alive.append(True)
+        else:
+            self.bus.subscribe(self._mirror.observe, (VolunteerBanned,))
+            count = min(workers, shards)
+            specs: list[dict[int, EngineSpec]] = [{} for _ in range(count)]
+            for shard in range(shards):
+                specs[shard % count][shard] = self._spec_for(shard)
+            self._workers = [WorkerHandle(spec) for spec in specs]
+            for shard in range(shards):
+                proxy = _RemoteShard(self, shard)
+                self.engines.append(proxy)  # type: ignore[arg-type]
+                self._alive.append(True)
+                store = CheckpointStore()
+                self._stores.append(store)
+                store.checkpoint_state(proxy.snapshot_state())
         self._shard_of: dict[int, int] = {}
         self._next_volunteer_id = 1
         self._registrations = 0
-        self._clock = 0
 
     def _fresh_engine(self, shard: int) -> AllocationEngine:
         """A blank engine wired for *shard* (construction and recovery
@@ -272,24 +517,140 @@ class ShardedWBCServer:
             lease_ticks=self.lease_ticks,
         )
 
+    def _spec_for(self, shard: int) -> EngineSpec:
+        """The picklable recipe a worker process rebuilds this shard's
+        engine from; must stay in lockstep with :meth:`_fresh_engine`."""
+        return EngineSpec(
+            apf=self._apf,
+            composer=self.composer,
+            shard=shard,
+            verification_rate=self._verification_rate,
+            ban_after_strikes=self._ban_after_strikes,
+            seed=self._seed,
+            lease_ticks=self.lease_ticks,
+        )
+
     def _codec_for(self, shard: int) -> IndexCodec:
         """The shard's slice of the global index space: rows ``shard + 1``
-        of the composer (1-indexed, like everything in the paper)."""
-        shard_no = shard + 1
-        composer = self.composer
+        of the composer (1-indexed, like everything in the paper).  Built
+        by :func:`~repro.webcompute.shardworker.shard_codec` -- the same
+        constructor the worker processes use, so both modes share one
+        bijection definition."""
+        return shard_codec(self.composer, shard)
 
-        def encode(local: int) -> int:
-            return composer.pair(shard_no, local)
+    # -- worker-mode plumbing ------------------------------------------
 
-        def decode(global_index: int) -> int:
-            x, y = composer.unpair(global_index)
-            if x != shard_no:
-                raise AllocationError(
-                    f"task {global_index} belongs to shard {x - 1}, not {shard}"
-                )
-            return y
+    @property
+    def workers(self) -> int | None:
+        """Worker-process count, or ``None`` in serial mode."""
+        return None if self._workers is None else len(self._workers)
 
-        return IndexCodec(encode=encode, decode=decode)
+    def _handle_for(self, shard: int) -> WorkerHandle:
+        return self._workers[shard % len(self._workers)]
+
+    def _hosted_by(self, worker_index: int) -> list[int]:
+        """The shards hosted by worker *worker_index*."""
+        count = len(self._workers)
+        return [s for s in range(len(self.engines)) if s % count == worker_index]
+
+    def _mark_worker_dead(self, handle: WorkerHandle) -> ShardDownError:
+        """A worker process died: every live shard it hosted is now
+        crashed (their in-memory engines are genuinely gone), exactly as
+        if :meth:`crash_shard` had been called on each.  Returns the
+        transient error for the caller to raise or swallow."""
+        downed: list[int] = []
+        if handle in self._workers:
+            for shard in self._hosted_by(self._workers.index(handle)):
+                if self._alive[shard]:
+                    pending = self._stores[shard].pending_ops
+                    self.engines[shard] = _DeadShard(shard)  # type: ignore[assignment]
+                    self._alive[shard] = False
+                    self.bus.publish(
+                        ShardCrashed(
+                            tick=self._clock, shard=shard, pending_ops=pending
+                        )
+                    )
+                    downed.append(shard)
+        return ShardDownError(
+            f"worker process died; shards {downed} crashed -- restore them "
+            "and retry"
+        )
+
+    def _republish(self, events: list) -> None:
+        """Deliver worker-side engine events to the global bus, in the
+        order the worker recorded them (ticks were stamped by the
+        worker's bus at publish time; the shard tag is stamped here)."""
+        for shard, event in events:
+            self.bus.republish(event, shard=shard)
+
+    def _worker_op(self, shard: int, op: list):
+        """Ship one journal-grammar op to *shard*'s host worker; returns
+        the engine method's result or raises what it raised."""
+        handle = self._handle_for(shard)
+        try:
+            status, payload, events = handle.request(("ops", [(shard, [op])]))
+        except ShardDownError:
+            raise self._mark_worker_dead(handle) from None
+        self._republish(events)
+        if status == "err":
+            raise payload
+        [(_shard, [(ok, value)])] = payload
+        if not ok:
+            raise value
+        return value
+
+    def _worker_call(self, shard: int, name: str, args: tuple):
+        """One read-only query against *shard*'s worker-hosted engine."""
+        handle = self._handle_for(shard)
+        try:
+            status, payload, events = handle.request(("call", shard, name, args))
+        except ShardDownError:
+            raise self._mark_worker_dead(handle) from None
+        self._republish(events)
+        if status == "err":
+            raise payload
+        return payload
+
+    def _fanout(self, groups: dict[WorkerHandle, list[tuple[int, list]]]) -> dict:
+        """Ship one ``ops`` batch to every worker in *groups* before
+        collecting any reply -- the overlap that lets the worker
+        processes crunch their shards concurrently.  Returns, per handle,
+        either the ops payload (``list[(shard, [(ok, value), ...])]``) or
+        the :class:`~repro.errors.ShardDownError` if that worker died."""
+        started: list[WorkerHandle] = []
+        replies: dict[WorkerHandle, object] = {}
+        for handle, shard_ops in groups.items():
+            try:
+                handle.start(("ops", shard_ops))
+                started.append(handle)
+            except ShardDownError:
+                replies[handle] = self._mark_worker_dead(handle)
+        for handle in started:
+            try:
+                status, payload, events = handle.finish()
+            except ShardDownError:
+                replies[handle] = self._mark_worker_dead(handle)
+                continue
+            self._republish(events)
+            # "err" payloads are exception instances, so the caller's
+            # isinstance(reply, Exception) check covers them uniformly.
+            replies[handle] = payload
+        return replies
+
+    def close(self) -> None:
+        """Shut down the worker processes (no-op in serial mode).  The
+        server object stays readable afterwards only in serial mode;
+        worker-mode traffic after ``close`` fails with
+        :class:`~repro.errors.ShardDownError`."""
+        if self._workers is not None:
+            for handle in self._workers:
+                handle.close()
+
+    def __enter__(self) -> "ShardedWBCServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -307,12 +668,25 @@ class ShardedWBCServer:
         """Advance every live shard's clock in lockstep.  The tick is
         journaled to *every* store -- including crashed shards', so a
         restore replays the downtime ticks and rejoins the global clock.
+        In worker mode the ticks fan out as one batch per worker; a
+        worker found dead here simply leaves its shards crashed (their
+        journals already hold the tick, so restore rejoins the clock).
         """
         self._clock += 1
-        for shard, engine in enumerate(self.engines):
-            self._stores[shard].journal(["tick"])
-            if self._alive[shard]:
-                engine.tick()
+        if self._workers is None:
+            for shard, engine in enumerate(self.engines):
+                self._stores[shard].journal(["tick"])
+                if self._alive[shard]:
+                    engine.tick()
+        else:
+            for shard in range(len(self.engines)):
+                self._stores[shard].journal(["tick"])
+            groups: dict[WorkerHandle, list[tuple[int, list]]] = {}
+            for shard in self.alive_shards():
+                groups.setdefault(self._handle_for(shard), []).append(
+                    (shard, [["tick"]])
+                )
+            self._fanout(groups)
         if (
             self.checkpoint_every is not None
             and self._clock % self.checkpoint_every == 0
@@ -376,11 +750,13 @@ class ShardedWBCServer:
 
     def checkpoint_shard(self, shard: int) -> None:
         """Checkpoint one live shard (full engine snapshot; journal
-        truncated)."""
+        truncated).  One code path for both modes: the snapshot dict is
+        pulled from the engine -- in-process or over the worker pipe --
+        and stored."""
         self._check_shard(shard)
         if not self._alive[shard]:
             raise ShardDownError(f"cannot checkpoint crashed shard {shard}")
-        cp = self._stores[shard].checkpoint(self.engines[shard])
+        cp = self._stores[shard].checkpoint_state(self.engines[shard].snapshot_state())
         self.bus.publish(
             CheckpointTaken(
                 tick=self._clock, shard=shard, tasks_issued=cp.tasks_issued
@@ -404,6 +780,16 @@ class ShardedWBCServer:
         pending = self._stores[shard].pending_ops
         self.engines[shard] = _DeadShard(shard)  # type: ignore[assignment]
         self._alive[shard] = False
+        if self._workers is not None:
+            # Make the worker drop its live engine too: the in-memory
+            # state must be genuinely lost, exactly like a process death.
+            handle = self._handle_for(shard)
+            if handle.alive:
+                try:
+                    _status, _payload, events = handle.request(("drop", shard))
+                    self._republish(events)
+                except ShardDownError:
+                    self._mark_worker_dead(handle)
         self.bus.publish(
             ShardCrashed(tick=self._clock, shard=shard, pending_ops=pending)
         )
@@ -421,25 +807,47 @@ class ShardedWBCServer:
             raise RecoveryError(f"shard {shard} is not down")
         store = self._stores[shard]
         cp = store.latest()
-        engine = self._fresh_engine(shard)
-        engine.restore_state(cp.state)
         ops = store.ops()
-        replayed = replay(engine, ops)
-        issued = len(engine.ledger.tasks())
-        expected = cp.tasks_issued + sum(1 for op in ops if op[0] == "request")
+        expected = cp.tasks_issued + sum(
+            1 if op[0] == "request" else len(op[1])
+            for op in ops
+            if op[0] in ("request", "requests")
+        )
+        if self._workers is None:
+            engine = self._fresh_engine(shard)
+            engine.restore_state(cp.state)
+            replayed = replay(engine, ops)
+            issued = len(engine.ledger.tasks())
+            clock = engine.clock
+        else:
+            worker_index = shard % len(self._workers)
+            handle = self._workers[worker_index]
+            if not handle.alive:
+                # Respawn empty: the other shards this worker hosted are
+                # down too (marked when the process died) and will be
+                # restored into the fresh process by their own
+                # restore_shard calls.
+                handle = WorkerHandle({})
+                self._workers[worker_index] = handle
+            replayed, issued, clock = self._restore_in_worker(
+                shard, handle, cp, ops
+            )
         if issued != expected:
             raise RecoveryError(
                 f"shard {shard} replay issued {issued} tasks, journal "
                 f"implies {expected} (checkpoint {cp.tasks_issued} + "
                 f"{expected - cp.tasks_issued} requests)"
             )
-        if engine.clock != self._clock:
+        if clock != self._clock:
             raise RecoveryError(
-                f"shard {shard} replay ended at tick {engine.clock}, "
+                f"shard {shard} replay ended at tick {clock}, "
                 f"global clock is {self._clock}"
             )
-        engine.bus.forward_to(self.bus, shard=shard)
-        self.engines[shard] = engine
+        if self._workers is None:
+            engine.bus.forward_to(self.bus, shard=shard)
+            self.engines[shard] = engine
+        else:
+            self.engines[shard] = _RemoteShard(self, shard)  # type: ignore[assignment]
         self._alive[shard] = True
         self.bus.publish(
             ShardRestored(
@@ -449,6 +857,26 @@ class ShardedWBCServer:
                 replayed_ops=replayed,
             )
         )
+
+    def _restore_in_worker(self, shard, handle, cp, ops) -> tuple[int, int, int]:
+        """Rebuild *shard* inside *handle*'s worker process and return
+        ``(replayed, issued, clock)`` as measured on the rebuilt engine.
+        The worker attaches its event tap only after replay, so replayed
+        history is not re-published -- same discipline as the in-process
+        restore."""
+        try:
+            status, payload, events = handle.request(
+                ("restore", shard, self._spec_for(shard), cp.state, ops)
+            )
+        except ShardDownError:
+            raise RecoveryError(
+                f"worker process died while restoring shard {shard}"
+            ) from self._mark_worker_dead(handle)
+        self._republish(events)
+        if status == "err":
+            raise payload
+        issued, clock, replayed = payload
+        return replayed, issued, clock
 
     # ------------------------------------------------------------------
 
@@ -467,36 +895,84 @@ class ShardedWBCServer:
         it (and with every shard live, routing is bit-identical to the
         fault-free behavior).  Raises
         :class:`~repro.errors.AllocationError` when every shard is down.
-        """
+
+        Atomicity: the round either seats every volunteer or none.
+        Every per-shard bucket is validated before any engine mutates;
+        if seating still fails partway (a shard dying mid-round), the
+        already-seated buckets are rolled back with compensating departs
+        and the raised error leaves no routing-table entry behind.  The
+        consumed volunteer ids and registration sequence numbers are
+        burned, never reused -- so a retried round gets fresh ids and
+        identical routing behavior to any other round."""
         alive = self.alive_shards()
         if not alive:
             raise AllocationError("every shard is down; nothing can register")
         ids: list[int] = []
         per_shard: dict[int, tuple[list[VolunteerProfile], list[int]]] = {}
         load_views = [_LoadView(self.engines[s]) for s in alive]
-        for profile in profiles:
-            pick = self.policy.shard_for(self._registrations, profile, load_views)
-            if not 0 <= pick < len(load_views):
-                raise ConfigurationError(
-                    f"policy routed to live-shard slot {pick}, valid range is "
-                    f"0..{len(load_views) - 1}"
+        try:
+            for profile in profiles:
+                pick = self.policy.shard_for(self._registrations, profile, load_views)
+                if not 0 <= pick < len(load_views):
+                    raise ConfigurationError(
+                        f"policy routed to live-shard slot {pick}, valid range is "
+                        f"0..{len(load_views) - 1}"
+                    )
+                shard = alive[pick]
+                vid = self._next_volunteer_id
+                self._next_volunteer_id += 1
+                self._registrations += 1
+                self._shard_of[vid] = shard
+                load_views[pick].pending += 1
+                bucket = per_shard.setdefault(shard, ([], []))
+                bucket[0].append(profile)
+                bucket[1].append(vid)
+                ids.append(vid)
+            # Validate the whole round before any engine mutates: a bucket
+            # a shard would reject must not leave earlier shards seated.
+            for shard, (batch, batch_ids) in per_shard.items():
+                self.engines[shard].validate_round(batch, ids=batch_ids)
+        except Exception:
+            for vid in ids:
+                self._shard_of.pop(vid, None)
+            raise
+        committed: list[int] = []
+        try:
+            for shard, (batch, batch_ids) in per_shard.items():
+                self.engines[shard].register_round(batch, ids=batch_ids)
+                self._stores[shard].journal(
+                    ["register", [p.to_state() for p in batch], batch_ids]
                 )
-            shard = alive[pick]
-            vid = self._next_volunteer_id
-            self._next_volunteer_id += 1
-            self._registrations += 1
-            self._shard_of[vid] = shard
-            load_views[pick].pending += 1
-            bucket = per_shard.setdefault(shard, ([], []))
-            bucket[0].append(profile)
-            bucket[1].append(vid)
-            ids.append(vid)
-        for shard, (batch, batch_ids) in per_shard.items():
-            self.engines[shard].register_round(batch, ids=batch_ids)
-            self._stores[shard].journal(
-                ["register", [p.to_state() for p in batch], batch_ids]
-            )
+                committed.append(shard)
+        except Exception:
+            self._rollback_round(committed, per_shard)
+            for vid in ids:
+                self._shard_of.pop(vid, None)
+            raise
+        if self._workers is not None:
+            for shard, (batch, batch_ids) in per_shard.items():
+                for vid, profile in zip(batch_ids, batch):
+                    self._mirror.note_profile(vid, profile)
         return ids
+
+    def _rollback_round(
+        self,
+        committed: list[int],
+        per_shard: dict[int, tuple[list[VolunteerProfile], list[int]]],
+    ) -> None:
+        """Unseat the buckets a torn round already committed.  Each
+        compensating depart is journaled even when the shard cannot be
+        reached (it crashed mid-round): its journal already holds the
+        round's ``register`` op, so the depart must follow it on replay
+        for the restored shard to agree that the round never happened."""
+        for shard in committed:
+            _batch, batch_ids = per_shard[shard]
+            for vid in batch_ids:
+                try:
+                    self.engines[shard].depart(vid)
+                except ShardDownError:
+                    pass
+                self._stores[shard].journal(["depart", vid])
 
     def depart(self, volunteer_id: int) -> None:
         shard = self.shard_of(volunteer_id)
@@ -527,6 +1003,8 @@ class ShardedWBCServer:
         shard = self.shard_of(volunteer_id)
         profile = self.engine_of(volunteer_id).mark_corrupted(volunteer_id, error_rate)
         self._stores[shard].journal(["corrupt", volunteer_id, error_rate])
+        if self._workers is not None:
+            self._mirror.note_profile(volunteer_id, profile)
         return profile
 
     def _engine_for_index(self, global_index: int) -> tuple[int, int, AllocationEngine]:
@@ -561,6 +1039,150 @@ class ShardedWBCServer:
         engine.submit_result(volunteer_id, task_index, result)
         self._stores[shard].journal(["submit", volunteer_id, task_index, result])
 
+    # -- batched entry points ------------------------------------------
+    #
+    # One entry per input, in input order; per-item failures come back as
+    # exception *instances* instead of raising, so one dead shard cannot
+    # abort the rest of the batch.  In serial mode each bulk call is
+    # exactly the loop of singular calls (same journal entries, same
+    # events, same RNG draws); in worker mode the batch fans out as one
+    # message per worker process and the successes are journaled with the
+    # bulk grammar ops (see repro.webcompute.recovery.apply_op).
+
+    def request_tasks(self, volunteer_ids: list[int]) -> list:
+        """Bulk :meth:`request_task`: each entry is the issued
+        :class:`~repro.webcompute.task.Task`, or the
+        :class:`~repro.errors.AllocationError` /
+        :class:`~repro.errors.ShardDownError` that id's request raised."""
+        if self._workers is None:
+            out: list = []
+            for vid in volunteer_ids:
+                try:
+                    out.append(self.request_task(vid))
+                except AllocationError as exc:
+                    out.append(exc)
+            return out
+        results: list = [None] * len(volunteer_ids)
+        entries: dict[int, list[tuple[int, int]]] = {}
+        for pos, vid in enumerate(volunteer_ids):
+            shard = self._shard_of.get(vid)
+            if shard is None:
+                results[pos] = AllocationError(f"unknown volunteer {vid}")
+            elif not self._alive[shard]:
+                results[pos] = ShardDownError(
+                    f"volunteer {vid} lives on shard {shard}, "
+                    "which is down; retry after restore"
+                )
+            else:
+                entries.setdefault(shard, []).append((pos, vid))
+        groups: dict[WorkerHandle, list[tuple[int, list]]] = {}
+        for shard, pairs in entries.items():
+            groups.setdefault(self._handle_for(shard), []).append(
+                (shard, [["request", vid] for _pos, vid in pairs])
+            )
+        replies = self._fanout(groups)
+        for handle, shard_ops in groups.items():
+            reply = replies[handle]
+            if isinstance(reply, Exception):
+                for shard, _ops in shard_ops:
+                    for pos, _vid in entries[shard]:
+                        results[pos] = reply
+                continue
+            for (shard, _ops), (_shard, op_results) in zip(shard_ops, reply):
+                ok_vids: list[int] = []
+                for (pos, vid), (ok, value) in zip(entries[shard], op_results):
+                    results[pos] = value
+                    if ok:
+                        ok_vids.append(vid)
+                if ok_vids:
+                    self._stores[shard].journal(["requests", ok_vids])
+        return results
+
+    def submit_results(
+        self, submissions: list[tuple[int, int, int]]
+    ) -> list:
+        """Bulk :meth:`submit_result` over ``(volunteer_id, task_index,
+        result)`` triples: each entry is ``None`` on success or the
+        exception that triple's submission raised (a forged submission's
+        :class:`~repro.errors.AllocationError`, a crashed shard's
+        :class:`~repro.errors.ShardDownError`, ...)."""
+        if self._workers is None:
+            out: list = []
+            for vid, index, result in submissions:
+                try:
+                    self.submit_result(vid, index, result)
+                    out.append(None)
+                except ReproError as exc:
+                    out.append(exc)
+            return out
+        results: list = [None] * len(submissions)
+        entries: dict[int, list[tuple[int, tuple[int, int, int]]]] = {}
+        for pos, (vid, index, result) in enumerate(submissions):
+            try:
+                shard, _local, _engine = self._engine_for_index(index)
+            except ReproError as exc:
+                results[pos] = exc
+                continue
+            entries.setdefault(shard, []).append((pos, (vid, index, result)))
+        groups: dict[WorkerHandle, list[tuple[int, list]]] = {}
+        for shard, items in entries.items():
+            groups.setdefault(self._handle_for(shard), []).append(
+                (
+                    shard,
+                    [
+                        ["submit", vid, index, result]
+                        for _pos, (vid, index, result) in items
+                    ],
+                )
+            )
+        replies = self._fanout(groups)
+        for handle, shard_ops in groups.items():
+            reply = replies[handle]
+            if isinstance(reply, Exception):
+                for shard, _ops in shard_ops:
+                    for pos, _triple in entries[shard]:
+                        results[pos] = reply
+                continue
+            for (shard, _ops), (_shard, op_results) in zip(shard_ops, reply):
+                ok_triples: list[list[int]] = []
+                for (pos, triple), (ok, value) in zip(entries[shard], op_results):
+                    if ok:
+                        results[pos] = None
+                        ok_triples.append(list(triple))
+                    else:
+                        results[pos] = value
+                if ok_triples:
+                    self._stores[shard].journal(["submits", ok_triples])
+        return results
+
+    def attribute_many(self, task_indices: list[int]) -> list[int]:
+        """Bulk :meth:`attribute`, same contract (raises on any invalid
+        or down-shard index), batched one message per worker."""
+        if self._workers is None:
+            return [self.attribute(index) for index in task_indices]
+        owners: list = [None] * len(task_indices)
+        entries: dict[int, list[tuple[int, int]]] = {}
+        for pos, index in enumerate(task_indices):
+            shard, _local, _engine = self._engine_for_index(index)
+            entries.setdefault(shard, []).append((pos, index))
+        groups: dict[WorkerHandle, list[tuple[int, list]]] = {}
+        for shard, items in entries.items():
+            groups.setdefault(self._handle_for(shard), []).append(
+                (shard, [["attribute_many", [index for _pos, index in items]]])
+            )
+        replies = self._fanout(groups)
+        for handle, shard_ops in groups.items():
+            reply = replies[handle]
+            if isinstance(reply, Exception):
+                raise reply
+            for (shard, _ops), (_shard, op_results) in zip(shard_ops, reply):
+                ok, value = op_results[0]
+                if not ok:
+                    raise value
+                for (pos, _index), owner in zip(entries[shard], value):
+                    owners[pos] = owner
+        return owners
+
     def task(self, task_index: int) -> Task:
         """The live :class:`~repro.webcompute.task.Task` record behind a
         global index (routed to its shard's ledger)."""
@@ -593,13 +1215,31 @@ class ShardedWBCServer:
     # ------------------------------------------------------------------
 
     def profile_of(self, volunteer_id: int) -> VolunteerProfile:
-        return self.engine_of(volunteer_id).profile_of(volunteer_id)
+        """The volunteer's current profile.  Routed through
+        :meth:`engine_of`, so a volunteer on a crashed shard fails with
+        the clear retry-after-restore
+        :class:`~repro.errors.ShardDownError`.  In worker mode the
+        profile comes from the parent-side mirror (no pipe round trip)."""
+        engine = self.engine_of(volunteer_id)
+        if self._workers is not None:
+            return self._mirror.profiles[volunteer_id]
+        return engine.profile_of(volunteer_id)
 
     def is_banned(self, volunteer_id: int) -> bool:
-        shard = self._shard_of.get(volunteer_id)
-        if shard is None:
+        """Whether the strike policy banned *volunteer_id*.  Unknown ids
+        are simply not banned (``False``); a volunteer whose shard is
+        down raises the clear retry-after-restore
+        :class:`~repro.errors.ShardDownError` via :meth:`engine_of`
+        (previously this indexed the engine list directly and tripped
+        the dead-shard sentinel's obscure attribute-access message).  In
+        worker mode the answer comes from the ban mirror, which the
+        published ``VolunteerBanned`` stream keeps fresh."""
+        if volunteer_id not in self._shard_of:
             return False
-        return self.engines[shard].is_banned(volunteer_id)
+        engine = self.engine_of(volunteer_id)
+        if self._workers is not None:
+            return volunteer_id in self._mirror.banned
+        return engine.is_banned(volunteer_id)
 
     def report(self) -> LedgerReport:
         """The aggregate ledger report across every *live* shard (a

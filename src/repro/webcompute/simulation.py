@@ -38,6 +38,7 @@ from repro.errors import (
     AllocationError,
     ConfigurationError,
     DomainError,
+    ReproError,
     ShardDownError,
 )
 from repro.webcompute.events import (
@@ -87,6 +88,7 @@ class SimulationConfig:
     lease_ticks: int | None = None  # task-lease length (None = no leases)
     checkpoint_every: int | None = None  # periodic shard checkpoints
     faults: str = ""  # FaultSpec grammar (see repro.webcompute.faults)
+    workers: int | None = None  # worker processes (None = in-process)
 
     def __post_init__(self) -> None:
         if self.ticks <= 0 or self.initial_volunteers <= 0:
@@ -97,6 +99,14 @@ class SimulationConfig:
             raise ConfigurationError("need 0 < min_speed <= max_speed")
         if isinstance(self.shards, bool) or not isinstance(self.shards, int) or self.shards < 1:
             raise ConfigurationError(f"shards must be a positive int, got {self.shards!r}")
+        if self.workers is not None and (
+            isinstance(self.workers, bool)
+            or not isinstance(self.workers, int)
+            or self.workers < 1
+        ):
+            raise ConfigurationError(
+                f"workers must be a positive int or None, got {self.workers!r}"
+            )
         spec = FaultSpec.parse(self.faults)  # fail fast on a bad grammar
         for fault in spec.scheduled:
             if fault.kind in ("crash", "restore"):
@@ -174,7 +184,7 @@ class WBCSimulation:
 
     def __init__(self, apf: AdditivePairingFunction, config: SimulationConfig) -> None:
         self.config = config
-        if config.shards > 1:
+        if config.shards > 1 or config.workers is not None:
             self.server: WBCServer | ShardedWBCServer = ShardedWBCServer(
                 apf,
                 shards=config.shards,
@@ -183,6 +193,7 @@ class WBCSimulation:
                 seed=config.seed,
                 lease_ticks=config.lease_ticks,
                 checkpoint_every=config.checkpoint_every,
+                workers=config.workers,
             )
         else:
             self.server = WBCServer(
@@ -302,6 +313,147 @@ class WBCSimulation:
                 assert isinstance(server, ShardedWBCServer)
                 server.restore_shard(fault.arg)
 
+    def _check_attributions(self, tasks: list[Task]) -> None:
+        """Bulk form of :meth:`_check_attribution`: one batched
+        ``attribute_many`` round-trip for the tick's completed tasks.
+        ``attribute_many`` raises on *any* bad index, so a failure falls
+        back to per-task attribution to count exactly which ones failed."""
+        if not tasks:
+            return
+        self._attribution_checks += len(tasks)
+        server = self.server
+        assert isinstance(server, ShardedWBCServer)
+        try:
+            owners = server.attribute_many([task.index for task in tasks])
+        except ReproError:
+            for task in tasks:
+                try:
+                    owner = server.attribute(task.index)
+                except ReproError:
+                    self._attribution_failures += 1
+                    continue
+                if owner != task.volunteer_id:
+                    self._attribution_failures += 1
+            return
+        for task, owner in zip(tasks, owners):
+            if owner != task.volunteer_id:
+                self._attribution_failures += 1
+
+    def _work_phase_batched(self) -> None:
+        """The work phase restructured for worker-process mode: the same
+        per-volunteer decisions as the serial loop, but the server calls
+        are batched (``request_tasks`` / ``attribute_many`` /
+        ``submit_results``) so each tick costs a constant number of
+        worker round-trips instead of one per volunteer.
+
+        Determinism: ``self._work_rng`` and the fault injector are drawn
+        in the same volunteer order as the serial loop, and without
+        leases every ban lands on the volunteer whose own return caused
+        it (after that volunteer's work for the tick), so splitting the
+        tick into request / work / submit phases cannot change any
+        decision the serial loop would have made."""
+        server = self.server
+        assert isinstance(server, ShardedWBCServer)
+        workable: list[int] = []
+        need: list[int] = []
+        for vid in list(self._active):
+            if not self._reachable(vid):
+                continue
+            if server.is_banned(vid):
+                # Banned volunteers are ejected from the project.
+                try:
+                    server.depart(vid)
+                except AllocationError:  # pragma: no cover - defensive
+                    pass
+                self._active.remove(vid)
+                self._in_flight.pop(vid, None)
+                continue
+            workable.append(vid)
+            if vid not in self._in_flight:
+                need.append(vid)
+        for vid, issued in zip(need, server.request_tasks(need)):
+            if isinstance(issued, ShardDownError):
+                continue  # raced a dying worker; sit this tick out
+            if isinstance(issued, Exception):
+                raise issued
+            self._in_flight[vid] = issued
+        to_check: list[Task] = []
+        ready: list[_PendingReturn] = []
+        for vid in workable:
+            task = self._in_flight.get(vid)
+            if task is None:
+                continue
+            profile = server.profile_of(vid)
+            if self._work_rng.random() >= min(1.0, profile.speed):
+                continue
+            result = profile.compute(task.index, self._work_rng)
+            fate = self.injector.return_fate()
+            del self._in_flight[vid]
+            if fate.dropped:
+                # The result is lost in flight; the task stays issued
+                # and its lease will expire and reissue.
+                server.bus.publish(
+                    ReturnDropped(
+                        tick=server.clock,
+                        volunteer_id=vid,
+                        task_index=task.index,
+                    )
+                )
+                continue
+            to_check.append(task)
+            if fate.delay > 0:
+                server.bus.publish(
+                    ReturnDelayed(
+                        tick=server.clock,
+                        volunteer_id=vid,
+                        task_index=task.index,
+                        delay=fate.delay,
+                    )
+                )
+                self._pending_returns.append(
+                    _PendingReturn(
+                        volunteer_id=vid,
+                        task=task,
+                        result=result,
+                        due=server.clock + fate.delay,
+                    )
+                )
+                continue
+            ready.append(
+                _PendingReturn(
+                    volunteer_id=vid,
+                    task=task,
+                    result=result,
+                    due=server.clock,
+                )
+            )
+        self._check_attributions(to_check)
+        outcomes = server.submit_results(
+            [(p.volunteer_id, p.task.index, p.result) for p in ready]
+        )
+        for pending, outcome in zip(ready, outcomes):
+            if outcome is None:
+                if pending.retried:  # pragma: no cover - fresh returns
+                    self._returns_retried += 1
+                continue
+            if isinstance(outcome, ShardDownError):
+                if pending.backoff.exhausted:  # pragma: no cover - defensive
+                    self._returns_abandoned += 1
+                    continue
+                pending.retried = True
+                pending.due = pending.backoff.next_retry_tick(server.clock)
+                self._pending_returns.append(pending)
+                continue
+            if isinstance(outcome, DomainError):
+                self._returns_abandoned += 1
+                continue
+            raise outcome
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op for in-process servers)."""
+        if isinstance(self.server, ShardedWBCServer):
+            self.server.close()
+
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationOutcome:
@@ -341,6 +493,9 @@ class WBCSimulation:
             # Work: each active volunteer advances; speed s means the
             # volunteer finishes its task this tick with probability
             # min(1, s) (coarse but monotone in s and fully seeded).
+            if cfg.workers is not None:
+                self._work_phase_batched()
+                continue
             for vid in list(self._active):
                 if not self._reachable(vid):
                     continue

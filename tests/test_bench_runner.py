@@ -42,12 +42,28 @@ def test_smoke_run_writes_schema_and_record(bench_runner, tmp_path):
         assert row["pair_speedup"] > 0
     for row in scenarios["spread_compactness"].values():
         assert row["speedup"] > 0
-    shard_rows = scenarios["shard_scaling"]
-    assert set(shard_rows) == {f"shards_{s}" for s in bench_runner.SHARD_COUNTS}
-    for row in shard_rows.values():
+    scaling = scenarios["shard_scaling"]
+    assert scaling["cpus"] >= 1
+    shard_rows = scaling["rows"]
+    assert set(shard_rows) == {
+        f"{mode}_{s}"
+        for mode in ("serial", "parallel")
+        for s in bench_runner.SHARD_COUNTS
+    }
+    for name, row in shard_rows.items():
         assert row["attribution_failures"] == 0
         assert row["tasks_completed"] > 0
         assert row["max_task_index"] > 0
+        if name.startswith("serial"):
+            assert row["workers"] is None
+        else:
+            assert 1 <= row["workers"] <= row["shards"]
+    for s in bench_runner.SHARD_COUNTS:
+        # The execution-mode differential the runner itself enforces.
+        assert (
+            shard_rows[f"parallel_{s}"]["tasks_completed"]
+            == shard_rows[f"serial_{s}"]["tasks_completed"]
+        )
     recovery_rows = scenarios["fault_recovery"]
     assert set(recovery_rows) == {
         f"shards_{s}" for s in bench_runner.FAULT_SHARD_COUNTS
@@ -94,6 +110,34 @@ def test_committed_trajectory_file_is_valid(bench_runner):
     assert data["schema"] == bench_runner.SCHEMA
     assert data["runs"], "committed BENCH_eval.json must hold at least one run"
     assert all(r["scenarios"]["consistency"]["pass"] for r in data["runs"])
+
+
+def test_committed_shard_scaling_gate(bench_runner):
+    """The parallel-execution acceptance numbers, from the newest
+    committed run.  Unconditional: zero attribution failures everywhere,
+    and the parallel rows complete exactly as many tasks as their serial
+    twins (the pool is an execution mode, not an approximation).
+    Conditional on the recording machine actually having cores
+    (``cpus >= 4``): parallel throughput at 4 shards is >= 2x the
+    1-shard parallel row, and 16 shards does not fall below 4.  On a
+    single-CPU recorder the ratio gate is vacuous -- worker processes
+    time-slice one core and IPC overhead dominates -- so it stays
+    disarmed rather than gating on noise."""
+    committed = _RUNNER.parent / "BENCH_eval.json"
+    latest = json.loads(committed.read_text())["runs"][-1]
+    scaling = latest["scenarios"]["shard_scaling"]
+    rows = scaling["rows"]
+    for name, row in rows.items():
+        assert row["attribution_failures"] == 0, name
+    for s in bench_runner.SHARD_COUNTS:
+        assert (
+            rows[f"parallel_{s}"]["tasks_completed"]
+            == rows[f"serial_{s}"]["tasks_completed"]
+        ), f"execution modes diverged at {s} shards"
+    if scaling["cpus"] >= 4:
+        tps = {s: rows[f"parallel_{s}"]["tasks_per_second"] for s in (1, 4, 16)}
+        assert tps[4] >= 2 * tps[1], f"4-shard pool not scaling: {tps}"
+        assert tps[16] >= tps[4], f"16-shard pool regressed: {tps}"
 
 
 def test_committed_staticcheck_cache_gate(bench_runner):

@@ -132,3 +132,33 @@ ChaosServerMachine.TestCase.settings = settings(
     max_examples=15, stateful_step_count=40, deadline=None
 )
 TestChaosServerMachine = ChaosServerMachine.TestCase
+
+
+class ParallelChaosServerMachine(ChaosServerMachine):
+    """The same chaos vocabulary and invariants, but the shards live in
+    worker processes: every crash/restore/reissue interleaving Hypothesis
+    finds must hold with engine state crossing the pipe.  Fewer examples
+    than the in-process machine -- each step is an IPC round trip -- but
+    the step mix is identical."""
+
+    def make_server(self):
+        return ShardedWBCServer(
+            TSharp(),
+            shards=SHARDS,
+            workers=2,
+            verification_rate=1.0,
+            ban_after_strikes=2,
+            seed=7,
+            lease_ticks=3,
+            checkpoint_every=4,
+        )
+
+    def teardown(self):
+        self.server.close()
+        super().teardown()
+
+
+ParallelChaosServerMachine.TestCase.settings = settings(
+    max_examples=5, stateful_step_count=30, deadline=None
+)
+TestParallelChaosServerMachine = ParallelChaosServerMachine.TestCase

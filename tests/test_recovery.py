@@ -280,6 +280,40 @@ class TestCheckpointStore:
         assert replay(rebuilt, ops) == len(ops)
         assert rebuilt.snapshot_state() == live.snapshot_state()
 
+    def test_bulk_ops_replay_as_their_singular_forms(self):
+        """The batched router journals ``requests``/``submits`` entries;
+        replaying them must restore the exact state the equivalent
+        singular journal would have."""
+        live = AllocationEngine(TSharp(), verification_rate=1.0, seed=5)
+        a, b = live.register_round(
+            [VolunteerProfile("a", speed=2.0), VolunteerProfile("b")]
+        )
+        store = CheckpointStore()
+        store.checkpoint(live)
+        apply_op(live, ["tick"])
+        apply_op(live, ["requests", [a, b]])
+        triples = [
+            [t.volunteer_id, t.index, t.expected_result]
+            for t in live.ledger.outstanding_tasks()
+        ]
+        apply_op(live, ["submits", triples])
+
+        bulk = AllocationEngine(TSharp(), verification_rate=1.0, seed=999)
+        bulk.restore_state(store.latest().state)
+        replay(bulk, [["tick"], ["requests", [a, b]], ["submits", triples]])
+        singular = AllocationEngine(TSharp(), verification_rate=1.0, seed=999)
+        singular.restore_state(store.latest().state)
+        replay(
+            singular,
+            [["tick"], ["request", a], ["request", b]]
+            + [["submit", *t] for t in triples],
+        )
+        assert (
+            bulk.snapshot_state()
+            == singular.snapshot_state()
+            == live.snapshot_state()
+        )
+
 
 class TestShardCrashRestore:
     def make_server(self, **kwargs) -> ShardedWBCServer:

@@ -16,7 +16,7 @@ from hypothesis import given, settings
 from repro.apf.families import TSharp, TStar
 from repro.core.aspectratio import AspectRatioPairing
 from repro.core.squareshell import SquareShellPairing
-from repro.errors import AllocationError, ConfigurationError
+from repro.errors import AllocationError, ConfigurationError, ShardDownError
 from repro.webcompute.events import EventCounters, TaskIssued, VolunteerRegistered
 from repro.webcompute.sharding import (
     LeastLoadedPolicy,
@@ -87,6 +87,55 @@ class TestRouting:
         with pytest.raises(AllocationError):
             server.request_task(99)
         assert server.is_banned(99) is False
+
+    def test_policy_slot_maps_to_live_shard(self):
+        """Regression for the ``shard_for`` contract drift: the policy
+        returns a *slot* into the live-shard load views (not an absolute
+        shard id), and the router maps it back -- so a policy that always
+        picks the last slot routes around a crashed tail shard instead of
+        raising or routing into it."""
+
+        class LastSlotPolicy(ShardPolicy):
+            def shard_for(self, sequence, profile, loads):
+                return len(loads) - 1
+
+        server = make_server(shards=3, policy=LastSlotPolicy())
+        a = server.register(VolunteerProfile("a"))
+        assert server.shard_of(a) == 2
+        server.crash_shard(2)
+        b = server.register(VolunteerProfile("b"))
+        # Live shards are [0, 1]: the last *slot* is absolute shard 1.
+        assert server.shard_of(b) == 1
+
+    def test_least_loaded_ignores_down_shards(self):
+        """The stock policies only ever see live shards: with the empty
+        shard down, least-loaded routes to the emptiest *live* shard."""
+        server = make_server(shards=2, policy=LeastLoadedPolicy())
+        a, b = server.register_round(
+            [VolunteerProfile("a"), VolunteerProfile("b")]
+        )
+        empty = server.shard_of(a)
+        server.depart(a)
+        server.crash_shard(empty)
+        c = server.register(VolunteerProfile("c"))
+        assert server.shard_of(c) == 1 - empty
+
+    def test_queries_on_down_shard_raise_shard_down(self):
+        """Regression: ``is_banned`` / ``profile_of`` for a volunteer on
+        a crashed shard raise :class:`ShardDownError` (transient, retry
+        after restore) -- not ``KeyError`` or a silent wrong answer."""
+        server = make_server(shards=2)
+        a, b = server.register_round(
+            [VolunteerProfile("a"), VolunteerProfile("b")]
+        )
+        server.crash_shard(server.shard_of(a))
+        with pytest.raises(ShardDownError):
+            server.is_banned(a)
+        with pytest.raises(ShardDownError):
+            server.profile_of(a)
+        # The other shard is untouched: queries there still answer.
+        assert server.is_banned(b) is False
+        assert server.profile_of(b).name == "b"
 
 
 class TestGlobalIndexSpace:

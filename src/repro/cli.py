@@ -90,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "reissued; default: no leases)")
     wbc.add_argument("--checkpoint-every", type=int, default=None,
                      help="checkpoint shards every N ticks (sharded only)")
+    wbc.add_argument("--compact-every", type=int, default=8,
+                     help="rewrite a full checkpoint base after N "
+                          "incremental delta segments (sharded only; "
+                          "0 = never compact)")
     wbc.add_argument("--workers", type=int, default=None,
                      help="run shards in N worker processes "
                           "(default: in-process, serial)")
@@ -201,6 +205,7 @@ def _cmd_wbc(
     lease_ticks: int | None = None,
     checkpoint_every: int | None = None,
     workers: int | None = None,
+    compact_every: int | None = 8,
 ) -> str:
     from repro.apf.base import AdditivePairingFunction
     from repro.webcompute.simulation import SimulationConfig, WBCSimulation
@@ -216,6 +221,7 @@ def _cmd_wbc(
         faults=faults,
         lease_ticks=lease_ticks,
         checkpoint_every=checkpoint_every,
+        compact_every=compact_every,
         workers=workers,
     )
     sim = WBCSimulation(apf, config)
@@ -389,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.lease_ticks,
                 args.checkpoint_every,
                 args.workers,
+                args.compact_every if args.compact_every != 0 else None,
             )
         )
     elif args.command == "encode":

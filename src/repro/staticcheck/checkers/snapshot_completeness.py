@@ -24,6 +24,16 @@ Genuinely transient attributes -- event-bus wiring, codecs,
 constructor-supplied configuration that the owner snapshots -- are
 declared with ``# reprolint: allow[R003]`` on the assignment line, which
 doubles as documentation of *why* the attribute may be lost on restore.
+
+v3 adds the *delta-protocol* pass for the incremental-checkpoint pair
+``snapshot_delta`` / ``apply_delta``.  A complete full snapshot no
+longer proves anything about the delta path: an attribute whose taint
+reaches ``snapshot_delta``'s return but that ``apply_delta`` never
+touches is state every incrementally restored replica silently drops;
+an attribute ``apply_delta`` *writes* but ``snapshot_delta`` never
+reads is replica state no delta can ever carry.  Both directions are
+findings, anchored (like the full-snapshot pass) on the ``__init__``
+assignment line so one waiver documents one attribute.
 """
 
 from __future__ import annotations
@@ -39,6 +49,26 @@ from repro.staticcheck.model import Finding
 __all__ = ["SnapshotCompletenessChecker"]
 
 SNAPSHOT_METHODS = ("snapshot_state", "restore_state")
+DELTA_METHODS = ("snapshot_delta", "apply_delta")
+
+# Container-method names that mutate their receiver: a call
+# ``self.X.add(...)`` counts as writing ``self.X``.
+_MUTATING_CALLS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
 
 
 def _self_attr_assignments(func: ast.FunctionDef) -> dict[str, int]:
@@ -78,6 +108,72 @@ def _self_attrs_touched(func: ast.FunctionDef) -> set[str]:
     return touched
 
 
+def _self_attrs_touched_deep(
+    methods: dict[str, ast.FunctionDef], func: ast.FunctionDef
+) -> set[str]:
+    """Any-touch closure over same-class helpers: every ``self.X``
+    referenced by *func* directly or inside another method of the class
+    that *func* mentions (``self.set_rng_state(...)`` counts as touching
+    whatever ``set_rng_state`` touches)."""
+    touched: set[str] = set()
+    expanded: set[str] = set()
+    stack = [func]
+    while stack:
+        current = stack.pop()
+        for attr in _self_attrs_touched(current):
+            touched.add(attr)
+            if attr in methods and attr not in expanded:
+                expanded.add(attr)
+                stack.append(methods[attr])
+    return touched
+
+
+def _root_self_attr(node: ast.expr) -> str | None:
+    """The ``X`` of a ``self.X``-rooted expression, unwrapping
+    subscripts (``self.X[k]``, ``self.X[k][j]``)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _self_attr_writes(func: ast.FunctionDef) -> dict[str, int]:
+    """``self.X`` attributes *func* writes, name -> first write line:
+    plain / augmented / subscript-target assignment, or a mutating
+    container-method call (``self.X.update(...)``)."""
+    out: dict[str, int] = {}
+
+    def note(target: ast.expr, lineno: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                note(element, lineno)
+            return
+        attr = _root_self_attr(target)
+        if attr is not None:
+            out.setdefault(attr, lineno)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                note(target, node.lineno)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            note(node.target, node.lineno)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_CALLS
+        ):
+            attr = _root_self_attr(node.func.value)
+            if attr is not None:
+                out.setdefault(attr, node.lineno)
+    return out
+
+
 def _is_opaque(func: ast.FunctionDef) -> bool:
     """``snapshot_state`` bodies the flow analysis cannot see through:
     whole-object reflection (``self.__dict__`` / ``vars(self)``).  Fall
@@ -114,7 +210,13 @@ class SnapshotCompletenessChecker(Checker):
             }
             snapshotters = [methods[n] for n in SNAPSHOT_METHODS if n in methods]
             init = methods.get("__init__")
-            if not snapshotters or init is None:
+            if init is None:
+                continue
+            init_attrs = _self_attr_assignments(init)
+            findings.extend(
+                self._check_delta_pair(module, node, methods, init_attrs)
+            )
+            if not snapshotters:
                 continue
 
             persisted: set[str] = set()
@@ -132,9 +234,7 @@ class SnapshotCompletenessChecker(Checker):
                     read_not_returned = _self_attrs_touched(snapshot) - returned
 
             which = "/".join(m.name for m in snapshotters)
-            for attr, lineno in sorted(
-                _self_attr_assignments(init).items(), key=lambda kv: kv[1]
-            ):
+            for attr, lineno in sorted(init_attrs.items(), key=lambda kv: kv[1]):
                 if attr in persisted:
                     continue
                 if attr in read_not_returned:
@@ -150,6 +250,50 @@ class SnapshotCompletenessChecker(Checker):
                         "loses this state"
                     )
                 findings.append(self.finding(module, lineno, message))
+        return findings
+
+    def _check_delta_pair(
+        self,
+        module: SourceModule,
+        node: ast.ClassDef,
+        methods: dict[str, ast.FunctionDef],
+        init_attrs: dict[str, int],
+    ) -> list[Finding]:
+        """The delta-protocol pass: both directions of the
+        ``snapshot_delta`` / ``apply_delta`` contract, for classes that
+        implement the pair."""
+        snapshot_delta = methods.get("snapshot_delta")
+        apply_delta = methods.get("apply_delta")
+        if snapshot_delta is None or apply_delta is None:
+            return []
+        findings: list[Finding] = []
+        emitted = self._attrs_reaching_return(module, snapshot_delta)
+        if emitted is None:
+            emitted = _self_attrs_touched_deep(methods, snapshot_delta)
+        applied = _self_attrs_touched_deep(methods, apply_delta)
+        read_by_snapshot = _self_attrs_touched_deep(methods, snapshot_delta)
+        written_by_apply = _self_attr_writes(apply_delta)
+        for attr, lineno in sorted(init_attrs.items(), key=lambda kv: kv[1]):
+            if attr in emitted and attr not in applied:
+                findings.append(
+                    self.finding(
+                        module,
+                        lineno,
+                        f"{node.name}.snapshot_delta emits self.{attr} but "
+                        "apply_delta never applies it -- an incrementally "
+                        "restored replica silently loses this state",
+                    )
+                )
+            elif attr in written_by_apply and attr not in read_by_snapshot:
+                findings.append(
+                    self.finding(
+                        module,
+                        lineno,
+                        f"{node.name}.apply_delta writes self.{attr} but "
+                        "snapshot_delta never emits it -- no delta can "
+                        "carry this state to a replica",
+                    )
+                )
         return findings
 
     @staticmethod

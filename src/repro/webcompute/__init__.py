@@ -51,6 +51,7 @@ from repro.webcompute.events import (
     RowSeated,
     ShardCrashed,
     ShardRestored,
+    ShardRestoring,
     TaskIssued,
     TaskReissued,
     VolunteerBanned,
@@ -120,6 +121,7 @@ __all__ = [
     "RowSeated",
     "RowRecycled",
     "ShardCrashed",
+    "ShardRestoring",
     "ShardRestored",
     "CheckpointTaken",
     "ReturnDropped",

@@ -18,6 +18,7 @@ back to ``(row, serial)`` -- the accountability primitive.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.apf.base import AdditivePairingFunction
 from repro.errors import AllocationError, ConfigurationError, DomainError
@@ -61,7 +62,11 @@ class TaskAllocator:
     (3, 2)
     """
 
-    def __init__(self, apf: AdditivePairingFunction) -> None:
+    def __init__(
+        self,
+        apf: AdditivePairingFunction,
+        clock: Callable[[], int] | None = None,
+    ) -> None:
         if not isinstance(apf, AdditivePairingFunction):
             raise ConfigurationError(
                 f"allocator needs an AdditivePairingFunction, got {type(apf).__name__}"
@@ -69,7 +74,15 @@ class TaskAllocator:
         # reprolint: allow[R003] the APF is configuration, not run state;
         # restore_state requires a same-APF instance (checked by name)
         self.apf = apf
+        # on construction; delta bookkeeping is rebuilt by restore_state
+        self._clock_fn = clock if clock is not None else (lambda: 0)
         self._contracts: dict[int, RowContract] = {}
+        # Delta-protocol dirty tracking: tick of each row's last mutation
+        # (registration or serial advance) vs. tick of its release.  The two
+        # maps are kept disjoint so applying a delta is order-free: a row is
+        # either upserted or removed, never both.
+        self._changed_at: dict[int, int] = {}
+        self._released_at: dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -90,6 +103,8 @@ class TaskAllocator:
             next_serial=start_serial,
         )
         self._contracts[row] = contract
+        self._changed_at[row] = self._clock_fn()
+        self._released_at.pop(row, None)
         return contract
 
     def register_rows(
@@ -134,8 +149,11 @@ class TaskAllocator:
             )
             for row, start_serial in pairs
         ]
+        now = self._clock_fn()
         for contract in contracts:
             self._contracts[contract.row] = contract
+            self._changed_at[contract.row] = now
+            self._released_at.pop(contract.row, None)
         return contracts
 
     def release_row(self, row: int) -> int:
@@ -144,6 +162,8 @@ class TaskAllocator:
         contract = self._contracts.pop(row, None)
         if contract is None:
             raise AllocationError(f"row {row} is not registered")
+        self._changed_at.pop(row, None)
+        self._released_at[row] = self._clock_fn()
         return contract.next_serial
 
     def is_registered(self, row: int) -> bool:
@@ -163,6 +183,7 @@ class TaskAllocator:
         contract = self.contract(row)
         index = contract.progression.term(contract.next_serial)
         contract.next_serial += 1
+        self._changed_at[row] = self._clock_fn()
         return index
 
     def peek_task(self, row: int, serial: int) -> int:
@@ -185,29 +206,73 @@ class TaskAllocator:
 
     # -- snapshot / restore state (the persistence seam) ---------------
 
-    def snapshot_state(self) -> list[dict[str, int]]:
-        """Every live contract as a JSON-able dict, by row."""
+    def snapshot_state(self) -> list[list[int]]:
+        """Every live contract as a compact JSON-able row
+        ``[row, base, stride, next_serial]``, sorted by row.  (Per-field
+        dicts were the v1 format; :meth:`restore_state` accepts both.)"""
         return [
-            {
-                "row": c.row,
-                "base": c.base,
-                "stride": c.stride,
-                "next_serial": c.next_serial,
-            }
+            [c.row, c.base, c.stride, c.next_serial]
             for c in (self._contracts[row] for row in sorted(self._contracts))
         ]
 
-    def restore_state(self, contracts: list[dict[str, int]]) -> None:
+    def snapshot_delta(self, since_tick: int) -> dict[str, Any]:
+        """Rows mutated at or after *since_tick*, plus rows released since
+        then.  ``>=`` (not ``>``) keeps a torn tick safe: re-shipping an
+        unchanged row is harmless because :meth:`apply_delta` upserts."""
+        return {
+            "rows": [
+                [c.row, c.base, c.stride, c.next_serial]
+                for c in (
+                    self._contracts[row]
+                    for row in sorted(self._contracts)
+                    if self._changed_at.get(row, since_tick) >= since_tick
+                )
+            ],
+            "released": sorted(
+                row for row, t in self._released_at.items() if t >= since_tick
+            ),
+        }
+
+    def apply_delta(self, delta: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot_delta` dict into live state.  Upsert-only
+        on the ``rows`` side and remove-only on the ``released`` side, so
+        applying the same delta twice is a no-op."""
+        now = self._clock_fn()
+        for row in delta["released"]:
+            self._contracts.pop(row, None)
+            self._changed_at.pop(row, None)
+            self._released_at[row] = now
+        for row, base, stride, next_serial in delta["rows"]:
+            self._contracts[row] = RowContract(
+                row=row,
+                progression=ArithmeticProgression(base, stride),
+                next_serial=next_serial,
+            )
+            self._changed_at[row] = now
+            self._released_at.pop(row, None)
+
+    def restore_state(self, contracts: list[Any]) -> None:
         """Rebuild the contract cache from a :meth:`snapshot_state` list
         (stored bases/strides are trusted, not recomputed -- restoring must
-        not re-pay the registration-time APF evaluations)."""
+        not re-pay the registration-time APF evaluations).  Accepts both the
+        compact ``[row, base, stride, next_serial]`` rows and the v1
+        per-field dicts."""
         self._contracts = {}
         for c in contracts:
-            self._contracts[c["row"]] = RowContract(
-                row=c["row"],
-                progression=ArithmeticProgression(c["base"], c["stride"]),
-                next_serial=c["next_serial"],
+            if isinstance(c, dict):
+                row, base, stride, nxt = c["row"], c["base"], c["stride"], c["next_serial"]
+            else:
+                row, base, stride, nxt = c
+            self._contracts[row] = RowContract(
+                row=row,
+                progression=ArithmeticProgression(base, stride),
+                next_serial=nxt,
             )
+        # Conservatively mark everything dirty at the restored clock: the
+        # first post-restore delta over-includes, later ones are incremental.
+        now = self._clock_fn()
+        self._changed_at = {row: now for row in self._contracts}
+        self._released_at = {}
 
     def max_issued_index(self) -> int:
         """The largest task index issued so far -- the memory-footprint

@@ -102,15 +102,17 @@ class AllocationEngine:
         # capture domain state only, subscribers re-attach after restore
         self.bus = bus if bus is not None else EventBus()
         self.bus.set_clock(lambda: self._clock)
-        self.allocator = TaskAllocator(apf)
-        self.frontend = FrontEnd(bus=self.bus)
+        self.allocator = TaskAllocator(apf, clock=lambda: self._clock)
+        self.frontend = FrontEnd(bus=self.bus, clock=lambda: self._clock)
         self.ledger = AccountabilityLedger(
             verification_rate=verification_rate,
             ban_after_strikes=ban_after_strikes,
             rng=random.Random(seed),
             bus=self.bus,
+            clock=lambda: self._clock,
         )
         self._profiles: dict[int, VolunteerProfile] = {}
+        self._profiles_changed: dict[int, int] = {}
         self._next_volunteer_id = 1
         self._clock = 0
         self._max_task_index = 0
@@ -203,6 +205,7 @@ class AllocationEngine:
                 vid = ids[i]
                 self._next_volunteer_id = max(self._next_volunteer_id, vid + 1)
             self._profiles[vid] = profile
+            self._profiles_changed[vid] = self._clock
             if not profile.is_faulty:
                 self.ledger.note_honest(vid)
             assigned.append(vid)
@@ -363,6 +366,7 @@ class AllocationEngine:
             error_rate=error_rate,
         )
         self._profiles[volunteer_id] = corrupted
+        self._profiles_changed[volunteer_id] = self._clock
         self.ledger.note_corrupted(volunteer_id)
         self.bus.publish(
             VolunteerCorrupted(
@@ -431,6 +435,54 @@ class AllocationEngine:
             "rng_state": self.ledger.rng_state(),
         }
 
+    def snapshot_delta(self, since_tick: int) -> dict[str, Any]:
+        """Everything that changed at or after *since_tick* as a JSON-able
+        delta: scalars ship whole (they are tiny and idempotent to
+        re-apply), components contribute their own ``snapshot_delta``, and
+        ``tasks_issued`` denormalizes the audit count so a checkpoint store
+        can track coverage without materializing state.  ``>=`` (not ``>``)
+        keeps a delta cut mid-tick safe: re-shipped rows are upserts."""
+        return {
+            "since": since_tick,
+            "clock": self._clock,
+            "tasks_issued": self.ledger.tasks_issued_count(),
+            "max_task_index": self._max_task_index,
+            "next_volunteer_id": self._next_volunteer_id,
+            "lease_ticks": self.lease_ticks,
+            "verification_rate": self.ledger.verification_rate,
+            "ban_after_strikes": self.ledger.ban_after_strikes,
+            "profiles": {
+                str(vid): self._profiles[vid].to_state()
+                for vid, t in sorted(self._profiles_changed.items())
+                if t >= since_tick
+            },
+            "contracts": self.allocator.snapshot_delta(since_tick),
+            "frontend": self.frontend.snapshot_delta(since_tick),
+            "ledger": self.ledger.snapshot_delta(since_tick),
+        }
+
+    # reprolint: allow[R005] folding a delta replays history: events were
+    # already emitted when the original commands first ran
+    def apply_delta(self, delta: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot_delta` dict into live state.  Applying
+        the base state then every delta in log order must land bit-identical
+        to the engine the deltas were cut from (the recovery differential
+        tests pin this, and pin :func:`~repro.webcompute.recovery.fold_delta`
+        against this method)."""
+        self._clock = delta["clock"]
+        self._max_task_index = delta["max_task_index"]
+        self._next_volunteer_id = delta["next_volunteer_id"]
+        self.lease_ticks = delta["lease_ticks"]
+        for key, p in delta["profiles"].items():
+            vid = int(key)
+            self._profiles[vid] = VolunteerProfile.from_state(p)
+            self._profiles_changed[vid] = self._clock
+        self.allocator.apply_delta(delta["contracts"])
+        self.frontend.apply_delta(delta["frontend"])
+        self.ledger.apply_delta(delta["ledger"])
+        self.ledger.verification_rate = delta["verification_rate"]
+        self.ledger.ban_after_strikes = delta["ban_after_strikes"]
+
     # reprolint: allow[R005] replay must not re-publish history: events
     # were already emitted when the journaled commands first ran
     def restore_state(self, state: dict[str, Any]) -> None:
@@ -447,6 +499,7 @@ class AllocationEngine:
             int(vid): VolunteerProfile.from_state(p)
             for vid, p in state["profiles"].items()
         }
+        self._profiles_changed = {vid: self._clock for vid in self._profiles}
         if "contracts" in state:
             self.allocator.restore_state(state["contracts"])
         if "frontend" in state:

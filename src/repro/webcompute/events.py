@@ -48,6 +48,7 @@ __all__ = [
     "RowSeated",
     "RowRecycled",
     "ShardCrashed",
+    "ShardRestoring",
     "ShardRestored",
     "CheckpointTaken",
     "ReturnDropped",
@@ -185,6 +186,19 @@ class ShardCrashed:
 
 
 @dataclass(frozen=True, slots=True)
+class ShardRestoring:
+    """A crashed shard began a streaming restore: it serves registrations
+    (degraded) while checkpoint segments and journal replay in the
+    background; everything else raises transient ``ShardDownError`` until
+    :class:`ShardRestored` follows."""
+
+    tick: int
+    shard: int | None = None
+    segments: int = 0
+    pending_ops: int = 0
+
+
+@dataclass(frozen=True, slots=True)
 class ShardRestored:
     """A crashed shard was rebuilt from its latest checkpoint plus a
     deterministic replay of the journaled operations."""
@@ -197,11 +211,14 @@ class ShardRestored:
 
 @dataclass(frozen=True, slots=True)
 class CheckpointTaken:
-    """A shard's full state was checkpointed (journal truncated)."""
+    """A shard's state was checkpointed (journal truncated):
+    ``incremental`` distinguishes a delta segment appended to the log
+    from a full base checkpoint (compaction)."""
 
     tick: int
     shard: int | None = None
     tasks_issued: int = 0
+    incremental: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -238,6 +255,7 @@ WBCEvent = Union[
     RowSeated,
     RowRecycled,
     ShardCrashed,
+    ShardRestoring,
     ShardRestored,
     CheckpointTaken,
     ReturnDropped,
@@ -255,6 +273,7 @@ EVENT_TYPES: tuple[type, ...] = (
     RowSeated,
     RowRecycled,
     ShardCrashed,
+    ShardRestoring,
     ShardRestored,
     CheckpointTaken,
     ReturnDropped,

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import AllocationError, DomainError
 from repro.webcompute.events import EventBus, RowRecycled, RowSeated
@@ -48,6 +48,20 @@ class Epoch:
         if serial < self.first_serial:
             return False
         return self.last_serial is None or serial <= self.last_serial
+
+
+def _decode_epoch(row: int, e: Any) -> Epoch:
+    """Decode one persisted epoch: compact ``[volunteer_id, first_serial,
+    last_serial]`` row or v1 per-field dict."""
+    if isinstance(e, dict):
+        return Epoch(
+            row=row,
+            volunteer_id=e["volunteer_id"],
+            first_serial=e["first_serial"],
+            last_serial=e["last_serial"],
+        )
+    vid, first, last = e
+    return Epoch(row=row, volunteer_id=vid, first_serial=first, last_serial=last)
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,15 +89,27 @@ class FrontEnd:
     row-pool half of the observability layer.
     """
 
-    def __init__(self, bus: EventBus | None = None) -> None:
+    def __init__(
+        self,
+        bus: EventBus | None = None,
+        clock: Callable[[], int] | None = None,
+    ) -> None:
         # reprolint: allow[R003] observer plumbing, re-attached after restore
         self.bus = bus
+        # on construction; delta bookkeeping is rebuilt by restore_state
+        self._clock_fn = clock if clock is not None else (lambda: 0)
         self._free_rows: list[int] = []  # min-heap of recycled rows
         self._next_fresh_row = 1
         self._row_resume_serial: dict[int, int] = {}
         self._row_of_volunteer: dict[int, int] = {}
         self._epochs: dict[int, list[Epoch]] = {}
         self._issued_serials: dict[int, int] = {}  # row -> last issued serial
+        # Delta-protocol dirty tracking.  Rows: tick of last epoch/serial
+        # mutation.  Seats: tick a volunteer was seated vs. unseated -- the
+        # two maps stay disjoint so applying a delta is order-free.
+        self._row_changed: dict[int, int] = {}
+        self._seat_changed: dict[int, int] = {}
+        self._unseated_at: dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -117,11 +143,15 @@ class FrontEnd:
         # Fastest first; ties broken by id for determinism.
         ranked = sorted(arrivals, key=lambda a: (-a[1], a[0]))
         assignment_of: dict[int, RowAssignment] = {}
+        now = self._clock_fn()
         for vid, _speed in ranked:
             row = self._take_smallest_row()
             start = self._row_resume_serial.get(row, 1)
             assignment_of[vid] = RowAssignment(row=row, start_serial=start)
             self._row_of_volunteer[vid] = row
+            self._row_changed[row] = now
+            self._seat_changed[vid] = now
+            self._unseated_at.pop(vid, None)
             recycled = bool(self._epochs.get(row))
             self._epochs.setdefault(row, []).append(
                 Epoch(row=row, volunteer_id=vid, first_serial=start)
@@ -153,6 +183,10 @@ class FrontEnd:
         open_epoch.last_serial = last
         self._row_resume_serial[row] = last + 1
         heapq.heappush(self._free_rows, row)
+        now = self._clock_fn()
+        self._row_changed[row] = now
+        self._seat_changed.pop(volunteer_id, None)
+        self._unseated_at[volunteer_id] = now
         if self.bus is not None:
             self.bus.publish(
                 RowRecycled(tick=self.bus.now(), row=row, resume_serial=last + 1)
@@ -171,6 +205,7 @@ class FrontEnd:
                 f"row {row}: serial {serial} issued out of order (expected {current + 1})"
             )
         self._issued_serials[row] = serial
+        self._row_changed[row] = self._clock_fn()
 
     def row_of(self, volunteer_id: int) -> int:
         try:
@@ -214,7 +249,10 @@ class FrontEnd:
     # -- snapshot / restore state (the persistence seam) ---------------
 
     def snapshot_state(self) -> dict[str, Any]:
-        """The front end's complete persistent state as a JSON-able dict."""
+        """The front end's complete persistent state as a JSON-able dict.
+        Epochs use the compact ``[volunteer_id, first_serial, last_serial]``
+        row format (per-field dicts were the v1 format; :meth:`restore_state`
+        accepts both)."""
         return {
             "free_rows": sorted(self._free_rows),
             "next_fresh_row": self._next_fresh_row,
@@ -229,19 +267,78 @@ class FrontEnd:
             },
             "epochs": {
                 str(row): [
-                    {
-                        "volunteer_id": e.volunteer_id,
-                        "first_serial": e.first_serial,
-                        "last_serial": e.last_serial,
-                    }
+                    [e.volunteer_id, e.first_serial, e.last_serial]
                     for e in epochs
                 ]
                 for row, epochs in self._epochs.items()
             },
         }
 
+    def snapshot_delta(self, since_tick: int) -> dict[str, Any]:
+        """Rows and seats mutated at or after *since_tick*.  The (small)
+        free-row pool and fresh-row cursor ship whole in every delta; a
+        changed row ships its resume/issued serials plus its full epoch
+        list (epoch mutation = append or close, so the row is marked dirty
+        either way)."""
+        rows: dict[str, Any] = {}
+        for row, t in sorted(self._row_changed.items()):
+            if t < since_tick:
+                continue
+            rows[str(row)] = {
+                "resume": self._row_resume_serial.get(row),
+                "issued": self._issued_serials.get(row),
+                "epochs": [
+                    [e.volunteer_id, e.first_serial, e.last_serial]
+                    for e in self._epochs.get(row, [])
+                ],
+            }
+        return {
+            "free_rows": sorted(self._free_rows),
+            "next_fresh_row": self._next_fresh_row,
+            "rows": rows,
+            "seats": {
+                str(v): self._row_of_volunteer[v]
+                for v, t in sorted(self._seat_changed.items())
+                if t >= since_tick
+            },
+            "unseated": sorted(
+                v for v, t in self._unseated_at.items() if t >= since_tick
+            ),
+        }
+
+    def apply_delta(self, delta: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot_delta` dict into live state.  ``None``
+        serials are skipped (resume/issued keys never revert to absent), and
+        seat/unseat maps are disjoint, so application is order-free and
+        idempotent."""
+        now = self._clock_fn()
+        self._free_rows = list(delta["free_rows"])
+        heapq.heapify(self._free_rows)
+        self._next_fresh_row = delta["next_fresh_row"]
+        for key, info in delta["rows"].items():
+            row = int(key)
+            if info["resume"] is not None:
+                self._row_resume_serial[row] = info["resume"]
+            if info["issued"] is not None:
+                self._issued_serials[row] = info["issued"]
+            self._epochs[row] = [
+                Epoch(row=row, volunteer_id=v, first_serial=f, last_serial=l)
+                for v, f, l in info["epochs"]
+            ]
+            self._row_changed[row] = now
+        for vid in delta["unseated"]:
+            self._row_of_volunteer.pop(vid, None)
+            self._seat_changed.pop(vid, None)
+            self._unseated_at[vid] = now
+        for key, row in delta["seats"].items():
+            vid = int(key)
+            self._row_of_volunteer[vid] = row
+            self._seat_changed[vid] = now
+            self._unseated_at.pop(vid, None)
+
     def restore_state(self, state: dict[str, Any]) -> None:
-        """Rebuild seating/epoch state from a :meth:`snapshot_state` dict."""
+        """Rebuild seating/epoch state from a :meth:`snapshot_state` dict.
+        Accepts both compact epoch rows and the v1 per-field dicts."""
         self._free_rows = list(state["free_rows"])
         heapq.heapify(self._free_rows)
         self._next_fresh_row = state["next_fresh_row"]
@@ -255,14 +352,16 @@ class FrontEnd:
             int(r): s for r, s in state["issued_serials"].items()
         }
         self._epochs = {
-            int(row): [
-                Epoch(
-                    row=int(row),
-                    volunteer_id=e["volunteer_id"],
-                    first_serial=e["first_serial"],
-                    last_serial=e["last_serial"],
-                )
-                for e in epochs
-            ]
+            int(row): [_decode_epoch(int(row), e) for e in epochs]
             for row, epochs in state["epochs"].items()
         }
+        # Conservatively mark everything dirty at the restored clock.
+        now = self._clock_fn()
+        touched = (
+            set(self._epochs)
+            | set(self._issued_serials)
+            | set(self._row_resume_serial)
+        )
+        self._row_changed = {row: now for row in touched}
+        self._seat_changed = {v: now for v in self._row_of_volunteer}
+        self._unseated_at = {}

@@ -27,13 +27,66 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import ConfigurationError, DomainError
 from repro.webcompute.events import EventBus, ResultReturned, VolunteerBanned
 from repro.webcompute.task import Task, TaskStatus
 
 __all__ = ["VolunteerRecord", "LedgerReport", "AccountabilityLedger"]
+
+
+def _decode_record(r: Any) -> VolunteerRecord:
+    """Decode one persisted record: compact 7-tuple ``[volunteer_id, issued,
+    returned, verified, strikes, banned, banned_at]`` or v1 per-field dict."""
+    if isinstance(r, dict):
+        return VolunteerRecord(
+            volunteer_id=r["volunteer_id"],
+            issued=r["issued"],
+            returned=r["returned"],
+            verified=r["verified"],
+            strikes=r["strikes"],
+            banned=r["banned"],
+            banned_at=r["banned_at"],
+        )
+    vid, issued, returned, verified, strikes, banned, banned_at = r
+    return VolunteerRecord(
+        volunteer_id=vid,
+        issued=issued,
+        returned=returned,
+        verified=verified,
+        strikes=strikes,
+        banned=banned,
+        banned_at=banned_at,
+    )
+
+
+def _decode_task(t: Any) -> Task:
+    """Decode one persisted task row: compact 11-tuple ``[index,
+    volunteer_id, serial, issued_at, status, returned_at, reported_result,
+    returned_by, lease_expires_at, reissued_to, reissued_at]`` or v1
+    per-field dict (lease/reissue keys read with defaults so pre-lease
+    snapshots restore unchanged)."""
+    if isinstance(t, dict):
+        fields = (
+            t["index"], t["volunteer_id"], t["serial"], t["issued_at"],
+            t["status"], t["returned_at"], t["reported_result"],
+            t.get("returned_by"), t.get("lease_expires_at"),
+            t.get("reissued_to"), t.get("reissued_at"),
+        )
+    else:
+        fields = tuple(t)
+    (index, vid, serial, issued_at, status, returned_at, reported_result,
+     returned_by, lease_expires_at, reissued_to, reissued_at) = fields
+    task = Task(index=index, volunteer_id=vid, serial=serial, issued_at=issued_at)
+    task.status = TaskStatus(status)
+    task.returned_at = returned_at
+    task.reported_result = reported_result
+    task.returned_by = returned_by
+    task.lease_expires_at = lease_expires_at
+    task.reissued_to = reissued_to
+    task.reissued_at = reissued_at
+    return task
 
 
 @dataclass(slots=True)
@@ -109,6 +162,7 @@ class AccountabilityLedger:
         ban_after_strikes: int = 2,
         rng: random.Random | None = None,
         bus: EventBus | None = None,
+        clock: Callable[[], int] | None = None,
     ) -> None:
         if not 0.0 <= verification_rate <= 1.0:
             raise ConfigurationError(
@@ -127,6 +181,8 @@ class AccountabilityLedger:
         self.ban_after_strikes = ban_after_strikes  # reprolint: allow[R003]
         self.bus = bus  # reprolint: allow[R003]
         self._rng = rng if rng is not None else random.Random(0)  # reprolint: allow[R003]
+        # on construction; delta bookkeeping is rebuilt by restore_state
+        self._clock_fn = clock if clock is not None else (lambda: 0)
         self._tasks: dict[int, Task] = {}
         self._records: dict[int, VolunteerRecord] = {}
         # Ground truth for reporting only (not visible to the ban policy):
@@ -135,6 +191,13 @@ class AccountabilityLedger:
         self._bad_caught = 0
         self._late_returns = 0
         self._honest_ids: set[int] = set()
+        # Delta-protocol dirty tracking: tick of each record/task/honest-tag
+        # mutation, plus the tick of the last verification-RNG draw (the RNG
+        # state only rides in a delta when it actually advanced).
+        self._record_changed: dict[int, int] = {}
+        self._task_changed: dict[int, int] = {}
+        self._honest_changed: dict[int, int] = {}
+        self._rng_changed = 0
 
     # ------------------------------------------------------------------
 
@@ -149,18 +212,23 @@ class AccountabilityLedger:
         """Report-only oracle tag: lets :meth:`report` count false bans.
         The ban policy itself never reads this."""
         self._honest_ids.add(volunteer_id)
+        self._honest_changed[volunteer_id] = self._clock_fn()
 
     def note_corrupted(self, volunteer_id: int) -> None:
         """Drop the honest oracle tag for a volunteer whose behavior a
         fault injector corrupted mid-run: a later ban is a *correct* ban,
         not a false positive."""
         self._honest_ids.discard(volunteer_id)
+        self._honest_changed[volunteer_id] = self._clock_fn()
 
     def record_issue(self, task: Task) -> None:
         if task.index in self._tasks:
             raise DomainError(f"task {task.index} was already issued")
         self._tasks[task.index] = task
         self._record(task.volunteer_id).issued += 1
+        now = self._clock_fn()
+        self._task_changed[task.index] = now
+        self._record_changed[task.volunteer_id] = now
 
     def record_reissue(
         self, task_index: int, to_volunteer: int, at_tick: int,
@@ -184,6 +252,9 @@ class AccountabilityLedger:
         if new_lease_expires_at is not None:
             task.lease_expires_at = new_lease_expires_at
         self._record(to_volunteer).issued += 1
+        now = self._clock_fn()
+        self._task_changed[task_index] = now
+        self._record_changed[to_volunteer] = now
         return task
 
     def record_return(
@@ -232,6 +303,10 @@ class AccountabilityLedger:
         is_bad = result != task.expected_result
         if is_bad:
             self._bad_returns += 1
+        now = self._clock_fn()
+        self._task_changed[task_index] = now
+        self._record_changed[submitter] = now
+        self._rng_changed = now
         verified = self._rng.random() < self.verification_rate
         banned_now = False
         if verified:
@@ -277,6 +352,9 @@ class AccountabilityLedger:
                 task.returned_by if task.returned_by is not None else task.volunteer_id
             )
             rec = self._record(returner)
+            now = self._clock_fn()
+            self._task_changed[task_index] = now
+            self._record_changed[returner] = now
             rec.verified += 1
             if not task.verify():
                 self._bad_caught += 1
@@ -335,6 +413,11 @@ class AccountabilityLedger:
         the tasks are the live objects (treat them as read-only)."""
         return [self._tasks[idx] for idx in sorted(self._tasks)]
 
+    def tasks_issued_count(self) -> int:
+        """How many distinct task indices were ever issued -- the audit
+        denominator incremental checkpoints carry in every delta."""
+        return len(self._tasks)
+
     def outstanding_tasks(self) -> list[Task]:
         """Issued-but-unreturned tasks, by task index -- what the lease
         reaper scans and what a volunteer may still legitimately return."""
@@ -368,80 +451,129 @@ class AccountabilityLedger:
     def set_rng_state(self, encoded: list) -> None:
         version, internal, gauss = encoded
         self._rng.setstate((version, tuple(internal), gauss))
+        self._rng_changed = self._clock_fn()
 
     def snapshot_state(self) -> dict[str, Any]:
         """The ledger's complete persistent state as a JSON-able dict
-        (rates and RNG state are snapshot separately by the caller)."""
+        (rates and RNG state are snapshot separately by the caller).
+        Records are compact 7-tuples and tasks 11-tuples -- see
+        :func:`_decode_record` / :func:`_decode_task` for the field order
+        (per-field dicts were the v1 format; :meth:`restore_state` accepts
+        both)."""
         return {
             "honest_ids": sorted(self._honest_ids),
             "bad_returns": self._bad_returns,
             "bad_caught": self._bad_caught,
             "late_returns": self._late_returns,
             "records": [
-                {
-                    "volunteer_id": r.volunteer_id,
-                    "issued": r.issued,
-                    "returned": r.returned,
-                    "verified": r.verified,
-                    "strikes": r.strikes,
-                    "banned": r.banned,
-                    "banned_at": r.banned_at,
-                }
+                [
+                    r.volunteer_id, r.issued, r.returned, r.verified,
+                    r.strikes, r.banned, r.banned_at,
+                ]
                 for r in self.records()
             ],
             "tasks": [
-                {
-                    "index": t.index,
-                    "volunteer_id": t.volunteer_id,
-                    "serial": t.serial,
-                    "issued_at": t.issued_at,
-                    "status": t.status.value,
-                    "returned_at": t.returned_at,
-                    "reported_result": t.reported_result,
-                    "returned_by": t.returned_by,
-                    "lease_expires_at": t.lease_expires_at,
-                    "reissued_to": t.reissued_to,
-                    "reissued_at": t.reissued_at,
-                }
+                [
+                    t.index, t.volunteer_id, t.serial, t.issued_at,
+                    t.status.value, t.returned_at, t.reported_result,
+                    t.returned_by, t.lease_expires_at, t.reissued_to,
+                    t.reissued_at,
+                ]
                 for t in self.tasks()
             ],
         }
 
+    def snapshot_delta(self, since_tick: int) -> dict[str, Any]:
+        """Records/tasks/honest-tags mutated at or after *since_tick*.
+        Counters ship as absolute values (idempotent to re-apply); the
+        verification RNG state rides along only when a draw happened in the
+        window."""
+        delta: dict[str, Any] = {
+            "bad_returns": self._bad_returns,
+            "bad_caught": self._bad_caught,
+            "late_returns": self._late_returns,
+            "honest": [
+                [vid, vid in self._honest_ids]
+                for vid, t in sorted(self._honest_changed.items())
+                if t >= since_tick
+            ],
+            "records": [
+                [
+                    r.volunteer_id, r.issued, r.returned, r.verified,
+                    r.strikes, r.banned, r.banned_at,
+                ]
+                for r in (
+                    self._records[vid]
+                    for vid, t in sorted(self._record_changed.items())
+                    if t >= since_tick
+                )
+            ],
+            "tasks": [
+                [
+                    t.index, t.volunteer_id, t.serial, t.issued_at,
+                    t.status.value, t.returned_at, t.reported_result,
+                    t.returned_by, t.lease_expires_at, t.reissued_to,
+                    t.reissued_at,
+                ]
+                for t in (
+                    self._tasks[idx]
+                    for idx, tk in sorted(self._task_changed.items())
+                    if tk >= since_tick
+                )
+            ],
+        }
+        if self._rng_changed >= since_tick:
+            delta["rng_state"] = self.rng_state()
+        return delta
+
+    def apply_delta(self, delta: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot_delta` dict into live state: upsert
+        records/tasks, replay honest-tag membership, overwrite counters,
+        and adopt the RNG state when it rode along."""
+        now = self._clock_fn()
+        self._bad_returns = delta["bad_returns"]
+        self._bad_caught = delta["bad_caught"]
+        self._late_returns = delta["late_returns"]
+        for vid, member in delta["honest"]:
+            if member:
+                self._honest_ids.add(vid)
+            else:
+                self._honest_ids.discard(vid)
+            self._honest_changed[vid] = now
+        for row in delta["records"]:
+            rec = _decode_record(row)
+            self._records[rec.volunteer_id] = rec
+            self._record_changed[rec.volunteer_id] = now
+        for row in delta["tasks"]:
+            task = _decode_task(row)
+            self._tasks[task.index] = task
+            self._task_changed[task.index] = now
+        if "rng_state" in delta:
+            self.set_rng_state(delta["rng_state"])
+
     def restore_state(self, state: dict[str, Any]) -> None:
         """Rebuild record/task state from a :meth:`snapshot_state` dict.
-        Lease/reissue keys are read with defaults so pre-lease (format
-        v1) snapshots restore unchanged."""
+        Accepts both compact tuple rows and v1 per-field dicts (whose
+        lease/reissue keys are read with defaults so pre-lease snapshots
+        restore unchanged)."""
         self._honest_ids = set(state["honest_ids"])
         self._bad_returns = state["bad_returns"]
         self._bad_caught = state["bad_caught"]
         self._late_returns = state.get("late_returns", 0)
         self._records = {}
         for r in state["records"]:
-            self._records[r["volunteer_id"]] = VolunteerRecord(
-                volunteer_id=r["volunteer_id"],
-                issued=r["issued"],
-                returned=r["returned"],
-                verified=r["verified"],
-                strikes=r["strikes"],
-                banned=r["banned"],
-                banned_at=r["banned_at"],
-            )
+            rec = _decode_record(r)
+            self._records[rec.volunteer_id] = rec
         self._tasks = {}
         for t in state["tasks"]:
-            task = Task(
-                index=t["index"],
-                volunteer_id=t["volunteer_id"],
-                serial=t["serial"],
-                issued_at=t["issued_at"],
-            )
-            task.status = TaskStatus(t["status"])
-            task.returned_at = t["returned_at"]
-            task.reported_result = t["reported_result"]
-            task.returned_by = t.get("returned_by")
-            task.lease_expires_at = t.get("lease_expires_at")
-            task.reissued_to = t.get("reissued_to")
-            task.reissued_at = t.get("reissued_at")
-            self._tasks[t["index"]] = task
+            task = _decode_task(t)
+            self._tasks[task.index] = task
+        # Conservatively mark everything dirty at the restored clock.
+        now = self._clock_fn()
+        self._record_changed = {vid: now for vid in self._records}
+        self._task_changed = {idx: now for idx in self._tasks}
+        self._honest_changed = {vid: now for vid in self._honest_ids}
+        self._rng_changed = now
 
     def report(self) -> LedgerReport:
         issued = len(self._tasks)

@@ -20,6 +20,20 @@ their profiles; in a real deployment those are remote humans anyway.
 The round-trip guarantee, enforced by tests: after ``restore(snapshot(s))``
 every observable behavior -- next task per volunteer, attribution of any
 historical task, ban status, report counters -- is identical.
+
+Envelope history:
+
+* **v1** re-keyed the engine snapshot field-by-field into a flat layout.
+  That coupling was an *envelope-drift* bug: any state the engine later
+  learned to snapshot was silently dropped by the re-keying, breaking the
+  round-trip guarantee without any test noticing.
+* **v2** delegates wholesale -- ``{"engine": engine.snapshot_state()}``
+  plus the registry name and the constructor knobs.  New engine state
+  flows through untouched, and a completeness test diffs the envelope's
+  engine keys against a live ``snapshot_state()`` to keep it that way.
+  v1 snapshots still load through a migration shim (the components
+  themselves accept both the v1 dict row formats and the v2 compact
+  tuples).
 """
 
 from __future__ import annotations
@@ -34,7 +48,23 @@ from repro.webcompute.server import WBCServer
 
 __all__ = ["snapshot", "restore", "dumps", "loads"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+# The keys a v1 envelope spread flat at the top level; the migration shim
+# re-assembles the engine dict from exactly these (``lease_ticks`` is
+# additive over early v1 and read back with a default).
+_V1_ENGINE_KEYS = (
+    "clock",
+    "max_task_index",
+    "next_volunteer_id",
+    "profiles",
+    "contracts",
+    "frontend",
+    "ledger",
+    "verification_rate",
+    "ban_after_strikes",
+    "rng_state",
+)
 
 
 def snapshot(server: WBCServer) -> dict[str, Any]:
@@ -56,34 +86,36 @@ def snapshot(server: WBCServer) -> dict[str, Any]:
             "register it before snapshotting"
         ) from None
     del resolved
-    # The engine snapshot is complete (scalars + allocator + frontend +
-    # ledger + RNG); the envelope just re-keys it into the v1 layout and
-    # adds the registry name.  ``lease_ticks`` is additive over v1 and is
-    # read back with a default, so pre-lease snapshots stay loadable.
     engine_state = engine.snapshot_state()
+    # Wholesale delegation: whatever the engine snapshots is what the
+    # envelope stores.  The constructor knobs ride along at the top level
+    # because ``restore`` needs them *before* it has an engine to ask.
     return {
         "version": _FORMAT_VERSION,
         "apf": apf_name,
-        "clock": engine_state["clock"],
-        "max_task_index": engine_state["max_task_index"],
-        "next_volunteer_id": engine_state["next_volunteer_id"],
-        "lease_ticks": engine_state["lease_ticks"],
         "verification_rate": engine_state["verification_rate"],
         "ban_after_strikes": engine_state["ban_after_strikes"],
-        "rng_state": engine_state["rng_state"],
-        "profiles": engine_state["profiles"],
-        "contracts": engine_state["contracts"],
-        "frontend": engine_state["frontend"],
-        "ledger": engine_state["ledger"],
+        "lease_ticks": engine_state["lease_ticks"],
+        "engine": engine_state,
     }
 
 
+def _engine_state_of(data: dict[str, Any]) -> dict[str, Any]:
+    """The engine-state dict inside an envelope, migrating v1's flat
+    layout; unknown versions are rejected."""
+    version = data.get("version")
+    if version == 2:
+        return data["engine"]
+    if version == 1:
+        state = {key: data[key] for key in _V1_ENGINE_KEYS}
+        state["lease_ticks"] = data.get("lease_ticks")
+        return state
+    raise ConfigurationError(f"unsupported snapshot version {version!r}")
+
+
 def restore(data: dict[str, Any]) -> WBCServer:
-    """Rebuild a server from a :func:`snapshot` dict."""
-    if data.get("version") != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"unsupported snapshot version {data.get('version')!r}"
-        )
+    """Rebuild a server from a :func:`snapshot` dict (v2 or v1)."""
+    engine_state = _engine_state_of(data)
     apf = get_pairing(data["apf"])
     if not isinstance(apf, AdditivePairingFunction):
         raise ConfigurationError(f"snapshot APF {data['apf']!r} is not additive")
@@ -93,21 +125,7 @@ def restore(data: dict[str, Any]) -> WBCServer:
         ban_after_strikes=data["ban_after_strikes"],
         lease_ticks=data.get("lease_ticks"),
     )
-    server.engine.restore_state(
-        {
-            "clock": data["clock"],
-            "max_task_index": data["max_task_index"],
-            "next_volunteer_id": data["next_volunteer_id"],
-            "lease_ticks": data.get("lease_ticks"),
-            "profiles": data["profiles"],
-            "contracts": data["contracts"],
-            "frontend": data["frontend"],
-            "ledger": data["ledger"],
-            "verification_rate": data["verification_rate"],
-            "ban_after_strikes": data["ban_after_strikes"],
-            "rng_state": data["rng_state"],
-        }
-    )
+    server.engine.restore_state(engine_state)
     return server
 
 

@@ -12,6 +12,13 @@ engine's determinism:
   contracts, epochs, ledger tasks, verification-RNG state) taken at a
   known tick, serialized through JSON so the stored form is exactly what
   a durable medium would hold.
+* The store itself is **log-structured**: a base checkpoint plus delta
+  segments (:meth:`~repro.webcompute.engine.AllocationEngine.snapshot_delta`
+  cuts), compacted back into a fresh base every ``compact_every``
+  segments.  :meth:`CheckpointStore.latest` materializes state by folding
+  segments over the base with :func:`fold_delta` -- a dict-level fold
+  pinned bit-identical to the engine's live ``apply_delta`` by the
+  recovery differential tests.
 * The **op journal** records every state-mutating engine call made after
   the checkpoint, in order, as small JSON-able entries.  Because the
   engine is deterministic (the only randomness is the ledger's
@@ -39,13 +46,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import RecoveryError
+from repro.errors import ConfigurationError, RecoveryError
 from repro.webcompute.engine import AllocationEngine
 from repro.webcompute.volunteer import VolunteerProfile
 
 __all__ = [
     "ShardCheckpoint",
     "CheckpointStore",
+    "fold_delta",
     "apply_op",
     "replay",
     "Backoff",
@@ -56,7 +64,8 @@ __all__ = [
 class ShardCheckpoint:
     """One durable full-state snapshot of a shard's engine.
 
-    ``state`` is the engine snapshot dict; ``tick`` and ``tasks_issued``
+    ``state`` is the engine snapshot dict (possibly materialized by
+    folding delta segments over a base); ``tick`` and ``tasks_issued``
     are denormalized out of it so recovery audits (and the bench) can
     read them without parsing the whole blob.
     """
@@ -66,42 +75,139 @@ class ShardCheckpoint:
     state: dict[str, Any]
 
 
+def fold_delta(state: dict[str, Any], delta: dict[str, Any]) -> None:
+    """Fold one engine delta (an
+    :meth:`~repro.webcompute.engine.AllocationEngine.snapshot_delta` dict)
+    into a full engine-state dict, in place.
+
+    This is the *storage-side* twin of the engine's live ``apply_delta``:
+    folding a base snapshot through every segment must produce exactly
+    ``snapshot_state()`` of the engine the segments were cut from (the
+    recovery differential tests pin the two against each other).  It only
+    understands the compact row formats this version writes -- fine,
+    because bases and segments are always written by the same store.
+    """
+    state["clock"] = delta["clock"]
+    state["max_task_index"] = delta["max_task_index"]
+    state["next_volunteer_id"] = delta["next_volunteer_id"]
+    state["lease_ticks"] = delta["lease_ticks"]
+    state["verification_rate"] = delta["verification_rate"]
+    state["ban_after_strikes"] = delta["ban_after_strikes"]
+    state["profiles"].update(delta["profiles"])
+    # Allocator: rows are [row, base, stride, next_serial].
+    ad = delta["contracts"]
+    rows = {c[0]: c for c in state["contracts"]}
+    for row in ad["released"]:
+        rows.pop(row, None)
+    for c in ad["rows"]:
+        rows[c[0]] = c
+    state["contracts"] = [rows[r] for r in sorted(rows)]
+    # Front end.
+    fe, fd = state["frontend"], delta["frontend"]
+    fe["free_rows"] = list(fd["free_rows"])
+    fe["next_fresh_row"] = fd["next_fresh_row"]
+    for key, info in fd["rows"].items():
+        if info["resume"] is not None:
+            fe["row_resume_serial"][key] = info["resume"]
+        if info["issued"] is not None:
+            fe["issued_serials"][key] = info["issued"]
+        fe["epochs"][key] = info["epochs"]
+    for vid in fd["unseated"]:
+        fe["row_of_volunteer"].pop(str(vid), None)
+    fe["row_of_volunteer"].update(fd["seats"])
+    # Ledger: records are 7-tuples, tasks 11-tuples, keyed by field 0.
+    ld, dd = state["ledger"], delta["ledger"]
+    ld["bad_returns"] = dd["bad_returns"]
+    ld["bad_caught"] = dd["bad_caught"]
+    ld["late_returns"] = dd["late_returns"]
+    honest = set(ld["honest_ids"])
+    for vid, member in dd["honest"]:
+        if member:
+            honest.add(vid)
+        else:
+            honest.discard(vid)
+    ld["honest_ids"] = sorted(honest)
+    records = {r[0]: r for r in ld["records"]}
+    for r in dd["records"]:
+        records[r[0]] = r
+    ld["records"] = [records[k] for k in sorted(records)]
+    tasks = {t[0]: t for t in ld["tasks"]}
+    for t in dd["tasks"]:
+        tasks[t[0]] = t
+    ld["tasks"] = [tasks[k] for k in sorted(tasks)]
+    if "rng_state" in dd:
+        state["rng_state"] = dd["rng_state"]
+
+
 class CheckpointStore:
-    """Per-shard durable storage: the latest checkpoint plus the op
-    journal accumulated since it was taken.
+    """Per-shard durable storage, log-structured: a base checkpoint, the
+    delta segments appended since it, and the op journal accumulated
+    since the newest segment.
 
     Everything stored passes through ``json.dumps``/``json.loads`` so a
     checkpoint is provably serializable (what a disk or object store
     would hold) and the restored state shares no mutable structure with
     the live engine -- a crashed shard really does lose its in-memory
     objects.
+
+    ``compact_every`` bounds the log: once that many segments have
+    accumulated, :attr:`wants_compaction` turns true and the owner's next
+    checkpoint should be a full one (``None`` disables compaction -- the
+    log grows until someone takes a full checkpoint explicitly).
     """
 
-    def __init__(self) -> None:
-        self._checkpoint: str | None = None
-        self._checkpoint_tick = 0
-        self._checkpoint_issued = 0
+    def __init__(self, compact_every: int | None = 8) -> None:
+        if compact_every is not None and (
+            isinstance(compact_every, bool)
+            or not isinstance(compact_every, int)
+            or compact_every <= 0
+        ):
+            raise ConfigurationError(
+                f"compact_every must be a positive int or None, got {compact_every!r}"
+            )
+        self.compact_every = compact_every
+        self._base: str | None = None
+        self._base_tick = 0
+        self._base_issued = 0
+        self._segments: list[str] = []
+        self._segment_meta: list[tuple[int, int]] = []  # (tick, issued)
         self._journal: list[str] = []
 
     # ------------------------------------------------------------------
 
     def checkpoint(self, engine: AllocationEngine) -> ShardCheckpoint:
-        """Snapshot *engine* and truncate the journal."""
+        """Full-snapshot *engine* into a fresh base (compaction) and
+        truncate segments and journal."""
         return self.checkpoint_state(engine.snapshot_state())
 
     def checkpoint_state(self, state: dict[str, Any]) -> ShardCheckpoint:
-        """Store an already-captured engine snapshot and truncate the
-        journal.  The seam the parallel router uses: the engine lives in
-        a worker process, so the parent receives the snapshot dict over
-        the pipe and checkpoints *that* rather than a live engine."""
+        """Store an already-captured engine snapshot as the new base and
+        truncate segments and journal.  The seam the parallel router uses:
+        the engine lives in a worker process, so the parent receives the
+        snapshot dict over the pipe and checkpoints *that* rather than a
+        live engine."""
         issued = len(state["ledger"]["tasks"])
-        self._checkpoint = json.dumps(state, sort_keys=True)
-        self._checkpoint_tick = state["clock"]
-        self._checkpoint_issued = issued
+        self._base = json.dumps(state, sort_keys=True)
+        self._base_tick = state["clock"]
+        self._base_issued = issued
+        self._segments = []
+        self._segment_meta = []
         self._journal = []
         return ShardCheckpoint(
             tick=state["clock"], tasks_issued=issued, state=state
         )
+
+    def checkpoint_delta(self, delta: dict[str, Any]) -> tuple[int, int]:
+        """Append one delta segment (an engine ``snapshot_delta`` dict cut
+        at :attr:`since_tick`) and truncate the journal.  Returns the
+        ``(tick, tasks_issued)`` the log now covers."""
+        if self._base is None:
+            raise RecoveryError("no base checkpoint to append a delta to")
+        self._segments.append(json.dumps(delta, sort_keys=True))
+        meta = (delta["clock"], delta["tasks_issued"])
+        self._segment_meta.append(meta)
+        self._journal = []
+        return meta
 
     def journal(self, op: list[Any]) -> None:
         """Append one op (see :func:`apply_op` for the grammar)."""
@@ -109,37 +215,83 @@ class CheckpointStore:
 
     @property
     def has_checkpoint(self) -> bool:
-        return self._checkpoint is not None
+        return self._base is not None
 
     @property
     def checkpoint_tick(self) -> int:
-        return self._checkpoint_tick
+        """The newest tick the log covers (last segment, else the base)."""
+        if self._segment_meta:
+            return self._segment_meta[-1][0]
+        return self._base_tick
 
     @property
     def checkpoint_issued(self) -> int:
-        """Tasks issued as of the latest checkpoint (the double-issue
+        """Tasks issued as of the newest log entry (the double-issue
         audit's baseline)."""
-        return self._checkpoint_issued
+        if self._segment_meta:
+            return self._segment_meta[-1][1]
+        return self._base_issued
+
+    @property
+    def since_tick(self) -> int:
+        """The tick the *next* delta segment must cover from -- same as
+        :attr:`checkpoint_tick`, named for the cut-side call site
+        (``engine.snapshot_delta(store.since_tick)``)."""
+        return self.checkpoint_tick
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def wants_compaction(self) -> bool:
+        """True once the segment log is long enough that the next
+        checkpoint should be a full (base) one."""
+        return (
+            self.compact_every is not None
+            and len(self._segments) >= self.compact_every
+        )
+
+    @property
+    def base_bytes(self) -> int:
+        """Serialized size of the base checkpoint (bench instrumentation)."""
+        return len(self._base) if self._base is not None else 0
+
+    @property
+    def segment_bytes(self) -> list[int]:
+        """Serialized size of each delta segment, in log order."""
+        return [len(s) for s in self._segments]
 
     @property
     def pending_ops(self) -> int:
-        """Journal length since the last checkpoint -- the replay work a
+        """Journal length since the newest log entry -- the replay work a
         restore will have to do."""
         return len(self._journal)
 
-    def latest(self) -> ShardCheckpoint:
-        """The latest checkpoint, deserialized fresh (no shared state)."""
-        if self._checkpoint is None:
+    def base_state(self) -> dict[str, Any]:
+        """The base checkpoint's engine state, deserialized fresh."""
+        if self._base is None:
             raise RecoveryError("no checkpoint has been taken")
-        state = json.loads(self._checkpoint)
+        return json.loads(self._base)
+
+    def segments(self) -> list[dict[str, Any]]:
+        """The delta segments in log order, deserialized fresh."""
+        return [json.loads(s) for s in self._segments]
+
+    def latest(self) -> ShardCheckpoint:
+        """The newest coverable state: the base with every delta segment
+        folded over it, deserialized fresh (no shared state)."""
+        state = self.base_state()
+        for delta in self.segments():
+            fold_delta(state, delta)
         return ShardCheckpoint(
-            tick=self._checkpoint_tick,
-            tasks_issued=self._checkpoint_issued,
+            tick=self.checkpoint_tick,
+            tasks_issued=self.checkpoint_issued,
             state=state,
         )
 
     def ops(self) -> list[list[Any]]:
-        """The journaled ops since the latest checkpoint, in order."""
+        """The journaled ops since the newest log entry, in order."""
         return [json.loads(entry) for entry in self._journal]
 
 

@@ -42,6 +42,26 @@ exactly the indices the journal says it did -- no global task index is
 ever double-issued across a crash.  While a shard is down, registration
 routing degrades to the live shards only.
 
+Checkpoints are **log-structured**: after the initial full snapshot, each
+periodic checkpoint appends an incremental delta segment
+(``engine.snapshot_delta`` since the log's newest covered tick) to the
+shard's :class:`~repro.webcompute.recovery.CheckpointStore`, compacting
+back into a full base every ``compact_every`` segments.  Restore is
+**streaming**: :meth:`ShardedWBCServer.begin_restore` puts the shard into
+a ``RESTORING`` degraded state (a :class:`_RestoringShard` sentinel) that
+*accepts registrations* -- the round is buffered onto the replay queue and
+seated when replay reaches it -- while every other call keeps raising the
+transient :class:`~repro.errors.ShardDownError`;
+:meth:`ShardedWBCServer.restore_step` incrementally applies delta
+segments and journal ops, and :meth:`ShardedWBCServer.restore_shard`
+remains the blocking begin + drain wrapper.  Ops that arrive while the
+shard restores (global ticks, buffered registrations) are journaled *and*
+appended to the replay queue, so the rebuilt engine converges on exactly
+the state a blocking restore would have produced.  Events the engine
+emits while replaying history are not re-published (the bus tap attaches
+only at the end) -- including the ``VolunteerRegistered`` events of
+rounds buffered during the restore window.
+
 Execution modes: with ``workers=None`` (the default) every engine runs
 in-process and the server behaves bit-identically to the pre-parallel
 implementation -- same journals, same events, same RNG streams.  With
@@ -64,6 +84,7 @@ journal replay into a respawned process.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.apf.base import AdditivePairingFunction
@@ -82,10 +103,11 @@ from repro.webcompute.events import (
     EventBus,
     ShardCrashed,
     ShardRestored,
+    ShardRestoring,
     VolunteerBanned,
 )
 from repro.webcompute.ledger import LedgerReport
-from repro.webcompute.recovery import CheckpointStore, replay
+from repro.webcompute.recovery import CheckpointStore, apply_op
 from repro.webcompute.shardworker import EngineSpec, WorkerHandle, shard_codec
 from repro.webcompute.task import Task
 from repro.webcompute.volunteer import VolunteerProfile
@@ -195,6 +217,108 @@ class _DeadShard:
         raise ShardDownError(
             f"shard {object.__getattribute__(self, 'shard')} is down "
             f"(attribute {name!r}); restore it and retry"
+        )
+
+
+class _RestoreSession:
+    """Book-keeping for one shard's in-flight streaming restore: the
+    rebuilding engine (in serial mode; worker mode keeps it worker-side),
+    the replay queue of ``("delta", segment)`` / ``("op", op)`` items, and
+    the audit counters the finish step checks."""
+
+    __slots__ = (
+        "shard",
+        "engine",
+        "queue",
+        "checkpoint_tick",
+        "base_issued",
+        "request_ops",
+        "replayed_ops",
+        "accepted",
+    )
+
+    def __init__(
+        self,
+        shard: int,
+        engine: AllocationEngine | None,
+        checkpoint_tick: int,
+        base_issued: int,
+    ) -> None:
+        self.shard = shard
+        self.engine = engine
+        self.queue: deque = deque()
+        self.checkpoint_tick = checkpoint_tick
+        self.base_issued = base_issued
+        self.request_ops = 0
+        self.replayed_ops = 0
+        self.accepted = 0
+
+    def enqueue_op(self, op: list) -> None:
+        self.queue.append(("op", op))
+        if op[0] == "request":
+            self.request_ops += 1
+        elif op[0] == "requests":
+            self.request_ops += len(op[1])
+
+
+class _RestoringShard:
+    """The engine slot's occupant while a shard streams its restore.
+
+    Registrations are *accepted* (degraded service): the server mints
+    globally fresh volunteer ids, so the round cannot collide with any
+    state still being replayed; the round's ``register`` op rides the
+    replay queue (via the server's journaling seam) and the volunteers are
+    actually seated when replay reaches it.  Everything else -- requests,
+    returns, departures, reads -- raises the transient
+    :class:`~repro.errors.ShardDownError` until the restore finishes.
+    ``seated_count`` (what routing policies weigh) counts only in-restore
+    admissions: the rebuilt engine's true count is unknown until replay
+    completes."""
+
+    __slots__ = ("shard", "_session")
+
+    def __init__(self, shard: int, session: _RestoreSession) -> None:
+        self.shard = shard
+        self._session = session
+
+    @property
+    def seated_count(self) -> int:
+        return self._session.accepted
+
+    def validate_round(
+        self, profiles: list[VolunteerProfile], ids: list[int] | None = None
+    ) -> None:
+        # Mirror the live engine's structural checks; the collision check
+        # against already-registered ids is vacuous here because the
+        # server only routes rounds with freshly minted ids.
+        if ids is not None:
+            if len(ids) != len(profiles):
+                raise AllocationError(
+                    f"got {len(ids)} ids for {len(profiles)} profiles"
+                )
+            for vid in ids:
+                if isinstance(vid, bool) or not isinstance(vid, int) or vid <= 0:
+                    raise AllocationError(
+                        f"volunteer id must be a positive int, got {vid!r}"
+                    )
+            if len(set(ids)) != len(ids):
+                raise AllocationError("duplicate volunteer id in one round")
+
+    def register_round(
+        self, profiles: list[VolunteerProfile], ids: list[int] | None = None
+    ) -> list[int]:
+        # The state change itself rides the replay queue: the server
+        # journals the round's op right after this returns, and its
+        # _journal seam appends every journaled op to the queue while the
+        # shard is restoring.  Here we only account for the admission.
+        self._session.accepted += len(ids)
+        return list(ids)
+
+    def __getattr__(self, name: str):
+        raise ShardDownError(
+            f"shard {object.__getattribute__(self, 'shard')} is restoring "
+            f"(attribute {name!r}); only registration is served until "
+            "replay finishes"
         )
 
 
@@ -372,6 +496,9 @@ class _RemoteShard:
     def snapshot_state(self) -> dict:
         return self._call("snapshot_state")
 
+    def snapshot_delta(self, since_tick: int) -> dict:
+        return self._call("snapshot_delta", since_tick)
+
     def __repr__(self) -> str:
         return f"<_RemoteShard shard={self.shard}>"
 
@@ -423,6 +550,11 @@ class ShardedWBCServer:
         Checkpoint every live shard each time the global clock hits a
         multiple of this many ticks (``None`` = only the initial and
         explicitly requested checkpoints).
+    compact_every:
+        After the initial full checkpoint, periodic checkpoints append
+        incremental delta segments; every ``compact_every`` segments the
+        next checkpoint compacts the log back into a full base snapshot
+        (``None`` = never compact automatically).
     workers:
         ``None`` (the default) runs every engine in-process,
         bit-identical to the pre-parallel server.  A positive int runs
@@ -442,6 +574,7 @@ class ShardedWBCServer:
         policy: ShardPolicy | None = None,
         lease_ticks: int | None = None,
         checkpoint_every: int | None = None,
+        compact_every: int | None = 8,
         workers: int | None = None,
     ) -> None:
         if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
@@ -464,6 +597,7 @@ class ShardedWBCServer:
         self.composer = composer if composer is not None else SquareShellPairing()
         self.policy = policy if policy is not None else RoundRobinPolicy()
         self.checkpoint_every = checkpoint_every
+        self.compact_every = compact_every
         self.lease_ticks = lease_ticks
         # Kept so a crashed shard's engine can be rebuilt from scratch.
         self._apf = apf
@@ -476,6 +610,7 @@ class ShardedWBCServer:
         self.engines: list[AllocationEngine] = []
         self._stores: list[CheckpointStore] = []
         self._alive: list[bool] = []
+        self._restoring: dict[int, _RestoreSession] = {}
         self._workers: list[WorkerHandle] | None = None
         self._mirror = _WorkerMirror()
         if workers is None:
@@ -483,7 +618,7 @@ class ShardedWBCServer:
                 engine = self._fresh_engine(shard)
                 engine.bus.forward_to(self.bus, shard=shard)
                 self.engines.append(engine)
-                store = CheckpointStore()
+                store = CheckpointStore(compact_every=compact_every)
                 store.checkpoint(engine)
                 self._stores.append(store)
                 self._alive.append(True)
@@ -498,7 +633,7 @@ class ShardedWBCServer:
                 proxy = _RemoteShard(self, shard)
                 self.engines.append(proxy)  # type: ignore[arg-type]
                 self._alive.append(True)
-                store = CheckpointStore()
+                store = CheckpointStore(compact_every=compact_every)
                 self._stores.append(store)
                 store.checkpoint_state(proxy.snapshot_state())
         self._shard_of: dict[int, int] = {}
@@ -568,6 +703,19 @@ class ShardedWBCServer:
                     self.bus.publish(
                         ShardCrashed(
                             tick=self._clock, shard=shard, pending_ops=pending
+                        )
+                    )
+                    downed.append(shard)
+                elif shard in self._restoring:
+                    # The half-rebuilt engine died with its process: back
+                    # to plain-down; a fresh restore starts from the store.
+                    self._restoring.pop(shard, None)
+                    self.engines[shard] = _DeadShard(shard)  # type: ignore[assignment]
+                    self.bus.publish(
+                        ShardCrashed(
+                            tick=self._clock,
+                            shard=shard,
+                            pending_ops=self._stores[shard].pending_ops,
                         )
                     )
                     downed.append(shard)
@@ -675,12 +823,12 @@ class ShardedWBCServer:
         self._clock += 1
         if self._workers is None:
             for shard, engine in enumerate(self.engines):
-                self._stores[shard].journal(["tick"])
+                self._journal(shard, ["tick"])
                 if self._alive[shard]:
                     engine.tick()
         else:
             for shard in range(len(self.engines)):
-                self._stores[shard].journal(["tick"])
+                self._journal(shard, ["tick"])
             groups: dict[WorkerHandle, list[tuple[int, list]]] = {}
             for shard in self.alive_shards():
                 groups.setdefault(self._handle_for(shard), []).append(
@@ -744,22 +892,54 @@ class ShardedWBCServer:
         self._check_shard(shard)
         return self._alive[shard]
 
+    def is_shard_restoring(self, shard: int) -> bool:
+        self._check_shard(shard)
+        return shard in self._restoring
+
     def alive_shards(self) -> list[int]:
         """Indices of live shards, ascending."""
         return [s for s, alive in enumerate(self._alive) if alive]
 
-    def checkpoint_shard(self, shard: int) -> None:
-        """Checkpoint one live shard (full engine snapshot; journal
-        truncated).  One code path for both modes: the snapshot dict is
-        pulled from the engine -- in-process or over the worker pipe --
-        and stored."""
+    def routable_shards(self) -> list[int]:
+        """Shards a registration can route to, ascending: live shards
+        plus shards serving degraded while a streaming restore replays."""
+        return sorted(set(self.alive_shards()) | set(self._restoring))
+
+    def _journal(self, shard: int, op: list) -> None:
+        """Journal *op* to the shard's durable store and, while the shard
+        is mid-streaming-restore, onto the restore session's replay queue
+        too: the op happened logically after the checkpoint the restore
+        reads from, so the rebuilding engine must replay it as well."""
+        self._stores[shard].journal(op)
+        session = self._restoring.get(shard)
+        if session is not None:
+            session.enqueue_op(op)
+
+    def checkpoint_shard(self, shard: int, *, full: bool = False) -> None:
+        """Checkpoint one live shard.  Log-structured: the first
+        checkpoint (and every one after ``compact_every`` delta segments
+        accumulate, or when ``full=True``) stores the complete engine
+        snapshot as a fresh base; otherwise an incremental delta since the
+        log's newest covered tick is appended.  One code path for both
+        modes: the snapshot/delta dict is pulled from the engine --
+        in-process or over the worker pipe -- and stored."""
         self._check_shard(shard)
         if not self._alive[shard]:
             raise ShardDownError(f"cannot checkpoint crashed shard {shard}")
-        cp = self._stores[shard].checkpoint_state(self.engines[shard].snapshot_state())
+        store = self._stores[shard]
+        if full or not store.has_checkpoint or store.wants_compaction:
+            cp = store.checkpoint_state(self.engines[shard].snapshot_state())
+            issued, incremental = cp.tasks_issued, False
+        else:
+            delta = self.engines[shard].snapshot_delta(store.since_tick)
+            _tick, issued = store.checkpoint_delta(delta)
+            incremental = True
         self.bus.publish(
             CheckpointTaken(
-                tick=self._clock, shard=shard, tasks_issued=cp.tasks_issued
+                tick=self._clock,
+                shard=shard,
+                tasks_issued=issued,
+                incremental=incremental,
             )
         )
 
@@ -795,57 +975,150 @@ class ShardedWBCServer:
         )
 
     def restore_shard(self, shard: int) -> None:
-        """Rebuild a crashed shard: fresh engine, restore the latest
-        checkpoint, replay the op journal deterministically, then audit
-        that the rebuilt shard issued exactly the indices the journal
-        says it did (``checkpoint + #request ops``) -- the no-double-issue
-        guarantee across a crash.  Event forwarding to the global bus is
-        re-attached only *after* replay, so replayed history is not
-        re-published."""
+        """Blocking rebuild of a crashed shard: :meth:`begin_restore`
+        then :meth:`restore_step` until the replay queue drains.  The
+        rebuilt shard is audited to have issued exactly the indices the
+        log says it should (``checkpoint + #request ops``) -- the
+        no-double-issue guarantee across a crash -- and to have rejoined
+        the global clock.  Event forwarding to the global bus is attached
+        only *after* replay, so replayed history is not re-published."""
+        self.begin_restore(shard)
+        while not self.restore_step(shard):
+            pass
+
+    def begin_restore(self, shard: int) -> None:
+        """Start a *streaming* restore of a crashed shard: restore the
+        base checkpoint into a fresh engine (in-process or worker-side),
+        queue the log's delta segments and journaled ops for replay, and
+        install the ``RESTORING`` sentinel -- the shard immediately
+        serves registrations (buffered onto the replay queue) while
+        everything else keeps failing with the transient
+        :class:`~repro.errors.ShardDownError`.  Drive the replay with
+        :meth:`restore_step`."""
         self._check_shard(shard)
         if self._alive[shard]:
             raise RecoveryError(f"shard {shard} is not down")
+        if shard in self._restoring:
+            raise RecoveryError(f"shard {shard} is already restoring")
         store = self._stores[shard]
-        cp = store.latest()
-        ops = store.ops()
-        expected = cp.tasks_issued + sum(
-            1 if op[0] == "request" else len(op[1])
-            for op in ops
-            if op[0] in ("request", "requests")
-        )
+        base = store.base_state()
         if self._workers is None:
             engine = self._fresh_engine(shard)
-            engine.restore_state(cp.state)
-            replayed = replay(engine, ops)
-            issued = len(engine.ledger.tasks())
-            clock = engine.clock
+            engine.restore_state(base)
         else:
             worker_index = shard % len(self._workers)
             handle = self._workers[worker_index]
             if not handle.alive:
                 # Respawn empty: the other shards this worker hosted are
                 # down too (marked when the process died) and will be
-                # restored into the fresh process by their own
-                # restore_shard calls.
+                # restored into the fresh process by their own restores.
                 handle = WorkerHandle({})
                 self._workers[worker_index] = handle
-            replayed, issued, clock = self._restore_in_worker(
-                shard, handle, cp, ops
+            self._restore_request(
+                shard, ("restore_begin", shard, self._spec_for(shard), base)
             )
-        if issued != expected:
-            raise RecoveryError(
-                f"shard {shard} replay issued {issued} tasks, journal "
-                f"implies {expected} (checkpoint {cp.tasks_issued} + "
-                f"{expected - cp.tasks_issued} requests)"
+            engine = None
+        session = _RestoreSession(
+            shard=shard,
+            engine=engine,
+            checkpoint_tick=store.checkpoint_tick,
+            base_issued=store.checkpoint_issued,
+        )
+        for segment in store.segments():
+            session.queue.append(("delta", segment))
+        for op in store.ops():
+            session.enqueue_op(op)
+        self._restoring[shard] = session
+        self.engines[shard] = _RestoringShard(shard, session)  # type: ignore[assignment]
+        self.bus.publish(
+            ShardRestoring(
+                tick=self._clock,
+                shard=shard,
+                segments=store.segment_count,
+                pending_ops=store.pending_ops,
             )
-        if clock != self._clock:
-            raise RecoveryError(
-                f"shard {shard} replay ended at tick {clock}, "
-                f"global clock is {self._clock}"
-            )
+        )
+
+    def restore_step(self, shard: int, max_items: int | None = None) -> bool:
+        """Apply up to *max_items* queued restore items (delta segments,
+        then journaled ops, then whatever arrived since) to the
+        rebuilding engine; ``None`` drains the whole queue.  Returns
+        ``True`` once the restore completed -- queue empty, audits
+        passed, shard alive again.  A replay divergence aborts the
+        restore (the half-rebuilt engine is discarded; the shard is
+        plain-down again) and raises
+        :class:`~repro.errors.RecoveryError`."""
+        self._check_shard(shard)
+        session = self._restoring.get(shard)
+        if session is None:
+            raise RecoveryError(f"shard {shard} is not restoring")
+        budget = len(session.queue) if max_items is None else max_items
+        try:
+            if self._workers is None:
+                while budget > 0 and session.queue:
+                    kind, item = session.queue.popleft()
+                    if kind == "delta":
+                        session.engine.apply_delta(item)
+                    else:
+                        try:
+                            apply_op(session.engine, item)
+                        except Exception as exc:
+                            raise RecoveryError(
+                                f"journal replay diverged at op "
+                                f"{session.replayed_ops} ({item[0]!r}): {exc}"
+                            ) from exc
+                        session.replayed_ops += 1
+                    budget -= 1
+            else:
+                chunk = []
+                while budget > 0 and session.queue:
+                    chunk.append(session.queue.popleft())
+                    budget -= 1
+                if chunk:
+                    self._restore_request(shard, ("restore_apply", shard, chunk))
+                    session.replayed_ops += sum(
+                        1 for kind, _item in chunk if kind == "op"
+                    )
+        except Exception:
+            self._abort_restore(shard)
+            raise
+        if session.queue:
+            return False
+        self._finish_restore(shard)
+        return True
+
+    def _finish_restore(self, shard: int) -> None:
+        """The replay queue drained: audit the rebuilt engine (issued
+        exactly ``base + #request ops``; clock rejoined the global clock)
+        and swap it into the engine slot, re-attaching event forwarding."""
+        session = self._restoring[shard]
+        try:
+            if self._workers is None:
+                issued = session.engine.ledger.tasks_issued_count()
+                clock = session.engine.clock
+            else:
+                issued, clock = self._restore_request(
+                    shard, ("restore_finish", shard)
+                )
+            expected = session.base_issued + session.request_ops
+            if issued != expected:
+                raise RecoveryError(
+                    f"shard {shard} replay issued {issued} tasks, journal "
+                    f"implies {expected} (checkpoint {session.base_issued} + "
+                    f"{session.request_ops} requests)"
+                )
+            if clock != self._clock:
+                raise RecoveryError(
+                    f"shard {shard} replay ended at tick {clock}, "
+                    f"global clock is {self._clock}"
+                )
+        except Exception:
+            self._abort_restore(shard)
+            raise
+        self._restoring.pop(shard)
         if self._workers is None:
-            engine.bus.forward_to(self.bus, shard=shard)
-            self.engines[shard] = engine
+            session.engine.bus.forward_to(self.bus, shard=shard)
+            self.engines[shard] = session.engine
         else:
             self.engines[shard] = _RemoteShard(self, shard)  # type: ignore[assignment]
         self._alive[shard] = True
@@ -853,21 +1126,34 @@ class ShardedWBCServer:
             ShardRestored(
                 tick=self._clock,
                 shard=shard,
-                checkpoint_tick=cp.tick,
-                replayed_ops=replayed,
+                checkpoint_tick=session.checkpoint_tick,
+                replayed_ops=session.replayed_ops,
             )
         )
 
-    def _restore_in_worker(self, shard, handle, cp, ops) -> tuple[int, int, int]:
-        """Rebuild *shard* inside *handle*'s worker process and return
-        ``(replayed, issued, clock)`` as measured on the rebuilt engine.
-        The worker attaches its event tap only after replay, so replayed
-        history is not re-published -- same discipline as the in-process
-        restore."""
+    # reprolint: allow[R005] not a state transition: the shard was already
+    # down (its ShardCrashed published at crash time); abort just discards
+    # the half-rebuilt engine, and the raised error is the caller's signal
+    def _abort_restore(self, shard: int) -> None:
+        """A streaming restore failed: discard the half-rebuilt engine
+        and return the shard to plain-down (its store is untouched, so a
+        fresh restore can start over)."""
+        self._restoring.pop(shard, None)
+        self.engines[shard] = _DeadShard(shard)  # type: ignore[assignment]
+        if self._workers is not None:
+            handle = self._handle_for(shard)
+            if handle.alive:
+                try:
+                    _status, _payload, events = handle.request(("drop", shard))
+                    self._republish(events)
+                except ShardDownError:
+                    self._mark_worker_dead(handle)
+
+    def _restore_request(self, shard: int, message: tuple):
+        """One restore-protocol message to *shard*'s host worker."""
+        handle = self._handle_for(shard)
         try:
-            status, payload, events = handle.request(
-                ("restore", shard, self._spec_for(shard), cp.state, ops)
-            )
+            status, payload, events = handle.request(message)
         except ShardDownError:
             raise RecoveryError(
                 f"worker process died while restoring shard {shard}"
@@ -875,8 +1161,7 @@ class ShardedWBCServer:
         self._republish(events)
         if status == "err":
             raise payload
-        issued, clock, replayed = payload
-        return replayed, issued, clock
+        return payload
 
     # ------------------------------------------------------------------
 
@@ -904,7 +1189,7 @@ class ShardedWBCServer:
         consumed volunteer ids and registration sequence numbers are
         burned, never reused -- so a retried round gets fresh ids and
         identical routing behavior to any other round."""
-        alive = self.alive_shards()
+        alive = self.routable_shards()
         if not alive:
             raise AllocationError("every shard is down; nothing can register")
         ids: list[int] = []
@@ -940,8 +1225,8 @@ class ShardedWBCServer:
         try:
             for shard, (batch, batch_ids) in per_shard.items():
                 self.engines[shard].register_round(batch, ids=batch_ids)
-                self._stores[shard].journal(
-                    ["register", [p.to_state() for p in batch], batch_ids]
+                self._journal(
+                    shard, ["register", [p.to_state() for p in batch], batch_ids]
                 )
                 committed.append(shard)
         except Exception:
@@ -972,12 +1257,12 @@ class ShardedWBCServer:
                     self.engines[shard].depart(vid)
                 except ShardDownError:
                     pass
-                self._stores[shard].journal(["depart", vid])
+                self._journal(shard, ["depart", vid])
 
     def depart(self, volunteer_id: int) -> None:
         shard = self.shard_of(volunteer_id)
         self.engine_of(volunteer_id).depart(volunteer_id)
-        self._stores[shard].journal(["depart", volunteer_id])
+        self._journal(shard, ["depart", volunteer_id])
 
     # ------------------------------------------------------------------
 
@@ -986,7 +1271,7 @@ class ShardedWBCServer:
         global index."""
         shard = self.shard_of(volunteer_id)
         task = self.engine_of(volunteer_id).request_task(volunteer_id)
-        self._stores[shard].journal(["request", volunteer_id])
+        self._journal(shard, ["request", volunteer_id])
         return task
 
     def reap_expired(self) -> list[Task]:
@@ -995,14 +1280,14 @@ class ShardedWBCServer:
         reissued: list[Task] = []
         for shard in self.alive_shards():
             reissued.extend(self.engines[shard].reap_expired())
-            self._stores[shard].journal(["reap"])
+            self._journal(shard, ["reap"])
         return reissued
 
     def mark_corrupted(self, volunteer_id: int, error_rate: float) -> VolunteerProfile:
         """Flip a volunteer malicious mid-run (the fault injector's hook)."""
         shard = self.shard_of(volunteer_id)
         profile = self.engine_of(volunteer_id).mark_corrupted(volunteer_id, error_rate)
-        self._stores[shard].journal(["corrupt", volunteer_id, error_rate])
+        self._journal(shard, ["corrupt", volunteer_id, error_rate])
         if self._workers is not None:
             self._mirror.note_profile(volunteer_id, profile)
         return profile
@@ -1037,7 +1322,7 @@ class ShardedWBCServer:
         backoff."""
         shard, _local, engine = self._engine_for_index(task_index)
         engine.submit_result(volunteer_id, task_index, result)
-        self._stores[shard].journal(["submit", volunteer_id, task_index, result])
+        self._journal(shard, ["submit", volunteer_id, task_index, result])
 
     # -- batched entry points ------------------------------------------
     #
@@ -1095,7 +1380,7 @@ class ShardedWBCServer:
                     if ok:
                         ok_vids.append(vid)
                 if ok_vids:
-                    self._stores[shard].journal(["requests", ok_vids])
+                    self._journal(shard, ["requests", ok_vids])
         return results
 
     def submit_results(
@@ -1152,7 +1437,7 @@ class ShardedWBCServer:
                     else:
                         results[pos] = value
                 if ok_triples:
-                    self._stores[shard].journal(["submits", ok_triples])
+                    self._journal(shard, ["submits", ok_triples])
         return results
 
     def attribute_many(self, task_indices: list[int]) -> list[int]:

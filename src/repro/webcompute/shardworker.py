@@ -19,9 +19,12 @@ the process boundary:
   serial router would construct.
 * :func:`worker_main` -- the worker process loop: applies journal-grammar
   ops to its hosted engines, answers read-only queries, rebuilds a shard
-  from checkpoint + journal replay on restore, and returns every event its
-  engines published (the parent re-publishes them onto the global bus, so
-  the typed event stream survives the process boundary).
+  via the streaming-restore protocol (``restore_begin`` installs the base
+  checkpoint, ``restore_apply`` folds delta segments and replays journaled
+  ops in arrival order, ``restore_finish`` promotes the engine and attaches
+  its event tap), and returns every event its engines published (the
+  parent re-publishes them onto the global bus, so the typed event stream
+  survives the process boundary).
 * :class:`WorkerHandle` -- the parent-side endpoint: one child process +
   one duplex pipe, with split ``start``/``finish`` so the router can fan a
   batch out to every worker before collecting any reply (the overlap that
@@ -46,7 +49,7 @@ from repro.apf.base import AdditivePairingFunction
 from repro.core.base import PairingFunction
 from repro.errors import AllocationError, RecoveryError, ShardDownError
 from repro.webcompute.engine import AllocationEngine, IndexCodec
-from repro.webcompute.recovery import replay
+from repro.webcompute.recovery import apply_op
 from repro.webcompute.volunteer import VolunteerProfile
 
 __all__ = ["shard_codec", "EngineSpec", "WorkerHandle", "WorkerDiedError", "worker_main"]
@@ -149,6 +152,7 @@ _QUERIES = {
     "locate": lambda e, index: e.locate(index),
     "task": lambda e, index: e.ledger.task(index),
     "snapshot_state": lambda e: e.snapshot_state(),
+    "snapshot_delta": lambda e, since: e.snapshot_delta(since),
     "seated_volunteers": lambda e: e.frontend.seated_volunteers(),
     "row_of": lambda e, vid: e.frontend.row_of(vid),
     "volunteer_for": lambda e, row, serial: e.frontend.volunteer_for(row, serial),
@@ -165,6 +169,7 @@ def worker_main(conn, specs: dict[int, EngineSpec]) -> None:
     journal replay, so replayed history is never re-published -- the same
     discipline as the serial ``restore_shard``."""
     engines: dict[int, AllocationEngine] = {}
+    restoring: dict[int, AllocationEngine] = {}
     pending_events: list[tuple[int, Any]] = []
 
     def attach(shard: int, engine: AllocationEngine) -> None:
@@ -216,17 +221,43 @@ def worker_main(conn, specs: dict[int, EngineSpec]) -> None:
                 if engine is None:
                     raise ShardDownError(f"shard {shard} is not hosted")
                 reply = ("ok", _QUERIES[name](engine, *args), drain())
-            elif kind == "restore":
-                _kind, shard, spec, state, ops = message
+            elif kind == "restore_begin":
+                _kind, shard, spec, state = message
                 engine = spec.build()
                 engine.restore_state(state)
-                replayed = replay(engine, ops)
+                restoring[shard] = engine
+                reply = ("ok", None, drain())
+            elif kind == "restore_apply":
+                _kind, shard, items = message
+                engine = restoring.get(shard)
+                if engine is None:
+                    raise RecoveryError(f"shard {shard} is not restoring here")
+                applied = 0
+                for item_kind, item in items:
+                    if item_kind == "delta":
+                        engine.apply_delta(item)
+                    else:
+                        try:
+                            apply_op(engine, item)
+                        except Exception as exc:
+                            raise RecoveryError(
+                                f"journal replay diverged at op {applied} "
+                                f"({item[0]!r}): {exc}"
+                            ) from exc
+                        applied += 1
+                reply = ("ok", applied, drain())
+            elif kind == "restore_finish":
+                shard = message[1]
+                engine = restoring.pop(shard, None)
+                if engine is None:
+                    raise RecoveryError(f"shard {shard} is not restoring here")
                 attach(shard, engine)
                 engines[shard] = engine
-                issued = len(engine.ledger.tasks())
-                reply = ("ok", (issued, engine.clock, replayed), drain())
+                issued = engine.ledger.tasks_issued_count()
+                reply = ("ok", (issued, engine.clock), drain())
             elif kind == "drop":
                 engines.pop(message[1], None)
+                restoring.pop(message[1], None)
                 reply = ("ok", None, drain())
             elif kind == "stop":
                 conn.send(("ok", None, drain()))

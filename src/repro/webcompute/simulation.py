@@ -87,6 +87,7 @@ class SimulationConfig:
     shards: int = 1  # > 1 drives a ShardedWBCServer
     lease_ticks: int | None = None  # task-lease length (None = no leases)
     checkpoint_every: int | None = None  # periodic shard checkpoints
+    compact_every: int | None = 8  # full rebase after this many deltas
     faults: str = ""  # FaultSpec grammar (see repro.webcompute.faults)
     workers: int | None = None  # worker processes (None = in-process)
 
@@ -193,6 +194,7 @@ class WBCSimulation:
                 seed=config.seed,
                 lease_ticks=config.lease_ticks,
                 checkpoint_every=config.checkpoint_every,
+                compact_every=config.compact_every,
                 workers=config.workers,
             )
         else:

@@ -1,0 +1,41 @@
+"""R003 delta fixture: a *complete* full snapshot hiding a broken
+incremental protocol.
+
+``snapshot_state`` / ``restore_state`` cover every attribute, so the
+pre-delta R003 (full-snapshot pass only) analyzes this file clean.  The
+delta pair is broken in both directions:
+
+* ``snapshot_delta`` emits ``_strikes`` (line 20) but ``apply_delta``
+  never applies it -- an incrementally restored replica silently loses
+  every strike recorded since its base checkpoint.
+* ``apply_delta`` writes ``_leases`` (line 21) but ``snapshot_delta``
+  never emits it -- no delta produced by this class can ever carry a
+  lease, so that apply branch is dead and the replica's leases go stale.
+"""
+
+
+class Engine:
+    def __init__(self, seed):
+        self.clock = 0
+        self._strikes = {}  # emitted by snapshot_delta, never applied
+        self._leases = {}  # applied by apply_delta, never emitted
+
+    def snapshot_state(self):
+        return {
+            "clock": self.clock,
+            "strikes": dict(self._strikes),
+            "leases": dict(self._leases),
+        }
+
+    def restore_state(self, state):
+        self.clock = state["clock"]
+        self._strikes = dict(state["strikes"])
+        self._leases = dict(state["leases"])
+
+    def snapshot_delta(self, since):
+        return {"clock": self.clock, "strikes": dict(self._strikes)}
+
+    def apply_delta(self, delta):
+        self.clock = delta["clock"]
+        for vid, expiry in delta.get("leases", {}).items():
+            self._leases[vid] = expiry

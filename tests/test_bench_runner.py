@@ -67,6 +67,8 @@ def test_smoke_run_writes_schema_and_record(bench_runner, tmp_path):
     recovery_rows = scenarios["fault_recovery"]
     assert set(recovery_rows) == {
         f"shards_{s}" for s in bench_runner.FAULT_SHARD_COUNTS
+    } | {
+        f"volunteers_{v}" for v in bench_runner.FAULT_VOLUNTEER_COUNTS_SMOKE
     }
     for row in recovery_rows.values():
         assert row["unique_after_restore"] is True
@@ -74,6 +76,14 @@ def test_smoke_run_writes_schema_and_record(bench_runner, tmp_path):
         assert row["bounce_s"] > 0
         assert row["replayed_ops"] > 0
         assert row["state_bytes_per_shard"] > 0
+        # One epoch of delta is persisted and strictly smaller than the
+        # full blob (the <= 25% gate runs on the committed full run,
+        # where real state dwarfs the fixed rng-state overhead).
+        assert 0 < row["incremental_bytes_per_shard"]
+        assert 0 < row["incremental_fraction"] < 1
+    for v in bench_runner.FAULT_VOLUNTEER_COUNTS_SMOKE:
+        assert recovery_rows[f"volunteers_{v}"]["volunteers"] == v
+        assert recovery_rows[f"volunteers_{v}"]["shards"] == 4
     # No monotonicity assertion on max_task_index: sharding *lowers*
     # per-engine row numbers (cheaper strides) while the square-shell
     # composition inflates the composed index -- which effect wins is
@@ -81,6 +91,10 @@ def test_smoke_run_writes_schema_and_record(bench_runner, tmp_path):
     lint = scenarios["staticcheck"]
     assert lint["pass"] is True
     assert lint["unsuppressed_findings"] == 0
+    waivers = lint["waivers"]
+    assert waivers["total"] == sum(waivers["by_rule"].values())
+    assert waivers["total"] == sum(waivers["by_module"].values())
+    assert all(rule.startswith("R") for rule in waivers["by_rule"])
     assert lint["warm_hit_rate"] == 1.0
     # Loose bound for a single smoke-timed measurement; the committed
     # full run is gated at >= 5x below.
@@ -138,6 +152,41 @@ def test_committed_shard_scaling_gate(bench_runner):
         tps = {s: rows[f"parallel_{s}"]["tasks_per_second"] for s in (1, 4, 16)}
         assert tps[4] >= 2 * tps[1], f"4-shard pool not scaling: {tps}"
         assert tps[16] >= tps[4], f"16-shard pool regressed: {tps}"
+
+
+def test_committed_incremental_checkpoint_gate(bench_runner):
+    """The log-structured checkpoint acceptance numbers, from the newest
+    committed run (which must be a full run): at the 32-volunteer
+    scenario, one epoch of incremental delta persists <= 25% of the full
+    snapshot bytes.  Only the 32-volunteer rows are gated -- at toy
+    scale the delta is dominated by the fixed-size verification rng
+    state, so smaller rows measure overhead, not the protocol."""
+    committed = _RUNNER.parent / "BENCH_eval.json"
+    latest = json.loads(committed.read_text())["runs"][-1]
+    assert latest["mode"] == "full", "committed trajectory must end on a full run"
+    recovery = latest["scenarios"]["fault_recovery"]
+    gated = [row for row in recovery.values() if row["volunteers"] == 32]
+    assert gated, "full runs must measure the 32-volunteer scenario"
+    for row in gated:
+        assert row["incremental_bytes_per_shard"] > 0
+        assert row["incremental_fraction"] <= 0.25, (
+            f"shards={row['shards']}: one epoch of delta is "
+            f"{row['incremental_fraction']:.0%} of the full snapshot "
+            f"({row['incremental_bytes_per_shard']} of "
+            f"{row['state_bytes_per_shard']} bytes)"
+        )
+
+
+def test_committed_waiver_census(bench_runner):
+    """The newest committed run carries the reprolint waiver census, and
+    its internal sums agree -- the escape-hatch count is reviewed
+    trajectory history, not invisible drift."""
+    committed = _RUNNER.parent / "BENCH_eval.json"
+    latest = json.loads(committed.read_text())["runs"][-1]
+    waivers = latest["scenarios"]["staticcheck"]["waivers"]
+    assert waivers["total"] == sum(waivers["by_rule"].values())
+    assert waivers["total"] == sum(waivers["by_module"].values())
+    assert latest["scenarios"]["staticcheck"]["unsuppressed_findings"] == 0
 
 
 def test_committed_staticcheck_cache_gate(bench_runner):

@@ -5,8 +5,10 @@
 register / request / submit / depart / tick vocabulary, same invariants
 -- but drives a :class:`~repro.webcompute.sharding.ShardedWBCServer`
 with leases and periodic checkpoints, and mixes in the fault rules:
-crash a shard, restore it from checkpoint + journal replay, run the
-lease reaper, and let a reissue target return someone else's task.
+crash a shard, restore it from checkpoint + journal replay (blocking or
+as a *streaming* restore driven a few items per step, with registration
+rounds landing on the shard mid-replay), run the lease reaper, and let
+a reissue target return someone else's task.
 
 After *every* step, Hypothesis re-checks the inherited invariants:
 
@@ -78,12 +80,25 @@ class ChaosServerMachine(AccountableServerMachine):
 
     @rule(shard=st.integers(0, SHARDS - 1))
     def restore(self, shard):
-        if not self.server.is_shard_alive(shard):
+        if not self.server.is_shard_alive(shard) and not self.server.is_shard_restoring(shard):
             # restore_shard itself audits the no-double-issue property
             # (checkpoint + #request ops) and raises RecoveryError on
             # any divergence -- reaching the invariants below means the
             # audit passed.
             self.server.restore_shard(shard)
+
+    @rule(shard=st.integers(0, SHARDS - 1))
+    def begin_streaming_restore(self, shard):
+        if not self.server.is_shard_alive(shard) and not self.server.is_shard_restoring(shard):
+            self.server.begin_restore(shard)
+
+    @rule(items=st.integers(1, 4))
+    def step_streaming_restores(self, items):
+        # The same audit as the blocking restore runs when a stream's
+        # queue drains; interleaved registers/ticks keep extending it.
+        for shard in range(SHARDS):
+            if self.server.is_shard_restoring(shard):
+                self.server.restore_step(shard, max_items=items)
 
     @rule()
     def reap(self):
@@ -115,6 +130,15 @@ class ChaosServerMachine(AccountableServerMachine):
     def live_shards_share_the_clock(self):
         for shard in self.server.alive_shards():
             assert self.server.engines[shard].clock == self.server.clock
+
+    @invariant()
+    def restoring_shards_stay_routable(self):
+        # Degraded service: a mid-restore shard is not alive, but it is
+        # in the registration routing set (and nowhere else).
+        for shard in range(SHARDS):
+            if self.server.is_shard_restoring(shard):
+                assert not self.server.is_shard_alive(shard)
+                assert shard in self.server.routable_shards()
 
     @invariant()
     def restores_never_resurrect(self):

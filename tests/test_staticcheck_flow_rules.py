@@ -138,6 +138,43 @@ class TestR003ReadButDropped:
         assert len(result.findings) == 1
 
 
+class TestR003DeltaProtocol:
+    CONFIG = ReprolintConfig()
+
+    def test_full_snapshot_pass_misses_it(self):
+        """The pre-delta R003 only audits snapshot_state/restore_state;
+        the fixture's full snapshot is complete, so every attribute
+        counts as persisted and the broken delta pair goes unseen."""
+        methods = _methods(_parse("r003_delta.py"), "Engine")
+        persisted = _self_attrs_touched(methods["snapshot_state"])
+        persisted |= _self_attrs_touched(methods["restore_state"])
+        missing = set(_self_attr_assignments(methods["__init__"])) - persisted
+        assert missing == set(), "the full-snapshot pass sees nothing wrong"
+
+    def test_delta_pass_flags_both_directions(self):
+        result = analyze_paths(
+            [FIXTURES / "r003_delta.py"], config=self.CONFIG, rules=["R003"]
+        )
+        assert [f.line for f in result.findings] == [20, 21]
+        emit_side, apply_side = result.findings
+        assert (
+            "snapshot_delta emits self._strikes but apply_delta never "
+            "applies it" in emit_side.message
+        )
+        assert (
+            "apply_delta writes self._leases but snapshot_delta never "
+            "emits it" in apply_side.message
+        )
+
+    def test_clock_stays_legal(self):
+        # self.clock is emitted by snapshot_delta AND written by
+        # apply_delta: exactly the two broken attributes are flagged.
+        result = analyze_paths(
+            [FIXTURES / "r003_delta.py"], config=self.CONFIG, rules=["R003"]
+        )
+        assert all("self.clock" not in f.message for f in result.findings)
+
+
 class TestR005AliasedMutation:
     CONFIG = ReprolintConfig(event_classes=("AllocationEngine",))
 

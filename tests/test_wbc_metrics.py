@@ -65,10 +65,11 @@ class TestTimelineSemantics:
         server, _good, bad = scripted_server()
         state = server.ledger.snapshot_state()
         # Reconstructed-state scenario: the first bad return (tick 1)
-        # lost its return tick.
+        # lost its return tick.  Task rows are the compact 11-tuples:
+        # [index, volunteer_id, serial, issued_at, status, returned_at, ...].
         for t in state["tasks"]:
-            if t["volunteer_id"] == bad and t["returned_at"] == 1:
-                t["returned_at"] = None
+            if t[1] == bad and t[5] == 1:
+                t[5] = None
         server.ledger.restore_state(state)
         f = volunteer_forensics(server, bad)
         assert f.bad_returns == 2  # both bad returns still count as pollution
@@ -80,8 +81,8 @@ class TestTimelineSemantics:
         server, _good, bad = scripted_server()
         state = server.ledger.snapshot_state()
         for t in state["tasks"]:
-            if t["volunteer_id"] == bad:
-                t["returned_at"] = None
+            if t[1] == bad:
+                t[5] = None
         server.ledger.restore_state(state)
         f = volunteer_forensics(server, bad)
         assert f.bad_returns == 2

@@ -382,6 +382,112 @@ def scenario_fault_recovery(smoke: bool, repeats: int) -> dict:
     return out
 
 
+#: Codecs raced by the shootout: the paper's square-shell baseline, the
+#: two classic shell-walkers, and the ratio-16 binary-proportional
+#: composer (arXiv:1809.06876) tuned for the few-shards/many-tasks shape.
+CODEC_SHOOTOUT = ["square-shell", "rosenberg-strong", "szudzik", "binprop-16"]
+#: Shard count the shootout runs at (the widest point of shard_scaling).
+CODEC_SHOOTOUT_SHARDS = 16
+
+
+def scenario_codec_shootout(smoke: bool, repeats: int) -> dict:
+    """The pluggable-codec race: one seeded 16-shard WBC workload per
+    registered composer, plus composer micro-costs.  Because volunteer
+    behaviour never reads the index *value*, every codec must complete the
+    identical task trace -- the only thing allowed to move is the global
+    index footprint, which is the whole point of swapping composers.
+
+    Per codec the row records throughput, the minted ``max_task_index``
+    and its bit width, raw composer encode/decode ns-per-op over the
+    shard-composition shape (row = shard+1, so a 16-shard service
+    exercises rows 1..16 with unbounded columns), and the closed-form
+    ``spread_for_shape(shards, locals)`` footprint as the analytic twin
+    of the measured width.  Three hard gates ride along (same contract
+    as the kernel-consistency gate): any attribution failure raises,
+    a codec whose ``tasks_completed`` differs from the square-shell
+    baseline raises (behaviour must be codec-independent), and a
+    binprop-16 index width above square-shell's raises -- the ratio
+    composer exists to shrink the footprint, so regressing it is a bug.
+    """
+    from repro.apf.families import TSharp
+    from repro.webcompute.codecs import composer_for
+    from repro.webcompute.simulation import SimulationConfig, WBCSimulation
+
+    ticks = 30 if smoke else 160
+    volunteers = 12 if smoke else 40
+    micro = 64 if smoke else 1024
+    shards = CODEC_SHOOTOUT_SHARDS
+    positions = [
+        (shard + 1, local)
+        for shard in range(shards)
+        for local in range(1, micro // shards + 1)
+    ]
+    rows: dict[str, dict] = {}
+    for codec in CODEC_SHOOTOUT:
+        config = SimulationConfig(
+            ticks=ticks,
+            initial_volunteers=volunteers,
+            seed=2002,
+            departure_rate=0.01,
+            shards=shards,
+            codec=codec,
+        )
+        outcome = None
+        wall_s = float("inf")
+        for _ in range(repeats):
+            sim = WBCSimulation(TSharp(), config)
+            try:
+                t0 = time.perf_counter()
+                outcome = sim.run()
+                wall_s = min(wall_s, time.perf_counter() - t0)
+            finally:
+                sim.close()
+        if outcome.attribution_failures:
+            raise AssertionError(
+                f"codec={codec}: {outcome.attribution_failures} attribution "
+                f"failures out of {outcome.attribution_checks} checks"
+            )
+        composer = composer_for(codec)
+        addresses = [composer.pair(x, y) for x, y in positions]
+        encode_s = _best_seconds(
+            lambda: [composer.pair(x, y) for x, y in positions], repeats
+        )
+        decode_s = _best_seconds(
+            lambda: [composer.unpair(z) for z in addresses], repeats
+        )
+        rows[codec] = {
+            "ticks": ticks,
+            "volunteers": outcome.volunteers_total,
+            "tasks_completed": outcome.tasks_completed,
+            "wall_s": wall_s,
+            "tasks_per_second": outcome.tasks_completed / wall_s if wall_s else 0.0,
+            "max_task_index": outcome.max_task_index,
+            "max_task_index_bits": outcome.max_task_index.bit_length(),
+            "attribution_checks": outcome.attribution_checks,
+            "attribution_failures": outcome.attribution_failures,
+            "encode_ns_per_op": encode_s / len(positions) * 1e9,
+            "decode_ns_per_op": decode_s / len(addresses) * 1e9,
+            "spread_shape_bits": composer.spread_for_shape(
+                shards, micro // shards
+            ).bit_length(),
+        }
+    baseline = rows["square-shell"]
+    for codec, row in rows.items():
+        if row["tasks_completed"] != baseline["tasks_completed"]:
+            raise AssertionError(
+                f"codec={codec}: completed {row['tasks_completed']} tasks, "
+                f"square-shell baseline {baseline['tasks_completed']} -- "
+                "behaviour must be codec-independent"
+            )
+    if rows["binprop-16"]["max_task_index_bits"] > baseline["max_task_index_bits"]:
+        raise AssertionError(
+            f"binprop-16 minted {rows['binprop-16']['max_task_index_bits']}-bit "
+            f"indices, square-shell {baseline['max_task_index_bits']}-bit -- "
+            "the ratio composer must not widen the footprint"
+        )
+    return {"shards": shards, "rows": rows}
+
+
 def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
     """reprolint over the library tree, in the modes the v2 runner
     supports: cold (no cache), warm (full cache hits, which must
@@ -529,6 +635,7 @@ def build_run(smoke: bool, repeats: int) -> dict:
             "batch_speed": scenario_batch_speed(smoke, repeats),
             "spread_compactness": scenario_spread_compactness(smoke, repeats),
             "shard_scaling": scenario_shard_scaling(smoke, repeats),
+            "codec_shootout": scenario_codec_shootout(smoke, repeats),
             "fault_recovery": scenario_fault_recovery(smoke, repeats),
             "staticcheck": scenario_staticcheck(smoke, repeats),
         },
@@ -576,6 +683,16 @@ def main(argv: list[str] | None = None) -> int:
             f"  wbc shards={row['shards']} ({mode}): "
             f"{row['tasks_per_second']:.0f} tasks/s, "
             f"max index {row['max_task_index_bits']} bits, "
+            f"{row['attribution_failures']} attribution failures"
+        )
+    shootout = run["scenarios"]["codec_shootout"]
+    for name, row in shootout["rows"].items():
+        print(
+            f"  codec {name} @ {shootout['shards']} shards: "
+            f"{row['tasks_completed']} tasks, "
+            f"max index {row['max_task_index_bits']} bits, "
+            f"encode {row['encode_ns_per_op']:.0f} ns, "
+            f"decode {row['decode_ns_per_op']:.0f} ns, "
             f"{row['attribution_failures']} attribution failures"
         )
     for row in run["scenarios"]["fault_recovery"].values():

@@ -43,16 +43,19 @@ from repro.errors import (
 )
 from repro.core import (
     AspectRatioPairing,
+    BinaryProportionalPairing,
     DiagonalPairing,
     DiagonalPairingTwin,
     DovetailMapping,
     HyperbolicPairing,
     PairingFunction,
+    RosenbergStrongPairing,
     ShellConstructedPairing,
     ShellOrder,
     SquareShellPairing,
     SquareShellPairingTwin,
     StorageMapping,
+    SzudzikElegantPairing,
     available_names,
     get_pairing,
 )
@@ -88,6 +91,9 @@ __all__ = [
     "SquareShellPairingTwin",
     "HyperbolicPairing",
     "AspectRatioPairing",
+    "SzudzikElegantPairing",
+    "RosenbergStrongPairing",
+    "BinaryProportionalPairing",
     "DovetailMapping",
     "ShellConstructedPairing",
     "ShellOrder",

@@ -94,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rewrite a full checkpoint base after N "
                           "incremental delta segments (sharded only; "
                           "0 = never compact)")
+    wbc.add_argument("--codec", default=None,
+                     help="index codec composing (shard, local) into the "
+                          "global task index (square-shell, szudzik, "
+                          "rosenberg-strong, binprop-B, ...); implies the "
+                          "sharded server")
     wbc.add_argument("--workers", type=int, default=None,
                      help="run shards in N worker processes "
                           "(default: in-process, serial)")
@@ -206,6 +211,7 @@ def _cmd_wbc(
     checkpoint_every: int | None = None,
     workers: int | None = None,
     compact_every: int | None = 8,
+    codec: str | None = None,
 ) -> str:
     from repro.apf.base import AdditivePairingFunction
     from repro.webcompute.simulation import SimulationConfig, WBCSimulation
@@ -223,6 +229,7 @@ def _cmd_wbc(
         checkpoint_every=checkpoint_every,
         compact_every=compact_every,
         workers=workers,
+        codec=codec,
     )
     sim = WBCSimulation(apf, config)
     try:
@@ -242,6 +249,8 @@ def _cmd_wbc(
     ]
     if outcome.shards > 1:
         rows.insert(0, ("engine shards", outcome.shards))
+    if codec is not None:
+        rows.insert(0, ("index codec", codec))
     if workers is not None:
         rows.insert(1, ("worker processes", workers))
     if lease_ticks is not None:
@@ -396,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.checkpoint_every,
                 args.workers,
                 args.compact_every if args.compact_every != 0 else None,
+                args.codec,
             )
         )
     elif args.command == "encode":
@@ -414,7 +424,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "list":
         for name in available_names():
             print(name)
-        print("(plus parameterized: aspect-AxB, apf-bracket-C, apf-power-K)")
+        print("(plus parameterized: aspect-AxB, binprop-B, apf-bracket-C, apf-power-K)")
     elif args.command == "lint":
         from repro.staticcheck.runner import run_cli as lint_cli
 

@@ -17,6 +17,9 @@ from repro.core.diagonal import DiagonalPairing, DiagonalPairingTwin
 from repro.core.squareshell import SquareShellPairing, SquareShellPairingTwin
 from repro.core.hyperbolic import HyperbolicPairing
 from repro.core.aspectratio import AspectRatioPairing
+from repro.core.szudzik import SzudzikElegantPairing
+from repro.core.rosenbergstrong import RosenbergStrongPairing
+from repro.core.binaryproportional import BinaryProportionalPairing
 from repro.core.dovetail import DovetailMapping
 from repro.core.shells import (
     ShellOrder,
@@ -53,6 +56,9 @@ __all__ = [
     "SquareShellPairingTwin",
     "HyperbolicPairing",
     "AspectRatioPairing",
+    "SzudzikElegantPairing",
+    "RosenbergStrongPairing",
+    "BinaryProportionalPairing",
     "DovetailMapping",
     "ShellOrder",
     "ShellPartition",

@@ -24,6 +24,7 @@ from repro.core.base import (
     EXACT_SAFE_COORD_LIMIT,
     PairingFunction,
 )
+from repro.core.kernels import triangular_root_kernel
 from repro.numbertheory.integers import triangular, triangular_root
 
 __all__ = ["DiagonalPairing", "DiagonalPairingTwin"]
@@ -87,17 +88,12 @@ class DiagonalPairing(PairingFunction):
         s = x + y - 1
         return s * (s - 1) // 2 + y
 
-    # reprolint: allow[R001] float estimate + exact integer repair; the
-    # dispatcher guards z <= EXACT_SAFE_ADDRESS_LIMIT (see PR 1 tests)
     def _unpair_kernel(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         w = z - 1
-        # Float estimate of triangular root, then exact correction.  The
-        # ±1 repair is sound only inside the exact-safe address window
-        # (the dispatcher guarantees z <= EXACT_SAFE_ADDRESS_LIMIT).
-        t = ((np.sqrt(8.0 * w.astype(np.float64) + 1.0) - 1.0) / 2.0).astype(np.int64)
-        # Repair: ensure t(t+1)/2 <= w < (t+1)(t+2)/2.
-        t = np.where(t * (t + 1) // 2 > w, t - 1, t)
-        t = np.where((t + 1) * (t + 2) // 2 <= w, t + 1, t)
+        # Exact triangular root via the shared isqrt kernel (the
+        # dispatcher guarantees z <= EXACT_SAFE_ADDRESS_LIMIT, so the
+        # derived 8w + 1 stays inside the kernel's exactness domain).
+        t = triangular_root_kernel(w)
         s = t + 1
         y = z - (s - 1) * s // 2
         x = s + 1 - y

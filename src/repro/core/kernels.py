@@ -1,0 +1,49 @@
+"""Shared vectorized integer kernels for the exact-window fast paths.
+
+Every shell-walking PF inverse starts the same way: recover the shell
+index from an integer square root (or triangular root) of the address.
+The scalar paths use :func:`repro.numbertheory.integers.isqrt_exact`
+(pure bignum); the vectorized int64 kernels need the same value for a
+whole array at once.  This module centralizes the one place where a
+float estimate is allowed to appear: :func:`isqrt_kernel` computes
+``floor(sqrt(n))`` elementwise via a float64 estimate plus an exact
+integer repair, and every PF kernel derives its shell arithmetic from
+that *exact* integer result -- so the per-PF inverse kernels contain no
+float arithmetic at all.
+
+Exactness domain: IEEE-754 ``sqrt`` is correctly rounded, so for
+``0 <= n <= 2**57`` the estimate is within 1 of the true root (the
+float64 conversion of ``n`` perturbs it by at most half an ulp, and the
+root's own rounding error stays far below 1), and the +-1 repair below
+lands exactly on ``floor(sqrt(n))``.  Callers stay well inside that:
+address kernels are dispatched only for ``z <= 2**53 - 1``
+(:data:`~repro.core.base.EXACT_SAFE_ADDRESS_LIMIT`), and the largest
+derived argument is the diagonal kernel's ``8*(z-1) + 1 < 2**56``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["isqrt_kernel", "triangular_root_kernel"]
+
+
+# reprolint: allow[R001] the sanctioned float estimate: correctly
+# rounded sqrt + exact +-1 integer repair, provably exact for n <= 2**57
+# (callers are gated by the exact-safe address window)
+def isqrt_kernel(n: np.ndarray) -> np.ndarray:
+    """Elementwise ``floor(sqrt(n))`` for int64 ``n >= 0`` inside the
+    exact-safe window (see module docstring for the exactness argument).
+    """
+    r = np.sqrt(n.astype(np.float64)).astype(np.int64)
+    r = np.where(r * r > n, r - 1, r)
+    r = np.where((r + 1) * (r + 1) <= n, r + 1, r)
+    return r
+
+
+def triangular_root_kernel(w: np.ndarray) -> np.ndarray:
+    """Elementwise triangular root: the largest ``t`` with
+    ``t*(t+1)/2 <= w``, exactly, via ``(isqrt(8w + 1) - 1) // 2``.
+    Sound for ``w <= 2**53``: the derived argument ``8w + 1`` stays
+    below the 2**57 exactness bound of :func:`isqrt_kernel`."""
+    return (isqrt_kernel(8 * w + 1) - 1) // 2

@@ -41,6 +41,7 @@ def available_names() -> list[str]:
 _ASPECT_RE = re.compile(r"^aspect-(\d+)x(\d+)$")
 _BRACKET_RE = re.compile(r"^apf-bracket-(\d+)$")
 _POWER_RE = re.compile(r"^apf-power-(\d+)$")
+_BINPROP_RE = re.compile(r"^binprop-(\d+)$")
 
 _builtins_loaded = False
 
@@ -52,9 +53,12 @@ def _ensure_builtins() -> None:
         return
     _builtins_loaded = True
 
+    from repro.core.binaryproportional import BinaryProportionalPairing
     from repro.core.diagonal import DiagonalPairing, DiagonalPairingTwin
     from repro.core.hyperbolic import HyperbolicPairing
+    from repro.core.rosenbergstrong import RosenbergStrongPairing
     from repro.core.squareshell import SquareShellPairing, SquareShellPairingTwin
+    from repro.core.szudzik import SzudzikElegantPairing
     from repro.apf.families import (
         TBracket,
         TSharp,
@@ -68,6 +72,10 @@ def _ensure_builtins() -> None:
     register("square-shell", SquareShellPairing)
     register("square-shell-twin", SquareShellPairingTwin)
     register("hyperbolic", HyperbolicPairing)
+    register("szudzik", SzudzikElegantPairing)
+    register("rosenberg-strong", RosenbergStrongPairing)
+    for b in (2, 4, 16):
+        register(f"binprop-{b}", lambda b=b: BinaryProportionalPairing(b))
     register("apf-sharp", TSharp)
     register("apf-star", TStar)
     register("apf-exponential", ExponentialKappaAPF)
@@ -82,6 +90,9 @@ def get_pairing(name: str) -> StorageMapping:
 
     * ``aspect-AxB`` -- :class:`~repro.core.aspectratio.AspectRatioPairing`
       with ratio ``<A, B>`` (e.g. ``aspect-1x2``);
+    * ``binprop-B`` -- the binary-proportional
+      :class:`~repro.core.binaryproportional.BinaryProportionalPairing`
+      with shell ratio ``B`` for any positive ``B``;
     * ``apf-bracket-C`` -- the APF ``T^<C>`` for any positive ``C``;
     * ``apf-power-K`` -- the APF ``T^[K]`` for any positive ``K``.
 
@@ -99,6 +110,11 @@ def get_pairing(name: str) -> StorageMapping:
         from repro.core.aspectratio import AspectRatioPairing
 
         return AspectRatioPairing(int(m.group(1)), int(m.group(2)))
+    m = _BINPROP_RE.match(name)
+    if m:
+        from repro.core.binaryproportional import BinaryProportionalPairing
+
+        return BinaryProportionalPairing(int(m.group(1)))
     m = _BRACKET_RE.match(name)
     if m:
         from repro.apf.families import TBracket
@@ -111,5 +127,5 @@ def get_pairing(name: str) -> StorageMapping:
         return TPower(int(m.group(1)))
     raise ConfigurationError(
         f"unknown mapping name {name!r}; known: {', '.join(available_names())} "
-        "plus parameterized aspect-AxB / apf-bracket-C / apf-power-K"
+        "plus parameterized aspect-AxB / binprop-B / apf-bracket-C / apf-power-K"
     )

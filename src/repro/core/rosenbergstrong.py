@@ -1,0 +1,128 @@
+"""The Rosenberg--Strong pairing function, on the paper's 1-indexed domain.
+
+Rosenberg and Strong (1972) walk the square shells ``max(x, y)`` with one
+closed form covering both arms.  On the 0-indexed coordinates
+``u = x - 1``, ``v = y - 1``:
+
+    ``r(u, v) = m**2 + m + u - v``  where  ``m = max(u, v)``
+
+and this module shifts the bijection to the paper's 1-indexed convention
+(``pair(x, y) = r(x-1, y-1) + 1``).  The shell walk goes *up* the column
+arm (``v = m`` down to the corner) and then *out* the row arm -- the
+clockwise orientation, which makes the 1-indexed Rosenberg--Strong
+pointwise equal to the paper's own
+:class:`~repro.core.squareshell.SquareShellPairingTwin` (the clockwise
+twin of ``A_{1,1}``).  Szudzik's survey (arXiv:1706.04129) studies the
+square-shell family under exactly this name; the reproduction keeps both
+implementations -- this one from the classic ``max``-form with its own
+direct inverse, the twin by coordinate exchange -- and the contract
+battery pins their pointwise agreement as a differential test of two
+independent derivations.
+
+The inverse needs one integer square root: ``m = isqrt(z - 1)``, then the
+signed offset ``d = (z - 1) - m**2 - m = u - v`` picks the arm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import (
+    EXACT_SAFE_ADDRESS_LIMIT,
+    EXACT_SAFE_COORD_LIMIT,
+    PairingFunction,
+)
+from repro.core.kernels import isqrt_kernel
+from repro.numbertheory.integers import isqrt_exact
+
+__all__ = ["RosenbergStrongPairing"]
+
+
+class RosenbergStrongPairing(PairingFunction):
+    """The Rosenberg--Strong PF ``r(u, v) = m**2 + m + u - v``, 1-indexed.
+
+    >>> r = RosenbergStrongPairing()
+    >>> r.table(3, 3)
+    [[1, 2, 5], [4, 3, 6], [9, 8, 7]]
+    >>> r.unpair(8)
+    (3, 2)
+    >>> r.pair(3, 2)
+    8
+    """
+
+    closed_form_spread = True
+    vector_safe_max_coord = EXACT_SAFE_COORD_LIMIT
+    vector_safe_max_address = EXACT_SAFE_ADDRESS_LIMIT
+
+    @property
+    def name(self) -> str:
+        return "rosenberg-strong"
+
+    def _pair(self, x: int, y: int) -> int:
+        u = x - 1
+        v = y - 1
+        m = max(u, v)
+        return m * m + m + u - v + 1
+
+    def _unpair(self, z: int) -> tuple[int, int]:
+        # Shell m (0-indexed) holds w = z - 1 in m**2 .. m**2 + 2m.
+        w = z - 1
+        m = isqrt_exact(w)
+        d = w - m * m - m  # u - v, in -m .. m
+        if d < 0:
+            # Column arm: v = m, u = m + d.
+            return (m + d + 1, m + 1)
+        # Row arm: u = m, v = m - d.
+        return (m + 1, m - d + 1)
+
+    # -- closed-form compactness ---------------------------------------
+
+    def spread(self, n: int) -> int:
+        """``S_r(n) = r(n, 1) = n**2``: the degenerate ``n x 1`` column is
+        the worst shape, same as the square-shell family (the shells are
+        identical; only the walk differs)."""
+        if n <= 0:
+            from repro.errors import DomainError
+
+            raise DomainError(f"n must be positive, got {n}")
+        return n * n
+
+    def spread_for_shape(self, rows: int, cols: int) -> int:
+        """Largest address in a ``rows x cols`` window: the row arm's end
+        ``(rows, 1)`` dominates tall-or-square windows, the column arm's
+        ``(rows, cols)`` entry dominates wide ones."""
+        if rows <= 0 or cols <= 0:
+            from repro.errors import DomainError
+
+            raise DomainError(f"shape must be positive, got {rows}x{cols}")
+        if rows >= cols:
+            return rows * rows
+        # Shell cols - 1, column arm: r = (cols-1)**2 + (rows-1).
+        return (cols - 1) * (cols - 1) + rows
+
+    # -- vectorized batch paths ----------------------------------------
+
+    def _pair_kernel(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        u = x - 1
+        v = y - 1
+        m = np.maximum(u, v)
+        return m * m + m + u - v + 1
+
+    def _unpair_kernel(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        w = z - 1
+        m = isqrt_kernel(w)
+        d = w - m * m - m
+        column = d < 0
+        x = np.where(column, m + d, m) + 1
+        y = np.where(column, m, m - d) + 1
+        return x, y
+
+    def pair_array(self, xs, ys) -> np.ndarray:
+        """Vectorized pairing: exact int64 kernel inside the coordinate
+        window, exact scalar bignums outside it."""
+        return self._pair_array_via(xs, ys, self._pair_kernel)
+
+    def unpair_array(self, zs) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized inverse guarded by the exact-safe address window:
+        addresses past the float64 mantissa take the scalar bignum path."""
+        return self._unpair_array_via(zs, self._unpair_kernel)

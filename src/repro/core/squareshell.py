@@ -25,6 +25,7 @@ from repro.core.base import (
     EXACT_SAFE_COORD_LIMIT,
     PairingFunction,
 )
+from repro.core.kernels import isqrt_kernel
 from repro.numbertheory.integers import isqrt_exact
 
 __all__ = ["SquareShellPairing", "SquareShellPairingTwin"]
@@ -97,15 +98,10 @@ class SquareShellPairing(PairingFunction):
         m = np.maximum(x - 1, y - 1)
         return m * m + m + y - x + 1
 
-    # reprolint: allow[R001] float estimate + exact integer repair; the
-    # dispatcher guards z <= EXACT_SAFE_ADDRESS_LIMIT (see PR 1 tests)
     def _unpair_kernel(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        # Float isqrt estimate; the ±1 repair below is sound only inside
-        # the exact-safe window (the dispatcher guarantees
-        # z <= EXACT_SAFE_ADDRESS_LIMIT, so (m+1)**2 cannot overflow).
-        m = np.sqrt((z - 1).astype(np.float64)).astype(np.int64)
-        m = np.where(m * m > z - 1, m - 1, m)
-        m = np.where((m + 1) * (m + 1) <= z - 1, m + 1, m)
+        # Exact shell recovery via the shared isqrt kernel (the dispatcher
+        # guarantees z <= EXACT_SAFE_ADDRESS_LIMIT, inside its domain).
+        m = isqrt_kernel(z - 1)
         r = z - m * m
         horizontal = r <= m + 1
         x = np.where(horizontal, m + 1, 2 * m + 2 - r)

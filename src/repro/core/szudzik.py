@@ -1,0 +1,127 @@
+"""Szudzik's "elegant" pairing function, on the paper's 1-indexed domain.
+
+Szudzik (2006) walks the same square shells ``max(x, y) = 1, 2, 3, ...``
+as the paper's ``A_{1,1}`` but orders each shell differently: first the
+column arm bottom-up (``x < y``), then across the corner and down the row
+arm (``x >= y``).  On the 0-indexed coordinates ``u = x - 1``,
+``v = y - 1``:
+
+    ``E(u, v) = v**2 + u          if u < v``
+    ``E(u, v) = u**2 + u + v      if u >= v``
+
+and this module shifts the whole bijection to the paper's 1-indexed
+``N x N <-> N`` convention (``pair(x, y) = E(x-1, y-1) + 1``).  The
+inverse needs one integer square root: with ``w = z - 1`` and
+``m = isqrt(w)``, the remainder ``r = w - m**2`` is ``< m`` exactly on
+the column arm.
+
+Compactness matches the square-shell family (shell ``max(x, y) = k``
+occupies addresses ``(k-1)**2 + 1 .. k**2``); only the in-shell order --
+and therefore the per-shape spread -- differs from ``A_{1,1}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import (
+    EXACT_SAFE_ADDRESS_LIMIT,
+    EXACT_SAFE_COORD_LIMIT,
+    PairingFunction,
+)
+from repro.core.kernels import isqrt_kernel
+from repro.numbertheory.integers import isqrt_exact
+
+__all__ = ["SzudzikElegantPairing"]
+
+
+class SzudzikElegantPairing(PairingFunction):
+    """Szudzik's elegant pairing, 1-indexed.
+
+    >>> s = SzudzikElegantPairing()
+    >>> s.table(3, 3)
+    [[1, 2, 5], [3, 4, 6], [7, 8, 9]]
+    >>> s.unpair(6)
+    (2, 3)
+    >>> s.pair(2, 3)
+    6
+    """
+
+    closed_form_spread = True
+    vector_safe_max_coord = EXACT_SAFE_COORD_LIMIT
+    vector_safe_max_address = EXACT_SAFE_ADDRESS_LIMIT
+
+    @property
+    def name(self) -> str:
+        return "szudzik"
+
+    def _pair(self, x: int, y: int) -> int:
+        u = x - 1
+        v = y - 1
+        if u < v:
+            return v * v + u + 1
+        return u * u + u + v + 1
+
+    def _unpair(self, z: int) -> tuple[int, int]:
+        # Shell m (0-indexed) holds w = z - 1 in m**2 .. m**2 + 2m.
+        w = z - 1
+        m = isqrt_exact(w)
+        r = w - m * m  # 0 .. 2m, rank within the shell
+        if r < m:
+            # Column arm: u = r < m = v.
+            return (r + 1, m + 1)
+        # Row arm: u = m, v = r - m.
+        return (m + 1, r - m + 1)
+
+    # -- closed-form compactness ---------------------------------------
+
+    def spread(self, n: int) -> int:
+        """``S_E(n) = E(n, 1) = n**2 - n + 1``: the degenerate ``n x 1``
+        column is the worst shape -- one address better than the
+        square-shell family's ``n**2`` because the row arm ends one short
+        of the shell's last address."""
+        if n <= 0:
+            from repro.errors import DomainError
+
+            raise DomainError(f"n must be positive, got {n}")
+        return n * n - n + 1
+
+    def spread_for_shape(self, rows: int, cols: int) -> int:
+        """Largest address in a ``rows x cols`` window: for tall-or-square
+        windows the row arm's ``(rows, cols)`` corner dominates; for wide
+        windows the column arm's ``(rows, cols)`` does."""
+        if rows <= 0 or cols <= 0:
+            from repro.errors import DomainError
+
+            raise DomainError(f"shape must be positive, got {rows}x{cols}")
+        if cols > rows:
+            # Column arm of shell cols - 1: E = (cols-1)**2 + (rows-1).
+            return (cols - 1) * (cols - 1) + rows
+        # Row arm of shell rows - 1: E = (rows-1)**2 + (rows-1) + (cols-1).
+        return (rows - 1) * (rows - 1) + rows + cols - 1
+
+    # -- vectorized batch paths ----------------------------------------
+
+    def _pair_kernel(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        u = x - 1
+        v = y - 1
+        return np.where(u < v, v * v + u, u * u + u + v) + 1
+
+    def _unpair_kernel(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        w = z - 1
+        m = isqrt_kernel(w)
+        r = w - m * m
+        column = r < m
+        x = np.where(column, r, m) + 1
+        y = np.where(column, m, r - m) + 1
+        return x, y
+
+    def pair_array(self, xs, ys) -> np.ndarray:
+        """Vectorized pairing: exact int64 kernel inside the coordinate
+        window, exact scalar bignums outside it."""
+        return self._pair_array_via(xs, ys, self._pair_kernel)
+
+    def unpair_array(self, zs) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized inverse guarded by the exact-safe address window:
+        addresses past the float64 mantissa take the scalar bignum path."""
+        return self._unpair_array_via(zs, self._unpair_kernel)

@@ -97,6 +97,7 @@ from repro.errors import (
     ReproError,
     ShardDownError,
 )
+from repro.webcompute.codecs import composer_for
 from repro.webcompute.engine import AllocationEngine, IndexCodec
 from repro.webcompute.events import (
     CheckpointTaken,
@@ -541,6 +542,10 @@ class ShardedWBCServer:
     composer:
         The pairing function composing ``(shard_no, local_index)`` into
         the global index; defaults to the Rosenberg--Strong square shell.
+    codec:
+        Alternative to ``composer``: the *name* of a registered index
+        codec (see :mod:`~repro.webcompute.codecs`), resolved through
+        the codec registry.  Passing both is a configuration error.
     policy:
         The deterministic routing policy; defaults to round-robin.
     lease_ticks:
@@ -571,6 +576,7 @@ class ShardedWBCServer:
         seed: int = 0,
         *,
         composer: PairingFunction | None = None,
+        codec: str | None = None,
         policy: ShardPolicy | None = None,
         lease_ticks: int | None = None,
         checkpoint_every: int | None = None,
@@ -594,6 +600,12 @@ class ShardedWBCServer:
             raise ConfigurationError(
                 f"workers must be a positive int or None, got {workers!r}"
             )
+        if codec is not None:
+            if composer is not None:
+                raise ConfigurationError(
+                    "pass either composer= or codec=, not both"
+                )
+            composer = composer_for(codec)
         self.composer = composer if composer is not None else SquareShellPairing()
         self.policy = policy if policy is not None else RoundRobinPolicy()
         self.checkpoint_every = checkpoint_every
@@ -805,6 +817,12 @@ class ShardedWBCServer:
     @property
     def shard_count(self) -> int:
         return len(self.engines)
+
+    @property
+    def codec_name(self) -> str:
+        """The composer's registry name -- the codec the global index
+        space is minted through."""
+        return self.composer.name
 
     @property
     def clock(self) -> int:

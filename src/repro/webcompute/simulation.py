@@ -90,6 +90,7 @@ class SimulationConfig:
     compact_every: int | None = 8  # full rebase after this many deltas
     faults: str = ""  # FaultSpec grammar (see repro.webcompute.faults)
     workers: int | None = None  # worker processes (None = in-process)
+    codec: str | None = None  # index codec name (None = square-shell)
 
     def __post_init__(self) -> None:
         if self.ticks <= 0 or self.initial_volunteers <= 0:
@@ -108,6 +109,10 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"workers must be a positive int or None, got {self.workers!r}"
             )
+        if self.codec is not None:
+            from repro.webcompute.codecs import composer_for
+
+            composer_for(self.codec)  # fail fast on an unknown codec name
         spec = FaultSpec.parse(self.faults)  # fail fast on a bad grammar
         for fault in spec.scheduled:
             if fault.kind in ("crash", "restore"):
@@ -185,13 +190,14 @@ class WBCSimulation:
 
     def __init__(self, apf: AdditivePairingFunction, config: SimulationConfig) -> None:
         self.config = config
-        if config.shards > 1 or config.workers is not None:
+        if config.shards > 1 or config.workers is not None or config.codec is not None:
             self.server: WBCServer | ShardedWBCServer = ShardedWBCServer(
                 apf,
                 shards=config.shards,
                 verification_rate=config.verification_rate,
                 ban_after_strikes=config.ban_after_strikes,
                 seed=config.seed,
+                codec=config.codec,
                 lease_ticks=config.lease_ticks,
                 checkpoint_every=config.checkpoint_every,
                 compact_every=config.compact_every,

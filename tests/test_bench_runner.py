@@ -64,6 +64,17 @@ def test_smoke_run_writes_schema_and_record(bench_runner, tmp_path):
             shard_rows[f"parallel_{s}"]["tasks_completed"]
             == shard_rows[f"serial_{s}"]["tasks_completed"]
         )
+    shootout = scenarios["codec_shootout"]
+    assert shootout["shards"] == bench_runner.CODEC_SHOOTOUT_SHARDS
+    assert set(shootout["rows"]) == set(bench_runner.CODEC_SHOOTOUT)
+    baseline_tasks = shootout["rows"]["square-shell"]["tasks_completed"]
+    for name, row in shootout["rows"].items():
+        assert row["attribution_failures"] == 0, name
+        assert row["tasks_completed"] == baseline_tasks, name
+        assert row["max_task_index"].bit_length() == row["max_task_index_bits"]
+        assert row["encode_ns_per_op"] > 0
+        assert row["decode_ns_per_op"] > 0
+        assert row["spread_shape_bits"] > 0
     recovery_rows = scenarios["fault_recovery"]
     assert set(recovery_rows) == {
         f"shards_{s}" for s in bench_runner.FAULT_SHARD_COUNTS
@@ -175,6 +186,28 @@ def test_committed_incremental_checkpoint_gate(bench_runner):
             f"({row['incremental_bytes_per_shard']} of "
             f"{row['state_bytes_per_shard']} bytes)"
         )
+
+
+def test_committed_codec_shootout_gate(bench_runner):
+    """The pluggable-codec acceptance numbers, from the newest committed
+    run: every raced codec attributes perfectly and completes the exact
+    same task trace as the square-shell baseline (behaviour is
+    codec-independent by construction), and the binprop-16 composer's
+    minted index bit-width does not exceed square-shell's at 16 shards --
+    shrinking the global-index footprint is the reason the codec seam
+    exists, so widening it is a regression."""
+    committed = _RUNNER.parent / "BENCH_eval.json"
+    latest = json.loads(committed.read_text())["runs"][-1]
+    rows = latest["scenarios"]["codec_shootout"]["rows"]
+    assert set(rows) == set(bench_runner.CODEC_SHOOTOUT)
+    baseline = rows["square-shell"]
+    for name, row in rows.items():
+        assert row["attribution_failures"] == 0, name
+        assert row["tasks_completed"] == baseline["tasks_completed"], name
+    assert (
+        rows["binprop-16"]["max_task_index_bits"]
+        <= baseline["max_task_index_bits"]
+    ), "binprop-16 must not mint wider indices than the square-shell baseline"
 
 
 def test_committed_waiver_census(bench_runner):

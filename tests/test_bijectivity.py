@@ -1,4 +1,8 @@
-"""Tests for the polynomial (non-)bijectivity certificates."""
+"""Tests for the polynomial (non-)bijectivity certificates, plus the
+registry-wide finite certificate: every *registered* mapping -- not just
+the polynomial ones the certificate machinery can analyze symbolically --
+must pass the two-sided window check, so a newly registered PF is
+covered the moment it lands in the registry."""
 
 from __future__ import annotations
 
@@ -6,6 +10,8 @@ from fractions import Fraction
 
 import pytest
 
+from repro.core.base import PairingFunction
+from repro.core.registry import available_names, get_pairing
 from repro.errors import DomainError
 from repro.polynomial.bijectivity import (
     analyze_window,
@@ -29,6 +35,20 @@ class TestCantorCertificates:
         assert report.gaps == ()
         assert report.collisions == ()
         assert report.non_positive == 0 and report.non_integer == 0
+
+
+class TestRegistryCertificates:
+    """The finite bijectivity certificate over the whole registry (the
+    symbolic ``analyze_window`` path only covers polynomial mappings;
+    this is the brute-force twin for everything else, parameterized over
+    ``available_names()`` so new registrations are covered for free)."""
+
+    @pytest.mark.parametrize("name", available_names())
+    def test_window_certificate(self, name):
+        pf = get_pairing(name)
+        pf.check_roundtrip_window(12, 12)
+        if isinstance(pf, PairingFunction):
+            pf.check_bijective_prefix(144)
 
 
 class TestViolationDetection:

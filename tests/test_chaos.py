@@ -158,6 +158,42 @@ ChaosServerMachine.TestCase.settings = settings(
 TestChaosServerMachine = ChaosServerMachine.TestCase
 
 
+def _codec_chaos_case(codec_name: str):
+    """The full chaos vocabulary -- crash, blocking and streaming restore,
+    lease reaping, reissue-target returns -- on a server whose global
+    indices are minted by *codec_name* instead of the default square-shell
+    composer.  The inherited ``attribution_exact`` invariant re-checks
+    after every step that ``attribute(index)`` names the ORIGINAL assignee
+    for every index ever issued, so a codec whose inverse drifts from its
+    forward map under any crash/restore interleaving misnames a volunteer
+    and fails here."""
+
+    class _CodecChaosMachine(ChaosServerMachine):
+        def make_server(self):
+            return ShardedWBCServer(
+                TSharp(),
+                shards=SHARDS,
+                codec=codec_name,
+                verification_rate=1.0,
+                ban_after_strikes=2,
+                seed=7,
+                lease_ticks=3,
+                checkpoint_every=4,
+            )
+
+    _CodecChaosMachine.__name__ = f"CodecChaosMachine[{codec_name}]"
+    _CodecChaosMachine.__qualname__ = _CodecChaosMachine.__name__
+    _CodecChaosMachine.TestCase.settings = settings(
+        max_examples=7, stateful_step_count=35, deadline=None
+    )
+    return _CodecChaosMachine.TestCase
+
+
+TestSzudzikCodecChaos = _codec_chaos_case("szudzik")
+TestRosenbergStrongCodecChaos = _codec_chaos_case("rosenberg-strong")
+TestBinprop16CodecChaos = _codec_chaos_case("binprop-16")
+
+
 class ParallelChaosServerMachine(ChaosServerMachine):
     """The same chaos vocabulary and invariants, but the shards live in
     worker processes: every crash/restore/reissue interleaving Hypothesis

@@ -24,6 +24,9 @@ DOCTESTED_MODULES = [
     "repro.core.squareshell",
     "repro.core.hyperbolic",
     "repro.core.aspectratio",
+    "repro.core.szudzik",
+    "repro.core.rosenbergstrong",
+    "repro.core.binaryproportional",
     "repro.core.dovetail",
     "repro.core.shells",
     "repro.core.spread",
@@ -51,6 +54,7 @@ DOCTESTED_MODULES = [
     "repro.webcompute.allocator",
     "repro.webcompute.frontend",
     "repro.webcompute.server",
+    "repro.webcompute.codecs",
     "repro.webcompute.replication",
     "repro.perf.spread_cache",
     "repro.perf.batch",

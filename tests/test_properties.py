@@ -30,8 +30,9 @@ from repro.arrays.extendible import ExtendibleArray
 from repro.arrays.hashed import HashedArrayStore
 from repro.arrays.naive import NaiveRowMajorArray
 from repro.core.aspectratio import AspectRatioPairing
-from repro.core.diagonal import DiagonalPairing, DiagonalPairingTwin
+from repro.core.diagonal import DiagonalPairing
 from repro.core.hyperbolic import HyperbolicPairing
+from repro.core.registry import available_names, get_pairing
 from repro.core.squareshell import SquareShellPairing
 from repro.numbertheory.bits import odd_part, two_adic_valuation
 from repro.numbertheory.divisor_sums import (
@@ -42,17 +43,24 @@ from repro.numbertheory.divisors import divisor_count, divisors
 from repro.numbertheory.integers import triangular, triangular_root
 from repro.numbertheory.progressions import decompose_odd, recompose_odd
 
-# Mapping pool for pairing-law properties.  Hyperbolic gets a smaller
-# coordinate range (its pair is O(sqrt(xy)) per call).
+# Mapping pool for pairing-law properties, drawn from the registry so a
+# newly registered mapping joins automatically (plus the parameterized
+# aspect-ratio instances, which have no fixed registry name).  Hyperbolic
+# is the one exclusion: its pair is O(sqrt(xy)) per call, so it keeps the
+# dedicated small-domain tests below; test_pool_covers_registry pins the
+# correspondence so an unpooled registry entry fails the suite.
 FAST_MAPPINGS = [
-    DiagonalPairing(),
-    DiagonalPairingTwin(),
-    SquareShellPairing(),
+    get_pairing(name) for name in available_names() if name != "hyperbolic"
+] + [
     AspectRatioPairing(1, 2),
     AspectRatioPairing(3, 1),
-    TBracket(2),
-    TSharp(),
-    TStar(),
+]
+
+# Per-mapping coordinate caps bound *time*, not exactness: APF addresses
+# grow exponentially in x (bignums stay exact but huge), so the APFs get
+# a smaller coordinate domain than the polynomial shell-walkers.
+FAST_CAPS = [
+    2000 if pf.name.startswith("apf") else 10**6 for pf in FAST_MAPPINGS
 ]
 
 coords = st.integers(min_value=1, max_value=10**6)
@@ -61,17 +69,31 @@ addresses = st.integers(min_value=1, max_value=10**9)
 small_addresses = st.integers(min_value=1, max_value=200_000)
 
 
+@st.composite
+def pooled_coords(draw):
+    """A pool index plus coordinates drawn inside that mapping's cap."""
+    idx = draw(st.integers(0, len(FAST_MAPPINGS) - 1))
+    cap = FAST_CAPS[idx]
+    return idx, draw(st.integers(1, cap)), draw(st.integers(1, cap))
+
+
 # ----------------------------------------------------------------------
 # 1. Pairing laws
 # ----------------------------------------------------------------------
 
 
-@given(x=coords, y=coords, idx=st.integers(0, len(FAST_MAPPINGS) - 1))
-def test_roundtrip_forward(x, y, idx):
+def test_pool_covers_registry():
+    """Every registered name is exercised by the pairing-law pool (or by
+    hyperbolic's dedicated small-domain tests)."""
+    pooled = {pf.name for pf in FAST_MAPPINGS} | {"hyperbolic"}
+    missing = set(available_names()) - pooled
+    assert not missing, f"registry entries missing from the pool: {sorted(missing)}"
+
+
+@given(case=pooled_coords())
+def test_roundtrip_forward(case):
+    idx, x, y = case
     pf = FAST_MAPPINGS[idx]
-    # APFs at huge x produce astronomically large values; cap the domain
-    # per-mapping to keep values exact but bounded in *time* (bignums are
-    # fine, the test stays fast regardless).
     assert pf.unpair(pf.pair(x, y)) == (x, y)
 
 
@@ -96,11 +118,17 @@ def test_hyperbolic_roundtrip_backward(z):
     assert h.pair(x, y) == z
 
 
-@given(
-    pairs=st.lists(st.tuples(coords, coords), min_size=2, max_size=30, unique=True),
-    idx=st.integers(0, len(FAST_MAPPINGS) - 1),
-)
-def test_injectivity_on_batches(pairs, idx):
+@st.composite
+def pooled_pairs(draw):
+    idx = draw(st.integers(0, len(FAST_MAPPINGS) - 1))
+    cap = FAST_CAPS[idx]
+    pair = st.tuples(st.integers(1, cap), st.integers(1, cap))
+    return idx, draw(st.lists(pair, min_size=2, max_size=30, unique=True))
+
+
+@given(case=pooled_pairs())
+def test_injectivity_on_batches(case):
+    idx, pairs = case
     pf = FAST_MAPPINGS[idx]
     values = [pf.pair(x, y) for x, y in pairs]
     assert len(set(values)) == len(values)

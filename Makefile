@@ -1,11 +1,14 @@
-# Developer entry points.  `make lint` is the pre-commit-suitable check:
-# incremental-cached reprolint over src/ (warm runs are ~ms), nonzero
-# exit on any unsuppressed finding.
+# Developer entry points.  `make check` is the pre-commit gate: the
+# tier-1 test suite plus incremental-cached reprolint over src/ (warm
+# lint runs are ~ms), nonzero exit on any failure or unsuppressed
+# finding.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-cold test bench-smoke
+.PHONY: check lint lint-cold test bench-smoke
+
+check: test lint
 
 lint:
 	$(PYTHON) -m repro.cli lint --cache src

@@ -489,11 +489,15 @@ def scenario_codec_shootout(smoke: bool, repeats: int) -> dict:
 
 
 def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
-    """reprolint over the library tree, in the modes the v2 runner
-    supports: cold (no cache), warm (full cache hits, which must
-    reproduce the cold findings exactly), and a one-file-edit
-    incremental run on a scratch copy of the tree (the miss count is the
-    edited file plus its reverse-import closure).  An unsuppressed
+    """reprolint over the library tree: cold (no cache), warm (full
+    cache hits, which must reproduce the cold findings exactly), and
+    two one-edit incremental runs on a scratch copy of the tree that
+    measure the v3 per-function invalidation directly against what the
+    v2 import-closure would have re-analyzed.  A comment-only edit
+    changes no function structure hash, so exactly the edited file
+    re-analyzes (v2 re-analyzed its whole reverse-import closure); a
+    semantic body edit re-analyzes the edited file plus the owners of
+    functions in the reverse *call-graph* closure.  An unsuppressed
     finding is a gate failure here, same contract as the
     kernel-consistency gate -- perf numbers from a tree that violates
     its own invariants are not worth recording."""
@@ -501,7 +505,12 @@ def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
     import tempfile
 
     from repro.staticcheck import analyze_paths
-    from repro.staticcheck.cache import CACHE_FILENAME
+    from repro.staticcheck.cache import (
+        CACHE_FILENAME,
+        AnalysisCache,
+        config_hash,
+        dirty_closure,
+    )
     from repro.staticcheck.config import load_config
 
     src = _ROOT / "src"
@@ -538,15 +547,46 @@ def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
             f.render() for f in result.findings
         ]:
             raise AssertionError("cached findings diverge from the cold run")
-        # Incremental: edit one file in a scratch copy of the tree and
-        # count how much of it re-analyzes.
+        # Incremental: edit files in a scratch copy of the tree and
+        # count how much re-analyzes under per-function planning, next
+        # to the reverse-import closure v2 would have re-run.
         tree = scratch / "src"
         shutil.copytree(src, tree, ignore=shutil.ignore_patterns("__pycache__"))
         edit_cache = scratch / ("edit-" + CACHE_FILENAME)
         analyze_paths([tree], config=config, cache=True, cache_path=edit_cache)
+
+        def v2_closure(target: Path, module: str) -> int:
+            cached = AnalysisCache.load(edit_cache, config_hash(config, None))
+            clean = {
+                path: (entry.module, entry.imports)
+                for path, entry in cached.entries.items()
+                if path != str(target)
+            }
+            return 1 + len(dirty_closure({module}, clean))
+
+        # Edit 1: comment-only.  No function structure hash moves, so
+        # only the edited file itself re-analyzes.
         target = tree / "repro" / "webcompute" / "frontend.py"
+        comment_v2 = v2_closure(target, "repro.webcompute.frontend")
         target.write_text(target.read_text() + "\n# bench: one-line edit\n")
         incremental = analyze_paths(
+            [tree], config=config, cache=True, cache_path=edit_cache
+        )
+
+        # Edit 2: semantic body edit to get_pairing, the registry entry
+        # point half the tree calls -- the reverse call-graph closure
+        # re-analyzes its true callers and nothing else.
+        target2 = tree / "repro" / "core" / "registry.py"
+        semantic_v2 = v2_closure(target2, "repro.core.registry")
+        target2.write_text(
+            target2.read_text().replace(
+                'def get_pairing(name: str) -> StorageMapping:\n',
+                'def get_pairing(name: str) -> StorageMapping:\n'
+                "    _ = name  # bench: semantic body edit\n",
+                1,
+            )
+        )
+        semantic = analyze_paths(
             [tree], config=config, cache=True, cache_path=edit_cache
         )
 
@@ -559,6 +599,7 @@ def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
         by_module[finding.module] = by_module.get(finding.module, 0) + 1
 
     stats = incremental.cache_stats
+    semantic_stats = semantic.cache_stats
     return {
         "files": result.files,
         "analyze_s": cold_s,
@@ -568,6 +609,20 @@ def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
         "warm_hit_rate": warm.cache_stats.hit_rate,
         "incremental_reanalyzed": stats.misses,
         "incremental_fraction": stats.misses / incremental.files,
+        "incremental_edits": {
+            "comment_edit": {
+                "reanalyzed": stats.misses,
+                "changed_functions": stats.changed_functions,
+                "invalidated_functions": stats.invalidated_functions,
+                "v2_closure_files": comment_v2,
+            },
+            "semantic_edit": {
+                "reanalyzed": semantic_stats.misses,
+                "changed_functions": semantic_stats.changed_functions,
+                "invalidated_functions": semantic_stats.invalidated_functions,
+                "v2_closure_files": semantic_v2,
+            },
+        },
         "unsuppressed_findings": len(result.findings),
         "waivers": {
             "total": len(result.suppressed),

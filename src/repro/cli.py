@@ -148,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for files needing analysis (0 = one per CPU)",
     )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="report findings only for files changed per git (analysis "
+        "stays project-wide so cross-module rules see every summary)",
+    )
     return parser
 
 
@@ -439,6 +445,8 @@ def main(argv: list[str] | None = None) -> int:
             lint_argv.append("--no-cache")
         if args.jobs:
             lint_argv.extend(["--jobs", str(args.jobs)])
+        if args.changed:
+            lint_argv.append("--changed")
         return lint_cli(lint_argv)
     return 0
 

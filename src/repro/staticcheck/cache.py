@@ -8,13 +8,20 @@ suppressed findings, module name, import targets), keyed by a single
 *config hash* over everything file-independent.  A warm run on an
 unchanged tree reloads every outcome and touches no ASTs at all.
 
-Invalidation is deliberately conservative, mirroring the R004 layer
-graph: when a file's content hash changes (or a file appears or
-disappears), every cached file whose *transitive imports* reach the
-changed module is re-analyzed too.  Per-file analysis today never reads
-another file's content, so this over-invalidates -- but it means the
-cache stays correct the day a checker grows cross-module eyes, and it is
-the same import graph R004 already extracts, at zero extra parse cost.
+v3 keys invalidation on *functions*, not files.  Every cached file
+carries its function seeds (structure-only body hashes + call refs --
+see :mod:`repro.staticcheck.summaries`); when a file's content hash
+changes, :meth:`AnalysisCache.plan` re-extracts its seeds, diffs the
+two call graphs (:mod:`repro.staticcheck.callgraph`), and re-analyzes
+only the files owning a dirty function: a changed body, a retargeted
+call ref, or anything in their reverse-*call* closure.  The checkers
+now really do have cross-module eyes (summaries flow through
+``ProjectSummaries``), so this is the exact dependency set -- a
+comment-only edit dirties zero functions and re-analyzes one file,
+where the v2 reverse-*import* closure re-analyzed 14.  The v2 closure
+(``dirty_closure`` over the ``imports`` field) is kept as the fallback
+when no seed extractor is supplied, and as the bench's point of
+comparison.
 
 Safety rails, each of which discards the cache wholesale rather than
 risk a stale finding:
@@ -38,13 +45,20 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
+from repro.staticcheck.callgraph import (
+    CallGraph,
+    changed_functions,
+    invalidated_functions,
+)
 from repro.staticcheck.config import ReprolintConfig
 from repro.staticcheck.model import ANALYZER_VERSION, Finding
+from repro.staticcheck.summaries import FunctionSeed
 
 __all__ = [
     "AnalysisCache",
+    "CachePlan",
     "CacheStats",
     "CachedFile",
     "CACHE_FILENAME",
@@ -55,7 +69,8 @@ __all__ = [
 ]
 
 CACHE_FILENAME = ".reprolint-cache.json"
-CACHE_SCHEMA = "repro.reprolint-cache/1"
+#: /2: entries carry per-function seeds; planning is per-function.
+CACHE_SCHEMA = "repro.reprolint-cache/2"
 
 
 def content_hash(path: Path) -> str:
@@ -94,12 +109,18 @@ def config_hash(
 @dataclass(slots=True)
 class CacheStats:
     """What one cached run did: *hits* were reloaded, *misses* analyzed.
-    ``invalidated`` counts the misses caused by the import closure rather
-    than by the file's own content changing."""
+    ``invalidated`` counts the misses caused by the dependency closure
+    rather than by the file's own content changing;
+    ``changed_functions`` / ``invalidated_functions`` are the
+    per-function counters behind those file decisions (how many bodies
+    actually changed, and how many clean-file functions sat in their
+    reverse-call closure)."""
 
     hits: int = 0
     misses: int = 0
     invalidated: int = 0
+    changed_functions: int = 0
+    invalidated_functions: int = 0
 
     @property
     def total(self) -> int:
@@ -114,19 +135,38 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "invalidated": self.invalidated,
+            "changed_functions": self.changed_functions,
+            "invalidated_functions": self.invalidated_functions,
             "hit_rate": round(self.hit_rate, 4),
         }
 
 
 @dataclass(slots=True)
+class CachePlan:
+    """One :meth:`AnalysisCache.plan` decision: which files to
+    re-analyze and why, plus the function seeds already extracted from
+    the changed files (so the runner reuses them for the project
+    fixpoint instead of parsing twice)."""
+
+    changed: set[str] = field(default_factory=set)
+    invalidated: set[str] = field(default_factory=set)
+    fresh_seeds: dict[str, dict[str, FunctionSeed]] = field(default_factory=dict)
+    changed_functions: int = 0
+    invalidated_functions: int = 0
+
+
+@dataclass(slots=True)
 class CachedFile:
-    """One file's complete analysis outcome."""
+    """One file's complete analysis outcome, plus its function seeds
+    (the per-function hashes + interprocedural facts the planner and
+    the project fixpoint reuse without re-parsing the file)."""
 
     hash: str
     module: str
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[tuple[Finding, int]] = field(default_factory=list)
     imports: tuple[str, ...] = ()
+    functions: dict[str, FunctionSeed] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -137,6 +177,9 @@ class CachedFile:
                 {**f.to_dict(), "suppressed_at": line} for f, line in self.suppressed
             ],
             "imports": list(self.imports),
+            "functions": {
+                fq: seed.to_dict() for fq, seed in sorted(self.functions.items())
+            },
         }
 
     @classmethod
@@ -149,6 +192,10 @@ class CachedFile:
                 (Finding.from_dict(f), f["suppressed_at"]) for f in data["suppressed"]
             ],
             imports=tuple(data["imports"]),
+            functions={
+                fq: FunctionSeed.from_dict(seed)
+                for fq, seed in data.get("functions", {}).items()
+            },
         )
 
 
@@ -228,19 +275,76 @@ class AnalysisCache:
 
     # ------------------------------------------------------------------
 
-    def plan(self, hashes: Mapping[str, str]) -> tuple[set[str], set[str]]:
-        """Partition the current file set (absolute path -> content
-        hash) into ``(changed, invalidated)``: *changed* files have no
-        reusable entry (new or edited), *invalidated* files are clean
-        themselves but sit in the reverse-import closure of a change.
-        Entries for files no longer present are dropped here and their
-        modules count as changed."""
+    def plan(
+        self,
+        hashes: Mapping[str, str],
+        extract: "Callable[[str], dict[str, FunctionSeed]] | None" = None,
+    ) -> "CachePlan":
+        """Decide what to re-analyze for the current file set (absolute
+        path -> content hash).  *changed* files have no reusable entry
+        (new or edited); *invalidated* files are clean themselves but
+        depend on a change.  Entries for files no longer present are
+        dropped here.
+
+        With *extract* (a ``path -> seeds`` callback, normally
+        ``summaries.extract_file_seeds``), the dependency unit is the
+        function: changed files are re-seeded, the old and new call
+        graphs are diffed, and only files owning a dirty function
+        invalidate.  The extracted seeds come back in the plan so the
+        runner never parses a changed file twice.  Without *extract*,
+        the v2 reverse-import closure decides."""
         changed = {
             path
             for path, digest in hashes.items()
             if path not in self.entries or self.entries[path].hash != digest
         }
         removed = set(self.entries) - set(hashes)
+        if extract is None:
+            return self._plan_imports(hashes, changed, removed)
+        if not changed and not removed:
+            return CachePlan(changed=changed)
+        old_files = {
+            path: (entry.module, entry.functions)
+            for path, entry in self.entries.items()
+        }
+        fresh_seeds = {path: extract(path) for path in sorted(changed)}
+        for path in removed:
+            del self.entries[path]
+        new_files: dict[str, tuple[str, Mapping[str, FunctionSeed]]] = {}
+        for path in hashes:
+            if path in changed:
+                module = (
+                    self.entries[path].module
+                    if path in self.entries
+                    else _module_guess(path)
+                )
+                new_files[path] = (module, fresh_seeds[path])
+            else:
+                entry = self.entries[path]
+                new_files[path] = (entry.module, entry.functions)
+        old_graph = CallGraph(old_files)
+        new_graph = CallGraph(new_files)
+        hash_changed = changed_functions(old_graph, new_graph)
+        dirty = invalidated_functions(old_graph, new_graph, hash_changed)
+        invalidated: set[str] = set()
+        ripple = 0
+        for key in dirty:
+            owner = new_graph.owner_file(key)
+            if owner is not None and owner not in changed:
+                ripple += 1
+                invalidated.add(owner)
+        return CachePlan(
+            changed=changed,
+            invalidated=invalidated,
+            fresh_seeds=fresh_seeds,
+            changed_functions=len(hash_changed),
+            invalidated_functions=ripple,
+        )
+
+    def _plan_imports(
+        self, hashes: Mapping[str, str], changed: set[str], removed: set[str]
+    ) -> "CachePlan":
+        """The v2 fallback: whole-file reverse-import closure."""
         changed_modules = {
             self.entries[path].module for path in removed
         } | {
@@ -250,14 +354,14 @@ class AnalysisCache:
         for path in removed:
             del self.entries[path]
         if not changed_modules:
-            return changed, set()
+            return CachePlan(changed=changed)
         clean = {
             path: (entry.module, entry.imports)
             for path, entry in self.entries.items()
             if path not in changed
         }
         invalidated = dirty_closure(changed_modules, clean)
-        return changed, invalidated
+        return CachePlan(changed=changed, invalidated=invalidated)
 
     def get(self, path: str) -> CachedFile:
         return self.entries[path]

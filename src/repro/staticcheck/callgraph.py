@@ -1,0 +1,163 @@
+"""The project call graph and per-function cache invalidation.
+
+v2 invalidated whole files through the reverse *import* closure: one
+edit to ``repro/core/pairing.py`` re-analyzed every file that could
+reach it through an import chain -- 14 files for a one-line comment
+tweak.  v3 keys invalidation on what actually changed: every function
+carries a structure-only body hash (``ast.dump``, so comments and
+line-number shifts are free) and a list of interprocedural call refs.
+A file edit dirties exactly the functions whose hashes changed, plus --
+through the reverse *call* closure -- the functions whose analysis
+consumed those summaries.  Files re-analyze only when they own a dirty
+function.
+
+Two graphs are compared (the cached one and the one implied by the
+edit) because a dirty function is not only a changed body: adding or
+removing a function changes what a caller's ref *resolves to*, so
+resolution diffs dirty callers even when their bodies are untouched.
+
+:class:`RefResolver` is the one place interprocedural refs (``":f"`` /
+``"self.m"`` / dotted names -- see ``ModuleDataflow.call_target``) are
+mapped to ``(module, function)`` keys; the summary fixpoint in
+:mod:`repro.staticcheck.summaries` shares it so the analysis and its
+invalidation can never disagree about an edge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "RefResolver",
+    "CallGraph",
+    "changed_functions",
+    "invalidated_functions",
+]
+
+#: Key of the pseudo-function holding a module's top-level statements.
+MODULE_KEY = "<module>"
+
+#: A function's identity in the graph: (module dotted name, fq name
+#: where fq is "f", "Cls.m", or MODULE_KEY).
+Key = tuple[str, str]
+
+
+class RefResolver:
+    """Maps an interprocedural ref, as seen from one module, onto the
+    ``(module, fq)`` key it denotes -- or ``None`` when the ref leaves
+    the analyzed project (stdlib, third-party, dynamic)."""
+
+    def __init__(self, functions_by_module: Mapping[str, Iterable[str]]) -> None:
+        self._functions: dict[str, frozenset[str]] = {
+            module: frozenset(fqs) for module, fqs in functions_by_module.items()
+        }
+        # "self.m" refs carry no class name; pick the sorted-first
+        # matching method deterministically (same-name methods across
+        # classes in one module are conflated, conservatively).
+        self._methods: dict[tuple[str, str], str] = {}
+        for module, fqs in self._functions.items():
+            for fq in sorted(fqs):
+                owner, _, name = fq.rpartition(".")
+                if owner:
+                    self._methods.setdefault((module, name), fq)
+
+    def resolve(self, module: str, ref: str) -> Key | None:
+        if ref.startswith(":"):
+            fq = ref[1:]
+            if fq in self._functions.get(module, ()):
+                return (module, fq)
+            return None
+        if ref.startswith("self."):
+            fq = self._methods.get((module, ref[5:]))
+            return (module, fq) if fq is not None else None
+        # Dotted: split at the longest prefix naming an analyzed module;
+        # the remainder is "func" or "Cls.method".
+        parts = ref.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            target_module = ".".join(parts[:cut])
+            if target_module not in self._functions:
+                continue
+            rest = parts[cut:]
+            if len(rest) > 2:
+                return None
+            fq = ".".join(rest)
+            if fq in self._functions[target_module]:
+                return (target_module, fq)
+            return None
+        return None
+
+
+class CallGraph:
+    """Hashes + resolved call edges for one snapshot of the project.
+
+    Built from ``{path: (module_name, {fq: seed})}`` where each seed is
+    duck-typed with ``.hash`` and ``.calls`` (a
+    :class:`repro.staticcheck.summaries.FunctionSeed`).
+    """
+
+    def __init__(
+        self, files: Mapping[str, tuple[str, Mapping[str, object]]]
+    ) -> None:
+        self._hash: dict[Key, str] = {}
+        self._refs: dict[Key, tuple[str, ...]] = {}
+        self._owner: dict[Key, str] = {}
+        by_module: dict[str, set[str]] = {}
+        for path in sorted(files):
+            module, seeds = files[path]
+            by_module.setdefault(module, set()).update(seeds)
+            for fq, seed in seeds.items():
+                key = (module, fq)
+                self._hash[key] = seed.hash
+                self._refs[key] = tuple(seed.calls)
+                self._owner[key] = path
+        self.resolver = RefResolver(by_module)
+
+    def keys(self) -> Iterable[Key]:
+        return self._hash.keys()
+
+    def hash_of(self, key: Key) -> str:
+        return self._hash.get(key, "\0missing")
+
+    def owner_file(self, key: Key) -> str | None:
+        return self._owner.get(key)
+
+    def resolutions(self, key: Key) -> tuple[tuple[str, Key | None], ...]:
+        """Each ref of *key* with what it resolves to, sorted -- the
+        unit compared across snapshots to detect retargeted calls."""
+        module = key[0]
+        return tuple(
+            (ref, self.resolver.resolve(module, ref))
+            for ref in sorted(self._refs.get(key, ()))
+        )
+
+
+def changed_functions(old: CallGraph, new: CallGraph) -> set[Key]:
+    """Keys whose body hash differs between snapshots (including
+    functions that exist on only one side)."""
+    keys = set(old.keys()) | set(new.keys())
+    return {key for key in keys if old.hash_of(key) != new.hash_of(key)}
+
+
+def invalidated_functions(
+    old: CallGraph, new: CallGraph, changed: set[Key] | None = None
+) -> set[Key]:
+    """All dirty keys: hash changes, resolution changes, and their
+    reverse-call closure over both snapshots' edges."""
+    dirty = set(changed_functions(old, new) if changed is None else changed)
+    for key in new.keys():
+        if key not in dirty and old.resolutions(key) != new.resolutions(key):
+            dirty.add(key)
+    reverse: dict[Key, set[Key]] = {}
+    for graph in (old, new):
+        for key in graph.keys():
+            for _ref, target in graph.resolutions(key):
+                if target is not None:
+                    reverse.setdefault(target, set()).add(key)
+    work = list(dirty)
+    while work:
+        target = work.pop()
+        for caller in reverse.get(target, ()):
+            if caller not in dirty:
+                dirty.add(caller)
+                work.append(caller)
+    return dirty

@@ -16,7 +16,13 @@ checkpoints, or events.  Inside modules matched by
   clock, OS entropy, a pid, a uuid, or the global RNG -- the PR 4 pass
   treated *any* argument as a legitimate seed, so
   ``Random(time.time())`` and ``seed = time.time_ns(); Random(seed)``
-  both slipped through.  The finding carries the taint trace;
+  both slipped through.  The finding carries the taint trace.  v3 makes
+  this whole-program: with project summaries attached, a seed laundered
+  through any number of helper functions *in other modules*
+  (``Random(seed_for(shard))`` where ``seed_for`` bottoms out in
+  ``os.getpid`` three files away) carries its entropy across each
+  ``return`` boundary, and the finding's trace names the source module
+  (``os.getpid (pkg.helpers:4) -> ... -> returned to line 16``);
 * wall-clock reads: ``time.time``/``monotonic``/``perf_counter`` (and
   ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
 * entropy sources: ``os.urandom``, ``uuid.uuid1``/``uuid4``,
@@ -172,10 +178,13 @@ class DeterminismChecker(Checker):
             )
             if tainted:
                 origin = tainted[0]
+                source = origin.source
+                if origin.origin and origin.origin != module.name:
+                    source = f"{source} via {origin.origin}"
                 findings.append(
                     self.finding(
                         module, call.lineno,
-                        f"random.Random seeded from entropy ({origin.source}); "
+                        f"random.Random seeded from entropy ({source}); "
                         "a replayed run gets a different stream -- derive the "
                         "seed from configuration",
                         trace=origin.trace(),

@@ -19,6 +19,16 @@ local alias -- the ``ALIAS`` taint kind, which deliberately does not
 propagate through calls, so mutating a *copy* like
 ``self.profiles().clear()`` stays legal) counts as a state mutation.
 
+v3 closes the two remaining blind spots.  (1) *Helper-delegated
+mutation*: ``self._purge(self._profiles)`` or ``util.purge(self._t)``
+where the callee's summary says it mutates that parameter's object --
+the project-wide mutation fixpoint (:mod:`repro.staticcheck.summaries`)
+makes the delegation visible whichever module the helper lives in.
+(2) *Stored aliases across methods*: ``self._t = self._profiles`` in
+``__init__`` followed by ``self._t.clear()`` in a later method is a
+mutation of ``self._profiles``; the class-level attr-alias map names
+the aliased root in the finding so the reviewer sees both spellings.
+
 For each class named in ``r005.event-classes``, every such mutating
 method (except ``__init__``, which wires rather than transitions) must
 contain a ``*.publish(...)`` call, or carry a reviewed
@@ -36,8 +46,20 @@ from repro.staticcheck.config import ReprolintConfig
 from repro.staticcheck.dataflow import ALIAS, MUTATOR_METHODS, ModuleDataflow
 from repro.staticcheck.loader import SourceModule
 from repro.staticcheck.model import Finding
+from repro.staticcheck.summaries import class_attr_aliases
 
 __all__ = ["EventDisciplineChecker"]
+
+
+def _alias_note(source: str, attr_aliases: dict[str, str]) -> str:
+    """`` (self._t aliases self._profiles)`` when the mutated attribute
+    is a stored alias of another, else ""."""
+    if source.startswith("self."):
+        attr = source[5:]
+        root = attr_aliases.get(attr)
+        if root is not None:
+            return f" ({source} aliases self.{root})"
+    return ""
 
 
 def _is_self_store(target: ast.expr) -> bool:
@@ -109,6 +131,36 @@ def _mutating_call(
     return None
 
 
+def _mutating_helper_call(
+    method: ast.FunctionDef, dataflow: ModuleDataflow
+) -> tuple[ast.Call, str, tuple[str, ...]] | None:
+    """The first call in *method* that passes a ``self``-attribute
+    object to a callee whose summary mutates that parameter --
+    ``self._purge(self._profiles)``, ``util.purge(self._t)``.  Needs a
+    project oracle; returns ``None`` without one."""
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        for index in sorted(dataflow.mutated_args(node)):
+            if index >= len(node.args):
+                continue
+            aliases = sorted(
+                (t for t in dataflow.taints(node.args[index]) if t.kind == ALIAS),
+                key=lambda t: (t.line, t.source),
+            )
+            if not aliases:
+                continue
+            origin = aliases[0]
+            target = dataflow.call_target(node)
+            name = target[0].lstrip(":") if target is not None else "a helper"
+            return (
+                node,
+                f"{name}({origin.source}, ...) which mutates it",
+                origin.trace(),
+            )
+    return None
+
+
 def _publishes(method: ast.FunctionDef) -> bool:
     for node in ast.walk(method):
         if (
@@ -137,6 +189,7 @@ class EventDisciplineChecker(Checker):
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef) or node.name not in watched:
                 continue
+            attr_aliases = class_attr_aliases(node)
             for item in node.body:
                 if not isinstance(item, ast.FunctionDef):
                     continue
@@ -157,15 +210,22 @@ class EventDisciplineChecker(Checker):
                 if dataflow is None:
                     dataflow = module.dataflow()
                 hit = _mutating_call(item, dataflow)
+                if hit is None:
+                    hit = _mutating_helper_call(item, dataflow)
                 if hit is not None:
                     _call, description, trace = hit
+                    note = ""
+                    for taint_source in trace[:1]:
+                        # trace[0] is "self.X (line N)"; pull the attr.
+                        source = taint_source.split(" (", 1)[0]
+                        note = _alias_note(source, attr_aliases)
                     findings.append(
                         self.finding(
                             module, item.lineno,
                             f"{node.name}.{item.name} mutates engine state "
-                            f"through {description} but publishes no typed "
-                            "event; observers and replay tooling cannot see "
-                            "this transition",
+                            f"through {description}{note} but publishes no "
+                            "typed event; observers and replay tooling "
+                            "cannot see this transition",
                             trace=trace,
                         )
                     )

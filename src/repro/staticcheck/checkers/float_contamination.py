@@ -20,6 +20,16 @@ The explicitly-guarded vectorized windows from PR 1 (float estimate +
 exact integer repair, entered only for addresses ``<= 2**53``) are real,
 reviewed exceptions -- they carry ``# reprolint: allow[R001]`` comments
 rather than weakening the rule.
+
+v3 adds the cross-module pass: a call in an exact module whose resolved
+callee (project summaries) *returns* float-tainted data minted in
+another module is flagged at the call site -- float contamination that
+transits a utility helper elsewhere no longer hides behind the module
+boundary.  Callees living in exact modules with R001 active are exempt
+(the contamination is already reported at its source); callees in
+R001-waived measurement modules (``repro.core.spread`` & co) are not --
+their floats are legal *there*, but importing one into the exact path
+is exactly the leak this rule exists to stop.
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ from repro.staticcheck.config import ReprolintConfig
 # The float tables are shared with the dataflow engine's FLOAT taint
 # kind, so the syntactic rule and the flow lattice can never disagree
 # about what counts as float-producing.
-from repro.staticcheck.dataflow import FLOAT_MATH, FLOAT_NUMPY, NUMPY_ROOTS
+from repro.staticcheck.dataflow import FLOAT, FLOAT_MATH, FLOAT_NUMPY, NUMPY_ROOTS
 from repro.staticcheck.loader import SourceModule
 from repro.staticcheck.model import Finding
 
@@ -101,4 +111,52 @@ class FloatContaminationChecker(Checker):
                             "int64->float64 promotion trap of PR 1)",
                         )
                     )
+        if module.project is not None:
+            self._check_cross_module(module, config, findings)
         return findings
+
+    def _check_cross_module(
+        self,
+        module: SourceModule,
+        config: ReprolintConfig,
+        findings: list[Finding],
+    ) -> None:
+        """Flag calls whose resolved cross-module callee returns
+        float-tainted data (one finding per line; lines the syntactic
+        pass already flagged stay as-is)."""
+        seen = {f.line for f in findings}
+        dataflow = module.dataflow()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or node.lineno in seen:
+                continue
+            target = dataflow.call_target(node)
+            if target is None or target[0].startswith((":", "self.")):
+                continue
+            info = module.project.lookup(module.name, target[0])
+            if info is None:
+                continue
+            foreign = sorted(
+                (
+                    t
+                    for t in info.taints
+                    if t.kind == FLOAT and t.origin and t.origin != module.name
+                ),
+                key=lambda t: (t.origin, t.source, t.line),
+            )
+            for origin in foreign:
+                if config.is_exact(origin.origin) and "R001" in config.rules_for(
+                    origin.origin
+                ):
+                    continue  # already reported where it was minted
+                leaf = target[0].rsplit(".", 1)[-1]
+                seen.add(node.lineno)
+                findings.append(
+                    self.finding(
+                        module, node.lineno,
+                        f"{leaf}() returns float-tainted data from "
+                        f"{origin.origin} ({origin.source}); the exact path "
+                        "must stay in integer arithmetic end to end",
+                        trace=(*origin.trace(), f"-> {leaf}() return (line {node.lineno})"),
+                    )
+                )
+                break

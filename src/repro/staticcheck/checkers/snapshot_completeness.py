@@ -34,6 +34,13 @@ an attribute ``apply_delta`` *writes* but ``snapshot_delta`` never
 reads is replica state no delta can ever carry.  Both directions are
 findings, anchored (like the full-snapshot pass) on the ``__init__``
 assignment line so one waiver documents one attribute.
+
+The v3 engine contributes the class-level attr-alias map
+(``self._t = self._profiles`` makes ``_t`` and ``_profiles`` one
+storage location): persisting, emitting, or applying *either* spelling
+of an aliased pair counts for both, in the full-snapshot and delta
+passes alike -- strictly fewer false positives, since the underlying
+object round-trips whichever name touched it.
 """
 
 from __future__ import annotations
@@ -45,8 +52,22 @@ from repro.staticcheck.config import ReprolintConfig
 from repro.staticcheck.dataflow import ATTR
 from repro.staticcheck.loader import SourceModule
 from repro.staticcheck.model import Finding
+from repro.staticcheck.summaries import class_attr_aliases
 
 __all__ = ["SnapshotCompletenessChecker"]
+
+
+def _expand_aliases(attrs: set[str], alias_map: dict[str, str]) -> set[str]:
+    """Close *attrs* over the class attr-alias groups: covering one
+    spelling of an aliased storage location covers them all."""
+    out = set(attrs)
+    for alias, root in alias_map.items():
+        if alias in attrs:
+            out.add(root)
+        if root in attrs:
+            out.add(alias)
+    return out
+
 
 SNAPSHOT_METHODS = ("snapshot_state", "restore_state")
 DELTA_METHODS = ("snapshot_delta", "apply_delta")
@@ -232,6 +253,7 @@ class SnapshotCompletenessChecker(Checker):
                 else:
                     persisted |= returned
                     read_not_returned = _self_attrs_touched(snapshot) - returned
+            persisted = _expand_aliases(persisted, class_attr_aliases(node))
 
             which = "/".join(m.name for m in snapshotters)
             for attr, lineno in sorted(init_attrs.items(), key=lambda kv: kv[1]):
@@ -267,12 +289,20 @@ class SnapshotCompletenessChecker(Checker):
         if snapshot_delta is None or apply_delta is None:
             return []
         findings: list[Finding] = []
+        alias_map = class_attr_aliases(node)
         emitted = self._attrs_reaching_return(module, snapshot_delta)
         if emitted is None:
             emitted = _self_attrs_touched_deep(methods, snapshot_delta)
-        applied = _self_attrs_touched_deep(methods, apply_delta)
-        read_by_snapshot = _self_attrs_touched_deep(methods, snapshot_delta)
-        written_by_apply = _self_attr_writes(apply_delta)
+        emitted = _expand_aliases(emitted, alias_map)
+        applied = _expand_aliases(
+            _self_attrs_touched_deep(methods, apply_delta), alias_map
+        )
+        read_by_snapshot = _expand_aliases(
+            _self_attrs_touched_deep(methods, snapshot_delta), alias_map
+        )
+        written_by_apply = _expand_aliases(
+            set(_self_attr_writes(apply_delta)), alias_map
+        )
         for attr, lineno in sorted(init_attrs.items(), key=lambda kv: kv[1]):
             if attr in emitted and attr not in applied:
                 findings.append(

@@ -33,11 +33,27 @@ analysis over per-function def-use chains:
   can render ``seeded from time.time() (line 4) -> seed (line 5)`` in
   its finding message instead of a bare "tainted".
 
-The engine is deliberately intraprocedural (plus the one-module summary
-step): no fixpoint across modules, no heap model, no path sensitivity.
-The rules that ride on it are conservative in the direction of their
-invariant and anything residual is a reviewed ``allow[...]`` -- same
-contract as PR 4.
+v3 lifts the engine across module boundaries.  A :class:`ModuleDataflow`
+built with a *project* oracle (see :mod:`repro.staticcheck.summaries`)
+substitutes fixpoint return-taint summaries for calls that resolve to
+functions in *other analyzed modules* -- ``module.func(...)``,
+``from m import f``-style calls, and ``Module.Class.method`` chains --
+so entropy laundered through any number of helpers in any number of
+files still reaches the sink with a full cross-file trace.  Taints
+substituted this way carry an ``origin`` (the defining module), which
+the trace renders as ``os.getpid (pkg.helpers:4)``.  The same engine,
+run in *seed-collection* mode (``collect_calls=True``), records the raw
+material those summaries are built from: symbolic ``CALL`` taints for
+unresolved cross-module targets, per-function call refs, and
+param-mutation facts (parameters bound to ``ALIAS`` markers, so
+``t = p; t.clear()`` is still a mutation of parameter ``p``).
+
+Within one module the engine stays exactly as conservative as v2: no
+heap model, no path sensitivity; method calls through arbitrary objects
+(``obj.m()`` where ``obj`` is a local) are never resolved.  The rules
+that ride on it are conservative in the direction of their invariant
+and anything residual is a reviewed ``allow[...]`` -- same contract as
+PR 4.
 """
 
 from __future__ import annotations
@@ -51,6 +67,7 @@ __all__ = [
     "FLOAT",
     "ATTR",
     "ALIAS",
+    "CALL",
     "ModuleDataflow",
     "FunctionFlow",
     "ENTROPY_SOURCES",
@@ -72,9 +89,16 @@ FLOAT = "float"
 ATTR = "attr"
 #: Name *is* a ``self.X`` attribute (object identity, not just data).
 ALIAS = "alias"
+#: Value is the return of a not-yet-resolved cross-module call (seed
+#: mode only; the fixpoint replaces these with the callee's taints).
+CALL = "call"
 
 #: Hops kept per trace; beyond this the trail is elided, not the taint.
 _MAX_HOPS = 8
+
+#: ``ALIAS`` source spelling for "this name is parameter *i*" in seed
+#: mode; lets ``t = p; t.clear()`` register as a mutation of param *i*.
+_PARAM_MARK = "<param:"
 
 # -- source tables (shared with the syntactic checkers) ----------------
 
@@ -157,33 +181,49 @@ MUTATOR_METHODS = frozenset(
 @dataclass(frozen=True, slots=True)
 class Taint:
     """One tracked provenance: *kind* (``ENTROPY``/``FLOAT``/``ATTR``/
-    ``ALIAS``), the source expression text, its line, and the hops the
-    value took through named bindings since."""
+    ``ALIAS``/``CALL``), the source expression text, its line, and the
+    hops the value took through named bindings since.  ``origin`` names
+    the module the source lives in when the taint crossed a module
+    boundary ("" while it stays local), so cross-file traces read
+    ``os.getpid (pkg.helpers:4) -> seed_for() return (line 9)``."""
 
     kind: str
     source: str
     line: int
     hops: tuple[str, ...] = ()
+    origin: str = ""
 
     def hop(self, step: str) -> "Taint":
         if len(self.hops) >= _MAX_HOPS:
             return self
-        return Taint(self.kind, self.source, self.line, self.hops + (step,))
+        return Taint(self.kind, self.source, self.line, self.hops + (step,), self.origin)
 
     def trace(self) -> tuple[str, ...]:
         """Human-readable origin-to-here chain for finding messages."""
-        return (f"{self.source} (line {self.line})", *self.hops)
+        where = f"{self.origin}:{self.line}" if self.origin else f"line {self.line}"
+        return (f"{self.source} ({where})", *self.hops)
 
 
 _EMPTY: frozenset[Taint] = frozenset()
 
 #: Kinds that survive a call / arithmetic / construction boundary: the
 #: result still *derives from* the input, but is a fresh object.
-_DATA_KINDS = frozenset({ENTROPY, FLOAT, ATTR})
+#: ``CALL`` placeholders ride along so seed-mode summaries see entropy
+#: laundered through arithmetic on an unresolved call's result.
+_DATA_KINDS = frozenset({ENTROPY, FLOAT, ATTR, CALL})
 
 
 def _data_only(taints: frozenset[Taint]) -> frozenset[Taint]:
     return frozenset(t for t in taints if t.kind in _DATA_KINDS)
+
+
+def _param_indices(taints: frozenset[Taint]) -> frozenset[int]:
+    """Parameter indices named by seed-mode ``<param:i>`` alias marks."""
+    out = set()
+    for taint in taints:
+        if taint.kind == ALIAS and taint.source.startswith(_PARAM_MARK):
+            out.add(int(taint.source[len(_PARAM_MARK) : -1]))
+    return frozenset(out)
 
 
 def dotted_parts(node: ast.expr) -> tuple[str, ...] | None:
@@ -204,23 +244,41 @@ class ModuleDataflow:
     """Dataflow over one module: a :class:`FunctionFlow` per function
     (plus one for module-level statements), return-taint summaries for
     local functions and methods, and an import-alias table so
-    ``from time import time as wall`` still reads as ``time.time``."""
+    ``from time import time as wall`` still reads as ``time.time``.
 
-    def __init__(self, tree: ast.Module) -> None:
+    ``module_name`` anchors relative imports (``from .helpers import f``)
+    to canonical dotted names.  ``project`` is the cross-module oracle
+    (duck-typed: ``lookup(module, ref)`` / ``mutated_params(module,
+    ref)``); when present, calls resolving into other analyzed modules
+    substitute the callee's fixpoint summary.  ``collect_calls=True``
+    switches to seed-collection mode instead: parameters are bound to
+    alias markers and each flow records call refs, param passes and
+    param mutations for :mod:`repro.staticcheck.summaries`."""
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        module_name: str = "",
+        project: object | None = None,
+        collect_calls: bool = False,
+    ) -> None:
         self.tree = tree
-        self.aliases = self._import_aliases(tree)
+        self.module_name = module_name
+        self.project = project
+        self.collect_calls = collect_calls
+        self.aliases = self._import_aliases(tree, module_name)
         #: Return-taint summaries: ``("", name)`` for module-level
         #: functions, ``(class_name, name)`` for methods.
         self.summaries: dict[tuple[str, str], frozenset[Taint]] = {}
         #: node id -> taints, shared by every flow in the module.
         self._memo: dict[int, frozenset[Taint]] = {}
-        self._functions = self._collect_functions(tree)
+        self.function_nodes = self._collect_functions(tree)
         self._run()
 
     # -- construction --------------------------------------------------
 
     @staticmethod
-    def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    def _import_aliases(tree: ast.Module, module_name: str = "") -> dict[str, str]:
         aliases: dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -228,14 +286,24 @@ class ModuleDataflow:
                     aliases[(name.asname or name.name).split(".")[0]] = (
                         name.name if name.asname else name.name.split(".")[0]
                     )
-            elif isinstance(node, ast.ImportFrom) and not node.level:
-                if node.module is None:
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # Relative import: resolve against the module's own
+                    # dotted name (mirrors loader.module_imports).
+                    if not module_name:
+                        continue
+                    parts = module_name.split(".")
+                    if node.level > len(parts):
+                        continue
+                    base = parts[: len(parts) - node.level]
+                    target = ".".join(base + ([node.module] if node.module else []))
+                else:
+                    target = node.module or ""
+                if not target:
                     continue
                 for name in node.names:
                     if name.name != "*":
-                        aliases[name.asname or name.name] = (
-                            f"{node.module}.{name.name}"
-                        )
+                        aliases[name.asname or name.name] = f"{target}.{name.name}"
         return aliases
 
     @staticmethod
@@ -263,18 +331,18 @@ class ModuleDataflow:
         # Two summary rounds: the first sees leaf functions, the second
         # resolves one level of local call chaining (f -> g -> source).
         for _round in range(2):
-            for owner, func in self._functions:
+            for owner, func in self.function_nodes:
                 flow = FunctionFlow(func, self)
                 self.summaries[(owner, func.name)] = flow.return_taints
         # Final round records node taints with complete summaries, and
         # runs the module-level statements as a pseudo-function.
         self._memo.clear()
         self._flows: dict[int, FunctionFlow] = {}
-        for owner, func in self._functions:
+        for owner, func in self.function_nodes:
             flow = FunctionFlow(func, self, memo=self._memo)
             self.summaries[(owner, func.name)] = flow.return_taints
             self._flows[id(func)] = flow
-        self._module_flow = FunctionFlow(self.tree, self, memo=self._memo)
+        self.module_flow = FunctionFlow(self.tree, self, memo=self._memo)
 
     # -- queries -------------------------------------------------------
 
@@ -297,6 +365,60 @@ class ModuleDataflow:
         root = self.aliases.get(parts[0], parts[0])
         return ".".join((root, *parts[1:]))
 
+    def call_target(
+        self, node: ast.Call, env: dict[str, frozenset[Taint]] | None = None
+    ) -> tuple[str, int] | None:
+        """The callee of *node* as an interprocedural ref, or ``None``
+        when it cannot be named statically.
+
+        Ref forms: ``":f"`` -- a module-level function of *this* module;
+        ``"self.m"`` -- a method reached through ``self``; a canonical
+        dotted name (``"pkg.helpers.seed_for"``) -- anything reached
+        through an import alias.  The second element is the arg offset:
+        caller argument *i* binds callee parameter ``i + offset`` (1 for
+        ``self.m`` calls, else 0).  ``env`` (when given) rules out names
+        the current flow rebound locally -- a local object's method is
+        never a resolvable target.
+        """
+        func = node.func
+        if isinstance(func, ast.Name):
+            if env is not None and func.id in env:
+                return None
+            if ("", func.id) in self.summaries:
+                return (f":{func.id}", 0)
+            dotted = self.aliases.get(func.id)
+            if dotted is not None and "." in dotted:
+                if FunctionFlow._source_taints(dotted, func.lineno):
+                    return None
+                return (dotted, 0)
+            return None
+        parts = dotted_parts(func)
+        if parts is None:
+            return None
+        if parts[0] == "self":
+            return (f"self.{parts[1]}", 1) if len(parts) == 2 else None
+        if env is not None and parts[0] in env:
+            return None
+        if parts[0] not in self.aliases:
+            return None
+        dotted = ".".join((self.aliases[parts[0]], *parts[1:]))
+        if FunctionFlow._source_taints(dotted, func.lineno):
+            return None
+        return (dotted, 0)
+
+    def mutated_args(self, node: ast.Call) -> frozenset[int]:
+        """Caller-side positional argument indices whose *objects* the
+        callee is known (via project summaries) to mutate in place.
+        Empty without a project or for unresolvable callees."""
+        if self.project is None:
+            return frozenset()
+        target = self.call_target(node)
+        if target is None:
+            return frozenset()
+        ref, offset = target
+        mutated = self.project.mutated_params(self.module_name, ref)
+        return frozenset(i - offset for i in mutated if i >= offset)
+
 
 class FunctionFlow:
     """One forward pass over one function body (or the module body):
@@ -315,6 +437,20 @@ class FunctionFlow:
         self.env: dict[str, frozenset[Taint]] = {}
         self.return_taints: frozenset[Taint] = _EMPTY
         self.return_nodes: list[ast.Return] = []
+        #: Seed-collection mode only: dotted refs this flow calls,
+        #: ``(param_idx, callee_ref, callee_arg_pos)`` passes, and the
+        #: indices of parameters whose objects the body mutates.
+        self.call_refs: set[str] = set()
+        self.param_passes: set[tuple[int, str, int]] = set()
+        self.mutated_params: set[int] = set()
+        if module.collect_calls and isinstance(
+            func, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            params = [*func.args.posonlyargs, *func.args.args]
+            for index, param in enumerate(params):
+                self.env[param.arg] = frozenset(
+                    {Taint(ALIAS, f"{_PARAM_MARK}{index}>", func.lineno)}
+                )
         body = func.body if isinstance(func.body, list) else []
         self._exec_block(body)
 
@@ -392,6 +528,8 @@ class FunctionFlow:
             for target in stmt.targets:
                 if isinstance(target, ast.Name):
                     self.env.pop(target.id, None)
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    self._note_param_store(target.value)
         # Nested FunctionDef / ClassDef / Import / Pass / Break /
         # Continue / Global / Nonlocal: no dataflow at this level.
 
@@ -416,8 +554,23 @@ class FunctionFlow:
                 self.env[base.id] = self.env.get(base.id, _EMPTY) | _data_only(
                     taints
                 )
-        # Attribute targets (self.X = ...) are stores the syntactic
-        # rules already see; nothing to track forward here.
+            self._note_param_store(base)
+        elif isinstance(target, ast.Attribute):
+            # Attribute targets (self.X = ...) are stores the syntactic
+            # rules already see; in seed mode, p.x = ... is a mutation
+            # of the object parameter p aliases.
+            self._note_param_store(target.value)
+
+    def _note_param_store(self, base: ast.expr) -> None:
+        """Seed mode: a store through *base* mutates any parameter the
+        rooted name aliases (``self`` excluded -- R005's territory)."""
+        if not self.module.collect_calls:
+            return
+        root = base
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id != "self":
+            self.mutated_params |= _param_indices(self.env.get(root.id, _EMPTY))
 
     # -- expressions ---------------------------------------------------
 
@@ -548,26 +701,40 @@ class FunctionFlow:
 
     def _eval_call(self, node: ast.Call) -> frozenset[Taint]:
         func_taints = self._eval(node.func)
+        arg_taint_sets = [self._eval(arg) for arg in node.args]
         arg_taints = _EMPTY
-        for arg in node.args:
-            arg_taints = arg_taints | self._eval(arg)
+        for taints in arg_taint_sets:
+            arg_taints = arg_taints | taints
         for keyword in node.keywords:
             arg_taints = arg_taints | self._eval(keyword.value)
         # d.update(other) / d.append(x): the receiver absorbs the
-        # argument taints (containers as sinks-then-sources).
+        # argument taints (containers as sinks-then-sources); in seed
+        # mode a mutator call on a parameter alias is a param mutation.
         if (
             isinstance(node.func, ast.Attribute)
             and node.func.attr in MUTATOR_METHODS
             and isinstance(node.func.value, ast.Name)
         ):
             receiver = node.func.value.id
+            if self.module.collect_calls and receiver != "self":
+                self.mutated_params |= _param_indices(
+                    self.env.get(receiver, _EMPTY)
+                )
             self.env[receiver] = self.env.get(receiver, _EMPTY) | _data_only(
                 arg_taints
             )
-        # float() is itself a float source.
+        # float() is itself a float source; setattr/delattr through a
+        # parameter alias mutates that parameter's object (seed mode).
         extra: frozenset[Taint] = _EMPTY
-        if isinstance(node.func, ast.Name) and node.func.id == "float":
-            extra = frozenset({Taint(FLOAT, "float()", node.lineno)})
+        if isinstance(node.func, ast.Name):
+            if node.func.id == "float":
+                extra = frozenset({Taint(FLOAT, "float()", node.lineno)})
+            elif (
+                node.func.id in ("setattr", "delattr")
+                and self.module.collect_calls
+                and arg_taint_sets
+            ):
+                self.mutated_params |= _param_indices(arg_taint_sets[0])
         # Calls of local functions / self-methods substitute the callee's
         # return summary (re-anchored at the call line, keeping the
         # callee-side origin in the trace).
@@ -576,7 +743,39 @@ class FunctionFlow:
             extra = extra | frozenset(
                 t.hop(f"-> returned to line {node.lineno}") for t in summary
             )
+        extra = extra | self._interprocedural(node, arg_taint_sets)
         return _data_only(func_taints | arg_taints) | extra
+
+    def _interprocedural(
+        self, node: ast.Call, arg_taint_sets: list[frozenset[Taint]]
+    ) -> frozenset[Taint]:
+        """Seed mode: record the call's ref / param passes and return a
+        ``CALL`` placeholder for cross-module targets.  Check mode with
+        a project: substitute the resolved callee's fixpoint taints."""
+        target = self.module.call_target(node, env=self.env)
+        if target is None:
+            return _EMPTY
+        ref, offset = target
+        local = ref.startswith((":", "self."))
+        if self.module.collect_calls:
+            for pos, taints in enumerate(arg_taint_sets):
+                for index in _param_indices(taints):
+                    self.param_passes.add((index, ref, pos + offset))
+            if local:
+                # Local transitivity is already carried by the
+                # module-level summaries; no placeholder needed.
+                return _EMPTY
+            self.call_refs.add(ref)
+            return frozenset({Taint(CALL, ref, node.lineno)})
+        if self.module.project is not None and not local:
+            info = self.module.project.lookup(self.module.module_name, ref)
+            if info is not None and info.taints:
+                leaf = ref.rsplit(".", 1)[-1]
+                return frozenset(
+                    t.hop(f"-> {leaf}() return (line {node.lineno})")
+                    for t in info.taints
+                )
+        return _EMPTY
 
     def _summary_for(self, node: ast.Call) -> frozenset[Taint]:
         func = node.func

@@ -53,6 +53,9 @@ class SourceModule:
     suppressions: list[Suppression] = field(default_factory=list)
     #: ``(first_line, last_line, def_line)`` per function, innermost last.
     function_spans: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Cross-module oracle (a ``summaries.ProjectSummaries``), attached
+    #: by the runner when a whole-project analysis is available.
+    project: object | None = None
     #: Lazily-built dataflow engine, shared by every flow-aware checker.
     _dataflow: ModuleDataflow | None = None
 
@@ -60,7 +63,9 @@ class SourceModule:
         """The module's dataflow analysis, built on first use so purely
         syntactic runs (e.g. ``--rules R001``) never pay for it."""
         if self._dataflow is None:
-            self._dataflow = ModuleDataflow(self.tree)
+            self._dataflow = ModuleDataflow(
+                self.tree, module_name=self.name, project=self.project
+            )
         return self._dataflow
 
     def suppression_for(self, rule: str, line: int) -> Suppression | None:

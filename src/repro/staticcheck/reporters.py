@@ -1,18 +1,22 @@
 """Text and JSON reporters.
 
 Text is for humans at a terminal (one ``path:line: RULE message`` per
-finding plus a summary); JSON (schema ``repro.reprolint/2``) is for the
+finding plus a summary); JSON (schema ``repro.reprolint/3``) is for the
 bench runner and any CI tooling that wants the counts without parsing
 prose.
 
 Schema history:
 
 * ``repro.reprolint/1`` -- PR 4: findings, counts, suppressions.
-* ``repro.reprolint/2`` -- this PR: adds ``analyzer_version``,
+* ``repro.reprolint/2`` -- PR 5: adds ``analyzer_version``,
   ``config_hash`` (the composite incremental-cache key), ``cache``
   hit/miss statistics (``null`` when the cache was off), and a ``trace``
   list on each finding (the dataflow engine's origin-to-sink taint
   trail, empty for purely syntactic findings).
+* ``repro.reprolint/3`` -- this PR: traces may cross function and
+  module boundaries (``os.getpid (pkg.helpers:12) -> seed_for() return
+  (line 88)``), and the ``cache`` block gains ``changed_functions`` /
+  ``invalidated_functions`` (per-function invalidation counters).
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["render_text", "render_json", "JSON_SCHEMA"]
 
-JSON_SCHEMA = "repro.reprolint/2"
+JSON_SCHEMA = "repro.reprolint/3"
 
 
 def _cache_note(result: "AnalysisResult") -> str:

@@ -6,10 +6,20 @@ picklable worker, so the same code path serves three execution modes --
 
 * **serial** (the default on one core, and for small dirty sets);
 * **multiprocessing** (``--jobs N``): cold full-tree runs fan the worker
-  out over a process pool;
+  out over a process pool (workers inherit the project summaries via a
+  pool initializer, so the oracle is shipped once per worker);
 * **cached** (``--cache``/``--no-cache``): reuse each file's stored
-  outcome unless its content hash changed or a changed module is in its
-  transitive imports (see :mod:`repro.staticcheck.cache`).
+  outcome unless its content hash changed or it owns a function in the
+  dirty call-graph closure (see :mod:`repro.staticcheck.cache`).
+
+v3 adds a project phase before the per-file phase: function seeds for
+every file (cached ones come from their cache entries, changed ones
+from the planner's re-extraction, and with the cache off everything is
+seeded in-process) are closed into a
+:class:`~repro.staticcheck.summaries.ProjectSummaries` oracle that each
+per-file analysis consults for cross-module taint and mutation facts.
+A fully-warm run analyzes nothing and therefore never builds the
+oracle -- the ~10 ms warm path is untouched.
 
 Project-level checks (``Checker.check_project``, e.g. R004's allowance
 cycles) run exactly once per analysis in the parent process; they
@@ -29,11 +39,12 @@ from __future__ import annotations
 import argparse
 import multiprocessing
 import os
+import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence, TextIO
+from typing import Iterable, Sequence, TextIO
 
 from repro.staticcheck.cache import (
     CACHE_FILENAME,
@@ -53,6 +64,11 @@ from repro.staticcheck.loader import (
 )
 from repro.staticcheck.model import ANALYZER_VERSION, USELESS_SUPPRESSION, Finding
 from repro.staticcheck.reporters import render_json, render_text
+from repro.staticcheck.summaries import (
+    FunctionSeed,
+    ProjectSummaries,
+    extract_file_seeds,
+)
 
 __all__ = ["AnalysisResult", "analyze_paths", "analyze_file", "run_cli", "main"]
 
@@ -106,15 +122,22 @@ def analyze_file(
     config: ReprolintConfig,
     requested: frozenset[str] | None,
     digest: str = "",
+    project: ProjectSummaries | None = None,
+    seeds: dict[str, FunctionSeed] | None = None,
 ) -> tuple[str, CachedFile]:
     """Analyze one file, completely: load, run every active checker,
     match suppressions, report stale suppressions.  Pure function of
-    (file content, config, requested rules) -- the property both the
-    cache and the process pool rely on."""
+    (file content, config, requested rules, project summaries) -- the
+    property both the cache and the process pool rely on.  *seeds* are
+    the file's already-extracted function seeds, stored into the cache
+    record so warm planning never re-parses the file."""
     file_path = Path(path_str)
     try:
         module = load_module(file_path)
     except SyntaxError as exc:
+        # Never memoized as clean: the record keeps the E999 finding
+        # (replayed on warm hits) and carries no function seeds, so the
+        # broken file contributes nothing to the project oracle.
         record = CachedFile(hash=digest, module=module_name_for(file_path))
         record.findings.append(
             Finding(
@@ -125,6 +148,7 @@ def analyze_file(
             )
         )
         return path_str, record
+    module.project = project
     active = config.rules_for(module.name)
     if requested is not None:
         active &= requested
@@ -136,6 +160,7 @@ def analyze_file(
         hash=digest,
         module=module.name,
         imports=tuple(sorted({t for t, _ in module_imports(module.tree, module.name)})),
+        functions=dict(seeds) if seeds else {},
     )
     for finding in raw:
         suppression = module.suppression_for(finding.rule, finding.line)
@@ -165,10 +190,23 @@ def analyze_file(
     return path_str, record
 
 
+#: Per-worker project oracle, installed once by the pool initializer so
+#: it is pickled per *worker*, not per task.
+_WORKER_PROJECT: ProjectSummaries | None = None
+
+
+def _pool_init(project: ProjectSummaries | None) -> None:
+    global _WORKER_PROJECT
+    _WORKER_PROJECT = project
+
+
 def _pool_worker(
-    args: tuple[str, ReprolintConfig, frozenset[str] | None, str],
+    args: tuple[str, ReprolintConfig, frozenset[str] | None, str, dict[str, FunctionSeed]],
 ) -> tuple[str, CachedFile]:
-    return analyze_file(*args)
+    path_str, config, requested, digest, seeds = args
+    return analyze_file(
+        path_str, config, requested, digest, project=_WORKER_PROJECT, seeds=seeds
+    )
 
 
 def _effective_jobs(jobs: int | None) -> int:
@@ -185,6 +223,7 @@ def analyze_paths(
     cache: bool = False,
     cache_path: Path | None = None,
     jobs: int | None = None,
+    report_only: Iterable[Path | str] | None = None,
 ) -> AnalysisResult:
     """Run the checkers over every ``.py`` file under *paths*.
 
@@ -200,6 +239,11 @@ def analyze_paths(
     ``pyproject.toml``.  *jobs* sets the process-pool width for the
     files that actually need analysis (``None``/``0`` = one per CPU,
     ``1`` = serial).
+
+    *report_only* keeps the *analysis* project-wide (so cross-module
+    facts and the cache stay correct) but filters the reported findings
+    to the given files -- the ``--changed`` fast path.  Project-level
+    findings (anchored to the config file) always survive the filter.
     """
     started = time.perf_counter()
     path_objs = [Path(p) for p in paths]
@@ -218,6 +262,7 @@ def analyze_paths(
 
     store: AnalysisCache | None = None
     targets: list[tuple[str, str]]  # (path, content hash) needing analysis
+    fresh_seeds: dict[str, dict[str, FunctionSeed]] = {}
     if cache:
         if cache_path is None:
             anchor = (
@@ -228,26 +273,62 @@ def analyze_paths(
             cache_path = anchor / CACHE_FILENAME
         store = AnalysisCache.load(cache_path, result.config_hash)
         hashes = {path: content_hash(Path(path)) for path in files}
-        changed, invalidated = store.plan(hashes)
+        plan = store.plan(hashes, extract=extract_file_seeds)
+        changed, invalidated = plan.changed, plan.invalidated
+        fresh_seeds = plan.fresh_seeds
         result.cache_stats = CacheStats(
             hits=len(files) - len(changed) - len(invalidated),
             misses=len(changed) + len(invalidated),
             invalidated=len(invalidated),
+            changed_functions=plan.changed_functions,
+            invalidated_functions=plan.invalidated_functions,
         )
         targets = [(path, hashes[path]) for path in files if path in changed or path in invalidated]
     else:
         targets = [(path, "") for path in files]
 
+    # Project phase: close every file's function seeds into the
+    # cross-module oracle.  Skipped on fully-warm runs (no targets) --
+    # nothing re-analyzes, so nobody consults it.
+    project: ProjectSummaries | None = None
+    seed_map: dict[str, dict[str, FunctionSeed]] = {}
+    if targets:
+        by_module: dict[str, dict[str, FunctionSeed]] = {}
+        for path in files:
+            entry = store.entries.get(path) if store is not None else None
+            if path in fresh_seeds:
+                seeds = fresh_seeds[path]
+                module_name = (
+                    entry.module if entry is not None else module_name_for(Path(path))
+                )
+            elif entry is not None:
+                seeds = entry.functions
+                module_name = entry.module
+            else:
+                seeds = extract_file_seeds(path)
+                module_name = module_name_for(Path(path))
+            seed_map[path] = seeds
+            by_module.setdefault(module_name, {}).update(seeds)
+        project = ProjectSummaries(by_module)
+
     outcomes: dict[str, CachedFile] = {}
     pool_jobs = _effective_jobs(jobs)
     if pool_jobs > 1 and len(targets) >= _POOL_THRESHOLD:
-        work = [(path, config, requested, digest) for path, digest in targets]
-        with multiprocessing.Pool(processes=pool_jobs) as pool:
+        work = [
+            (path, config, requested, digest, seed_map.get(path, {}))
+            for path, digest in targets
+        ]
+        with multiprocessing.Pool(
+            processes=pool_jobs, initializer=_pool_init, initargs=(project,)
+        ) as pool:
             for path, record in pool.map(_pool_worker, work):
                 outcomes[path] = record
     else:
         for path, digest in targets:
-            _, record = analyze_file(path, config, requested, digest)
+            _, record = analyze_file(
+                path, config, requested, digest,
+                project=project, seeds=seed_map.get(path, {}),
+            )
             outcomes[path] = record
 
     for path in files:
@@ -272,6 +353,22 @@ def analyze_paths(
         store.save()
 
     result.findings.sort(key=Finding.sort_key)
+    if report_only is not None:
+        keep = {str(Path(p).resolve()) for p in report_only}
+        config_str = (
+            str(result.config_path.resolve())
+            if result.config_path is not None
+            else None
+        )
+
+        def _kept(path_str: str) -> bool:
+            resolved = str(Path(path_str).resolve())
+            return resolved in keep or resolved == config_str
+
+        result.findings = [f for f in result.findings if _kept(f.path)]
+        result.suppressed = [
+            (f, line) for f, line in result.suppressed if _kept(f.path)
+        ]
     result.elapsed_s = time.perf_counter() - started
     return result
 
@@ -326,7 +423,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for files needing analysis (0 = one per CPU)",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report findings only for files changed in git (working tree "
+            "vs HEAD, plus untracked); the analysis itself stays "
+            "project-wide so cross-module facts and the cache are exact"
+        ),
+    )
     return parser
+
+
+def _git_changed_files() -> frozenset[str]:
+    """Absolute paths of changed/untracked ``.py`` files per git.
+    Raises ``RuntimeError`` on any git failure (not a repo, no HEAD,
+    git missing) -- the CLI maps that to exit code 2."""
+
+    def _git(*argv: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, check=False
+            )
+        except FileNotFoundError as exc:
+            raise RuntimeError("git not found on PATH") from exc
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            raise RuntimeError(
+                f"git {argv[0]} failed: {detail[0] if detail else 'unknown error'}"
+            )
+        return proc.stdout
+
+    root = Path(_git("rev-parse", "--show-toplevel").strip())
+    names = _git("diff", "--name-only", "HEAD").splitlines()
+    names += _git("ls-files", "--others", "--exclude-standard").splitlines()
+    return frozenset(
+        str(root / name) for name in names if name.endswith(".py")
+    )
 
 
 def run_cli(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int:
@@ -339,9 +472,20 @@ def run_cli(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> 
     rules = None
     if args.rules:
         rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+    report_only = None
+    if args.changed:
+        try:
+            report_only = _git_changed_files()
+        except RuntimeError as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return 2
     try:
         result = analyze_paths(
-            args.paths, rules=rules, cache=args.cache, jobs=args.jobs
+            args.paths,
+            rules=rules,
+            cache=args.cache,
+            jobs=args.jobs,
+            report_only=report_only,
         )
     except (ConfigError, ValueError, OSError) as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)

@@ -1,0 +1,286 @@
+"""Function summaries and the cross-module taint fixpoint.
+
+This is the whole-program half of the v3 engine.  Per module, a
+seed-collection :class:`~repro.staticcheck.dataflow.ModuleDataflow` run
+reduces every function to a :class:`FunctionSeed` -- the facts that
+survive a module boundary:
+
+* **Concrete return taints** -- entropy / float sources that reach a
+  ``return``, already filtered through the module's own ``allow[...]``
+  suppressions (a waived source must not cascade into every caller) and
+  stamped with the defining module as their ``origin``.
+* **Return calls** -- unresolved cross-module calls whose result
+  reaches a ``return`` (``CALL`` placeholders).  The fixpoint replaces
+  each with the callee's taints, so a seed laundered through any number
+  of helpers in any number of files still surfaces at the sink.
+* **Mutation facts** -- which parameters' objects the body mutates, and
+  which parameters it forwards to which callee positions, so
+  ``def _purge(t): t.clear()`` makes ``_purge(self._profiles)`` a state
+  mutation wherever it is called from.
+
+:class:`ProjectSummaries` closes these over the call graph (bounded
+rounds; taint sets are hop-capped and size-capped so the iteration
+converges) and answers the two queries check-mode dataflow asks:
+``lookup(module, ref) -> FunctionInfo`` and ``mutated_params(module,
+ref)``.  Seeds serialize into the analysis cache, so a warm run
+rebuilds the project oracle without re-parsing unchanged files.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.staticcheck.callgraph import MODULE_KEY, RefResolver
+from repro.staticcheck.dataflow import (
+    CALL,
+    ENTROPY,
+    FLOAT,
+    ModuleDataflow,
+    Taint,
+    dotted_parts,
+)
+from repro.staticcheck.loader import SourceModule, load_module
+
+__all__ = [
+    "FunctionSeed",
+    "FunctionInfo",
+    "ProjectSummaries",
+    "extract_seeds",
+    "extract_file_seeds",
+    "body_hash",
+    "class_attr_aliases",
+    "MODULE_KEY",
+]
+
+#: Which rule's suppressions filter which taint kind out of a summary.
+_KIND_RULE = {ENTROPY: "R002", FLOAT: "R001"}
+
+#: Caps keeping the fixpoint small and convergent.
+_MAX_SEED_TAINTS = 16
+_MAX_INFO_TAINTS = 24
+_MAX_ROUNDS = 20
+
+
+def body_hash(node: ast.AST) -> str:
+    """Structure-only function fingerprint: comments, whitespace, and
+    line-number shifts (code moving above the function) don't count as
+    a change, so they invalidate nothing downstream."""
+    return hashlib.sha256(ast.dump(node).encode()).hexdigest()[:16]
+
+
+def _taint_key(taint: Taint) -> tuple:
+    return (taint.kind, taint.origin, taint.source, taint.line, len(taint.hops), taint.hops)
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionSeed:
+    """One function's module-boundary facts, cache-serializable."""
+
+    hash: str = ""
+    taints: tuple[Taint, ...] = ()
+    return_calls: tuple[str, ...] = ()
+    calls: tuple[str, ...] = ()
+    mutated_params: tuple[int, ...] = ()
+    param_passes: tuple[tuple[int, str, int], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "hash": self.hash,
+            "taints": [
+                [t.kind, t.source, t.line, t.origin, list(t.hops)] for t in self.taints
+            ],
+            "return_calls": list(self.return_calls),
+            "calls": list(self.calls),
+            "mutated_params": list(self.mutated_params),
+            "param_passes": [list(p) for p in self.param_passes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FunctionSeed":
+        return cls(
+            hash=str(payload.get("hash", "")),
+            taints=tuple(
+                Taint(kind, source, int(line), tuple(hops), origin)
+                for kind, source, line, origin, hops in payload.get("taints", ())
+            ),
+            return_calls=tuple(payload.get("return_calls", ())),
+            calls=tuple(payload.get("calls", ())),
+            mutated_params=tuple(int(i) for i in payload.get("mutated_params", ())),
+            param_passes=tuple(
+                (int(i), ref, int(j)) for i, ref, j in payload.get("param_passes", ())
+            ),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionInfo:
+    """Fixpoint-resolved facts check-mode dataflow substitutes at a
+    call site: taints the call's result carries, parameter indices the
+    call mutates."""
+
+    taints: tuple[Taint, ...] = ()
+    mutates: frozenset[int] = frozenset()
+
+
+def extract_seeds(module: SourceModule) -> dict[str, FunctionSeed]:
+    """All function seeds of one parsed module, keyed by fq name
+    ("f" / "Cls.m"), plus a refs-only ``MODULE_KEY`` pseudo-entry for
+    the top-level statements."""
+    dataflow = ModuleDataflow(
+        module.tree, module_name=module.name, collect_calls=True
+    )
+    seeds: dict[str, FunctionSeed] = {}
+    for owner, func in dataflow.function_nodes:
+        flow = dataflow.flow(func)
+        if flow is None:
+            continue
+        fq = f"{owner}.{func.name}" if owner else func.name
+        concrete = []
+        for taint in flow.return_taints:
+            rule = _KIND_RULE.get(taint.kind)
+            if rule is None:
+                continue
+            if module.suppression_for(rule, taint.line) is not None:
+                continue
+            concrete.append(
+                Taint(taint.kind, taint.source, taint.line, taint.hops, module.name)
+            )
+        seeds[fq] = FunctionSeed(
+            hash=body_hash(func),
+            taints=tuple(sorted(set(concrete), key=_taint_key)[:_MAX_SEED_TAINTS]),
+            return_calls=tuple(
+                sorted({t.source for t in flow.return_taints if t.kind == CALL})
+            ),
+            calls=tuple(sorted(flow.call_refs)),
+            mutated_params=tuple(sorted(flow.mutated_params)),
+            param_passes=tuple(sorted(flow.param_passes)),
+        )
+    seeds[MODULE_KEY] = FunctionSeed(
+        calls=tuple(sorted(dataflow.module_flow.call_refs))
+    )
+    return seeds
+
+
+def extract_file_seeds(path: Path | str) -> dict[str, FunctionSeed]:
+    """Seeds for one file; empty when the file doesn't parse (an E999
+    file contributes nothing to the project and, by vanishing from the
+    call graph, dirties everything that called into it)."""
+    try:
+        return extract_seeds(load_module(Path(path)))
+    except (SyntaxError, OSError, UnicodeDecodeError, ValueError):
+        return {}
+
+
+class ProjectSummaries:
+    """The cross-module oracle: seeds closed over the call graph.
+
+    Picklable (pool workers carry it), and intentionally small -- after
+    the fixpoint only the resolved table and the resolver survive.
+    """
+
+    def __init__(self, seeds: Mapping[str, Mapping[str, FunctionSeed]]) -> None:
+        self._resolver = RefResolver(
+            {module: fns.keys() for module, fns in seeds.items()}
+        )
+        self._table: dict[tuple[str, str], FunctionInfo] = {}
+        self._solve(seeds)
+
+    def _solve(self, seeds: Mapping[str, Mapping[str, FunctionSeed]]) -> None:
+        taints: dict[tuple[str, str], frozenset[Taint]] = {}
+        mutates: dict[tuple[str, str], frozenset[int]] = {}
+        flat: list[tuple[str, str, FunctionSeed]] = []
+        for module in sorted(seeds):
+            for fq in sorted(seeds[module]):
+                seed = seeds[module][fq]
+                key = (module, fq)
+                taints[key] = frozenset(seed.taints)
+                mutates[key] = frozenset(seed.mutated_params)
+                flat.append((module, fq, seed))
+        for _round in range(_MAX_ROUNDS):
+            changed = False
+            for module, fq, seed in flat:
+                key = (module, fq)
+                new_taints = set(taints[key])
+                for ref in seed.return_calls:
+                    target = self._resolver.resolve(module, ref)
+                    if target is None:
+                        continue
+                    leaf = ref.rsplit(".", 1)[-1]
+                    for taint in taints.get(target, ()):
+                        new_taints.add(taint.hop(f"-> {leaf}() return"))
+                new_mutates = set(mutates[key])
+                for index, ref, pos in seed.param_passes:
+                    target = self._resolver.resolve(module, ref)
+                    if target is not None and pos in mutates.get(target, ()):
+                        new_mutates.add(index)
+                capped = frozenset(
+                    sorted(new_taints, key=_taint_key)[:_MAX_INFO_TAINTS]
+                )
+                if capped != taints[key]:
+                    taints[key] = capped
+                    changed = True
+                if new_mutates != mutates[key]:
+                    mutates[key] = frozenset(new_mutates)
+                    changed = True
+            if not changed:
+                break
+        for key in taints:
+            if taints[key] or mutates[key]:
+                self._table[key] = FunctionInfo(
+                    taints=tuple(sorted(taints[key], key=_taint_key)),
+                    mutates=mutates[key],
+                )
+
+    # -- queries (the ModuleDataflow `project` protocol) ---------------
+
+    def lookup(self, module: str, ref: str) -> FunctionInfo | None:
+        target = self._resolver.resolve(module, ref)
+        if target is None:
+            return None
+        return self._table.get(target)
+
+    def mutated_params(self, module: str, ref: str) -> frozenset[int]:
+        info = self.lookup(module, ref)
+        return info.mutates if info is not None else frozenset()
+
+
+def class_attr_aliases(class_node: ast.ClassDef) -> dict[str, str]:
+    """The self-attr alias map of one class: ``{alias: root}`` for every
+    ``self.X = self.Y`` assignment in any method, with chains resolved
+    to their root attribute (cycle-safe).  ``self._t = self._profiles``
+    yields ``{"_t": "_profiles"}``."""
+    direct: dict[str, str] = {}
+    for item in ast.walk(class_node):
+        if not isinstance(item, ast.Assign) or len(item.targets) != 1:
+            continue
+        target_parts = (
+            dotted_parts(item.targets[0])
+            if isinstance(item.targets[0], ast.Attribute)
+            else None
+        )
+        value_parts = (
+            dotted_parts(item.value) if isinstance(item.value, ast.Attribute) else None
+        )
+        if (
+            target_parts is not None
+            and value_parts is not None
+            and len(target_parts) == 2
+            and len(value_parts) == 2
+            and target_parts[0] == "self"
+            and value_parts[0] == "self"
+        ):
+            direct.setdefault(target_parts[1], value_parts[1])
+    roots: dict[str, str] = {}
+    for attr in direct:
+        seen = {attr}
+        current = direct[attr]
+        while current in direct and current not in seen:
+            seen.add(current)
+            current = direct[current]
+        if current != attr:
+            roots[attr] = current
+    return roots

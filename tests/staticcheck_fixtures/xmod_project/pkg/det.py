@@ -1,0 +1,11 @@
+"""Deterministic module whose RNG seed transits ``pkg.helpers`` --
+in-file dataflow sees only an opaque call, so v2 reports it clean."""
+
+import random
+
+from pkg.helpers import seed_for
+
+
+def make_rng(shard):
+    seed = seed_for(shard)
+    return random.Random(seed)

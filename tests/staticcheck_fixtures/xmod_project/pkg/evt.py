@@ -1,0 +1,15 @@
+"""Event-discipline blind spot: ``reset`` mutates ``self._profiles``
+through a stored alias handed to another module's mutating helper --
+no direct store, no in-file mutator-method call."""
+
+from pkg import util
+
+
+class Engine:
+    def __init__(self, bus):
+        self._bus = bus
+        self._profiles = {}
+        self._t = self._profiles
+
+    def reset(self):
+        util.purge(self._t)

@@ -1,0 +1,8 @@
+"""Exact module with no float syntax of its own: the contamination
+arrives through ``pkg.util.scale``'s return value."""
+
+from pkg.util import scale
+
+
+def pair(x, y):
+    return scale(x) + y

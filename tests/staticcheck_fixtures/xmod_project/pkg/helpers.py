@@ -1,0 +1,9 @@
+"""Innocent-looking helper module: nothing here is config-restricted,
+so every rule passes -- but ``seed_for`` launders OS entropy into a
+return value that ``pkg.det`` will feed a replay RNG."""
+
+import os
+
+
+def seed_for(shard):
+    return os.getpid() * 31 + shard

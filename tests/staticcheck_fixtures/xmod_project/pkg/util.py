@@ -1,0 +1,12 @@
+"""Measurement-side utilities: floats are legal *here* (the module is
+not exact), and ``purge`` mutates whatever table it is handed."""
+
+import math
+
+
+def scale(x):
+    return math.sqrt(x) * 2
+
+
+def purge(table):
+    table.clear()

@@ -233,3 +233,24 @@ def test_committed_staticcheck_cache_gate(bench_runner):
     assert lint["warm_hit_rate"] == 1.0
     assert 0 < lint["incremental_reanalyzed"] < lint["files"]
     assert lint["incremental_fraction"] < 1.0
+
+
+def test_committed_per_function_invalidation_gate(bench_runner):
+    """The v3 acceptance numbers: a comment-only edit re-analyzes
+    exactly the edited file (no function structure hash moved), and
+    both edits re-analyze strictly less than the v2 reverse-import
+    closure would have."""
+    committed = _RUNNER.parent / "BENCH_eval.json"
+    latest = json.loads(committed.read_text())["runs"][-1]
+    assert latest["mode"] == "full", "committed trajectory must end on a full run"
+    edits = latest["scenarios"]["staticcheck"]["incremental_edits"]
+    comment = edits["comment_edit"]
+    assert comment["reanalyzed"] == 1
+    assert comment["changed_functions"] == 0
+    assert comment["invalidated_functions"] == 0
+    assert comment["reanalyzed"] < comment["v2_closure_files"]
+    semantic = edits["semantic_edit"]
+    assert semantic["changed_functions"] >= 1
+    assert semantic["invalidated_functions"] >= 1
+    assert semantic["reanalyzed"] > comment["reanalyzed"]
+    assert semantic["reanalyzed"] < semantic["v2_closure_files"]

@@ -201,11 +201,11 @@ class TestParallelAndCli:
         assert "finding(s)" in capsys.readouterr().out
 
 
-class TestJsonSchemaV2:
+class TestJsonSchemaV3:
     def test_round_trip(self, project: Path):
         result = run(project)
         payload = json.loads(render_json(result))
-        assert payload["schema"] == JSON_SCHEMA == "repro.reprolint/2"
+        assert payload["schema"] == JSON_SCHEMA == "repro.reprolint/3"
         assert payload["analyzer_version"] == ANALYZER_VERSION
         assert payload["config_hash"] == result.config_hash != ""
         assert payload["cache"]["hits"] + payload["cache"]["misses"] == 5

@@ -1,0 +1,234 @@
+"""The v3 interprocedural upgrades, each against the ``xmod_project``
+fixture whose defects *span a module boundary* -- per-file analysis (all
+v2 had) provably reports every file clean.
+
+Same two-half pattern as ``test_staticcheck_flow_rules``: first run the
+v2 predicate (a single-file ``analyze_paths`` call, whose project
+oracle contains only that one module, or the v2 in-file helpers
+directly) and assert it sees nothing; then run the project-wide pass
+and assert the finding, its anchor line, and the cross-module trace.
+
+Also here: the per-function invalidation semantics (a comment edit
+ripples to nobody; a body edit to a helper re-analyzes its cross-module
+callers *and recomputes their findings*), the E999 warm-replay
+regression, and the ``--changed`` reporting filter.
+"""
+
+from __future__ import annotations
+
+import ast
+import shutil
+import subprocess
+from pathlib import Path
+
+from repro.staticcheck import ReprolintConfig, analyze_paths
+from repro.staticcheck.cache import CACHE_FILENAME
+from repro.staticcheck.checkers.event_discipline import (
+    _direct_mutation,
+    _mutating_call,
+    _publishes,
+)
+from repro.staticcheck.loader import load_module
+from repro.staticcheck.runner import run_cli
+
+FIXTURES = Path(__file__).resolve().parent / "staticcheck_fixtures"
+XMOD = FIXTURES / "xmod_project"
+
+ISOLATION_CONFIG = ReprolintConfig(
+    exact_modules=("*",),
+    deterministic_modules=("*",),
+    event_classes=("Engine",),
+)
+
+
+def _project_run(rules: list[str]):
+    return analyze_paths([XMOD], rules=rules, cache=False)
+
+
+class TestCrossModuleR002:
+    """``Random(seed_for(shard))`` where ``seed_for`` bottoms out in
+    ``os.getpid`` one module away."""
+
+    def test_per_file_analysis_misses_it(self):
+        result = analyze_paths(
+            [XMOD / "pkg" / "det.py"],
+            config=ISOLATION_CONFIG,
+            rules=["R002"],
+            cache=False,
+        )
+        assert result.findings == [], "v2 saw only an opaque call"
+
+    def test_v3_flags_the_laundered_seed(self):
+        result = _project_run(["R002"])
+        assert [f.line for f in result.findings] == [11]
+        finding = result.findings[0]
+        assert "seeded from entropy (os.getpid via pkg.helpers)" in finding.message
+        assert "os.getpid (pkg.helpers:9)" in finding.trace[0]
+        assert any("seed_for() return" in hop for hop in finding.trace)
+
+
+class TestCrossModuleR001:
+    """An exact module with no float syntax of its own, contaminated
+    through ``pkg.util.scale``'s return value."""
+
+    def test_per_file_analysis_misses_it(self):
+        result = analyze_paths(
+            [XMOD / "pkg" / "exactmod.py"],
+            config=ISOLATION_CONFIG,
+            rules=["R001"],
+            cache=False,
+        )
+        assert result.findings == [], "no float op appears in the file"
+
+    def test_v3_flags_the_transiting_float(self):
+        result = _project_run(["R001"])
+        assert [f.line for f in result.findings] == [8]
+        finding = result.findings[0]
+        assert "float-tainted data from pkg.util (math.sqrt)" in finding.message
+        assert "math.sqrt (pkg.util:8)" in finding.trace[0]
+        assert finding.trace[-1] == "-> scale() return (line 8)"
+
+    def test_floats_stay_legal_where_minted(self):
+        # pkg.util itself is not exact: zero R001 findings there.
+        result = _project_run(["R001"])
+        assert all(f.path.endswith("exactmod.py") for f in result.findings)
+
+
+class TestStoredAliasR005:
+    """``self._t = self._profiles`` in ``__init__`` plus
+    ``util.purge(self._t)`` in ``reset`` -- no direct store, no in-file
+    mutator-method call."""
+
+    def test_v2_predicates_miss_it(self):
+        module = load_module(XMOD / "pkg" / "evt.py")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "Engine":
+                reset = next(
+                    item
+                    for item in node.body
+                    if isinstance(item, ast.FunctionDef) and item.name == "reset"
+                )
+                assert _direct_mutation(reset) is None
+                assert not _publishes(reset)
+                # Project-less dataflow: the v2 mutator-receiver rule.
+                assert _mutating_call(reset, module.dataflow()) is None
+                return
+        raise AssertionError("no Engine class in fixture")
+
+    def test_v3_flags_the_delegated_mutation(self):
+        result = _project_run(["R005"])
+        assert [f.line for f in result.findings] == [14]
+        message = result.findings[0].message
+        assert "pkg.util.purge(self._t, ...) which mutates it" in message
+        assert "(self._t aliases self._profiles)" in message
+
+
+class TestPerFunctionInvalidation:
+    """The v3 cache plans per function: a comment edit ripples to
+    nobody; a body edit to ``seed_for`` re-analyzes its cross-module
+    caller and *changes its verdict*."""
+
+    def _copy(self, tmp_path: Path) -> Path:
+        target = tmp_path / "xmod"
+        shutil.copytree(XMOD, target)
+        return target
+
+    def _run(self, project: Path):
+        return analyze_paths(
+            [project], cache=True, cache_path=project / CACHE_FILENAME
+        )
+
+    def test_comment_edit_invalidates_nothing(self, tmp_path: Path):
+        project = self._copy(tmp_path)
+        self._run(project)
+        helpers = project / "pkg" / "helpers.py"
+        helpers.write_text(helpers.read_text() + "# trailing comment\n")
+        result = self._run(project)
+        stats = result.cache_stats
+        assert stats.misses == 1  # only helpers.py itself re-analyzes
+        assert stats.invalidated == 0
+        assert stats.changed_functions == 0  # structure hashes unmoved
+        assert stats.invalidated_functions == 0
+
+    def test_body_edit_reanalyzes_cross_module_callers(self, tmp_path: Path):
+        project = self._copy(tmp_path)
+        cold = self._run(project)
+        assert any(f.rule == "R002" for f in cold.findings)
+        helpers = project / "pkg" / "helpers.py"
+        helpers.write_text(
+            helpers.read_text().replace(
+                "return os.getpid() * 31 + shard", "return 1031 + shard"
+            )
+        )
+        result = self._run(project)
+        stats = result.cache_stats
+        assert stats.misses == 2  # helpers.py + the invalidated det.py
+        assert stats.invalidated == 1
+        assert stats.changed_functions >= 1
+        assert stats.invalidated_functions >= 1
+        # The verdict actually flips: the seed no longer derives from
+        # entropy, so det.py's cached R002 finding must NOT survive.
+        assert not any(f.rule == "R002" for f in result.findings)
+
+
+class TestE999WarmReplay:
+    """Regression: a syntax-error file must re-report E999 on warm runs
+    instead of poisoning the cache with a clean record."""
+
+    def test_parse_error_survives_the_cache(self, tmp_path: Path):
+        (tmp_path / "pyproject.toml").write_text("[tool.reprolint]\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        run = lambda: analyze_paths(  # noqa: E731
+            [tmp_path], cache=True, cache_path=tmp_path / CACHE_FILENAME
+        )
+        cold = run()
+        assert [f.rule for f in cold.findings] == ["E999"]
+        warm = run()
+        assert [f.rule for f in warm.findings] == ["E999"]
+        assert warm.findings[0].path.endswith("bad.py")
+        assert not warm.ok
+
+
+class TestChangedFlag:
+    """``--changed`` filters *reporting* to git-changed files while the
+    analysis stays project-wide."""
+
+    def _git(self, cwd: Path, *argv: str) -> None:
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+        )
+
+    def _project(self, tmp_path: Path) -> Path:
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.reprolint.r002]\ndeterministic-modules = [\"*\"]\n"
+        )
+        (tmp_path / "a.py").write_text(
+            "import time\n\n\ndef a():\n    return time.time()\n"
+        )
+        (tmp_path / "b.py").write_text(
+            "import time\n\n\ndef b():\n    return time.time()\n"
+        )
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_reports_only_changed_files(self, tmp_path, capsys, monkeypatch):
+        project = self._project(tmp_path)
+        monkeypatch.chdir(project)
+        (project / "a.py").write_text(
+            "import time\n\n\ndef a():\n    return time.time()  # touched\n"
+        )
+        assert run_cli([str(project), "--no-cache", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "a.py" in out
+        assert "b.py:" not in out
+
+    def test_outside_a_repo_is_a_usage_error(self, tmp_path, capsys, monkeypatch):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert run_cli([str(tmp_path), "--no-cache", "--changed"]) == 2

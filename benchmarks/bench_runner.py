@@ -362,9 +362,11 @@ def scenario_fault_recovery(smoke: bool, repeats: int) -> dict:
     (same contract as the kernel-consistency gate).
 
     Full mode runs enough ticks that per-shard task history dwarfs the
-    fixed-size serialization floor (the ledger's ~8 KB Mersenne rng
-    state rides in every delta), so ``incremental_fraction`` measures
-    the protocol on a long-lived shard, not the floor."""
+    fixed-size serialization floor, so ``incremental_fraction`` measures
+    the protocol on a long-lived shard, not the floor.  (That floor
+    used to be dominated by the ledger's ~8 KB Mersenne rng state
+    riding in every delta; the counter-based verification RNG shrinks
+    the rng entry to three scalars, so deltas are now pure payload.)"""
     ticks = 6 if smoke else 240
     volunteers = 8 if smoke else 32
     out = {}
@@ -492,12 +494,16 @@ def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
     """reprolint over the library tree: cold (no cache), warm (full
     cache hits, which must reproduce the cold findings exactly), and
     two one-edit incremental runs on a scratch copy of the tree that
-    measure the v3 per-function invalidation directly against what the
-    v2 import-closure would have re-analyzed.  A comment-only edit
-    changes no function structure hash, so exactly the edited file
-    re-analyzes (v2 re-analyzed its whole reverse-import closure); a
-    semantic body edit re-analyzes the edited file plus the owners of
-    functions in the reverse *call-graph* closure.  An unsuppressed
+    measure the v4 summary-delta planner directly against both of its
+    ancestors.  A comment-only edit changes no function structure hash,
+    so exactly the edited file re-analyzes (v2 re-analyzed its whole
+    reverse-import closure); a semantic body edit to ``get_pairing``
+    (the registry entry point half the tree calls) inserts a statement
+    without changing the function's dataflow summary, so the v4 planner
+    re-analyzes only the edited file while ``v3_closure_files`` records
+    what the v3 reverse call-graph closure would have re-run and
+    ``skipped_by_summary`` counts the consumers the old/new fixpoint
+    comparison proved unaffected.  An unsuppressed
     finding is a gate failure here, same contract as the
     kernel-consistency gate -- perf numbers from a tree that violates
     its own invariants are not worth recording."""
@@ -614,13 +620,17 @@ def scenario_staticcheck(smoke: bool, repeats: int) -> dict:
                 "reanalyzed": stats.misses,
                 "changed_functions": stats.changed_functions,
                 "invalidated_functions": stats.invalidated_functions,
+                "skipped_by_summary": stats.skipped_by_summary,
                 "v2_closure_files": comment_v2,
+                "v3_closure_files": stats.closure_files,
             },
             "semantic_edit": {
                 "reanalyzed": semantic_stats.misses,
                 "changed_functions": semantic_stats.changed_functions,
                 "invalidated_functions": semantic_stats.invalidated_functions,
+                "skipped_by_summary": semantic_stats.skipped_by_summary,
                 "v2_closure_files": semantic_v2,
+                "v3_closure_files": semantic_stats.closure_files,
             },
         },
         "unsuppressed_findings": len(result.findings),

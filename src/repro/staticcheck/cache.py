@@ -23,6 +23,21 @@ where the v2 reverse-*import* closure re-analyzed 14.  The v2 closure
 when no seed extractor is supplied, and as the bench's point of
 comparison.
 
+v4 cuts the reverse-call closure with a **summary delta**: what a
+caller's analysis actually consumed from a callee is its fixpoint
+``FunctionInfo`` (return taints + mutated params), so after
+re-extracting a changed function's seeds the planner solves the old
+and new ``ProjectSummaries`` fixpoints and re-analyzes a caller only
+when some callee's *info* moved -- one hop is enough, because fixpoint
+infos already encode transitive propagation.  A body edit that leaves
+the summary identical (renamed local, reordered statements, new
+logging) re-analyzes exactly the edited file, where the v3 closure
+walked every transitive caller.  ``skipped_by_summary`` counts the
+functions the v3 closure would have dirtied that the delta skipped,
+and ``closure_files`` what the v3 plan would have re-analyzed -- the
+bench's point of comparison.  The new fixpoint rides back on the plan
+so the runner never solves it twice.
+
 Safety rails, each of which discards the cache wholesale rather than
 risk a stale finding:
 
@@ -54,7 +69,7 @@ from repro.staticcheck.callgraph import (
 )
 from repro.staticcheck.config import ReprolintConfig
 from repro.staticcheck.model import ANALYZER_VERSION, Finding
-from repro.staticcheck.summaries import FunctionSeed
+from repro.staticcheck.summaries import FunctionSeed, ProjectSummaries
 
 __all__ = [
     "AnalysisCache",
@@ -70,7 +85,8 @@ __all__ = [
 
 CACHE_FILENAME = ".reprolint-cache.json"
 #: /2: entries carry per-function seeds; planning is per-function.
-CACHE_SCHEMA = "repro.reprolint-cache/2"
+#: /3: entries carry R006 grammar facts (op tags harvested per file).
+CACHE_SCHEMA = "repro.reprolint-cache/3"
 
 
 def content_hash(path: Path) -> str:
@@ -101,6 +117,10 @@ def config_hash(
             key: list(value)
             for key, value in sorted(config.per_module_disable.items())
         },
+        "grammars": [
+            [g.name, list(g.emit), list(g.handle), list(g.replay), list(g.pure)]
+            for g in config.grammars
+        ],
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
@@ -113,14 +133,19 @@ class CacheStats:
     rather than by the file's own content changing;
     ``changed_functions`` / ``invalidated_functions`` are the
     per-function counters behind those file decisions (how many bodies
-    actually changed, and how many clean-file functions sat in their
-    reverse-call closure)."""
+    actually changed, and how many clean-file functions remained dirty
+    after the summary-delta cut); ``skipped_by_summary`` counts the
+    functions the v3 reverse-call closure would have dirtied whose
+    consumed summaries provably didn't move, and ``closure_files`` how
+    many files that closure would have re-analyzed."""
 
     hits: int = 0
     misses: int = 0
     invalidated: int = 0
     changed_functions: int = 0
     invalidated_functions: int = 0
+    skipped_by_summary: int = 0
+    closure_files: int = 0
 
     @property
     def total(self) -> int:
@@ -137,6 +162,8 @@ class CacheStats:
             "invalidated": self.invalidated,
             "changed_functions": self.changed_functions,
             "invalidated_functions": self.invalidated_functions,
+            "skipped_by_summary": self.skipped_by_summary,
+            "closure_files": self.closure_files,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -146,13 +173,18 @@ class CachePlan:
     """One :meth:`AnalysisCache.plan` decision: which files to
     re-analyze and why, plus the function seeds already extracted from
     the changed files (so the runner reuses them for the project
-    fixpoint instead of parsing twice)."""
+    fixpoint instead of parsing twice) and the solved *new* fixpoint
+    itself (``project``, computed for the summary delta -- the runner
+    reuses it as the cross-module oracle instead of solving again)."""
 
     changed: set[str] = field(default_factory=set)
     invalidated: set[str] = field(default_factory=set)
     fresh_seeds: dict[str, dict[str, FunctionSeed]] = field(default_factory=dict)
     changed_functions: int = 0
     invalidated_functions: int = 0
+    skipped_by_summary: int = 0
+    closure_files: int = 0
+    project: ProjectSummaries | None = None
 
 
 @dataclass(slots=True)
@@ -167,6 +199,9 @@ class CachedFile:
     suppressed: list[tuple[Finding, int]] = field(default_factory=list)
     imports: tuple[str, ...] = ()
     functions: dict[str, FunctionSeed] = field(default_factory=dict)
+    #: R006 facts: ``(grammar, role, tag, line)`` rows harvested from
+    #: this file (role: emit / handle / replay / *_decl).
+    grammar: tuple[tuple[str, str, str, int], ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -180,6 +215,7 @@ class CachedFile:
             "functions": {
                 fq: seed.to_dict() for fq, seed in sorted(self.functions.items())
             },
+            "grammar": [list(fact) for fact in self.grammar],
         }
 
     @classmethod
@@ -196,6 +232,10 @@ class CachedFile:
                 fq: FunctionSeed.from_dict(seed)
                 for fq, seed in data.get("functions", {}).items()
             },
+            grammar=tuple(
+                (str(name), str(role), str(tag), int(line))
+                for name, role, tag, line in data.get("grammar", ())
+            ),
         )
 
 
@@ -290,9 +330,13 @@ class AnalysisCache:
         ``summaries.extract_file_seeds``), the dependency unit is the
         function: changed files are re-seeded, the old and new call
         graphs are diffed, and only files owning a dirty function
-        invalidate.  The extracted seeds come back in the plan so the
-        runner never parses a changed file twice.  Without *extract*,
-        the v2 reverse-import closure decides."""
+        invalidate -- where dirty means a changed body, a retargeted
+        ref, or a consumed callee whose old and new fixpoint summaries
+        differ (the v4 summary-delta cut; callers of a function whose
+        summary provably didn't move are skipped).  The extracted seeds
+        and the solved fixpoint come back in the plan so the runner
+        never parses a changed file or solves the oracle twice.
+        Without *extract*, the v2 reverse-import closure decides."""
         changed = {
             path
             for path, digest in hashes.items()
@@ -325,7 +369,34 @@ class AnalysisCache:
         old_graph = CallGraph(old_files)
         new_graph = CallGraph(new_files)
         hash_changed = changed_functions(old_graph, new_graph)
-        dirty = invalidated_functions(old_graph, new_graph, hash_changed)
+        closure = invalidated_functions(old_graph, new_graph, hash_changed)
+        # The summary-delta cut: solve both fixpoints and dirty a
+        # caller only when a callee's consumed info moved.  One hop
+        # suffices -- if g's change propagates through f to e, then
+        # f's own fixpoint info moved too, and e has an edge to f.
+        old_project = ProjectSummaries(_seeds_by_module(old_files))
+        new_project = ProjectSummaries(_seeds_by_module(new_files))
+        dirty = set(hash_changed)
+        for key in new_graph.keys():
+            if key not in dirty and old_graph.resolutions(key) != new_graph.resolutions(key):
+                dirty.add(key)
+        summary_moved = {
+            key
+            for key in set(old_graph.keys()) | set(new_graph.keys())
+            if old_project.info(key) != new_project.info(key)
+        }
+        for graph in (old_graph, new_graph):
+            for key in graph.keys():
+                if key in dirty:
+                    continue
+                if any(
+                    target is not None and target in summary_moved
+                    for _ref, target in graph.resolutions(key)
+                ):
+                    dirty.add(key)
+        closure_owners = {
+            new_graph.owner_file(key) for key in closure
+        } - {None}
         invalidated: set[str] = set()
         ripple = 0
         for key in dirty:
@@ -339,6 +410,9 @@ class AnalysisCache:
             fresh_seeds=fresh_seeds,
             changed_functions=len(hash_changed),
             invalidated_functions=ripple,
+            skipped_by_summary=len(closure - dirty),
+            closure_files=len(changed | closure_owners),
+            project=new_project,
         )
 
     def _plan_imports(
@@ -388,6 +462,18 @@ class AnalysisCache:
             tmp.replace(self.path)
         except OSError:
             pass
+
+
+def _seeds_by_module(
+    files: Mapping[str, tuple[str, Mapping[str, FunctionSeed]]]
+) -> dict[str, dict[str, FunctionSeed]]:
+    """``{path: (module, seeds)}`` folded to the ``{module: seeds}``
+    shape ``ProjectSummaries`` consumes (same merge the runner does)."""
+    by_module: dict[str, dict[str, FunctionSeed]] = {}
+    for path in sorted(files):
+        module, seeds = files[path]
+        by_module.setdefault(module, {}).update(seeds)
+    return by_module
 
 
 def _module_guess(path: str) -> str:

@@ -88,6 +88,7 @@ def _registry() -> list[Checker]:
         FloatContaminationChecker,
     )
     from repro.staticcheck.checkers.layering import LayeringChecker
+    from repro.staticcheck.checkers.message_grammar import MessageGrammarChecker
     from repro.staticcheck.checkers.snapshot_completeness import (
         SnapshotCompletenessChecker,
     )
@@ -98,6 +99,7 @@ def _registry() -> list[Checker]:
         SnapshotCompletenessChecker(),
         LayeringChecker(),
         EventDisciplineChecker(),
+        MessageGrammarChecker(),
     ]
 
 

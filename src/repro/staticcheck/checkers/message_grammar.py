@@ -1,0 +1,270 @@
+"""R006: message-grammar conformance.
+
+The cross-process op protocol is a three-way agreement: the router
+*emits* tagged ops (``["tick", ...]`` list literals handed to a journal
+or shard-client call), the worker *handles* them live (``kind ==
+"tick"`` dispatch branches), and recovery *replays* them from the
+journal.  Drift between the three -- a tag emitted with no handler, a
+live-handled tag the journal cannot replay, a replay branch for a tag
+nothing emits -- is exactly the class of bug behind the torn-round and
+bulk-replay incidents, and no single-file rule can see it.
+
+The rule is configured, not inferred: each ``[[tool.reprolint.r006
+.grammar]]`` table names the emit / handle / replay functions (fully
+qualified) and the tags sanctioned to be live-only (``pure-tags``:
+read-only ops with no journal footprint).  Harvesting is per file --
+:func:`harvest_grammar` extracts ``(grammar, role, tag, line)`` facts
+from the modules that own a configured function, and the rows ride in
+the analysis cache -- while conformance (:func:`grammar_conformance`)
+is a whole-project set comparison the runner performs once per run over
+the cached facts, so a warm run pays set ops, not re-parses.
+
+Three checks per grammar:
+
+* ``E - (H | R)`` -- emitted but neither handled nor replayed (bulk
+  tags like ``requests`` are journal-only, so replay alone satisfies
+  an emit);
+* ``(H - R) - pure`` -- handled live but unreplayable: state mutated on
+  the live path silently vanishes on recovery unless the tag is
+  declared pure;
+* ``R - E`` -- a replay branch nothing emits: dead grammar, usually a
+  renamed tag whose emit site moved on.
+
+Findings carry a cross-file trace naming the emit, live-dispatch, and
+replay sites involved.  They anchor to real lines but are *project*
+findings (the evidence spans files), so they are not ``allow[...]``
+suppressible -- fix the grammar or the config.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Mapping
+
+from repro.staticcheck.checkers import Checker
+from repro.staticcheck.config import GrammarSpec, ReprolintConfig
+from repro.staticcheck.loader import SourceModule
+from repro.staticcheck.model import Finding
+
+__all__ = ["MessageGrammarChecker", "harvest_grammar", "grammar_conformance"]
+
+#: One harvested fact: ``(grammar, role, tag, line)``.  Roles are
+#: ``emit`` / ``handle`` / ``replay`` for tag sites and ``*_decl``
+#: (empty tag) anchoring the configured function's definition, so a
+#: *missing* branch still has a site the trace can point at.
+GrammarFact = tuple[str, str, str, int]
+
+
+class MessageGrammarChecker(Checker):
+    """R006 -- the registry entry.  Per-module :meth:`check` is empty on
+    purpose: facts are harvested by the runner (so they can ride in the
+    cache) and judged project-wide by :func:`grammar_conformance`."""
+
+    code = "R006"
+    name = "message-grammar"
+    summary = "op tags must agree across emit, live-dispatch, and replay sites"
+
+    def check(self, module: SourceModule, config: ReprolintConfig) -> list[Finding]:
+        return []
+
+
+# ----------------------------------------------------------------------
+# Per-file harvest
+# ----------------------------------------------------------------------
+
+
+def _owned_rest(module_name: str, ref: str) -> tuple[str, ...] | None:
+    """The in-module path of *ref* when this module owns it: ``("f",)``
+    or ``("Cls", "m")``.  A deeper rest means the ref belongs to a
+    submodule, not to us."""
+    prefix = module_name + "."
+    if not ref.startswith(prefix):
+        return None
+    parts = tuple(ref[len(prefix):].split("."))
+    return parts if 0 < len(parts) <= 2 else None
+
+
+def _locate(tree: ast.Module, parts: tuple[str, ...]) -> ast.AST | None:
+    """The FunctionDef at in-module path *parts* (classes for every part
+    but the last), or ``None``."""
+    body: Iterable[ast.stmt] = tree.body
+    for part in parts[:-1]:
+        found = None
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef) and stmt.name == part:
+                found = stmt
+                break
+        if found is None:
+            return None
+        body = found.body
+    for stmt in body:
+        if (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == parts[-1]
+        ):
+            return stmt
+    return None
+
+
+def _call_leaf(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _emit_facts(
+    tree: ast.Module, grammar: GrammarSpec, leaves: frozenset[str]
+) -> list[GrammarFact]:
+    """Tags at call sites of the grammar's emitters: any ``ast.List``
+    argument whose first element is a string literal is a tagged op."""
+    facts: list[GrammarFact] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or _call_leaf(node) not in leaves:
+            continue
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.List)
+                and arg.elts
+                and isinstance(arg.elts[0], ast.Constant)
+                and isinstance(arg.elts[0].value, str)
+            ):
+                facts.append((grammar.name, "emit", arg.elts[0].value, node.lineno))
+    return facts
+
+
+def _dispatch_facts(
+    func: ast.AST, grammar: GrammarSpec, role: str
+) -> list[GrammarFact]:
+    """Tags a dispatcher branches on: every ``name == "tag"`` (either
+    orientation) inside the configured function body."""
+    facts: list[GrammarFact] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not isinstance(node.ops[0], ast.Eq):
+            continue
+        for side in (node.left, node.comparators[0]):
+            if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                facts.append((grammar.name, role, side.value, node.lineno))
+    return facts
+
+
+def harvest_grammar(
+    module: SourceModule, config: ReprolintConfig
+) -> tuple[GrammarFact, ...]:
+    """All R006 facts this module contributes, deterministic order."""
+    facts: list[GrammarFact] = []
+    for grammar in config.grammars:
+        emit_leaves = set()
+        for ref in grammar.emit:
+            rest = _owned_rest(module.name, ref)
+            if rest is None:
+                continue
+            emit_leaves.add(rest[-1])
+            declared = _locate(module.tree, rest)
+            if declared is not None:
+                facts.append((grammar.name, "emit_decl", "", declared.lineno))
+        if emit_leaves:
+            facts.extend(_emit_facts(module.tree, grammar, frozenset(emit_leaves)))
+        for refs, role in ((grammar.handle, "handle"), (grammar.replay, "replay")):
+            for ref in refs:
+                rest = _owned_rest(module.name, ref)
+                if rest is None:
+                    continue
+                declared = _locate(module.tree, rest)
+                if declared is None:
+                    continue
+                facts.append((grammar.name, f"{role}_decl", "", declared.lineno))
+                facts.extend(_dispatch_facts(declared, grammar, role))
+    return tuple(sorted(set(facts)))
+
+
+# ----------------------------------------------------------------------
+# Whole-project conformance
+# ----------------------------------------------------------------------
+
+_ROLE_LABEL = {"emit": "emitted", "handle": "handled", "replay": "replayed"}
+
+
+def grammar_conformance(
+    config: ReprolintConfig,
+    facts: Mapping[str, tuple[str, tuple[GrammarFact, ...]]],
+) -> list[Finding]:
+    """Judge every configured grammar over the harvested facts
+    (``path -> (module, rows)``) and return the drift findings."""
+    findings: list[Finding] = []
+    for grammar in config.grammars:
+        sites: dict[str, dict[str, list[tuple[str, str, int]]]] = {
+            "emit": {}, "handle": {}, "replay": {},
+        }
+        decls: dict[str, list[tuple[str, str, int]]] = {
+            "emit": [], "handle": [], "replay": [],
+        }
+        for path in sorted(facts):
+            module_name, rows = facts[path]
+            for name, role, tag, line in rows:
+                if name != grammar.name:
+                    continue
+                if role.endswith("_decl"):
+                    decls[role[:-5]].append((path, module_name, line))
+                else:
+                    sites[role].setdefault(tag, []).append(
+                        (path, module_name, line)
+                    )
+        emitted = set(sites["emit"])
+        handled = set(sites["handle"])
+        replayed = set(sites["replay"])
+        pure = set(grammar.pure)
+
+        def trace_for(tag: str) -> tuple[str, ...]:
+            lines: list[str] = []
+            for role in ("emit", "handle", "replay"):
+                at = sites[role].get(tag)
+                if at:
+                    lines.extend(
+                        f"{_ROLE_LABEL[role]} at {p}:{ln}" for p, _m, ln in at
+                    )
+                else:
+                    lines.extend(
+                        f"no {role} branch in dispatcher at {p}:{ln}"
+                        for p, _m, ln in decls[role]
+                    )
+            return tuple(lines)
+
+        def report(tag: str, anchor_role: str, message: str) -> None:
+            anchor = sites[anchor_role][tag][0]
+            path, module_name, line = anchor
+            findings.append(
+                Finding(
+                    rule="R006",
+                    path=path,
+                    line=line,
+                    message=f"grammar '{grammar.name}': {message}",
+                    module=module_name,
+                    trace=trace_for(tag),
+                )
+            )
+
+        for tag in sorted(emitted - (handled | replayed)):
+            report(
+                tag,
+                "emit",
+                f"op tag '{tag}' is emitted but neither handled nor replayed",
+            )
+        for tag in sorted((handled - replayed) - pure):
+            report(
+                tag,
+                "handle",
+                f"op tag '{tag}' is handled live but has no replay branch"
+                " (state applied live would vanish on recovery;"
+                " declare it in pure-tags if it is read-only)",
+            )
+        for tag in sorted(replayed - emitted):
+            report(
+                tag,
+                "replay",
+                f"op tag '{tag}' has a replay branch but is never emitted",
+            )
+    return findings

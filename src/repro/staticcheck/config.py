@@ -21,6 +21,13 @@ attributes each module owns, the event-publishing classes -- lives in
     [tool.reprolint.r005]
     event-classes = ["AllocationEngine"]
 
+    [[tool.reprolint.r006.grammar]]
+    name = "shard-ops"
+    emit-functions = ["repro.webcompute.sharding._ShardClient._op"]
+    handle-functions = ["repro.webcompute.shardworker._apply_live_op"]
+    replay-functions = ["repro.webcompute.recovery.apply_op"]
+    pure-tags = ["validate_register"]
+
     [tool.reprolint.per-module]
     "repro.core.spread" = { disable = ["R001"] }
 
@@ -40,9 +47,15 @@ from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Any
 
-__all__ = ["ReprolintConfig", "ConfigError", "load_config", "find_pyproject"]
+__all__ = [
+    "ReprolintConfig",
+    "GrammarSpec",
+    "ConfigError",
+    "load_config",
+    "find_pyproject",
+]
 
-ALL_RULES = ("R001", "R002", "R003", "R004", "R005")
+ALL_RULES = ("R001", "R002", "R003", "R004", "R005", "R006")
 
 
 class ConfigError(Exception):
@@ -65,6 +78,23 @@ def _dotted_prefix(module: str, prefix: str) -> bool:
 
 
 @dataclass(frozen=True, slots=True)
+class GrammarSpec:
+    """One R006 message grammar: the functions whose call sites *emit*
+    tagged ops (``["tick", ...]`` list literals), the dispatcher that
+    *handles* them live (``kind == "tick"`` branches), the dispatcher
+    that *replays* them from the journal, and the tags sanctioned to be
+    live-only (``pure-tags``: read-only ops with no journal footprint).
+    Function refs are fully qualified (``pkg.mod.Cls.method`` /
+    ``pkg.mod.func``)."""
+
+    name: str
+    emit: tuple[str, ...] = ()
+    handle: tuple[str, ...] = ()
+    replay: tuple[str, ...] = ()
+    pure: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
 class ReprolintConfig:
     """The parsed ``[tool.reprolint]`` table (all fields optional; an
     empty config runs only the project-agnostic checks)."""
@@ -83,6 +113,8 @@ class ReprolintConfig:
     event_classes: tuple[str, ...] = ()
     #: Per-module rule disables: glob -> rule codes.
     per_module_disable: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: R006 message grammars (no grammars -> the rule is a no-op).
+    grammars: tuple[GrammarSpec, ...] = ()
 
     # ------------------------------------------------------------------
 
@@ -128,9 +160,45 @@ class ReprolintConfig:
         r002 = data.get("r002", {})
         r004 = data.get("r004", {})
         r005 = data.get("r005", {})
-        for name, table in (("r001", r001), ("r002", r002), ("r004", r004), ("r005", r005)):
+        r006 = data.get("r006", {})
+        for name, table in (
+            ("r001", r001),
+            ("r002", r002),
+            ("r004", r004),
+            ("r005", r005),
+            ("r006", r006),
+        ):
             if not isinstance(table, dict):
                 raise ConfigError(f"[tool.reprolint.{name}] must be a table")
+
+        grammars_raw = r006.get("grammar", [])
+        if not isinstance(grammars_raw, list):
+            raise ConfigError("r006.grammar must be an array of tables")
+        grammars: list[GrammarSpec] = []
+        for index, entry in enumerate(grammars_raw):
+            where = f"r006.grammar[{index}]"
+            if not isinstance(entry, dict):
+                raise ConfigError(f"{where} must be a table")
+            grammar_name = entry.get("name", "")
+            if not isinstance(grammar_name, str) or not grammar_name:
+                raise ConfigError(f"{where}.name must be a non-empty string")
+            grammars.append(
+                GrammarSpec(
+                    name=grammar_name,
+                    emit=str_list(
+                        entry.get("emit-functions", []), f"{where}.emit-functions"
+                    ),
+                    handle=str_list(
+                        entry.get("handle-functions", []), f"{where}.handle-functions"
+                    ),
+                    replay=str_list(
+                        entry.get("replay-functions", []), f"{where}.replay-functions"
+                    ),
+                    pure=str_list(
+                        entry.get("pure-tags", []), f"{where}.pure-tags"
+                    ),
+                )
+            )
 
         allowed_raw = r004.get("allowed-imports", {})
         if not isinstance(allowed_raw, dict):
@@ -179,6 +247,7 @@ class ReprolintConfig:
                 r005.get("event-classes", []), "r005.event-classes"
             ),
             per_module_disable=per_module,
+            grammars=tuple(grammars),
         )
 
 

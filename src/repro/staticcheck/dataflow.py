@@ -48,12 +48,26 @@ unresolved cross-module targets, per-function call refs, and
 param-mutation facts (parameters bound to ``ALIAS`` markers, so
 ``t = p; t.clear()`` is still a mutation of parameter ``p``).
 
-Within one module the engine stays exactly as conservative as v2: no
-heap model, no path sensitivity; method calls through arbitrary objects
-(``obj.m()`` where ``obj`` is a local) are never resolved.  The rules
-that ride on it are conservative in the direction of their invariant
-and anything residual is a reviewed ``allow[...]`` -- same contract as
-PR 4.
+v4 adds **receiver-typed call resolution**: a lightweight
+intraprocedural type-inference layer that tracks which *class* a name
+is an instance of -- ``x = ClassName(...)`` through locals,
+``self._x = ClassName(...)`` attribute bindings (harvested per class),
+and parameter annotations -- so ``obj.m()`` resolves to the defining
+class's method (``":Cls.m"`` locally, ``"pkg.mod.Cls.m"`` across
+modules) instead of being opaque, and ``self.m()`` resolves to the
+*enclosing* class instead of conflating every same-named method in the
+module.  Types are optimistic (the ``RefResolver`` validates every ref
+against real definitions, so a wrong guess degrades to "unresolved",
+never to a wrong edge) and flow must-style: branches keep a type only
+when every arm agrees, rebinding to anything untypable drops it.
+Resolved targets are memoized per call node during the flow pass, so
+post-hoc queries (``mutated_args``, the R001 cross-module check) see
+the same typed resolution the flows computed.
+
+Beyond typing, the engine stays exactly as conservative as v2: no heap
+model, no path sensitivity.  The rules that ride on it are conservative
+in the direction of their invariant and anything residual is a reviewed
+``allow[...]`` -- same contract as PR 4.
 """
 
 from __future__ import annotations
@@ -267,12 +281,28 @@ class ModuleDataflow:
         self.project = project
         self.collect_calls = collect_calls
         self.aliases = self._import_aliases(tree, module_name)
+        #: Classes defined in this module (receiver typing resolves a
+        #: ``ClassName(...)`` construction to ``":ClassName"``).
+        self.classes = frozenset(
+            node.name for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+        )
         #: Return-taint summaries: ``("", name)`` for module-level
         #: functions, ``(class_name, name)`` for methods.
         self.summaries: dict[tuple[str, str], frozenset[Taint]] = {}
         #: node id -> taints, shared by every flow in the module.
         self._memo: dict[int, frozenset[Taint]] = {}
+        #: call node id -> resolved (ref, offset) or None, written by
+        #: the flows so post-hoc queries see typed resolutions.
+        self._call_targets: dict[int, tuple[str, int] | None] = {}
         self.function_nodes = self._collect_functions(tree)
+        #: ``(class, method)`` pairs defined here, stable before any
+        #: flow runs (unlike ``summaries``, filled per round).
+        self._method_keys = frozenset(
+            (owner, func.name) for owner, func in self.function_nodes if owner
+        )
+        #: class -> attr -> type ref, from ``self._x = ClassName(...)``
+        #: and annotated attribute assignments inside each class.
+        self.class_attr_types = self._harvest_class_attr_types(tree)
         self._run()
 
     # -- construction --------------------------------------------------
@@ -327,19 +357,122 @@ class ModuleDataflow:
         visit(tree, "")
         return out
 
+    # -- receiver typing -----------------------------------------------
+
+    @staticmethod
+    def _looks_like_class(dotted: str) -> bool:
+        """CamelCase filter for optimistic constructor typing: keeps
+        ``x = helpers.compute()`` from minting refs for every factory
+        call.  Wrong guesses are still safe -- the resolver only accepts
+        refs naming a real method -- this just bounds ref noise."""
+        return dotted.rsplit(".", 1)[-1][:1].isupper()
+
+    def constructed_type(
+        self,
+        node: ast.Call,
+        env: "dict[str, frozenset[Taint]] | None" = None,
+    ) -> str | None:
+        """The type ref a constructor call produces: ``":Cls"`` for a
+        class of this module, its canonical dotted name for an imported
+        one, ``None`` when the callee is not recognizably a class."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            if env is not None and func.id in env:
+                return None  # locally rebound; not the class
+            if func.id in self.classes:
+                return f":{func.id}"
+            dotted = self.aliases.get(func.id)
+            if dotted is not None and "." in dotted and self._looks_like_class(dotted):
+                return dotted
+            return None
+        parts = dotted_parts(func)
+        if parts is None or parts[0] == "self":
+            return None
+        if env is not None and parts[0] in env:
+            return None
+        root = self.aliases.get(parts[0])
+        if root is None:
+            return None
+        dotted = ".".join((root, *parts[1:]))
+        return dotted if self._looks_like_class(dotted) else None
+
+    def annotation_type(self, annotation: ast.expr) -> str | None:
+        """The type ref an annotation denotes (``x: Engine`` /
+        ``x: mod.Engine`` / ``x: "Engine"``); ``None`` for anything
+        fancier (unions, subscripts) -- conservatively untyped."""
+        if isinstance(annotation, ast.Name):
+            parts: tuple[str, ...] | None = (annotation.id,)
+        elif isinstance(annotation, ast.Attribute):
+            parts = dotted_parts(annotation)
+        elif isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            parts = tuple(annotation.value.strip().split("."))
+            if not all(part.isidentifier() for part in parts):
+                parts = None
+        else:
+            parts = None
+        if parts is None:
+            return None
+        if len(parts) == 1:
+            if parts[0] in self.classes:
+                return f":{parts[0]}"
+            dotted = self.aliases.get(parts[0])
+            return dotted if dotted is not None and "." in dotted else None
+        root = self.aliases.get(parts[0])
+        if root is None:
+            return None
+        return ".".join((root, *parts[1:]))
+
+    def _harvest_class_attr_types(
+        self, tree: ast.Module
+    ) -> dict[str, dict[str, str]]:
+        """Per class: attributes whose every typed assignment agrees on
+        one constructed class (``self._x = ClassName(...)`` or an
+        annotated attribute); conflicting bindings drop the attr."""
+        table: dict[str, dict[str, str]] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            attrs = table.setdefault(node.name, {})
+            for item in ast.walk(node):
+                if isinstance(item, ast.Assign) and len(item.targets) == 1:
+                    target, value, annotation = item.targets[0], item.value, None
+                elif isinstance(item, ast.AnnAssign):
+                    target, value, annotation = item.target, item.value, item.annotation
+                else:
+                    continue
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                ref = self.annotation_type(annotation) if annotation is not None else None
+                if ref is None and isinstance(value, ast.Call):
+                    ref = self.constructed_type(value)
+                if ref is None:
+                    continue
+                if attrs.get(target.attr, ref) != ref:
+                    attrs[target.attr] = ""  # conflicting types: untyped
+                else:
+                    attrs[target.attr] = ref
+            for attr in [name for name, ref in attrs.items() if not ref]:
+                del attrs[attr]
+        return table
+
     def _run(self) -> None:
         # Two summary rounds: the first sees leaf functions, the second
         # resolves one level of local call chaining (f -> g -> source).
         for _round in range(2):
             for owner, func in self.function_nodes:
-                flow = FunctionFlow(func, self)
+                flow = FunctionFlow(func, self, owner=owner)
                 self.summaries[(owner, func.name)] = flow.return_taints
         # Final round records node taints with complete summaries, and
         # runs the module-level statements as a pseudo-function.
         self._memo.clear()
+        self._call_targets.clear()
         self._flows: dict[int, FunctionFlow] = {}
         for owner, func in self.function_nodes:
-            flow = FunctionFlow(func, self, memo=self._memo)
+            flow = FunctionFlow(func, self, memo=self._memo, owner=owner)
             self.summaries[(owner, func.name)] = flow.return_taints
             self._flows[id(func)] = flow
         self.module_flow = FunctionFlow(self.tree, self, memo=self._memo)
@@ -366,20 +499,32 @@ class ModuleDataflow:
         return ".".join((root, *parts[1:]))
 
     def call_target(
-        self, node: ast.Call, env: dict[str, frozenset[Taint]] | None = None
+        self,
+        node: ast.Call,
+        env: dict[str, frozenset[Taint]] | None = None,
+        types: dict[str, str] | None = None,
+        owner: str = "",
     ) -> tuple[str, int] | None:
         """The callee of *node* as an interprocedural ref, or ``None``
         when it cannot be named statically.
 
         Ref forms: ``":f"`` -- a module-level function of *this* module;
-        ``"self.m"`` -- a method reached through ``self``; a canonical
-        dotted name (``"pkg.helpers.seed_for"``) -- anything reached
-        through an import alias.  The second element is the arg offset:
-        caller argument *i* binds callee parameter ``i + offset`` (1 for
-        ``self.m`` calls, else 0).  ``env`` (when given) rules out names
-        the current flow rebound locally -- a local object's method is
-        never a resolvable target.
+        ``":Cls.m"`` -- a method of a class of this module (the
+        receiver's class known from typing or from ``self`` inside an
+        enclosing class); ``"self.m"`` -- a ``self`` call whose
+        enclosing class does not define ``m`` (inherited; name-matched
+        by the resolver); a canonical dotted name
+        (``"pkg.helpers.seed_for"`` / ``"pkg.mod.Cls.m"``) -- anything
+        reached through an import alias or a cross-module receiver
+        type.  The second element is the arg offset: caller argument
+        *i* binds callee parameter ``i + offset`` (1 for method calls,
+        else 0).  ``env``/``types``/``owner`` carry the calling flow's
+        locals, receiver types, and enclosing class; without them
+        (post-hoc queries) the memo written during the flow pass
+        answers, so checkers see the same typed resolution.
         """
+        if env is None and types is None and id(node) in self._call_targets:
+            return self._call_targets[id(node)]
         func = node.func
         if isinstance(func, ast.Name):
             if env is not None and func.id in env:
@@ -396,7 +541,20 @@ class ModuleDataflow:
         if parts is None:
             return None
         if parts[0] == "self":
-            return (f"self.{parts[1]}", 1) if len(parts) == 2 else None
+            if len(parts) == 2:
+                if owner and (owner, parts[1]) in self._method_keys:
+                    return (f":{owner}.{parts[1]}", 1)
+                return (f"self.{parts[1]}", 1)
+            if len(parts) == 3 and owner:
+                # self._x.m() through a typed class attribute.
+                attr_ref = self.class_attr_types.get(owner, {}).get(parts[1])
+                if attr_ref is not None:
+                    return (f"{attr_ref}.{parts[2]}", 1)
+            return None
+        if types is not None and len(parts) == 2:
+            receiver = types.get(parts[0])
+            if receiver is not None:
+                return (f"{receiver}.{parts[1]}", 1)
         if env is not None and parts[0] in env:
             return None
         if parts[0] not in self.aliases:
@@ -430,11 +588,18 @@ class FunctionFlow:
         func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
         module: ModuleDataflow,
         memo: dict[int, frozenset[Taint]] | None = None,
+        owner: str = "",
     ) -> None:
         self.func = func
         self.module = module
         self.memo = memo if memo is not None else {}
+        #: The enclosing class name ("" for module-level functions):
+        #: resolves ``self.m()`` to this class and ``self._x.m()``
+        #: through its typed attributes.
+        self.owner = owner
         self.env: dict[str, frozenset[Taint]] = {}
+        #: Receiver types: local name -> type ref (":Cls" or dotted).
+        self.types: dict[str, str] = {}
         self.return_taints: frozenset[Taint] = _EMPTY
         self.return_nodes: list[ast.Return] = []
         #: Seed-collection mode only: dotted refs this flow calls,
@@ -443,14 +608,18 @@ class FunctionFlow:
         self.call_refs: set[str] = set()
         self.param_passes: set[tuple[int, str, int]] = set()
         self.mutated_params: set[int] = set()
-        if module.collect_calls and isinstance(
-            func, (ast.FunctionDef, ast.AsyncFunctionDef)
-        ):
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
             params = [*func.args.posonlyargs, *func.args.args]
-            for index, param in enumerate(params):
-                self.env[param.arg] = frozenset(
-                    {Taint(ALIAS, f"{_PARAM_MARK}{index}>", func.lineno)}
-                )
+            if module.collect_calls:
+                for index, param in enumerate(params):
+                    self.env[param.arg] = frozenset(
+                        {Taint(ALIAS, f"{_PARAM_MARK}{index}>", func.lineno)}
+                    )
+            for param in [*params, *func.args.kwonlyargs]:
+                if param.annotation is not None:
+                    ref = module.annotation_type(param.annotation)
+                    if ref is not None:
+                        self.types[param.arg] = ref
         body = func.body if isinstance(func.body, list) else []
         self._exec_block(body)
 
@@ -462,22 +631,37 @@ class FunctionFlow:
 
     def _branch(self, *blocks: list[ast.stmt]) -> None:
         """Run each block on a copy of the environment, then merge the
-        copies by key-wise union (a may-analysis join)."""
+        copies by key-wise union (a may-analysis join).  Receiver types
+        merge the opposite way (must-analysis): a name stays typed only
+        when every arm leaves it with the same type."""
         merged = dict(self.env)
+        type_results: list[dict[str, str]] = []
         for block in blocks:
-            saved = self.env
-            self.env = dict(saved)
+            saved_env, saved_types = self.env, self.types
+            self.env = dict(saved_env)
+            self.types = dict(saved_types)
             self._exec_block(block)
             for name, taints in self.env.items():
                 merged[name] = merged.get(name, _EMPTY) | taints
-            self.env = saved
+            type_results.append(self.types)
+            self.env, self.types = saved_env, saved_types
         self.env = merged
+        names: set[str] = set()
+        for result in type_results:
+            names |= set(result)
+        agreed: dict[str, str] = {}
+        for name in names:
+            refs = {result.get(name) for result in type_results}
+            if len(refs) == 1 and None not in refs:
+                agreed[name] = refs.pop()
+        self.types = agreed
 
     def _exec_stmt(self, stmt: ast.stmt) -> None:
         if isinstance(stmt, ast.Assign):
             taints = self._eval(stmt.value)
             for target in stmt.targets:
                 self._bind(target, taints)
+                self._retype(target, stmt.value)
         elif isinstance(stmt, ast.AugAssign):
             taints = self._eval(stmt.value)
             if isinstance(stmt.target, ast.Name):
@@ -486,6 +670,14 @@ class FunctionFlow:
         elif isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
                 self._bind(stmt.target, self._eval(stmt.value))
+            if isinstance(stmt.target, ast.Name):
+                ref = self.module.annotation_type(stmt.annotation)
+                if ref is None and stmt.value is not None:
+                    ref = self._type_of_value(stmt.value)
+                if ref is not None:
+                    self.types[stmt.target.id] = ref
+                else:
+                    self.types.pop(stmt.target.id, None)
         elif isinstance(stmt, ast.Expr):
             self._eval(stmt.value)
         elif isinstance(stmt, ast.Return):
@@ -528,6 +720,7 @@ class FunctionFlow:
             for target in stmt.targets:
                 if isinstance(target, ast.Name):
                     self.env.pop(target.id, None)
+                    self.types.pop(target.id, None)
                 elif isinstance(target, (ast.Subscript, ast.Attribute)):
                     self._note_param_store(target.value)
         # Nested FunctionDef / ClassDef / Import / Pass / Break /
@@ -540,6 +733,9 @@ class FunctionFlow:
             self.env[target.id] = frozenset(
                 t.hop(f"-> {target.id} (line {target.lineno})") for t in taints
             )
+            # Strong update: any rebinding clears the receiver type;
+            # _retype (plain assignments only) re-adds what it can infer.
+            self.types.pop(target.id, None)
         elif isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
                 self._bind(element, _data_only(taints))
@@ -560,6 +756,27 @@ class FunctionFlow:
             # rules already see; in seed mode, p.x = ... is a mutation
             # of the object parameter p aliases.
             self._note_param_store(target.value)
+
+    def _retype(self, target: ast.expr, value: ast.expr) -> None:
+        """Record the receiver type a plain-name assignment establishes
+        (``_bind`` already cleared the old one)."""
+        if isinstance(target, ast.Name):
+            ref = self._type_of_value(value)
+            if ref is not None:
+                self.types[target.id] = ref
+
+    def _type_of_value(self, value: ast.expr) -> str | None:
+        """The type ref of an assigned value: a constructor call, a
+        copy of an already-typed name, or a typed ``self`` attribute."""
+        if isinstance(value, ast.Call):
+            return self.module.constructed_type(value, env=self.env)
+        if isinstance(value, ast.Name):
+            return self.types.get(value.id)
+        if isinstance(value, ast.Attribute) and self.owner:
+            parts = dotted_parts(value)
+            if parts is not None and len(parts) == 2 and parts[0] == "self":
+                return self.module.class_attr_types.get(self.owner, {}).get(parts[1])
+        return None
 
     def _note_param_store(self, base: ast.expr) -> None:
         """Seed mode: a store through *base* mutates any parameter the
@@ -752,7 +969,10 @@ class FunctionFlow:
         """Seed mode: record the call's ref / param passes and return a
         ``CALL`` placeholder for cross-module targets.  Check mode with
         a project: substitute the resolved callee's fixpoint taints."""
-        target = self.module.call_target(node, env=self.env)
+        target = self.module.call_target(
+            node, env=self.env, types=self.types, owner=self.owner
+        )
+        self.module._call_targets[id(node)] = target
         if target is None:
             return _EMPTY
         ref, offset = target
@@ -782,14 +1002,35 @@ class FunctionFlow:
         if isinstance(func, ast.Name):
             return self.module.summaries.get(("", func.id), _EMPTY)
         parts = dotted_parts(func)
-        if parts is not None and len(parts) == 2 and parts[0] == "self":
+        if parts is None:
+            return _EMPTY
+        if len(parts) == 2 and parts[0] == "self":
+            # self.m(): the enclosing class's own method when it has
+            # one; the v3 conflation loop (first same-named method in
+            # the module) survives only as the inherited-method
+            # fallback.
+            if self.owner and (self.owner, parts[1]) in self.module._method_keys:
+                return self.module.summaries.get((self.owner, parts[1]), _EMPTY)
             for (owner, name), summary in self.module.summaries.items():
                 if owner and name == parts[1]:
                     return summary
+            return _EMPTY
+        if len(parts) == 2:
+            # obj.m() where obj's class (receiver-typed) lives here.
+            ref = self.types.get(parts[0])
+            if ref is not None and ref.startswith(":"):
+                return self.module.summaries.get((ref[1:], parts[1]), _EMPTY)
+            return _EMPTY
+        if len(parts) == 3 and parts[0] == "self" and self.owner:
+            # self._x.m() where _x's class (attribute-typed) lives here.
+            ref = self.module.class_attr_types.get(self.owner, {}).get(parts[1])
+            if ref is not None and ref.startswith(":"):
+                return self.module.summaries.get((ref[1:], parts[2]), _EMPTY)
         return _EMPTY
 
     def _eval_comprehension(self, node: ast.expr) -> frozenset[Taint]:
         saved = dict(self.env)
+        saved_types = dict(self.types)
         try:
             for gen in node.generators:  # type: ignore[attr-defined]
                 taints = self._eval(gen.iter)
@@ -803,3 +1044,4 @@ class FunctionFlow:
             return _data_only(out)
         finally:
             self.env = saved
+            self.types = saved_types

@@ -26,7 +26,7 @@ __all__ = [
 
 #: The analyzer version, recorded in every JSON report and folded into
 #: the incremental cache key (a new analyzer invalidates old results).
-ANALYZER_VERSION = "3.0.0"
+ANALYZER_VERSION = "4.0.0"
 
 #: The meta-rule reported for a suppression comment that matched nothing.
 USELESS_SUPPRESSION = "R000"

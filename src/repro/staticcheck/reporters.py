@@ -1,7 +1,7 @@
 """Text and JSON reporters.
 
 Text is for humans at a terminal (one ``path:line: RULE message`` per
-finding plus a summary); JSON (schema ``repro.reprolint/3``) is for the
+finding plus a summary); JSON (schema ``repro.reprolint/4``) is for the
 bench runner and any CI tooling that wants the counts without parsing
 prose.
 
@@ -13,10 +13,15 @@ Schema history:
   hit/miss statistics (``null`` when the cache was off), and a ``trace``
   list on each finding (the dataflow engine's origin-to-sink taint
   trail, empty for purely syntactic findings).
-* ``repro.reprolint/3`` -- this PR: traces may cross function and
+* ``repro.reprolint/3`` -- PR 9: traces may cross function and
   module boundaries (``os.getpid (pkg.helpers:12) -> seed_for() return
   (line 88)``), and the ``cache`` block gains ``changed_functions`` /
   ``invalidated_functions`` (per-function invalidation counters).
+* ``repro.reprolint/4`` -- this PR: adds rule R006 (message-grammar
+  conformance, cross-file traces naming emit / dispatch / replay
+  sites), and the ``cache`` block gains ``skipped_by_summary`` (v3
+  reverse-closure functions the summary delta proved clean) and
+  ``closure_files`` (what the v3 plan would have re-analyzed).
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["render_text", "render_json", "JSON_SCHEMA"]
 
-JSON_SCHEMA = "repro.reprolint/3"
+JSON_SCHEMA = "repro.reprolint/4"
 
 
 def _cache_note(result: "AnalysisResult") -> str:

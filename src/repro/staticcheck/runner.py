@@ -21,6 +21,13 @@ per-file analysis consults for cross-module taint and mutation facts.
 A fully-warm run analyzes nothing and therefore never builds the
 oracle -- the ~10 ms warm path is untouched.
 
+v4 reuses the fixpoint the cache planner already solved for its
+summary delta (the oracle is never computed twice per run), and runs
+the R006 message-grammar conformance pass once per run in the parent:
+per-file grammar facts ride in the cache records, conformance is a set
+comparison over them, so even a fully-warm run judges the grammar
+without touching an AST.
+
 Project-level checks (``Checker.check_project``, e.g. R004's allowance
 cycles) run exactly once per analysis in the parent process; they
 depend only on the config, so they are never cached and never
@@ -55,6 +62,10 @@ from repro.staticcheck.cache import (
     content_hash,
 )
 from repro.staticcheck.checkers import ALL_CHECKERS
+from repro.staticcheck.checkers.message_grammar import (
+    grammar_conformance,
+    harvest_grammar,
+)
 from repro.staticcheck.config import ConfigError, ReprolintConfig, load_config
 from repro.staticcheck.loader import (
     iter_python_files,
@@ -161,6 +172,11 @@ def analyze_file(
         module=module.name,
         imports=tuple(sorted({t for t, _ in module_imports(module.tree, module.name)})),
         functions=dict(seeds) if seeds else {},
+        grammar=(
+            harvest_grammar(module, config)
+            if "R006" in active and config.grammars
+            else ()
+        ),
     )
     for finding in raw:
         suppression = module.suppression_for(finding.rule, finding.line)
@@ -263,6 +279,7 @@ def analyze_paths(
     store: AnalysisCache | None = None
     targets: list[tuple[str, str]]  # (path, content hash) needing analysis
     fresh_seeds: dict[str, dict[str, FunctionSeed]] = {}
+    planned_project: ProjectSummaries | None = None
     if cache:
         if cache_path is None:
             anchor = (
@@ -282,7 +299,10 @@ def analyze_paths(
             invalidated=len(invalidated),
             changed_functions=plan.changed_functions,
             invalidated_functions=plan.invalidated_functions,
+            skipped_by_summary=plan.skipped_by_summary,
+            closure_files=plan.closure_files,
         )
+        planned_project = plan.project
         targets = [(path, hashes[path]) for path in files if path in changed or path in invalidated]
     else:
         targets = [(path, "") for path in files]
@@ -292,7 +312,20 @@ def analyze_paths(
     # nothing re-analyzes, so nobody consults it.
     project: ProjectSummaries | None = None
     seed_map: dict[str, dict[str, FunctionSeed]] = {}
-    if targets:
+    if targets and planned_project is not None:
+        # v4: the planner already solved the post-change fixpoint for
+        # the summary delta -- reuse it as the oracle and seed only the
+        # files actually being re-analyzed.
+        project = planned_project
+        for path, _digest in targets:
+            if path in fresh_seeds:
+                seed_map[path] = fresh_seeds[path]
+            else:
+                entry = store.entries.get(path) if store is not None else None
+                seed_map[path] = (
+                    entry.functions if entry is not None else extract_file_seeds(path)
+                )
+    elif targets:
         by_module: dict[str, dict[str, FunctionSeed]] = {}
         for path in files:
             entry = store.entries.get(path) if store is not None else None
@@ -331,6 +364,7 @@ def analyze_paths(
             )
             outcomes[path] = record
 
+    grammar_facts: dict[str, tuple[str, tuple]] = {}
     for path in files:
         if path in outcomes:
             record = outcomes[path]
@@ -341,6 +375,8 @@ def analyze_paths(
             record = store.get(path)
         result.findings.extend(record.findings)
         result.suppressed.extend(record.suppressed)
+        if record.grammar:
+            grammar_facts[path] = (record.module, record.grammar)
 
     # Project-level checks: once per run, parent process, never cached
     # (they read only the config) and never suppressible.
@@ -348,6 +384,11 @@ def analyze_paths(
         if requested is not None and checker.code not in requested:
             continue
         result.findings.extend(checker.check_project(config, result.config_path))
+
+    # R006 conformance: judged over the harvested (possibly cached)
+    # per-file facts -- pure set comparison, so warm runs pay no parse.
+    if config.grammars and (requested is None or "R006" in requested):
+        result.findings.extend(grammar_conformance(config, grammar_facts))
 
     if store is not None:
         store.save()
@@ -365,7 +406,12 @@ def analyze_paths(
             resolved = str(Path(path_str).resolve())
             return resolved in keep or resolved == config_str
 
-        result.findings = [f for f in result.findings if _kept(f.path)]
+        # R006 findings survive the filter: their evidence spans files,
+        # so the anchor site may be clean while the edited file (say, a
+        # handler losing a branch) is elsewhere.
+        result.findings = [
+            f for f in result.findings if f.rule == "R006" or _kept(f.path)
+        ]
         result.suppressed = [
             (f, line) for f, line in result.suppressed if _kept(f.path)
         ]
@@ -388,7 +434,7 @@ def finding_path(path: Path) -> str:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.staticcheck",
-        description="reprolint: AST-based invariant analysis (R001-R005)",
+        description="reprolint: AST-based invariant analysis (R001-R006)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories (default: src)"
@@ -477,8 +523,16 @@ def run_cli(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> 
         try:
             report_only = _git_changed_files()
         except RuntimeError as exc:
-            print(f"reprolint: error: {exc}", file=sys.stderr)
-            return 2
+            # Outside a repo (or any git failure), --changed has nothing
+            # to filter by; degrade to the full report rather than fail
+            # -- the analysis is identical either way, only the
+            # reporting filter is lost.
+            print(
+                f"reprolint: warning: --changed unavailable ({exc}); "
+                "reporting all findings",
+                file=sys.stderr,
+            )
+            report_only = None
     try:
         result = analyze_paths(
             args.paths,

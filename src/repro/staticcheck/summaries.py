@@ -237,6 +237,13 @@ class ProjectSummaries:
 
     # -- queries (the ModuleDataflow `project` protocol) ---------------
 
+    def info(self, key: tuple[str, str]) -> FunctionInfo | None:
+        """The fixpoint entry for a ``(module, fq)`` key, ``None`` when
+        the function has no facts.  ``FunctionInfo`` is a frozen
+        dataclass over sorted tuples, so two fixpoints' entries compare
+        by value -- the summary-delta planner's whole trick."""
+        return self._table.get(key)
+
     def lookup(self, module: str, ref: str) -> FunctionInfo | None:
         target = self._resolver.resolve(module, ref)
         if target is None:

@@ -26,7 +26,6 @@ Two seams make the engine shard-able:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -42,7 +41,7 @@ from repro.webcompute.events import (
     VolunteerRegistered,
 )
 from repro.webcompute.frontend import FrontEnd
-from repro.webcompute.ledger import AccountabilityLedger, LedgerReport
+from repro.webcompute.ledger import AccountabilityLedger, CounterRNG, LedgerReport
 from repro.webcompute.task import Task
 from repro.webcompute.volunteer import Behavior, VolunteerProfile
 
@@ -107,7 +106,7 @@ class AllocationEngine:
         self.ledger = AccountabilityLedger(
             verification_rate=verification_rate,
             ban_after_strikes=ban_after_strikes,
-            rng=random.Random(seed),
+            rng=CounterRNG(seed),
             bus=self.bus,
             clock=lambda: self._clock,
         )

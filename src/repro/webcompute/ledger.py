@@ -33,7 +33,43 @@ from repro.errors import ConfigurationError, DomainError
 from repro.webcompute.events import EventBus, ResultReturned, VolunteerBanned
 from repro.webcompute.task import Task, TaskStatus
 
-__all__ = ["VolunteerRecord", "LedgerReport", "AccountabilityLedger"]
+__all__ = ["VolunteerRecord", "LedgerReport", "AccountabilityLedger", "CounterRNG"]
+
+
+class CounterRNG:
+    """Counter-based (SplitMix64) uniform stream for the verification
+    sample.  A drop-in for the slice of ``random.Random`` the ledger
+    uses (``random()`` plus ``getstate``/``setstate``), with state that
+    is two integers -- seed and draw counter -- where Mersenne Twister
+    carries 625 words (~8 KB JSON-encoded), which every checkpoint
+    delta used to ship whenever a draw happened in its window.  The
+    value at draw *n* is a pure function of ``(seed, n)``, so replay
+    from any checkpoint is bit-identical by construction."""
+
+    _MASK = (1 << 64) - 1
+    _GAMMA = 0x9E3779B97F4A7C15
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed & self._MASK
+        self._counter = 0
+
+    def random(self) -> float:
+        """Uniform in [0, 1) with 53 bits of precision (the same
+        resolution ``random.Random.random`` provides)."""
+        self._counter += 1
+        z = (self._seed + self._counter * self._GAMMA) & self._MASK
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
+        z ^= z >> 31
+        return (z >> 11) / 9007199254740992  # 2 ** 53
+
+    def getstate(self) -> tuple[int, int]:
+        return (self._seed, self._counter)
+
+    def setstate(self, state: tuple[int, int]) -> None:
+        seed, counter = state
+        self._seed = int(seed) & self._MASK
+        self._counter = int(counter)
 
 
 def _decode_record(r: Any) -> VolunteerRecord:
@@ -149,7 +185,10 @@ class AccountabilityLedger:
     ban_after_strikes:
         Confirmed-bad results before a volunteer is banned.
     rng:
-        Seeded ``random.Random`` for the verification sample.
+        Seeded RNG for the verification sample: a :class:`CounterRNG`
+        (what the engine constructs -- two-integer snapshot state) or a
+        seeded ``random.Random`` (still accepted; its Mersenne state
+        round-trips through snapshots in the legacy encoding).
     bus:
         Optional :class:`~repro.webcompute.events.EventBus`; every return
         publishes a :class:`~repro.webcompute.events.ResultReturned` and
@@ -160,7 +199,7 @@ class AccountabilityLedger:
         self,
         verification_rate: float = 0.1,
         ban_after_strikes: int = 2,
-        rng: random.Random | None = None,
+        rng: "random.Random | CounterRNG | None" = None,
         bus: EventBus | None = None,
         clock: Callable[[], int] | None = None,
     ) -> None:
@@ -444,13 +483,29 @@ class AccountabilityLedger:
     # -- snapshot / restore state (the persistence seam) ---------------
 
     def rng_state(self) -> list:
-        """The verification RNG state as JSON-able nested lists."""
+        """The verification RNG state as a JSON-able list: a
+        ``["counter", seed, draws]`` triple for a :class:`CounterRNG`,
+        or the legacy ``[version, internal, gauss]`` Mersenne encoding
+        for an injected ``random.Random``."""
+        if isinstance(self._rng, CounterRNG):
+            seed, counter = self._rng.getstate()
+            return ["counter", seed, counter]
         version, internal, gauss = self._rng.getstate()
         return [version, list(internal), gauss]
 
     def set_rng_state(self, encoded: list) -> None:
-        version, internal, gauss = encoded
-        self._rng.setstate((version, tuple(internal), gauss))
+        """Adopt either encoding, replacing the live RNG when the
+        snapshot was taken under the other kind (old checkpoints stay
+        restorable after the CounterRNG switch, and vice versa)."""
+        if encoded and encoded[0] == "counter":
+            if not isinstance(self._rng, CounterRNG):
+                self._rng = CounterRNG()
+            self._rng.setstate((encoded[1], encoded[2]))
+        else:
+            version, internal, gauss = encoded
+            if isinstance(self._rng, CounterRNG):
+                self._rng = random.Random(0)
+            self._rng.setstate((version, tuple(internal), gauss))
         self._rng_changed = self._clock_fn()
 
     def snapshot_state(self) -> dict[str, Any]:

@@ -1,0 +1,11 @@
+"""Replay half: tick and add restore from the journal."""
+
+
+def apply_op(state, op):
+    kind = op[0]
+    if kind == "tick":
+        state["clock"] = state.get("clock", 0) + 1
+    elif kind == "add":
+        state.setdefault("items", []).append(op[1])
+    else:
+        raise ValueError(f"unknown journal op {kind!r}")

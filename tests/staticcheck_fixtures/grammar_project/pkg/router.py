@@ -1,0 +1,19 @@
+"""Emit half of the op grammar (with one drifted tag: promote)."""
+
+
+class Router:
+    def __init__(self):
+        self.log = []
+
+    def _journal(self, op):
+        self.log.append(op)
+
+    def tick(self):
+        self._journal(["tick"])
+
+    def add(self, item):
+        self._journal(["add", item])
+
+    def promote(self, item):
+        # The seeded drift: emitted here, handled and replayed nowhere.
+        self._journal(["promote", item])

@@ -1,0 +1,14 @@
+"""Live dispatch half: handles tick/add/probe (probe is read-only)."""
+
+
+def apply_live(state, op):
+    kind = op[0]
+    if kind == "tick":
+        state["clock"] = state.get("clock", 0) + 1
+        return None
+    if kind == "add":
+        state.setdefault("items", []).append(op[1])
+        return None
+    if kind == "probe":
+        return state.get("clock", 0)
+    raise ValueError(f"unknown op {kind!r}")

@@ -1,0 +1,9 @@
+"""Parameter-annotation receiver typing."""
+
+import random
+
+from pkg.engines import Alpha
+
+
+def run(engine: Alpha):
+    return random.Random(engine.fresh_seed())

@@ -1,0 +1,10 @@
+"""Local-constructor receiver typing: the Alpha seed is entropy."""
+
+import random
+
+from pkg.engines import Alpha
+
+
+def seeded_rng():
+    engine = Alpha()
+    return random.Random(engine.fresh_seed())

@@ -1,0 +1,10 @@
+"""The deterministic twin of drive_a: Beta's seed is a constant."""
+
+import random
+
+from pkg.engines import Beta
+
+
+def seeded_rng():
+    engine = Beta()
+    return random.Random(engine.fresh_seed())

@@ -1,0 +1,24 @@
+"""Two engines sharing a method name with opposite verdicts."""
+
+import os
+import random
+
+
+class Alpha:
+    """Clock-seeded: fresh_seed reads process entropy."""
+
+    def fresh_seed(self):
+        return os.getpid()
+
+    def rng(self):
+        return random.Random(self.fresh_seed())
+
+
+class Beta:
+    """Fixed-seed twin of Alpha: same method names, zero entropy."""
+
+    def fresh_seed(self):
+        return 12345
+
+    def rng(self):
+        return random.Random(self.fresh_seed())

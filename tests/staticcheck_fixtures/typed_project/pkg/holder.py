@@ -1,0 +1,13 @@
+"""Attribute receiver typing: self._engine = Alpha() in __init__."""
+
+import random
+
+from pkg.engines import Alpha
+
+
+class Holder:
+    def __init__(self):
+        self._engine = Alpha()
+
+    def rng(self):
+        return random.Random(self._engine.fresh_seed())

@@ -88,8 +88,8 @@ def test_smoke_run_writes_schema_and_record(bench_runner, tmp_path):
         assert row["replayed_ops"] > 0
         assert row["state_bytes_per_shard"] > 0
         # One epoch of delta is persisted and strictly smaller than the
-        # full blob (the <= 25% gate runs on the committed full run,
-        # where real state dwarfs the fixed rng-state overhead).
+        # full blob (the <= 10% gate runs on the committed full run,
+        # where real state dwarfs the fixed serialization floor).
         assert 0 < row["incremental_bytes_per_shard"]
         assert 0 < row["incremental_fraction"] < 1
     for v in bench_runner.FAULT_VOLUNTEER_COUNTS_SMOKE:
@@ -168,10 +168,13 @@ def test_committed_shard_scaling_gate(bench_runner):
 def test_committed_incremental_checkpoint_gate(bench_runner):
     """The log-structured checkpoint acceptance numbers, from the newest
     committed run (which must be a full run): at the 32-volunteer
-    scenario, one epoch of incremental delta persists <= 25% of the full
-    snapshot bytes.  Only the 32-volunteer rows are gated -- at toy
-    scale the delta is dominated by the fixed-size verification rng
-    state, so smaller rows measure overhead, not the protocol."""
+    scenario, one epoch of incremental delta persists <= 10% of the full
+    snapshot bytes.  The original gate was 25%, set when every delta
+    carried the ledger's ~8 KB Mersenne rng state; the counter-based
+    verification RNG (three scalars) dropped the committed fractions to
+    1.5-2.6%, so the gate tightened to keep real headroom.  Only the
+    32-volunteer rows are gated -- smaller rows measure fixed overhead,
+    not the protocol."""
     committed = _RUNNER.parent / "BENCH_eval.json"
     latest = json.loads(committed.read_text())["runs"][-1]
     assert latest["mode"] == "full", "committed trajectory must end on a full run"
@@ -180,7 +183,7 @@ def test_committed_incremental_checkpoint_gate(bench_runner):
     assert gated, "full runs must measure the 32-volunteer scenario"
     for row in gated:
         assert row["incremental_bytes_per_shard"] > 0
-        assert row["incremental_fraction"] <= 0.25, (
+        assert row["incremental_fraction"] <= 0.10, (
             f"shards={row['shards']}: one epoch of delta is "
             f"{row['incremental_fraction']:.0%} of the full snapshot "
             f"({row['incremental_bytes_per_shard']} of "
@@ -236,10 +239,12 @@ def test_committed_staticcheck_cache_gate(bench_runner):
 
 
 def test_committed_per_function_invalidation_gate(bench_runner):
-    """The v3 acceptance numbers: a comment-only edit re-analyzes
-    exactly the edited file (no function structure hash moved), and
-    both edits re-analyze strictly less than the v2 reverse-import
-    closure would have."""
+    """The v3/v4 acceptance numbers: a comment-only edit re-analyzes
+    exactly the edited file (no function structure hash moved), and a
+    summary-neutral body edit to the hot registry entry point
+    re-analyzes strictly fewer files than the v3 reverse call-graph
+    closure -- the summary-delta cut proves the consumers unaffected
+    instead of walking them."""
     committed = _RUNNER.parent / "BENCH_eval.json"
     latest = json.loads(committed.read_text())["runs"][-1]
     assert latest["mode"] == "full", "committed trajectory must end on a full run"
@@ -251,6 +256,10 @@ def test_committed_per_function_invalidation_gate(bench_runner):
     assert comment["reanalyzed"] < comment["v2_closure_files"]
     semantic = edits["semantic_edit"]
     assert semantic["changed_functions"] >= 1
-    assert semantic["invalidated_functions"] >= 1
-    assert semantic["reanalyzed"] > comment["reanalyzed"]
+    # The edit is summary-neutral: the fixpoint comparison skips every
+    # transitive caller the v3 closure would have re-run.
+    assert semantic["invalidated_functions"] == 0
+    assert semantic["reanalyzed"] == 1
+    assert semantic["skipped_by_summary"] >= 1
+    assert semantic["v3_closure_files"] > semantic["reanalyzed"]
     assert semantic["reanalyzed"] < semantic["v2_closure_files"]

@@ -96,19 +96,43 @@ class TestInvalidation:
         assert result.cache_stats.invalidated == 0
         assert result.cache_stats.hits == 4
 
-    def test_editing_a_dependency_invalidates_the_reverse_closure(
+    def test_summary_neutral_edit_skips_the_reverse_closure(
         self, project: Path
     ):
         run(project)
+        # Wrapping the entropy read in int() changes the body but not
+        # the function's summary (same ENTROPY taint, same line): v4
+        # re-analyzes only c itself where the v3 reverse-call closure
+        # walked b and a too.
         (project / "pkg" / "c.py").write_text(
             "import time\n\n\ndef base():\n    return int(time.time())\n"
         )
         result = run(project)
-        # c changed; b imports pkg.c, a imports pkg.b: exactly those
-        # three re-analyze, __init__ and solo are cache hits.
+        assert result.cache_stats.misses == 1
+        assert result.cache_stats.invalidated == 0
+        assert result.cache_stats.hits == 4
+        assert result.cache_stats.skipped_by_summary == 2  # base's b and a callers
+        assert result.cache_stats.closure_files == 3  # what v3 would have re-analyzed
+        # The closure skip must not lose findings: the R002 finding in
+        # c recomputes, and the hits replay theirs unchanged.
+        assert [f.rule for f in result.findings] == ["R002"]
+
+    def test_summary_changing_edit_invalidates_the_reverse_closure(
+        self, project: Path
+    ):
+        run(project)
+        # Removing the entropy read moves base's summary (its ENTROPY
+        # taint disappears), so both consumers re-analyze and their
+        # R002 findings dissolve.
+        (project / "pkg" / "c.py").write_text(
+            "def base():\n    return 7\n"
+        )
+        result = run(project)
         assert result.cache_stats.misses == 3
         assert result.cache_stats.invalidated == 2
         assert result.cache_stats.hits == 2
+        assert result.cache_stats.skipped_by_summary == 0
+        assert result.findings == []
 
     def test_config_change_invalidates_everything(self, project: Path):
         run(project)
@@ -200,16 +224,29 @@ class TestParallelAndCli:
         assert run_cli([str(project), "--no-cache", "--jobs", "2"]) == 1
         assert "finding(s)" in capsys.readouterr().out
 
+    def test_changed_outside_git_degrades_to_full_report(
+        self, project: Path, capsys, monkeypatch
+    ):
+        """``--changed`` with no git repo warns and reports everything
+        (the analysis is identical either way); it must not exit 2."""
+        monkeypatch.chdir(project)
+        assert run_cli([str(project), "--no-cache", "--changed"]) == 1
+        captured = capsys.readouterr()
+        assert "--changed unavailable" in captured.err
+        assert "c.py" in captured.out  # the R002 finding is reported unfiltered
 
-class TestJsonSchemaV3:
+
+class TestJsonSchemaV4:
     def test_round_trip(self, project: Path):
         result = run(project)
         payload = json.loads(render_json(result))
-        assert payload["schema"] == JSON_SCHEMA == "repro.reprolint/3"
+        assert payload["schema"] == JSON_SCHEMA == "repro.reprolint/4"
         assert payload["analyzer_version"] == ANALYZER_VERSION
         assert payload["config_hash"] == result.config_hash != ""
         assert payload["cache"]["hits"] + payload["cache"]["misses"] == 5
         assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
+        assert payload["cache"]["skipped_by_summary"] == 0  # cold run skips nothing
+        assert "closure_files" in payload["cache"]
         rebuilt = [Finding.from_dict(f) for f in payload["findings"]]
         assert rebuilt == result.findings
 

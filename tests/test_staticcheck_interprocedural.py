@@ -228,7 +228,13 @@ class TestChangedFlag:
         assert "a.py" in out
         assert "b.py:" not in out
 
-    def test_outside_a_repo_is_a_usage_error(self, tmp_path, capsys, monkeypatch):
+    def test_outside_a_repo_degrades_to_full_report(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """No git means nothing to filter by: warn on stderr and report
+        everything rather than fail (v3 exited 2 here)."""
         (tmp_path / "clean.py").write_text("x = 1\n")
         monkeypatch.chdir(tmp_path)
-        assert run_cli([str(tmp_path), "--no-cache", "--changed"]) == 2
+        assert run_cli([str(tmp_path), "--no-cache", "--changed"]) == 0
+        err = capsys.readouterr().err
+        assert "--changed unavailable" in err

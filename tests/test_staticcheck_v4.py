@@ -1,0 +1,217 @@
+"""The v4 upgrades, two-half style (like ``test_staticcheck_flow_rules``
+and ``test_staticcheck_interprocedural``): first demonstrate the v3
+blind spot or mis-flag with the surviving v3 primitive (or an isolation
+run), then assert the v4 pass gets it right.
+
+* Receiver-typed call resolution, against ``typed_project``: two
+  classes share a method name with opposite determinism verdicts.
+  Name-based resolution conflated them (mis-flagging the deterministic
+  twin) and could not resolve ``obj.method()`` / ``self._attr.method()``
+  / annotated-parameter calls at all.
+* Typed edges also shrink invalidation: editing ``Alpha.fresh_seed``
+  re-analyzes Alpha's consumers and flips their verdicts while Beta's
+  driver stays a cache hit.
+* R006 message-grammar conformance, against ``grammar_project``: a
+  seeded drift (op tag emitted by the router, handled and replayed
+  nowhere) that every v3 rule provably misses, flagged with a
+  cross-file trace naming all three dispatcher sites.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.staticcheck import ReprolintConfig, analyze_paths
+from repro.staticcheck.cache import CACHE_FILENAME
+from repro.staticcheck.checkers.message_grammar import grammar_conformance
+from repro.staticcheck.config import GrammarSpec
+from repro.staticcheck.dataflow import ENTROPY
+from repro.staticcheck.loader import load_module
+
+FIXTURES = Path(__file__).resolve().parent / "staticcheck_fixtures"
+TYPED = FIXTURES / "typed_project"
+GRAMMAR = FIXTURES / "grammar_project"
+
+ISOLATION_CONFIG = ReprolintConfig(deterministic_modules=("*",))
+
+V3_RULES = ["R001", "R002", "R003", "R004", "R005"]
+
+
+def _typed_run(rules=None):
+    return analyze_paths([TYPED], rules=rules or ["R002"], cache=False)
+
+
+class TestSameNameMethodConflation:
+    """``self.fresh_seed()`` inside Beta.rng: v3 resolved it by *name*
+    to the alphabetically first ``fresh_seed`` in the module -- Alpha's,
+    which reads entropy -- flagging the deterministic twin."""
+
+    def test_v3_name_conflation_picks_the_wrong_summary(self):
+        module = load_module(TYPED / "pkg" / "engines.py")
+        dataflow = module.dataflow()
+        # The v3 primitive (surviving only as the inherited-method
+        # fallback): first same-named method in the module wins.
+        conflated = next(
+            summary
+            for (owner, name), summary in dataflow.summaries.items()
+            if owner and name == "fresh_seed"
+        )
+        assert any(t.kind == ENTROPY for t in conflated), (
+            "name-based resolution hands Beta.rng Alpha's entropy summary"
+        )
+
+    def test_v4_resolves_each_class_to_its_own_method(self):
+        result = _typed_run()
+        engine_findings = [
+            f for f in result.findings if f.path.endswith("engines.py")
+        ]
+        assert [f.line for f in engine_findings] == [14]  # Alpha.rng only
+        assert "os.getpid" in engine_findings[0].message
+        assert not any(f.line == 24 for f in engine_findings), (
+            "Beta.rng's constant seed must not be flagged"
+        )
+
+
+class TestReceiverTypedResolution:
+    """``engine = Alpha(); engine.fresh_seed()`` and friends: v3 had no
+    receiver types, so the call was unresolvable and the entropy seed
+    invisible."""
+
+    def test_per_file_analysis_misses_it(self):
+        for name in ("drive_a.py", "holder.py", "annot.py"):
+            result = analyze_paths(
+                [TYPED / "pkg" / name],
+                config=ISOLATION_CONFIG,
+                rules=["R002"],
+                cache=False,
+            )
+            assert result.findings == [], f"{name}: the call is opaque alone"
+
+    def test_local_constructor_typing(self):
+        result = _typed_run()
+        flagged = [f for f in result.findings if f.path.endswith("drive_a.py")]
+        assert [f.line for f in flagged] == [10]
+        assert "os.getpid via pkg.engines" in flagged[0].message
+        assert "os.getpid (pkg.engines:11)" in flagged[0].trace[0]
+
+    def test_the_deterministic_twin_stays_clean(self):
+        result = _typed_run()
+        assert not any(f.path.endswith("drive_b.py") for f in result.findings)
+
+    def test_attribute_binding_typing(self):
+        result = _typed_run()
+        flagged = [f for f in result.findings if f.path.endswith("holder.py")]
+        assert [f.line for f in flagged] == [13]
+
+    def test_parameter_annotation_typing(self):
+        result = _typed_run()
+        flagged = [f for f in result.findings if f.path.endswith("annot.py")]
+        assert [f.line for f in flagged] == [9]
+
+
+class TestTypedInvalidation:
+    """Typed edges make invalidation exact: a summary-changing edit to
+    Alpha.fresh_seed re-analyzes Alpha's consumers (flipping their
+    verdicts) while Beta's driver stays a cache hit."""
+
+    def test_alpha_edit_spares_the_beta_driver(self, tmp_path):
+        project = tmp_path / "typed_project"
+        shutil.copytree(TYPED, project)
+        run = lambda: analyze_paths(
+            [project], rules=["R002"], cache=True,
+            cache_path=project / CACHE_FILENAME,
+        )
+        cold = run()
+        assert len(cold.findings) == 4  # engines(Alpha.rng), drive_a, holder, annot
+        engines = project / "pkg" / "engines.py"
+        engines.write_text(
+            engines.read_text().replace("return os.getpid()", "return 7")
+        )
+        warm = run()
+        # engines changed; drive_a, holder, annot consume Alpha's moved
+        # summary; drive_b (Beta-typed) and __init__ are hits.
+        assert warm.cache_stats.misses == 4
+        assert warm.cache_stats.invalidated == 3
+        assert warm.cache_stats.hits == 2
+        assert warm.findings == [], "every verdict flips with the seed"
+
+
+class TestMessageGrammarR006:
+    """The seeded drift: the router emits ``promote``, nobody handles
+    or replays it.  R001-R005 all pass; only the grammar sees it."""
+
+    def test_v3_rules_see_nothing(self):
+        result = analyze_paths([GRAMMAR], rules=V3_RULES, cache=False)
+        assert result.findings == []
+
+    def test_v4_flags_the_drift_with_a_cross_file_trace(self):
+        result = analyze_paths([GRAMMAR], cache=False)
+        assert [f.rule for f in result.findings] == ["R006"]
+        finding = result.findings[0]
+        assert finding.path.endswith("router.py")
+        assert finding.line == 19
+        assert "'promote' is emitted but neither handled nor replayed" in (
+            finding.message
+        )
+        # The trace names all three dispatcher sites.
+        joined = "\n".join(finding.trace)
+        assert "emitted at" in joined and "router.py:19" in joined
+        assert "no handle branch in dispatcher at" in joined
+        assert "worker.py:4" in joined
+        assert "no replay branch in dispatcher at" in joined
+        assert "replay.py:4" in joined
+
+    def test_pure_tags_sanction_live_only_ops(self):
+        # probe is handled live and never replayed; pure-tags is the
+        # only thing keeping it legal.  Re-judge the harvested facts
+        # with the sanction removed and the torn-replay check fires.
+        result = analyze_paths([GRAMMAR], cache=False)
+        assert not any("probe" in f.message for f in result.findings)
+        spec = GrammarSpec(
+            name="ops",
+            emit=("pkg.router.Router._journal",),
+            handle=("pkg.worker.apply_live",),
+            replay=("pkg.replay.apply_op",),
+            pure=(),
+        )
+        stripped = ReprolintConfig(grammars=(spec,))
+        refacts = {}
+        from repro.staticcheck.checkers.message_grammar import harvest_grammar
+
+        for name in ("router.py", "worker.py", "replay.py"):
+            module = load_module(GRAMMAR / "pkg" / name)
+            refacts[name] = (module.name, harvest_grammar(module, stripped))
+        findings = grammar_conformance(stripped, refacts)
+        probe = [f for f in findings if "probe" in f.message]
+        assert len(probe) == 1
+        assert "handled live but has no replay branch" in probe[0].message
+
+    def test_fixing_the_drift_goes_clean(self, tmp_path):
+        project = tmp_path / "grammar_project"
+        shutil.copytree(GRAMMAR, project)
+        router = project / "pkg" / "router.py"
+        router.write_text(
+            router.read_text().replace(
+                '        self._journal(["promote", item])\n', "        pass\n"
+            )
+        )
+        result = analyze_paths([project], cache=False)
+        assert result.findings == []
+
+    def test_dead_replay_branch_is_flagged(self, tmp_path):
+        project = tmp_path / "grammar_project"
+        shutil.copytree(GRAMMAR, project)
+        replay = project / "pkg" / "replay.py"
+        replay.write_text(
+            replay.read_text().replace(
+                '    elif kind == "add":',
+                '    elif kind == "drop":\n        state.clear()\n'
+                '    elif kind == "add":',
+            )
+        )
+        result = analyze_paths([project], cache=False)
+        dead = [f for f in result.findings if "drop" in f.message]
+        assert len(dead) == 1
+        assert "has a replay branch but is never emitted" in dead[0].message
+        assert dead[0].path.endswith("replay.py")
